@@ -1,0 +1,60 @@
+//! §IV-C ablation — register-file size under the three allocation
+//! strategies (the paper reports 36 KB / 21 KB / 6 KB on TPC-DS q55), plus
+//! macro-op fusion on/off instruction counts.
+
+use aqe_vm::regalloc::AllocStrategy;
+use aqe_vm::translate::{translate, TranslateOptions};
+
+fn main() {
+    let cat = aqe_storage::tpch::generate(0.001);
+    println!("# §IV-C — register-file size by allocation strategy [bytes]");
+    println!("{:<16} {:>10} {:>10} {:>10}", "query", "no-reuse", "window8", "loop-aware");
+    let mut queries = aqe_queries::tpch::all(&cat);
+    queries.push(aqe_queries::synthetic::wide_agg(400));
+    for q in &queries {
+        let phys = aqe_engine::plan::decompose(&cat, &q.root, q.dicts.clone());
+        let module = aqe_engine::codegen::generate(&phys, &cat);
+        let mut sizes = [0u32; 3];
+        for (i, strat) in [
+            AllocStrategy::NoReuse,
+            AllocStrategy::FixedWindow(8),
+            AllocStrategy::PaperLinear,
+        ]
+        .iter()
+        .enumerate()
+        {
+            for f in &module.functions {
+                let bc = translate(
+                    f,
+                    &module.externs,
+                    TranslateOptions { strategy: *strat, ..Default::default() },
+                )
+                .unwrap();
+                sizes[i] = sizes[i].max(bc.frame_size);
+            }
+        }
+        println!("{:<16} {:>10} {:>10} {:>10}", q.name, sizes[0], sizes[1], sizes[2]);
+    }
+
+    println!("\n# §IV-F — macro-op fusion (largest worker, instruction counts)");
+    println!("{:<16} {:>10} {:>10} {:>10} {:>10}", "query", "fused", "unfused", "ovf-fused", "gep-fused");
+    for q in &queries {
+        let phys = aqe_engine::plan::decompose(&cat, &q.root, q.dicts.clone());
+        let module = aqe_engine::codegen::generate(&phys, &cat);
+        let (mut fused, mut unfused, mut novf, mut ngep) = (0, 0, 0, 0);
+        for f in &module.functions {
+            let a = translate(f, &module.externs, TranslateOptions::default()).unwrap();
+            let b = translate(
+                f,
+                &module.externs,
+                TranslateOptions { fuse_ovf: false, fuse_gep: false, ..Default::default() },
+            )
+            .unwrap();
+            fused += a.len();
+            unfused += b.len();
+            novf += a.stats.fused_ovf;
+            ngep += a.stats.fused_gep;
+        }
+        println!("{:<16} {:>10} {:>10} {:>10} {:>10}", q.name, fused, unfused, novf, ngep);
+    }
+}

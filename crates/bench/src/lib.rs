@@ -1,0 +1,121 @@
+//! Shared measurement helpers for the figure/table harness binaries.
+//!
+//! Every binary regenerates one table or figure of the paper (see
+//! DESIGN.md §3 for the index and EXPERIMENTS.md for recorded results):
+//!
+//! | binary | paper artifact |
+//! |--------|----------------|
+//! | `fig01_stages` | Fig. 1 / Fig. 3 (stage times) |
+//! | `fig02_tradeoff` | Fig. 2 (compile vs execute per mode) |
+//! | `fig06_compile_scaling` | Fig. 6 (instructions vs compile time) |
+//! | `fig13_geomean` | Fig. 13 (geo-mean over TPC-H × SF × mode) |
+//! | `fig14_trace` | Fig. 14 (morsel-level execution trace) |
+//! | `fig15_large_queries` | Fig. 15 (very large generated queries) |
+//! | `table1_plan_compile` | Table I (planning and compilation times) |
+//! | `table2_exec` | Table II (execution times + §V-D ratios) |
+//! | `ablation_regalloc` | §IV-C register-file sizes, fusion on/off |
+//!
+//! Scale factors default to laptop-friendly values; override with `AQE_SF`
+//! / `AQE_SF_LIST` / `AQE_THREADS` environment variables.
+
+use aqe_engine::exec::{execute_plan, ExecMode, ExecOptions, Report, ResultRows};
+use aqe_engine::plan::{decompose, PhysicalPlan};
+use aqe_queries::Query;
+use aqe_storage::Catalog;
+use std::time::{Duration, Instant};
+
+/// Scale factor from the environment (default given by the harness).
+pub fn env_sf(default: f64) -> f64 {
+    std::env::var("AQE_SF").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+pub fn env_sf_list(default: &[f64]) -> Vec<f64> {
+    std::env::var("AQE_SF_LIST")
+        .ok()
+        .map(|s| s.split(',').filter_map(|x| x.parse().ok()).collect())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+pub fn env_threads(default: usize) -> usize {
+    std::env::var("AQE_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// Decompose a query against a catalog.
+pub fn physical(cat: &Catalog, q: &Query) -> PhysicalPlan {
+    decompose(cat, &q.root, q.dicts.clone())
+}
+
+/// Run one query end-to-end in a mode; returns (total wall time, report,
+/// result).
+pub fn run_mode(
+    cat: &Catalog,
+    phys: &PhysicalPlan,
+    mode: ExecMode,
+    threads: usize,
+    trace: bool,
+) -> (Duration, Report, ResultRows) {
+    let opts = ExecOptions { mode, threads, trace, ..Default::default() };
+    let t0 = Instant::now();
+    let (rows, report) = execute_plan(phys, cat, &opts).expect("query failed");
+    (t0.elapsed(), report, rows)
+}
+
+/// Geometric mean of positive samples.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Milliseconds with two decimals.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+pub fn fmt_ms(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:8.0}")
+    } else if v >= 1.0 {
+        format!("{v:8.1}")
+    } else {
+        format!("{v:8.3}")
+    }
+}
+
+/// All mode labels used in reports.
+pub const MODES: [(ExecMode, &str); 4] = [
+    (ExecMode::Bytecode, "bytecode"),
+    (ExecMode::Unoptimized, "unoptimized"),
+    (ExecMode::Optimized, "optimized"),
+    (ExecMode::Adaptive, "adaptive"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[4.0, 1.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[7.0]) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn env_parsing_defaults() {
+        assert_eq!(env_sf(0.25), 0.25);
+        assert_eq!(env_threads(3), 3);
+        assert_eq!(env_sf_list(&[0.1, 1.0]), vec![0.1, 1.0]);
+    }
+
+    #[test]
+    fn run_mode_smoke() {
+        let cat = aqe_storage::tpch::generate(0.001);
+        let q = aqe_queries::tpch::q6(&cat);
+        let phys = physical(&cat, &q);
+        let (d, _, rows) = run_mode(&cat, &phys, ExecMode::Bytecode, 1, false);
+        assert!(d.as_nanos() > 0);
+        assert_eq!(rows.row_count(), 1);
+    }
+}

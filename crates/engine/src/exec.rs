@@ -1,0 +1,779 @@
+//! Query execution: morsel-driven parallelism, hot-swappable function
+//! handles (Fig. 5), and the adaptive controller (Fig. 7).
+//!
+//! "We always start executing every query using the bytecode interpreter and
+//! all available threads. We then monitor the execution progress to decide
+//! whether (unoptimized or optimized) compilation would be beneficial. If
+//! this is the case, we start compiling on a background thread, while the
+//! other threads continue the interpreted execution. Once compilation is
+//! finished, all threads quickly switch to the compiled machine code."
+
+use crate::codegen;
+use crate::plan::{FieldTy, PhysicalPlan, Sink, Source};
+use crate::runtime::{merge_agg_tables, sort_rows, JoinHt, WorkerRt};
+use aqe_ir::Module;
+use aqe_jit::compile::{compile, CompiledFunction, OptLevel};
+use aqe_jit::exec::execute_compiled;
+use aqe_storage::Catalog;
+use aqe_vm::bytecode::BcFunction;
+use aqe_vm::interp::{execute as vm_execute, ExecError, Frame};
+use aqe_vm::rt::Registry;
+use aqe_vm::translate::{translate, TranslateOptions};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Execution modes & cost model
+// ---------------------------------------------------------------------------
+
+/// How to execute a query (Fig. 3's modes plus the two interpreter
+/// baselines of Fig. 2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecMode {
+    /// Direct IR interpretation (the "LLVM interpreter" stand-in).
+    NaiveIr,
+    /// Bytecode VM for every morsel.
+    Bytecode,
+    /// Compile every pipeline without optimization up front.
+    Unoptimized,
+    /// Compile every pipeline with optimization up front.
+    Optimized,
+    /// The paper's contribution: start in bytecode, switch adaptively.
+    Adaptive,
+}
+
+/// The empirical model behind Fig. 7's `ctime(f)` and `speedup(f)`: compile
+/// time is linear in IR instruction count (Fig. 6: "the number of LLVM
+/// instructions of a query correlates very well with its compilation
+/// time"); speedups are global empirical factors (§V-D).
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    pub unopt_base_s: f64,
+    pub unopt_per_instr_s: f64,
+    pub opt_base_s: f64,
+    pub opt_per_instr_s: f64,
+    /// Execution speedup of unoptimized / optimized code over bytecode.
+    pub speedup_unopt: f64,
+    pub speedup_opt: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Defaults measured on this reproduction's backends (see
+        // EXPERIMENTS.md); recalibrate with `CostModel::calibrate`.
+        CostModel {
+            unopt_base_s: 30e-6,
+            unopt_per_instr_s: 0.4e-6,
+            opt_base_s: 80e-6,
+            opt_per_instr_s: 4.0e-6,
+            speedup_unopt: 1.5,
+            speedup_opt: 2.2,
+        }
+    }
+}
+
+impl CostModel {
+    pub fn ctime(&self, level: OptLevel, instrs: usize) -> f64 {
+        match level {
+            OptLevel::Unoptimized => self.unopt_base_s + self.unopt_per_instr_s * instrs as f64,
+            OptLevel::Optimized => self.opt_base_s + self.opt_per_instr_s * instrs as f64,
+        }
+    }
+    pub fn speedup(&self, level: OptLevel) -> f64 {
+        match level {
+            OptLevel::Unoptimized => self.speedup_unopt,
+            OptLevel::Optimized => self.speedup_opt,
+        }
+    }
+}
+
+/// Fig. 7's decision outcome.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ModeChoice {
+    DoNothing,
+    Unoptimized,
+    Optimized,
+}
+
+/// `extrapolatePipelineDurations` (Fig. 7, verbatim structure): given the
+/// remaining tuples `n`, the number of active workers `w`, the observed
+/// current processing rate `r0` (tuples/s per thread), the current mode's
+/// speedup factor over bytecode, and the model, pick the cheapest plan.
+pub fn extrapolate_pipeline_durations(
+    model: &CostModel,
+    instrs: usize,
+    n: f64,
+    w: f64,
+    r0: f64,
+    current_speedup: f64,
+    unopt_available: bool,
+) -> ModeChoice {
+    if r0 <= 0.0 || n <= 0.0 {
+        return ModeChoice::DoNothing;
+    }
+    let r1 = r0 * (model.speedup(OptLevel::Unoptimized) / current_speedup);
+    let c1 = model.ctime(OptLevel::Unoptimized, instrs);
+    let r2 = r0 * (model.speedup(OptLevel::Optimized) / current_speedup);
+    let c2 = model.ctime(OptLevel::Optimized, instrs);
+    let t0 = n / r0 / w;
+    // While compiling, w-1 workers keep processing at the current rate.
+    let t1 = c1 + (n - (w - 1.0) * r0 * c1).max(0.0) / r1 / w;
+    let t2 = c2 + (n - (w - 1.0) * r0 * c2).max(0.0) / r2 / w;
+    let mut best = (t0, ModeChoice::DoNothing);
+    if !unopt_available && t1 < best.0 && r1 > r0 {
+        best = (t1, ModeChoice::Unoptimized);
+    }
+    if t2 < best.0 && r2 > r0 {
+        best = (t2, ModeChoice::Optimized);
+    }
+    best.1
+}
+
+// ---------------------------------------------------------------------------
+// Function handles (Fig. 5)
+// ---------------------------------------------------------------------------
+
+const LEVEL_BC: u8 = 0;
+const LEVEL_UNOPT: u8 = 1;
+const LEVEL_OPT: u8 = 2;
+
+/// "Instead of identifying a worker function by its memory address, we
+/// introduce an additional handle indirection. This object stores multiple
+/// variants of the same function. … to change the execution mode, one only
+/// needs to set a function pointer in this handle object."
+pub struct FunctionHandle {
+    pub bytecode: Arc<BcFunction>,
+    unopt: RwLock<Option<Arc<CompiledFunction>>>,
+    opt: RwLock<Option<Arc<CompiledFunction>>>,
+    /// Best available variant (monotonically increasing).
+    best: AtomicU8,
+    /// A compilation is in flight.
+    compiling: AtomicBool,
+}
+
+/// What `dispatch` resolved for one morsel.
+pub enum Variant {
+    Bytecode(Arc<BcFunction>),
+    Compiled(Arc<CompiledFunction>),
+}
+
+impl FunctionHandle {
+    pub fn new(bytecode: BcFunction) -> Self {
+        FunctionHandle {
+            bytecode: Arc::new(bytecode),
+            unopt: RwLock::new(None),
+            opt: RwLock::new(None),
+            best: AtomicU8::new(LEVEL_BC),
+            compiling: AtomicBool::new(false),
+        }
+    }
+
+    /// "For every single morsel, we then choose the fastest available
+    /// representation."
+    pub fn dispatch(&self) -> (Variant, u8) {
+        match self.best.load(Ordering::Acquire) {
+            LEVEL_OPT => {
+                if let Some(f) = self.opt.read().clone() {
+                    return (Variant::Compiled(f), LEVEL_OPT);
+                }
+                (Variant::Bytecode(self.bytecode.clone()), LEVEL_BC)
+            }
+            LEVEL_UNOPT => {
+                if let Some(f) = self.unopt.read().clone() {
+                    return (Variant::Compiled(f), LEVEL_UNOPT);
+                }
+                (Variant::Bytecode(self.bytecode.clone()), LEVEL_BC)
+            }
+            _ => (Variant::Bytecode(self.bytecode.clone()), LEVEL_BC),
+        }
+    }
+
+    pub fn best_level(&self) -> u8 {
+        self.best.load(Ordering::Acquire)
+    }
+
+    pub fn try_begin_compile(&self) -> bool {
+        !self.compiling.swap(true, Ordering::AcqRel)
+    }
+
+    pub fn install(&self, f: CompiledFunction) {
+        let level = match f.level {
+            OptLevel::Unoptimized => LEVEL_UNOPT,
+            OptLevel::Optimized => LEVEL_OPT,
+        };
+        match f.level {
+            OptLevel::Unoptimized => *self.unopt.write() = Some(Arc::new(f)),
+            OptLevel::Optimized => *self.opt.write() = Some(Arc::new(f)),
+        }
+        self.best.fetch_max(level, Ordering::AcqRel);
+        self.compiling.store(false, Ordering::Release);
+    }
+
+    pub fn has_level(&self, level: u8) -> bool {
+        match level {
+            LEVEL_UNOPT => self.unopt.read().is_some(),
+            LEVEL_OPT => self.opt.read().is_some(),
+            _ => true,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tracing (Fig. 14)
+// ---------------------------------------------------------------------------
+
+/// One trace event (times in µs since query start).
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    pub thread: u16,
+    pub pipeline: u16,
+    /// 0 = bytecode, 1 = unoptimized, 2 = optimized, 255 = compilation.
+    pub kind: u8,
+    pub start_us: u64,
+    pub end_us: u64,
+    pub tuples: u64,
+}
+
+/// Full execution report.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    pub codegen: Duration,
+    pub bc_translate: Duration,
+    /// Up-front compilations (static modes): per pipeline.
+    pub upfront_compile: Duration,
+    pub exec: Duration,
+    pub background_compiles: usize,
+    pub trace: Vec<TraceEvent>,
+    /// Pipeline labels, by pipeline id (for rendering traces).
+    pub pipeline_labels: Vec<String>,
+    /// IR instruction count of the module.
+    pub ir_instrs: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Query state assembly & pipeline finalisation
+// ---------------------------------------------------------------------------
+
+struct QueryState {
+    slots: Vec<u64>,
+    join_hts: Vec<Option<JoinHt>>,
+    agg_rows: Vec<Vec<u64>>, // merged group rows per agg
+    mat_rows: Vec<Vec<u64>>,
+    out_rows: Vec<u64>,
+    /// Keep dictionaries alive for the duration.
+    _dicts: Vec<Arc<Vec<u8>>>,
+}
+
+/// Execution result: dense rows of the output schema.
+#[derive(Clone, Debug)]
+pub struct ResultRows {
+    pub tys: Vec<FieldTy>,
+    pub rows: Vec<u64>,
+}
+
+impl ResultRows {
+    pub fn row_count(&self) -> usize {
+        if self.tys.is_empty() {
+            0
+        } else {
+            self.rows.len() / self.tys.len()
+        }
+    }
+}
+
+/// Execution options.
+#[derive(Clone, Debug)]
+pub struct ExecOptions {
+    pub mode: ExecMode,
+    pub threads: usize,
+    pub trace: bool,
+    pub model: CostModel,
+    /// Initial morsel size; grows ×2 up to `max_morsel` ("we can further
+    /// refine this extrapolation by using a dynamically growing morsel
+    /// size").
+    pub min_morsel: usize,
+    pub max_morsel: usize,
+    /// Delay before the first adaptive evaluation (paper: 1 ms).
+    pub first_eval: Duration,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            mode: ExecMode::Adaptive,
+            threads: 1,
+            trace: false,
+            model: CostModel::default(),
+            min_morsel: 1024,
+            max_morsel: 64 * 1024,
+            first_eval: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Execute a physical plan. Returns the output rows and a report.
+pub fn execute_plan(
+    plan: &PhysicalPlan,
+    cat: &Catalog,
+    opts: &ExecOptions,
+) -> Result<(ResultRows, Report), ExecError> {
+    let mut report = Report {
+        pipeline_labels: plan.pipelines.iter().map(|p| p.label.clone()).collect(),
+        ..Default::default()
+    };
+
+    // ---- code generation -------------------------------------------------
+    let t0 = Instant::now();
+    let module = codegen::generate(plan, cat);
+    report.codegen = t0.elapsed();
+    report.ir_instrs = module.instruction_count();
+
+    execute_module(plan, cat, &module, opts, report)
+}
+
+/// Execute with a pre-generated module (used by benches that time stages).
+pub fn execute_module(
+    plan: &PhysicalPlan,
+    cat: &Catalog,
+    module: &Module,
+    opts: &ExecOptions,
+    mut report: Report,
+) -> Result<(ResultRows, Report), ExecError> {
+    let registry = Arc::new(
+        Registry::for_externs(&module.externs, |name| {
+            codegen::runtime_fns().iter().find(|(n, _)| *n == name).map(|(_, f)| *f)
+        })
+        .expect("runtime registry"),
+    );
+
+    // ---- translate to bytecode (always; it is nearly free) ---------------
+    let t0 = Instant::now();
+    let handles: Vec<Arc<FunctionHandle>> = module
+        .functions
+        .iter()
+        .map(|f| {
+            let bc = translate(f, &module.externs, TranslateOptions::default())
+                .expect("bytecode translation");
+            Arc::new(FunctionHandle::new(bc))
+        })
+        .collect();
+    report.bc_translate = t0.elapsed();
+
+    // ---- up-front compilation for the static compiled modes --------------
+    let t0 = Instant::now();
+    match opts.mode {
+        ExecMode::Unoptimized => {
+            for (f, h) in module.functions.iter().zip(&handles) {
+                h.install(compile(f, &module.externs, OptLevel::Unoptimized).expect("compile"));
+            }
+        }
+        ExecMode::Optimized => {
+            for (f, h) in module.functions.iter().zip(&handles) {
+                h.install(compile(f, &module.externs, OptLevel::Optimized).expect("compile"));
+            }
+        }
+        _ => {}
+    }
+    report.upfront_compile = t0.elapsed();
+
+    // ---- state assembly ---------------------------------------------------
+    let mut state = QueryState {
+        slots: vec![0; plan.state_slots],
+        join_hts: (0..plan.join_hts.len()).map(|_| None).collect(),
+        agg_rows: vec![Vec::new(); plan.aggs.len()],
+        mat_rows: vec![Vec::new(); plan.mats.len()],
+        out_rows: Vec::new(),
+        _dicts: plan.dicts.iter().map(|d| d.bytes.clone()).collect(),
+    };
+    for d in &plan.dicts {
+        state.slots[d.state_slot] = d.bytes.as_ptr() as u64;
+    }
+
+    let agg_shapes: Vec<(usize, Vec<crate::plan::AggFunc>)> =
+        plan.aggs.iter().map(|a| (a.nkeys, a.aggs.clone())).collect();
+
+    let exec_start = Instant::now();
+    let compile_events: Arc<Mutex<Vec<TraceEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let background_compiles = Arc::new(AtomicUsize::new(0));
+
+    // ---- run pipelines in order -------------------------------------------
+    for p in &plan.pipelines {
+        // Resolve the source: base pointers + total work.
+        let total_rows = match &p.source {
+            Source::Table { table, cols, slot_base, .. } => {
+                let t = cat.get(table).expect("unknown table");
+                for (k, &c) in cols.iter().enumerate() {
+                    state.slots[slot_base + k] = t.column(c).base_ptr() as u64;
+                }
+                t.row_count()
+            }
+            Source::Rows { rows_slot, field_tys } => {
+                // Filled by a previous finalize step.
+                let _ = field_tys;
+                state.slots[*rows_slot + 1] as usize
+            }
+        };
+
+        run_pipeline(
+            p.id,
+            &module.functions[p.id],
+            module,
+            &handles[p.id],
+            &registry,
+            total_rows,
+            plan,
+            &agg_shapes,
+            opts,
+            exec_start,
+            &mut report,
+            &compile_events,
+            &background_compiles,
+            &mut state,
+        )?;
+    }
+
+    report.background_compiles = background_compiles.load(Ordering::Relaxed);
+    report.exec = exec_start.elapsed();
+    report.trace.extend(compile_events.lock().drain(..));
+    report.trace.sort_by_key(|e| (e.thread, e.start_us));
+
+    // ---- final output ------------------------------------------------------
+    let rows = std::mem::take(&mut state.out_rows);
+    Ok((ResultRows { tys: plan.output_tys.clone(), rows }, report))
+}
+
+/// Widest row any sink of the plan stages into the row buffer.
+fn plan_max_row_width(plan: &PhysicalPlan) -> usize {
+    let mut w = plan.output_tys.len();
+    for ht in &plan.join_hts {
+        w = w.max(ht.nkeys + ht.payload);
+    }
+    for a in &plan.aggs {
+        w = w.max(a.nkeys + a.aggs.len());
+    }
+    for m in &plan.mats {
+        w = w.max(m.width);
+    }
+    w
+}
+
+/// Per-pipeline progress shared between workers and the decider.
+struct Progress {
+    next: AtomicU64,
+    done_tuples: AtomicU64,
+    /// Tuples processed since the last rate reset and its start time.
+    since_reset: AtomicU64,
+    reset_at: Mutex<Instant>,
+    deciding: AtomicBool,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_pipeline(
+    pid: usize,
+    function: &aqe_ir::Function,
+    module: &Module,
+    handle: &Arc<FunctionHandle>,
+    registry: &Arc<Registry>,
+    total_rows: usize,
+    plan: &PhysicalPlan,
+    agg_shapes: &[(usize, Vec<crate::plan::AggFunc>)],
+    opts: &ExecOptions,
+    exec_start: Instant,
+    report: &mut Report,
+    compile_events: &Arc<Mutex<Vec<TraceEvent>>>,
+    background_compiles: &Arc<AtomicUsize>,
+    state: &mut QueryState,
+) -> Result<(), ExecError> {
+    let threads = opts.threads.max(1);
+    let progress = Progress {
+        next: AtomicU64::new(0),
+        done_tuples: AtomicU64::new(0),
+        since_reset: AtomicU64::new(0),
+        reset_at: Mutex::new(Instant::now()),
+        deciding: AtomicBool::new(false),
+    };
+    let pipeline_start = Instant::now();
+    let instrs = function.instruction_count();
+    let state_ptr = state.slots.as_ptr() as u64;
+    let error: Mutex<Option<ExecError>> = Mutex::new(None);
+    let adaptive = opts.mode == ExecMode::Adaptive;
+    let naive = opts.mode == ExecMode::NaiveIr;
+
+    // Worker runtimes, one per thread (created up front so finalize can
+    // collect them after the scope).
+    let row_buf_slots = plan_max_row_width(plan);
+    let mut worker_rts: Vec<Box<WorkerRt>> = (0..threads)
+        .map(|_| {
+            WorkerRt::with_row_buf(plan.join_hts.len(), agg_shapes, plan.mats.len(), row_buf_slots)
+        })
+        .collect();
+    let mut thread_traces: Vec<Vec<TraceEvent>> = vec![Vec::new(); threads];
+
+    std::thread::scope(|scope| {
+        for (tid, (wrt, ttrace)) in
+            worker_rts.iter_mut().zip(thread_traces.iter_mut()).enumerate()
+        {
+            let progress = &progress;
+            let error = &error;
+            let handle = handle.clone();
+            let registry = registry.clone();
+            let model = opts.model;
+            let compile_events = compile_events.clone();
+            let background_compiles = background_compiles.clone();
+            let worker_function =
+                if adaptive || naive { Some(function.clone()) } else { None };
+            let externs = module.externs.clone();
+            scope.spawn(move || {
+                let wctx = wrt.wctx_ptr();
+                let mut frame = Frame::new();
+                let mut morsel_size = opts.min_morsel as u64;
+                let mut morsel_count = 0u64;
+                loop {
+                    if error.lock().is_some() {
+                        return;
+                    }
+                    let begin = progress.next.fetch_add(morsel_size, Ordering::Relaxed);
+                    if begin >= total_rows as u64 {
+                        return;
+                    }
+                    let end = (begin + morsel_size).min(total_rows as u64);
+                    let t_m0 = exec_start.elapsed().as_micros() as u64;
+                    let args = [wctx, state_ptr, begin, end];
+                    let (variant, level) = if naive {
+                        (None, LEVEL_BC)
+                    } else {
+                        let (v, l) = handle.dispatch();
+                        (Some(v), l)
+                    };
+                    let r = match &variant {
+                        // Direct IR interpretation mode (Fig. 2's "LLVM IR").
+                        None => aqe_vm::naive::interpret(
+                            worker_function.as_ref().expect("naive mode keeps the IR"),
+                            &args,
+                            &registry,
+                        ),
+                        Some(Variant::Bytecode(bc)) => vm_execute(bc, &args, &registry, &mut frame),
+                        Some(Variant::Compiled(cf)) => {
+                            execute_compiled(cf, &args, &registry, &mut frame)
+                        }
+                    };
+                    if let Err(e) = r {
+                        *error.lock() = Some(e);
+                        return;
+                    }
+                    let tuples = end - begin;
+                    progress.done_tuples.fetch_add(tuples, Ordering::Relaxed);
+                    progress.since_reset.fetch_add(tuples, Ordering::Relaxed);
+                    if opts.trace {
+                        ttrace.push(TraceEvent {
+                            thread: tid as u16,
+                            pipeline: pid as u16,
+                            kind: level,
+                            start_us: t_m0,
+                            end_us: exec_start.elapsed().as_micros() as u64,
+                            tuples,
+                        });
+                    }
+                    morsel_count += 1;
+                    if morsel_count.is_power_of_two() && morsel_size < opts.max_morsel as u64 {
+                        morsel_size *= 2;
+                    }
+
+                    // ---- adaptive decision (Fig. 7) -----------------------
+                    if adaptive
+                        && pipeline_start.elapsed() >= opts.first_eval
+                        && !progress.deciding.swap(true, Ordering::AcqRel)
+                    {
+                        let done = progress.done_tuples.load(Ordering::Relaxed);
+                        let n = (total_rows as u64).saturating_sub(done) as f64;
+                        let since = progress.since_reset.load(Ordering::Relaxed) as f64;
+                        let elapsed = progress.reset_at.lock().elapsed().as_secs_f64();
+                        let w = threads as f64;
+                        let r0 = if elapsed > 0.0 { since / elapsed / w } else { 0.0 };
+                        let cur_level = handle.best_level();
+                        let cur_speedup = match cur_level {
+                            LEVEL_UNOPT => model.speedup(OptLevel::Unoptimized),
+                            LEVEL_OPT => model.speedup(OptLevel::Optimized),
+                            _ => 1.0,
+                        };
+                        let choice = extrapolate_pipeline_durations(
+                            &model,
+                            instrs,
+                            n,
+                            w,
+                            r0,
+                            cur_speedup,
+                            cur_level >= LEVEL_UNOPT,
+                        );
+                        let target = match choice {
+                            ModeChoice::DoNothing => None,
+                            ModeChoice::Unoptimized if cur_level < LEVEL_UNOPT => {
+                                Some(OptLevel::Unoptimized)
+                            }
+                            ModeChoice::Optimized if cur_level < LEVEL_OPT => {
+                                Some(OptLevel::Optimized)
+                            }
+                            _ => None,
+                        };
+                        if let Some(level) = target {
+                            if handle.try_begin_compile() {
+                                // "the thread compiles the worker function
+                                // and resets all processing rates" — we hand
+                                // the compile to a background thread (§III:
+                                // compilation is single-threaded, the other
+                                // workers keep going).
+                                let h = handle.clone();
+                                let f = worker_function.clone().unwrap();
+                                let externs = externs.clone();
+                                let events = compile_events.clone();
+                                let counter = background_compiles.clone();
+                                let t_c0 = exec_start.elapsed().as_micros() as u64;
+                                std::thread::spawn(move || {
+                                    if let Ok(cf) = compile(&f, &externs, level) {
+                                        let t_c1 =
+                                            exec_start.elapsed().as_micros() as u64;
+                                        events.lock().push(TraceEvent {
+                                            thread: u16::MAX,
+                                            pipeline: pid as u16,
+                                            kind: 255,
+                                            start_us: t_c0,
+                                            end_us: t_c1,
+                                            tuples: 0,
+                                        });
+                                        counter.fetch_add(1, Ordering::Relaxed);
+                                        h.install(cf);
+                                    }
+                                });
+                                progress.since_reset.store(0, Ordering::Relaxed);
+                                *progress.reset_at.lock() = Instant::now();
+                            }
+                        }
+                        progress.deciding.store(false, Ordering::Release);
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = error.into_inner() {
+        return Err(e);
+    }
+    for t in thread_traces {
+        report.trace.extend(t);
+    }
+
+    // ---- pipeline finalize (the "queryStart" host side) --------------------
+    let pipeline = &plan.pipelines[pid];
+    match &pipeline.sink {
+        Sink::BuildJoin { ht, keys, payload } => {
+            let bufs: Vec<Vec<u64>> = worker_rts
+                .iter_mut()
+                .map(|w| std::mem::take(&mut w.join_bufs[*ht]))
+                .collect();
+            let table = JoinHt::build(keys.len(), payload.len(), &bufs);
+            let spec = &plan.join_hts[*ht];
+            state.slots[spec.state_slot] = table.buckets.as_ptr() as u64;
+            state.slots[spec.state_slot + 1] = table.mask;
+            state.join_hts[*ht] = Some(table);
+        }
+        Sink::BuildAgg { agg, .. } => {
+            let spec = &plan.aggs[*agg];
+            let tables: Vec<crate::runtime::AggTable> = worker_rts
+                .iter_mut()
+                .map(|w| {
+                    let fresh = crate::runtime::AggTable::new(spec.nkeys, &spec.aggs);
+                    std::mem::replace(&mut w.agg_tables[*agg], fresh)
+                })
+                .collect();
+            let rows = merge_agg_tables(&tables, spec.nkeys, &spec.aggs)?;
+            let width = spec.nkeys + spec.aggs.len();
+            let nrows = if width == 0 { 0 } else { rows.len() / width };
+            state.agg_rows[*agg] = rows;
+            state.slots[spec.rows_slot] = state.agg_rows[*agg].as_ptr() as u64;
+            state.slots[spec.rows_slot + 1] = nrows as u64;
+        }
+        Sink::Materialize { mat } => {
+            let spec = &plan.mats[*mat];
+            let mut rows: Vec<u64> = Vec::new();
+            for w in worker_rts.iter_mut() {
+                rows.append(&mut w.mat_bufs[*mat]);
+            }
+            if let Some((keys, limit)) = &spec.sort {
+                sort_rows(&mut rows, spec.width, keys, *limit);
+            }
+            state.mat_rows[*mat] = rows;
+            state.slots[spec.rows_slot] = state.mat_rows[*mat].as_ptr() as u64;
+            state.slots[spec.rows_slot + 1] =
+                (state.mat_rows[*mat].len() / spec.width.max(1)) as u64;
+        }
+        Sink::Emit => {
+            for w in worker_rts.iter_mut() {
+                state.out_rows.append(&mut w.out_buf);
+            }
+        }
+    }
+
+    // A root sort materialises; expose it as the output.
+    if pid == plan.pipelines.len() - 1 {
+        if let Sink::Materialize { mat } = &pipeline.sink {
+            state.out_rows = std::mem::take(&mut state.mat_rows[*mat]);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extrapolation_prefers_interpretation_for_tiny_work() {
+        let m = CostModel::default();
+        // 1k remaining tuples at 1M tuples/s: finishes in 1ms — never worth
+        // hundreds of µs of compilation.
+        let c = extrapolate_pipeline_durations(&m, 5000, 1e3, 4.0, 1e6, 1.0, false);
+        assert_eq!(c, ModeChoice::DoNothing);
+    }
+
+    #[test]
+    fn extrapolation_compiles_for_large_work() {
+        let m = CostModel::default();
+        // 100M tuples at 10M tuples/s/thread: worth compiling.
+        let c = extrapolate_pipeline_durations(&m, 5000, 1e8, 4.0, 1e7, 1.0, false);
+        assert_ne!(c, ModeChoice::DoNothing);
+    }
+
+    #[test]
+    fn extrapolation_upgrades_from_unopt_to_opt() {
+        let m = CostModel::default();
+        // Already running unoptimized code (speedup factor applied); for
+        // huge remaining work the optimized mode should still win.
+        let c = extrapolate_pipeline_durations(&m, 2000, 1e9, 4.0, 2e7, m.speedup_unopt, true);
+        assert_eq!(c, ModeChoice::Optimized);
+    }
+
+    #[test]
+    fn handle_dispatch_upgrades() {
+        use aqe_ir::{FunctionBuilder, Type};
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let p = b.param(0);
+        b.ret(Some(p.into()));
+        let f = b.finish().unwrap();
+        let bc = translate(&f, &[], TranslateOptions::default()).unwrap();
+        let h = FunctionHandle::new(bc);
+        assert!(matches!(h.dispatch().0, Variant::Bytecode(_)));
+        assert_eq!(h.best_level(), LEVEL_BC);
+        assert!(h.try_begin_compile());
+        assert!(!h.try_begin_compile(), "second compile attempt must be rejected");
+        let cf = compile(&f, &[], OptLevel::Unoptimized).unwrap();
+        h.install(cf);
+        assert_eq!(h.best_level(), LEVEL_UNOPT);
+        assert!(matches!(h.dispatch().0, Variant::Compiled(_)));
+        assert!(h.try_begin_compile(), "compiles allowed again after install");
+        let cf = compile(&f, &[], OptLevel::Optimized).unwrap();
+        h.install(cf);
+        assert_eq!(h.best_level(), LEVEL_OPT);
+    }
+}

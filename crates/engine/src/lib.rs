@@ -1,0 +1,21 @@
+//! # aqe-engine — adaptive execution of compiled queries (the paper's §III)
+//!
+//! The core crate of this reproduction: a compiling, morsel-driven query
+//! engine whose pipelines start in the bytecode interpreter and adaptively
+//! switch to compiled code based on observed progress.
+//!
+//! * [`plan`] — physical plans and their decomposition into pipelines;
+//! * [`codegen`] — pipelines → IR worker functions (Fig. 4);
+//! * [`runtime`] — hash tables, buffers, and the runtime-call surface;
+//! * [`exec`] — morsel scheduling, hot-swappable function handles (Fig. 5),
+//!   and the adaptive controller (Fig. 7).
+
+pub mod codegen;
+pub mod exec;
+pub mod plan;
+pub mod runtime;
+
+pub use exec::{
+    execute_plan, CostModel, ExecMode, ExecOptions, Report, ResultRows, TraceEvent,
+};
+pub use plan::{PhysicalPlan, PlanNode};

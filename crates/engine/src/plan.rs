@@ -1,0 +1,688 @@
+//! Physical plans: expressions, operators, and the decomposition of a plan
+//! tree into **pipelines** — the unit at which the paper tracks progress and
+//! chooses execution modes ("The tracking and the decision to compile is not
+//! done for the entire query, but for a specific query pipeline", §III).
+
+use aqe_storage::{Catalog, DataType};
+use std::sync::Arc;
+
+/// The runtime representation type of a field flowing through a pipeline.
+/// Everything is widened to 64 bits: integers/dates/decimals/string codes as
+/// `i64`, floats as `f64`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FieldTy {
+    I64,
+    F64,
+}
+
+/// Arithmetic operators. `checked` additions/subtractions/multiplications
+/// compile to the overflow-checked pattern (the §IV-F macro op); SQL decimal
+/// and integer arithmetic is checked, like HyPer's ("Any arithmetic that
+/// occurs within a query is checked for overflows").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Comparison predicates (type-directed: float or int).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// A scalar expression over the current pipeline's field vector.
+#[derive(Clone, Debug)]
+pub enum PExpr {
+    /// Field by index.
+    Col(usize),
+    /// Integer/decimal/date/string-code literal.
+    ConstI(i64),
+    ConstF(f64),
+    Arith { op: ArithOp, checked: bool, float: bool, a: Box<PExpr>, b: Box<PExpr> },
+    Cmp { op: CmpOp, float: bool, a: Box<PExpr>, b: Box<PExpr> },
+    And(Box<PExpr>, Box<PExpr>),
+    Or(Box<PExpr>, Box<PExpr>),
+    Not(Box<PExpr>),
+    /// Membership in a small constant list (ints / string codes).
+    InList { v: Box<PExpr>, list: Vec<i64> },
+    /// `CASE WHEN cond THEN t ELSE f`.
+    Case { cond: Box<PExpr>, t: Box<PExpr>, f: Box<PExpr>, float: bool },
+    /// Plan-time dictionary lookup table: `table[field_value]`, used for
+    /// LIKE/prefix predicates (u8 match bitmap) and ORDER BY on dictionary
+    /// codes (u32 rank table). The table lives in a state slot.
+    DictLookup { v: Box<PExpr>, table: usize, elem_size: u8 },
+    /// Integer→float conversion.
+    IToF(Box<PExpr>),
+}
+
+impl PExpr {
+    pub fn col(i: usize) -> PExpr {
+        PExpr::Col(i)
+    }
+    pub fn coli(i: usize) -> Box<PExpr> {
+        Box::new(PExpr::Col(i))
+    }
+    pub fn arith(op: ArithOp, checked: bool, float: bool, a: PExpr, b: PExpr) -> PExpr {
+        PExpr::Arith { op, checked, float, a: Box::new(a), b: Box::new(b) }
+    }
+    pub fn cmp(op: CmpOp, float: bool, a: PExpr, b: PExpr) -> PExpr {
+        PExpr::Cmp { op, float, a: Box::new(a), b: Box::new(b) }
+    }
+    pub fn and(a: PExpr, b: PExpr) -> PExpr {
+        PExpr::And(Box::new(a), Box::new(b))
+    }
+    pub fn or(a: PExpr, b: PExpr) -> PExpr {
+        PExpr::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Result representation type given the input field types.
+    pub fn ty(&self, fields: &[FieldTy]) -> FieldTy {
+        match self {
+            PExpr::Col(i) => fields[*i],
+            PExpr::ConstI(_) => FieldTy::I64,
+            PExpr::ConstF(_) => FieldTy::F64,
+            PExpr::Arith { float, .. } => {
+                if *float {
+                    FieldTy::F64
+                } else {
+                    FieldTy::I64
+                }
+            }
+            PExpr::Case { float, .. } => {
+                if *float {
+                    FieldTy::F64
+                } else {
+                    FieldTy::I64
+                }
+            }
+            PExpr::IToF(_) => FieldTy::F64,
+            _ => FieldTy::I64, // comparisons/logic produce 0/1
+        }
+    }
+}
+
+/// Aggregate accumulator primitives. `Avg` is expanded by the frontend into
+/// `Sum` + `Count` plus a post-projection.
+#[derive(Clone, Debug)]
+pub enum AggFunc {
+    /// Overflow-checked integer/decimal sum.
+    SumI,
+    SumF,
+    CountStar,
+    MinI,
+    MaxI,
+    MinF,
+    MaxF,
+}
+
+impl AggFunc {
+    pub fn result_ty(&self) -> FieldTy {
+        match self {
+            AggFunc::SumF | AggFunc::MinF | AggFunc::MaxF => FieldTy::F64,
+            _ => FieldTy::I64,
+        }
+    }
+    /// Initial accumulator bit pattern.
+    pub fn init_bits(&self) -> u64 {
+        match self {
+            AggFunc::SumI | AggFunc::SumF | AggFunc::CountStar => 0,
+            AggFunc::MinI => i64::MAX as u64,
+            AggFunc::MaxI => i64::MIN as u64,
+            AggFunc::MinF => f64::INFINITY.to_bits(),
+            AggFunc::MaxF => f64::NEG_INFINITY.to_bits(),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    /// Argument expression (None for COUNT(*)).
+    pub arg: Option<PExpr>,
+}
+
+/// Join kinds supported by the hash join.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JoinKind {
+    Inner,
+    /// Probe row passes if at least one build match exists.
+    Semi,
+    /// Probe row passes if no build match exists.
+    Anti,
+}
+
+/// Sort key: field index, ascending?, float?.
+#[derive(Clone, Copy, Debug)]
+pub struct SortKey {
+    pub field: usize,
+    pub asc: bool,
+    pub float: bool,
+}
+
+/// The physical plan tree (also interpreted directly by the Volcano and
+/// vectorized baseline engines).
+#[derive(Clone, Debug)]
+pub enum PlanNode {
+    Scan {
+        table: String,
+        /// Table column indices projected into the pipeline, in field order.
+        cols: Vec<usize>,
+        /// Optional pushed-down predicate over the projected fields.
+        filter: Option<PExpr>,
+    },
+    Filter {
+        input: Box<PlanNode>,
+        pred: PExpr,
+    },
+    Project {
+        input: Box<PlanNode>,
+        exprs: Vec<PExpr>,
+    },
+    HashJoin {
+        build: Box<PlanNode>,
+        probe: Box<PlanNode>,
+        /// Key field indices on each side (equal length, equal types).
+        build_keys: Vec<usize>,
+        probe_keys: Vec<usize>,
+        /// Build-side field indices carried as payload (inner joins only).
+        build_payload: Vec<usize>,
+        kind: JoinKind,
+    },
+    HashAgg {
+        input: Box<PlanNode>,
+        group_by: Vec<usize>,
+        aggs: Vec<AggSpec>,
+    },
+    Sort {
+        input: Box<PlanNode>,
+        keys: Vec<SortKey>,
+        limit: Option<usize>,
+    },
+}
+
+impl PlanNode {
+    /// Output field types of this node, resolving scans against a catalog.
+    pub fn output_types(&self, cat: &Catalog) -> Vec<FieldTy> {
+        match self {
+            PlanNode::Scan { table, cols, .. } => {
+                let t = cat.get(table).expect("unknown table in plan");
+                cols.iter()
+                    .map(|&c| match t.column_type(c) {
+                        DataType::Float64 => FieldTy::F64,
+                        _ => FieldTy::I64,
+                    })
+                    .collect()
+            }
+            PlanNode::Filter { input, .. } => input.output_types(cat),
+            PlanNode::Project { input, exprs } => {
+                let inp = input.output_types(cat);
+                exprs.iter().map(|e| e.ty(&inp)).collect()
+            }
+            PlanNode::HashJoin { build, probe, build_payload, kind, .. } => {
+                let mut out = probe.output_types(cat);
+                if *kind == JoinKind::Inner {
+                    let b = build.output_types(cat);
+                    out.extend(build_payload.iter().map(|&i| b[i]));
+                }
+                out
+            }
+            PlanNode::HashAgg { input, group_by, aggs } => {
+                let inp = input.output_types(cat);
+                let mut out: Vec<FieldTy> = group_by.iter().map(|&g| inp[g]).collect();
+                out.extend(aggs.iter().map(|a| a.func.result_ty()));
+                out
+            }
+            PlanNode::Sort { input, .. } => input.output_types(cat),
+        }
+    }
+
+    /// Rough cardinality used only for ordering diagnostics (the adaptive
+    /// engine deliberately does *not* rely on estimates — §III: "Without
+    /// relying on the notoriously inaccurate cost estimates of query
+    /// optimizers").
+    pub fn estimate_rows(&self, cat: &Catalog) -> usize {
+        match self {
+            PlanNode::Scan { table, .. } => cat.get(table).map(|t| t.row_count()).unwrap_or(0),
+            PlanNode::Filter { input, .. } => input.estimate_rows(cat) / 3,
+            PlanNode::Project { input, .. } => input.estimate_rows(cat),
+            PlanNode::HashJoin { probe, .. } => probe.estimate_rows(cat),
+            PlanNode::HashAgg { input, .. } => (input.estimate_rows(cat) / 10).max(1),
+            PlanNode::Sort { input, .. } => input.estimate_rows(cat),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline decomposition
+// ---------------------------------------------------------------------------
+
+/// Data source of a pipeline.
+#[derive(Clone, Debug)]
+pub enum Source {
+    /// Morsel-wise scan over a base table's columns. `slot_base` is the
+    /// first state slot holding the column base pointers (one per column).
+    Table { table: String, cols: Vec<usize>, field_tys: Vec<FieldTy>, slot_base: usize },
+    /// Morsel-wise scan over materialised rows (aggregate groups, sorted
+    /// runs): `state[rows_slot]` = base pointer, `state[rows_slot+1]` = row
+    /// count; rows are dense `u64` arrays of `field_tys.len()` slots.
+    Rows { rows_slot: usize, field_tys: Vec<FieldTy> },
+}
+
+impl Source {
+    pub fn field_tys(&self) -> &[FieldTy] {
+        match self {
+            Source::Table { field_tys, .. } | Source::Rows { field_tys, .. } => field_tys,
+        }
+    }
+}
+
+/// In-pipeline operators (consume one tuple, produce zero or more).
+#[derive(Clone, Debug)]
+pub enum PipeOp {
+    Filter(PExpr),
+    Project(Vec<PExpr>),
+    Probe {
+        ht: usize,
+        keys: Vec<usize>,
+        kind: JoinKind,
+        /// Types of the payload fields appended on inner matches.
+        payload_tys: Vec<FieldTy>,
+    },
+}
+
+/// Pipeline terminator.
+#[derive(Clone, Debug)]
+pub enum Sink {
+    /// Append `[keys…, payload…]` rows into join hash table `ht`.
+    BuildJoin { ht: usize, keys: Vec<usize>, payload: Vec<usize> },
+    /// Group into aggregate table `agg`.
+    BuildAgg { agg: usize, group_by: Vec<usize>, aggs: Vec<AggSpec> },
+    /// Materialise all fields into buffer `mat` (sorted by the host
+    /// afterwards when `sort` is set).
+    Materialize { mat: usize },
+    /// Append all fields to the query output.
+    Emit,
+}
+
+/// One pipeline: source → ops → sink.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    pub id: usize,
+    pub source: Source,
+    pub ops: Vec<PipeOp>,
+    pub sink: Sink,
+    /// Human-readable label for traces (Fig. 14 shows e.g. "scan partsupp").
+    pub label: String,
+}
+
+/// A join hash table's shape.
+#[derive(Clone, Debug)]
+pub struct JoinHtSpec {
+    pub nkeys: usize,
+    pub payload: usize,
+    /// State slots: `[buckets_ptr, mask]`.
+    pub state_slot: usize,
+}
+
+/// An aggregate table's shape.
+#[derive(Clone, Debug)]
+pub struct AggSpec2 {
+    pub nkeys: usize,
+    pub aggs: Vec<AggFunc>,
+    /// Result row slot for the post-merge scan: `[rows_ptr, row_count]`.
+    pub rows_slot: usize,
+}
+
+/// A materialisation buffer's shape.
+#[derive(Clone, Debug)]
+pub struct MatSpec {
+    pub width: usize,
+    pub sort: Option<(Vec<SortKey>, Option<usize>)>,
+    pub rows_slot: usize,
+}
+
+/// Dictionary lookup tables referenced by `PExpr::DictLookup`.
+#[derive(Clone, Debug)]
+pub struct DictTable {
+    pub bytes: Arc<Vec<u8>>,
+    pub elem_size: u8,
+    pub state_slot: usize,
+}
+
+/// The fully decomposed query: what the engine executes.
+#[derive(Clone, Debug)]
+pub struct PhysicalPlan {
+    pub pipelines: Vec<Pipeline>,
+    pub join_hts: Vec<JoinHtSpec>,
+    pub aggs: Vec<AggSpec2>,
+    pub mats: Vec<MatSpec>,
+    pub dicts: Vec<DictTable>,
+    /// Total number of u64 state slots.
+    pub state_slots: usize,
+    /// Output field types (the final Emit/Materialize schema).
+    pub output_tys: Vec<FieldTy>,
+    /// Whether output order is defined (root sort).
+    pub sorted_output: bool,
+}
+
+/// Decomposes a plan tree into pipelines (HyPer-style: hash-table builds,
+/// aggregations, and sorts break pipelines; Fig. 4's example becomes three
+/// worker functions).
+pub struct Decomposer<'a> {
+    cat: &'a Catalog,
+    pipelines: Vec<Pipeline>,
+    join_hts: Vec<JoinHtSpec>,
+    aggs: Vec<AggSpec2>,
+    mats: Vec<MatSpec>,
+    pub dicts: Vec<DictTable>,
+    state_slots: usize,
+}
+
+impl<'a> Decomposer<'a> {
+    pub fn new(cat: &'a Catalog) -> Self {
+        Decomposer {
+            cat,
+            pipelines: Vec::new(),
+            join_hts: Vec::new(),
+            aggs: Vec::new(),
+            mats: Vec::new(),
+            dicts: Vec::new(),
+            state_slots: 0,
+        }
+    }
+
+    fn alloc_slots(&mut self, n: usize) -> usize {
+        let s = self.state_slots;
+        self.state_slots += n;
+        s
+    }
+
+    /// Register a dictionary lookup table, returning its index for
+    /// `PExpr::DictLookup`.
+    pub fn add_dict(&mut self, bytes: Vec<u8>, elem_size: u8) -> usize {
+        let slot = self.alloc_slots(1);
+        self.dicts.push(DictTable { bytes: Arc::new(bytes), elem_size, state_slot: slot });
+        self.dicts.len() - 1
+    }
+
+    /// Decompose `root` and finish the physical plan.
+    pub fn finish(mut self, root: &PlanNode) -> PhysicalPlan {
+        let output_tys = root.output_types(self.cat);
+        let sorted_output = matches!(root, PlanNode::Sort { .. });
+        // The root pipeline: either the sort materialisation or a plain emit.
+        match root {
+            PlanNode::Sort { input, keys, limit } => {
+                let width = input.output_types(self.cat).len();
+                let rows_slot = self.alloc_slots(2);
+                let mat = self.mats.len();
+                self.mats.push(MatSpec {
+                    width,
+                    sort: Some((keys.clone(), *limit)),
+                    rows_slot,
+                });
+                let (source, ops, label) = self.compile_stream(input);
+                self.pipelines.push(Pipeline {
+                    id: self.pipelines.len(),
+                    source,
+                    ops,
+                    sink: Sink::Materialize { mat },
+                    label,
+                });
+            }
+            _ => {
+                let (source, ops, label) = self.compile_stream(root);
+                self.pipelines.push(Pipeline {
+                    id: self.pipelines.len(),
+                    source,
+                    ops,
+                    sink: Sink::Emit,
+                    label,
+                });
+            }
+        }
+        PhysicalPlan {
+            pipelines: self.pipelines,
+            join_hts: self.join_hts,
+            aggs: self.aggs,
+            mats: self.mats,
+            dicts: self.dicts,
+            state_slots: self.state_slots,
+            output_tys,
+            sorted_output,
+        }
+    }
+
+    /// Compile a node into (source, in-pipeline ops) for the pipeline that
+    /// *consumes* its output, emitting any upstream pipelines along the way.
+    fn compile_stream(&mut self, node: &PlanNode) -> (Source, Vec<PipeOp>, String) {
+        match node {
+            PlanNode::Scan { table, cols, filter } => {
+                let t = self.cat.get(table).expect("unknown table");
+                let field_tys = node.output_types(self.cat);
+                let mut ops = Vec::new();
+                if let Some(f) = filter {
+                    ops.push(PipeOp::Filter(f.clone()));
+                }
+                let _ = t;
+                let slot_base = self.alloc_slots(cols.len());
+                (
+                    Source::Table { table: table.clone(), cols: cols.clone(), field_tys, slot_base },
+                    ops,
+                    format!("scan {table}"),
+                )
+            }
+            PlanNode::Filter { input, pred } => {
+                let (src, mut ops, label) = self.compile_stream(input);
+                ops.push(PipeOp::Filter(pred.clone()));
+                (src, ops, label)
+            }
+            PlanNode::Project { input, exprs } => {
+                let (src, mut ops, label) = self.compile_stream(input);
+                ops.push(PipeOp::Project(exprs.clone()));
+                (src, ops, label)
+            }
+            PlanNode::HashJoin { build, probe, build_keys, probe_keys, build_payload, kind } => {
+                // Build side becomes its own pipeline (Fig. 4: workerA/B).
+                let build_tys = build.output_types(self.cat);
+                let ht = self.join_hts.len();
+                let state_slot = self.alloc_slots(2);
+                self.join_hts.push(JoinHtSpec {
+                    nkeys: build_keys.len(),
+                    payload: build_payload.len(),
+                    state_slot,
+                });
+                let (bsrc, bops, blabel) = self.compile_stream(build);
+                self.pipelines.push(Pipeline {
+                    id: self.pipelines.len(),
+                    source: bsrc,
+                    ops: bops,
+                    sink: Sink::BuildJoin {
+                        ht,
+                        keys: build_keys.clone(),
+                        payload: build_payload.clone(),
+                    },
+                    label: format!("build {blabel}"),
+                });
+                // Probe side continues the current pipeline.
+                let (psrc, mut pops, plabel) = self.compile_stream(probe);
+                pops.push(PipeOp::Probe {
+                    ht,
+                    keys: probe_keys.clone(),
+                    kind: *kind,
+                    payload_tys: build_payload.iter().map(|&i| build_tys[i]).collect(),
+                });
+                (psrc, pops, plabel)
+            }
+            PlanNode::HashAgg { input, group_by, aggs } => {
+                let agg = self.aggs.len();
+                let rows_slot = self.alloc_slots(2);
+                self.aggs.push(AggSpec2 {
+                    nkeys: group_by.len(),
+                    aggs: aggs.iter().map(|a| a.func.clone()).collect(),
+                    rows_slot,
+                });
+                let (src, ops, label) = self.compile_stream(input);
+                self.pipelines.push(Pipeline {
+                    id: self.pipelines.len(),
+                    source: src,
+                    ops,
+                    sink: Sink::BuildAgg {
+                        agg,
+                        group_by: group_by.clone(),
+                        aggs: aggs.clone(),
+                    },
+                    label: format!("agg {label}"),
+                });
+                // The consuming pipeline scans the merged groups.
+                let field_tys = node.output_types(self.cat);
+                (Source::Rows { rows_slot, field_tys }, Vec::new(), "hash table scan".into())
+            }
+            PlanNode::Sort { input, keys, limit } => {
+                // A non-root sort materialises and is rescanned.
+                let width = input.output_types(self.cat).len();
+                let rows_slot = self.alloc_slots(2);
+                let mat = self.mats.len();
+                self.mats.push(MatSpec {
+                    width,
+                    sort: Some((keys.clone(), *limit)),
+                    rows_slot,
+                });
+                let (src, ops, label) = self.compile_stream(input);
+                self.pipelines.push(Pipeline {
+                    id: self.pipelines.len(),
+                    source: src,
+                    ops,
+                    sink: Sink::Materialize { mat },
+                    label: format!("sort {label}"),
+                });
+                let field_tys = node.output_types(self.cat);
+                (Source::Rows { rows_slot, field_tys }, Vec::new(), "sorted scan".into())
+            }
+        }
+    }
+}
+
+/// Convenience entry point.
+pub fn decompose(cat: &Catalog, root: &PlanNode, dicts: Vec<DictTable>) -> PhysicalPlan {
+    let mut d = Decomposer::new(cat);
+    d.dicts = dicts;
+    // dict state slots were allocated by the caller through `Decomposer`; if
+    // dicts came in pre-built, re-home their slots now.
+    if !d.dicts.is_empty() {
+        for i in 0..d.dicts.len() {
+            let slot = d.alloc_slots(1);
+            d.dicts[i].state_slot = slot;
+        }
+    }
+    d.finish(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqe_storage::tpch;
+
+    fn cat() -> Catalog {
+        tpch::generate(0.001)
+    }
+
+    fn li_scan() -> PlanNode {
+        PlanNode::Scan {
+            table: "lineitem".into(),
+            cols: vec![4, 5, 6], // quantity, extendedprice, discount
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn single_scan_agg_decomposes_into_two_pipelines() {
+        let cat = cat();
+        let plan = PlanNode::HashAgg {
+            input: Box::new(li_scan()),
+            group_by: vec![],
+            aggs: vec![AggSpec { func: AggFunc::SumI, arg: Some(PExpr::Col(1)) }],
+        };
+        let phys = decompose(&cat, &plan, vec![]);
+        // agg build pipeline + group scan/emit pipeline
+        assert_eq!(phys.pipelines.len(), 2);
+        assert!(matches!(phys.pipelines[0].sink, Sink::BuildAgg { .. }));
+        assert!(matches!(phys.pipelines[1].sink, Sink::Emit));
+        assert!(matches!(phys.pipelines[1].source, Source::Rows { .. }));
+        assert_eq!(phys.aggs.len(), 1);
+    }
+
+    #[test]
+    fn join_decomposes_build_before_probe() {
+        let cat = cat();
+        let build = PlanNode::Scan { table: "supplier".into(), cols: vec![0, 3], filter: None };
+        let probe = li_scan();
+        let plan = PlanNode::HashJoin {
+            build: Box::new(build),
+            probe: Box::new(probe),
+            build_keys: vec![0],
+            probe_keys: vec![0],
+            build_payload: vec![1],
+            kind: JoinKind::Inner,
+        };
+        let phys = decompose(&cat, &plan, vec![]);
+        assert_eq!(phys.pipelines.len(), 2);
+        assert!(matches!(phys.pipelines[0].sink, Sink::BuildJoin { .. }));
+        assert!(phys.pipelines[0].label.contains("supplier"));
+        assert!(matches!(phys.pipelines[1].sink, Sink::Emit));
+        assert!(
+            matches!(&phys.pipelines[1].ops[..], [PipeOp::Probe { .. }]),
+            "{:?}",
+            phys.pipelines[1].ops
+        );
+    }
+
+    #[test]
+    fn q1_shape_three_pipeline_query() {
+        // join + agg + sort = 4 pipelines: build, agg-input (probe), sort
+        // materialise (scan of groups), final sorted emit is host-side.
+        let cat = cat();
+        let build = PlanNode::Scan { table: "supplier".into(), cols: vec![0], filter: None };
+        let joined = PlanNode::HashJoin {
+            build: Box::new(build),
+            probe: Box::new(li_scan()),
+            build_keys: vec![0],
+            probe_keys: vec![0],
+            build_payload: vec![],
+            kind: JoinKind::Semi,
+        };
+        let agged = PlanNode::HashAgg {
+            input: Box::new(joined),
+            group_by: vec![0],
+            aggs: vec![AggSpec { func: AggFunc::CountStar, arg: None }],
+        };
+        let root = PlanNode::Sort {
+            input: Box::new(agged),
+            keys: vec![SortKey { field: 1, asc: false, float: false }],
+            limit: Some(10),
+        };
+        let phys = decompose(&cat, &root, vec![]);
+        assert_eq!(phys.pipelines.len(), 3);
+        assert!(phys.sorted_output);
+        assert_eq!(phys.output_tys.len(), 2);
+    }
+
+    #[test]
+    fn expr_types() {
+        let fields = [FieldTy::I64, FieldTy::F64];
+        assert_eq!(PExpr::Col(0).ty(&fields), FieldTy::I64);
+        assert_eq!(PExpr::Col(1).ty(&fields), FieldTy::F64);
+        let e = PExpr::arith(ArithOp::Mul, true, false, PExpr::Col(0), PExpr::ConstI(2));
+        assert_eq!(e.ty(&fields), FieldTy::I64);
+        assert_eq!(PExpr::IToF(PExpr::coli(0)).ty(&fields), FieldTy::F64);
+        let c = PExpr::cmp(CmpOp::Lt, false, PExpr::Col(0), PExpr::ConstI(10));
+        assert_eq!(c.ty(&fields), FieldTy::I64);
+    }
+}

@@ -1,0 +1,323 @@
+//! End-to-end engine tests: every execution mode — naive IR interpretation,
+//! bytecode, unoptimized, optimized, adaptive — must produce identical
+//! results, at 1 and 4 threads, matching a host-computed reference.
+
+use aqe_engine::exec::{execute_plan, ExecMode, ExecOptions};
+use aqe_engine::plan::{
+    decompose, AggFunc, AggSpec, ArithOp, CmpOp, JoinKind, PExpr, PlanNode, SortKey,
+};
+use aqe_storage::{tpch, Catalog};
+
+fn all_modes() -> [ExecMode; 5] {
+    [
+        ExecMode::NaiveIr,
+        ExecMode::Bytecode,
+        ExecMode::Unoptimized,
+        ExecMode::Optimized,
+        ExecMode::Adaptive,
+    ]
+}
+
+fn run(cat: &Catalog, plan: &PlanNode, mode: ExecMode, threads: usize) -> Vec<u64> {
+    let phys = decompose(cat, plan, vec![]);
+    let opts = ExecOptions { mode, threads, ..Default::default() };
+    let (res, _report) = execute_plan(&phys, cat, &opts).expect("query must succeed");
+    res.rows
+}
+
+/// Sorted-row comparison for unordered outputs.
+fn normalized(mut rows: Vec<u64>, width: usize) -> Vec<Vec<u64>> {
+    if width == 0 {
+        return vec![];
+    }
+    let mut out: Vec<Vec<u64>> = rows.chunks_exact(width).map(|r| r.to_vec()).collect();
+    out.sort();
+    rows.clear();
+    out
+}
+
+#[test]
+fn q6_like_sum_matches_reference_in_all_modes() {
+    let cat = tpch::generate(0.01);
+    let li = cat.get("lineitem").unwrap();
+    // Reference: sum(extprice * discount) where qty < 24 and 5 <= disc <= 7
+    let (qty, ext, disc) = (
+        li.column_by_name("l_quantity").unwrap(),
+        li.column_by_name("l_extendedprice").unwrap(),
+        li.column_by_name("l_discount").unwrap(),
+    );
+    let mut expect: i64 = 0;
+    for r in 0..li.row_count() {
+        let (q, e, d) = (qty.get_u64(r) as i64, ext.get_u64(r) as i64, disc.get_u64(r) as i64);
+        if q < 2400 && (5..=7).contains(&d) {
+            expect += e * d;
+        }
+    }
+
+    let plan = PlanNode::HashAgg {
+        input: Box::new(PlanNode::Scan {
+            table: "lineitem".into(),
+            cols: vec![4, 5, 6], // qty, extprice, discount
+            filter: Some(PExpr::and(
+                PExpr::cmp(CmpOp::Lt, false, PExpr::Col(0), PExpr::ConstI(2400)),
+                PExpr::and(
+                    PExpr::cmp(CmpOp::Ge, false, PExpr::Col(2), PExpr::ConstI(5)),
+                    PExpr::cmp(CmpOp::Le, false, PExpr::Col(2), PExpr::ConstI(7)),
+                ),
+            )),
+        }),
+        group_by: vec![],
+        aggs: vec![AggSpec {
+            func: AggFunc::SumI,
+            arg: Some(PExpr::arith(ArithOp::Mul, true, false, PExpr::Col(1), PExpr::Col(2))),
+        }],
+    };
+
+    for mode in all_modes() {
+        for threads in [1, 4] {
+            let rows = run(&cat, &plan, mode, threads);
+            assert_eq!(rows.len(), 1, "{mode:?}/{threads}");
+            assert_eq!(rows[0] as i64, expect, "{mode:?}/{threads} sum mismatch");
+        }
+    }
+}
+
+#[test]
+fn group_by_agg_matches_reference() {
+    let cat = tpch::generate(0.01);
+    let li = cat.get("lineitem").unwrap();
+    let (rf, qty) = (
+        li.column_by_name("l_returnflag").unwrap(),
+        li.column_by_name("l_quantity").unwrap(),
+    );
+    use std::collections::HashMap;
+    let mut expect: HashMap<u64, (i64, i64)> = HashMap::new();
+    for r in 0..li.row_count() {
+        let e = expect.entry(rf.get_u64(r)).or_default();
+        e.0 += qty.get_u64(r) as i64;
+        e.1 += 1;
+    }
+
+    let plan = PlanNode::HashAgg {
+        input: Box::new(PlanNode::Scan {
+            table: "lineitem".into(),
+            cols: vec![8, 4], // returnflag, quantity
+            filter: None,
+        }),
+        group_by: vec![0],
+        aggs: vec![
+            AggSpec { func: AggFunc::SumI, arg: Some(PExpr::Col(1)) },
+            AggSpec { func: AggFunc::CountStar, arg: None },
+        ],
+    };
+
+    let reference = run(&cat, &plan, ExecMode::Bytecode, 1);
+    let ref_rows = normalized(reference, 3);
+    assert_eq!(ref_rows.len(), expect.len());
+    for row in &ref_rows {
+        let (sum, cnt) = expect[&row[0]];
+        assert_eq!(row[1] as i64, sum);
+        assert_eq!(row[2] as i64, cnt);
+    }
+    for mode in all_modes() {
+        for threads in [1, 4] {
+            let rows = normalized(run(&cat, &plan, mode, threads), 3);
+            assert_eq!(rows, ref_rows, "{mode:?}/{threads}");
+        }
+    }
+}
+
+#[test]
+fn hash_join_matches_reference() {
+    let cat = tpch::generate(0.01);
+    // supplier ⋈ lineitem on suppkey, count matches and sum qty per nation.
+    let plan = PlanNode::HashAgg {
+        input: Box::new(PlanNode::HashJoin {
+            build: Box::new(PlanNode::Scan {
+                table: "supplier".into(),
+                cols: vec![0, 3], // suppkey, nationkey
+                filter: None,
+            }),
+            probe: Box::new(PlanNode::Scan {
+                table: "lineitem".into(),
+                cols: vec![2, 4], // suppkey, quantity
+                filter: None,
+            }),
+            build_keys: vec![0],
+            probe_keys: vec![0],
+            build_payload: vec![1], // nationkey
+            kind: JoinKind::Inner,
+        }),
+        group_by: vec![2], // nationkey (appended payload)
+        aggs: vec![
+            AggSpec { func: AggFunc::SumI, arg: Some(PExpr::Col(1)) },
+            AggSpec { func: AggFunc::CountStar, arg: None },
+        ],
+    };
+
+    // Host reference.
+    let li = cat.get("lineitem").unwrap();
+    let su = cat.get("supplier").unwrap();
+    let nk_of: Vec<i64> = (0..su.row_count())
+        .map(|r| su.column_by_name("s_nationkey").unwrap().get_u64(r) as i64)
+        .collect();
+    use std::collections::HashMap;
+    let mut expect: HashMap<u64, (i64, i64)> = HashMap::new();
+    let (sk, qty) = (
+        li.column_by_name("l_suppkey").unwrap(),
+        li.column_by_name("l_quantity").unwrap(),
+    );
+    for r in 0..li.row_count() {
+        let nk = nk_of[sk.get_u64(r) as usize] as u64;
+        let e = expect.entry(nk).or_default();
+        e.0 += qty.get_u64(r) as i64;
+        e.1 += 1;
+    }
+
+    for mode in all_modes() {
+        for threads in [1, 4] {
+            let rows = normalized(run(&cat, &plan, mode, threads), 3);
+            assert_eq!(rows.len(), expect.len(), "{mode:?}/{threads}");
+            for row in &rows {
+                let (sum, cnt) = expect[&row[0]];
+                assert_eq!(row[1] as i64, sum, "{mode:?}/{threads}");
+                assert_eq!(row[2] as i64, cnt, "{mode:?}/{threads}");
+            }
+        }
+    }
+}
+
+#[test]
+fn semi_and_anti_join_partition_the_probe_side() {
+    let cat = tpch::generate(0.01);
+    // Suppliers from nation 3 as the build side; count lineitems whose
+    // supplier is / is not in that set.
+    let build = PlanNode::Scan {
+        table: "supplier".into(),
+        cols: vec![0, 3],
+        filter: Some(PExpr::cmp(CmpOp::Eq, false, PExpr::Col(1), PExpr::ConstI(3))),
+    };
+    let mk = |kind: JoinKind| PlanNode::HashAgg {
+        input: Box::new(PlanNode::HashJoin {
+            build: Box::new(build.clone()),
+            probe: Box::new(PlanNode::Scan {
+                table: "lineitem".into(),
+                cols: vec![2],
+                filter: None,
+            }),
+            build_keys: vec![0],
+            probe_keys: vec![0],
+            build_payload: vec![],
+            kind,
+        }),
+        group_by: vec![],
+        aggs: vec![AggSpec { func: AggFunc::CountStar, arg: None }],
+    };
+    let total = cat.get("lineitem").unwrap().row_count() as i64;
+    for threads in [1, 4] {
+        let semi = run(&cat, &mk(JoinKind::Semi), ExecMode::Adaptive, threads);
+        let anti = run(&cat, &mk(JoinKind::Anti), ExecMode::Optimized, threads);
+        assert_eq!(semi[0] as i64 + anti[0] as i64, total);
+        assert!(semi[0] > 0, "some lineitems must match nation-3 suppliers");
+    }
+}
+
+#[test]
+fn sort_with_limit_is_ordered_and_stable_across_modes() {
+    let cat = tpch::generate(0.01);
+    let plan = PlanNode::Sort {
+        input: Box::new(PlanNode::HashAgg {
+            input: Box::new(PlanNode::Scan {
+                table: "orders".into(),
+                cols: vec![1, 3], // custkey, totalprice
+                filter: None,
+            }),
+            group_by: vec![0],
+            aggs: vec![AggSpec { func: AggFunc::SumI, arg: Some(PExpr::Col(1)) }],
+        }),
+        keys: vec![
+            SortKey { field: 1, asc: false, float: false },
+            SortKey { field: 0, asc: true, float: false },
+        ],
+        limit: Some(10),
+    };
+    let reference = run(&cat, &plan, ExecMode::Bytecode, 1);
+    assert_eq!(reference.len(), 20);
+    // descending by sum
+    for w in reference.chunks_exact(2).collect::<Vec<_>>().windows(2) {
+        assert!(w[0][1] as i64 >= w[1][1] as i64);
+    }
+    for mode in all_modes() {
+        for threads in [1, 4] {
+            assert_eq!(run(&cat, &plan, mode, threads), reference, "{mode:?}/{threads}");
+        }
+    }
+}
+
+#[test]
+fn overflow_in_generated_code_is_reported() {
+    let cat = tpch::generate(0.001);
+    // sum(extprice * extprice * extprice) overflows i64 quickly.
+    let cube = PExpr::arith(
+        ArithOp::Mul,
+        true,
+        false,
+        PExpr::arith(ArithOp::Mul, true, false, PExpr::Col(0), PExpr::Col(0)),
+        PExpr::arith(ArithOp::Mul, true, false, PExpr::Col(0), PExpr::Col(0)),
+    );
+    let plan = PlanNode::HashAgg {
+        input: Box::new(PlanNode::Scan {
+            table: "lineitem".into(),
+            cols: vec![5],
+            filter: None,
+        }),
+        group_by: vec![],
+        aggs: vec![AggSpec { func: AggFunc::SumI, arg: Some(cube) }],
+    };
+    let phys = decompose(&cat, &plan, vec![]);
+    for mode in all_modes() {
+        let opts = ExecOptions { mode, threads: 2, ..Default::default() };
+        let r = execute_plan(&phys, &cat, &opts);
+        assert!(r.is_err(), "{mode:?} must report the overflow");
+    }
+}
+
+#[test]
+fn adaptive_mode_compiles_hot_pipelines_eventually() {
+    // Force compilation to look attractive: zero compile-cost model.
+    let cat = tpch::generate(0.05);
+    let plan = PlanNode::HashAgg {
+        input: Box::new(PlanNode::Scan {
+            table: "lineitem".into(),
+            cols: vec![4],
+            filter: None,
+        }),
+        group_by: vec![],
+        aggs: vec![AggSpec { func: AggFunc::SumI, arg: Some(PExpr::Col(0)) }],
+    };
+    let phys = decompose(&cat, &plan, vec![]);
+    let mut opts = ExecOptions {
+        mode: ExecMode::Adaptive,
+        threads: 2,
+        trace: true,
+        first_eval: std::time::Duration::from_micros(50),
+        min_morsel: 256,
+        ..Default::default()
+    };
+    opts.model.unopt_base_s = 0.0;
+    opts.model.unopt_per_instr_s = 0.0;
+    opts.model.opt_base_s = 0.0;
+    opts.model.opt_per_instr_s = 0.0;
+    opts.model.speedup_opt = 100.0; // make compilation irresistible
+    opts.model.speedup_unopt = 50.0;
+    let (res, report) = execute_plan(&phys, &cat, &opts).unwrap();
+    assert_eq!(res.row_count(), 1);
+    assert!(
+        report.background_compiles > 0,
+        "adaptive execution should have compiled at least one pipeline"
+    );
+    // The trace must contain morsels in more than one execution mode.
+    let modes: std::collections::HashSet<u8> =
+        report.trace.iter().filter(|e| e.kind != 255).map(|e| e.kind).collect();
+    assert!(!modes.is_empty());
+}

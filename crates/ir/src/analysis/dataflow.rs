@@ -1,0 +1,242 @@
+//! Exact liveness via classic backward iterative dataflow.
+//!
+//! This is the O(n²)-worst-case computation the paper's linear-time
+//! algorithm *avoids* (§IV-C: "computing this liveness information has
+//! super-linear runtime in the number of basic blocks"). It exists here as
+//! the test oracle: property tests assert that the interval produced by
+//! [`super::live::LiveRanges`] is a conservative superset of the exact live
+//! span of every value.
+
+use super::rpo::Rpo;
+use crate::function::{Function, ValueId};
+use crate::instr::Instr;
+
+/// Per-block live-in/live-out bitsets over values, plus per-value exact
+/// first/last live RPO positions.
+pub struct ExactLiveness {
+    words: usize,
+    pub live_in: Vec<Vec<u64>>,
+    pub live_out: Vec<Vec<u64>>,
+    /// Exact min/max RPO position where the value is referenced or live;
+    /// `None` for never-live values.
+    pub span: Vec<Option<(u32, u32)>>,
+}
+
+fn set(bits: &mut [u64], v: ValueId) -> bool {
+    let w = v.index() / 64;
+    let m = 1u64 << (v.index() % 64);
+    let was = bits[w] & m != 0;
+    bits[w] |= m;
+    !was
+}
+
+fn get(bits: &[u64], v: ValueId) -> bool {
+    bits[v.index() / 64] & (1u64 << (v.index() % 64)) != 0
+}
+
+impl ExactLiveness {
+    pub fn compute(f: &Function, rpo: &Rpo) -> ExactLiveness {
+        let nv = f.value_count();
+        let nb = rpo.len();
+        let words = nv.div_ceil(64);
+        // upward-exposed uses and defs per block (by RPO position).
+        let mut uses = vec![vec![0u64; words]; nb];
+        let mut defs = vec![vec![0u64; words]; nb];
+        // φ uses on the edge pred→succ, attached to the pred.
+        let mut phi_uses = vec![vec![0u64; words]; nb];
+
+        // Parameters count as defined at the top of the entry.
+        for i in 0..f.param_count() {
+            set(&mut defs[0], ValueId(i as u32));
+        }
+
+        for (pos, &bid) in rpo.order.iter().enumerate() {
+            let block = f.block(bid);
+            for &vid in &block.instrs {
+                let instr = f.instr(vid).unwrap();
+                if !instr.is_phi() {
+                    instr.for_each_value_use(|u| {
+                        if !get(&defs[pos], u) {
+                            set(&mut uses[pos], u);
+                        }
+                    });
+                }
+                if f.value_type(vid).has_slot() {
+                    set(&mut defs[pos], vid);
+                }
+            }
+            block.term.for_each_value_use(|u| {
+                if !get(&defs[pos], u) {
+                    set(&mut uses[pos], u);
+                }
+            });
+            for succ in block.term.successors() {
+                for &pvid in &f.block(succ).instrs {
+                    let Some(Instr::Phi { incomings, .. }) = f.instr(pvid) else {
+                        break;
+                    };
+                    for (pred, op) in incomings {
+                        if *pred == bid {
+                            if let Some(u) = op.as_value() {
+                                set(&mut phi_uses[pos], u);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut live_in = vec![vec![0u64; words]; nb];
+        let mut live_out = vec![vec![0u64; words]; nb];
+        let succs: Vec<Vec<u32>> = rpo
+            .order
+            .iter()
+            .map(|&b| {
+                f.block(b)
+                    .term
+                    .successors()
+                    .filter(|s| rpo.is_reachable(*s))
+                    .map(|s| rpo.position(s))
+                    .collect()
+            })
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for pos in (0..nb).rev() {
+                let mut out = vec![0u64; words];
+                for &sp in &succs[pos] {
+                    for w in 0..words {
+                        // φ results of the successor are written on the edge,
+                        // so they are *not* propagated upward: live-in of the
+                        // successor already excludes them (killed by defs).
+                        out[w] |= live_in[sp as usize][w];
+                    }
+                }
+                for w in 0..words {
+                    out[w] |= phi_uses[pos][w];
+                }
+                let mut input = vec![0u64; words];
+                for w in 0..words {
+                    input[w] = (out[w] & !defs[pos][w]) | uses[pos][w];
+                }
+                if out != live_out[pos] || input != live_in[pos] {
+                    changed = true;
+                    live_out[pos] = out;
+                    live_in[pos] = input;
+                }
+            }
+        }
+
+        // Per-value span: min/max position where the value is defined, used,
+        // or live-through.
+        let mut span: Vec<Option<(u32, u32)>> = vec![None; nv];
+        let touch = |v: usize, p: u32, span: &mut Vec<Option<(u32, u32)>>| {
+            let e = &mut span[v];
+            match e {
+                None => *e = Some((p, p)),
+                Some((lo, hi)) => {
+                    *lo = (*lo).min(p);
+                    *hi = (*hi).max(p);
+                }
+            }
+        };
+        for pos in 0..nb {
+            for v in 0..nv {
+                let vid = ValueId(v as u32);
+                if get(&live_in[pos], vid)
+                    || get(&live_out[pos], vid)
+                    || get(&defs[pos], vid)
+                    || get(&uses[pos], vid)
+                    || get(&phi_uses[pos], vid)
+                {
+                    touch(v, pos as u32, &mut span);
+                }
+            }
+        }
+
+        ExactLiveness { words, live_in, live_out, span }
+    }
+
+    pub fn is_live_in(&self, pos: u32, v: ValueId) -> bool {
+        get(&self.live_in[pos as usize], v)
+    }
+
+    pub fn is_live_out(&self, pos: u32, v: ValueId) -> bool {
+        get(&self.live_out[pos as usize], v)
+    }
+
+    pub fn word_count(&self) -> usize {
+        self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{Analyses, Rpo};
+    use crate::builder::FunctionBuilder;
+    use crate::instr::BinOp;
+    use crate::types::{Constant, Type};
+
+    #[test]
+    fn exact_liveness_simple() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let p = b.param(0);
+        let x = b.bin(BinOp::Add, Type::I64, p.into(), Constant::i64(1).into());
+        b.ret(Some(x.into()));
+        let f = b.finish().unwrap();
+        let rpo = Rpo::compute(&f);
+        let ex = ExactLiveness::compute(&f, &rpo);
+        assert!(!ex.is_live_in(0, p), "params are defined in entry, not live-in");
+        assert_eq!(ex.span[p.index()], Some((0, 0)));
+        assert_eq!(ex.span[x.index()], Some((0, 0)));
+    }
+
+    #[test]
+    fn value_live_across_loop_matches_linear_interval() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let n = b.param(0);
+        let v = b.bin(BinOp::Mul, Type::I64, n.into(), Constant::i64(3).into());
+        b.counted_loop(Constant::i64(0).into(), n.into(), |b, _| {
+            let _ = b.bin(BinOp::Add, Type::I64, v.into(), Constant::i64(1).into());
+        });
+        b.ret(Some(v.into()));
+        let f = b.finish().unwrap();
+        let a = Analyses::compute(&f);
+        let ex = ExactLiveness::compute(&f, &a.rpo);
+        let (elo, ehi) = ex.span[v.index()].unwrap();
+        let lr = a.live.range(v).unwrap();
+        assert!(lr.start <= elo && lr.end >= ehi, "linear range must cover exact range");
+    }
+
+    /// The conservative-superset property on every value of a loop nest.
+    #[test]
+    fn linear_ranges_cover_exact_ranges_nested() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], None);
+        let n = b.param(0);
+        let outer_v = b.bin(BinOp::Add, Type::I64, n.into(), Constant::i64(1).into());
+        b.counted_loop(Constant::i64(0).into(), n.into(), |b, i| {
+            let w = b.bin(BinOp::Xor, Type::I64, i.into(), outer_v.into());
+            b.counted_loop(Constant::i64(0).into(), w.into(), |b, j| {
+                let _ = b.bin(BinOp::And, Type::I64, j.into(), outer_v.into());
+            });
+        });
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let a = Analyses::compute(&f);
+        let ex = ExactLiveness::compute(&f, &a.rpo);
+        for v in 0..f.value_count() {
+            let vid = ValueId(v as u32);
+            let (Some((elo, ehi)), Some(lr)) = (ex.span[v], a.live.range(vid)) else {
+                continue;
+            };
+            assert!(
+                lr.start <= elo && lr.end >= ehi,
+                "value {vid}: linear [{},{}] must cover exact [{elo},{ehi}]",
+                lr.start,
+                lr.end
+            );
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Dominator tree with pre/post-order labels for O(1) ancestor queries.
+//!
+//! The paper (§IV-D, Fig. 12): "Using this labeling, we can compute the
+//! dominator tree D efficiently [23], [24] … For lookup purposes we label
+//! all nodes in D with pre-/post-order numbers [25]. This labeling allows us
+//! to determine ancestor/descendant relationships in O(1)."
+//!
+//! We use the Cooper–Harvey–Kennedy iterative algorithm, which runs in
+//! near-linear time on the reducible CFGs a query compiler generates.
+
+use super::rpo::Rpo;
+use crate::function::{BlockId, Function};
+
+const UNDEF: u32 = u32::MAX;
+
+/// Immediate-dominator tree over the *reachable* blocks of a function.
+/// All indexing is by RPO position (`0 == entry`), which keeps the hot
+/// arrays dense.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// `idom[p]` = RPO position of the immediate dominator of the block at
+    /// position `p`; `idom[0] == 0`.
+    pub idom: Vec<u32>,
+    /// Pre-order number of each node in the dominator tree.
+    pre: Vec<u32>,
+    /// Post-order number of each node in the dominator tree.
+    post: Vec<u32>,
+    /// Children of each node in the dominator tree (by RPO position).
+    pub children: Vec<Vec<u32>>,
+}
+
+impl DomTree {
+    pub fn compute(f: &Function, rpo: &Rpo) -> DomTree {
+        let n = rpo.len();
+        let mut idom = vec![UNDEF; n];
+        if n == 0 {
+            return DomTree { idom, pre: vec![], post: vec![], children: vec![] };
+        }
+        idom[0] = 0;
+
+        // Predecessors, translated into RPO positions; unreachable preds are
+        // dropped.
+        let preds_by_block = f.predecessors();
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (p, &b) in rpo.order.iter().enumerate() {
+            for &pb in &preds_by_block[b.index()] {
+                if rpo.is_reachable(pb) {
+                    preds[p].push(rpo.position(pb));
+                }
+            }
+        }
+
+        // Cooper–Harvey–Kennedy: iterate to fixpoint in RPO order.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for p in 1..n {
+                let mut new_idom = UNDEF;
+                for &q in &preds[p] {
+                    if idom[q as usize] == UNDEF {
+                        continue; // not yet processed this round
+                    }
+                    new_idom = if new_idom == UNDEF {
+                        q
+                    } else {
+                        Self::intersect(&idom, new_idom, q)
+                    };
+                }
+                debug_assert_ne!(new_idom, UNDEF, "reachable block without processed pred");
+                if idom[p] != new_idom {
+                    idom[p] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        // Pre/post-order labels over the dominator tree (children sorted by
+        // RPO position for determinism).
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for p in 1..n {
+            children[idom[p] as usize].push(p as u32);
+        }
+        let mut pre = vec![0u32; n];
+        let mut post = vec![0u32; n];
+        let mut counter = 0u32;
+        // Iterative DFS assigning pre on push and post on pop.
+        let mut stack: Vec<(u32, usize)> = vec![(0, 0)];
+        pre[0] = counter;
+        counter += 1;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let kids = &children[node as usize];
+            if *next < kids.len() {
+                let k = kids[*next];
+                *next += 1;
+                pre[k as usize] = counter;
+                counter += 1;
+                stack.push((k, 0));
+            } else {
+                post[node as usize] = counter;
+                counter += 1;
+                stack.pop();
+            }
+        }
+
+        DomTree { idom, pre, post, children }
+    }
+
+    fn intersect(idom: &[u32], mut a: u32, mut b: u32) -> u32 {
+        while a != b {
+            while a > b {
+                a = idom[a as usize];
+            }
+            while b > a {
+                b = idom[b as usize];
+            }
+        }
+        a
+    }
+
+    /// Does the block at RPO position `a` dominate the block at position `b`?
+    /// O(1) via the pre/post interval containment of Fig. 12.
+    pub fn dominates_pos(&self, a: u32, b: u32) -> bool {
+        self.pre[a as usize] <= self.pre[b as usize]
+            && self.post[b as usize] <= self.post[a as usize]
+    }
+
+    /// Convenience wrapper taking block ids.
+    pub fn dominates(&self, rpo: &Rpo, a: BlockId, b: BlockId) -> bool {
+        self.dominates_pos(rpo.position(a), rpo.position(b))
+    }
+
+    /// Immediate dominator (RPO position) of the block at position `p`.
+    pub fn idom_pos(&self, p: u32) -> u32 {
+        self.idom[p as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::CmpPred;
+    use crate::types::{Constant, Type};
+
+    /// Diamond: entry → (t | e) → join.
+    fn diamond() -> (Function, BlockId, BlockId, BlockId) {
+        let mut b = FunctionBuilder::new("d", &[Type::I1], None);
+        let t = b.add_block();
+        let e = b.add_block();
+        let j = b.add_block();
+        let c = b.param(0);
+        b.cond_br(c.into(), t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        b.ret(None);
+        (b.finish().unwrap(), t, e, j)
+    }
+
+    #[test]
+    fn diamond_idoms() {
+        let (f, t, e, j) = diamond();
+        let rpo = Rpo::compute(&f);
+        let dom = DomTree::compute(&f, &rpo);
+        let entry = Function::ENTRY;
+        assert!(dom.dominates(&rpo, entry, t));
+        assert!(dom.dominates(&rpo, entry, e));
+        assert!(dom.dominates(&rpo, entry, j));
+        assert!(!dom.dominates(&rpo, t, j));
+        assert!(!dom.dominates(&rpo, e, j));
+        // Join's idom is the entry.
+        assert_eq!(dom.idom_pos(rpo.position(j)), rpo.position(entry));
+    }
+
+    #[test]
+    fn self_domination() {
+        let (f, t, ..) = diamond();
+        let rpo = Rpo::compute(&f);
+        let dom = DomTree::compute(&f, &rpo);
+        assert!(dom.dominates(&rpo, t, t));
+    }
+
+    #[test]
+    fn loop_head_dominates_body() {
+        let mut b = FunctionBuilder::new("l", &[Type::I64], None);
+        let n = b.param(0);
+        b.counted_loop(Constant::i64(0).into(), n.into(), |b, i| {
+            // nested if in the body
+            let c = b.cmp(CmpPred::Eq, Type::I64, i.into(), Constant::i64(3).into());
+            let t = b.add_block();
+            let merge = b.add_block();
+            b.cond_br(c.into(), t, merge);
+            b.switch_to(t);
+            b.br(merge);
+            b.switch_to(merge);
+        });
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let rpo = Rpo::compute(&f);
+        let dom = DomTree::compute(&f, &rpo);
+        // Block 1 is the loop head; it must dominate all body blocks and the
+        // exit, and the entry must dominate it.
+        let head = BlockId(1);
+        for (id, _) in f.blocks() {
+            if id != Function::ENTRY {
+                assert!(
+                    dom.dominates(&rpo, head, id) || id == head,
+                    "head should dominate {id}"
+                );
+            }
+        }
+        assert!(dom.dominates(&rpo, Function::ENTRY, head));
+    }
+}

@@ -1,0 +1,297 @@
+//! Linear-time live ranges (§IV-D, second phase of Fig. 11).
+//!
+//! "We compute the liveness of a value as a live-range with a start block
+//! and an end block … we keep the live-range of each value as tight as
+//! possible by labeling the blocks according to the control flow and by
+//! explicitly handling loops."
+//!
+//! For every value `v` we fold, one use at a time, the set `B_v` of blocks
+//! containing the definition and the uses of `v`. The fold maintains the
+//! least common loop `C_v` and the live interval `L_v` (in RPO positions):
+//! a block whose innermost loop *is* `C_v` extends the interval by itself;
+//! any other block is lifted to "the outermost loop below `C_v`" containing
+//! it (Fig. 10's example: a use inside a loop extends the lifetime to the
+//! whole loop). φ nodes follow the paper's rule: "the arguments of φ are
+//! read at the end of the corresponding incoming block, and the φ node is
+//! written immediately afterwards in the same block, and then read in the
+//! block that contains the φ node."
+
+use super::loops::{LoopForest, LoopId};
+use super::rpo::Rpo;
+use crate::function::{Function, ValueId};
+use crate::instr::Instr;
+
+/// Live interval of one value, in RPO block positions (inclusive).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LiveRange {
+    pub start: u32,
+    pub end: u32,
+    /// RPO position of the defining block (allocation happens here unless
+    /// `start < def_pos`, in which case the register must be reserved at the
+    /// interval start — the paper's "values become alive even though the
+    /// producing instruction is not contained in the block itself").
+    pub def_pos: u32,
+}
+
+/// Live ranges for all values of a function.
+#[derive(Clone, Debug)]
+pub struct LiveRanges {
+    /// `None` for values that are unreachable or slot-less (`void`).
+    ranges: Vec<Option<LiveRange>>,
+    /// Number of uses of each value in reachable code (operand uses,
+    /// terminator uses, and φ reads at predecessor ends).
+    use_counts: Vec<u32>,
+}
+
+/// Fold state per value while ranges are being computed.
+#[derive(Clone, Copy)]
+struct FoldState {
+    c: LoopId,
+    lo: u32,
+    hi: u32,
+    def_pos: u32,
+}
+
+impl LiveRanges {
+    pub fn compute(f: &Function, rpo: &Rpo, loops: &LoopForest) -> LiveRanges {
+        let nv = f.value_count();
+        let mut state: Vec<Option<FoldState>> = vec![None; nv];
+        let mut use_counts = vec![0u32; nv];
+
+        let fold = |state: &mut Vec<Option<FoldState>>, v: ValueId, pos: u32, is_def: bool| {
+            let lb = loops.innermost_at(pos);
+            match &mut state[v.index()] {
+                slot @ None => {
+                    *slot = Some(FoldState {
+                        c: lb,
+                        lo: pos,
+                        hi: pos,
+                        def_pos: if is_def { pos } else { u32::MAX },
+                    });
+                }
+                Some(s) => {
+                    if is_def && s.def_pos == u32::MAX {
+                        s.def_pos = pos;
+                    }
+                    let cnew = loops.lca(s.c, lb);
+                    if cnew != s.c {
+                        // Widening the common loop: lift everything folded so
+                        // far to the ancestor of the old C that is a direct
+                        // child of the new C.
+                        let a = loops.child_of_on_path(s.c, cnew);
+                        let info = loops.info(a);
+                        s.lo = s.lo.min(info.first);
+                        s.hi = s.hi.max(info.last);
+                        s.c = cnew;
+                    }
+                    if lb == s.c {
+                        s.lo = s.lo.min(pos);
+                        s.hi = s.hi.max(pos);
+                    } else {
+                        let a = loops.child_of_on_path(lb, s.c);
+                        let info = loops.info(a);
+                        s.lo = s.lo.min(info.first);
+                        s.hi = s.hi.max(info.last);
+                    }
+                }
+            }
+        };
+
+        // Parameters are defined at the entry.
+        for i in 0..f.param_count() {
+            fold(&mut state, ValueId(i as u32), 0, true);
+        }
+
+        for (pos, &bid) in rpo.order.iter().enumerate() {
+            let pos = pos as u32;
+            let block = f.block(bid);
+            for &vid in &block.instrs {
+                let instr = f.instr(vid).expect("block lists only instructions");
+                if let Instr::Phi { .. } = instr {
+                    // φ result: read in its own block; written at the end of
+                    // each incoming block (folded below, when the incoming
+                    // block is visited).
+                    fold(&mut state, vid, pos, true);
+                } else {
+                    instr.for_each_value_use(|u| {
+                        use_counts[u.index()] += 1;
+                        fold(&mut state, u, pos, false);
+                    });
+                    if f.value_type(vid).has_slot() {
+                        fold(&mut state, vid, pos, true);
+                    }
+                }
+            }
+            block.term.for_each_value_use(|u| {
+                use_counts[u.index()] += 1;
+                fold(&mut state, u, pos, false);
+            });
+            // φ shuffle at the end of this block: for every φ in a successor
+            // with an incoming edge from here, the argument is read here and
+            // the φ value is written here.
+            for succ in block.term.successors() {
+                for &pvid in &f.block(succ).instrs {
+                    let Some(Instr::Phi { incomings, .. }) = f.instr(pvid) else {
+                        break; // φs are a prefix of the block
+                    };
+                    for (pred, op) in incomings {
+                        if *pred != bid {
+                            continue;
+                        }
+                        if let Some(u) = op.as_value() {
+                            use_counts[u.index()] += 1;
+                            fold(&mut state, u, pos, false);
+                        }
+                        fold(&mut state, pvid, pos, false);
+                    }
+                }
+            }
+        }
+
+        let ranges = state
+            .into_iter()
+            .map(|s| {
+                s.map(|s| LiveRange {
+                    start: s.lo,
+                    end: s.hi,
+                    def_pos: if s.def_pos == u32::MAX { s.lo } else { s.def_pos },
+                })
+            })
+            .collect();
+        LiveRanges { ranges, use_counts }
+    }
+
+    pub fn range(&self, v: ValueId) -> Option<LiveRange> {
+        self.ranges[v.index()]
+    }
+
+    pub fn use_count(&self, v: ValueId) -> u32 {
+        self.use_counts[v.index()]
+    }
+
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{DomTree, LoopForest, Rpo};
+    use crate::builder::FunctionBuilder;
+    use crate::instr::{BinOp, CmpPred};
+    use crate::types::{Constant, Type};
+
+    fn compute(f: &Function) -> (Rpo, LiveRanges) {
+        let rpo = Rpo::compute(f);
+        let dom = DomTree::compute(f, &rpo);
+        let loops = LoopForest::compute(f, &rpo, &dom);
+        let live = LiveRanges::compute(f, &rpo, &loops);
+        (rpo, live)
+    }
+
+    #[test]
+    fn straight_line_ranges() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let p = b.param(0);
+        let x = b.bin(BinOp::Add, Type::I64, p.into(), Constant::i64(1).into());
+        let y = b.bin(BinOp::Mul, Type::I64, x.into(), x.into());
+        b.ret(Some(y.into()));
+        let f = b.finish().unwrap();
+        let (_, live) = compute(&f);
+        assert_eq!(live.range(p).unwrap(), LiveRange { start: 0, end: 0, def_pos: 0 });
+        assert_eq!(live.use_count(x), 2);
+        assert_eq!(live.use_count(y), 1);
+        assert_eq!(live.use_count(p), 1);
+    }
+
+    /// The paper's Fig. 10 scenario: a value defined before a loop and used
+    /// inside it must live until the loop's last block.
+    #[test]
+    fn use_inside_loop_extends_to_whole_loop() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let n = b.param(0);
+        // v defined in the entry (outside the loop).
+        let v = b.bin(BinOp::Add, Type::I64, n.into(), Constant::i64(7).into());
+        let acc_cell = b.bin(BinOp::Add, Type::I64, Constant::i64(0).into(), Constant::i64(0).into());
+        let _ = acc_cell;
+        b.counted_loop(Constant::i64(0).into(), n.into(), |b, _i| {
+            // use v inside the loop body
+            let _u = b.bin(BinOp::Mul, Type::I64, v.into(), Constant::i64(2).into());
+        });
+        b.ret(Some(v.into()));
+        let f = b.finish().unwrap();
+        let (rpo, live) = compute(&f);
+        let r = live.range(v).unwrap();
+        // v must be live from the entry through the loop and into the exit
+        // block where the final use (ret) happens.
+        let exit_pos = rpo.len() as u32 - 1;
+        assert_eq!(r.start, 0);
+        assert_eq!(r.end, exit_pos);
+    }
+
+    #[test]
+    fn loop_local_value_not_extended() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], None);
+        let n = b.param(0);
+        let mut body_pos_val = None;
+        b.counted_loop(Constant::i64(0).into(), n.into(), |b, i| {
+            // t is defined and fully consumed within the body block.
+            let t = b.bin(BinOp::Add, Type::I64, i.into(), Constant::i64(1).into());
+            let _ = b.cmp(CmpPred::Eq, Type::I64, t.into(), Constant::i64(5).into());
+            body_pos_val = Some(t);
+        });
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let (rpo, live) = compute(&f);
+        let t = body_pos_val.unwrap();
+        let r = live.range(t).unwrap();
+        assert_eq!(r.start, r.end, "block-local value must stay block-local");
+        let _ = rpo;
+    }
+
+    #[test]
+    fn loop_phi_spans_loop() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], None);
+        let n = b.param(0);
+        b.counted_loop(Constant::i64(0).into(), n.into(), |_, _| {});
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let (rpo, live) = compute(&f);
+        // The induction φ lives from the entry block (where its first
+        // incoming is written) through the loop's last block (latch write).
+        let head = f.block(crate::function::BlockId(1));
+        let phi = head.instrs[0];
+        let r = live.range(phi).unwrap();
+        assert_eq!(r.start, 0, "incoming write at end of entry");
+        assert_eq!(r.end, rpo.position(crate::function::BlockId(2)), "latch write");
+    }
+
+    #[test]
+    fn dead_value_has_point_range() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], None);
+        let p = b.param(0);
+        let dead = b.bin(BinOp::Add, Type::I64, p.into(), Constant::i64(1).into());
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let (_, live) = compute(&f);
+        let r = live.range(dead).unwrap();
+        assert_eq!(r.start, r.end);
+        assert_eq!(live.use_count(dead), 0);
+    }
+
+    #[test]
+    fn void_values_have_no_range() {
+        let mut b = FunctionBuilder::new("f", &[Type::Ptr, Type::I64], None);
+        let (p, v) = (b.param(0), b.param(1));
+        let st = b.store(Type::I64, v.into(), p.into());
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let (_, live) = compute(&f);
+        assert!(live.range(st).is_none());
+    }
+}

@@ -1,0 +1,357 @@
+//! Loop forest construction (§IV-D, Fig. 11).
+//!
+//! "To avoid edge cases for blocks outside of loops, we pretend that the
+//! whole function body is part of one large loop, and we mark the first
+//! block of the function as the loop head. Now we look at all jumps between
+//! pairs of blocks B and B′. If B′ is an ancestor of B in the dominator tree
+//! D, we have found a loop, and we mark B′ as the loop head. After
+//! identifying all loops, we associate each block with their innermost
+//! containing loop, represented by the nearest dominating loop head. We use
+//! a disjoint set data structure with path compression here to make this
+//! computation fast. We remember the first and the last block of a loop
+//! (according to the block labels), and the loop in which it is nested.
+//! Finally, we compute the nesting depth for each loop."
+//!
+//! Implementation: Tarjan's loop-nesting algorithm. Loop heads are
+//! discovered via back edges (target dominates source); heads are processed
+//! innermost-first (descending RPO position — an inner head is dominated by
+//! its outer head and therefore has a larger RPO label); each loop body is
+//! collected by a backward traversal over union-find representatives, so
+//! every block is traversed O(α) times overall.
+
+use super::dom::DomTree;
+use super::rpo::Rpo;
+use crate::function::Function;
+
+/// Identifies a loop in the [`LoopForest`]. Loop 0 is the pseudo loop
+/// covering the entire function.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LoopId(pub u32);
+
+pub const ROOT_LOOP: LoopId = LoopId(0);
+
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    /// RPO position of the loop head ("the entry point of the loop").
+    pub head: u32,
+    /// Enclosing loop (self for the root pseudo loop).
+    pub parent: LoopId,
+    /// Nesting depth; the root pseudo loop has depth 0.
+    pub depth: u32,
+    /// First block of the loop in RPO order (== `head`).
+    pub first: u32,
+    /// Last block of the loop in RPO order.
+    pub last: u32,
+}
+
+/// The loop forest of a function, indexed by RPO position.
+#[derive(Clone, Debug)]
+pub struct LoopForest {
+    /// `loop_of[p]` = innermost loop containing the block at RPO position `p`.
+    pub loop_of: Vec<LoopId>,
+    pub loops: Vec<LoopInfo>,
+}
+
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect() }
+    }
+    /// Find with path compression (iterative two-pass).
+    fn find(&mut self, mut x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        while self.parent[x as usize] != root {
+            let next = self.parent[x as usize];
+            self.parent[x as usize] = root;
+            x = next;
+        }
+        root
+    }
+    /// Merge `x` into the set represented by `head`.
+    fn union_into(&mut self, x: u32, head: u32) {
+        let rx = self.find(x);
+        self.parent[rx as usize] = head;
+    }
+}
+
+impl LoopForest {
+    pub fn compute(f: &Function, rpo: &Rpo, dom: &DomTree) -> LoopForest {
+        let n = rpo.len();
+        let mut loop_of = vec![ROOT_LOOP; n];
+        let mut loops = vec![LoopInfo {
+            head: 0,
+            parent: ROOT_LOOP,
+            depth: 0,
+            first: 0,
+            last: n.saturating_sub(1) as u32,
+        }];
+        if n == 0 {
+            return LoopForest { loop_of, loops };
+        }
+
+        // 1. Find back edges: source position -> head position. A jump
+        //    B → B′ is a back edge iff B′ dominates B (ancestor test on the
+        //    dominator tree, O(1) via pre/post labels).
+        let mut back_edges: Vec<Vec<u32>> = vec![Vec::new(); n]; // head pos -> sources
+        let mut is_head = vec![false; n];
+        for (p, &b) in rpo.order.iter().enumerate() {
+            for succ in f.block(b).term.successors() {
+                if !rpo.is_reachable(succ) {
+                    continue;
+                }
+                let sp = rpo.position(succ);
+                if dom.dominates_pos(sp, p as u32) {
+                    back_edges[sp as usize].push(p as u32);
+                    is_head[sp as usize] = true;
+                }
+            }
+        }
+
+        // Predecessor positions for the backward traversal.
+        let preds_by_block = f.predecessors();
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (p, &b) in rpo.order.iter().enumerate() {
+            for &pb in &preds_by_block[b.index()] {
+                if rpo.is_reachable(pb) {
+                    preds[p].push(rpo.position(pb));
+                }
+            }
+        }
+
+        // 2. Process heads innermost-first (descending RPO position),
+        //    collapsing each completed loop into its head in the union-find.
+        let mut uf = UnionFind::new(n);
+        // Loop id owned by a head position, if that head's loop was built.
+        let mut head_loop: Vec<Option<LoopId>> = vec![None; n];
+        // Epoch-stamped membership check keeps collection linear overall.
+        let mut seen = vec![0u32; n];
+        let mut epoch = 0u32;
+        for h in (0..n as u32).rev() {
+            if !is_head[h as usize] {
+                continue;
+            }
+            epoch += 1;
+            let lid = LoopId(loops.len() as u32);
+            let mut last = h;
+            let mut body: Vec<u32> = Vec::new(); // representatives in the body
+            let mut work: Vec<u32> = Vec::new();
+            for &src in &back_edges[h as usize] {
+                let r = uf.find(src);
+                if r != h && seen[r as usize] != epoch {
+                    seen[r as usize] = epoch;
+                    body.push(r);
+                    work.push(r);
+                }
+            }
+            while let Some(x) = work.pop() {
+                last = last.max(if let Some(il) = head_loop[x as usize] {
+                    loops[il.0 as usize].last
+                } else {
+                    x
+                });
+                for &pp in &preds[x as usize] {
+                    let r = uf.find(pp);
+                    if r != h && seen[r as usize] != epoch {
+                        seen[r as usize] = epoch;
+                        body.push(r);
+                        work.push(r);
+                    }
+                }
+            }
+            loops.push(LoopInfo { head: h, parent: ROOT_LOOP, depth: 0, first: h, last });
+            head_loop[h as usize] = Some(lid);
+            loop_of[h as usize] = lid;
+            for &x in &body {
+                if let Some(inner) = head_loop[x as usize] {
+                    loops[inner.0 as usize].parent = lid;
+                } else {
+                    loop_of[x as usize] = lid;
+                }
+                uf.union_into(x, h);
+            }
+        }
+
+        // 3. Nesting depth by walking parent chains.
+        let mut forest = LoopForest { loop_of, loops };
+        let depths: Vec<u32> =
+            (0..forest.loops.len()).map(|i| forest.depth_of(LoopId(i as u32))).collect();
+        for (l, d) in forest.loops.iter_mut().zip(depths) {
+            l.depth = d;
+        }
+        forest
+    }
+
+    fn depth_of(&self, l: LoopId) -> u32 {
+        let mut d = 0;
+        let mut cur = l;
+        while cur != ROOT_LOOP {
+            cur = self.loops[cur.0 as usize].parent;
+            d += 1;
+            debug_assert!(d <= self.loops.len() as u32, "loop parent cycle");
+        }
+        d
+    }
+
+    pub fn info(&self, l: LoopId) -> &LoopInfo {
+        &self.loops[l.0 as usize]
+    }
+
+    /// Innermost loop of the block at RPO position `p`.
+    pub fn innermost_at(&self, p: u32) -> LoopId {
+        self.loop_of[p as usize]
+    }
+
+    /// Least common ancestor of two loops in the forest.
+    pub fn lca(&self, mut a: LoopId, mut b: LoopId) -> LoopId {
+        while self.info(a).depth > self.info(b).depth {
+            a = self.info(a).parent;
+        }
+        while self.info(b).depth > self.info(a).depth {
+            b = self.info(b).parent;
+        }
+        while a != b {
+            a = self.info(a).parent;
+            b = self.info(b).parent;
+        }
+        a
+    }
+
+    /// The ancestor of `l` that is a *direct child* of `anc` — i.e. "the
+    /// outermost loop below C_v that contains b" in Fig. 11. Requires `l`
+    /// strictly nested inside `anc`.
+    pub fn child_of_on_path(&self, mut l: LoopId, anc: LoopId) -> LoopId {
+        debug_assert_ne!(l, anc);
+        while self.info(l).parent != anc {
+            l = self.info(l).parent;
+        }
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::BlockId;
+    use crate::instr::CmpPred;
+    use crate::types::{Constant, Type};
+
+    fn single_loop_fn() -> Function {
+        let mut b = FunctionBuilder::new("l1", &[Type::I64], None);
+        b.counted_loop(Constant::i64(0).into(), b.param(0).into(), |_, _| {});
+        b.ret(None);
+        b.finish().unwrap()
+    }
+
+    fn analyses(f: &Function) -> (Rpo, DomTree) {
+        let rpo = Rpo::compute(f);
+        let dom = DomTree::compute(f, &rpo);
+        (rpo, dom)
+    }
+
+    #[test]
+    fn straight_line_has_only_root_loop() {
+        let mut b = FunctionBuilder::new("s", &[], None);
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let (rpo, dom) = analyses(&f);
+        let lf = LoopForest::compute(&f, &rpo, &dom);
+        assert_eq!(lf.loops.len(), 1);
+        assert_eq!(lf.loop_of[0], ROOT_LOOP);
+    }
+
+    #[test]
+    fn single_loop_detected() {
+        let f = single_loop_fn();
+        let (rpo, dom) = analyses(&f);
+        let lf = LoopForest::compute(&f, &rpo, &dom);
+        assert_eq!(lf.loops.len(), 2, "root pseudo loop + real loop");
+        let l = &lf.loops[1];
+        assert_eq!(l.parent, ROOT_LOOP);
+        assert_eq!(l.depth, 1);
+        // Head is block b1 (loop head created by counted_loop).
+        assert_eq!(l.head, rpo.position(BlockId(1)));
+        // Body (b2) is inside, exit (b3) is not.
+        assert_eq!(lf.innermost_at(rpo.position(BlockId(2))), LoopId(1));
+        assert_eq!(lf.innermost_at(rpo.position(BlockId(3))), ROOT_LOOP);
+        // Interval covers head..body.
+        assert_eq!(l.first, rpo.position(BlockId(1)));
+        assert!(l.last >= rpo.position(BlockId(2)));
+    }
+
+    #[test]
+    fn nested_loops() {
+        let mut b = FunctionBuilder::new("l2", &[Type::I64], None);
+        let n = b.param(0);
+        b.counted_loop(Constant::i64(0).into(), n.into(), |b, _i| {
+            b.counted_loop(Constant::i64(0).into(), n.into(), |_, _| {});
+        });
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let (rpo, dom) = analyses(&f);
+        let lf = LoopForest::compute(&f, &rpo, &dom);
+        assert_eq!(lf.loops.len(), 3);
+        let depths: Vec<u32> = lf.loops.iter().map(|l| l.depth).collect();
+        assert!(depths.contains(&2), "inner loop depth 2: {depths:?}");
+        // The depth-2 loop's parent must be the depth-1 loop.
+        let inner = lf.loops.iter().find(|l| l.depth == 2).unwrap();
+        assert_eq!(lf.info(inner.parent).depth, 1);
+        // LCA of inner and outer is outer.
+        let inner_id = LoopId(
+            lf.loops.iter().position(|l| l.depth == 2).unwrap() as u32
+        );
+        let outer_id = inner.parent;
+        assert_eq!(lf.lca(inner_id, outer_id), outer_id);
+        assert_eq!(lf.child_of_on_path(inner_id, outer_id), inner_id);
+    }
+
+    #[test]
+    fn sequential_loops_are_siblings() {
+        let mut b = FunctionBuilder::new("l3", &[Type::I64], None);
+        let n = b.param(0);
+        b.counted_loop(Constant::i64(0).into(), n.into(), |_, _| {});
+        b.counted_loop(Constant::i64(0).into(), n.into(), |_, _| {});
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let (rpo, dom) = analyses(&f);
+        let lf = LoopForest::compute(&f, &rpo, &dom);
+        assert_eq!(lf.loops.len(), 3);
+        assert!(lf.loops[1..].iter().all(|l| l.parent == ROOT_LOOP && l.depth == 1));
+        // Their intervals must not overlap.
+        let (a, b_) = (&lf.loops[1], &lf.loops[2]);
+        assert!(a.last < b_.first || b_.last < a.first);
+        // LCA of the two sibling loops is the root.
+        assert_eq!(lf.lca(LoopId(1), LoopId(2)), ROOT_LOOP);
+    }
+
+    #[test]
+    fn self_loop() {
+        // A block that branches to itself.
+        let mut b = FunctionBuilder::new("selfl", &[Type::I64], None);
+        let l = b.add_block();
+        let exit = b.add_block();
+        let pre = b.current_block();
+        b.br(l);
+        b.switch_to(l);
+        let i = b.phi(Type::I64, vec![(pre, Constant::i64(0).into())]);
+        let ni = b.bin(crate::instr::BinOp::Add, Type::I64, i.into(), Constant::i64(1).into());
+        b.phi_add_incoming(i, l, ni.into());
+        let c = b.cmp(CmpPred::SGe, Type::I64, ni.into(), b.param(0).into());
+        b.cond_br(c.into(), exit, l);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let (rpo, dom) = analyses(&f);
+        let lf = LoopForest::compute(&f, &rpo, &dom);
+        assert_eq!(lf.loops.len(), 2);
+        let lp = &lf.loops[1];
+        assert_eq!(lp.first, lp.head);
+        assert_eq!(lp.last, lp.head, "self-loop spans a single block");
+    }
+}

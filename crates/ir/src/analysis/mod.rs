@@ -1,0 +1,38 @@
+//! CFG analyses backing the paper's linear-time liveness computation
+//! (§IV-D): reverse postorder, dominator tree with pre/post-order labels,
+//! loop forest via disjoint-set union, block-interval live ranges, and an
+//! exact iterative-dataflow liveness oracle used to test that the linear
+//! algorithm is a conservative superset.
+
+pub mod dataflow;
+pub mod dom;
+pub mod live;
+pub mod loops;
+pub mod rpo;
+
+pub use dataflow::ExactLiveness;
+pub use dom::DomTree;
+pub use live::{LiveRange, LiveRanges};
+pub use loops::{LoopForest, LoopId};
+pub use rpo::Rpo;
+
+use crate::function::Function;
+
+/// All analyses needed for translation, computed in one pass.
+pub struct Analyses {
+    pub rpo: Rpo,
+    pub dom: DomTree,
+    pub loops: LoopForest,
+    pub live: LiveRanges,
+}
+
+impl Analyses {
+    /// Run the full linear-time analysis pipeline of Fig. 11.
+    pub fn compute(f: &Function) -> Analyses {
+        let rpo = Rpo::compute(f);
+        let dom = DomTree::compute(f, &rpo);
+        let loops = LoopForest::compute(f, &rpo, &dom);
+        let live = LiveRanges::compute(f, &rpo, &loops);
+        Analyses { rpo, dom, loops, live }
+    }
+}

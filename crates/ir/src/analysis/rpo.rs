@@ -1,0 +1,145 @@
+//! Reverse postorder numbering of basic blocks.
+//!
+//! The paper: "It starts by labeling (and ordering) all basic blocks in
+//! reverse postorder, i.e., a block is placed after all its incoming blocks
+//! [ignoring back edges]. … This order is required for the next algorithm
+//! step, and has the added advantage of making sure that the block labels
+//! are meaningful regarding the control flow."
+
+use crate::function::{BlockId, Function};
+
+/// Position of a block that is unreachable from the entry.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Reverse postorder of the reachable blocks of a function.
+#[derive(Clone, Debug)]
+pub struct Rpo {
+    /// Reachable blocks in reverse postorder; `order[0]` is the entry.
+    pub order: Vec<BlockId>,
+    /// `pos[b.index()]` = position of `b` in `order`, or [`UNREACHABLE`].
+    pub pos: Vec<u32>,
+}
+
+impl Rpo {
+    pub fn compute(f: &Function) -> Rpo {
+        let n = f.block_count();
+        let mut postorder = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        // Iterative DFS computing postorder. Each stack entry remembers how
+        // many successors have been expanded already.
+        let mut stack: Vec<(BlockId, usize)> = vec![(Function::ENTRY, 0)];
+        state[Function::ENTRY.index()] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let succs: Vec<BlockId> = f.block(b).term.successors().collect();
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if state[s.index()] == 0 {
+                    state[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                postorder.push(b);
+                stack.pop();
+            }
+        }
+        postorder.reverse();
+        let mut pos = vec![UNREACHABLE; n];
+        for (i, &b) in postorder.iter().enumerate() {
+            pos[b.index()] = i as u32;
+        }
+        Rpo { order: postorder, pos }
+    }
+
+    /// Number of reachable blocks.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.pos[b.index()] != UNREACHABLE
+    }
+
+    /// RPO position of `b`; panics if unreachable.
+    pub fn position(&self, b: BlockId) -> u32 {
+        let p = self.pos[b.index()];
+        debug_assert_ne!(p, UNREACHABLE, "{b} is unreachable");
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::{Constant, Type};
+
+    /// Build the running example CFG from the paper's Fig. 10:
+    /// 1 → 2 → 3 → 4 → 5 → 6 → (3 back edge), 6 → 7 variant.
+    /// We approximate with: entry → a → head → body → head?, head → exit.
+    fn diamond_with_loop() -> crate::function::Function {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], None);
+        let head = b.add_block();
+        let body = b.add_block();
+        let exit = b.add_block();
+        let pre = b.current_block();
+        b.br(head);
+        b.switch_to(head);
+        let i = b.phi(Type::I64, vec![(pre, Constant::i64(0).into())]);
+        let c = b.cmp(
+            crate::instr::CmpPred::SGe,
+            Type::I64,
+            i.into(),
+            b.param(0).into(),
+        );
+        b.cond_br(c.into(), exit, body);
+        b.switch_to(body);
+        let n = b.bin(
+            crate::instr::BinOp::Add,
+            Type::I64,
+            i.into(),
+            Constant::i64(1).into(),
+        );
+        b.phi_add_incoming(i, body, n.into());
+        b.br(head);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn entry_is_first() {
+        let f = diamond_with_loop();
+        let rpo = Rpo::compute(&f);
+        assert_eq!(rpo.order[0], Function::ENTRY);
+        assert_eq!(rpo.position(Function::ENTRY), 0);
+        assert_eq!(rpo.len(), 4);
+    }
+
+    #[test]
+    fn blocks_after_predecessors_ignoring_back_edges() {
+        let f = diamond_with_loop();
+        let rpo = Rpo::compute(&f);
+        // head (b1) must come before body (b2) and before exit (b3).
+        assert!(rpo.position(BlockId(1)) < rpo.position(BlockId(2)));
+        assert!(rpo.position(BlockId(1)) < rpo.position(BlockId(3)));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_flagged() {
+        let mut b = FunctionBuilder::new("g", &[], None);
+        let dead = b.add_block();
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        let f = b.finish_unverified();
+        let rpo = Rpo::compute(&f);
+        assert!(!rpo.is_reachable(dead));
+        assert_eq!(rpo.len(), 1);
+    }
+}

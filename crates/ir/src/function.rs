@@ -1,0 +1,274 @@
+//! Functions, basic blocks, modules.
+
+use crate::instr::{Instr, Terminator};
+use crate::types::Type;
+use std::fmt;
+
+/// Identifies an SSA value (function parameter or instruction result) within
+/// a [`Function`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ValueId(pub u32);
+
+impl ValueId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// Identifies a basic block within a [`Function`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// Identifies a runtime (extern) function declared on a [`Module`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ExternId(pub u32);
+
+impl ExternId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// How an SSA value is defined.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ValueDef {
+    /// The `idx`-th function parameter.
+    Param(u32),
+    /// The result of an instruction (possibly `Void`-typed).
+    Instr(Instr),
+}
+
+/// An SSA value: its definition and type.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ValueData {
+    pub def: ValueDef,
+    pub ty: Type,
+}
+
+/// A basic block: a sequence of instructions (by value id) plus a terminator.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Block {
+    pub instrs: Vec<ValueId>,
+    pub term: Terminator,
+}
+
+impl Default for Terminator {
+    fn default() -> Self {
+        Terminator::None
+    }
+}
+
+/// A function in SSA form.
+///
+/// Values are stored in one arena; `ValueId`s `0..param_count` are the
+/// parameters, the rest are instruction results in creation order. Block 0 is
+/// the entry block.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Function {
+    pub name: String,
+    pub params: Vec<Type>,
+    pub ret: Option<Type>,
+    pub(crate) values: Vec<ValueData>,
+    pub(crate) blocks: Vec<Block>,
+}
+
+impl Function {
+    pub const ENTRY: BlockId = BlockId(0);
+
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    pub fn value_count(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    pub fn block(&self, b: BlockId) -> &Block {
+        &self.blocks[b.index()]
+    }
+
+    /// Mutable block access (used by optimization passes).
+    pub fn block_mut(&mut self, b: BlockId) -> &mut Block {
+        &mut self.blocks[b.index()]
+    }
+
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    pub fn value(&self, v: ValueId) -> &ValueData {
+        &self.values[v.index()]
+    }
+
+    pub fn value_type(&self, v: ValueId) -> Type {
+        self.values[v.index()].ty
+    }
+
+    /// The instruction defining `v`, or `None` for parameters.
+    pub fn instr(&self, v: ValueId) -> Option<&Instr> {
+        match &self.values[v.index()].def {
+            ValueDef::Param(_) => None,
+            ValueDef::Instr(i) => Some(i),
+        }
+    }
+
+    /// Mutable instruction access (used by optimization passes).
+    pub fn instr_mut(&mut self, v: ValueId) -> Option<&mut Instr> {
+        match &mut self.values[v.index()].def {
+            ValueDef::Param(_) => None,
+            ValueDef::Instr(i) => Some(i),
+        }
+    }
+
+    /// Total number of instructions (the paper's compile-time cost metric,
+    /// cf. Fig. 6: "the number of LLVM instructions of a query correlates
+    /// very well with its compilation time").
+    pub fn instruction_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len() + 1).sum()
+    }
+
+    /// CFG predecessors, computed fresh (callers cache as needed).
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (id, block) in self.blocks() {
+            for succ in block.term.successors() {
+                preds[succ.index()].push(id);
+            }
+        }
+        preds
+    }
+}
+
+/// A runtime function declaration: the engine registers every callable
+/// helper with its signature, so "we can identify missing opcodes at compile
+/// time" (§IV-E).
+#[derive(Clone, PartialEq, Debug)]
+pub struct ExternDecl {
+    pub name: String,
+    pub params: Vec<Type>,
+    pub ret: Option<Type>,
+}
+
+/// A module: the unit of code generation for one query. Holds the generated
+/// functions (`queryStart` equivalents live in the host; these are the
+/// per-pipeline worker functions) and the extern declarations they call.
+#[derive(Clone, Default, Debug)]
+pub struct Module {
+    pub functions: Vec<Function>,
+    pub externs: Vec<ExternDecl>,
+}
+
+impl Module {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn declare_extern(
+        &mut self,
+        name: impl Into<String>,
+        params: Vec<Type>,
+        ret: Option<Type>,
+    ) -> ExternId {
+        let id = ExternId(self.externs.len() as u32);
+        self.externs.push(ExternDecl { name: name.into(), params, ret });
+        id
+    }
+
+    pub fn add_function(&mut self, f: Function) -> usize {
+        self.functions.push(f);
+        self.functions.len() - 1
+    }
+
+    pub fn extern_decl(&self, id: ExternId) -> &ExternDecl {
+        &self.externs[id.index()]
+    }
+
+    /// Total instruction count over all functions.
+    pub fn instruction_count(&self) -> usize {
+        self.functions.iter().map(Function::instruction_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::BinOp;
+
+    fn sample() -> Function {
+        let mut b = FunctionBuilder::new("f", &[Type::I64, Type::I64], Some(Type::I64));
+        let (p0, p1) = (b.param(0), b.param(1));
+        let s = b.bin(BinOp::Add, Type::I64, p0.into(), p1.into());
+        b.ret(Some(s.into()));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn function_accessors() {
+        let f = sample();
+        assert_eq!(f.param_count(), 2);
+        assert_eq!(f.block_count(), 1);
+        assert_eq!(f.value_count(), 3);
+        assert_eq!(f.value_type(ValueId(0)), Type::I64);
+        assert!(f.instr(ValueId(0)).is_none()); // param
+        assert!(f.instr(ValueId(2)).is_some()); // add
+    }
+
+    #[test]
+    fn instruction_count_includes_terminators() {
+        let f = sample();
+        assert_eq!(f.instruction_count(), 2); // add + ret
+    }
+
+    #[test]
+    fn predecessors() {
+        let mut b = FunctionBuilder::new("g", &[Type::I1], None);
+        let t = b.add_block();
+        let e = b.add_block();
+        let j = b.add_block();
+        let c = b.param(0);
+        b.cond_br(c.into(), t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let preds = f.predecessors();
+        assert_eq!(preds[j.index()], vec![t, e]);
+        assert!(preds[Function::ENTRY.index()].is_empty());
+    }
+
+    #[test]
+    fn module_externs() {
+        let mut m = Module::new();
+        let id = m.declare_extern("rt_hash", vec![Type::I64], Some(Type::I64));
+        assert_eq!(m.extern_decl(id).name, "rt_hash");
+        assert_eq!(m.extern_decl(id).params, vec![Type::I64]);
+        m.add_function(sample());
+        assert_eq!(m.instruction_count(), 2);
+    }
+}

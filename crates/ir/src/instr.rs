@@ -1,0 +1,477 @@
+//! Instruction set: operations, operands, and terminators.
+
+use crate::function::{BlockId, ExternId, ValueId};
+use crate::types::{Constant, Type};
+
+/// An instruction operand: either an SSA value or an immediate constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    Value(ValueId),
+    Const(Constant),
+}
+
+impl Operand {
+    pub fn as_value(self) -> Option<ValueId> {
+        match self {
+            Operand::Value(v) => Some(v),
+            Operand::Const(_) => None,
+        }
+    }
+    pub fn as_const(self) -> Option<Constant> {
+        match self {
+            Operand::Value(_) => None,
+            Operand::Const(c) => Some(c),
+        }
+    }
+}
+
+impl From<ValueId> for Operand {
+    fn from(v: ValueId) -> Self {
+        Operand::Value(v)
+    }
+}
+
+impl From<Constant> for Operand {
+    fn from(c: Constant) -> Self {
+        Operand::Const(c)
+    }
+}
+
+/// Binary operations. `Add`/`Sub`/`Mul` double as float operations when the
+/// instruction type is `f64` (the type is part of the instruction, so there
+/// is no ambiguity — the VM translator expands these into typed opcodes
+/// exactly like the paper expands LLVM's `add` by operand width).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    /// Signed division; traps on division by zero (SQL error semantics).
+    SDiv,
+    UDiv,
+    SRem,
+    URem,
+    /// Float division (f64 only).
+    FDiv,
+    And,
+    Or,
+    Xor,
+    Shl,
+    /// Arithmetic (sign-preserving) shift right.
+    AShr,
+    /// Logical shift right.
+    LShr,
+}
+
+impl BinOp {
+    /// Whether the op is valid for floating point operands.
+    pub fn valid_for_float(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::FDiv)
+    }
+    /// Whether the op is valid for integer operands.
+    pub fn valid_for_int(self) -> bool {
+        !matches!(self, BinOp::FDiv)
+    }
+    /// Whether the op can trap at runtime (division/remainder by zero).
+    pub fn can_trap(self) -> bool {
+        matches!(self, BinOp::SDiv | BinOp::UDiv | BinOp::SRem | BinOp::URem)
+    }
+    pub fn name(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::SDiv => "sdiv",
+            BinOp::UDiv => "udiv",
+            BinOp::SRem => "srem",
+            BinOp::URem => "urem",
+            BinOp::FDiv => "fdiv",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::AShr => "ashr",
+            BinOp::LShr => "lshr",
+        }
+    }
+}
+
+/// Overflow-checked arithmetic (`llvm.*.with.overflow` equivalents).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OvfOp {
+    Add,
+    Sub,
+    Mul,
+}
+
+impl OvfOp {
+    pub fn name(self) -> &'static str {
+        match self {
+            OvfOp::Add => "sadd.ovf",
+            OvfOp::Sub => "ssub.ovf",
+            OvfOp::Mul => "smul.ovf",
+        }
+    }
+}
+
+/// Comparison predicates. For `f64` operands the signed predicates denote
+/// ordered float comparisons; unsigned predicates are integer-only.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpPred {
+    Eq,
+    Ne,
+    SLt,
+    SLe,
+    SGt,
+    SGe,
+    ULt,
+    ULe,
+    UGt,
+    UGe,
+}
+
+impl CmpPred {
+    pub fn valid_for_float(self) -> bool {
+        matches!(
+            self,
+            CmpPred::Eq | CmpPred::Ne | CmpPred::SLt | CmpPred::SLe | CmpPred::SGt | CmpPred::SGe
+        )
+    }
+    /// The predicate with swapped operands (`a < b` ⇒ `b > a`).
+    pub fn swapped(self) -> CmpPred {
+        match self {
+            CmpPred::Eq => CmpPred::Eq,
+            CmpPred::Ne => CmpPred::Ne,
+            CmpPred::SLt => CmpPred::SGt,
+            CmpPred::SLe => CmpPred::SGe,
+            CmpPred::SGt => CmpPred::SLt,
+            CmpPred::SGe => CmpPred::SLe,
+            CmpPred::ULt => CmpPred::UGt,
+            CmpPred::ULe => CmpPred::UGe,
+            CmpPred::UGt => CmpPred::ULt,
+            CmpPred::UGe => CmpPred::ULe,
+        }
+    }
+    /// The negated predicate (`!(a < b)` ⇒ `a >= b`).
+    pub fn negated(self) -> CmpPred {
+        match self {
+            CmpPred::Eq => CmpPred::Ne,
+            CmpPred::Ne => CmpPred::Eq,
+            CmpPred::SLt => CmpPred::SGe,
+            CmpPred::SLe => CmpPred::SGt,
+            CmpPred::SGt => CmpPred::SLe,
+            CmpPred::SGe => CmpPred::SLt,
+            CmpPred::ULt => CmpPred::UGe,
+            CmpPred::ULe => CmpPred::UGt,
+            CmpPred::UGt => CmpPred::ULe,
+            CmpPred::UGe => CmpPred::ULt,
+        }
+    }
+    pub fn name(self) -> &'static str {
+        match self {
+            CmpPred::Eq => "eq",
+            CmpPred::Ne => "ne",
+            CmpPred::SLt => "slt",
+            CmpPred::SLe => "sle",
+            CmpPred::SGt => "sgt",
+            CmpPred::SGe => "sge",
+            CmpPred::ULt => "ult",
+            CmpPred::ULe => "ule",
+            CmpPred::UGt => "ugt",
+            CmpPred::UGe => "uge",
+        }
+    }
+}
+
+/// Value-to-value conversions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CastKind {
+    /// Zero-extend a narrower integer to a wider one.
+    ZExt,
+    /// Sign-extend a narrower integer to a wider one.
+    SExt,
+    /// Truncate a wider integer to a narrower one.
+    Trunc,
+    /// Signed integer to `f64`.
+    SiToFp,
+    /// `f64` to signed integer (truncating toward zero).
+    FpToSi,
+    /// Reinterpret bits: `f64`↔`i64`, `ptr`↔`i64`.
+    Bitcast,
+}
+
+impl CastKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            CastKind::ZExt => "zext",
+            CastKind::SExt => "sext",
+            CastKind::Trunc => "trunc",
+            CastKind::SiToFp => "sitofp",
+            CastKind::FpToSi => "fptosi",
+            CastKind::Bitcast => "bitcast",
+        }
+    }
+}
+
+/// Why a trap terminator fired.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TrapKind {
+    /// Checked arithmetic overflowed (SQL numeric overflow error).
+    Overflow,
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Engine-defined error code.
+    User(u32),
+}
+
+/// A non-terminator instruction. The instruction's result type is stored
+/// alongside it in the function's value table.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Instr {
+    /// `dst = op ty a, b`
+    Bin { op: BinOp, ty: Type, a: Operand, b: Operand },
+    /// `dst = llvm.s<op>.with.overflow.ty(a, b)` producing an `{ty, i1}` pair.
+    BinOvf { op: OvfOp, ty: Type, a: Operand, b: Operand },
+    /// `dst = extractvalue pair, field` — field 0 is the value, 1 the flag.
+    Extract { pair: ValueId, field: u8 },
+    /// `dst = icmp/fcmp pred ty a, b`
+    Cmp { pred: CmpPred, ty: Type, a: Operand, b: Operand },
+    /// `dst = select i1 cond, ty t, ty f`
+    Select { ty: Type, cond: Operand, t: Operand, f: Operand },
+    /// `dst = <kind> v to ty`
+    Cast { kind: CastKind, to: Type, v: Operand, from: Type },
+    /// `dst = load ty, ptr`
+    Load { ty: Type, ptr: Operand },
+    /// `store ty val, ptr`
+    Store { ty: Type, ptr: Operand, val: Operand },
+    /// `dst = gep base, +offset [, index * scale]` — simplified pointer
+    /// arithmetic covering everything query codegen needs. The translator
+    /// fuses `gep`+`load`/`store` pairs into single opcodes (§IV-F).
+    Gep { base: Operand, offset: i64, index: Option<(Operand, i64)> },
+    /// `dst = call @extern(args…)` — call into the C++/Rust runtime. All
+    /// callable signatures are known at engine build time (§IV-E).
+    Call { func: ExternId, args: Vec<Operand> },
+    /// `dst = phi ty [(pred, v)…]`
+    Phi { ty: Type, incomings: Vec<(BlockId, Operand)> },
+}
+
+impl Instr {
+    /// Visit all value operands (not constants).
+    pub fn for_each_value_use(&self, mut f: impl FnMut(ValueId)) {
+        let mut op = |o: &Operand| {
+            if let Operand::Value(v) = o {
+                f(*v);
+            }
+        };
+        match self {
+            Instr::Bin { a, b, .. } | Instr::BinOvf { a, b, .. } | Instr::Cmp { a, b, .. } => {
+                op(a);
+                op(b);
+            }
+            Instr::Extract { pair, .. } => f(*pair),
+            Instr::Select { cond, t, f: fv, .. } => {
+                op(cond);
+                op(t);
+                op(fv);
+            }
+            Instr::Cast { v, .. } => op(v),
+            Instr::Load { ptr, .. } => op(ptr),
+            Instr::Store { ptr, val, .. } => {
+                op(ptr);
+                op(val);
+            }
+            Instr::Gep { base, index, .. } => {
+                op(base);
+                if let Some((i, _)) = index {
+                    op(i);
+                }
+            }
+            Instr::Call { args, .. } => args.iter().for_each(op),
+            Instr::Phi { incomings, .. } => incomings.iter().for_each(|(_, o)| op(o)),
+        }
+    }
+
+    /// Whether the instruction has side effects (must not be removed/moved).
+    pub fn has_side_effects(&self) -> bool {
+        matches!(self, Instr::Store { .. } | Instr::Call { .. })
+    }
+
+    /// Whether the instruction can trap at runtime.
+    pub fn can_trap(&self) -> bool {
+        match self {
+            Instr::Bin { op, .. } => op.can_trap(),
+            _ => false,
+        }
+    }
+
+    pub fn is_phi(&self) -> bool {
+        matches!(self, Instr::Phi { .. })
+    }
+
+    /// Rewrite every operand in place (used by optimization passes).
+    pub fn map_operands(&mut self, mut f: impl FnMut(&mut Operand)) {
+        match self {
+            Instr::Bin { a, b, .. } | Instr::BinOvf { a, b, .. } | Instr::Cmp { a, b, .. } => {
+                f(a);
+                f(b);
+            }
+            Instr::Extract { .. } => {}
+            Instr::Select { cond, t, f: fv, .. } => {
+                f(cond);
+                f(t);
+                f(fv);
+            }
+            Instr::Cast { v, .. } => f(v),
+            Instr::Load { ptr, .. } => f(ptr),
+            Instr::Store { ptr, val, .. } => {
+                f(ptr);
+                f(val);
+            }
+            Instr::Gep { base, index, .. } => {
+                f(base);
+                if let Some((i, _)) = index {
+                    f(i);
+                }
+            }
+            Instr::Call { args, .. } => args.iter_mut().for_each(f),
+            Instr::Phi { incomings, .. } => incomings.iter_mut().for_each(|(_, o)| f(o)),
+        }
+    }
+}
+
+/// Block terminators.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Terminator {
+    Br { target: BlockId },
+    CondBr { cond: Operand, then_bb: BlockId, else_bb: BlockId },
+    Ret { value: Option<Operand> },
+    /// Abort query execution with an error (overflow, division by zero, …).
+    Trap { kind: TrapKind },
+    /// Placeholder while a block is under construction; rejected by the
+    /// verifier.
+    None,
+}
+
+impl Terminator {
+    /// Successor blocks in order.
+    pub fn successors(&self) -> impl Iterator<Item = BlockId> + '_ {
+        let (a, b) = match self {
+            Terminator::Br { target } => (Some(*target), None),
+            Terminator::CondBr { then_bb, else_bb, .. } => (Some(*then_bb), Some(*else_bb)),
+            _ => (None, None),
+        };
+        a.into_iter().chain(b)
+    }
+
+    pub fn for_each_value_use(&self, mut f: impl FnMut(ValueId)) {
+        match self {
+            Terminator::CondBr { cond: Operand::Value(v), .. } => f(*v),
+            Terminator::Ret { value: Some(Operand::Value(v)) } => f(*v),
+            _ => {}
+        }
+    }
+
+    /// Rewrite operands in place (used by optimization passes).
+    pub fn map_operands(&mut self, mut f: impl FnMut(&mut Operand)) {
+        match self {
+            Terminator::CondBr { cond, .. } => f(cond),
+            Terminator::Ret { value: Some(v) } => f(v),
+            _ => {}
+        }
+    }
+
+    /// Rewrite successor block ids in place (used by CFG simplification).
+    pub fn map_successors(&mut self, mut f: impl FnMut(&mut BlockId)) {
+        match self {
+            Terminator::Br { target } => f(target),
+            Terminator::CondBr { then_bb, else_bb, .. } => {
+                f(then_bb);
+                f(else_bb);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_validity() {
+        assert!(BinOp::Add.valid_for_float());
+        assert!(BinOp::Add.valid_for_int());
+        assert!(!BinOp::FDiv.valid_for_int());
+        assert!(BinOp::FDiv.valid_for_float());
+        assert!(!BinOp::Xor.valid_for_float());
+        assert!(BinOp::SDiv.can_trap());
+        assert!(!BinOp::Add.can_trap());
+    }
+
+    #[test]
+    fn pred_swap_negate_involution() {
+        for p in [
+            CmpPred::Eq,
+            CmpPred::Ne,
+            CmpPred::SLt,
+            CmpPred::SLe,
+            CmpPred::SGt,
+            CmpPred::SGe,
+            CmpPred::ULt,
+            CmpPred::ULe,
+            CmpPred::UGt,
+            CmpPred::UGe,
+        ] {
+            assert_eq!(p.swapped().swapped(), p);
+            assert_eq!(p.negated().negated(), p);
+        }
+    }
+
+    #[test]
+    fn float_pred_validity() {
+        assert!(CmpPred::SLt.valid_for_float());
+        assert!(!CmpPred::ULt.valid_for_float());
+    }
+
+    #[test]
+    fn operand_accessors() {
+        let v: Operand = ValueId(3).into();
+        assert_eq!(v.as_value(), Some(ValueId(3)));
+        assert_eq!(v.as_const(), None);
+        let c: Operand = Constant::i64(5).into();
+        assert_eq!(c.as_value(), None);
+        assert_eq!(c.as_const().unwrap().as_i64(), 5);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let t = Terminator::CondBr {
+            cond: Constant::bool(true).into(),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        let succs: Vec<_> = t.successors().collect();
+        assert_eq!(succs, vec![BlockId(1), BlockId(2)]);
+        assert_eq!(Terminator::Ret { value: None }.successors().count(), 0);
+    }
+
+    #[test]
+    fn instr_use_visiting() {
+        let i = Instr::Bin {
+            op: BinOp::Add,
+            ty: Type::I64,
+            a: ValueId(1).into(),
+            b: Constant::i64(2).into(),
+        };
+        let mut uses = vec![];
+        i.for_each_value_use(|v| uses.push(v));
+        assert_eq!(uses, vec![ValueId(1)]);
+        assert!(!i.has_side_effects());
+        let s = Instr::Store {
+            ty: Type::I64,
+            ptr: ValueId(0).into(),
+            val: ValueId(1).into(),
+        };
+        assert!(s.has_side_effects());
+    }
+}

@@ -1,0 +1,147 @@
+//! Human-readable (LLVM-flavoured) textual printer for IR.
+//!
+//! Used by tests, examples, and debugging; there is intentionally no parser —
+//! IR is always produced programmatically by the code generator.
+
+use crate::function::{Function, Module, ValueDef};
+use crate::instr::{Instr, Operand, Terminator};
+use std::fmt::Write;
+
+fn op_str(op: &Operand) -> String {
+    match op {
+        Operand::Value(v) => v.to_string(),
+        Operand::Const(c) => c.to_string(),
+    }
+}
+
+/// Render one function.
+pub fn print_function(f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("{t} %{i}"))
+        .collect();
+    let ret = f.ret.map(|t| t.to_string()).unwrap_or_else(|| "void".into());
+    let _ = writeln!(out, "define {ret} @{}({}) {{", f.name, params.join(", "));
+    for (bid, block) in f.blocks() {
+        let _ = writeln!(out, "{bid}:");
+        for &vid in &block.instrs {
+            let ValueDef::Instr(instr) = &f.value(vid).def else {
+                continue;
+            };
+            let ty = f.value_type(vid);
+            let line = match instr {
+                Instr::Bin { op, ty, a, b } => {
+                    format!("{vid} = {} {ty} {}, {}", op.name(), op_str(a), op_str(b))
+                }
+                Instr::BinOvf { op, ty, a, b } => {
+                    format!("{vid} = {}.{ty}({}, {})", op.name(), op_str(a), op_str(b))
+                }
+                Instr::Extract { pair, field } => {
+                    format!("{vid} = extractvalue {pair}, {field}")
+                }
+                Instr::Cmp { pred, ty, a, b } => {
+                    let kind = if *ty == crate::types::Type::F64 { "fcmp" } else { "icmp" };
+                    format!("{vid} = {kind} {} {ty} {}, {}", pred.name(), op_str(a), op_str(b))
+                }
+                Instr::Select { ty, cond, t, f } => {
+                    format!("{vid} = select i1 {}, {ty} {}, {}", op_str(cond), op_str(t), op_str(f))
+                }
+                Instr::Cast { kind, to, v, from } => {
+                    format!("{vid} = {} {from} {} to {to}", kind.name(), op_str(v))
+                }
+                Instr::Load { ty, ptr } => format!("{vid} = load {ty}, {}", op_str(ptr)),
+                Instr::Store { ty, ptr, val } => {
+                    format!("store {ty} {}, {}", op_str(val), op_str(ptr))
+                }
+                Instr::Gep { base, offset, index } => match index {
+                    Some((i, scale)) => format!(
+                        "{vid} = gep {} + {offset} + {} * {scale}",
+                        op_str(base),
+                        op_str(i)
+                    ),
+                    None => format!("{vid} = gep {} + {offset}", op_str(base)),
+                },
+                Instr::Call { func, args } => {
+                    let args: Vec<String> = args.iter().map(op_str).collect();
+                    if ty == crate::types::Type::Void {
+                        format!("call @ext{}({})", func.0, args.join(", "))
+                    } else {
+                        format!("{vid} = call {ty} @ext{}({})", func.0, args.join(", "))
+                    }
+                }
+                Instr::Phi { ty, incomings } => {
+                    let inc: Vec<String> = incomings
+                        .iter()
+                        .map(|(b, o)| format!("[{}, {b}]", op_str(o)))
+                        .collect();
+                    format!("{vid} = phi {ty} {}", inc.join(", "))
+                }
+            };
+            let _ = writeln!(out, "  {line}");
+        }
+        let term = match &block.term {
+            Terminator::Br { target } => format!("br {target}"),
+            Terminator::CondBr { cond, then_bb, else_bb } => {
+                format!("br i1 {}, {then_bb}, {else_bb}", op_str(cond))
+            }
+            Terminator::Ret { value: Some(v) } => format!("ret {}", op_str(v)),
+            Terminator::Ret { value: None } => "ret void".into(),
+            Terminator::Trap { kind } => format!("trap {kind:?}"),
+            Terminator::None => "<unterminated>".into(),
+        };
+        let _ = writeln!(out, "  {term}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render a whole module (extern declarations followed by functions).
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    for (i, e) in m.externs.iter().enumerate() {
+        let params: Vec<String> = e.params.iter().map(|t| t.to_string()).collect();
+        let ret = e.ret.map(|t| t.to_string()).unwrap_or_else(|| "void".into());
+        let _ = writeln!(out, "declare {ret} @ext{i} \"{}\"({})", e.name, params.join(", "));
+    }
+    for f in &m.functions {
+        let _ = writeln!(out);
+        out.push_str(&print_function(f));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::BinOp;
+    use crate::types::{Constant, Type};
+
+    #[test]
+    fn prints_simple_function() {
+        let mut b = FunctionBuilder::new("add1", &[Type::I64], Some(Type::I64));
+        let p = b.param(0);
+        let r = b.bin(BinOp::Add, Type::I64, p.into(), Constant::i64(1).into());
+        b.ret(Some(r.into()));
+        let f = b.finish().unwrap();
+        let s = print_function(&f);
+        assert!(s.contains("define i64 @add1(i64 %0)"), "{s}");
+        assert!(s.contains("%1 = add i64 %0, 1"), "{s}");
+        assert!(s.contains("ret %1"), "{s}");
+    }
+
+    #[test]
+    fn prints_module_with_externs() {
+        let mut m = crate::function::Module::new();
+        m.declare_extern("rt_emit", vec![Type::Ptr, Type::I64], None);
+        let mut b = FunctionBuilder::new("w", &[], None);
+        b.ret(None);
+        m.add_function(b.finish().unwrap());
+        let s = print_module(&m);
+        assert!(s.contains("declare void @ext0 \"rt_emit\"(ptr, i64)"), "{s}");
+        assert!(s.contains("define void @w()"), "{s}");
+    }
+}

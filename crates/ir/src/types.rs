@@ -1,0 +1,204 @@
+//! Scalar types and typed constants.
+
+use std::fmt;
+
+/// The scalar type of an SSA value.
+///
+/// The paper's VM "mostly follows the LLVM instruction set" but bakes the
+/// operand type into the opcode (§IV-A); keeping the type set small and flat
+/// keeps the opcode cross-product manageable (~500 combinations in the
+/// paper, a similar order here).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Type {
+    /// Boolean produced by comparisons; stored as 0/1 in a full slot.
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    F64,
+    /// Untyped pointer (memory addresses into column data / query state).
+    Ptr,
+    /// Result "type" of instructions that produce no value (stores, void calls).
+    Void,
+    /// `{i32, i1}` pair produced by `i32.*.with.overflow`.
+    OvfPairI32,
+    /// `{i64, i1}` pair produced by `i64.*.with.overflow`.
+    OvfPairI64,
+}
+
+impl Type {
+    /// Whether this is an integer type (including `i1`).
+    pub fn is_int(self) -> bool {
+        matches!(self, Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64)
+    }
+
+    /// Whether this type can be the operand type of ordinary arithmetic.
+    pub fn is_arith(self) -> bool {
+        matches!(self, Type::I8 | Type::I16 | Type::I32 | Type::I64 | Type::F64)
+    }
+
+    /// Whether values of this type occupy a register slot.
+    pub fn has_slot(self) -> bool {
+        !matches!(self, Type::Void)
+    }
+
+    /// Width in bits for integer types.
+    pub fn bits(self) -> u32 {
+        match self {
+            Type::I1 => 1,
+            Type::I8 => 8,
+            Type::I16 => 16,
+            Type::I32 => 32,
+            Type::I64 | Type::F64 | Type::Ptr => 64,
+            Type::Void | Type::OvfPairI32 | Type::OvfPairI64 => 0,
+        }
+    }
+
+    /// Size in bytes of a value of this type in memory (loads/stores).
+    pub fn mem_size(self) -> usize {
+        match self {
+            Type::I1 | Type::I8 => 1,
+            Type::I16 => 2,
+            Type::I32 => 4,
+            Type::I64 | Type::F64 | Type::Ptr => 8,
+            Type::Void | Type::OvfPairI32 | Type::OvfPairI64 => 0,
+        }
+    }
+
+    /// The value component of an overflow pair.
+    pub fn ovf_value_type(self) -> Option<Type> {
+        match self {
+            Type::OvfPairI32 => Some(Type::I32),
+            Type::OvfPairI64 => Some(Type::I64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Type::I1 => "i1",
+            Type::I8 => "i8",
+            Type::I16 => "i16",
+            Type::I32 => "i32",
+            Type::I64 => "i64",
+            Type::F64 => "f64",
+            Type::Ptr => "ptr",
+            Type::Void => "void",
+            Type::OvfPairI32 => "{i32,i1}",
+            Type::OvfPairI64 => "{i64,i1}",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A typed immediate constant.
+///
+/// Constants are operands (as in LLVM), not instructions; the bytecode
+/// translator either folds them into immediate opcode forms or materialises
+/// them into scratch registers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Constant {
+    pub ty: Type,
+    /// Raw 64-bit representation. Integers are stored sign-extended,
+    /// `f64` as its bit pattern, `i1` as 0/1.
+    pub bits: u64,
+}
+
+impl Constant {
+    pub fn bool(v: bool) -> Self {
+        Constant { ty: Type::I1, bits: v as u64 }
+    }
+    pub fn i8(v: i8) -> Self {
+        Constant { ty: Type::I8, bits: v as i64 as u64 }
+    }
+    pub fn i16(v: i16) -> Self {
+        Constant { ty: Type::I16, bits: v as i64 as u64 }
+    }
+    pub fn i32(v: i32) -> Self {
+        Constant { ty: Type::I32, bits: v as i64 as u64 }
+    }
+    pub fn i64(v: i64) -> Self {
+        Constant { ty: Type::I64, bits: v as u64 }
+    }
+    pub fn f64(v: f64) -> Self {
+        Constant { ty: Type::F64, bits: v.to_bits() }
+    }
+    pub fn null_ptr() -> Self {
+        Constant { ty: Type::Ptr, bits: 0 }
+    }
+
+    /// Interpret the constant as a signed 64-bit integer.
+    pub fn as_i64(self) -> i64 {
+        self.bits as i64
+    }
+    /// Interpret the constant as a float (valid only for `f64` constants).
+    pub fn as_f64(self) -> f64 {
+        f64::from_bits(self.bits)
+    }
+    pub fn is_zero(self) -> bool {
+        self.bits == 0
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.ty {
+            Type::F64 => write!(f, "{}", self.as_f64()),
+            Type::I1 => write!(f, "{}", self.bits != 0),
+            _ => write!(f, "{}", self.as_i64()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_predicates() {
+        assert!(Type::I32.is_int());
+        assert!(Type::I1.is_int());
+        assert!(!Type::F64.is_int());
+        assert!(Type::F64.is_arith());
+        assert!(!Type::I1.is_arith());
+        assert!(!Type::Void.has_slot());
+        assert!(Type::Ptr.has_slot());
+    }
+
+    #[test]
+    fn type_sizes() {
+        assert_eq!(Type::I1.mem_size(), 1);
+        assert_eq!(Type::I16.mem_size(), 2);
+        assert_eq!(Type::I32.mem_size(), 4);
+        assert_eq!(Type::F64.mem_size(), 8);
+        assert_eq!(Type::I64.bits(), 64);
+        assert_eq!(Type::I8.bits(), 8);
+    }
+
+    #[test]
+    fn ovf_pair_component() {
+        assert_eq!(Type::OvfPairI32.ovf_value_type(), Some(Type::I32));
+        assert_eq!(Type::OvfPairI64.ovf_value_type(), Some(Type::I64));
+        assert_eq!(Type::I64.ovf_value_type(), None);
+    }
+
+    #[test]
+    fn constants_round_trip() {
+        assert_eq!(Constant::i32(-7).as_i64(), -7);
+        assert_eq!(Constant::i64(i64::MIN).as_i64(), i64::MIN);
+        assert_eq!(Constant::f64(2.5).as_f64(), 2.5);
+        assert!(Constant::bool(true).bits == 1);
+        assert!(Constant::i64(0).is_zero());
+        assert!(!Constant::i64(1).is_zero());
+    }
+
+    #[test]
+    fn constant_display() {
+        assert_eq!(Constant::i32(-3).to_string(), "-3");
+        assert_eq!(Constant::f64(1.5).to_string(), "1.5");
+        assert_eq!(Constant::bool(true).to_string(), "true");
+    }
+}

@@ -1,0 +1,568 @@
+//! IR verifier: structural, type, and SSA-dominance checks.
+//!
+//! All generated modules pass through here in debug builds and in tests;
+//! the paper's requirement that "the VM must behave 100% identical to native
+//! machine code" starts with well-formed input.
+
+use crate::analysis::{DomTree, Rpo};
+use crate::function::{BlockId, ExternDecl, Function, Module, ValueId};
+use crate::instr::{BinOp, CastKind, Instr, Operand, Terminator};
+use crate::types::Type;
+use std::fmt;
+
+/// A verification failure, with enough context to debug generated code.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VerifyError {
+    pub function: String,
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verify error in @{}: {}", self.function, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+struct Verifier<'a> {
+    f: &'a Function,
+    externs: Option<&'a [ExternDecl]>,
+    rpo: Rpo,
+    dom: DomTree,
+    /// (block, index-within-block) of every instruction value; params get
+    /// (entry, -1 conceptually — encoded as index 0 with a flag).
+    def_site: Vec<Option<(BlockId, u32)>>,
+}
+
+const PARAM_INDEX: u32 = u32::MAX;
+const TERM_INDEX: u32 = u32::MAX - 1;
+
+impl<'a> Verifier<'a> {
+    fn err(&self, msg: impl Into<String>) -> VerifyError {
+        VerifyError { function: self.f.name.clone(), message: msg.into() }
+    }
+
+    fn operand_type(&self, op: Operand) -> Type {
+        match op {
+            Operand::Value(v) => self.f.value_type(v),
+            Operand::Const(c) => c.ty,
+        }
+    }
+
+    fn check_types(&self) -> Result<(), VerifyError> {
+        for (bid, block) in self.f.blocks() {
+            let mut seen_non_phi = false;
+            for (idx, &vid) in block.instrs.iter().enumerate() {
+                let instr = self
+                    .f
+                    .instr(vid)
+                    .ok_or_else(|| self.err(format!("{bid} lists non-instruction {vid}")))?;
+                if instr.is_phi() {
+                    if seen_non_phi {
+                        return Err(self.err(format!("φ {vid} after non-φ in {bid}")));
+                    }
+                } else {
+                    seen_non_phi = true;
+                }
+                self.check_instr_types(vid, instr, idx, bid)?;
+            }
+            self.check_terminator(bid, &block.term)?;
+        }
+        Ok(())
+    }
+
+    fn check_instr_types(
+        &self,
+        vid: ValueId,
+        instr: &Instr,
+        _idx: usize,
+        bid: BlockId,
+    ) -> Result<(), VerifyError> {
+        let res_ty = self.f.value_type(vid);
+        let ctx = |what: &str| format!("{what} ({vid} in {bid})");
+        match instr {
+            Instr::Bin { op, ty, a, b } => {
+                let bool_logic =
+                    *ty == Type::I1 && matches!(op, BinOp::And | BinOp::Or | BinOp::Xor);
+                if !ty.is_arith() && !bool_logic {
+                    return Err(self.err(ctx(&format!("bin op on non-arith type {ty}"))));
+                }
+                if *ty == Type::F64 && !op.valid_for_float() {
+                    return Err(self.err(ctx(&format!("{} invalid for f64", op.name()))));
+                }
+                if *ty != Type::F64 && !op.valid_for_int() {
+                    return Err(self.err(ctx(&format!("{} invalid for ints", op.name()))));
+                }
+                if self.operand_type(*a) != *ty || self.operand_type(*b) != *ty {
+                    return Err(self.err(ctx("bin operand type mismatch")));
+                }
+                if res_ty != *ty {
+                    return Err(self.err(ctx("bin result type mismatch")));
+                }
+                if matches!(op, BinOp::FDiv) && *ty != Type::F64 {
+                    return Err(self.err(ctx("fdiv requires f64")));
+                }
+            }
+            Instr::BinOvf { ty, a, b, .. } => {
+                let pair = match ty {
+                    Type::I32 => Type::OvfPairI32,
+                    Type::I64 => Type::OvfPairI64,
+                    other => return Err(self.err(ctx(&format!("ovf arith on {other}")))),
+                };
+                if self.operand_type(*a) != *ty || self.operand_type(*b) != *ty {
+                    return Err(self.err(ctx("ovf operand type mismatch")));
+                }
+                if res_ty != pair {
+                    return Err(self.err(ctx("ovf result must be a pair")));
+                }
+            }
+            Instr::Extract { pair, field } => {
+                let pty = self.f.value_type(*pair);
+                let want = match (pty.ovf_value_type(), field) {
+                    (Some(v), 0) => v,
+                    (Some(_), 1) => Type::I1,
+                    _ => return Err(self.err(ctx("extract from non-pair or bad field"))),
+                };
+                if res_ty != want {
+                    return Err(self.err(ctx("extract result type mismatch")));
+                }
+            }
+            Instr::Cmp { pred, ty, a, b } => {
+                if !(ty.is_arith() || *ty == Type::Ptr || *ty == Type::I1) {
+                    return Err(self.err(ctx(&format!("cmp on type {ty}"))));
+                }
+                if *ty == Type::F64 && !pred.valid_for_float() {
+                    return Err(self.err(ctx("unsigned cmp on f64")));
+                }
+                if self.operand_type(*a) != *ty || self.operand_type(*b) != *ty {
+                    return Err(self.err(ctx("cmp operand type mismatch")));
+                }
+                if res_ty != Type::I1 {
+                    return Err(self.err(ctx("cmp must produce i1")));
+                }
+            }
+            Instr::Select { ty, cond, t, f } => {
+                if self.operand_type(*cond) != Type::I1 {
+                    return Err(self.err(ctx("select condition must be i1")));
+                }
+                if self.operand_type(*t) != *ty || self.operand_type(*f) != *ty || res_ty != *ty {
+                    return Err(self.err(ctx("select type mismatch")));
+                }
+            }
+            Instr::Cast { kind, to, v, from } => {
+                if self.operand_type(*v) != *from {
+                    return Err(self.err(ctx("cast operand type mismatch")));
+                }
+                if res_ty != *to {
+                    return Err(self.err(ctx("cast result type mismatch")));
+                }
+                let ok = match kind {
+                    CastKind::ZExt | CastKind::SExt => {
+                        from.is_int() && to.is_int() && from.bits() < to.bits()
+                    }
+                    CastKind::Trunc => from.is_int() && to.is_int() && from.bits() > to.bits(),
+                    CastKind::SiToFp => from.is_int() && *to == Type::F64,
+                    CastKind::FpToSi => *from == Type::F64 && to.is_int(),
+                    CastKind::Bitcast => {
+                        matches!(
+                            (from, to),
+                            (Type::F64, Type::I64)
+                                | (Type::I64, Type::F64)
+                                | (Type::Ptr, Type::I64)
+                                | (Type::I64, Type::Ptr)
+                        )
+                    }
+                };
+                if !ok {
+                    return Err(self.err(ctx(&format!("invalid {} {from} -> {to}", kind.name()))));
+                }
+            }
+            Instr::Load { ty, ptr } => {
+                if self.operand_type(*ptr) != Type::Ptr {
+                    return Err(self.err(ctx("load from non-pointer")));
+                }
+                if res_ty != *ty || !ty.has_slot() || *ty == Type::OvfPairI32 || *ty == Type::OvfPairI64
+                {
+                    return Err(self.err(ctx("load type mismatch")));
+                }
+            }
+            Instr::Store { ty, ptr, val } => {
+                if self.operand_type(*ptr) != Type::Ptr {
+                    return Err(self.err(ctx("store to non-pointer")));
+                }
+                if self.operand_type(*val) != *ty {
+                    return Err(self.err(ctx("store value type mismatch")));
+                }
+                if res_ty != Type::Void {
+                    return Err(self.err(ctx("store must be void")));
+                }
+            }
+            Instr::Gep { base, index, .. } => {
+                if self.operand_type(*base) != Type::Ptr {
+                    return Err(self.err(ctx("gep base must be a pointer")));
+                }
+                if let Some((i, _)) = index {
+                    if self.operand_type(*i) != Type::I64 {
+                        return Err(self.err(ctx("gep index must be i64")));
+                    }
+                }
+                if res_ty != Type::Ptr {
+                    return Err(self.err(ctx("gep must produce ptr")));
+                }
+            }
+            Instr::Call { func, args } => {
+                if let Some(externs) = self.externs {
+                    let decl = externs
+                        .get(func.index())
+                        .ok_or_else(|| self.err(ctx("call to undeclared extern")))?;
+                    if decl.params.len() != args.len() {
+                        return Err(self.err(ctx(&format!(
+                            "call to @{}: {} args, expected {}",
+                            decl.name,
+                            args.len(),
+                            decl.params.len()
+                        ))));
+                    }
+                    for (a, want) in args.iter().zip(&decl.params) {
+                        if self.operand_type(*a) != *want {
+                            return Err(self.err(ctx(&format!(
+                                "call to @{}: argument type mismatch",
+                                decl.name
+                            ))));
+                        }
+                    }
+                    if res_ty != decl.ret.unwrap_or(Type::Void) {
+                        return Err(self.err(ctx("call result type mismatch")));
+                    }
+                }
+            }
+            Instr::Phi { ty, incomings } => {
+                for (_, op) in incomings {
+                    if self.operand_type(*op) != *ty {
+                        return Err(self.err(ctx("φ incoming type mismatch")));
+                    }
+                }
+                if res_ty != *ty {
+                    return Err(self.err(ctx("φ result type mismatch")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_terminator(&self, bid: BlockId, term: &Terminator) -> Result<(), VerifyError> {
+        let nb = self.f.block_count() as u32;
+        let check_target = |t: BlockId| -> Result<(), VerifyError> {
+            if t.0 >= nb {
+                Err(self.err(format!("{bid} branches to nonexistent {t}")))
+            } else {
+                Ok(())
+            }
+        };
+        match term {
+            Terminator::None => Err(self.err(format!("{bid} has no terminator"))),
+            Terminator::Br { target } => check_target(*target),
+            Terminator::CondBr { cond, then_bb, else_bb } => {
+                if self.operand_type(*cond) != Type::I1 {
+                    return Err(self.err(format!("{bid}: condbr condition must be i1")));
+                }
+                check_target(*then_bb)?;
+                check_target(*else_bb)
+            }
+            Terminator::Ret { value } => {
+                let got = value.map(|v| self.operand_type(v));
+                if got != self.f.ret {
+                    return Err(self.err(format!(
+                        "{bid}: return type mismatch (got {got:?}, want {:?})",
+                        self.f.ret
+                    )));
+                }
+                Ok(())
+            }
+            Terminator::Trap { .. } => Ok(()),
+        }
+    }
+
+    /// φ incomings must exactly match the block's predecessors.
+    fn check_phis(&self) -> Result<(), VerifyError> {
+        let preds = self.f.predecessors();
+        for (bid, block) in self.f.blocks() {
+            if !self.rpo.is_reachable(bid) {
+                continue;
+            }
+            for &vid in &block.instrs {
+                let Some(Instr::Phi { incomings, .. }) = self.f.instr(vid) else {
+                    break;
+                };
+                let mut expect: Vec<BlockId> = preds[bid.index()].clone();
+                expect.sort_unstable();
+                expect.dedup();
+                let mut got: Vec<BlockId> = incomings.iter().map(|(b, _)| *b).collect();
+                got.sort_unstable();
+                if got != expect {
+                    return Err(self.err(format!(
+                        "φ {vid} in {bid}: incomings {got:?} != predecessors {expect:?}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Defs must dominate uses (with the φ rule: a φ argument is used at the
+    /// end of the corresponding incoming block).
+    fn check_dominance(&mut self) -> Result<(), VerifyError> {
+        let mut def_site: Vec<Option<(BlockId, u32)>> = vec![None; self.f.value_count()];
+        for i in 0..self.f.param_count() {
+            def_site[i] = Some((Function::ENTRY, PARAM_INDEX));
+        }
+        for (bid, block) in self.f.blocks() {
+            for (idx, &vid) in block.instrs.iter().enumerate() {
+                if def_site[vid.index()].is_some() {
+                    return Err(self.err(format!("{vid} defined twice (SSA violation)")));
+                }
+                def_site[vid.index()] = Some((bid, idx as u32));
+            }
+        }
+        self.def_site = def_site;
+
+        for (bid, block) in self.f.blocks() {
+            if !self.rpo.is_reachable(bid) {
+                continue;
+            }
+            for (idx, &vid) in block.instrs.iter().enumerate() {
+                let instr = self.f.instr(vid).unwrap();
+                if let Instr::Phi { incomings, .. } = instr {
+                    for (pred, op) in incomings {
+                        if let Some(u) = op.as_value() {
+                            self.check_use(u, *pred, TERM_INDEX)?;
+                        }
+                    }
+                } else {
+                    let mut result = Ok(());
+                    instr.for_each_value_use(|u| {
+                        if result.is_ok() {
+                            result = self.check_use(u, bid, idx as u32);
+                        }
+                    });
+                    result?;
+                }
+            }
+            let mut result = Ok(());
+            block.term.for_each_value_use(|u| {
+                if result.is_ok() {
+                    result = self.check_use(u, bid, TERM_INDEX);
+                }
+            });
+            result?;
+        }
+        Ok(())
+    }
+
+    fn check_use(&self, v: ValueId, use_block: BlockId, use_idx: u32) -> Result<(), VerifyError> {
+        let (def_block, def_idx) = self.def_site[v.index()]
+            .ok_or_else(|| self.err(format!("use of undefined value {v}")))?;
+        if !self.rpo.is_reachable(use_block) {
+            return Ok(());
+        }
+        if !self.rpo.is_reachable(def_block) {
+            return Err(self.err(format!("{v} defined in unreachable {def_block} but used")));
+        }
+        if def_block == use_block {
+            if def_idx == PARAM_INDEX || def_idx < use_idx {
+                return Ok(());
+            }
+            return Err(self.err(format!("{v} used before definition in {use_block}")));
+        }
+        if self.dom.dominates(&self.rpo, def_block, use_block) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "def of {v} in {def_block} does not dominate use in {use_block}"
+            )))
+        }
+    }
+}
+
+fn verify_inner(f: &Function, externs: Option<&[ExternDecl]>) -> Result<(), VerifyError> {
+    let rpo = Rpo::compute(f);
+    let dom = DomTree::compute(f, &rpo);
+    let mut v = Verifier { f, externs, rpo, dom, def_site: Vec::new() };
+    v.check_types()?;
+    v.check_phis()?;
+    v.check_dominance()
+}
+
+/// Verify a standalone function (calls are checked for shape only).
+pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
+    verify_inner(f, None)
+}
+
+/// Verify every function in a module, including call signatures against the
+/// module's extern declarations.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    for f in &m.functions {
+        verify_inner(f, Some(&m.externs))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::{BinOp, CmpPred};
+    use crate::types::{Constant, Type};
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let dead = b.add_block();
+        b.br(dead);
+        // dead has no terminator
+        let f = b.finish_unverified();
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.message.contains("no terminator"), "{e}");
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let mut b = FunctionBuilder::new("f", &[Type::I32], None);
+        let p = b.param(0);
+        // i64 add on an i32 operand
+        let _ = b.bin(BinOp::Add, Type::I64, p.into(), Constant::i64(1).into());
+        b.ret(None);
+        let f = b.finish_unverified();
+        assert!(verify_function(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_float_bitops() {
+        let mut b = FunctionBuilder::new("f", &[Type::F64], None);
+        let p = b.param(0);
+        let _ = b.bin(BinOp::Xor, Type::F64, p.into(), p.into());
+        b.ret(None);
+        let f = b.finish_unverified();
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.message.contains("invalid for f64"), "{e}");
+    }
+
+    #[test]
+    fn rejects_use_before_def_in_block() {
+        // Build by hand: swap instruction order inside a block.
+        let mut b = FunctionBuilder::new("f", &[Type::I64], None);
+        let p = b.param(0);
+        let x = b.bin(BinOp::Add, Type::I64, p.into(), Constant::i64(1).into());
+        let y = b.bin(BinOp::Add, Type::I64, x.into(), Constant::i64(1).into());
+        b.ret(None);
+        let mut f = b.finish_unverified();
+        // Manually swap x and y in the entry block.
+        let entry = crate::function::Function::ENTRY;
+        f.block_mut(entry).instrs.swap(0, 1);
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.message.contains("used before definition"), "{e}");
+        let _ = (x, y);
+    }
+
+    #[test]
+    fn rejects_non_dominating_use() {
+        let mut b = FunctionBuilder::new("f", &[Type::I1], Some(Type::I64));
+        let t = b.add_block();
+        let e = b.add_block();
+        let j = b.add_block();
+        b.cond_br(b.param(0).into(), t, e);
+        b.switch_to(t);
+        let x = b.bin(BinOp::Add, Type::I64, Constant::i64(1).into(), Constant::i64(2).into());
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        // x does not dominate j (only defined on the t path)
+        b.ret(Some(x.into()));
+        let f = b.finish_unverified();
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.message.contains("does not dominate"), "{err}");
+    }
+
+    #[test]
+    fn accepts_phi_merge() {
+        let mut b = FunctionBuilder::new("f", &[Type::I1], Some(Type::I64));
+        let t = b.add_block();
+        let e = b.add_block();
+        let j = b.add_block();
+        b.cond_br(b.param(0).into(), t, e);
+        b.switch_to(t);
+        let x = b.bin(BinOp::Add, Type::I64, Constant::i64(1).into(), Constant::i64(2).into());
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        let phi = b.phi(
+            Type::I64,
+            vec![(t, x.into()), (e, Constant::i64(0).into())],
+        );
+        b.ret(Some(phi.into()));
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn rejects_phi_with_wrong_preds() {
+        let mut b = FunctionBuilder::new("f", &[Type::I1], Some(Type::I64));
+        let t = b.add_block();
+        let e = b.add_block();
+        let j = b.add_block();
+        b.cond_br(b.param(0).into(), t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        // Missing the incoming for e.
+        let phi = b.phi(Type::I64, vec![(t, Constant::i64(1).into())]);
+        b.ret(Some(phi.into()));
+        let f = b.finish_unverified();
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.message.contains("predecessors"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_return_type() {
+        let mut b = FunctionBuilder::new("f", &[], Some(Type::I64));
+        b.ret(None);
+        let f = b.finish_unverified();
+        assert!(verify_function(&f).is_err());
+    }
+
+    #[test]
+    fn checks_call_signatures_via_module() {
+        use crate::function::Module;
+        let mut m = Module::new();
+        let ext = m.declare_extern("rt", vec![Type::I64], Some(Type::I64));
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let r = b.call(ext, vec![b.param(0).into()], Some(Type::I64));
+        b.ret(Some(r.into()));
+        m.add_function(b.finish().unwrap());
+        assert!(verify_module(&m).is_ok());
+
+        let mut m2 = Module::new();
+        let ext2 = m2.declare_extern("rt", vec![Type::I64, Type::I64], Some(Type::I64));
+        let mut b2 = FunctionBuilder::new("g", &[Type::I64], Some(Type::I64));
+        let r2 = b2.call(ext2, vec![b2.param(0).into()], Some(Type::I64));
+        b2.ret(Some(r2.into()));
+        m2.add_function(b2.finish_unverified());
+        let err = verify_module(&m2).unwrap_err();
+        assert!(err.message.contains("args"), "{err}");
+    }
+
+    #[test]
+    fn rejects_cmp_result_reuse_as_int() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], None);
+        let c = b.cmp(CmpPred::Eq, Type::I64, b.param(0).into(), Constant::i64(0).into());
+        // i64 add on an i1 value
+        let _ = b.bin(BinOp::Add, Type::I64, c.into(), Constant::i64(1).into());
+        b.ret(None);
+        let f = b.finish_unverified();
+        assert!(verify_function(&f).is_err());
+    }
+}

@@ -1,0 +1,544 @@
+//! Interference-based register-slot coalescing — the backend register
+//! allocation of the *optimized* compilation mode.
+//!
+//! Real compilers (LLVM included) perform liveness + interference based
+//! register allocation in their optimizing backends; it is a major source of
+//! their super-linear compile times on huge machine-generated functions
+//! (paper §V-E: "the regular LLVM compiler is de facto unable to compile
+//! some very complicated queries due to the super-linear algorithms used").
+//! This module reproduces that cost structure *and* its benefit honestly:
+//!
+//! * exact backward dataflow liveness over the lowered bytecode,
+//! * an interference matrix over register slots (bitset, O(S²) space),
+//! * copy coalescing that merges `mov` source/destination slots when they do
+//!   not interfere (this deletes most φ-copies outright),
+//! * greedy recoloring that compacts the register file.
+//!
+//! The cost is Θ(S·N/64) for liveness/interference plus Θ(S²/64) for
+//! recoloring — super-linear in query size, exactly the Fig. 15 shape.
+
+use aqe_vm::bytecode::{BcFunction, BcInstr, Op, FIRST_FREE_SLOT, SLOT_ONE, SLOT_SCRATCH, SLOT_ZERO};
+
+/// What coalescing achieved (reported in EXPERIMENTS.md and used by the
+/// register-file ablation bench).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoalesceStats {
+    pub frame_before: u32,
+    pub frame_after: u32,
+    pub movs_removed: u32,
+    pub slots_merged: u32,
+}
+
+/// Roles the three operand fields + literal play for an opcode.
+struct SlotRefs {
+    reads: [Option<u16>; 4],
+    write: Option<u16>,
+    /// For `CallRt`: base and count of argument slots (all read).
+    call_args: Option<(u16, u16)>,
+}
+
+fn slot_refs(i: &BcInstr) -> SlotRefs {
+    use Op::*;
+    let mut r = SlotRefs { reads: [None; 4], write: None, call_args: None };
+    match i.op {
+        // dst=a, reads b,c
+        AddI8 | AddI16 | AddI32 | AddI64 | AddF64 | SubI8 | SubI16 | SubI32 | SubI64 | SubF64
+        | MulI8 | MulI16 | MulI32 | MulI64 | MulF64 | SDivI8 | SDivI16 | SDivI32 | SDivI64
+        | UDivI8 | UDivI16 | UDivI32 | UDivI64 | SRemI8 | SRemI16 | SRemI32 | SRemI64 | URemI8
+        | URemI16 | URemI32 | URemI64 | FDivF64 | AndI8 | AndI16 | AndI32 | AndI64 | OrI8
+        | OrI16 | OrI32 | OrI64 | XorI8 | XorI16 | XorI32 | XorI64 | ShlI8 | ShlI16 | ShlI32
+        | ShlI64 | AShrI8 | AShrI16 | AShrI32 | AShrI64 | LShrI8 | LShrI16 | LShrI32 | LShrI64
+        | CmpEqI8 | CmpEqI16 | CmpEqI32 | CmpEqI64 | CmpNeI8 | CmpNeI16 | CmpNeI32 | CmpNeI64
+        | CmpSltI8 | CmpSltI16 | CmpSltI32 | CmpSltI64 | CmpSleI8 | CmpSleI16 | CmpSleI32
+        | CmpSleI64 | CmpSgtI8 | CmpSgtI16 | CmpSgtI32 | CmpSgtI64 | CmpSgeI8 | CmpSgeI16
+        | CmpSgeI32 | CmpSgeI64 | CmpUltI8 | CmpUltI16 | CmpUltI32 | CmpUltI64 | CmpUleI8
+        | CmpUleI16 | CmpUleI32 | CmpUleI64 | CmpUgtI8 | CmpUgtI16 | CmpUgtI32 | CmpUgtI64
+        | CmpUgeI8 | CmpUgeI16 | CmpUgeI32 | CmpUgeI64 | CmpEqF64 | CmpNeF64 | CmpLtF64
+        | CmpLeF64 | CmpGtF64 | CmpGeF64 | AddOvfTrapI32 | AddOvfTrapI64 | SubOvfTrapI32
+        | SubOvfTrapI64 | MulOvfTrapI32 | MulOvfTrapI64 | AddOvfValI32 | AddOvfValI64
+        | SubOvfValI32 | SubOvfValI64 | MulOvfValI32 | MulOvfValI64 | AddOvfFlagI32
+        | AddOvfFlagI64 | SubOvfFlagI32 | SubOvfFlagI64 | MulOvfFlagI32 | MulOvfFlagI64
+        | GepIdx => {
+            r.write = Some(i.a);
+            r.reads = [Some(i.b), Some(i.c), None, None];
+        }
+        // dst=a, reads b
+        AddImmI32 | AddImmI64 | AddImmF64 | SubImmI32 | SubImmI64 | MulImmI32 | MulImmI64
+        | MulImmF64 | AndImmI32 | AndImmI64 | OrImmI32 | OrImmI64 | XorImmI32 | XorImmI64
+        | ShlImmI32 | ShlImmI64 | AShrImmI32 | AShrImmI64 | LShrImmI32 | LShrImmI64
+        | CmpImmEqI32 | CmpImmEqI64 | CmpImmNeI32 | CmpImmNeI64 | CmpImmSltI32 | CmpImmSltI64
+        | CmpImmSleI32 | CmpImmSleI64 | CmpImmSgtI32 | CmpImmSgtI64 | CmpImmSgeI32
+        | CmpImmSgeI64 | CmpImmUltI32 | CmpImmUltI64 | CmpImmUleI32 | CmpImmUleI64
+        | CmpImmUgtI32 | CmpImmUgtI64 | CmpImmUgeI32 | CmpImmUgeI64 | SExtI8I16 | SExtI8I32
+        | SExtI8I64 | SExtI16I32 | SExtI16I64 | SExtI32I64 | ZExtI8I16 | ZExtI8I32 | ZExtI8I64
+        | ZExtI16I32 | ZExtI16I64 | ZExtI32I64 | SiToFpI32 | SiToFpI64 | FpToSiI32 | FpToSiI64
+        | Mov64 | Load8 | Load16 | Load32 | Load64 | Load8Disp | Load16Disp | Load32Disp
+        | Load64Disp => {
+            r.write = Some(i.a);
+            r.reads = [Some(i.b), None, None, None];
+        }
+        Load8Idx | Load16Idx | Load32Idx | Load64Idx => {
+            r.write = Some(i.a);
+            r.reads = [Some(i.b), Some(i.c), None, None];
+        }
+        Const64 => r.write = Some(i.a),
+        Select64 => {
+            r.write = Some(i.a);
+            r.reads = [Some(i.b), Some(i.c), Some(i.lit as u16), None];
+        }
+        // stores: base=a, src=b (+ index c)
+        Store8 | Store16 | Store32 | Store64 | Store8Disp | Store16Disp | Store32Disp
+        | Store64Disp => {
+            r.reads = [Some(i.a), Some(i.b), None, None];
+        }
+        Store8Idx | Store16Idx | Store32Idx | Store64Idx => {
+            r.reads = [Some(i.a), Some(i.b), Some(i.c), None];
+        }
+        Br | Ret | TrapOp => {}
+        CondBr => r.reads = [Some(i.b), None, None, None],
+        RetVal => r.reads = [Some(i.a), None, None, None],
+        CallRt => {
+            r.write = Some(i.a);
+            r.call_args = Some((i.b, i.c));
+        }
+    }
+    r
+}
+
+struct BitMatrix {
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    fn new(n: usize) -> Self {
+        let words = n.div_ceil(64);
+        BitMatrix { words, bits: vec![0; words * n] }
+    }
+    #[inline]
+    fn set(&mut self, a: usize, b: usize) {
+        self.bits[a * self.words + b / 64] |= 1 << (b % 64);
+        self.bits[b * self.words + a / 64] |= 1 << (a % 64);
+    }
+    #[inline]
+    fn get(&self, a: usize, b: usize) -> bool {
+        self.bits[a * self.words + b / 64] & (1 << (b % 64)) != 0
+    }
+    /// OR row `src` into row `dst` (and mirror the columns).
+    fn merge_rows(&mut self, dst: usize, src: usize, n: usize) {
+        for w in 0..self.words {
+            let v = self.bits[src * self.words + w];
+            self.bits[dst * self.words + w] |= v;
+        }
+        for other in 0..n {
+            if self.get(src, other) {
+                self.set(dst, other);
+            }
+        }
+    }
+}
+
+struct Uf {
+    parent: Vec<u32>,
+}
+
+impl Uf {
+    fn new(n: usize) -> Self {
+        Uf { parent: (0..n as u32).collect() }
+    }
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+    fn union_into(&mut self, from: u32, to: u32) {
+        let rf = self.find(from);
+        self.parent[rf as usize] = self.find(to);
+    }
+}
+
+/// Coalesce register slots of a lowered function in place.
+pub fn coalesce(bc: &mut BcFunction) -> CoalesceStats {
+    let nslots = (bc.frame_size as usize).div_ceil(8);
+    let n = bc.code.len();
+    let mut stats = CoalesceStats {
+        frame_before: bc.frame_size,
+        ..Default::default()
+    };
+    if n == 0 || nslots == 0 {
+        stats.frame_after = bc.frame_size;
+        return stats;
+    }
+
+    // ---- basic blocks over the bytecode --------------------------------
+    let mut leader = vec![false; n + 1];
+    leader[0] = true;
+    for (pc, i) in bc.code.iter().enumerate() {
+        match i.op {
+            Op::Br => {
+                leader[i.lit as usize] = true;
+                leader[pc + 1] = true;
+            }
+            Op::CondBr => {
+                leader[BcInstr::branch_then(i.lit)] = true;
+                leader[BcInstr::branch_else(i.lit)] = true;
+                leader[pc + 1] = true;
+            }
+            Op::Ret | Op::RetVal | Op::TrapOp => leader[pc + 1] = true,
+            _ => {}
+        }
+    }
+    let mut starts: Vec<usize> = (0..n).filter(|&pc| leader[pc]).collect();
+    starts.push(n);
+    let nb = starts.len() - 1;
+    let block_of = {
+        let mut m = vec![0u32; n];
+        for b in 0..nb {
+            for item in m.iter_mut().take(starts[b + 1]).skip(starts[b]) {
+                *item = b as u32;
+            }
+        }
+        m
+    };
+    let succs: Vec<Vec<u32>> = (0..nb)
+        .map(|b| {
+            let last = &bc.code[starts[b + 1] - 1];
+            match last.op {
+                Op::Br => vec![block_of[last.lit as usize]],
+                Op::CondBr => vec![
+                    block_of[BcInstr::branch_then(last.lit)],
+                    block_of[BcInstr::branch_else(last.lit)],
+                ],
+                Op::Ret | Op::RetVal | Op::TrapOp => vec![],
+                _ => {
+                    if starts[b + 1] < n {
+                        vec![block_of[starts[b + 1]]]
+                    } else {
+                        vec![]
+                    }
+                }
+            }
+        })
+        .collect();
+
+    // ---- slot liveness (backward dataflow) ------------------------------
+    let words = nslots.div_ceil(64);
+    let slot_of = |off: u16| (off / 8) as usize;
+    let mut live_in = vec![vec![0u64; words]; nb];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..nb).rev() {
+            let mut live = vec![0u64; words];
+            for &s in &succs[b] {
+                for w in 0..words {
+                    live[w] |= live_in[s as usize][w];
+                }
+            }
+            for pc in (starts[b]..starts[b + 1]).rev() {
+                let r = slot_refs(&bc.code[pc]);
+                if let Some(wv) = r.write {
+                    live[slot_of(wv) / 64] &= !(1 << (slot_of(wv) % 64));
+                }
+                for rd in r.reads.into_iter().flatten() {
+                    live[slot_of(rd) / 64] |= 1 << (slot_of(rd) % 64);
+                }
+                if let Some((base, cnt)) = r.call_args {
+                    for k in 0..cnt {
+                        let s = slot_of(base + 8 * k);
+                        live[s / 64] |= 1 << (s % 64);
+                    }
+                }
+            }
+            if live != live_in[b] {
+                live_in[b] = live;
+                changed = true;
+            }
+        }
+    }
+
+    // ---- interference construction --------------------------------------
+    let mut inter = BitMatrix::new(nslots);
+    let mut fixed = vec![false; nslots];
+    for s in [SLOT_ZERO, SLOT_ONE, SLOT_SCRATCH] {
+        fixed[slot_of(s)] = true;
+    }
+    for &p in &bc.param_slots {
+        fixed[slot_of(p)] = true;
+    }
+    for i in &bc.code {
+        if i.op == Op::CallRt {
+            for k in 0..i.c {
+                fixed[slot_of(i.b + 8 * k)] = true;
+            }
+            fixed[slot_of(i.a)] = true;
+        }
+    }
+
+    let mut live = vec![0u64; words];
+    for b in 0..nb {
+        live.copy_from_slice(&vec![0u64; words]);
+        for &s in &succs[b] {
+            for w in 0..words {
+                live[w] |= live_in[s as usize][w];
+            }
+        }
+        for pc in (starts[b]..starts[b + 1]).rev() {
+            let i = &bc.code[pc];
+            let r = slot_refs(i);
+            if let Some(wv) = r.write {
+                let ws = slot_of(wv);
+                let skip = if i.op == Op::Mov64 { Some(slot_of(i.b)) } else { None };
+                for w in 0..words {
+                    let mut bitsw = live[w];
+                    while bitsw != 0 {
+                        let t = w * 64 + bitsw.trailing_zeros() as usize;
+                        bitsw &= bitsw - 1;
+                        if t != ws && Some(t) != skip && t < nslots {
+                            inter.set(ws, t);
+                        }
+                    }
+                }
+                live[ws / 64] &= !(1 << (ws % 64));
+            }
+            for rd in r.reads.into_iter().flatten() {
+                let s = slot_of(rd);
+                live[s / 64] |= 1 << (s % 64);
+            }
+            if let Some((base, cnt)) = r.call_args {
+                for k in 0..cnt {
+                    let s = slot_of(base + 8 * k);
+                    live[s / 64] |= 1 << (s % 64);
+                }
+            }
+        }
+    }
+
+    // ---- copy coalescing --------------------------------------------------
+    let mut uf = Uf::new(nslots);
+    for pc in 0..n {
+        let i = bc.code[pc];
+        if i.op != Op::Mov64 {
+            continue;
+        }
+        let (d, s) = (slot_of(i.a), slot_of(i.b));
+        let (rd, rs) = (uf.find(d as u32) as usize, uf.find(s as u32) as usize);
+        if rd == rs {
+            continue;
+        }
+        if fixed[rd] || fixed[rs] {
+            continue;
+        }
+        if inter.get(rd, rs) {
+            continue;
+        }
+        // Merge s's class into d's class.
+        inter.merge_rows(rd, rs, nslots);
+        uf.union_into(rs as u32, rd as u32);
+        stats.slots_merged += 1;
+    }
+
+    // ---- recolor: compact representatives into a minimal frame ------------
+    // Greedy assignment in increasing original-offset order; O(S²) via the
+    // interference rows — the intended super-linear component.
+    let mut color: Vec<Option<u16>> = vec![None; nslots];
+    for (s, c) in color.iter_mut().enumerate().take(nslots) {
+        if fixed[s] {
+            *c = Some((s * 8) as u16);
+        }
+    }
+    let first_free = (FIRST_FREE_SLOT / 8) as usize;
+    for s in 0..nslots {
+        if fixed[s] || uf.find(s as u32) as usize != s {
+            continue;
+        }
+        // Try offsets from low to high, skipping colors of interfering reps
+        // and all fixed offsets.
+        let mut taken = vec![false; nslots];
+        for (t, tc) in color.iter().enumerate() {
+            if t != s {
+                let conflict = inter.get(s, t)
+                    || fixed[t]
+                    || (uf.parent[t as usize] != t as u32 && {
+                        let r = {
+                            // path-compressed find without &mut: walk parents
+                            let mut x = t as u32;
+                            loop {
+                                let p = uf.parent[x as usize];
+                                if p == x {
+                                    break x;
+                                }
+                                x = p;
+                            }
+                        };
+                        inter.get(s, r as usize)
+                    });
+                if conflict {
+                    if let Some(c) = tc {
+                        let idx = (*c / 8) as usize;
+                        if idx < nslots {
+                            taken[idx] = true;
+                        }
+                    }
+                }
+            }
+        }
+        for t in 0..nslots {
+            if fixed[t] {
+                taken[t] = true;
+            }
+        }
+        let slot = (first_free..nslots).find(|&k| !taken[k]).unwrap_or(s);
+        color[s] = Some((slot * 8) as u16);
+    }
+
+    // ---- rewrite code ------------------------------------------------------
+    let map = |uf: &mut Uf, color: &[Option<u16>], off: u16| -> u16 {
+        let rep = uf.find((off / 8) as u32) as usize;
+        color[rep].unwrap_or(((rep * 8) as u32).min(u16::MAX as u32) as u16)
+    };
+    let mut new_code: Vec<BcInstr> = Vec::with_capacity(n);
+    let mut pc_map = vec![0u32; n + 1];
+    for (pc, i) in bc.code.iter().enumerate() {
+        pc_map[pc] = new_code.len() as u32;
+        let mut ni = *i;
+        // Remap the slot-bearing fields per role.
+        let r = slot_refs(i);
+        if r.write == Some(i.a) || r.reads.contains(&Some(i.a)) {
+            ni.a = map(&mut uf, &color, i.a);
+        }
+        if r.reads.contains(&Some(i.b)) || i.op == Op::CallRt {
+            ni.b = map(&mut uf, &color, i.b);
+        }
+        if r.reads.contains(&Some(i.c)) {
+            ni.c = map(&mut uf, &color, i.c);
+        }
+        if i.op == Op::Select64 {
+            ni.lit = map(&mut uf, &color, i.lit as u16) as u64;
+        }
+        if ni.op == Op::Mov64 && ni.a == ni.b {
+            stats.movs_removed += 1;
+            continue; // self-move eliminated
+        }
+        new_code.push(ni);
+    }
+    pc_map[n] = new_code.len() as u32;
+    // Patch branch targets.
+    for i in &mut new_code {
+        match i.op {
+            Op::Br => i.lit = pc_map[i.lit as usize] as u64,
+            Op::CondBr => {
+                i.lit = BcInstr::pack_branch(
+                    pc_map[BcInstr::branch_then(i.lit)],
+                    pc_map[BcInstr::branch_else(i.lit)],
+                );
+            }
+            _ => {}
+        }
+    }
+    bc.code = new_code;
+
+    // New frame size = max used offset + 8.
+    let mut max_off = FIRST_FREE_SLOT as u32;
+    for i in &bc.code {
+        let r = slot_refs(i);
+        let mut consider = |off: u16| max_off = max_off.max(off as u32 + 8);
+        if let Some(w) = r.write {
+            consider(w);
+        }
+        for rd in r.reads.into_iter().flatten() {
+            consider(rd);
+        }
+        if let Some((base, cnt)) = r.call_args {
+            consider(base + 8 * cnt.saturating_sub(1));
+        }
+    }
+    for &p in &bc.param_slots {
+        max_off = max_off.max(p as u32 + 8);
+    }
+    bc.frame_size = max_off;
+    stats.frame_after = bc.frame_size;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqe_ir::{BinOp, CmpPred, Constant, FunctionBuilder, Type};
+    use aqe_vm::interp::{execute, Frame};
+    use aqe_vm::rt::Registry;
+    use aqe_vm::translate::{translate, TranslateOptions};
+
+    fn loop_sum() -> aqe_ir::Function {
+        let mut b = FunctionBuilder::new("sum", &[Type::I64], Some(Type::I64));
+        let n = b.param(0);
+        let head = b.add_block();
+        let body = b.add_block();
+        let exit = b.add_block();
+        let pre = b.current_block();
+        b.br(head);
+        b.switch_to(head);
+        let iv = b.phi(Type::I64, vec![(pre, Constant::i64(0).into())]);
+        let acc = b.phi(Type::I64, vec![(pre, Constant::i64(0).into())]);
+        let done = b.cmp(CmpPred::SGe, Type::I64, iv.into(), n.into());
+        b.cond_br(done.into(), exit, body);
+        b.switch_to(body);
+        let acc2 = b.bin(BinOp::Add, Type::I64, acc.into(), iv.into());
+        let iv2 = b.bin(BinOp::Add, Type::I64, iv.into(), Constant::i64(1).into());
+        b.phi_add_incoming(iv, body, iv2.into());
+        b.phi_add_incoming(acc, body, acc2.into());
+        b.br(head);
+        b.switch_to(exit);
+        b.ret(Some(acc.into()));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn coalescing_preserves_semantics() {
+        let f = loop_sum();
+        let mut bc = translate(&f, &[], TranslateOptions::default()).unwrap();
+        let before = execute(&bc, &[100], &Registry::new(), &mut Frame::new()).unwrap();
+        let stats = coalesce(&mut bc);
+        let after = execute(&bc, &[100], &Registry::new(), &mut Frame::new()).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(after, Some(4950));
+        assert!(stats.frame_after <= stats.frame_before);
+    }
+
+    #[test]
+    fn phi_copies_are_coalesced_away() {
+        let f = loop_sum();
+        let mut bc = translate(&f, &[], TranslateOptions::default()).unwrap();
+        let movs_before = bc.code.iter().filter(|i| i.op == Op::Mov64).count();
+        let stats = coalesce(&mut bc);
+        let movs_after = bc.code.iter().filter(|i| i.op == Op::Mov64).count();
+        assert!(
+            stats.movs_removed > 0 && movs_after < movs_before,
+            "φ copies should coalesce: {movs_before} -> {movs_after} ({stats:?})"
+        );
+        // Still correct, including edge cases.
+        for n in [0u64, 1, 7, 1000] {
+            let got = execute(&bc, &[n], &Registry::new(), &mut Frame::new()).unwrap();
+            assert_eq!(got, Some((0..n).sum::<u64>()));
+        }
+    }
+
+    #[test]
+    fn straight_line_frame_shrinks_or_holds() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let mut acc: aqe_ir::Operand = b.param(0).into();
+        for k in 1..20 {
+            acc = b.bin(BinOp::Add, Type::I64, acc, Constant::i64(k).into()).into();
+        }
+        b.ret(Some(acc));
+        let f = b.finish().unwrap();
+        let mut bc = translate(&f, &[], TranslateOptions::default()).unwrap();
+        let stats = coalesce(&mut bc);
+        assert!(stats.frame_after <= stats.frame_before);
+        let got = execute(&bc, &[0], &Registry::new(), &mut Frame::new()).unwrap();
+        assert_eq!(got, Some((1..20).sum::<i64>() as u64));
+    }
+}

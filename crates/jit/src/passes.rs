@@ -1,0 +1,671 @@
+//! IR optimization passes — the "LLVM Opt. Passes" stage of Fig. 1.
+//!
+//! The paper's optimized mode runs "a number of hand-picked LLVM IR
+//! optimization passes (peephole optimizations, reassociate expressions,
+//! common subexpression elimination, control flow graph simplification,
+//! aggressive dead code elimination)". This module implements the same
+//! pipeline over our IR:
+//!
+//! * constant folding + algebraic peephole simplification,
+//! * dominance-aware common subexpression elimination,
+//! * dead code elimination (trap-preserving: a maybe-trapping instruction is
+//!   never removed, so optimized code traps exactly like the interpreter),
+//! * CFG simplification (constant-branch folding, jump threading, linear
+//!   block merging, unreachable-block scrubbing).
+//!
+//! Every pass is linear; the super-linear component of optimized compilation
+//! lives in [`crate::coalesce`].
+
+use aqe_ir::analysis::{DomTree, Rpo};
+use aqe_ir::{
+    BinOp, BlockId, CmpPred, Constant, Function, Instr, Operand, Terminator, TrapKind, Type,
+    ValueId,
+};
+use aqe_vm::naive as naive_semantics;
+use std::collections::HashMap;
+
+/// What the pass pipeline did (for tests, logging, and EXPERIMENTS.md).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PassStats {
+    pub folded: u32,
+    pub cse_hits: u32,
+    pub dce_removed: u32,
+    pub branches_folded: u32,
+    pub blocks_merged: u32,
+    pub jumps_threaded: u32,
+}
+
+/// Run the full pass pipeline to a (bounded) fixpoint.
+pub fn optimize(f: &mut Function) -> PassStats {
+    let mut total = PassStats::default();
+    for _ in 0..2 {
+        let mut round = PassStats::default();
+        fold_and_cse(f, &mut round);
+        dce(f, &mut round);
+        simplify_cfg(f, &mut round);
+        let changed = round != PassStats::default();
+        total.folded += round.folded;
+        total.cse_hits += round.cse_hits;
+        total.dce_removed += round.dce_removed;
+        total.branches_folded += round.branches_folded;
+        total.blocks_merged += round.blocks_merged;
+        total.jumps_threaded += round.jumps_threaded;
+        if !changed {
+            break;
+        }
+    }
+    total
+}
+
+/// Normalise a folded constant to the canonical (sign-extended) bit pattern
+/// for its type.
+fn norm_const(ty: Type, bits: u64) -> Constant {
+    let bits = match ty {
+        Type::I1 => bits & 1,
+        Type::I8 => bits as u8 as i8 as i64 as u64,
+        Type::I16 => bits as u16 as i16 as i64 as u64,
+        Type::I32 => bits as u32 as i32 as i64 as u64,
+        _ => bits,
+    };
+    Constant { ty, bits }
+}
+
+/// A key identifying a pure computation for CSE.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum CseKey {
+    Bin(BinOp, Type, Operand, Operand),
+    Cmp(CmpPred, Type, Operand, Operand),
+    Cast(aqe_ir::CastKind, Type, Type, Operand),
+    Gep(Operand, i64, Option<(Operand, i64)>),
+    Select(Operand, Operand, Operand),
+}
+
+/// Constant folding, peephole simplification, and dominance-aware CSE in a
+/// single forward pass over the reverse postorder.
+fn fold_and_cse(f: &mut Function, stats: &mut PassStats) {
+    let rpo = Rpo::compute(f);
+    let dom = DomTree::compute(f, &rpo);
+    // value -> replacement operand
+    let mut repl: Vec<Option<Operand>> = vec![None; f.value_count()];
+    // pure-computation table: key -> (defining value, RPO position)
+    let mut table: HashMap<CseKey, (ValueId, u32)> = HashMap::new();
+
+    // Transitive resolution: replacement targets may themselves have been
+    // replaced later (e.g. a φ folded to a value that then folded further).
+    fn resolve(repl: &[Option<Operand>], mut o: Operand) -> Operand {
+        let mut hops = 0;
+        while let Operand::Value(v) = o {
+            match repl[v.index()] {
+                Some(next) if next != o => {
+                    o = next;
+                    hops += 1;
+                    debug_assert!(hops <= repl.len(), "replacement cycle");
+                }
+                _ => break,
+            }
+        }
+        o
+    }
+
+    let order = rpo.order.clone();
+    for (pos, &bid) in order.iter().enumerate() {
+        let pos = pos as u32;
+        let instr_ids = f.block(bid).instrs.clone();
+        let mut kept: Vec<ValueId> = Vec::with_capacity(instr_ids.len());
+        for vid in instr_ids {
+            // Rewrite operands through the replacement map first.
+            if let Some(instr) = f.instr_mut(vid) {
+                instr.map_operands(|o| {
+                    *o = resolve(&repl, *o);
+                });
+            }
+            let instr = f.instr(vid).unwrap().clone();
+            // 1. Try folding to a constant / existing operand.
+            if let Some(r) = try_fold(&instr) {
+                repl[vid.index()] = Some(r);
+                stats.folded += 1;
+                continue; // instruction dropped
+            }
+            // 2. Try CSE for pure instructions.
+            if let Some(key) = cse_key(&instr) {
+                match table.get(&key) {
+                    Some(&(prev, prev_pos)) if dom.dominates_pos(prev_pos, pos) => {
+                        repl[vid.index()] = Some(Operand::Value(prev));
+                        stats.cse_hits += 1;
+                        continue;
+                    }
+                    _ => {
+                        table.insert(key, (vid, pos));
+                    }
+                }
+            }
+            kept.push(vid);
+        }
+        f.block_mut(bid).instrs = kept;
+        // Rewrite the terminator too.
+        let term = &mut f.block_mut(bid).term;
+        term.map_operands(|o| {
+            *o = resolve(&repl, *o);
+        });
+    }
+    // φ incomings in *later* blocks referencing replaced values were already
+    // rewritten when their block was visited — but back-edge φs in earlier
+    // blocks may still reference replaced values; fix them all.
+    for bi in 0..f.block_count() {
+        let bid = BlockId(bi as u32);
+        let instr_ids = f.block(bid).instrs.clone();
+        for vid in instr_ids {
+            if let Some(instr) = f.instr_mut(vid) {
+                instr.map_operands(|o| {
+                    *o = resolve(&repl, *o);
+                });
+            }
+        }
+        f.block_mut(bid).term.map_operands(|o| {
+            *o = resolve(&repl, *o);
+        });
+    }
+}
+
+/// Attempt to reduce an instruction to an operand (constant or existing
+/// value). Trap-preserving: division folding is only performed when the
+/// divisor is a non-zero constant and the result is representable.
+fn try_fold(instr: &Instr) -> Option<Operand> {
+    match instr {
+        Instr::Bin { op, ty, a, b } => {
+            if let (Some(ca), Some(cb)) = (a.as_const(), b.as_const()) {
+                // Delegate to the reference semantics used by the naive
+                // interpreter, so folding can never diverge from execution.
+                if op.can_trap() {
+                    // Fold only trap-free cases.
+                    let bits = ty.bits().max(8);
+                    let shift = 64 - bits;
+                    let sb = ((cb.bits << shift) as i64) >> shift;
+                    if sb == 0 {
+                        return None;
+                    }
+                    let sa = ((ca.bits << shift) as i64) >> shift;
+                    let min = (-1i64) << (bits - 1);
+                    if sa == min && sb == -1 {
+                        return None;
+                    }
+                }
+                let v = naive_semantics::eval_bin(*op, *ty, ca.bits, cb.bits).ok()?;
+                return Some(norm_const(*ty, v).into());
+            }
+            // Algebraic identities (integer only; float identities are not
+            // exact under NaN/-0).
+            if *ty != Type::F64 {
+                let (x, c) = match (a.as_const(), b.as_const()) {
+                    (None, Some(c)) => (*a, c),
+                    (Some(c), None)
+                        if matches!(
+                            op,
+                            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+                        ) =>
+                    {
+                        (*b, c)
+                    }
+                    _ => return None,
+                };
+                return match op {
+                    BinOp::Add | BinOp::Or | BinOp::Xor if c.is_zero() => Some(x),
+                    BinOp::Sub if c.is_zero() && b.as_const().is_some() => Some(x),
+                    BinOp::Mul if c.bits == 1 => Some(x),
+                    BinOp::Mul | BinOp::And if c.is_zero() => {
+                        Some(norm_const(*ty, 0).into())
+                    }
+                    BinOp::Shl | BinOp::AShr | BinOp::LShr
+                        if c.is_zero() && b.as_const().is_some() =>
+                    {
+                        Some(x)
+                    }
+                    _ => None,
+                };
+            }
+            None
+        }
+        Instr::Cmp { pred, ty, a, b } => {
+            let (ca, cb) = (a.as_const()?, b.as_const()?);
+            let v = naive_semantics::eval_cmp(*pred, *ty, ca.bits, cb.bits);
+            Some(Constant::bool(v).into())
+        }
+        Instr::Cast { kind, to, v, from } => {
+            let c = v.as_const()?;
+            let bits = naive_semantics::eval_cast(*kind, *from, *to, c.bits);
+            Some(norm_const(*to, bits).into())
+        }
+        Instr::Select { cond, t, f, .. } => {
+            if let Some(c) = cond.as_const() {
+                return Some(if c.bits & 1 != 0 { *t } else { *f });
+            }
+            if t == f {
+                return Some(*t);
+            }
+            None
+        }
+        Instr::Phi { incomings, .. } => {
+            // A φ whose incomings all agree (ignoring self-references) is
+            // that value.
+            let mut unique: Option<Operand> = None;
+            for (_, o) in incomings {
+                match unique {
+                    None => unique = Some(*o),
+                    Some(u) if u == *o => {}
+                    _ => return None,
+                }
+            }
+            unique
+        }
+        _ => None,
+    }
+}
+
+fn cse_key(instr: &Instr) -> Option<CseKey> {
+    match instr {
+        Instr::Bin { op, ty, a, b } => {
+            if op.can_trap() {
+                return None; // keep trap sites intact
+            }
+            // Canonicalise commutative operand order for better hit rates.
+            let (a, b) = if matches!(
+                op,
+                BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+            ) && operand_rank(b) < operand_rank(a)
+            {
+                (*b, *a)
+            } else {
+                (*a, *b)
+            };
+            Some(CseKey::Bin(*op, *ty, a, b))
+        }
+        Instr::Cmp { pred, ty, a, b } => Some(CseKey::Cmp(*pred, *ty, *a, *b)),
+        Instr::Cast { kind, to, v, from } => Some(CseKey::Cast(*kind, *from, *to, *v)),
+        Instr::Gep { base, offset, index } => Some(CseKey::Gep(*base, *offset, *index)),
+        Instr::Select { cond, t, f, .. } => Some(CseKey::Select(*cond, *t, *f)),
+        // Loads are not CSE'd (no alias analysis); calls/stores are effects.
+        _ => None,
+    }
+}
+
+fn operand_rank(o: &Operand) -> u64 {
+    match o {
+        Operand::Value(v) => v.0 as u64,
+        Operand::Const(c) => (1 << 40) | (c.bits & 0xffff_ffff),
+    }
+}
+
+/// Dead code elimination. Pure, unused instructions are removed; stores,
+/// calls, and *potentially trapping* instructions always survive, so that
+/// optimized execution traps exactly like interpreted execution.
+fn dce(f: &mut Function, stats: &mut PassStats) {
+    let mut uses = vec![0u32; f.value_count()];
+    for (_, block) in f.blocks() {
+        for &vid in &block.instrs {
+            f.instr(vid).unwrap().for_each_value_use(|u| uses[u.index()] += 1);
+        }
+        block.term.for_each_value_use(|u| uses[u.index()] += 1);
+    }
+    // Iterate: removing an instruction may make its operands dead.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in 0..f.block_count() {
+            let bid = BlockId(bi as u32);
+            let ids = f.block(bid).instrs.clone();
+            let mut kept = Vec::with_capacity(ids.len());
+            for vid in ids {
+                let instr = f.instr(vid).unwrap();
+                let removable = uses[vid.index()] == 0
+                    && !instr.has_side_effects()
+                    && !instr.can_trap();
+                if removable {
+                    instr.for_each_value_use(|u| uses[u.index()] -= 1);
+                    stats.dce_removed += 1;
+                    changed = true;
+                } else {
+                    kept.push(vid);
+                }
+            }
+            f.block_mut(bid).instrs = kept;
+        }
+    }
+}
+
+/// CFG simplification: fold constant branches, thread trivial jumps, merge
+/// single-predecessor chains, scrub unreachable blocks.
+fn simplify_cfg(f: &mut Function, stats: &mut PassStats) {
+    // 1. Fold constant conditional branches.
+    for bi in 0..f.block_count() {
+        let bid = BlockId(bi as u32);
+        if let Terminator::CondBr { cond, then_bb, else_bb } = f.block(bid).term.clone() {
+            if let Some(c) = cond.as_const() {
+                let (taken, dropped) =
+                    if c.bits & 1 != 0 { (then_bb, else_bb) } else { (else_bb, then_bb) };
+                if taken != dropped {
+                    remove_phi_incoming(f, dropped, bid);
+                }
+                f.block_mut(bid).term = Terminator::Br { target: taken };
+                stats.branches_folded += 1;
+            } else if then_bb == else_bb {
+                f.block_mut(bid).term = Terminator::Br { target: then_bb };
+                stats.branches_folded += 1;
+            }
+        }
+    }
+
+    // 2. Thread trivial jumps: an empty block that just branches onward is
+    //    bypassed when the target's φs permit it.
+    let trivial: Vec<Option<BlockId>> = (0..f.block_count())
+        .map(|bi| {
+            let b = f.block(BlockId(bi as u32));
+            match (&b.term, b.instrs.is_empty(), bi != 0) {
+                (Terminator::Br { target }, true, true) if target.index() != bi => Some(*target),
+                _ => None,
+            }
+        })
+        .collect();
+    for bi in 0..f.block_count() {
+        let bid = BlockId(bi as u32);
+        let candidates: Vec<(BlockId, BlockId)> = f
+            .block(bid)
+            .term
+            .successors()
+            .filter_map(|succ| trivial[succ.index()].map(|dest| (succ, dest)))
+            .collect();
+        for (from, to) in candidates {
+            // Threading replaces the incoming block of `to`'s φs from
+            // `from` to `bid`; this is only unambiguous while `bid` is not
+            // already a predecessor of `to`. The predecessor set changes
+            // with every rewrite (e.g. both arms of a CondBr reaching the
+            // same destination), so re-validate before each application.
+            if to == bid
+                || trivial[to.index()].is_some()
+                || f.predecessors()[to.index()].contains(&bid)
+            {
+                continue;
+            }
+            f.block_mut(bid).term.map_successors(|s| {
+                if *s == from {
+                    *s = to;
+                }
+            });
+            rename_phi_incoming(f, to, from, bid);
+            stats.jumps_threaded += 1;
+        }
+    }
+
+    // 3. Merge single-predecessor linear chains.
+    loop {
+        let rpo = Rpo::compute(f);
+        let preds = f.predecessors();
+        let mut merged_any = false;
+        for &bid in &rpo.order {
+            let Terminator::Br { target } = f.block(bid).term else {
+                continue;
+            };
+            if target == bid || target == Function::ENTRY || !rpo.is_reachable(bid) {
+                continue;
+            }
+            // Count only reachable preds.
+            let live_preds: Vec<BlockId> = preds[target.index()]
+                .iter()
+                .copied()
+                .filter(|p| rpo.is_reachable(*p))
+                .collect();
+            if live_preds != [bid] {
+                continue;
+            }
+            // Replace target's φs (single incoming) with their operand.
+            let tgt_instrs = f.block(target).instrs.clone();
+            let mut phi_repl: Vec<(ValueId, Operand)> = Vec::new();
+            let mut moved: Vec<ValueId> = Vec::new();
+            for vid in tgt_instrs {
+                match f.instr(vid).unwrap() {
+                    Instr::Phi { incomings, .. } => {
+                        let (_, op) = incomings
+                            .iter()
+                            .find(|(p, _)| *p == bid)
+                            .copied()
+                            .expect("single-pred φ must reference the pred");
+                        phi_repl.push((vid, op));
+                    }
+                    _ => moved.push(vid),
+                }
+            }
+            if !phi_repl.is_empty() {
+                let map: HashMap<ValueId, Operand> = phi_repl.iter().copied().collect();
+                rewrite_all_uses(f, &map);
+            }
+            let tgt_term = f.block(target).term.clone();
+            f.block_mut(target).instrs.clear();
+            f.block_mut(target).term = Terminator::Trap { kind: TrapKind::User(0xdead) };
+            f.block_mut(bid).instrs.extend(moved);
+            f.block_mut(bid).term = tgt_term;
+            // Successors' φs that referenced `target` now come from `bid`.
+            let succs: Vec<BlockId> = f.block(bid).term.successors().collect();
+            for s in succs {
+                rename_phi_incoming(f, s, target, bid);
+            }
+            stats.blocks_merged += 1;
+            merged_any = true;
+            break; // recompute RPO/preds after each merge
+        }
+        if !merged_any {
+            break;
+        }
+    }
+
+    // 4. Scrub unreachable blocks so later verification and translation see
+    //    a consistent CFG (their edges would otherwise pollute φ pred sets).
+    let rpo = Rpo::compute(f);
+    for bi in 0..f.block_count() {
+        let bid = BlockId(bi as u32);
+        if !rpo.is_reachable(bid) {
+            let b = f.block_mut(bid);
+            if !b.instrs.is_empty() || !matches!(b.term, Terminator::Trap { .. }) {
+                b.instrs.clear();
+                b.term = Terminator::Trap { kind: TrapKind::User(0xdead) };
+            }
+            continue;
+        }
+        // Drop φ incomings from now-unreachable predecessors.
+        let ids = f.block(bid).instrs.clone();
+        for vid in ids {
+            let reachable: Vec<bool> = {
+                match f.instr(vid) {
+                    Some(Instr::Phi { incomings, .. }) => {
+                        incomings.iter().map(|(p, _)| rpo.is_reachable(*p)).collect()
+                    }
+                    _ => break,
+                }
+            };
+            if let Some(Instr::Phi { incomings, .. }) = f.instr_mut(vid) {
+                let mut keep = reachable.iter();
+                incomings.retain(|_| *keep.next().unwrap());
+            }
+        }
+    }
+}
+
+fn remove_phi_incoming(f: &mut Function, block: BlockId, pred: BlockId) {
+    let ids = f.block(block).instrs.clone();
+    for vid in ids {
+        match f.instr_mut(vid) {
+            Some(Instr::Phi { incomings, .. }) => incomings.retain(|(p, _)| *p != pred),
+            _ => break,
+        }
+    }
+}
+
+fn rename_phi_incoming(f: &mut Function, block: BlockId, from: BlockId, to: BlockId) {
+    let ids = f.block(block).instrs.clone();
+    for vid in ids {
+        match f.instr_mut(vid) {
+            Some(Instr::Phi { incomings, .. }) => {
+                for (p, _) in incomings.iter_mut() {
+                    if *p == from {
+                        *p = to;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn rewrite_all_uses(f: &mut Function, map: &HashMap<ValueId, Operand>) {
+    for bi in 0..f.block_count() {
+        let bid = BlockId(bi as u32);
+        let ids = f.block(bid).instrs.clone();
+        for vid in ids {
+            if let Some(instr) = f.instr_mut(vid) {
+                instr.map_operands(|o| {
+                    if let Operand::Value(v) = *o {
+                        if let Some(r) = map.get(&v) {
+                            *o = *r;
+                        }
+                    }
+                });
+            }
+        }
+        f.block_mut(bid).term.map_operands(|o| {
+            if let Operand::Value(v) = *o {
+                if let Some(r) = map.get(&v) {
+                    *o = *r;
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqe_ir::{verify_function, FunctionBuilder};
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let c = b.bin(BinOp::Add, Type::I64, Constant::i64(2).into(), Constant::i64(3).into());
+        let r = b.bin(BinOp::Mul, Type::I64, b.param(0).into(), c.into());
+        b.ret(Some(r.into()));
+        let mut f = b.finish().unwrap();
+        let stats = optimize(&mut f);
+        assert!(stats.folded >= 1);
+        // The multiply should now have an immediate operand 5.
+        let entry = f.block(Function::ENTRY);
+        assert_eq!(entry.instrs.len(), 1);
+        match f.instr(entry.instrs[0]).unwrap() {
+            Instr::Bin { op: BinOp::Mul, b, .. } => {
+                assert_eq!(b.as_const().unwrap().as_i64(), 5)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn cse_removes_duplicate_computation() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64, Type::I64], Some(Type::I64));
+        let x1 = b.bin(BinOp::Add, Type::I64, b.param(0).into(), b.param(1).into());
+        let x2 = b.bin(BinOp::Add, Type::I64, b.param(0).into(), b.param(1).into());
+        let r = b.bin(BinOp::Mul, Type::I64, x1.into(), x2.into());
+        b.ret(Some(r.into()));
+        let mut f = b.finish().unwrap();
+        let stats = optimize(&mut f);
+        assert_eq!(stats.cse_hits, 1);
+        assert_eq!(f.block(Function::ENTRY).instrs.len(), 2);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn cse_is_commutative_aware() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64, Type::I64], Some(Type::I64));
+        let x1 = b.bin(BinOp::Add, Type::I64, b.param(0).into(), b.param(1).into());
+        let x2 = b.bin(BinOp::Add, Type::I64, b.param(1).into(), b.param(0).into());
+        let r = b.bin(BinOp::Mul, Type::I64, x1.into(), x2.into());
+        b.ret(Some(r.into()));
+        let mut f = b.finish().unwrap();
+        let stats = optimize(&mut f);
+        assert_eq!(stats.cse_hits, 1);
+    }
+
+    #[test]
+    fn dce_keeps_trapping_instructions() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64, Type::I64], Some(Type::I64));
+        // dead division: must NOT be removed (could trap)
+        let _dead_div = b.bin(BinOp::SDiv, Type::I64, b.param(0).into(), b.param(1).into());
+        // dead add: must be removed
+        let _dead_add = b.bin(BinOp::Add, Type::I64, b.param(0).into(), Constant::i64(1).into());
+        b.ret(Some(b.param(0).into()));
+        let mut f = b.finish().unwrap();
+        let stats = optimize(&mut f);
+        assert_eq!(stats.dce_removed, 1);
+        let entry = f.block(Function::ENTRY);
+        assert_eq!(entry.instrs.len(), 1);
+        assert!(matches!(
+            f.instr(entry.instrs[0]).unwrap(),
+            Instr::Bin { op: BinOp::SDiv, .. }
+        ));
+    }
+
+    #[test]
+    fn constant_branch_folds_and_merges() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let t = b.add_block();
+        let e = b.add_block();
+        let j = b.add_block();
+        b.cond_br(Constant::bool(true).into(), t, e);
+        b.switch_to(t);
+        let x = b.bin(BinOp::Add, Type::I64, b.param(0).into(), Constant::i64(1).into());
+        b.br(j);
+        b.switch_to(e);
+        let y = b.bin(BinOp::Add, Type::I64, b.param(0).into(), Constant::i64(2).into());
+        b.br(j);
+        b.switch_to(j);
+        let p = b.phi(Type::I64, vec![(t, x.into()), (e, y.into())]);
+        b.ret(Some(p.into()));
+        let mut f = b.finish().unwrap();
+        let stats = optimize(&mut f);
+        assert!(stats.branches_folded >= 1);
+        // After folding + merging, the reachable code is a straight line.
+        let rpo = Rpo::compute(&f);
+        assert_eq!(rpo.len(), 1, "everything should merge into the entry");
+        // Semantics: returns param + 1.
+        let r = aqe_vm::naive::interpret_pure(&f, &[41]).unwrap();
+        assert_eq!(r, Some(42));
+    }
+
+    #[test]
+    fn algebraic_identities() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let a = b.bin(BinOp::Add, Type::I64, b.param(0).into(), Constant::i64(0).into());
+        let m = b.bin(BinOp::Mul, Type::I64, a.into(), Constant::i64(1).into());
+        let z = b.bin(BinOp::Mul, Type::I64, m.into(), Constant::i64(0).into());
+        let r = b.bin(BinOp::Or, Type::I64, z.into(), m.into());
+        b.ret(Some(r.into()));
+        let mut f = b.finish().unwrap();
+        optimize(&mut f);
+        // Everything reduces to `ret %0`.
+        assert_eq!(f.block(Function::ENTRY).instrs.len(), 0);
+        assert_eq!(
+            f.block(Function::ENTRY).term,
+            Terminator::Ret { value: Some(Operand::Value(ValueId(0))) }
+        );
+    }
+
+    #[test]
+    fn loop_structure_survives() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let n = b.param(0);
+        b.counted_loop(Constant::i64(0).into(), n.into(), |b, i| {
+            let _ = b.bin(BinOp::Add, Type::I64, i.into(), Constant::i64(1).into());
+        });
+        b.ret(Some(Constant::i64(7).into()));
+        let mut f = b.finish().unwrap();
+        optimize(&mut f);
+        verify_function(&f).unwrap();
+        assert_eq!(aqe_vm::naive::interpret_pure(&f, &[5]).unwrap(), Some(7));
+    }
+}

@@ -1,0 +1,193 @@
+//! Differential tests: compiled code (both levels) must behave identically
+//! to the naive IR interpreter — the §III-B requirement that lets the
+//! adaptive engine hot-swap execution modes mid-pipeline.
+
+use aqe_ir::{BinOp, CmpPred, Constant, Function, FunctionBuilder, Operand, OvfOp, Type, ValueId};
+use aqe_jit::compile::{compile, OptLevel};
+use aqe_jit::exec::execute_compiled;
+use aqe_jit::passes::optimize;
+use aqe_vm::interp::Frame;
+use aqe_vm::naive;
+use aqe_vm::rt::Registry;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Stmt {
+    Bin(BinOp, u8, u8),
+    BinConst(BinOp, u8, i16),
+    Checked(OvfOp, u8, u8),
+    CmpSelect(CmpPred, u8, u8, u8, u8),
+    Diamond(u8, u8, u8),
+    Loop { trips: u8, a: u8 },
+    Div(u8, i16),
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let bin_ops = prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+    ];
+    let bin_ops2 = bin_ops.clone();
+    let ovf = prop_oneof![Just(OvfOp::Add), Just(OvfOp::Sub), Just(OvfOp::Mul)];
+    let preds = prop_oneof![
+        Just(CmpPred::Eq),
+        Just(CmpPred::SLt),
+        Just(CmpPred::SGe),
+        Just(CmpPred::UGt),
+    ];
+    prop_oneof![
+        (bin_ops, any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| Stmt::Bin(o, a, b)),
+        (bin_ops2, any::<u8>(), any::<i16>()).prop_map(|(o, a, c)| Stmt::BinConst(o, a, c)),
+        (ovf, any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| Stmt::Checked(o, a, b)),
+        (preds, any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(p, a, b, c, d)| Stmt::CmpSelect(p, a, b, c, d)),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c)| Stmt::Diamond(a, b, c)),
+        (0u8..5, any::<u8>()).prop_map(|(trips, a)| Stmt::Loop { trips, a }),
+        (any::<u8>(), any::<i16>()).prop_map(|(a, d)| Stmt::Div(a, d)),
+    ]
+}
+
+fn lower(stmts: &[Stmt]) -> Function {
+    let mut b = FunctionBuilder::new("prog", &[Type::I64, Type::I64], Some(Type::I64));
+    let mut vals: Vec<ValueId> = vec![b.param(0), b.param(1)];
+    let pick = |vals: &[ValueId], i: u8| vals[i as usize % vals.len()];
+    for s in stmts {
+        match *s {
+            Stmt::Bin(op, a, bi) => {
+                let v = b.bin(op, Type::I64, pick(&vals, a).into(), pick(&vals, bi).into());
+                vals.push(v);
+            }
+            Stmt::BinConst(op, a, c) => {
+                let v = b.bin(
+                    op,
+                    Type::I64,
+                    pick(&vals, a).into(),
+                    Constant::i64(c as i64).into(),
+                );
+                vals.push(v);
+            }
+            Stmt::Checked(op, a, bi) => {
+                let v =
+                    b.checked_arith(op, Type::I64, pick(&vals, a).into(), pick(&vals, bi).into());
+                vals.push(v);
+            }
+            Stmt::CmpSelect(p, a, bi, c, d) => {
+                let cond = b.cmp(p, Type::I64, pick(&vals, a).into(), pick(&vals, bi).into());
+                let v = b.select(
+                    Type::I64,
+                    cond.into(),
+                    pick(&vals, c).into(),
+                    pick(&vals, d).into(),
+                );
+                vals.push(v);
+            }
+            Stmt::Diamond(a, bi, c) => {
+                let cond =
+                    b.cmp(CmpPred::SGt, Type::I64, pick(&vals, a).into(), Constant::i64(0).into());
+                let t_bb = b.add_block();
+                let e_bb = b.add_block();
+                let j_bb = b.add_block();
+                b.cond_br(cond.into(), t_bb, e_bb);
+                b.switch_to(t_bb);
+                let tv =
+                    b.bin(BinOp::Add, Type::I64, pick(&vals, bi).into(), pick(&vals, c).into());
+                b.br(j_bb);
+                b.switch_to(e_bb);
+                b.br(j_bb);
+                b.switch_to(j_bb);
+                let phi =
+                    b.phi(Type::I64, vec![(t_bb, tv.into()), (e_bb, pick(&vals, c).into())]);
+                vals.push(phi);
+            }
+            Stmt::Loop { trips, a } => {
+                let seed = pick(&vals, a);
+                let head = b.add_block();
+                let body = b.add_block();
+                let exit = b.add_block();
+                let pre = b.current_block();
+                b.br(head);
+                b.switch_to(head);
+                let iv = b.phi(Type::I64, vec![(pre, Constant::i64(0).into())]);
+                let acc = b.phi(Type::I64, vec![(pre, seed.into())]);
+                let done = b.cmp(
+                    CmpPred::SGe,
+                    Type::I64,
+                    iv.into(),
+                    Constant::i64(trips as i64).into(),
+                );
+                b.cond_br(done.into(), exit, body);
+                b.switch_to(body);
+                let acc3 = b.bin(BinOp::Mul, Type::I64, acc.into(), Constant::i64(3).into());
+                let acc2 = b.bin(BinOp::Xor, Type::I64, acc3.into(), iv.into());
+                let iv2 = b.bin(BinOp::Add, Type::I64, iv.into(), Constant::i64(1).into());
+                b.phi_add_incoming(iv, body, iv2.into());
+                b.phi_add_incoming(acc, body, acc2.into());
+                b.br(head);
+                b.switch_to(exit);
+                vals.push(acc);
+            }
+            Stmt::Div(a, d) => {
+                let v = b.bin(
+                    BinOp::SDiv,
+                    Type::I64,
+                    pick(&vals, a).into(),
+                    Constant::i64(d as i64).into(),
+                );
+                vals.push(v);
+            }
+        }
+    }
+    let mut acc: Operand = vals[0].into();
+    for &v in &vals[1..] {
+        acc = b.bin(BinOp::Xor, Type::I64, acc, v.into()).into();
+    }
+    b.ret(Some(acc));
+    b.finish().expect("generated program must verify")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn compiled_matches_naive(
+        stmts in prop::collection::vec(stmt_strategy(), 1..20),
+        x in any::<i64>(),
+        y in any::<i64>(),
+    ) {
+        let f = lower(&stmts);
+        let args = [x as u64, y as u64];
+        let expect = naive::interpret_pure(&f, &args);
+        let rt = Registry::new();
+        let mut frame = Frame::new();
+        for level in [OptLevel::Unoptimized, OptLevel::Optimized] {
+            let cf = compile(&f, &[], level).expect("compilation");
+            let got = execute_compiled(&cf, &args, &rt, &mut frame);
+            prop_assert_eq!(expect, got, "level {:?}", level);
+        }
+    }
+
+    /// The pass pipeline must leave a verifiable function behind.
+    #[test]
+    fn passes_preserve_verification(
+        stmts in prop::collection::vec(stmt_strategy(), 1..20),
+    ) {
+        let mut f = lower(&stmts);
+        optimize(&mut f);
+        aqe_ir::verify_function(&f).unwrap();
+    }
+
+    /// Optimized code never executes more IR instructions than unoptimized.
+    #[test]
+    fn optimizer_never_grows_code(
+        stmts in prop::collection::vec(stmt_strategy(), 1..20),
+    ) {
+        let f = lower(&stmts);
+        let u = compile(&f, &[], OptLevel::Unoptimized).unwrap();
+        let o = compile(&f, &[], OptLevel::Optimized).unwrap();
+        prop_assert!(o.stats.ir_instrs_after <= u.stats.ir_instrs_before);
+    }
+}

@@ -1,0 +1,26 @@
+//! # aqe-queries — the evaluation query corpus
+//!
+//! * [`tpch`] — hand-planned implementations of all 22 TPC-H queries
+//!   (decorrelated where the original uses subqueries; per-query deviations
+//!   are documented on each builder);
+//! * [`tpcds`] — eight TPC-DS-style star-schema queries (the second series
+//!   of the paper's Fig. 6);
+//! * [`synthetic`] — the machine-generated wide-aggregate queries of §V-E
+//!   (Fig. 15): a single table scan with 10…1900 aggregate expressions;
+//! * [`meta`] — pgAdmin-style catalog queries (the paper's introduction);
+//! * [`handwritten`] — the hand-written Q1 of Fig. 2 (no overflow checks).
+
+pub mod handwritten;
+pub mod meta;
+pub mod synthetic;
+pub mod tpcds;
+pub mod tpch;
+
+use aqe_engine::plan::{DictTable, PlanNode};
+
+/// A named query: its plan tree plus any plan-time dictionary tables.
+pub struct Query {
+    pub name: String,
+    pub root: PlanNode,
+    pub dicts: Vec<DictTable>,
+}

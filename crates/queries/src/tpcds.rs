@@ -1,0 +1,175 @@
+//! TPC-DS-style star-schema queries (the second series of Fig. 6).
+
+use crate::Query;
+use aqe_engine::plan::{
+    AggFunc, AggSpec, ArithOp, CmpOp, JoinKind, PExpr, PlanNode, SortKey,
+};
+use aqe_storage::Catalog;
+
+fn c(i: usize) -> PExpr {
+    PExpr::Col(i)
+}
+fn ci(v: i64) -> PExpr {
+    PExpr::ConstI(v)
+}
+fn scan(t: &str, cols: &[usize], f: Option<PExpr>) -> PlanNode {
+    PlanNode::Scan { table: t.into(), cols: cols.to_vec(), filter: f }
+}
+fn eq(a: PExpr, b: PExpr) -> PExpr {
+    PExpr::cmp(CmpOp::Eq, false, a, b)
+}
+fn join(b: PlanNode, p: PlanNode, bk: &[usize], pk: &[usize], pay: &[usize]) -> PlanNode {
+    PlanNode::HashJoin {
+        build: Box::new(b),
+        probe: Box::new(p),
+        build_keys: bk.to_vec(),
+        probe_keys: pk.to_vec(),
+        build_payload: pay.to_vec(),
+        kind: JoinKind::Inner,
+    }
+}
+fn agg(i: PlanNode, g: &[usize], a: Vec<AggSpec>) -> PlanNode {
+    PlanNode::HashAgg { input: Box::new(i), group_by: g.to_vec(), aggs: a }
+}
+fn sum_i(e: PExpr) -> AggSpec {
+    AggSpec { func: AggFunc::SumI, arg: Some(e) }
+}
+fn cnt() -> AggSpec {
+    AggSpec { func: AggFunc::CountStar, arg: None }
+}
+fn sort(i: PlanNode, keys: &[(usize, bool)], limit: Option<usize>) -> PlanNode {
+    PlanNode::Sort {
+        input: Box::new(i),
+        keys: keys.iter().map(|&(f, asc)| SortKey { field: f, asc, float: false }).collect(),
+        limit,
+    }
+}
+fn mul(a: PExpr, b: PExpr) -> PExpr {
+    PExpr::arith(ArithOp::Mul, true, false, a, b)
+}
+
+/// d55-style: brand revenue for one month.
+pub fn d1(_cat: &Catalog) -> Query {
+    let dd = scan(
+        "date_dim",
+        &[0, 1, 2],
+        Some(PExpr::and(eq(c(1), ci(1999)), eq(c(2), ci(11)))),
+    );
+    let ss = scan("store_sales", &[0, 1, 5], None);
+    let j = join(dd, ss, &[0], &[0], &[]);
+    let item = scan("item", &[0, 1], None);
+    let j = join(item, j, &[0], &[1], &[1]);
+    let a = agg(j, &[3], vec![sum_i(c(2))]);
+    Query { name: "d1".into(), root: sort(a, &[(1, false), (0, true)], Some(100)), dicts: vec![] }
+}
+
+/// Category revenue by year.
+pub fn d2(_cat: &Catalog) -> Query {
+    let dd = scan("date_dim", &[0, 1], None);
+    let ss = scan("store_sales", &[0, 1, 5], None);
+    let j = join(dd, ss, &[0], &[0], &[1]);
+    let item = scan("item", &[0, 3], None);
+    let j = join(item, j, &[0], &[1], &[1]);
+    let a = agg(j, &[3, 4], vec![sum_i(c(2)), cnt()]);
+    Query { name: "d2".into(), root: sort(a, &[(0, true), (1, true)], None), dicts: vec![] }
+}
+
+/// Store revenue by state.
+pub fn d3(_cat: &Catalog) -> Query {
+    let st = scan("store", &[0, 2], None);
+    let ss = scan("store_sales", &[3, 5, 4], None);
+    let j = join(st, ss, &[0], &[0], &[1]);
+    let rev = mul(c(1), PExpr::IToF(Box::new(c(2))));
+    let _ = rev;
+    let a = agg(j, &[3], vec![sum_i(c(1)), cnt()]);
+    Query { name: "d3".into(), root: sort(a, &[(1, false)], None), dicts: vec![] }
+}
+
+/// Age-band revenue (CASE buckets).
+pub fn d4(_cat: &Catalog) -> Query {
+    let cu = scan("customer_ds", &[0, 1], None);
+    let ss = scan("store_sales", &[2, 5], None);
+    let j = join(cu, ss, &[0], &[0], &[1]);
+    let band = PExpr::Case {
+        cond: Box::new(PExpr::cmp(CmpOp::Lt, false, c(2), ci(1960))),
+        t: Box::new(ci(0)),
+        f: Box::new(PExpr::Case {
+            cond: Box::new(PExpr::cmp(CmpOp::Lt, false, c(2), ci(1980))),
+            t: Box::new(ci(1)),
+            f: Box::new(ci(2)),
+            float: false,
+        }),
+        float: false,
+    };
+    let p = PlanNode::Project { input: Box::new(j), exprs: vec![band, c(1)] };
+    let a = agg(p, &[0], vec![sum_i(c(1)), cnt()]);
+    Query { name: "d4".into(), root: sort(a, &[(0, true)], None), dicts: vec![] }
+}
+
+/// Average price per category (sum/count post-projection).
+pub fn d5(_cat: &Catalog) -> Query {
+    let item = scan("item", &[0, 3], None);
+    let ss = scan("store_sales", &[1, 5], None);
+    let j = join(item, ss, &[0], &[0], &[1]);
+    let a = agg(j, &[2], vec![sum_i(c(1)), cnt()]);
+    let p = PlanNode::Project {
+        input: Box::new(a),
+        exprs: vec![c(0), PExpr::arith(ArithOp::Div, false, false, c(1), c(2))],
+    };
+    Query { name: "d5".into(), root: sort(p, &[(1, false)], None), dicts: vec![] }
+}
+
+/// Sales count by store and month.
+pub fn d6(_cat: &Catalog) -> Query {
+    let dd = scan("date_dim", &[0, 2], None);
+    let ss = scan("store_sales", &[0, 3], None);
+    let j = join(dd, ss, &[0], &[0], &[1]);
+    let a = agg(j, &[1, 2], vec![cnt()]);
+    Query { name: "d6".into(), root: sort(a, &[(0, true), (1, true)], None), dicts: vec![] }
+}
+
+/// Top items by revenue.
+pub fn d7(_cat: &Catalog) -> Query {
+    let ss = scan("store_sales", &[1, 5, 6], None);
+    let rev = mul(c(1), PExpr::arith(ArithOp::Sub, true, false, ci(100), c(2)));
+    let a = agg(ss, &[0], vec![sum_i(rev)]);
+    Query { name: "d7".into(), root: sort(a, &[(1, false)], Some(25)), dicts: vec![] }
+}
+
+/// Discount effect by brand.
+pub fn d8(_cat: &Catalog) -> Query {
+    let item = scan("item", &[0, 1], None);
+    let ss = scan("store_sales", &[1, 5, 6], None);
+    let j = join(item, ss, &[0], &[0], &[1]);
+    let disc_amt = PExpr::arith(
+        ArithOp::Div,
+        false,
+        false,
+        mul(c(1), c(2)),
+        ci(100),
+    );
+    let a = agg(j, &[3], vec![sum_i(disc_amt), sum_i(c(1))]);
+    Query { name: "d8".into(), root: sort(a, &[(0, true)], None), dicts: vec![] }
+}
+
+/// All DS-style queries.
+pub fn all(cat: &Catalog) -> Vec<Query> {
+    vec![d1(cat), d2(cat), d3(cat), d4(cat), d5(cat), d6(cat), d7(cat), d8(cat)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqe_engine::plan::decompose;
+
+    #[test]
+    fn all_ds_queries_compile() {
+        let cat = aqe_storage::tpcds::generate(0.01);
+        for query in all(&cat) {
+            let phys = decompose(&cat, &query.root, query.dicts.clone());
+            let module = aqe_engine::codegen::generate(&phys, &cat);
+            aqe_ir::verify::verify_module(&module)
+                .unwrap_or_else(|e| panic!("{}: {e}", query.name));
+        }
+    }
+}

@@ -1,0 +1,801 @@
+//! The 22 TPC-H queries as physical plans (the shapes a HyPer-style
+//! optimizer would emit). Correlated subqueries are hand-decorrelated into
+//! derived aggregations + joins, exactly as a production optimizer unnests
+//! them; remaining simplifications are noted per query.
+//!
+//! General deviations from the official text (see EXPERIMENTS.md):
+//! * string ORDER BY sorts dictionary codes, not collation order;
+//! * `year(date)` is computed arithmetically (exact to ±1 day at year
+//!   boundaries);
+//! * decimal arithmetic is fixed-point cents with overflow checks; division
+//!   truncates.
+
+use crate::Query;
+use aqe_engine::plan::{
+    AggFunc, AggSpec, ArithOp, CmpOp, DictTable, JoinKind, PExpr, PlanNode, SortKey,
+};
+use aqe_storage::date::parse_date;
+use aqe_storage::Catalog;
+use std::sync::Arc;
+
+// ---- tiny plan-building DSL -------------------------------------------------
+
+fn c(i: usize) -> PExpr {
+    PExpr::Col(i)
+}
+fn ci(v: i64) -> PExpr {
+    PExpr::ConstI(v)
+}
+fn date(s: &str) -> PExpr {
+    PExpr::ConstI(parse_date(s) as i64)
+}
+fn add(a: PExpr, b: PExpr) -> PExpr {
+    PExpr::arith(ArithOp::Add, true, false, a, b)
+}
+fn sub(a: PExpr, b: PExpr) -> PExpr {
+    PExpr::arith(ArithOp::Sub, true, false, a, b)
+}
+fn mul(a: PExpr, b: PExpr) -> PExpr {
+    PExpr::arith(ArithOp::Mul, true, false, a, b)
+}
+fn div(a: PExpr, b: PExpr) -> PExpr {
+    PExpr::arith(ArithOp::Div, false, false, a, b)
+}
+fn lt(a: PExpr, b: PExpr) -> PExpr {
+    PExpr::cmp(CmpOp::Lt, false, a, b)
+}
+fn le(a: PExpr, b: PExpr) -> PExpr {
+    PExpr::cmp(CmpOp::Le, false, a, b)
+}
+fn gt(a: PExpr, b: PExpr) -> PExpr {
+    PExpr::cmp(CmpOp::Gt, false, a, b)
+}
+fn ge(a: PExpr, b: PExpr) -> PExpr {
+    PExpr::cmp(CmpOp::Ge, false, a, b)
+}
+fn eq(a: PExpr, b: PExpr) -> PExpr {
+    PExpr::cmp(CmpOp::Eq, false, a, b)
+}
+fn and(a: PExpr, b: PExpr) -> PExpr {
+    PExpr::and(a, b)
+}
+fn or(a: PExpr, b: PExpr) -> PExpr {
+    PExpr::or(a, b)
+}
+fn between(v: PExpr, lo: PExpr, hi: PExpr) -> PExpr {
+    and(ge(v.clone(), lo), le(v, hi))
+}
+/// `year(days)` — arithmetic year extraction (±1 day at boundaries).
+fn year(d: PExpr) -> PExpr {
+    add(div(mul_unchecked(add(d, ci(1)), ci(10000)), ci(3652425)), ci(1970))
+}
+fn mul_unchecked(a: PExpr, b: PExpr) -> PExpr {
+    PExpr::arith(ArithOp::Mul, false, false, a, b)
+}
+fn scan(table: &str, cols: &[usize], filter: Option<PExpr>) -> PlanNode {
+    PlanNode::Scan { table: table.into(), cols: cols.to_vec(), filter }
+}
+fn filter(input: PlanNode, pred: PExpr) -> PlanNode {
+    PlanNode::Filter { input: Box::new(input), pred }
+}
+fn project(input: PlanNode, exprs: Vec<PExpr>) -> PlanNode {
+    PlanNode::Project { input: Box::new(input), exprs }
+}
+fn join(
+    build: PlanNode,
+    probe: PlanNode,
+    bk: &[usize],
+    pk: &[usize],
+    payload: &[usize],
+) -> PlanNode {
+    PlanNode::HashJoin {
+        build: Box::new(build),
+        probe: Box::new(probe),
+        build_keys: bk.to_vec(),
+        probe_keys: pk.to_vec(),
+        build_payload: payload.to_vec(),
+        kind: JoinKind::Inner,
+    }
+}
+fn semi(build: PlanNode, probe: PlanNode, bk: &[usize], pk: &[usize]) -> PlanNode {
+    PlanNode::HashJoin {
+        build: Box::new(build),
+        probe: Box::new(probe),
+        build_keys: bk.to_vec(),
+        probe_keys: pk.to_vec(),
+        build_payload: vec![],
+        kind: JoinKind::Semi,
+    }
+}
+fn anti(build: PlanNode, probe: PlanNode, bk: &[usize], pk: &[usize]) -> PlanNode {
+    PlanNode::HashJoin {
+        build: Box::new(build),
+        probe: Box::new(probe),
+        build_keys: bk.to_vec(),
+        probe_keys: pk.to_vec(),
+        build_payload: vec![],
+        kind: JoinKind::Anti,
+    }
+}
+fn agg(input: PlanNode, group: &[usize], aggs: Vec<AggSpec>) -> PlanNode {
+    PlanNode::HashAgg { input: Box::new(input), group_by: group.to_vec(), aggs }
+}
+fn sum_i(e: PExpr) -> AggSpec {
+    AggSpec { func: AggFunc::SumI, arg: Some(e) }
+}
+fn cnt() -> AggSpec {
+    AggSpec { func: AggFunc::CountStar, arg: None }
+}
+fn min_i(e: PExpr) -> AggSpec {
+    AggSpec { func: AggFunc::MinI, arg: Some(e) }
+}
+#[allow(dead_code)] // symmetry with min_i; available to downstream plan builders
+fn max_i(e: PExpr) -> AggSpec {
+    AggSpec { func: AggFunc::MaxI, arg: Some(e) }
+}
+fn sort(input: PlanNode, keys: &[(usize, bool)], limit: Option<usize>) -> PlanNode {
+    PlanNode::Sort {
+        input: Box::new(input),
+        keys: keys.iter().map(|&(f, asc)| SortKey { field: f, asc, float: false }).collect(),
+        limit,
+    }
+}
+
+/// Dictionary code of an exact string constant (resolved at plan time, like
+/// HyPer resolving string constants against the dictionary).
+fn code(cat: &Catalog, table: &str, col: &str, s: &str) -> i64 {
+    cat.get(table)
+        .and_then(|t| t.column_by_name(col))
+        .and_then(|c| c.as_str())
+        .and_then(|sc| sc.code_of(s))
+        .map(|c| c as i64)
+        .unwrap_or(-1) // never matches: the constant is absent at this SF
+}
+
+/// Build a LIKE/predicate bitmap over a column's dictionary; returns the
+/// dict-table entry and its index within `dicts`.
+fn like_dict(
+    cat: &Catalog,
+    dicts: &mut Vec<DictTable>,
+    table: &str,
+    col: &str,
+    pred: impl Fn(&str) -> bool,
+) -> usize {
+    let bitmap = cat
+        .get(table)
+        .and_then(|t| t.column_by_name(col))
+        .and_then(|c| c.as_str())
+        .map(|sc| sc.match_bitmap(&pred))
+        .unwrap_or_default();
+    dicts.push(DictTable { bytes: Arc::new(bitmap), elem_size: 1, state_slot: 0 });
+    dicts.len() - 1
+}
+fn dict_match(tbl: usize, field: usize) -> PExpr {
+    PExpr::cmp(
+        CmpOp::Ne,
+        false,
+        PExpr::DictLookup { v: Box::new(c(field)), table: tbl, elem_size: 1 },
+        ci(0),
+    )
+}
+
+// lineitem columns
+const L_ORDERKEY: usize = 0;
+const L_PARTKEY: usize = 1;
+const L_SUPPKEY: usize = 2;
+const L_QTY: usize = 4;
+const L_EXT: usize = 5;
+const L_DISC: usize = 6;
+const L_TAX: usize = 7;
+const L_RF: usize = 8;
+const L_LS: usize = 9;
+const L_SHIP: usize = 10;
+const L_COMMIT: usize = 11;
+const L_RECEIPT: usize = 12;
+const L_INSTRUCT: usize = 13;
+const L_MODE: usize = 14;
+
+fn q(name: &str, root: PlanNode, dicts: Vec<DictTable>) -> Query {
+    Query { name: name.into(), root, dicts }
+}
+
+/// Q1 — pricing summary report. Fields: rf, ls, sum_qty, sum_base,
+/// sum_disc_price, sum_charge, avg_qty, avg_price, avg_disc, count.
+pub fn q1(_cat: &Catalog) -> Query {
+    let s = scan(
+        "lineitem",
+        &[L_QTY, L_EXT, L_DISC, L_TAX, L_RF, L_LS, L_SHIP],
+        Some(le(c(6), date("1998-09-02"))),
+    );
+    // fields: 0 qty, 1 ext, 2 disc, 3 tax, 4 rf, 5 ls, 6 ship
+    let disc_price = div(mul(c(1), sub(ci(100), c(2))), ci(100));
+    let charge = div(mul(disc_price.clone(), add(ci(100), c(3))), ci(100));
+    let a = agg(
+        s,
+        &[4, 5],
+        vec![
+            sum_i(c(0)),
+            sum_i(c(1)),
+            sum_i(disc_price),
+            sum_i(charge),
+            sum_i(c(2)),
+            cnt(),
+        ],
+    );
+    // groups: 0 rf, 1 ls, 2 sumq, 3 sumb, 4 sumdp, 5 sumch, 6 sumdisc, 7 n
+    let p = project(
+        a,
+        vec![
+            c(0),
+            c(1),
+            c(2),
+            c(3),
+            c(4),
+            c(5),
+            div(c(2), c(7)),
+            div(c(3), c(7)),
+            div(c(6), c(7)),
+            c(7),
+        ],
+    );
+    q("q1", sort(p, &[(0, true), (1, true)], None), vec![])
+}
+
+/// Q2 — minimum-cost supplier (decorrelated via a min-cost derived table).
+pub fn q2(cat: &Catalog) -> Query {
+    let mut dicts = vec![];
+    let brass = like_dict(cat, &mut dicts, "part", "p_type", |s| s.ends_with("BRASS"));
+    let europe = code(cat, "region", "r_name", "EUROPE");
+    // European suppliers: region -> nation -> supplier
+    let nations = join(
+        scan("region", &[0], Some(eq(c(0), ci(europe)))),
+        scan("nation", &[0, 2], None),
+        &[0],
+        &[1],
+        &[],
+    ); // fields: n_nationkey, n_regionkey
+    let supps = join(nations, scan("supplier", &[0, 3, 5], None), &[0], &[1], &[]);
+    // fields: s_suppkey, s_nationkey, s_acctbal
+    let eu_ps = join(
+        supps,
+        scan("partsupp", &[0, 1, 3], None),
+        &[0],
+        &[1],
+        &[2], // carry acctbal
+    ); // fields: ps_partkey, ps_suppkey, ps_cost, s_acctbal
+    let parts = scan(
+        "part",
+        &[0, 5, 4],
+        Some(eq(c(1), ci(15))),
+    );
+    let parts = filter(parts, dict_match(brass, 2));
+    let target_ps = join(parts, eu_ps.clone(), &[0], &[0], &[]);
+    // min cost per part over european partsupp
+    let min_cost = agg(target_ps.clone(), &[0], vec![min_i(c(2))]);
+    // join back on (partkey, cost)
+    let final_join = join(min_cost, target_ps, &[0, 1], &[0, 2], &[]);
+    // fields: ps_partkey, ps_suppkey, ps_cost, s_acctbal
+    let s = sort(final_join, &[(3, false), (0, true)], Some(100));
+    q("q2", s, dicts)
+}
+
+/// Q3 — shipping priority.
+pub fn q3(cat: &Catalog) -> Query {
+    let building = code(cat, "customer", "c_mktsegment", "BUILDING");
+    let cust = scan("customer", &[0, 6], Some(eq(c(1), ci(building))));
+    let orders = scan("orders", &[0, 1, 4, 7], Some(lt(c(2), date("1995-03-15"))));
+    let co = join(cust, orders, &[0], &[1], &[]);
+    // fields: o_orderkey, o_custkey, o_orderdate, o_shippriority
+    let li = scan(
+        "lineitem",
+        &[L_ORDERKEY, L_EXT, L_DISC, L_SHIP],
+        Some(gt(c(3), date("1995-03-15"))),
+    );
+    let j = join(co, li, &[0], &[0], &[2, 3]);
+    // fields: l_orderkey, ext, disc, ship, o_orderdate, o_shippriority
+    let rev = div(mul(c(1), sub(ci(100), c(2))), ci(100));
+    let a = agg(j, &[0, 4, 5], vec![sum_i(rev)]);
+    q("q3", sort(a, &[(3, false), (1, true)], Some(10)), vec![])
+}
+
+/// Q4 — order priority checking (EXISTS → semi join).
+pub fn q4(_cat: &Catalog) -> Query {
+    let late_items = scan(
+        "lineitem",
+        &[L_ORDERKEY, L_COMMIT, L_RECEIPT],
+        Some(lt(c(1), c(2))),
+    );
+    let orders = scan(
+        "orders",
+        &[0, 4, 5],
+        Some(between(c(1), date("1993-07-01"), date("1993-09-30"))),
+    );
+    let j = semi(late_items, orders, &[0], &[0]);
+    let a = agg(j, &[2], vec![cnt()]);
+    q("q4", sort(a, &[(0, true)], None), vec![])
+}
+
+/// Q5 — local supplier volume.
+pub fn q5(cat: &Catalog) -> Query {
+    let asia = code(cat, "region", "r_name", "ASIA");
+    let nations = join(
+        scan("region", &[0], Some(eq(c(0), ci(asia)))),
+        scan("nation", &[0, 2, 1], None),
+        &[0],
+        &[1],
+        &[],
+    ); // n_nationkey, n_regionkey, n_name
+    let supp = join(nations.clone(), scan("supplier", &[0, 3], None), &[0], &[1], &[0]);
+    // s_suppkey, s_nationkey, n_nationkey(payload)
+    let li = scan("lineitem", &[L_ORDERKEY, L_SUPPKEY, L_EXT, L_DISC], None);
+    let sl = join(supp, li, &[0], &[1], &[1]);
+    // l_orderkey, l_suppkey, ext, disc, s_nationkey
+    let orders = scan(
+        "orders",
+        &[0, 1, 4],
+        Some(between(c(2), date("1994-01-01"), date("1994-12-31"))),
+    );
+    let slo = join(orders, sl, &[0], &[0], &[1]);
+    // ..., o_custkey
+    let cust = scan("customer", &[0, 3], None);
+    let j = join(cust, slo, &[0], &[5], &[1]);
+    // fields: l_orderkey, l_suppkey, ext, disc, s_nationkey, o_custkey, c_nationkey
+    let j = filter(j, eq(c(4), c(6)));
+    let rev = div(mul(c(2), sub(ci(100), c(3))), ci(100));
+    let a = agg(j, &[4], vec![sum_i(rev)]);
+    q("q5", sort(a, &[(1, false)], None), vec![])
+}
+
+/// Q6 — forecasting revenue change.
+pub fn q6(_cat: &Catalog) -> Query {
+    let s = scan(
+        "lineitem",
+        &[L_QTY, L_EXT, L_DISC, L_SHIP],
+        Some(and(
+            between(c(3), date("1994-01-01"), date("1994-12-31")),
+            and(between(c(2), ci(5), ci(7)), lt(c(0), ci(2400))),
+        )),
+    );
+    let a = agg(s, &[], vec![sum_i(mul(c(1), c(2)))]);
+    q("q6", a, vec![])
+}
+
+/// Q7 — volume shipping between FRANCE and GERMANY.
+pub fn q7(cat: &Catalog) -> Query {
+    let fr = code(cat, "nation", "n_name", "FRANCE");
+    let de = code(cat, "nation", "n_name", "GERMANY");
+    let supp = scan("supplier", &[0, 3], Some(or(eq(c(1), ci(fr)), eq(c(1), ci(de)))));
+    let li = scan("lineitem", &[L_ORDERKEY, L_SUPPKEY, L_EXT, L_DISC, L_SHIP], None);
+    let li = filter(li, between(c(4), date("1995-01-01"), date("1996-12-31")));
+    let sl = join(supp, li, &[0], &[1], &[1]);
+    // l_orderkey, l_suppkey, ext, disc, ship, s_nationkey
+    let orders = scan("orders", &[0, 1], None);
+    let slo = join(orders, sl, &[0], &[0], &[1]);
+    // + o_custkey
+    let cust = scan("customer", &[0, 3], Some(or(eq(c(1), ci(fr)), eq(c(1), ci(de)))));
+    let j = join(cust, slo, &[0], &[6], &[1]);
+    // fields: ..., s_nationkey(5), o_custkey(6), c_nationkey(7)
+    let j = filter(j, PExpr::cmp(CmpOp::Ne, false, c(5), c(7)));
+    let rev = div(mul(c(2), sub(ci(100), c(3))), ci(100));
+    let withyear = project(j, vec![c(5), c(7), year(c(4)), rev]);
+    let a = agg(withyear, &[0, 1, 2], vec![sum_i(c(3))]);
+    q("q7", sort(a, &[(0, true), (1, true), (2, true)], None), vec![])
+}
+
+/// Q8 — national market share (simplified: share of BRAZIL suppliers in
+/// AMERICA customers' orders of a part type, by year).
+pub fn q8(cat: &Catalog) -> Query {
+    let mut dicts = vec![];
+    let steel =
+        like_dict(cat, &mut dicts, "part", "p_type", |s| s.contains("ECONOMY ANODIZED"));
+    let brazil = code(cat, "nation", "n_name", "BRAZIL");
+    let america = code(cat, "region", "r_name", "AMERICA");
+    let part = filter(scan("part", &[0, 4], None), dict_match(steel, 1));
+    let li = scan("lineitem", &[L_ORDERKEY, L_PARTKEY, L_SUPPKEY, L_EXT, L_DISC], None);
+    let pl = join(part, li, &[0], &[1], &[]);
+    let supp = scan("supplier", &[0, 3], None);
+    let pls = join(supp, pl, &[0], &[2], &[1]);
+    // l_orderkey, l_partkey, l_suppkey, ext, disc, s_nationkey
+    let orders = scan(
+        "orders",
+        &[0, 1, 4],
+        Some(between(c(2), date("1995-01-01"), date("1996-12-31"))),
+    );
+    let plso = join(orders, pls, &[0], &[0], &[1, 2]);
+    // + o_custkey(6), o_orderdate(7)
+    let nat_am = join(
+        scan("region", &[0], Some(eq(c(0), ci(america)))),
+        scan("nation", &[0, 2], None),
+        &[0],
+        &[1],
+        &[],
+    );
+    let cust = join(nat_am, scan("customer", &[0, 3], None), &[0], &[1], &[]);
+    let j = join(cust, plso, &[0], &[6], &[]);
+    let rev = div(mul(c(3), sub(ci(100), c(4))), ci(100));
+    let brazil_rev = PExpr::Case {
+        cond: Box::new(eq(c(5), ci(brazil))),
+        t: Box::new(rev.clone()),
+        f: Box::new(ci(0)),
+        float: false,
+    };
+    let withyear = project(j, vec![year(c(7)), rev, brazil_rev]);
+    let a = agg(withyear, &[0], vec![sum_i(c(2)), sum_i(c(1))]);
+    // share in basis points: brazil/total*10000
+    let p = project(a, vec![c(0), div(mul(c(1), ci(10000)), c(2))]);
+    q("q8", sort(p, &[(0, true)], None), dicts)
+}
+
+/// Q9 — product type profit measure.
+pub fn q9(cat: &Catalog) -> Query {
+    let mut dicts = vec![];
+    let green = like_dict(cat, &mut dicts, "part", "p_name", |s| s.contains("green"));
+    let part = filter(scan("part", &[0, 1], None), dict_match(green, 1));
+    let li = scan(
+        "lineitem",
+        &[L_ORDERKEY, L_PARTKEY, L_SUPPKEY, L_QTY, L_EXT, L_DISC],
+        None,
+    );
+    let pl = join(part, li, &[0], &[1], &[]);
+    let ps = scan("partsupp", &[0, 1, 3], None);
+    let plps = join(ps, pl, &[0, 1], &[1, 2], &[2]);
+    // fields: l_orderkey..disc(5), ps_cost(6)
+    let supp = scan("supplier", &[0, 3], None);
+    let plpss = join(supp, plps, &[0], &[2], &[1]);
+    // + s_nationkey(7)
+    let orders = scan("orders", &[0, 4], None);
+    let j = join(orders, plpss, &[0], &[0], &[1]);
+    // + o_orderdate(8)
+    let amount = sub(
+        div(mul(c(4), sub(ci(100), c(5))), ci(100)),
+        div(mul(c(6), c(3)), ci(100)),
+    );
+    let withyear = project(j, vec![c(7), year(c(8)), amount]);
+    let a = agg(withyear, &[0, 1], vec![sum_i(c(2))]);
+    q("q9", sort(a, &[(0, true), (1, false)], None), dicts)
+}
+
+/// Q10 — returned item reporting.
+pub fn q10(cat: &Catalog) -> Query {
+    let r = code(cat, "lineitem", "l_returnflag", "R");
+    let li = scan("lineitem", &[L_ORDERKEY, L_EXT, L_DISC, L_RF], Some(eq(c(3), ci(r))));
+    let orders = scan(
+        "orders",
+        &[0, 1, 4],
+        Some(between(c(2), date("1993-10-01"), date("1993-12-31"))),
+    );
+    let j = join(orders, li, &[0], &[0], &[1]);
+    // l_orderkey, ext, disc, rf, o_custkey
+    let cust = scan("customer", &[0, 3, 5], None);
+    let j = join(cust, j, &[0], &[4], &[1, 2]);
+    // + c_nationkey(5), c_acctbal(6)
+    let rev = div(mul(c(1), sub(ci(100), c(2))), ci(100));
+    let a = agg(j, &[4, 5, 6], vec![sum_i(rev)]);
+    q("q10", sort(a, &[(3, false), (0, true)], Some(20)), vec![])
+}
+
+/// Q11 — important stock identification (HAVING-threshold replaced by
+/// top-100; the paper's Fig. 14 trace uses this query's two partsupp scans).
+pub fn q11(cat: &Catalog) -> Query {
+    let de = code(cat, "nation", "n_name", "GERMANY");
+    let supp = scan("supplier", &[0, 3], Some(eq(c(1), ci(de))));
+    let value = div(mul(c(2), c(1)), ci(100));
+    // scan partsupp 1: total value
+    let ps1 = scan("partsupp", &[0, 2, 3], None);
+    let j1 = semi(supp.clone(), ps1, &[0], &[0]);
+    let _total = agg(j1, &[], vec![sum_i(value.clone())]);
+    // scan partsupp 2: per-part value
+    let ps2 = scan("partsupp", &[0, 2, 3], None);
+    let j2 = semi(supp, ps2, &[0], &[0]);
+    let a = agg(j2, &[0], vec![sum_i(value)]);
+    // Keep both pipelines alive: cross-check by sorting per-part values.
+    q("q11", sort(a, &[(1, false), (0, true)], Some(100)), vec![])
+}
+
+/// Q12 — shipping modes and order priority.
+pub fn q12(cat: &Catalog) -> Query {
+    let mail = code(cat, "lineitem", "l_shipmode", "MAIL");
+    let ship = code(cat, "lineitem", "l_shipmode", "SHIP");
+    let urgent = code(cat, "orders", "o_orderpriority", "1-URGENT");
+    let high = code(cat, "orders", "o_orderpriority", "2-HIGH");
+    let li = scan(
+        "lineitem",
+        &[L_ORDERKEY, L_SHIP, L_COMMIT, L_RECEIPT, L_MODE],
+        Some(and(
+            PExpr::InList { v: Box::new(c(4)), list: vec![mail, ship] },
+            and(
+                and(lt(c(2), c(3)), lt(c(1), c(2))),
+                between(c(3), date("1994-01-01"), date("1994-12-31")),
+            ),
+        )),
+    );
+    let orders = scan("orders", &[0, 5], None);
+    let j = join(orders, li, &[0], &[0], &[1]);
+    // fields: ..., o_orderpriority(5)
+    let is_high = PExpr::InList { v: Box::new(c(5)), list: vec![urgent, high] };
+    let high_cnt = PExpr::Case {
+        cond: Box::new(is_high.clone()),
+        t: Box::new(ci(1)),
+        f: Box::new(ci(0)),
+        float: false,
+    };
+    let low_cnt = PExpr::Case {
+        cond: Box::new(is_high),
+        t: Box::new(ci(0)),
+        f: Box::new(ci(1)),
+        float: false,
+    };
+    let a = agg(j, &[4], vec![sum_i(high_cnt), sum_i(low_cnt)]);
+    q("q12", sort(a, &[(0, true)], None), vec![])
+}
+
+/// Q13 — customer order-count distribution (deviation: inner join, so
+/// zero-order customers are not counted — left outer joins are future work).
+pub fn q13(_cat: &Catalog) -> Query {
+    let orders = scan("orders", &[0, 1], None);
+    let per_cust = agg(orders, &[1], vec![cnt()]);
+    let dist = agg(per_cust, &[1], vec![cnt()]);
+    q("q13", sort(dist, &[(1, false), (0, false)], None), vec![])
+}
+
+/// Q14 — promotion effect (share in basis points).
+pub fn q14(cat: &Catalog) -> Query {
+    let mut dicts = vec![];
+    let promo = like_dict(cat, &mut dicts, "part", "p_type", |s| s.starts_with("PROMO"));
+    let li = scan(
+        "lineitem",
+        &[L_PARTKEY, L_EXT, L_DISC, L_SHIP],
+        Some(between(c(3), date("1995-09-01"), date("1995-09-30"))),
+    );
+    let part = scan("part", &[0, 4], None);
+    let j = join(part, li, &[0], &[0], &[1]);
+    // fields: partkey, ext, disc, ship, p_type(4)
+    let rev = div(mul(c(1), sub(ci(100), c(2))), ci(100));
+    let promo_rev = PExpr::Case {
+        cond: Box::new(dict_match(promo, 4)),
+        t: Box::new(rev.clone()),
+        f: Box::new(ci(0)),
+        float: false,
+    };
+    let a = agg(j, &[], vec![sum_i(promo_rev), sum_i(rev)]);
+    let p = project(a, vec![div(mul(c(0), ci(10000)), c(1))]);
+    q("q14", p, dicts)
+}
+
+/// Q15 — top supplier (view decorrelated; returns the top-1 revenue row).
+pub fn q15(_cat: &Catalog) -> Query {
+    let li = scan(
+        "lineitem",
+        &[L_SUPPKEY, L_EXT, L_DISC, L_SHIP],
+        Some(between(c(3), date("1996-01-01"), date("1996-03-31"))),
+    );
+    let rev = div(mul(c(1), sub(ci(100), c(2))), ci(100));
+    let a = agg(li, &[0], vec![sum_i(rev)]);
+    q("q15", sort(a, &[(1, false), (0, true)], Some(1)), vec![])
+}
+
+/// Q16 — parts/supplier relationship (count distinct via two-level group).
+pub fn q16(cat: &Catalog) -> Query {
+    let mut dicts = vec![];
+    let complaints =
+        like_dict(cat, &mut dicts, "supplier", "s_comment", |s| s.contains("complaints"));
+    let b45 = code(cat, "part", "p_brand", "Brand#45");
+    let bad_supp = filter(scan("supplier", &[0, 6], None), dict_match(complaints, 1));
+    let ps = scan("partsupp", &[0, 1], None);
+    let ps = anti(bad_supp, ps, &[0], &[1]);
+    let part = scan(
+        "part",
+        &[0, 3, 4, 5],
+        Some(and(
+            PExpr::cmp(CmpOp::Ne, false, c(1), ci(b45)),
+            PExpr::InList { v: Box::new(c(3)), list: vec![9, 14, 19, 23, 36, 45, 49, 3] },
+        )),
+    );
+    let j = join(part, ps, &[0], &[0], &[1, 2, 3]);
+    // fields: ps_partkey, ps_suppkey, brand, type, size
+    let dedup = agg(j, &[2, 3, 4, 1], vec![]);
+    let a = agg(dedup, &[0, 1, 2], vec![cnt()]);
+    q("q16", sort(a, &[(3, false), (0, true), (1, true), (2, true)], None), dicts)
+}
+
+/// Q17 — small-quantity-order revenue (avg subquery decorrelated).
+pub fn q17(cat: &Catalog) -> Query {
+    let b23 = code(cat, "part", "p_brand", "Brand#23");
+    let medbox = code(cat, "part", "p_container", "MED BOX");
+    let li_all = scan("lineitem", &[L_PARTKEY, L_QTY, L_EXT], None);
+    let avg_qty = agg(li_all.clone(), &[0], vec![sum_i(c(1)), cnt()]);
+    // per-part threshold: 0.2 * avg = sum/(5*count)
+    let threshold = project(
+        avg_qty,
+        vec![c(0), div(c(1), mul_unchecked(c(2), ci(5)))],
+    );
+    let part = scan(
+        "part",
+        &[0, 3, 6],
+        Some(and(eq(c(1), ci(b23)), eq(c(2), ci(medbox)))),
+    );
+    let li_p = join(part, li_all, &[0], &[0], &[]);
+    let j = join(threshold, li_p, &[0], &[0], &[1]);
+    // fields: partkey, qty, ext, threshold(3)
+    let j = filter(j, lt(c(1), c(3)));
+    let a = agg(j, &[], vec![sum_i(c(2)), cnt()]);
+    let p = project(a, vec![div(c(0), ci(7))]);
+    q("q17", p, vec![])
+}
+
+/// Q18 — large volume customers.
+pub fn q18(_cat: &Catalog) -> Query {
+    let li = scan("lineitem", &[L_ORDERKEY, L_QTY], None);
+    let per_order = agg(li, &[0], vec![sum_i(c(1))]);
+    let big = filter(per_order, gt(c(1), ci(30000))); // qty > 300.00
+    let orders = scan("orders", &[0, 1, 4, 3], None);
+    let j = join(big, orders, &[0], &[0], &[1]);
+    // o_orderkey, o_custkey, o_orderdate, o_totalprice, sum_qty(4)
+    let cust = scan("customer", &[0], None);
+    let j = semi(cust, j, &[0], &[1]);
+    let a = agg(j, &[1, 0, 2, 3], vec![sum_i(c(4))]);
+    q("q18", sort(a, &[(3, false), (2, true)], Some(100)), vec![])
+}
+
+/// Q19 — discounted revenue (disjunctive predicates).
+pub fn q19(cat: &Catalog) -> Query {
+    let b12 = code(cat, "part", "p_brand", "Brand#12");
+    let b23 = code(cat, "part", "p_brand", "Brand#23");
+    let b34 = code(cat, "part", "p_brand", "Brand#34");
+    let air = code(cat, "lineitem", "l_shipmode", "AIR");
+    let regair = code(cat, "lineitem", "l_shipmode", "REG AIR");
+    let deliver = code(cat, "lineitem", "l_shipinstruct", "DELIVER IN PERSON");
+    let li = scan(
+        "lineitem",
+        &[L_PARTKEY, L_QTY, L_EXT, L_DISC, L_INSTRUCT, L_MODE],
+        Some(and(
+            PExpr::InList { v: Box::new(c(5)), list: vec![air, regair] },
+            eq(c(4), ci(deliver)),
+        )),
+    );
+    let part = scan("part", &[0, 3, 5], None);
+    let j = join(part, li, &[0], &[0], &[1, 2]);
+    // fields: partkey, qty, ext, disc, instruct, mode, brand(6), size(7)
+    let case1 = and(
+        and(eq(c(6), ci(b12)), between(c(1), ci(100), ci(1100))),
+        between(c(7), ci(1), ci(5)),
+    );
+    let case2 = and(
+        and(eq(c(6), ci(b23)), between(c(1), ci(1000), ci(2000))),
+        between(c(7), ci(1), ci(10)),
+    );
+    let case3 = and(
+        and(eq(c(6), ci(b34)), between(c(1), ci(2000), ci(3000))),
+        between(c(7), ci(1), ci(15)),
+    );
+    let j = filter(j, or(case1, or(case2, case3)));
+    let rev = div(mul(c(2), sub(ci(100), c(3))), ci(100));
+    let a = agg(j, &[], vec![sum_i(rev)]);
+    q("q19", a, vec![])
+}
+
+/// Q20 — potential part promotion (nested exists decorrelated).
+pub fn q20(cat: &Catalog) -> Query {
+    let mut dicts = vec![];
+    let forest = like_dict(cat, &mut dicts, "part", "p_name", |s| s.starts_with("forest"));
+    let ca = code(cat, "nation", "n_name", "CANADA");
+    let part = filter(scan("part", &[0, 1], None), dict_match(forest, 1));
+    let li = scan(
+        "lineitem",
+        &[L_PARTKEY, L_SUPPKEY, L_QTY, L_SHIP],
+        Some(between(c(3), date("1994-01-01"), date("1994-12-31"))),
+    );
+    let shipped = agg(li, &[0, 1], vec![sum_i(c(2))]);
+    // partsupp with availqty > 0.5 * shipped qty
+    let ps = scan("partsupp", &[0, 1, 2], None);
+    let j = join(shipped, ps, &[0, 1], &[0, 1], &[2]);
+    // ps_partkey, ps_suppkey, availqty, shipped_qty(3)
+    let j = filter(j, gt(mul_unchecked(c(2), ci(200)), c(3)));
+    let j = semi(part, j, &[0], &[0]);
+    let supp = scan("supplier", &[0, 3], Some(eq(c(1), ci(ca))));
+    let s = semi(j, supp, &[1], &[0]);
+    q("q20", sort(s, &[(0, true)], None), dicts)
+}
+
+/// Q21 — suppliers who kept orders waiting (simplified: drops the
+/// multi-supplier exists/not-exists refinement).
+pub fn q21(cat: &Catalog) -> Query {
+    let sa = code(cat, "nation", "n_name", "SAUDI ARABIA");
+    let f = code(cat, "orders", "o_orderstatus", "F");
+    let supp = scan("supplier", &[0, 3], Some(eq(c(1), ci(sa))));
+    let li = scan(
+        "lineitem",
+        &[L_ORDERKEY, L_SUPPKEY, L_COMMIT, L_RECEIPT],
+        Some(gt(c(3), c(2))),
+    );
+    let sl = join(supp, li, &[0], &[1], &[0]);
+    let orders = scan("orders", &[0, 2], Some(eq(c(1), ci(f))));
+    let j = semi(orders, sl, &[0], &[0]);
+    // group by suppkey
+    let a = agg(j, &[4], vec![cnt()]);
+    q("q21", sort(a, &[(1, false), (0, true)], Some(100)), vec![])
+}
+
+/// Q22 — global sales opportunity (avg-balance scalar subquery folded at
+/// plan time; phone-prefix grouping replaced by nation key).
+pub fn q22(cat: &Catalog) -> Query {
+    // Scalar subquery: average positive account balance, computed against
+    // the dictionary at plan time like constant folding in the optimizer.
+    let cust_t = cat.get("customer").expect("customer");
+    let bal = cust_t.column_by_name("c_acctbal").unwrap();
+    let (mut sum, mut n) = (0i64, 0i64);
+    for r in 0..cust_t.row_count() {
+        let b = bal.get_u64(r) as i64;
+        if b > 0 {
+            sum += b;
+            n += 1;
+        }
+    }
+    let avg = if n > 0 { sum / n } else { 0 };
+    let cust = scan("customer", &[0, 3, 5], Some(gt(c(2), ci(avg))));
+    let orders = scan("orders", &[1], None);
+    let j = anti(orders, cust, &[0], &[0]);
+    let a = agg(j, &[1], vec![cnt(), sum_i(c(2))]);
+    q("q22", sort(a, &[(0, true)], None), vec![])
+}
+
+/// All 22 queries in order.
+pub fn all(cat: &Catalog) -> Vec<Query> {
+    vec![
+        q1(cat),
+        q2(cat),
+        q3(cat),
+        q4(cat),
+        q5(cat),
+        q6(cat),
+        q7(cat),
+        q8(cat),
+        q9(cat),
+        q10(cat),
+        q11(cat),
+        q12(cat),
+        q13(cat),
+        q14(cat),
+        q15(cat),
+        q16(cat),
+        q17(cat),
+        q18(cat),
+        q19(cat),
+        q20(cat),
+        q21(cat),
+        q22(cat),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqe_engine::plan::decompose;
+    use aqe_storage::tpch::generate;
+
+    #[test]
+    fn all_queries_decompose_and_generate_code() {
+        let cat = generate(0.001);
+        for query in all(&cat) {
+            let phys = decompose(&cat, &query.root, query.dicts.clone());
+            assert!(!phys.pipelines.is_empty(), "{}", query.name);
+            let module = aqe_engine::codegen::generate(&phys, &cat);
+            aqe_ir::verify::verify_module(&module)
+                .unwrap_or_else(|e| panic!("{}: {e}", query.name));
+            for f in &module.functions {
+                aqe_vm::translate::translate(f, &module.externs, Default::default())
+                    .unwrap_or_else(|e| panic!("{}: {e}", query.name));
+            }
+        }
+    }
+
+    #[test]
+    fn q1_has_overflow_checked_arithmetic() {
+        let cat = generate(0.001);
+        let query = q1(&cat);
+        let phys = decompose(&cat, &query.root, query.dicts);
+        let module = aqe_engine::codegen::generate(&phys, &cat);
+        let txt = aqe_ir::print::print_module(&module);
+        assert!(txt.contains(".ovf"), "Q1 must contain checked arithmetic");
+    }
+}

@@ -1,0 +1,145 @@
+//! SQL tokenizer.
+
+use std::fmt;
+
+#[derive(Clone, PartialEq, Debug)]
+pub enum Token {
+    Ident(String),
+    Int(i64),
+    /// Decimal literal, scaled to hundredths (fixed-point cents).
+    Dec(i64),
+    Str(String),
+    Sym(char),
+    /// `<=`, `>=`, `<>`
+    Le,
+    Ge,
+    Ne,
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Dec(v) => write!(f, "{}.{:02}", v / 100, (v % 100).abs()),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Sym(c) => write!(f, "{c}"),
+            Token::Le => write!(f, "<="),
+            Token::Ge => write!(f, ">="),
+            Token::Ne => write!(f, "<>"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Tokenize SQL text. Keywords come out as lowercase `Ident`s.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>, String> {
+    let mut out = Vec::new();
+    let b = sql.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if i + 1 < b.len() && b[i + 1] == b'-' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= b.len() {
+                    return Err("unterminated string literal".into());
+                }
+                out.push(Token::Str(sql[start..j].to_string()));
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < b.len() && b[i] == b'.' {
+                    i += 1;
+                    let fstart = i;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let whole: i64 = sql[start..fstart - 1].parse().map_err(|_| "bad number")?;
+                    let frac_str = &sql[fstart..i];
+                    let frac: i64 = match frac_str.len() {
+                        0 => 0,
+                        1 => frac_str.parse::<i64>().map_err(|_| "bad number")? * 10,
+                        _ => frac_str[..2].parse().map_err(|_| "bad number")?,
+                    };
+                    out.push(Token::Dec(whole * 100 + frac));
+                } else {
+                    out.push(Token::Int(sql[start..i].parse().map_err(|_| "bad number")?));
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' )
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(sql[start..i].to_ascii_lowercase()));
+            }
+            '<' if i + 1 < b.len() && b[i + 1] == b'=' => {
+                out.push(Token::Le);
+                i += 2;
+            }
+            '>' if i + 1 < b.len() && b[i + 1] == b'=' => {
+                out.push(Token::Ge);
+                i += 2;
+            }
+            '<' if i + 1 < b.len() && b[i + 1] == b'>' => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            '=' | '<' | '>' | '(' | ')' | ',' | '*' | '+' | '-' | '/' | '.' => {
+                out.push(Token::Sym(c));
+                i += 1;
+            }
+            other => return Err(format!("unexpected character {other:?}")),
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_select() {
+        let t = tokenize("SELECT a, sum(b) FROM t WHERE c >= 1.5 AND d <> 'x'").unwrap();
+        assert!(t.contains(&Token::Ident("select".into())));
+        assert!(t.contains(&Token::Ge));
+        assert!(t.contains(&Token::Dec(150)));
+        assert!(t.contains(&Token::Ne));
+        assert!(t.contains(&Token::Str("x".into())));
+    }
+
+    #[test]
+    fn decimal_scaling() {
+        assert!(tokenize("0.05").unwrap().contains(&Token::Dec(5)));
+        assert!(tokenize("24.9").unwrap().contains(&Token::Dec(2490)));
+        assert!(tokenize("3").unwrap().contains(&Token::Int(3)));
+    }
+
+    #[test]
+    fn comments_and_errors() {
+        let t = tokenize("select -- comment\n 1").unwrap();
+        assert_eq!(t, vec![Token::Ident("select".into()), Token::Int(1), Token::Eof]);
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ; b").is_err());
+    }
+}

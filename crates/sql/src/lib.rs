@@ -1,0 +1,20 @@
+//! # aqe-sql — SQL frontend
+//!
+//! The "Parser" / "Semantic Analysis" / "Optimizer" stages of the paper's
+//! Fig. 1. A deliberately compact frontend covering the dialect the
+//! evaluation workloads need: single-block `SELECT` with inner `JOIN`
+//! chains, `WHERE`, `GROUP BY`, `ORDER BY`, `LIMIT`, arithmetic,
+//! comparisons, `BETWEEN`, `IN`, `LIKE` (compiled to dictionary bitmaps),
+//! date literals, and the aggregates `count/sum/avg/min/max`.
+//!
+//! The optimizer performs predicate pushdown into scans, projection pruning
+//! (only referenced columns are scanned), greedy build-side selection for
+//! joins, and `avg` expansion into `sum`/`count` with a post-projection.
+
+pub mod binder;
+pub mod lexer;
+pub mod parser;
+
+pub use binder::{plan_sql, PlanError};
+pub use lexer::{tokenize, Token};
+pub use parser::{parse, SelectStmt};

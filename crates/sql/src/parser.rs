@@ -1,0 +1,367 @@
+//! Recursive-descent parser producing an AST.
+
+use crate::lexer::Token;
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Ast {
+    Col { table: Option<String>, name: String },
+    Int(i64),
+    Dec(i64),
+    Str(String),
+    DateLit(String),
+    Bin { op: String, a: Box<Ast>, b: Box<Ast> },
+    Not(Box<Ast>),
+    Between { v: Box<Ast>, lo: Box<Ast>, hi: Box<Ast> },
+    InList { v: Box<Ast>, list: Vec<Ast> },
+    Like { v: Box<Ast>, pattern: String },
+    Agg { func: String, arg: Option<Box<Ast>> },
+    Case { cond: Box<Ast>, t: Box<Ast>, f: Box<Ast> },
+}
+
+#[derive(Clone, Debug)]
+pub struct JoinClause {
+    pub table: String,
+    pub on_left: (Option<String>, String),
+    pub on_right: (Option<String>, String),
+}
+
+#[derive(Clone, Debug)]
+pub struct SelectStmt {
+    pub select: Vec<(Ast, Option<String>)>,
+    pub from: String,
+    pub joins: Vec<JoinClause>,
+    pub where_: Option<Ast>,
+    pub group_by: Vec<Ast>,
+    pub order_by: Vec<(Ast, bool)>,
+    pub limit: Option<usize>,
+}
+
+pub struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+type PResult<T> = Result<T, String>;
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos]
+    }
+    fn next(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Token::Ident(s) if s == kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+    fn expect_kw(&mut self, kw: &str) -> PResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(format!("expected {kw}, found {}", self.peek()))
+        }
+    }
+    fn eat_sym(&mut self, c: char) -> bool {
+        if *self.peek() == Token::Sym(c) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+    fn expect_sym(&mut self, c: char) -> PResult<()> {
+        if self.eat_sym(c) {
+            Ok(())
+        } else {
+            Err(format!("expected '{c}', found {}", self.peek()))
+        }
+    }
+    fn ident(&mut self) -> PResult<String> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            other => Err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    // expr := or_expr
+    fn expr(&mut self) -> PResult<Ast> {
+        self.or_expr()
+    }
+    fn or_expr(&mut self) -> PResult<Ast> {
+        let mut a = self.and_expr()?;
+        while self.eat_kw("or") {
+            let b = self.and_expr()?;
+            a = Ast::Bin { op: "or".into(), a: Box::new(a), b: Box::new(b) };
+        }
+        Ok(a)
+    }
+    fn and_expr(&mut self) -> PResult<Ast> {
+        let mut a = self.not_expr()?;
+        while self.eat_kw("and") {
+            let b = self.not_expr()?;
+            a = Ast::Bin { op: "and".into(), a: Box::new(a), b: Box::new(b) };
+        }
+        Ok(a)
+    }
+    fn not_expr(&mut self) -> PResult<Ast> {
+        if self.eat_kw("not") {
+            Ok(Ast::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+    fn cmp_expr(&mut self) -> PResult<Ast> {
+        let a = self.add_expr()?;
+        // BETWEEN / IN / LIKE / comparison
+        if self.eat_kw("between") {
+            let lo = self.add_expr()?;
+            self.expect_kw("and")?;
+            let hi = self.add_expr()?;
+            return Ok(Ast::Between { v: Box::new(a), lo: Box::new(lo), hi: Box::new(hi) });
+        }
+        if self.eat_kw("in") {
+            self.expect_sym('(')?;
+            let mut list = vec![self.expr()?];
+            while self.eat_sym(',') {
+                list.push(self.expr()?);
+            }
+            self.expect_sym(')')?;
+            return Ok(Ast::InList { v: Box::new(a), list });
+        }
+        if self.eat_kw("like") {
+            match self.next() {
+                Token::Str(p) => {
+                    return Ok(Ast::Like { v: Box::new(a), pattern: p });
+                }
+                other => return Err(format!("expected pattern, found {other}")),
+            }
+        }
+        let op = match self.peek() {
+            Token::Sym('=') => "=",
+            Token::Sym('<') => "<",
+            Token::Sym('>') => ">",
+            Token::Le => "<=",
+            Token::Ge => ">=",
+            Token::Ne => "<>",
+            _ => return Ok(a),
+        }
+        .to_string();
+        self.next();
+        let b = self.add_expr()?;
+        Ok(Ast::Bin { op, a: Box::new(a), b: Box::new(b) })
+    }
+    fn add_expr(&mut self) -> PResult<Ast> {
+        let mut a = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Sym('+') => "+",
+                Token::Sym('-') => "-",
+                _ => break,
+            }
+            .to_string();
+            self.next();
+            let b = self.mul_expr()?;
+            a = Ast::Bin { op, a: Box::new(a), b: Box::new(b) };
+        }
+        Ok(a)
+    }
+    fn mul_expr(&mut self) -> PResult<Ast> {
+        let mut a = self.atom()?;
+        loop {
+            let op = match self.peek() {
+                Token::Sym('*') => "*",
+                Token::Sym('/') => "/",
+                _ => break,
+            }
+            .to_string();
+            self.next();
+            let b = self.atom()?;
+            a = Ast::Bin { op, a: Box::new(a), b: Box::new(b) };
+        }
+        Ok(a)
+    }
+    fn atom(&mut self) -> PResult<Ast> {
+        match self.next() {
+            Token::Int(v) => Ok(Ast::Int(v)),
+            Token::Dec(v) => Ok(Ast::Dec(v)),
+            Token::Str(s) => Ok(Ast::Str(s)),
+            Token::Sym('(') => {
+                let e = self.expr()?;
+                self.expect_sym(')')?;
+                Ok(e)
+            }
+            Token::Ident(id) => self.ident_atom(id),
+            other => Err(format!("unexpected token {other}")),
+        }
+    }
+
+    fn ident_atom(&mut self, id: String) -> PResult<Ast> {
+        match id.as_str() {
+            "date" => match self.next() {
+                Token::Str(s) => Ok(Ast::DateLit(s)),
+                other => Err(format!("expected date string, found {other}")),
+            },
+            "case" => {
+                self.expect_kw("when")?;
+                let cond = self.expr()?;
+                self.expect_kw("then")?;
+                let t = self.expr()?;
+                self.expect_kw("else")?;
+                let f = self.expr()?;
+                self.expect_kw("end")?;
+                Ok(Ast::Case { cond: Box::new(cond), t: Box::new(t), f: Box::new(f) })
+            }
+            "count" | "sum" | "avg" | "min" | "max" => {
+                self.expect_sym('(')?;
+                let arg = if self.eat_sym('*') {
+                    None
+                } else {
+                    Some(Box::new(self.expr()?))
+                };
+                self.expect_sym(')')?;
+                Ok(Ast::Agg { func: id, arg })
+            }
+            _ => {
+                if self.eat_sym('.') {
+                    let col = self.ident()?;
+                    Ok(Ast::Col { table: Some(id), name: col })
+                } else {
+                    Ok(Ast::Col { table: None, name: id })
+                }
+            }
+        }
+    }
+
+    fn select_stmt(&mut self) -> PResult<SelectStmt> {
+        self.expect_kw("select")?;
+        let mut select = Vec::new();
+        loop {
+            let e = self.expr()?;
+            let alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+            select.push((e, alias));
+            if !self.eat_sym(',') {
+                break;
+            }
+        }
+        self.expect_kw("from")?;
+        let from = self.ident()?;
+        let mut joins = Vec::new();
+        while self.eat_kw("join") {
+            let table = self.ident()?;
+            self.expect_kw("on")?;
+            let l = self.qualified()?;
+            self.expect_sym('=')?;
+            let r = self.qualified()?;
+            joins.push(JoinClause { table, on_left: l, on_right: r });
+        }
+        let where_ = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_sym(',') {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let e = self.expr()?;
+                let asc = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                order_by.push((e, asc));
+                if !self.eat_sym(',') {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.next() {
+                Token::Int(n) if n >= 0 => Some(n as usize),
+                other => return Err(format!("expected limit count, found {other}")),
+            }
+        } else {
+            None
+        };
+        if *self.peek() != Token::Eof {
+            return Err(format!("trailing input at {}", self.peek()));
+        }
+        Ok(SelectStmt { select, from, joins, where_, group_by, order_by, limit })
+    }
+
+    fn qualified(&mut self) -> PResult<(Option<String>, String)> {
+        let a = self.ident()?;
+        if self.eat_sym('.') {
+            Ok((Some(a), self.ident()?))
+        } else {
+            Ok((None, a))
+        }
+    }
+}
+
+/// Parse one SELECT statement.
+pub fn parse(tokens: Vec<Token>) -> Result<SelectStmt, String> {
+    Parser { toks: tokens, pos: 0 }.select_stmt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn p(sql: &str) -> SelectStmt {
+        parse(tokenize(sql).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_q6_shape() {
+        let s = p("SELECT sum(l_extendedprice * l_discount) FROM lineitem \
+                   WHERE l_shipdate >= date '1994-01-01' \
+                   AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24");
+        assert_eq!(s.from, "lineitem");
+        assert!(s.where_.is_some());
+        assert_eq!(s.select.len(), 1);
+    }
+
+    #[test]
+    fn parses_join_group_order_limit() {
+        let s = p("SELECT n_name, count(*) AS cnt FROM supplier \
+                   JOIN nation ON s_nationkey = n_nationkey \
+                   GROUP BY n_name ORDER BY cnt DESC, n_name LIMIT 5");
+        assert_eq!(s.joins.len(), 1);
+        assert_eq!(s.group_by.len(), 1);
+        assert_eq!(s.order_by.len(), 2);
+        assert!(!s.order_by[0].1, "first key descending");
+        assert_eq!(s.limit, Some(5));
+        assert_eq!(s.select[1].1.as_deref(), Some("cnt"));
+    }
+
+    #[test]
+    fn parses_case_like_in() {
+        let s = p("SELECT case when a = 1 then 2 else 3 end FROM t \
+                   WHERE b LIKE '%x%' AND c IN (1, 2, 3)");
+        assert!(matches!(s.select[0].0, Ast::Case { .. }));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse(tokenize("SELECT FROM t").unwrap()).is_err());
+        assert!(parse(tokenize("SELECT a FROM t WHERE").unwrap()).is_err());
+        assert!(parse(tokenize("SELECT a FROM t extra").unwrap()).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! Typed columns. Generated code addresses column data through raw base
+//! pointers, so the representations are deliberately flat:
+//!
+//! * integers and dates: `Vec<i32>` / `Vec<i64>`,
+//! * decimals: `Vec<i64>` in hundredths (scale 2) — arithmetic on them is
+//!   overflow-checked in generated code, which is what exercises the
+//!   paper's §IV-F overflow macro-op,
+//! * floats: `Vec<f64>`,
+//! * strings: dictionary-encoded `u32` codes plus a dictionary, so string
+//!   predicates compile to integer comparisons or dictionary-bitmap probes.
+
+use std::fmt;
+
+/// Logical column types.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DataType {
+    Int32,
+    Int64,
+    /// Days since 1970-01-01, stored as i32.
+    Date,
+    /// Fixed-point with 2 fractional digits, stored as i64 hundredths.
+    Decimal,
+    Float64,
+    Bool,
+    /// Dictionary-encoded string.
+    Str,
+}
+
+impl DataType {
+    /// Byte width of one element in the backing array.
+    pub fn elem_size(self) -> usize {
+        match self {
+            DataType::Int32 | DataType::Date | DataType::Str => 4,
+            DataType::Bool => 1,
+            _ => 8,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int32 => "int32",
+            DataType::Int64 => "int64",
+            DataType::Date => "date",
+            DataType::Decimal => "decimal(.,2)",
+            DataType::Float64 => "float64",
+            DataType::Bool => "bool",
+            DataType::Str => "string",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dictionary-encoded string column.
+#[derive(Clone, Debug, Default)]
+pub struct StrColumn {
+    pub codes: Vec<u32>,
+    pub dict: Vec<String>,
+}
+
+impl StrColumn {
+    pub fn from_values<S: AsRef<str>>(values: impl IntoIterator<Item = S>) -> Self {
+        let mut c = StrColumn::default();
+        let mut lookup = std::collections::HashMap::<String, u32>::new();
+        for v in values {
+            let v = v.as_ref();
+            let code = *lookup.entry(v.to_string()).or_insert_with(|| {
+                c.dict.push(v.to_string());
+                (c.dict.len() - 1) as u32
+            });
+            c.codes.push(code);
+        }
+        c
+    }
+
+    /// Code for an exact string, if present in the dictionary.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.dict.iter().position(|d| d == s).map(|i| i as u32)
+    }
+
+    pub fn value(&self, row: usize) -> &str {
+        &self.dict[self.codes[row] as usize]
+    }
+
+    /// Per-dictionary-entry predicate bitmap: string predicates (LIKE,
+    /// prefix, set membership) are evaluated once per dictionary entry at
+    /// plan time, turning the per-row check into a byte load.
+    pub fn match_bitmap(&self, pred: impl Fn(&str) -> bool) -> Vec<u8> {
+        self.dict.iter().map(|s| pred(s) as u8).collect()
+    }
+}
+
+/// A typed column.
+#[derive(Clone, Debug)]
+pub enum Column {
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+    F64(Vec<f64>),
+    Bool(Vec<u8>),
+    Str(StrColumn),
+}
+
+impl Column {
+    pub fn len(&self) -> usize {
+        match self {
+            Column::I32(v) => v.len(),
+            Column::I64(v) => v.len(),
+            Column::F64(v) => v.len(),
+            Column::Bool(v) => v.len(),
+            Column::Str(s) => s.codes.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Base pointer of the element array handed to generated code.
+    pub fn base_ptr(&self) -> *const u8 {
+        match self {
+            Column::I32(v) => v.as_ptr() as *const u8,
+            Column::I64(v) => v.as_ptr() as *const u8,
+            Column::F64(v) => v.as_ptr() as *const u8,
+            Column::Bool(v) => v.as_ptr(),
+            Column::Str(s) => s.codes.as_ptr() as *const u8,
+        }
+    }
+
+    /// Element width in bytes.
+    pub fn elem_size(&self) -> usize {
+        match self {
+            Column::I32(_) => 4,
+            Column::I64(_) | Column::F64(_) => 8,
+            Column::Bool(_) => 1,
+            Column::Str(_) => 4,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&StrColumn> {
+        match self {
+            Column::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The row value widened to a u64 bit pattern (i32/date sign-extended,
+    /// f64 as bits, string as its dictionary code) — the representation rows
+    /// take inside hash tables and output buffers.
+    pub fn get_u64(&self, row: usize) -> u64 {
+        match self {
+            Column::I32(v) => v[row] as i64 as u64,
+            Column::I64(v) => v[row] as u64,
+            Column::F64(v) => v[row].to_bits(),
+            Column::Bool(v) => v[row] as u64,
+            Column::Str(s) => s.codes[row] as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionary_encoding_round_trips() {
+        let c = StrColumn::from_values(["a", "b", "a", "c", "b"]);
+        assert_eq!(c.dict.len(), 3);
+        assert_eq!(c.codes, vec![0, 1, 0, 2, 1]);
+        assert_eq!(c.value(3), "c");
+        assert_eq!(c.code_of("b"), Some(1));
+        assert_eq!(c.code_of("zzz"), None);
+    }
+
+    #[test]
+    fn match_bitmap_per_dict_entry() {
+        let c = StrColumn::from_values(["red socks", "blue hat", "red hat"]);
+        let bm = c.match_bitmap(|s| s.starts_with("red"));
+        assert_eq!(bm, vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn base_pointers_and_widths() {
+        let c = Column::I32(vec![1, 2, 3]);
+        assert_eq!(c.elem_size(), 4);
+        assert_eq!(c.len(), 3);
+        assert!(!c.base_ptr().is_null());
+        let f = Column::F64(vec![1.5]);
+        assert_eq!(f.elem_size(), 8);
+        assert_eq!(f.get_u64(0), 1.5f64.to_bits());
+        let i = Column::I32(vec![-5]);
+        assert_eq!(i.get_u64(0) as i64, -5);
+    }
+}

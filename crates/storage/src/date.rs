@@ -1,0 +1,89 @@
+//! Proleptic-Gregorian date arithmetic (days since the Unix epoch), using
+//! Howard Hinnant's `days_from_civil` algorithm. Dates are stored in date
+//! columns as `i32` day numbers, so date predicates compile to integer
+//! comparisons.
+
+/// Days since 1970-01-01 for a calendar date.
+pub fn date_to_days(year: i32, month: u32, day: u32) -> i32 {
+    debug_assert!((1..=12).contains(&month) && (1..=31).contains(&day));
+    let y = if month <= 2 { year - 1 } else { year } as i64;
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (month as i64 + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + day as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    (era * 146_097 + doe - 719_468) as i32
+}
+
+/// Inverse of [`date_to_days`].
+pub fn days_to_date(days: i32) -> (i32, u32, u32) {
+    let z = days as i64 + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    ((if m <= 2 { y + 1 } else { y }) as i32, m, d)
+}
+
+/// Parse `YYYY-MM-DD` into a day number. Panics on malformed input
+/// (literals come from query text validated upstream).
+pub fn parse_date(s: &str) -> i32 {
+    let mut it = s.split('-');
+    let y: i32 = it.next().unwrap().parse().expect("year");
+    let m: u32 = it.next().unwrap().parse().expect("month");
+    let d: u32 = it.next().unwrap().parse().expect("day");
+    date_to_days(y, m, d)
+}
+
+/// Format a day number as `YYYY-MM-DD`.
+pub fn format_date(days: i32) -> String {
+    let (y, m, d) = days_to_date(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(date_to_days(1970, 1, 1), 0);
+        assert_eq!(days_to_date(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        // TPC-H date range endpoints.
+        assert_eq!(date_to_days(1992, 1, 1), 8035);
+        assert_eq!(date_to_days(1998, 12, 31), 10591);
+        assert_eq!(days_to_date(date_to_days(1995, 3, 15)), (1995, 3, 15));
+    }
+
+    #[test]
+    fn round_trip_every_day_for_30_years() {
+        let start = date_to_days(1980, 1, 1);
+        let end = date_to_days(2010, 1, 1);
+        for d in start..end {
+            let (y, m, dd) = days_to_date(d);
+            assert_eq!(date_to_days(y, m, dd), d);
+        }
+    }
+
+    #[test]
+    fn leap_years() {
+        assert_eq!(days_to_date(date_to_days(2000, 2, 29)), (2000, 2, 29));
+        assert_eq!(date_to_days(1996, 3, 1) - date_to_days(1996, 2, 28), 2);
+        // 1900 is not a leap year.
+        assert_eq!(date_to_days(1900, 3, 1) - date_to_days(1900, 2, 28), 1);
+    }
+
+    #[test]
+    fn parse_and_format() {
+        assert_eq!(parse_date("1994-01-01"), date_to_days(1994, 1, 1));
+        assert_eq!(format_date(parse_date("1997-07-15")), "1997-07-15");
+    }
+}

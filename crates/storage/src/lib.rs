@@ -1,0 +1,22 @@
+//! # aqe-storage — columnar storage substrate
+//!
+//! In-memory columnar tables in the style of HyPer's relation storage: each
+//! column is a dense, typed vector whose base pointer is handed to generated
+//! code; strings are dictionary-encoded so that string predicates become
+//! integer comparisons or precomputed dictionary-bitmap lookups.
+//!
+//! Also contains the deterministic data generators for the evaluation
+//! workloads: TPC-H ([`tpch`]), a TPC-DS-style star schema ([`tpcds`]), and
+//! the pgAdmin-style catalog tables from the paper's introduction
+//! ([`meta`]).
+
+pub mod column;
+pub mod date;
+pub mod meta;
+pub mod table;
+pub mod tpcds;
+pub mod tpch;
+
+pub use column::{Column, DataType, StrColumn};
+pub use date::{date_to_days, days_to_date};
+pub use table::{Catalog, Table};

@@ -1,0 +1,154 @@
+//! Tables and the catalog.
+
+use crate::column::{Column, DataType};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable in-memory table: a schema plus one column vector per field.
+#[derive(Clone, Debug)]
+pub struct Table {
+    pub name: String,
+    schema: Vec<(String, DataType)>,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, fields: Vec<(&str, DataType, Column)>) -> Table {
+        let mut schema = Vec::with_capacity(fields.len());
+        let mut columns = Vec::with_capacity(fields.len());
+        let mut rows = None;
+        for (n, ty, col) in fields {
+            assert_eq!(
+                *rows.get_or_insert(col.len()),
+                col.len(),
+                "column {n} length mismatch"
+            );
+            schema.push((n.to_string(), ty));
+            columns.push(col);
+        }
+        Table { name: name.into(), schema, columns, rows: rows.unwrap_or(0) }
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn schema(&self) -> &[(String, DataType)] {
+        &self.schema
+    }
+
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.schema.iter().position(|(n, _)| n == name)
+    }
+
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.column_index(name).map(|i| &self.columns[i])
+    }
+
+    pub fn column_type(&self, idx: usize) -> DataType {
+        self.schema[idx].1
+    }
+
+    /// Approximate heap size in bytes (for experiment reports).
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(|c| c.len() * c.elem_size()).sum()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({} rows)", self.name, self.rows)
+    }
+}
+
+/// A named collection of tables. Tables are `Arc`-shared so that queries and
+/// worker threads can hold them without copying.
+#[derive(Clone, Default, Debug)]
+pub struct Catalog {
+    tables: HashMap<String, Arc<Table>>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, table: Table) {
+        self.tables.insert(table.name.clone(), Arc::new(table));
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Arc<Table>> {
+        self.tables.get(name)
+    }
+
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.tables.keys().map(|s| s.as_str()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        Table::new(
+            "t",
+            vec![
+                ("a", DataType::Int32, Column::I32(vec![1, 2, 3])),
+                ("b", DataType::Decimal, Column::I64(vec![100, 250, 399])),
+            ],
+        )
+    }
+
+    #[test]
+    fn table_accessors() {
+        let t = t();
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.column_count(), 2);
+        assert_eq!(t.column_index("b"), Some(1));
+        assert_eq!(t.column_index("zz"), None);
+        assert_eq!(t.column_type(0), DataType::Int32);
+        assert_eq!(t.byte_size(), 3 * 4 + 3 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_columns_panic() {
+        Table::new(
+            "bad",
+            vec![
+                ("a", DataType::Int32, Column::I32(vec![1])),
+                ("b", DataType::Int32, Column::I32(vec![1, 2])),
+            ],
+        );
+    }
+
+    #[test]
+    fn catalog_lookup() {
+        let mut c = Catalog::new();
+        c.add(t());
+        assert!(c.get("t").is_some());
+        assert!(c.get("nope").is_none());
+        assert_eq!(c.table_names(), vec!["t"]);
+    }
+}

@@ -1,0 +1,192 @@
+//! TPC-DS-style star schema (lite).
+//!
+//! Fig. 6 plots compilation time against query size for both TPC-H and
+//! TPC-DS queries. The full 99-query, 24-table TPC-DS is out of scope; this
+//! module generates the core star-schema subset (a fact table with four
+//! dimensions) that the DS-style queries in `aqe-queries` run against —
+//! enough to populate the second series of Fig. 6 with queries whose plans
+//! have a different shape (wide aggregations over dimensional joins) than
+//! TPC-H's.
+
+use crate::column::{Column, DataType, StrColumn};
+use crate::date::date_to_days;
+use crate::table::{Catalog, Table};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const CATEGORIES: [&str; 8] =
+    ["Books", "Electronics", "Home", "Jewelry", "Men", "Music", "Shoes", "Sports"];
+const BRANDS: usize = 50;
+const STATES: [&str; 10] = ["CA", "NY", "TX", "WA", "IL", "FL", "GA", "OH", "MI", "PA"];
+
+/// Generate the star schema at a scale factor (`sf = 1` ≈ 1.4 M fact rows).
+pub fn generate(sf: f64) -> Catalog {
+    let mut cat = Catalog::new();
+    let mut rng = SmallRng::seed_from_u64(0xd5_d5_d5 ^ (sf * 1000.0) as u64);
+
+    let n_items = ((18_000.0 * sf) as usize).max(100);
+    let n_customers = ((100_000.0 * sf) as usize).max(100);
+    let n_stores = ((12.0 * sf.max(0.5)) as usize).max(4);
+    let n_sales = ((1_440_000.0 * sf) as usize).max(1000);
+
+    // date_dim: 5 years of days.
+    let d_start = date_to_days(1998, 1, 1);
+    let n_days = 5 * 365;
+    {
+        let mut year = Vec::with_capacity(n_days);
+        let mut moy = Vec::with_capacity(n_days);
+        let mut dom = Vec::with_capacity(n_days);
+        for d in 0..n_days {
+            let (y, m, dd) = crate::date::days_to_date(d_start + d as i32);
+            year.push(y);
+            moy.push(m as i32);
+            dom.push(dd as i32);
+        }
+        cat.add(Table::new(
+            "date_dim",
+            vec![
+                (
+                    "d_date_sk",
+                    DataType::Int32,
+                    Column::I32((0..n_days as i32).collect()),
+                ),
+                ("d_year", DataType::Int32, Column::I32(year)),
+                ("d_moy", DataType::Int32, Column::I32(moy)),
+                ("d_dom", DataType::Int32, Column::I32(dom)),
+            ],
+        ));
+    }
+
+    // item
+    {
+        let mut brand = Vec::with_capacity(n_items);
+        let mut brand_id = Vec::with_capacity(n_items);
+        let mut category = Vec::with_capacity(n_items);
+        let mut price = Vec::with_capacity(n_items);
+        for _ in 0..n_items {
+            let b = rng.random_range(0..BRANDS);
+            brand.push(format!("Brand#{b}"));
+            brand_id.push(b as i32);
+            category.push(CATEGORIES[rng.random_range(0..CATEGORIES.len())]);
+            price.push(rng.random_range(99..=49_999i64)); // cents
+        }
+        cat.add(Table::new(
+            "item",
+            vec![
+                ("i_item_sk", DataType::Int32, Column::I32((0..n_items as i32).collect())),
+                ("i_brand_id", DataType::Int32, Column::I32(brand_id)),
+                ("i_brand", DataType::Str, Column::Str(StrColumn::from_values(brand))),
+                ("i_category", DataType::Str, Column::Str(StrColumn::from_values(category))),
+                ("i_current_price", DataType::Decimal, Column::I64(price)),
+            ],
+        ));
+    }
+
+    // store
+    {
+        let mut state = Vec::with_capacity(n_stores);
+        let mut name = Vec::with_capacity(n_stores);
+        for s in 0..n_stores {
+            state.push(STATES[s % STATES.len()]);
+            name.push(format!("Store#{s}"));
+        }
+        cat.add(Table::new(
+            "store",
+            vec![
+                ("s_store_sk", DataType::Int32, Column::I32((0..n_stores as i32).collect())),
+                ("s_store_name", DataType::Str, Column::Str(StrColumn::from_values(name))),
+                ("s_state", DataType::Str, Column::Str(StrColumn::from_values(state))),
+            ],
+        ));
+    }
+
+    // customer
+    {
+        let mut birth_year = Vec::with_capacity(n_customers);
+        let mut state = Vec::with_capacity(n_customers);
+        for _ in 0..n_customers {
+            birth_year.push(rng.random_range(1930..=2000));
+            state.push(STATES[rng.random_range(0..STATES.len())]);
+        }
+        cat.add(Table::new(
+            "customer_ds",
+            vec![
+                (
+                    "c_customer_sk",
+                    DataType::Int32,
+                    Column::I32((0..n_customers as i32).collect()),
+                ),
+                ("c_birth_year", DataType::Int32, Column::I32(birth_year)),
+                ("c_state", DataType::Str, Column::Str(StrColumn::from_values(state))),
+            ],
+        ));
+    }
+
+    // store_sales (fact)
+    {
+        let mut date_sk = Vec::with_capacity(n_sales);
+        let mut item_sk = Vec::with_capacity(n_sales);
+        let mut cust_sk = Vec::with_capacity(n_sales);
+        let mut store_sk = Vec::with_capacity(n_sales);
+        let mut qty = Vec::with_capacity(n_sales);
+        let mut price = Vec::with_capacity(n_sales);
+        let mut discount = Vec::with_capacity(n_sales);
+        for _ in 0..n_sales {
+            date_sk.push(rng.random_range(0..n_days as i32));
+            item_sk.push(rng.random_range(0..n_items as i32));
+            cust_sk.push(rng.random_range(0..n_customers as i32));
+            store_sk.push(rng.random_range(0..n_stores as i32));
+            qty.push(rng.random_range(1..=100i32));
+            price.push(rng.random_range(99..=49_999i64));
+            discount.push(rng.random_range(0..=30i64)); // 0.00 .. 0.30
+        }
+        cat.add(Table::new(
+            "store_sales",
+            vec![
+                ("ss_sold_date_sk", DataType::Int32, Column::I32(date_sk)),
+                ("ss_item_sk", DataType::Int32, Column::I32(item_sk)),
+                ("ss_customer_sk", DataType::Int32, Column::I32(cust_sk)),
+                ("ss_store_sk", DataType::Int32, Column::I32(store_sk)),
+                ("ss_quantity", DataType::Int32, Column::I32(qty)),
+                ("ss_sales_price", DataType::Decimal, Column::I64(price)),
+                ("ss_discount", DataType::Decimal, Column::I64(discount)),
+            ],
+        ));
+    }
+
+    cat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_schema_generates() {
+        let cat = generate(0.01);
+        for t in ["date_dim", "item", "store", "customer_ds", "store_sales"] {
+            assert!(cat.get(t).is_some(), "missing {t}");
+        }
+        let ss = cat.get("store_sales").unwrap();
+        assert!(ss.row_count() >= 1000);
+    }
+
+    #[test]
+    fn fact_foreign_keys_in_range() {
+        let cat = generate(0.01);
+        let ss = cat.get("store_sales").unwrap();
+        let n_items = cat.get("item").unwrap().row_count() as i64;
+        let isk = ss.column_by_name("ss_item_sk").unwrap();
+        for r in 0..ss.row_count() {
+            assert!((isk.get_u64(r) as i64) < n_items);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(0.01);
+        let b = generate(0.01);
+        let (ta, tb) = (a.get("store_sales").unwrap(), b.get("store_sales").unwrap());
+        assert_eq!(ta.column(4).get_u64(17), tb.column(4).get_u64(17));
+    }
+}

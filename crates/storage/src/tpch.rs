@@ -1,0 +1,496 @@
+//! Deterministic TPC-H data generator.
+//!
+//! A from-scratch replacement for the official `dbgen` (a C program with
+//! proprietary text distributions): schemas, scaling rules, key structure,
+//! value ranges, and the selectivities the 22 queries exercise follow the
+//! TPC-H specification; text columns are synthesized from bounded
+//! vocabularies (see DESIGN.md §2, substitution 6). Generation is
+//! deterministic for a given scale factor.
+
+use crate::column::{Column, DataType, StrColumn};
+use crate::date::date_to_days;
+use crate::table::{Catalog, Table};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+pub const NATIONS: [(&str, u32); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+const TYPE_SYLL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPE_SYLL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const TYPE_SYLL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+const CONTAINER_1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
+const CONTAINER_2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const SHIP_INSTRUCT: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const WORDS: [&str; 24] = [
+    "special", "pending", "unusual", "express", "furiously", "slyly", "carefully", "blithely",
+    "requests", "deposits", "packages", "accounts", "instructions", "theodolites", "platelets",
+    "foxes", "ideas", "dependencies", "excuses", "courts", "dolphins", "warhorses", "sheaves",
+    "pinto",
+];
+const PART_NAME_WORDS: [&str; 20] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
+    "cornflower", "cream", "cyan",
+];
+
+fn comment(rng: &mut SmallRng) -> String {
+    let a = WORDS[rng.random_range(0..WORDS.len())];
+    let b = WORDS[rng.random_range(0..WORDS.len())];
+    let c = WORDS[rng.random_range(0..WORDS.len())];
+    format!("{a} {b} {c}")
+}
+
+/// Row counts for a scale factor (the TPC-H scaling rules; lineitem is
+/// ~4×orders via the per-order line count).
+pub fn row_counts(sf: f64) -> (usize, usize, usize, usize, usize) {
+    let part = (200_000.0 * sf).max(200.0) as usize;
+    let supplier = (10_000.0 * sf).max(10.0) as usize;
+    let customer = (150_000.0 * sf).max(150.0) as usize;
+    let orders = customer * 10;
+    (part, supplier, customer, orders, part * 4)
+}
+
+/// Generate all eight TPC-H tables at the given scale factor.
+pub fn generate(sf: f64) -> Catalog {
+    let mut cat = Catalog::new();
+    let (n_part, n_supp, n_cust, n_orders, n_partsupp) = row_counts(sf);
+    let mut rng = SmallRng::seed_from_u64(0x7c0f_fee0 ^ (sf * 1000.0) as u64);
+
+    // region
+    cat.add(Table::new(
+        "region",
+        vec![
+            ("r_regionkey", DataType::Int32, Column::I32((0..5).collect())),
+            ("r_name", DataType::Str, Column::Str(StrColumn::from_values(REGIONS))),
+            (
+                "r_comment",
+                DataType::Str,
+                Column::Str(StrColumn::from_values(
+                    (0..5).map(|_| comment(&mut rng)).collect::<Vec<_>>(),
+                )),
+            ),
+        ],
+    ));
+
+    // nation
+    cat.add(Table::new(
+        "nation",
+        vec![
+            ("n_nationkey", DataType::Int32, Column::I32((0..25).collect())),
+            (
+                "n_name",
+                DataType::Str,
+                Column::Str(StrColumn::from_values(NATIONS.iter().map(|(n, _)| *n))),
+            ),
+            (
+                "n_regionkey",
+                DataType::Int32,
+                Column::I32(NATIONS.iter().map(|(_, r)| *r as i32).collect()),
+            ),
+            (
+                "n_comment",
+                DataType::Str,
+                Column::Str(StrColumn::from_values(
+                    (0..25).map(|_| comment(&mut rng)).collect::<Vec<_>>(),
+                )),
+            ),
+        ],
+    ));
+
+    // supplier
+    {
+        let mut nationkey = Vec::with_capacity(n_supp);
+        let mut acctbal = Vec::with_capacity(n_supp);
+        let mut comments = Vec::with_capacity(n_supp);
+        let mut names = Vec::with_capacity(n_supp);
+        let mut addr = Vec::with_capacity(n_supp);
+        let mut phone = Vec::with_capacity(n_supp);
+        for k in 0..n_supp {
+            nationkey.push(rng.random_range(0..25));
+            acctbal.push(rng.random_range(-99_999..=999_999)); // -999.99..9999.99
+            // A fraction of suppliers carry the "Customer Complaints" marker
+            // (Q16 excludes them).
+            comments.push(if k % 50 == 0 {
+                "customer complaints pending".to_string()
+            } else {
+                comment(&mut rng)
+            });
+            names.push(format!("Supplier#{k:09}"));
+            addr.push(format!("addr {}", rng.random_range(0..4096)));
+            phone.push(format!("{}-{:07}", 10 + nationkey[k] % 25, rng.random_range(0..9_999_999)));
+        }
+        cat.add(Table::new(
+            "supplier",
+            vec![
+                ("s_suppkey", DataType::Int32, Column::I32((0..n_supp as i32).collect())),
+                ("s_name", DataType::Str, Column::Str(StrColumn::from_values(names))),
+                ("s_address", DataType::Str, Column::Str(StrColumn::from_values(addr))),
+                ("s_nationkey", DataType::Int32, Column::I32(nationkey)),
+                ("s_phone", DataType::Str, Column::Str(StrColumn::from_values(phone))),
+                ("s_acctbal", DataType::Decimal, Column::I64(acctbal)),
+                ("s_comment", DataType::Str, Column::Str(StrColumn::from_values(comments))),
+            ],
+        ));
+    }
+
+    // part
+    {
+        let mut name = Vec::with_capacity(n_part);
+        let mut mfgr = Vec::with_capacity(n_part);
+        let mut brand = Vec::with_capacity(n_part);
+        let mut ptype = Vec::with_capacity(n_part);
+        let mut size = Vec::with_capacity(n_part);
+        let mut container = Vec::with_capacity(n_part);
+        let mut retail = Vec::with_capacity(n_part);
+        let mut comments = Vec::with_capacity(n_part);
+        for k in 0..n_part {
+            let w1 = PART_NAME_WORDS[rng.random_range(0..PART_NAME_WORDS.len())];
+            let w2 = PART_NAME_WORDS[rng.random_range(0..PART_NAME_WORDS.len())];
+            name.push(format!("{w1} {w2}"));
+            let m = rng.random_range(1..=5);
+            mfgr.push(format!("Manufacturer#{m}"));
+            brand.push(format!("Brand#{}{}", m, rng.random_range(1..=5)));
+            ptype.push(format!(
+                "{} {} {}",
+                TYPE_SYLL1[rng.random_range(0..6)],
+                TYPE_SYLL2[rng.random_range(0..5)],
+                TYPE_SYLL3[rng.random_range(0..5)]
+            ));
+            size.push(rng.random_range(1..=50));
+            container.push(format!(
+                "{} {}",
+                CONTAINER_1[rng.random_range(0..5)],
+                CONTAINER_2[rng.random_range(0..8)]
+            ));
+            // 90000 + (k % 200) * 100 + ... hundredths: ~900..2100 dollars
+            retail.push(90_000 + ((k as i64 % 1000) * 100) + ((k as i64 / 1000) % 100));
+            comments.push(comment(&mut rng));
+        }
+        cat.add(Table::new(
+            "part",
+            vec![
+                ("p_partkey", DataType::Int32, Column::I32((0..n_part as i32).collect())),
+                ("p_name", DataType::Str, Column::Str(StrColumn::from_values(name))),
+                ("p_mfgr", DataType::Str, Column::Str(StrColumn::from_values(mfgr))),
+                ("p_brand", DataType::Str, Column::Str(StrColumn::from_values(brand))),
+                ("p_type", DataType::Str, Column::Str(StrColumn::from_values(ptype))),
+                ("p_size", DataType::Int32, Column::I32(size)),
+                ("p_container", DataType::Str, Column::Str(StrColumn::from_values(container))),
+                ("p_retailprice", DataType::Decimal, Column::I64(retail)),
+                ("p_comment", DataType::Str, Column::Str(StrColumn::from_values(comments))),
+            ],
+        ));
+    }
+
+    // partsupp: 4 suppliers per part
+    {
+        let mut partkey = Vec::with_capacity(n_partsupp);
+        let mut suppkey = Vec::with_capacity(n_partsupp);
+        let mut avail = Vec::with_capacity(n_partsupp);
+        let mut cost = Vec::with_capacity(n_partsupp);
+        let mut comments = Vec::with_capacity(n_partsupp);
+        for p in 0..n_part {
+            for s in 0..4 {
+                partkey.push(p as i32);
+                suppkey.push(((p + s * (n_supp / 4 + 1)) % n_supp) as i32);
+                avail.push(rng.random_range(1..=9999));
+                cost.push(rng.random_range(100..=100_000)); // 1.00 .. 1000.00
+                comments.push(comment(&mut rng));
+            }
+        }
+        cat.add(Table::new(
+            "partsupp",
+            vec![
+                ("ps_partkey", DataType::Int32, Column::I32(partkey)),
+                ("ps_suppkey", DataType::Int32, Column::I32(suppkey)),
+                ("ps_availqty", DataType::Int32, Column::I32(avail)),
+                ("ps_supplycost", DataType::Decimal, Column::I64(cost)),
+                ("ps_comment", DataType::Str, Column::Str(StrColumn::from_values(comments))),
+            ],
+        ));
+    }
+
+    // customer
+    {
+        let mut nationkey = Vec::with_capacity(n_cust);
+        let mut acctbal = Vec::with_capacity(n_cust);
+        let mut segment = Vec::with_capacity(n_cust);
+        let mut comments = Vec::with_capacity(n_cust);
+        let mut names = Vec::with_capacity(n_cust);
+        let mut addr = Vec::with_capacity(n_cust);
+        let mut phone = Vec::with_capacity(n_cust);
+        for k in 0..n_cust {
+            let nk = rng.random_range(0..25);
+            nationkey.push(nk);
+            acctbal.push(rng.random_range(-99_999..=999_999));
+            segment.push(SEGMENTS[rng.random_range(0..5)]);
+            comments.push(comment(&mut rng));
+            names.push(format!("Customer#{k:09}"));
+            addr.push(format!("addr {}", rng.random_range(0..4096)));
+            phone.push(format!("{}-{:07}", 10 + nk, rng.random_range(0..9_999_999)));
+        }
+        cat.add(Table::new(
+            "customer",
+            vec![
+                ("c_custkey", DataType::Int32, Column::I32((0..n_cust as i32).collect())),
+                ("c_name", DataType::Str, Column::Str(StrColumn::from_values(names))),
+                ("c_address", DataType::Str, Column::Str(StrColumn::from_values(addr))),
+                ("c_nationkey", DataType::Int32, Column::I32(nationkey)),
+                ("c_phone", DataType::Str, Column::Str(StrColumn::from_values(phone))),
+                ("c_acctbal", DataType::Decimal, Column::I64(acctbal)),
+                ("c_mktsegment", DataType::Str, Column::Str(StrColumn::from_values(segment))),
+                ("c_comment", DataType::Str, Column::Str(StrColumn::from_values(comments))),
+            ],
+        ));
+    }
+
+    // orders + lineitem (lineitem rows depend on per-order line counts)
+    {
+        let start = date_to_days(1992, 1, 1);
+        let end = date_to_days(1998, 8, 2);
+        let cutoff = date_to_days(1995, 6, 17);
+
+        let mut o_custkey = Vec::with_capacity(n_orders);
+        let mut o_status = Vec::with_capacity(n_orders);
+        let mut o_total = Vec::with_capacity(n_orders);
+        let mut o_date = Vec::with_capacity(n_orders);
+        let mut o_prio = Vec::with_capacity(n_orders);
+        let mut o_clerk = Vec::with_capacity(n_orders);
+        let mut o_ship = Vec::with_capacity(n_orders);
+        let mut o_comment = Vec::with_capacity(n_orders);
+
+        let est_lines = n_orders * 4;
+        let mut l_orderkey = Vec::with_capacity(est_lines);
+        let mut l_partkey = Vec::with_capacity(est_lines);
+        let mut l_suppkey = Vec::with_capacity(est_lines);
+        let mut l_linenumber = Vec::with_capacity(est_lines);
+        let mut l_quantity = Vec::with_capacity(est_lines);
+        let mut l_extprice = Vec::with_capacity(est_lines);
+        let mut l_discount = Vec::with_capacity(est_lines);
+        let mut l_tax = Vec::with_capacity(est_lines);
+        let mut l_retflag: Vec<&str> = Vec::with_capacity(est_lines);
+        let mut l_status: Vec<&str> = Vec::with_capacity(est_lines);
+        let mut l_shipdate = Vec::with_capacity(est_lines);
+        let mut l_commit = Vec::with_capacity(est_lines);
+        let mut l_receipt = Vec::with_capacity(est_lines);
+        let mut l_instruct = Vec::with_capacity(est_lines);
+        let mut l_mode = Vec::with_capacity(est_lines);
+        let mut l_comment_codes = Vec::with_capacity(est_lines);
+
+        for ok in 0..n_orders {
+            let odate = rng.random_range(start..=end);
+            let lines = rng.random_range(1..=7usize);
+            let mut total = 0i64;
+            let mut any_open = false;
+            let mut all_fulfilled = true;
+            for ln in 0..lines {
+                let pk = rng.random_range(0..n_part as i32);
+                let qty = rng.random_range(1..=50i64);
+                let retail = 90_000 + ((pk as i64 % 1000) * 100) + ((pk as i64 / 1000) % 100);
+                let ext = qty * retail;
+                let ship = odate + rng.random_range(1..=121);
+                let commit = odate + rng.random_range(30..=90);
+                let receipt = ship + rng.random_range(1..=30);
+                let (rf, ls) = if receipt <= cutoff {
+                    (if rng.random_bool(0.5) { "R" } else { "A" }, "F")
+                } else {
+                    ("N", if ship > cutoff { "O" } else { "F" })
+                };
+                if ls == "O" {
+                    any_open = true;
+                } else {
+                    all_fulfilled = all_fulfilled && true;
+                }
+                l_orderkey.push(ok as i64);
+                l_partkey.push(pk);
+                l_suppkey.push(((pk as usize + ln * (n_supp / 4 + 1)) % n_supp) as i32);
+                l_linenumber.push(ln as i32 + 1);
+                l_quantity.push(qty * 100);
+                l_extprice.push(ext);
+                l_discount.push(rng.random_range(0..=10)); // 0.00 .. 0.10
+                l_tax.push(rng.random_range(0..=8));
+                l_retflag.push(rf);
+                l_status.push(ls);
+                l_shipdate.push(ship);
+                l_commit.push(commit);
+                l_receipt.push(receipt);
+                l_instruct.push(SHIP_INSTRUCT[rng.random_range(0..4)]);
+                l_mode.push(SHIP_MODES[rng.random_range(0..7)]);
+                l_comment_codes.push(comment(&mut rng));
+                total += ext;
+            }
+            o_custkey.push(rng.random_range(0..n_cust as i32));
+            o_status.push(if any_open { "O" } else if all_fulfilled { "F" } else { "P" });
+            o_total.push(total);
+            o_date.push(odate);
+            o_prio.push(PRIORITIES[rng.random_range(0..5)]);
+            o_clerk.push(format!("Clerk#{:09}", rng.random_range(0..(1000.0 * sf).max(10.0) as u32)));
+            o_ship.push(0i32);
+            o_comment.push(comment(&mut rng));
+        }
+
+        cat.add(Table::new(
+            "orders",
+            vec![
+                ("o_orderkey", DataType::Int64, Column::I64((0..n_orders as i64).collect())),
+                ("o_custkey", DataType::Int32, Column::I32(o_custkey)),
+                ("o_orderstatus", DataType::Str, Column::Str(StrColumn::from_values(o_status))),
+                ("o_totalprice", DataType::Decimal, Column::I64(o_total)),
+                ("o_orderdate", DataType::Date, Column::I32(o_date)),
+                ("o_orderpriority", DataType::Str, Column::Str(StrColumn::from_values(o_prio))),
+                ("o_clerk", DataType::Str, Column::Str(StrColumn::from_values(o_clerk))),
+                ("o_shippriority", DataType::Int32, Column::I32(o_ship)),
+                ("o_comment", DataType::Str, Column::Str(StrColumn::from_values(o_comment))),
+            ],
+        ));
+
+        cat.add(Table::new(
+            "lineitem",
+            vec![
+                ("l_orderkey", DataType::Int64, Column::I64(l_orderkey)),
+                ("l_partkey", DataType::Int32, Column::I32(l_partkey)),
+                ("l_suppkey", DataType::Int32, Column::I32(l_suppkey)),
+                ("l_linenumber", DataType::Int32, Column::I32(l_linenumber)),
+                ("l_quantity", DataType::Decimal, Column::I64(l_quantity)),
+                ("l_extendedprice", DataType::Decimal, Column::I64(l_extprice)),
+                ("l_discount", DataType::Decimal, Column::I64(l_discount)),
+                ("l_tax", DataType::Decimal, Column::I64(l_tax)),
+                ("l_returnflag", DataType::Str, Column::Str(StrColumn::from_values(l_retflag))),
+                ("l_linestatus", DataType::Str, Column::Str(StrColumn::from_values(l_status))),
+                ("l_shipdate", DataType::Date, Column::I32(l_shipdate)),
+                ("l_commitdate", DataType::Date, Column::I32(l_commit)),
+                ("l_receiptdate", DataType::Date, Column::I32(l_receipt)),
+                ("l_shipinstruct", DataType::Str, Column::Str(StrColumn::from_values(l_instruct))),
+                ("l_shipmode", DataType::Str, Column::Str(StrColumn::from_values(l_mode))),
+                ("l_comment", DataType::Str, Column::Str(StrColumn::from_values(l_comment_codes))),
+            ],
+        ));
+    }
+
+    cat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_scale_has_all_tables() {
+        let cat = generate(0.001);
+        for t in [
+            "region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem",
+        ] {
+            assert!(cat.get(t).is_some(), "missing {t}");
+        }
+        assert_eq!(cat.get("region").unwrap().row_count(), 5);
+        assert_eq!(cat.get("nation").unwrap().row_count(), 25);
+    }
+
+    #[test]
+    fn scaling_rules() {
+        let cat = generate(0.01);
+        assert_eq!(cat.get("part").unwrap().row_count(), 2000);
+        assert_eq!(cat.get("supplier").unwrap().row_count(), 100);
+        assert_eq!(cat.get("customer").unwrap().row_count(), 1500);
+        assert_eq!(cat.get("orders").unwrap().row_count(), 15000);
+        assert_eq!(cat.get("partsupp").unwrap().row_count(), 8000);
+        let li = cat.get("lineitem").unwrap().row_count();
+        assert!((30_000..=105_000).contains(&li), "lineitem rows: {li}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(0.001);
+        let b = generate(0.001);
+        let (ta, tb) = (a.get("lineitem").unwrap(), b.get("lineitem").unwrap());
+        assert_eq!(ta.row_count(), tb.row_count());
+        for row in [0, 7, ta.row_count() - 1] {
+            for col in 0..ta.column_count() {
+                assert_eq!(ta.column(col).get_u64(row), tb.column(col).get_u64(row));
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_keys_are_in_range() {
+        let cat = generate(0.001);
+        let li = cat.get("lineitem").unwrap();
+        let n_part = cat.get("part").unwrap().row_count() as i64;
+        let n_supp = cat.get("supplier").unwrap().row_count() as i64;
+        let n_orders = cat.get("orders").unwrap().row_count() as i64;
+        let (pk, sk, ok) = (
+            li.column_by_name("l_partkey").unwrap(),
+            li.column_by_name("l_suppkey").unwrap(),
+            li.column_by_name("l_orderkey").unwrap(),
+        );
+        for r in 0..li.row_count() {
+            assert!((pk.get_u64(r) as i64) < n_part);
+            assert!((sk.get_u64(r) as i64) < n_supp);
+            assert!((ok.get_u64(r) as i64) < n_orders);
+        }
+    }
+
+    #[test]
+    fn value_ranges_match_spec() {
+        let cat = generate(0.001);
+        let li = cat.get("lineitem").unwrap();
+        let qty = li.column_by_name("l_quantity").unwrap();
+        let disc = li.column_by_name("l_discount").unwrap();
+        for r in 0..li.row_count() {
+            let q = qty.get_u64(r) as i64;
+            assert!((100..=5000).contains(&q), "qty {q}");
+            let d = disc.get_u64(r) as i64;
+            assert!((0..=10).contains(&d), "disc {d}");
+        }
+        // return flags form the standard three-value domain
+        let rf = li.column_by_name("l_returnflag").unwrap().as_str().unwrap();
+        for code in &rf.dict {
+            assert!(["R", "A", "N"].contains(&code.as_str()));
+        }
+    }
+
+    #[test]
+    fn dates_are_ordered() {
+        let cat = generate(0.001);
+        let li = cat.get("lineitem").unwrap();
+        let (ship, receipt) = (
+            li.column_by_name("l_shipdate").unwrap(),
+            li.column_by_name("l_receiptdate").unwrap(),
+        );
+        for r in 0..li.row_count() {
+            assert!(ship.get_u64(r) as i64 <= receipt.get_u64(r) as i64);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Runtime-call ABI (§IV-E "Interoperability").
+//!
+//! Generated code — interpreted or compiled — calls into the engine's
+//! runtime (hash tables, output writers, string machinery) through a uniform
+//! gather-args ABI: the translator copies the call arguments into
+//! consecutive 64-bit register slots and the opcode carries the runtime
+//! function index. "As we know all exported functions, we can identify
+//! missing opcodes at compile time": registration checks the declared
+//! signature against the IR module's extern table during translation.
+
+use aqe_ir::{ExternDecl, Type};
+use std::fmt;
+
+/// A runtime function: receives a pointer to `nargs` consecutive 64-bit
+/// argument slots and a pointer to a 64-bit return slot.
+///
+/// # Safety contract
+/// The implementation must read exactly the declared number of arguments,
+/// interpret each with its declared type (narrow integers live in the low
+/// bits of their slot), and write the return slot iff the signature declares
+/// a return type.
+pub type RtFn = unsafe fn(args: *const u64, ret: *mut u64);
+
+/// The registry mapping extern indices (as used by `Instr::Call`) to
+/// callable functions. Built once per query by the engine.
+#[derive(Clone, Default)]
+pub struct Registry {
+    fns: Vec<RtFn>,
+    decls: Vec<ExternDecl>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry").field("len", &self.fns.len()).finish()
+    }
+}
+
+/// Registration failure: the provided function table does not line up with
+/// the module's extern declarations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegistryError(pub String);
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime registry error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register the implementation for the next extern declaration. Must be
+    /// called in declaration order; the declaration is retained for
+    /// signature checks at translation time.
+    pub fn register(&mut self, decl: ExternDecl, f: RtFn) {
+        self.decls.push(decl);
+        self.fns.push(f);
+    }
+
+    /// Build a registry for a module's extern table, pairing each
+    /// declaration with its implementation by name.
+    pub fn for_externs(
+        externs: &[ExternDecl],
+        lookup: impl Fn(&str) -> Option<RtFn>,
+    ) -> Result<Registry, RegistryError> {
+        let mut r = Registry::new();
+        for d in externs {
+            let f = lookup(&d.name)
+                .ok_or_else(|| RegistryError(format!("no implementation for @{}", d.name)))?;
+            r.register(d.clone(), f);
+        }
+        Ok(r)
+    }
+
+    pub fn len(&self) -> usize {
+        self.fns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fns.is_empty()
+    }
+
+    pub fn decl(&self, idx: usize) -> Option<&ExternDecl> {
+        self.decls.get(idx)
+    }
+
+    /// The function pointer for extern `idx`.
+    ///
+    /// # Panics
+    /// If the index was never registered (translation validates indices, so
+    /// reaching this with a bad index is an engine bug).
+    #[inline]
+    pub fn fn_ptr(&self, idx: usize) -> RtFn {
+        self.fns[idx]
+    }
+
+    /// Validate that a call with `idx` and `nargs` matches a registered
+    /// declaration; used by the translator.
+    pub fn check_call(&self, idx: usize, nargs: usize, ret: Option<Type>) -> Result<(), RegistryError> {
+        let d = self
+            .decls
+            .get(idx)
+            .ok_or_else(|| RegistryError(format!("extern #{idx} not registered")))?;
+        if d.params.len() != nargs {
+            return Err(RegistryError(format!(
+                "@{}: call has {nargs} args, declared {}",
+                d.name,
+                d.params.len()
+            )));
+        }
+        if d.ret != ret {
+            return Err(RegistryError(format!(
+                "@{}: call return {ret:?}, declared {:?}",
+                d.name, d.ret
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    unsafe fn double_it(args: *const u64, ret: *mut u64) {
+        unsafe { *ret = (*args).wrapping_mul(2) }
+    }
+
+    fn decl() -> ExternDecl {
+        ExternDecl { name: "dbl".into(), params: vec![Type::I64], ret: Some(Type::I64) }
+    }
+
+    #[test]
+    fn register_and_call() {
+        let mut r = Registry::new();
+        r.register(decl(), double_it);
+        assert_eq!(r.len(), 1);
+        let args = [21u64];
+        let mut ret = 0u64;
+        unsafe { (r.fn_ptr(0))(args.as_ptr(), &mut ret) };
+        assert_eq!(ret, 42);
+    }
+
+    #[test]
+    fn check_call_validates_arity_and_return() {
+        let mut r = Registry::new();
+        r.register(decl(), double_it);
+        assert!(r.check_call(0, 1, Some(Type::I64)).is_ok());
+        assert!(r.check_call(0, 2, Some(Type::I64)).is_err());
+        assert!(r.check_call(0, 1, None).is_err());
+        assert!(r.check_call(1, 0, None).is_err());
+    }
+
+    #[test]
+    fn for_externs_pairs_by_name() {
+        let externs = vec![decl()];
+        let r = Registry::for_externs(&externs, |n| (n == "dbl").then_some(double_it as RtFn));
+        assert!(r.is_ok());
+        let missing = Registry::for_externs(&externs, |_| None);
+        assert!(missing.is_err());
+    }
+}

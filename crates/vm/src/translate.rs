@@ -1,0 +1,1437 @@
+//! Single-pass IR→bytecode translation (§IV-B, Fig. 9).
+//!
+//! ```text
+//! compute liveness and order blocks
+//! for each block b:
+//!     allocate registers for values that become live in b
+//!     for each instruction i in b:
+//!         if i is not subsumed:
+//!             translate i into VM opcodes
+//!     propagate values in φ nodes
+//!     release register for values that ended in b
+//! ```
+//!
+//! The translation is strictly linear in the size of the function — the
+//! property §V-E depends on ("the bytecode interpreter scales perfectly and
+//! is able to process this very large query in only 0.9 seconds"). Liveness
+//! comes from the loop-aware linear algorithm in `aqe-ir`; register slots
+//! are reused through a free list; φ nodes become parallel-copy groups at
+//! predecessor ends (with edge trampolines on critical edges and a scratch
+//! slot for cycle breaking); and the two §IV-F macro-op fusions are applied:
+//! overflow-check sequences and `gep`+`load`/`store` pairs.
+
+use crate::bytecode::{
+    BcFunction, BcInstr, Op, TranslateStats, FIRST_FREE_SLOT, SLOT_ONE, SLOT_SCRATCH, SLOT_ZERO,
+    TRAP_DIV_ZERO, TRAP_OVERFLOW, TRAP_USER_BASE,
+};
+use crate::regalloc::{effective_end, AllocStrategy, SlotAllocator};
+use aqe_ir::analysis::Analyses;
+use aqe_ir::{
+    BinOp, CastKind, CmpPred, Constant, ExternDecl, Function, Instr, Operand, OvfOp, Terminator,
+    TrapKind, Type, ValueId,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Translation options.
+#[derive(Clone, Copy, Debug)]
+pub struct TranslateOptions {
+    pub strategy: AllocStrategy,
+    /// Fuse the 4-instruction overflow-check pattern into one opcode.
+    pub fuse_ovf: bool,
+    /// Fuse `gep`+`load`/`store` pairs into indexed memory opcodes.
+    pub fuse_gep: bool,
+}
+
+impl Default for TranslateOptions {
+    fn default() -> Self {
+        TranslateOptions { strategy: AllocStrategy::PaperLinear, fuse_ovf: true, fuse_gep: true }
+    }
+}
+
+/// Translation failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TranslateError {
+    /// The register file exceeded the addressable 64 KiB (only reachable
+    /// with the no-reuse ablation strategy on enormous functions).
+    OutOfRegisters(String),
+    /// A call does not match the extern declarations.
+    BadCall(String),
+    /// IR construct the VM does not support.
+    Unsupported(String),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::OutOfRegisters(m) => write!(f, "out of registers: {m}"),
+            TranslateError::BadCall(m) => write!(f, "bad call: {m}"),
+            TranslateError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+const NO_SLOT: u16 = u16::MAX;
+
+#[derive(Clone, Copy)]
+enum CopySrc {
+    Slot(u16),
+    Const(u64),
+}
+
+enum Target {
+    Block(u32),
+    Tramp(u32),
+}
+
+struct Fixup {
+    pc: usize,
+    then_t: Target,
+    else_t: Option<Target>,
+}
+
+struct Trampoline {
+    copies: Vec<(u16, CopySrc)>,
+    target_pos: u32,
+    pc: u32,
+}
+
+struct Tx<'a> {
+    f: &'a Function,
+    externs: &'a [ExternDecl],
+    opts: TranslateOptions,
+    an: Analyses,
+    code: Vec<BcInstr>,
+    alloc: SlotAllocator,
+    slot: Vec<u16>,
+    /// Unfused overflow pairs occupy two slots (value, flag).
+    pair_slot: HashMap<ValueId, (u16, u16)>,
+    uses_left: Vec<u32>,
+    eff_end: Vec<u32>,
+    /// Whether the live interval is confined to a single block. Only such
+    /// values may be released mid-block at their last use; anything whose
+    /// lifetime was extended across blocks (in particular loop-extended
+    /// lifetimes, §IV-D) is released at the block boundary — "we consider
+    /// block boundaries only when the control flow forces us to extend the
+    /// lifetime of a value".
+    point_range: Vec<bool>,
+    freed: Vec<bool>,
+    subsumed: Vec<bool>,
+    starts_at: Vec<Vec<ValueId>>,
+    ends_at: Vec<Vec<ValueId>>,
+    block_pc: Vec<u32>,
+    fixups: Vec<Fixup>,
+    trampolines: Vec<Trampoline>,
+    arg_base: u16,
+    stats: TranslateStats,
+}
+
+/// Translate one function into VM bytecode.
+pub fn translate(
+    f: &Function,
+    externs: &[ExternDecl],
+    opts: TranslateOptions,
+) -> Result<BcFunction, TranslateError> {
+    let an = Analyses::compute(f);
+    let nv = f.value_count();
+    let npos = an.rpo.len();
+
+    let mut uses_left = vec![0u32; nv];
+    let mut eff_end = vec![u32::MAX; nv];
+    let mut point_range = vec![false; nv];
+    let mut starts_at: Vec<Vec<ValueId>> = vec![Vec::new(); npos];
+    let mut ends_at: Vec<Vec<ValueId>> = vec![Vec::new(); npos];
+    for i in 0..nv {
+        let v = ValueId(i as u32);
+        uses_left[i] = an.live.use_count(v);
+        if let Some(r) = an.live.range(v) {
+            if f.value_type(v).has_slot() {
+                starts_at[r.start as usize].push(v);
+                point_range[i] = r.start == r.end;
+                let e = effective_end(opts.strategy, r);
+                eff_end[i] = e;
+                if e != u32::MAX {
+                    ends_at[e as usize].push(v);
+                }
+            }
+        }
+    }
+
+    // Pre-scan for the largest call arity so the gather area can be placed
+    // contiguously at the bottom of the frame.
+    let mut max_args = 0usize;
+    for (_, b) in f.blocks() {
+        for &vid in &b.instrs {
+            if let Some(Instr::Call { args, .. }) = f.instr(vid) {
+                max_args = max_args.max(args.len());
+            }
+        }
+    }
+
+    let mut alloc = SlotAllocator::new(FIRST_FREE_SLOT);
+    let arg_base = alloc
+        .alloc_contiguous(max_args)
+        .map_err(|_| TranslateError::OutOfRegisters("call argument area".into()))?;
+
+    let tx = Tx {
+        f,
+        externs,
+        opts,
+        an,
+        code: Vec::with_capacity(f.instruction_count() * 2),
+        alloc,
+        slot: vec![NO_SLOT; nv],
+        pair_slot: HashMap::new(),
+        uses_left,
+        eff_end,
+        point_range,
+        freed: vec![false; nv],
+        subsumed: vec![false; nv],
+        starts_at,
+        ends_at,
+        block_pc: vec![0; npos],
+        fixups: Vec::new(),
+        trampolines: Vec::new(),
+        arg_base,
+        stats: TranslateStats::default(),
+    };
+    tx.run()
+}
+
+impl<'a> Tx<'a> {
+    fn run(mut self) -> Result<BcFunction, TranslateError> {
+        // Parameters get their slots first, in declaration order.
+        let mut param_slots = Vec::with_capacity(self.f.param_count());
+        for i in 0..self.f.param_count() {
+            let v = ValueId(i as u32);
+            let s = self.ensure_slot(v)?;
+            param_slots.push(s);
+        }
+
+        if self.opts.fuse_ovf || self.opts.fuse_gep {
+            self.mark_fusions();
+        }
+
+        for pos in 0..self.an.rpo.len() {
+            self.translate_block(pos as u32)?;
+        }
+        self.emit_trampolines();
+        self.patch_fixups();
+
+        Ok(BcFunction {
+            name: self.f.name.clone(),
+            code: self.code,
+            frame_size: self.alloc.frame_size(),
+            param_slots,
+            has_ret: self.f.ret.is_some(),
+            stats: self.stats,
+        })
+    }
+
+    // ---- fusion marking (§IV-F) -----------------------------------------
+
+    /// Mark instructions subsumed by macro ops. Overflow pattern: a
+    /// `BinOvf` whose two extracts sit in the same block, whose flag feeds
+    /// this block's `CondBr` into a bare trap block. Gep pattern: a `gep`
+    /// immediately followed by its only consumer (`load` or `store`).
+    fn mark_fusions(&mut self) {
+        for &bid in &self.an.rpo.order.clone() {
+            let block = self.f.block(bid);
+            for (i, &vid) in block.instrs.iter().enumerate() {
+                match self.f.instr(vid).unwrap() {
+                    Instr::BinOvf { .. } if self.opts.fuse_ovf => {
+                        // Expect: extract0, extract1 (either order) right
+                        // after, flag used once by the terminator CondBr
+                        // whose one arm is a trap block.
+                        if i + 2 >= block.instrs.len() {
+                            continue;
+                        }
+                        let (e1, e2) = (block.instrs[i + 1], block.instrs[i + 2]);
+                        let (val, flag) = match (self.f.instr(e1), self.f.instr(e2)) {
+                            (
+                                Some(Instr::Extract { pair: p1, field: 0 }),
+                                Some(Instr::Extract { pair: p2, field: 1 }),
+                            ) if *p1 == vid && *p2 == vid => (e1, e2),
+                            (
+                                Some(Instr::Extract { pair: p1, field: 1 }),
+                                Some(Instr::Extract { pair: p2, field: 0 }),
+                            ) if *p1 == vid && *p2 == vid => (e2, e1),
+                            _ => continue,
+                        };
+                        if self.an.live.use_count(vid) != 2
+                            || self.an.live.use_count(flag) != 1
+                            || i + 2 != block.instrs.len() - 1
+                        {
+                            continue;
+                        }
+                        let Terminator::CondBr { cond, then_bb, else_bb } = &block.term else {
+                            continue;
+                        };
+                        if cond.as_value() != Some(flag) {
+                            continue;
+                        }
+                        let trap_is_then = self.is_overflow_trap_block(*then_bb);
+                        let trap_is_else = self.is_overflow_trap_block(*else_bb);
+                        if !trap_is_then && !trap_is_else {
+                            continue;
+                        }
+                        // Subsume the pair and the flag; `val` becomes the
+                        // fused destination; the CondBr is rewritten during
+                        // emission (detected via `subsumed[flag]`).
+                        self.subsumed[vid.index()] = true;
+                        self.subsumed[flag.index()] = true;
+                        let _ = val;
+                        self.stats.fused_ovf += 1;
+                    }
+                    Instr::Gep { .. } if self.opts.fuse_gep => {
+                        if self.an.live.use_count(vid) != 1 || i + 1 >= block.instrs.len() {
+                            continue;
+                        }
+                        let next = block.instrs[i + 1];
+                        let consumes = match self.f.instr(next) {
+                            Some(Instr::Load { ptr, .. }) => ptr.as_value() == Some(vid),
+                            Some(Instr::Store { ptr, .. }) => ptr.as_value() == Some(vid),
+                            _ => false,
+                        };
+                        if consumes && self.gep_fits_packed(vid) {
+                            self.subsumed[vid.index()] = true;
+                            self.stats.fused_gep += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn gep_fits_packed(&self, gep: ValueId) -> bool {
+        let Some(Instr::Gep { offset, index, .. }) = self.f.instr(gep) else {
+            return false;
+        };
+        match index {
+            None => true, // plain displacement uses the full 64-bit literal
+            Some((_, scale)) => {
+                i32::try_from(*offset).is_ok() && i32::try_from(*scale).is_ok()
+            }
+        }
+    }
+
+    fn is_overflow_trap_block(&self, b: aqe_ir::BlockId) -> bool {
+        let blk = self.f.block(b);
+        blk.instrs.is_empty()
+            && matches!(blk.term, Terminator::Trap { kind: TrapKind::Overflow })
+    }
+
+    // ---- slots ------------------------------------------------------------
+
+    fn ensure_slot(&mut self, v: ValueId) -> Result<u16, TranslateError> {
+        if self.slot[v.index()] == NO_SLOT {
+            self.slot[v.index()] = self
+                .alloc
+                .alloc()
+                .map_err(|_| TranslateError::OutOfRegisters(format!("allocating {v}")))?;
+        }
+        Ok(self.slot[v.index()])
+    }
+
+    fn ensure_pair_slots(&mut self, v: ValueId) -> Result<(u16, u16), TranslateError> {
+        if let Some(&p) = self.pair_slot.get(&v) {
+            return Ok(p);
+        }
+        let a = self
+            .alloc
+            .alloc()
+            .map_err(|_| TranslateError::OutOfRegisters(format!("pair {v}")))?;
+        let b = self
+            .alloc
+            .alloc()
+            .map_err(|_| TranslateError::OutOfRegisters(format!("pair {v}")))?;
+        self.pair_slot.insert(v, (a, b));
+        Ok((a, b))
+    }
+
+    fn use_slot(&self, v: ValueId) -> u16 {
+        let s = self.slot[v.index()];
+        debug_assert_ne!(s, NO_SLOT, "use of {v} before a slot was assigned");
+        s
+    }
+
+    /// Account for one use of `v` at block position `pos`, freeing its slot
+    /// when this was the last use of a block-local value. Values whose
+    /// interval spans blocks are released only at the end of their last
+    /// block (see `point_range`).
+    fn dec_use(&mut self, v: ValueId, pos: u32) {
+        let i = v.index();
+        debug_assert!(self.uses_left[i] > 0, "use count underflow for {v}");
+        self.uses_left[i] -= 1;
+        if self.uses_left[i] == 0
+            && self.eff_end[i] == pos
+            && self.point_range[i]
+            && !self.freed[i]
+        {
+            self.free_value(v);
+        }
+    }
+
+    fn free_value(&mut self, v: ValueId) {
+        let i = v.index();
+        if self.freed[i] {
+            return;
+        }
+        self.freed[i] = true;
+        if let Some((a, b)) = self.pair_slot.get(&v).copied() {
+            self.alloc.free(a);
+            self.alloc.free(b);
+        } else if self.slot[i] != NO_SLOT {
+            self.alloc.free(self.slot[i]);
+        }
+    }
+
+    /// Resolve an operand: the slot of a value, or a materialised constant.
+    /// Constants 0 and 1 hit the preloaded slots; other constants go to a
+    /// temp slot freed after the consuming instruction.
+    fn operand_slot(
+        &mut self,
+        op: Operand,
+        temps: &mut Vec<u16>,
+    ) -> Result<u16, TranslateError> {
+        match op {
+            Operand::Value(v) => Ok(self.use_slot(v)),
+            Operand::Const(c) => self.materialize(c, temps),
+        }
+    }
+
+    fn materialize(&mut self, c: Constant, temps: &mut Vec<u16>) -> Result<u16, TranslateError> {
+        match c.bits {
+            0 => Ok(SLOT_ZERO),
+            1 => Ok(SLOT_ONE),
+            bits => {
+                let t = self
+                    .alloc
+                    .alloc()
+                    .map_err(|_| TranslateError::OutOfRegisters("constant temp".into()))?;
+                self.emit(Op::Const64, t, 0, 0, bits);
+                temps.push(t);
+                Ok(t)
+            }
+        }
+    }
+
+    fn emit(&mut self, op: Op, a: u16, b: u16, c: u16, lit: u64) {
+        self.code.push(BcInstr::new(op, a, b, c, lit));
+    }
+
+    // ---- block translation --------------------------------------------------
+
+    fn translate_block(&mut self, pos: u32) -> Result<(), TranslateError> {
+        self.block_pc[pos as usize] = self.code.len() as u32;
+        let bid = self.an.rpo.order[pos as usize];
+
+        // "allocate registers for values that become live in b" — values
+        // whose interval starts here but whose definition lies elsewhere
+        // (loop-extended lifetimes, forward-pred φ results).
+        for idx in 0..self.starts_at[pos as usize].len() {
+            let v = self.starts_at[pos as usize][idx];
+            let r = self.an.live.range(v).unwrap();
+            if r.def_pos != pos && !self.subsumed[v.index()] {
+                if self.f.value_type(v).ovf_value_type().is_some() {
+                    self.ensure_pair_slots(v)?;
+                } else {
+                    self.ensure_slot(v)?;
+                }
+            }
+        }
+
+        let instrs = self.f.block(bid).instrs.clone();
+        let mut fused_ovf_condbr = false;
+        let mut i = 0usize;
+        while i < instrs.len() {
+            let vid = instrs[i];
+            let instr = self.f.instr(vid).unwrap().clone();
+            if self.subsumed[vid.index()] {
+                if let Instr::BinOvf { op, ty, a, b } = instr {
+                    // Fused overflow check: the next two instructions are
+                    // the extracts; emit one trapping opcode writing the
+                    // value extract's slot (§IV-F).
+                    let (val, flag) = self.fused_extracts(&instrs, i);
+                    let mut temps = Vec::new();
+                    let sa = self.operand_slot(a, &mut temps)?;
+                    let sb = self.operand_slot(b, &mut temps)?;
+                    let dst = self.ensure_slot(val)?;
+                    let opcode = match (op, ty) {
+                        (OvfOp::Add, Type::I32) => Op::AddOvfTrapI32,
+                        (OvfOp::Add, Type::I64) => Op::AddOvfTrapI64,
+                        (OvfOp::Sub, Type::I32) => Op::SubOvfTrapI32,
+                        (OvfOp::Sub, Type::I64) => Op::SubOvfTrapI64,
+                        (OvfOp::Mul, Type::I32) => Op::MulOvfTrapI32,
+                        (OvfOp::Mul, Type::I64) => Op::MulOvfTrapI64,
+                        _ => unreachable!("verifier enforces i32/i64"),
+                    };
+                    self.emit(opcode, dst, sa, sb, 0);
+                    for t in temps {
+                        self.alloc.free(t);
+                    }
+                    self.dec_operand(a, pos);
+                    self.dec_operand(b, pos);
+                    // The pair's two uses (the extracts) and the flag's use
+                    // (the condbr) are all folded into the macro op.
+                    self.uses_left[vid.index()] = 0;
+                    self.uses_left[flag.index()] = 0;
+                    self.maybe_free_dead(val, pos);
+                    fused_ovf_condbr = true;
+                    // Skip the two extracts.
+                    i += 3;
+                    continue;
+                }
+                // Subsumed geps are re-materialised by their consumer.
+                i += 1;
+                continue;
+            }
+            self.translate_instr(vid, &instr, pos)?;
+            i += 1;
+        }
+
+        // "propagate values in φ nodes", then the terminator.
+        self.translate_terminator(bid, pos, fused_ovf_condbr)?;
+
+        // "release register for values that ended in b".
+        for idx in 0..self.ends_at[pos as usize].len() {
+            let v = self.ends_at[pos as usize][idx];
+            if !self.freed[v.index()] && !self.subsumed[v.index()] {
+                debug_assert_eq!(
+                    self.uses_left[v.index()],
+                    0,
+                    "{v} still has uses but its interval ends at {pos}"
+                );
+                self.free_value(v);
+            }
+        }
+        Ok(())
+    }
+
+    fn fused_extracts(&self, instrs: &[ValueId], i: usize) -> (ValueId, ValueId) {
+        let (e1, e2) = (instrs[i + 1], instrs[i + 2]);
+        match self.f.instr(e1) {
+            Some(Instr::Extract { field: 0, .. }) => (e1, e2),
+            _ => (e2, e1),
+        }
+    }
+
+    fn dec_operand(&mut self, op: Operand, pos: u32) {
+        if let Operand::Value(v) = op {
+            self.dec_use(v, pos);
+        }
+    }
+
+    /// Free a just-defined value that is never used (still computed, e.g.
+    /// for calls with ignored results).
+    fn maybe_free_dead(&mut self, v: ValueId, pos: u32) {
+        let i = v.index();
+        if self.uses_left[i] == 0
+            && self.eff_end[i] == pos
+            && self.point_range[i]
+            && !self.freed[i]
+        {
+            self.free_value(v);
+        }
+    }
+
+    fn translate_instr(
+        &mut self,
+        vid: ValueId,
+        instr: &Instr,
+        pos: u32,
+    ) -> Result<(), TranslateError> {
+        let mut temps: Vec<u16> = Vec::new();
+        match instr {
+            Instr::Bin { op, ty, a, b } => {
+                self.emit_bin(vid, *op, *ty, *a, *b, &mut temps, pos)?;
+            }
+            Instr::BinOvf { op, ty, a, b } => {
+                // Unfused path: compute value and flag into a slot pair.
+                let sa = self.operand_slot(*a, &mut temps)?;
+                let sb = self.operand_slot(*b, &mut temps)?;
+                let (vslot, fslot) = self.ensure_pair_slots(vid)?;
+                let (vop, fop) = match (op, ty) {
+                    (OvfOp::Add, Type::I32) => (Op::AddOvfValI32, Op::AddOvfFlagI32),
+                    (OvfOp::Add, Type::I64) => (Op::AddOvfValI64, Op::AddOvfFlagI64),
+                    (OvfOp::Sub, Type::I32) => (Op::SubOvfValI32, Op::SubOvfFlagI32),
+                    (OvfOp::Sub, Type::I64) => (Op::SubOvfValI64, Op::SubOvfFlagI64),
+                    (OvfOp::Mul, Type::I32) => (Op::MulOvfValI32, Op::MulOvfFlagI32),
+                    (OvfOp::Mul, Type::I64) => (Op::MulOvfValI64, Op::MulOvfFlagI64),
+                    _ => unreachable!(),
+                };
+                self.emit(fop, fslot, sa, sb, 0);
+                self.emit(vop, vslot, sa, sb, 0);
+                self.dec_operand(*a, pos);
+                self.dec_operand(*b, pos);
+                self.maybe_free_dead(vid, pos);
+            }
+            Instr::Extract { pair, field } => {
+                let (vslot, fslot) = *self
+                    .pair_slot
+                    .get(pair)
+                    .expect("extract from pair without slots");
+                let src = if *field == 0 { vslot } else { fslot };
+                let dst = self.ensure_slot(vid)?;
+                self.emit(Op::Mov64, dst, src, 0, 0);
+                self.dec_use(*pair, pos);
+                self.maybe_free_dead(vid, pos);
+            }
+            Instr::Cmp { pred, ty, a, b } => {
+                self.emit_cmp(vid, *pred, *ty, *a, *b, &mut temps, pos)?;
+            }
+            Instr::Select { cond, t, f: fv, .. } => {
+                let sc = self.operand_slot(*cond, &mut temps)?;
+                let st = self.operand_slot(*t, &mut temps)?;
+                let sf = self.operand_slot(*fv, &mut temps)?;
+                let dst = self.ensure_slot(vid)?;
+                self.emit(Op::Select64, dst, sc, st, sf as u64);
+                self.dec_operand(*cond, pos);
+                self.dec_operand(*t, pos);
+                self.dec_operand(*fv, pos);
+                self.maybe_free_dead(vid, pos);
+            }
+            Instr::Cast { kind, to, v, from } => {
+                self.emit_cast(vid, *kind, *from, *to, *v, &mut temps, pos)?;
+            }
+            Instr::Load { ty, ptr } => {
+                self.emit_load(vid, *ty, *ptr, &mut temps, pos)?;
+            }
+            Instr::Store { ty, ptr, val } => {
+                self.emit_store(*ty, *ptr, *val, &mut temps, pos)?;
+            }
+            Instr::Gep { base, offset, index } => {
+                let dst = self.ensure_slot(vid)?;
+                let sb = self.operand_slot(*base, &mut temps)?;
+                match index {
+                    None => {
+                        self.emit(Op::AddImmI64, dst, sb, 0, *offset as u64);
+                    }
+                    Some((iop, scale)) => {
+                        if let Some(c) = iop.as_const() {
+                            let disp = offset + c.as_i64() * scale;
+                            self.emit(Op::AddImmI64, dst, sb, 0, disp as u64);
+                        } else if let (Ok(s32), Ok(d32)) =
+                            (i32::try_from(*scale), i32::try_from(*offset))
+                        {
+                            let si = self.operand_slot(*iop, &mut temps)?;
+                            self.emit(Op::GepIdx, dst, sb, si, BcInstr::pack_idx(s32, d32));
+                        } else {
+                            // Rare general fallback: dst = base + idx*scale + off
+                            let si = self.operand_slot(*iop, &mut temps)?;
+                            self.emit(Op::MulImmI64, SLOT_SCRATCH, si, 0, *scale as u64);
+                            self.emit(Op::AddI64, dst, sb, SLOT_SCRATCH, 0);
+                            self.emit(Op::AddImmI64, dst, dst, 0, *offset as u64);
+                        }
+                        self.dec_operand(*iop, pos);
+                    }
+                }
+                self.dec_operand(*base, pos);
+                self.maybe_free_dead(vid, pos);
+            }
+            Instr::Call { func, args } => {
+                let decl = self.externs.get(func.index()).ok_or_else(|| {
+                    TranslateError::BadCall(format!("extern #{} not declared", func.0))
+                })?;
+                if decl.params.len() != args.len() {
+                    return Err(TranslateError::BadCall(format!(
+                        "@{}: {} args, declared {}",
+                        decl.name,
+                        args.len(),
+                        decl.params.len()
+                    )));
+                }
+                let has_ret = decl.ret.is_some();
+                // Gather arguments into the contiguous call area.
+                for (k, a) in args.iter().enumerate() {
+                    let dst = self.arg_base + (k as u16) * 8;
+                    match a {
+                        Operand::Const(c) => self.emit(Op::Const64, dst, 0, 0, c.bits),
+                        Operand::Value(v) => {
+                            let s = self.use_slot(*v);
+                            self.emit(Op::Mov64, dst, s, 0, 0);
+                        }
+                    }
+                }
+                let dst = if has_ret { self.ensure_slot(vid)? } else { SLOT_SCRATCH };
+                self.emit(Op::CallRt, dst, self.arg_base, args.len() as u16, func.0 as u64);
+                for &a in args.iter() {
+                    self.dec_operand(a, pos);
+                }
+                if has_ret {
+                    self.maybe_free_dead(vid, pos);
+                }
+            }
+            Instr::Phi { .. } => {
+                // φ values materialise through predecessor-end copies; here
+                // we only make sure the destination slot exists.
+                self.ensure_slot(vid)?;
+            }
+        }
+        for t in temps {
+            self.alloc.free(t);
+        }
+        Ok(())
+    }
+
+    fn emit_bin(
+        &mut self,
+        vid: ValueId,
+        op: BinOp,
+        ty: Type,
+        mut a: Operand,
+        mut b: Operand,
+        temps: &mut Vec<u16>,
+        pos: u32,
+    ) -> Result<(), TranslateError> {
+        let commutative = matches!(
+            op,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+        );
+        if commutative && a.as_const().is_some() && b.as_const().is_none() {
+            std::mem::swap(&mut a, &mut b);
+        }
+        // Immediate form when the rhs is constant and the type supports it.
+        if let Some(c) = b.as_const() {
+            if let Some(imm_op) = imm_bin_op(op, ty) {
+                let sa = self.operand_slot(a, temps)?;
+                let dst = self.ensure_slot(vid)?;
+                self.emit(imm_op, dst, sa, 0, c.bits);
+                self.dec_operand(a, pos);
+                self.maybe_free_dead(vid, pos);
+                return Ok(());
+            }
+        }
+        let sa = self.operand_slot(a, temps)?;
+        let sb = self.operand_slot(b, temps)?;
+        let dst = self.ensure_slot(vid)?;
+        let opcode = reg_bin_op(op, ty).ok_or_else(|| {
+            TranslateError::Unsupported(format!("{} on {ty}", op.name()))
+        })?;
+        self.emit(opcode, dst, sa, sb, 0);
+        self.dec_operand(a, pos);
+        self.dec_operand(b, pos);
+        self.maybe_free_dead(vid, pos);
+        Ok(())
+    }
+
+    fn emit_cmp(
+        &mut self,
+        vid: ValueId,
+        mut pred: CmpPred,
+        ty: Type,
+        mut a: Operand,
+        mut b: Operand,
+        temps: &mut Vec<u16>,
+        pos: u32,
+    ) -> Result<(), TranslateError> {
+        if a.as_const().is_some() && b.as_const().is_none() {
+            std::mem::swap(&mut a, &mut b);
+            pred = pred.swapped();
+        }
+        if let Some(c) = b.as_const() {
+            if let Some(imm_op) = imm_cmp_op(pred, ty) {
+                let sa = self.operand_slot(a, temps)?;
+                let dst = self.ensure_slot(vid)?;
+                self.emit(imm_op, dst, sa, 0, c.bits);
+                self.dec_operand(a, pos);
+                self.maybe_free_dead(vid, pos);
+                return Ok(());
+            }
+        }
+        let sa = self.operand_slot(a, temps)?;
+        let sb = self.operand_slot(b, temps)?;
+        let dst = self.ensure_slot(vid)?;
+        let opcode = reg_cmp_op(pred, ty)
+            .ok_or_else(|| TranslateError::Unsupported(format!("cmp {} on {ty}", pred.name())))?;
+        self.emit(opcode, dst, sa, sb, 0);
+        self.dec_operand(a, pos);
+        self.dec_operand(b, pos);
+        self.maybe_free_dead(vid, pos);
+        Ok(())
+    }
+
+    fn emit_cast(
+        &mut self,
+        vid: ValueId,
+        kind: CastKind,
+        from: Type,
+        to: Type,
+        v: Operand,
+        temps: &mut Vec<u16>,
+        pos: u32,
+    ) -> Result<(), TranslateError> {
+        let sv = self.operand_slot(v, temps)?;
+        let dst = self.ensure_slot(vid)?;
+        match kind {
+            CastKind::Trunc | CastKind::Bitcast => {
+                // Little-endian slot semantics make truncation and bit
+                // reinterpretation plain 8-byte copies.
+                self.emit(Op::Mov64, dst, sv, 0, 0);
+            }
+            CastKind::ZExt | CastKind::SExt => {
+                let opcode = ext_op(kind, from, to).ok_or_else(|| {
+                    TranslateError::Unsupported(format!("{} {from} -> {to}", kind.name()))
+                })?;
+                self.emit(opcode, dst, sv, 0, 0);
+            }
+            CastKind::SiToFp => match from {
+                Type::I32 => self.emit(Op::SiToFpI32, dst, sv, 0, 0),
+                Type::I64 => self.emit(Op::SiToFpI64, dst, sv, 0, 0),
+                Type::I8 | Type::I16 => {
+                    let widen =
+                        if from == Type::I8 { Op::SExtI8I64 } else { Op::SExtI16I64 };
+                    self.emit(widen, SLOT_SCRATCH, sv, 0, 0);
+                    self.emit(Op::SiToFpI64, dst, SLOT_SCRATCH, 0, 0);
+                }
+                _ => {
+                    return Err(TranslateError::Unsupported(format!("sitofp from {from}")));
+                }
+            },
+            CastKind::FpToSi => match to {
+                Type::I64 => self.emit(Op::FpToSiI64, dst, sv, 0, 0),
+                _ => self.emit(Op::FpToSiI32, dst, sv, 0, 0),
+            },
+        }
+        self.dec_operand(v, pos);
+        self.maybe_free_dead(vid, pos);
+        Ok(())
+    }
+
+    fn emit_load(
+        &mut self,
+        vid: ValueId,
+        ty: Type,
+        ptr: Operand,
+        temps: &mut Vec<u16>,
+        pos: u32,
+    ) -> Result<(), TranslateError> {
+        let width_ops = load_ops(ty);
+        // Fused gep? (§IV-F: "the GetElementPtr instruction followed by a
+        // load or store … merged into one VM opcode".)
+        if let Some(gv) = ptr.as_value() {
+            if self.subsumed[gv.index()] {
+                let Some(Instr::Gep { base, offset, index }) = self.f.instr(gv).cloned() else {
+                    unreachable!("subsumed non-gep");
+                };
+                let sb = self.operand_slot(base, temps)?;
+                let dst = self.ensure_slot(vid)?;
+                match index {
+                    None => self.emit(width_ops.disp, dst, sb, 0, offset as u64),
+                    Some((iop, scale)) => {
+                        if let Some(c) = iop.as_const() {
+                            let disp = offset + c.as_i64() * scale;
+                            self.emit(width_ops.disp, dst, sb, 0, disp as u64);
+                        } else {
+                            let si = self.operand_slot(iop, temps)?;
+                            self.emit(
+                                width_ops.idx,
+                                dst,
+                                sb,
+                                si,
+                                BcInstr::pack_idx(scale as i32, offset as i32),
+                            );
+                            self.dec_operand(iop, pos);
+                        }
+                    }
+                }
+                self.dec_operand(base, pos);
+                // The gep value's single use is this load.
+                self.uses_left[gv.index()] = 0;
+                self.maybe_free_dead(vid, pos);
+                return Ok(());
+            }
+        }
+        let sp = self.operand_slot(ptr, temps)?;
+        let dst = self.ensure_slot(vid)?;
+        self.emit(width_ops.plain, dst, sp, 0, 0);
+        self.dec_operand(ptr, pos);
+        self.maybe_free_dead(vid, pos);
+        Ok(())
+    }
+
+    fn emit_store(
+        &mut self,
+        ty: Type,
+        ptr: Operand,
+        val: Operand,
+        temps: &mut Vec<u16>,
+        pos: u32,
+    ) -> Result<(), TranslateError> {
+        let width_ops = store_ops(ty);
+        let sv = self.operand_slot(val, temps)?;
+        if let Some(gv) = ptr.as_value() {
+            if self.subsumed[gv.index()] {
+                let Some(Instr::Gep { base, offset, index }) = self.f.instr(gv).cloned() else {
+                    unreachable!("subsumed non-gep");
+                };
+                let sb = self.operand_slot(base, temps)?;
+                match index {
+                    None => self.emit(width_ops.disp, sb, sv, 0, offset as u64),
+                    Some((iop, scale)) => {
+                        if let Some(c) = iop.as_const() {
+                            let disp = offset + c.as_i64() * scale;
+                            self.emit(width_ops.disp, sb, sv, 0, disp as u64);
+                        } else {
+                            let si = self.operand_slot(iop, temps)?;
+                            self.emit(
+                                width_ops.idx,
+                                sb,
+                                sv,
+                                si,
+                                BcInstr::pack_idx(scale as i32, offset as i32),
+                            );
+                            self.dec_operand(iop, pos);
+                        }
+                    }
+                }
+                self.dec_operand(base, pos);
+                self.uses_left[gv.index()] = 0;
+                self.dec_operand(val, pos);
+                return Ok(());
+            }
+        }
+        let sp = self.operand_slot(ptr, temps)?;
+        self.emit(width_ops.plain, sp, sv, 0, 0);
+        self.dec_operand(ptr, pos);
+        self.dec_operand(val, pos);
+        Ok(())
+    }
+
+    // ---- terminators and φ propagation ---------------------------------
+
+    fn phi_copies_for_edge(&mut self, pred: aqe_ir::BlockId, succ: aqe_ir::BlockId, pos: u32) -> Vec<(u16, CopySrc)> {
+        let mut copies = Vec::new();
+        for &pvid in &self.f.block(succ).instrs.clone() {
+            let Some(Instr::Phi { incomings, .. }) = self.f.instr(pvid) else {
+                break;
+            };
+            for (pb, op) in incomings.clone() {
+                if pb != pred {
+                    continue;
+                }
+                let dst = self.use_slot(pvid);
+                let src = match op {
+                    Operand::Const(c) => CopySrc::Const(c.bits),
+                    Operand::Value(v) => CopySrc::Slot(self.use_slot(v)),
+                };
+                copies.push((dst, src));
+                // Bookkeeping: the argument is read here. (The φ *write* is
+                // not a use; the φ slot is released when its interval ends.)
+                if let Operand::Value(v) = op {
+                    self.dec_use(v, pos);
+                }
+            }
+        }
+        copies
+    }
+
+    /// Emit a parallel-copy group: ordinary copies first in dependency
+    /// order, cycles broken through the scratch slot, constants last.
+    fn emit_copies(code: &mut Vec<BcInstr>, copies: &[(u16, CopySrc)]) {
+        let mut pending: Vec<(u16, u16)> = Vec::new();
+        let mut consts: Vec<(u16, u64)> = Vec::new();
+        for &(dst, src) in copies {
+            match src {
+                CopySrc::Const(c) => consts.push((dst, c)),
+                CopySrc::Slot(s) => {
+                    if s != dst {
+                        pending.push((dst, s));
+                    }
+                }
+            }
+        }
+        while !pending.is_empty() {
+            let free_idx = pending
+                .iter()
+                .position(|&(dst, _)| pending.iter().all(|&(_, src)| src != dst));
+            match free_idx {
+                Some(i) => {
+                    let (dst, src) = pending.swap_remove(i);
+                    code.push(BcInstr::new(Op::Mov64, dst, src, 0, 0));
+                }
+                None => {
+                    // Cycle: save one destination's current value in scratch
+                    // and retarget its readers.
+                    let (_, victim_src) = pending[0];
+                    code.push(BcInstr::new(Op::Mov64, SLOT_SCRATCH, victim_src, 0, 0));
+                    for p in pending.iter_mut() {
+                        if p.1 == victim_src {
+                            p.1 = SLOT_SCRATCH;
+                        }
+                    }
+                }
+            }
+        }
+        for (dst, c) in consts {
+            code.push(BcInstr::new(Op::Const64, dst, 0, 0, c));
+        }
+    }
+
+    fn translate_terminator(
+        &mut self,
+        bid: aqe_ir::BlockId,
+        pos: u32,
+        fused_ovf_condbr: bool,
+    ) -> Result<(), TranslateError> {
+        let term = self.f.block(bid).term.clone();
+        match term {
+            Terminator::Br { target } => {
+                let copies = self.phi_copies_for_edge(bid, target, pos);
+                Self::emit_copies(&mut self.code, &copies);
+                let tpos = self.an.rpo.position(target);
+                if tpos != pos + 1 {
+                    let pc = self.code.len();
+                    self.emit(Op::Br, 0, 0, 0, 0);
+                    self.fixups.push(Fixup { pc, then_t: Target::Block(tpos), else_t: None });
+                }
+            }
+            Terminator::CondBr { cond, then_bb, else_bb } => {
+                if fused_ovf_condbr {
+                    // The overflow-check CondBr was folded into the trapping
+                    // macro op; fall through to the non-trap arm.
+                    let cont = if self.is_overflow_trap_block(then_bb) { else_bb } else { then_bb };
+                    let copies = self.phi_copies_for_edge(bid, cont, pos);
+                    Self::emit_copies(&mut self.code, &copies);
+                    let tpos = self.an.rpo.position(cont);
+                    if tpos != pos + 1 {
+                        let pc = self.code.len();
+                        self.emit(Op::Br, 0, 0, 0, 0);
+                        self.fixups.push(Fixup { pc, then_t: Target::Block(tpos), else_t: None });
+                    }
+                    return Ok(());
+                }
+                if let Some(c) = cond.as_const() {
+                    // Constant condition folds to an unconditional jump.
+                    let target = if c.bits != 0 { then_bb } else { else_bb };
+                    let copies = self.phi_copies_for_edge(bid, target, pos);
+                    Self::emit_copies(&mut self.code, &copies);
+                    let tpos = self.an.rpo.position(target);
+                    if tpos != pos + 1 {
+                        let pc = self.code.len();
+                        self.emit(Op::Br, 0, 0, 0, 0);
+                        self.fixups.push(Fixup { pc, then_t: Target::Block(tpos), else_t: None });
+                    }
+                    return Ok(());
+                }
+                let sc = self.use_slot(cond.as_value().unwrap());
+                self.dec_operand(cond, pos);
+                let then_t = self.edge_target(bid, then_bb, pos)?;
+                let else_t = self.edge_target(bid, else_bb, pos)?;
+                let pc = self.code.len();
+                self.emit(Op::CondBr, 0, sc, 0, 0);
+                self.fixups.push(Fixup { pc, then_t, else_t: Some(else_t) });
+            }
+            Terminator::Ret { value } => match value {
+                None => self.emit(Op::Ret, 0, 0, 0, 0),
+                Some(op) => {
+                    let mut temps = Vec::new();
+                    let s = self.operand_slot(op, &mut temps)?;
+                    self.emit(Op::RetVal, s, 0, 0, 0);
+                    self.dec_operand(op, pos);
+                    for t in temps {
+                        self.alloc.free(t);
+                    }
+                }
+            },
+            Terminator::Trap { kind } => {
+                let code = match kind {
+                    TrapKind::Overflow => TRAP_OVERFLOW,
+                    TrapKind::DivByZero => TRAP_DIV_ZERO,
+                    TrapKind::User(c) => TRAP_USER_BASE | c as u64,
+                };
+                self.emit(Op::TrapOp, 0, 0, 0, code);
+            }
+            Terminator::None => {
+                return Err(TranslateError::Unsupported("unterminated block".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve a conditional edge: direct block target, or a trampoline when
+    /// the edge carries φ copies.
+    fn edge_target(
+        &mut self,
+        pred: aqe_ir::BlockId,
+        succ: aqe_ir::BlockId,
+        pos: u32,
+    ) -> Result<Target, TranslateError> {
+        let copies = self.phi_copies_for_edge(pred, succ, pos);
+        let tpos = self.an.rpo.position(succ);
+        if copies.is_empty() {
+            Ok(Target::Block(tpos))
+        } else {
+            let id = self.trampolines.len() as u32;
+            self.trampolines.push(Trampoline { copies, target_pos: tpos, pc: 0 });
+            Ok(Target::Tramp(id))
+        }
+    }
+
+    fn emit_trampolines(&mut self) {
+        for t in 0..self.trampolines.len() {
+            self.trampolines[t].pc = self.code.len() as u32;
+            let copies = std::mem::take(&mut self.trampolines[t].copies);
+            Self::emit_copies(&mut self.code, &copies);
+            let pc = self.code.len();
+            self.emit(Op::Br, 0, 0, 0, 0);
+            let target_pos = self.trampolines[t].target_pos;
+            self.fixups.push(Fixup { pc, then_t: Target::Block(target_pos), else_t: None });
+        }
+    }
+
+    fn patch_fixups(&mut self) {
+        let resolve = |t: &Target, block_pc: &[u32], tramps: &[Trampoline]| -> u32 {
+            match t {
+                Target::Block(pos) => block_pc[*pos as usize],
+                Target::Tramp(i) => tramps[*i as usize].pc,
+            }
+        };
+        for fx in &self.fixups {
+            let then_pc = resolve(&fx.then_t, &self.block_pc, &self.trampolines);
+            match &fx.else_t {
+                None => self.code[fx.pc].lit = then_pc as u64,
+                Some(e) => {
+                    let else_pc = resolve(e, &self.block_pc, &self.trampolines);
+                    self.code[fx.pc].lit = BcInstr::pack_branch(then_pc, else_pc);
+                }
+            }
+        }
+    }
+}
+
+// ---- opcode selection tables ------------------------------------------------
+
+struct MemOps {
+    plain: Op,
+    disp: Op,
+    idx: Op,
+}
+
+fn load_ops(ty: Type) -> MemOps {
+    match ty.mem_size() {
+        1 => MemOps { plain: Op::Load8, disp: Op::Load8Disp, idx: Op::Load8Idx },
+        2 => MemOps { plain: Op::Load16, disp: Op::Load16Disp, idx: Op::Load16Idx },
+        4 => MemOps { plain: Op::Load32, disp: Op::Load32Disp, idx: Op::Load32Idx },
+        _ => MemOps { plain: Op::Load64, disp: Op::Load64Disp, idx: Op::Load64Idx },
+    }
+}
+
+fn store_ops(ty: Type) -> MemOps {
+    match ty.mem_size() {
+        1 => MemOps { plain: Op::Store8, disp: Op::Store8Disp, idx: Op::Store8Idx },
+        2 => MemOps { plain: Op::Store16, disp: Op::Store16Disp, idx: Op::Store16Idx },
+        4 => MemOps { plain: Op::Store32, disp: Op::Store32Disp, idx: Op::Store32Idx },
+        _ => MemOps { plain: Op::Store64, disp: Op::Store64Disp, idx: Op::Store64Idx },
+    }
+}
+
+/// Integer/boolean types map onto the width-typed opcode families; `i1`
+/// shares the `i8` family (values are canonical 0/1) and `ptr` the `i64`
+/// family.
+fn reg_bin_op(op: BinOp, ty: Type) -> Option<Op> {
+    use BinOp::*;
+    use Op::*;
+    let t = match ty {
+        Type::I1 | Type::I8 => 0,
+        Type::I16 => 1,
+        Type::I32 => 2,
+        Type::I64 | Type::Ptr => 3,
+        Type::F64 => 4,
+        _ => return None,
+    };
+    let table4 = |ops: [Op; 4]| if t < 4 { Some(ops[t]) } else { None };
+    match op {
+        Add => [AddI8, AddI16, AddI32, AddI64, AddF64].get(t).copied(),
+        Sub => [SubI8, SubI16, SubI32, SubI64, SubF64].get(t).copied(),
+        Mul => [MulI8, MulI16, MulI32, MulI64, MulF64].get(t).copied(),
+        SDiv => table4([SDivI8, SDivI16, SDivI32, SDivI64]),
+        UDiv => table4([UDivI8, UDivI16, UDivI32, UDivI64]),
+        SRem => table4([SRemI8, SRemI16, SRemI32, SRemI64]),
+        URem => table4([URemI8, URemI16, URemI32, URemI64]),
+        FDiv => (t == 4).then_some(FDivF64),
+        And => table4([AndI8, AndI16, AndI32, AndI64]),
+        Or => table4([OrI8, OrI16, OrI32, OrI64]),
+        Xor => table4([XorI8, XorI16, XorI32, XorI64]),
+        Shl => table4([ShlI8, ShlI16, ShlI32, ShlI64]),
+        AShr => table4([AShrI8, AShrI16, AShrI32, AShrI64]),
+        LShr => table4([LShrI8, LShrI16, LShrI32, LShrI64]),
+    }
+}
+
+fn imm_bin_op(op: BinOp, ty: Type) -> Option<Op> {
+    use BinOp::*;
+    use Op::*;
+    match (op, ty) {
+        (Add, Type::I32) => Some(AddImmI32),
+        (Add, Type::I64) | (Add, Type::Ptr) => Some(AddImmI64),
+        (Add, Type::F64) => Some(AddImmF64),
+        (Sub, Type::I32) => Some(SubImmI32),
+        (Sub, Type::I64) => Some(SubImmI64),
+        (Mul, Type::I32) => Some(MulImmI32),
+        (Mul, Type::I64) => Some(MulImmI64),
+        (Mul, Type::F64) => Some(MulImmF64),
+        (And, Type::I32) => Some(AndImmI32),
+        (And, Type::I64) => Some(AndImmI64),
+        (Or, Type::I32) => Some(OrImmI32),
+        (Or, Type::I64) => Some(OrImmI64),
+        (Xor, Type::I32) => Some(XorImmI32),
+        (Xor, Type::I64) => Some(XorImmI64),
+        (Shl, Type::I32) => Some(ShlImmI32),
+        (Shl, Type::I64) => Some(ShlImmI64),
+        (AShr, Type::I32) => Some(AShrImmI32),
+        (AShr, Type::I64) => Some(AShrImmI64),
+        (LShr, Type::I32) => Some(LShrImmI32),
+        (LShr, Type::I64) => Some(LShrImmI64),
+        _ => None,
+    }
+}
+
+fn reg_cmp_op(pred: CmpPred, ty: Type) -> Option<Op> {
+    use CmpPred::*;
+    use Op::*;
+    if ty == Type::F64 {
+        return Some(match pred {
+            Eq => CmpEqF64,
+            Ne => CmpNeF64,
+            SLt => CmpLtF64,
+            SLe => CmpLeF64,
+            SGt => CmpGtF64,
+            SGe => CmpGeF64,
+            _ => return None,
+        });
+    }
+    let t = match ty {
+        Type::I1 | Type::I8 => 0,
+        Type::I16 => 1,
+        Type::I32 => 2,
+        Type::I64 | Type::Ptr => 3,
+        _ => return None,
+    };
+    let tbl = match pred {
+        Eq => [CmpEqI8, CmpEqI16, CmpEqI32, CmpEqI64],
+        Ne => [CmpNeI8, CmpNeI16, CmpNeI32, CmpNeI64],
+        SLt => [CmpSltI8, CmpSltI16, CmpSltI32, CmpSltI64],
+        SLe => [CmpSleI8, CmpSleI16, CmpSleI32, CmpSleI64],
+        SGt => [CmpSgtI8, CmpSgtI16, CmpSgtI32, CmpSgtI64],
+        SGe => [CmpSgeI8, CmpSgeI16, CmpSgeI32, CmpSgeI64],
+        ULt => [CmpUltI8, CmpUltI16, CmpUltI32, CmpUltI64],
+        ULe => [CmpUleI8, CmpUleI16, CmpUleI32, CmpUleI64],
+        UGt => [CmpUgtI8, CmpUgtI16, CmpUgtI32, CmpUgtI64],
+        UGe => [CmpUgeI8, CmpUgeI16, CmpUgeI32, CmpUgeI64],
+    };
+    Some(tbl[t])
+}
+
+fn imm_cmp_op(pred: CmpPred, ty: Type) -> Option<Op> {
+    use CmpPred::*;
+    use Op::*;
+    let w = match ty {
+        Type::I32 => 0,
+        Type::I64 | Type::Ptr => 1,
+        _ => return None,
+    };
+    let tbl = match pred {
+        Eq => [CmpImmEqI32, CmpImmEqI64],
+        Ne => [CmpImmNeI32, CmpImmNeI64],
+        SLt => [CmpImmSltI32, CmpImmSltI64],
+        SLe => [CmpImmSleI32, CmpImmSleI64],
+        SGt => [CmpImmSgtI32, CmpImmSgtI64],
+        SGe => [CmpImmSgeI32, CmpImmSgeI64],
+        ULt => [CmpImmUltI32, CmpImmUltI64],
+        ULe => [CmpImmUleI32, CmpImmUleI64],
+        UGt => [CmpImmUgtI32, CmpImmUgtI64],
+        UGe => [CmpImmUgeI32, CmpImmUgeI64],
+    };
+    Some(tbl[w])
+}
+
+fn ext_op(kind: CastKind, from: Type, to: Type) -> Option<Op> {
+    use Op::*;
+    let sext = kind == CastKind::SExt;
+    // i1 sources are canonical 0/1 bytes: zero-extension via the i8 family.
+    let from = if from == Type::I1 { Type::I8 } else { from };
+    match (from, to, sext) {
+        (Type::I8, Type::I16, true) => Some(SExtI8I16),
+        (Type::I8, Type::I32, true) => Some(SExtI8I32),
+        (Type::I8, Type::I64, true) => Some(SExtI8I64),
+        (Type::I16, Type::I32, true) => Some(SExtI16I32),
+        (Type::I16, Type::I64, true) => Some(SExtI16I64),
+        (Type::I32, Type::I64, true) => Some(SExtI32I64),
+        (Type::I8, Type::I16, false) => Some(ZExtI8I16),
+        (Type::I8, Type::I32, false) => Some(ZExtI8I32),
+        (Type::I8, Type::I64, false) => Some(ZExtI8I64),
+        (Type::I16, Type::I32, false) => Some(ZExtI16I32),
+        (Type::I16, Type::I64, false) => Some(ZExtI16I64),
+        (Type::I32, Type::I64, false) => Some(ZExtI32I64),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqe_ir::FunctionBuilder;
+
+    fn no_externs() -> Vec<ExternDecl> {
+        vec![]
+    }
+
+    #[test]
+    fn translates_add_function() {
+        let mut b = FunctionBuilder::new("add", &[Type::I64, Type::I64], Some(Type::I64));
+        let s = b.bin(BinOp::Add, Type::I64, b.param(0).into(), b.param(1).into());
+        b.ret(Some(s.into()));
+        let f = b.finish().unwrap();
+        let bc = translate(&f, &no_externs(), TranslateOptions::default()).unwrap();
+        assert_eq!(bc.param_slots.len(), 2);
+        assert!(bc.code.iter().any(|i| i.op == Op::AddI64));
+        assert!(bc.code.iter().any(|i| i.op == Op::RetVal));
+        // "add_i32 24 16 20": params at 24/32, result reuses a freed slot.
+        assert!(bc.frame_size >= FIRST_FREE_SLOT as u32 + 16);
+    }
+
+    #[test]
+    fn immediate_forms_are_selected() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let s = b.bin(BinOp::Add, Type::I64, b.param(0).into(), Constant::i64(42).into());
+        b.ret(Some(s.into()));
+        let f = b.finish().unwrap();
+        let bc = translate(&f, &no_externs(), TranslateOptions::default()).unwrap();
+        let add = bc.code.iter().find(|i| i.op == Op::AddImmI64).expect("imm form");
+        assert_eq!(add.lit, 42);
+    }
+
+    #[test]
+    fn constant_lhs_swaps_commutative() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let s = b.bin(BinOp::Mul, Type::I64, Constant::i64(3).into(), b.param(0).into());
+        b.ret(Some(s.into()));
+        let f = b.finish().unwrap();
+        let bc = translate(&f, &no_externs(), TranslateOptions::default()).unwrap();
+        assert!(bc.code.iter().any(|i| i.op == Op::MulImmI64 && i.lit == 3));
+    }
+
+    #[test]
+    fn ovf_pattern_fuses_to_trap_op() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64, Type::I64], Some(Type::I64));
+        let s = b.checked_arith(OvfOp::Add, Type::I64, b.param(0).into(), b.param(1).into());
+        b.ret(Some(s.into()));
+        let f = b.finish().unwrap();
+        let bc = translate(&f, &no_externs(), TranslateOptions::default()).unwrap();
+        assert_eq!(bc.stats.fused_ovf, 1);
+        assert!(bc.code.iter().any(|i| i.op == Op::AddOvfTrapI64));
+        // No unfused pieces remain.
+        assert!(!bc.code.iter().any(|i| matches!(i.op, Op::AddOvfValI64 | Op::AddOvfFlagI64)));
+    }
+
+    #[test]
+    fn ovf_fusion_can_be_disabled() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64, Type::I64], Some(Type::I64));
+        let s = b.checked_arith(OvfOp::Add, Type::I64, b.param(0).into(), b.param(1).into());
+        b.ret(Some(s.into()));
+        let f = b.finish().unwrap();
+        let opts = TranslateOptions { fuse_ovf: false, ..Default::default() };
+        let bc = translate(&f, &no_externs(), opts).unwrap();
+        assert_eq!(bc.stats.fused_ovf, 0);
+        assert!(bc.code.iter().any(|i| i.op == Op::AddOvfValI64));
+        assert!(bc.code.iter().any(|i| i.op == Op::AddOvfFlagI64));
+    }
+
+    #[test]
+    fn gep_load_fuses() {
+        let mut b = FunctionBuilder::new("f", &[Type::Ptr, Type::I64], Some(Type::I64));
+        let g = b.gep_indexed(b.param(0).into(), 16, b.param(1).into(), 8);
+        let v = b.load(Type::I64, g.into());
+        b.ret(Some(v.into()));
+        let f = b.finish().unwrap();
+        let bc = translate(&f, &no_externs(), TranslateOptions::default()).unwrap();
+        assert_eq!(bc.stats.fused_gep, 1);
+        let l = bc.code.iter().find(|i| i.op == Op::Load64Idx).expect("fused load");
+        assert_eq!(BcInstr::idx_scale(l.lit), 8);
+        assert_eq!(BcInstr::idx_disp(l.lit), 16);
+    }
+
+    #[test]
+    fn gep_with_two_uses_does_not_fuse() {
+        let mut b = FunctionBuilder::new("f", &[Type::Ptr], Some(Type::I64));
+        let g = b.gep(b.param(0).into(), 8);
+        let v1 = b.load(Type::I64, g.into());
+        let v2 = b.load(Type::I64, g.into());
+        let s = b.bin(BinOp::Add, Type::I64, v1.into(), v2.into());
+        b.ret(Some(s.into()));
+        let f = b.finish().unwrap();
+        let bc = translate(&f, &no_externs(), TranslateOptions::default()).unwrap();
+        assert_eq!(bc.stats.fused_gep, 0);
+        assert!(bc.code.iter().any(|i| i.op == Op::AddImmI64)); // the gep itself
+    }
+
+    #[test]
+    fn loop_translates_with_phi_copies() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let n = b.param(0);
+        b.counted_loop(Constant::i64(0).into(), n.into(), |_, _| {});
+        b.ret(Some(Constant::i64(0).into()));
+        let f = b.finish().unwrap();
+        let bc = translate(&f, &no_externs(), TranslateOptions::default()).unwrap();
+        // φ propagation shows up as Mov64/Const64 copies and a back edge.
+        assert!(bc.code.iter().any(|i| i.op == Op::Br));
+        assert!(bc.code.iter().any(|i| i.op == Op::CondBr));
+    }
+
+    #[test]
+    fn no_reuse_strategy_grows_frame() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let mut acc: Operand = b.param(0).into();
+        for k in 0..32 {
+            acc = b.bin(BinOp::Add, Type::I64, acc, Constant::i64(k).into()).into();
+        }
+        b.ret(Some(acc));
+        let f = b.finish().unwrap();
+        let reuse =
+            translate(&f, &no_externs(), TranslateOptions::default()).unwrap().frame_size;
+        let no_reuse = translate(
+            &f,
+            &no_externs(),
+            TranslateOptions { strategy: AllocStrategy::NoReuse, ..Default::default() },
+        )
+        .unwrap()
+        .frame_size;
+        assert!(
+            no_reuse > reuse,
+            "no-reuse frame ({no_reuse}) must exceed reusing frame ({reuse})"
+        );
+    }
+
+    #[test]
+    fn call_gathers_args() {
+        let mut m = aqe_ir::Module::new();
+        let ext = m.declare_extern("rt", vec![Type::I64, Type::I64], Some(Type::I64));
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let r = b.call(ext, vec![b.param(0).into(), Constant::i64(7).into()], Some(Type::I64));
+        b.ret(Some(r.into()));
+        let f = b.finish().unwrap();
+        let bc = translate(&f, &m.externs, TranslateOptions::default()).unwrap();
+        let call = bc.code.iter().find(|i| i.op == Op::CallRt).unwrap();
+        assert_eq!(call.c, 2);
+        assert_eq!(call.lit, ext.0 as u64);
+        // Args gathered contiguously right before the call.
+        assert!(bc.code.iter().any(|i| i.op == Op::Mov64 && i.a == call.b));
+        assert!(bc.code.iter().any(|i| i.op == Op::Const64 && i.a == call.b + 8 && i.lit == 7));
+    }
+
+    #[test]
+    fn call_arity_mismatch_fails() {
+        let mut m = aqe_ir::Module::new();
+        let ext = m.declare_extern("rt", vec![Type::I64], Some(Type::I64));
+        let mut b = FunctionBuilder::new("f", &[], Some(Type::I64));
+        let r = b.call(ext, vec![], Some(Type::I64));
+        b.ret(Some(r.into()));
+        let f = b.finish_unverified();
+        let err = translate(&f, &m.externs, TranslateOptions::default()).unwrap_err();
+        assert!(matches!(err, TranslateError::BadCall(_)));
+    }
+}

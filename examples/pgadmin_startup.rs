@@ -1,0 +1,47 @@
+//! The paper's motivating workload (§I): a pgAdmin-style startup batch of
+//! complex queries over tiny catalog tables. With up-front optimized
+//! compilation, "98% of the time will be wasted on compilation"; adaptive
+//! execution never compiles these queries and stays interactive.
+//!
+//! ```text
+//! cargo run --release --example pgadmin_startup
+//! ```
+
+use aqe::engine::exec::{execute_plan, ExecMode, ExecOptions};
+use aqe::engine::plan::decompose;
+use aqe::queries::meta;
+use aqe::storage::meta as meta_tables;
+use std::time::Instant;
+
+fn main() {
+    let catalog = meta_tables::generate(400);
+    let batch = meta::startup_batch();
+    println!("pgAdmin-style startup batch: {} catalog queries\n", batch.len());
+    println!("{:<12} {:>12} {:>16}", "mode", "total[ms]", "compiles");
+
+    for (mode, label) in [
+        (ExecMode::Optimized, "optimized"),
+        (ExecMode::Unoptimized, "unoptimized"),
+        (ExecMode::Bytecode, "bytecode"),
+        (ExecMode::Adaptive, "adaptive"),
+    ] {
+        let t0 = Instant::now();
+        let mut compiles = 0usize;
+        for q in &batch {
+            let phys = decompose(&catalog, &q.root, q.dicts.clone());
+            let opts = ExecOptions { mode, threads: 1, ..Default::default() };
+            let (_, report) = execute_plan(&phys, &catalog, &opts).expect("query ok");
+            compiles += report.background_compiles
+                + if matches!(mode, ExecMode::Optimized | ExecMode::Unoptimized) {
+                    report.pipeline_labels.len()
+                } else {
+                    0
+                };
+        }
+        println!("{:<12} {:>12.2} {:>16}", label, t0.elapsed().as_secs_f64() * 1e3, compiles);
+    }
+    println!(
+        "\nAdaptive execution matches pure interpretation here: none of these \
+         queries ever justifies compilation (paper §V-A, SF ≤ 0.1)."
+    );
+}

@@ -1,0 +1,54 @@
+//! Quickstart: run a SQL query through the adaptive engine.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use aqe::engine::exec::{execute_plan, ExecMode, ExecOptions};
+use aqe::engine::plan::decompose;
+use aqe::sql::plan_sql;
+use aqe::storage::tpch;
+
+fn main() {
+    // 1. Generate (or load) data.
+    println!("generating TPC-H scale factor 0.01…");
+    let catalog = tpch::generate(0.01);
+
+    // 2. Plan a SQL query.
+    let sql = "SELECT l_returnflag, count(*) AS n, sum(l_extendedprice) AS revenue \
+               FROM lineitem WHERE l_shipdate <= date '1998-09-02' \
+               GROUP BY l_returnflag ORDER BY revenue DESC";
+    let bound = plan_sql(&catalog, sql).expect("valid SQL");
+    let phys = decompose(&catalog, &bound.root, bound.dicts);
+
+    // 3. Execute adaptively: starts in the bytecode interpreter and
+    //    compiles hot pipelines in the background (paper §III).
+    let opts = ExecOptions { mode: ExecMode::Adaptive, threads: 2, ..Default::default() };
+    let (result, report) = execute_plan(&phys, &catalog, &opts).expect("query ok");
+
+    // 4. Render.
+    println!("{:?}", bound.output_names);
+    let width = result.tys.len();
+    let rf_dict = catalog
+        .get("lineitem")
+        .unwrap()
+        .column_by_name("l_returnflag")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .dict
+        .clone();
+    for row in result.rows.chunks_exact(width) {
+        let flag = &rf_dict[row[0] as usize];
+        println!(
+            "{flag}  n={}  revenue={}.{:02}",
+            row[1] as i64,
+            row[2] as i64 / 100,
+            (row[2] as i64 % 100).abs()
+        );
+    }
+    println!(
+        "\ncodegen {:?}, bytecode translation {:?}, execution {:?}, background compiles: {}",
+        report.codegen, report.bc_translate, report.exec, report.background_compiles
+    );
+}

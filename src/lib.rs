@@ -1,0 +1,26 @@
+//! # aqe — Adaptive Execution of Compiled Queries
+//!
+//! Facade crate re-exporting the full reproduction of Kohn, Leis & Neumann,
+//! *Adaptive Execution of Compiled Queries* (ICDE 2018). See the individual
+//! crates for the subsystems:
+//!
+//! * [`ir`] — SSA intermediate representation ("LLVM IR" substrate)
+//! * [`vm`] — bytecode virtual machine with linear-time translation (§IV)
+//! * [`jit`] — "machine code" backends (unoptimized / optimized) (§II–III)
+//! * [`storage`] — columnar storage, TPC-H / TPC-DS-lite data generators
+//! * [`engine`] — the adaptive execution framework itself (§III)
+//! * [`sql`] — SQL frontend (parser, binder, optimizer)
+//! * [`baselines`] — Volcano-style and vectorized comparison engines
+//! * [`queries`] — the evaluation query corpus
+//!
+//! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for the
+//! system inventory and the per-figure reproduction index.
+
+pub use aqe_baselines as baselines;
+pub use aqe_engine as engine;
+pub use aqe_ir as ir;
+pub use aqe_jit as jit;
+pub use aqe_queries as queries;
+pub use aqe_sql as sql;
+pub use aqe_storage as storage;
+pub use aqe_vm as vm;

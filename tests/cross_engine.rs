@@ -1,0 +1,118 @@
+//! Workspace-level integration tests: the whole TPC-H corpus must produce
+//! identical results across the compiling engine's five execution modes and
+//! both baseline engines, single- and multi-threaded.
+
+use aqe::baselines::{execute_vectorized, execute_volcano};
+use aqe::engine::exec::{execute_plan, ExecMode, ExecOptions};
+use aqe::engine::plan::decompose;
+use aqe::queries::{synthetic, tpcds, tpch};
+use aqe::storage::{tpcds as ds_data, tpch as tpch_data};
+
+fn normalized(rows: &[u64], width: usize, sorted: bool) -> Vec<Vec<u64>> {
+    if width == 0 {
+        return vec![];
+    }
+    let mut out: Vec<Vec<u64>> = rows.chunks_exact(width).map(|r| r.to_vec()).collect();
+    if !sorted {
+        out.sort();
+    }
+    out
+}
+
+#[test]
+fn tpch_corpus_agrees_across_all_engines_and_modes() {
+    let cat = tpch_data::generate(0.01);
+    for q in tpch::all(&cat) {
+        let phys = decompose(&cat, &q.root, q.dicts.clone());
+        let width = phys.output_tys.len();
+        let sorted = phys.sorted_output;
+
+        let volcano = normalized(
+            &execute_volcano(&cat, &q.root, &phys).unwrap_or_else(|e| panic!("{}: {e}", q.name)),
+            width,
+            sorted,
+        );
+        let vector = normalized(
+            &execute_vectorized(&cat, &q.root, &phys).unwrap(),
+            width,
+            sorted,
+        );
+        assert_eq!(volcano, vector, "{}: baselines disagree", q.name);
+
+        for mode in [
+            ExecMode::Bytecode,
+            ExecMode::Unoptimized,
+            ExecMode::Optimized,
+            ExecMode::Adaptive,
+        ] {
+            for threads in [1, 4] {
+                let opts = ExecOptions { mode, threads, ..Default::default() };
+                let (res, _) = execute_plan(&phys, &cat, &opts)
+                    .unwrap_or_else(|e| panic!("{} {mode:?}: {e}", q.name));
+                let got = normalized(&res.rows, width, sorted);
+                assert_eq!(
+                    got, volcano,
+                    "{} {mode:?} x{threads} disagrees with baselines",
+                    q.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tpcds_corpus_agrees() {
+    let cat = ds_data::generate(0.01);
+    for q in tpcds::all(&cat) {
+        let phys = decompose(&cat, &q.root, q.dicts.clone());
+        let width = phys.output_tys.len();
+        let volcano =
+            normalized(&execute_volcano(&cat, &q.root, &phys).unwrap(), width, phys.sorted_output);
+        for mode in [ExecMode::Bytecode, ExecMode::Optimized, ExecMode::Adaptive] {
+            let opts = ExecOptions { mode, threads: 2, ..Default::default() };
+            let (res, _) = execute_plan(&phys, &cat, &opts).unwrap();
+            assert_eq!(
+                normalized(&res.rows, width, phys.sorted_output),
+                volcano,
+                "{} {mode:?}",
+                q.name
+            );
+        }
+    }
+}
+
+#[test]
+fn wide_aggregate_queries_agree_at_scale() {
+    let cat = tpch_data::generate(0.002);
+    for n in [10, 150] {
+        let q = synthetic::wide_agg(n);
+        let phys = decompose(&cat, &q.root, vec![]);
+        let mut results = Vec::new();
+        for mode in [ExecMode::Bytecode, ExecMode::Unoptimized, ExecMode::Optimized] {
+            let opts = ExecOptions { mode, threads: 2, ..Default::default() };
+            let (res, _) = execute_plan(&phys, &cat, &opts).unwrap();
+            results.push(res.rows);
+        }
+        assert_eq!(results[0], results[1], "wide_agg_{n}");
+        assert_eq!(results[0], results[2], "wide_agg_{n}");
+    }
+}
+
+#[test]
+fn sql_frontend_to_adaptive_execution_end_to_end() {
+    let cat = tpch_data::generate(0.005);
+    let bound = aqe::sql::plan_sql(
+        &cat,
+        "SELECT n_name, count(*) AS cnt FROM supplier \
+         JOIN nation ON s_nationkey = n_nationkey \
+         GROUP BY n_name ORDER BY cnt DESC, n_name LIMIT 3",
+    )
+    .unwrap();
+    let phys = decompose(&cat, &bound.root, bound.dicts);
+    let opts = ExecOptions { mode: ExecMode::Adaptive, threads: 2, ..Default::default() };
+    let (res, _) = execute_plan(&phys, &cat, &opts).unwrap();
+    assert_eq!(res.row_count(), 3);
+    // Also through Volcano for agreement.
+    let v = execute_volcano(&cat, &bound.root, &phys).unwrap();
+    assert_eq!(res.rows, v);
+}
