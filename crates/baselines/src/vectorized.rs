@@ -6,9 +6,7 @@
 //! immediately applied, joins and aggregations loop over materialised
 //! inputs.
 
-use aqe_engine::plan::{
-    AggFunc, ArithOp, CmpOp, JoinKind, PExpr, PhysicalPlan, PlanNode,
-};
+use aqe_engine::plan::{AggFunc, ArithOp, CmpOp, JoinKind, PExpr, PhysicalPlan, PlanNode};
 use aqe_engine::runtime::sort_rows;
 use aqe_storage::Catalog;
 use aqe_vm::interp::ExecError;
@@ -146,27 +144,17 @@ fn eval_vec(e: &PExpr, input: &Chunk, plan: &PhysicalPlan) -> Result<Vec<u64>, E
 }
 
 fn apply_selection(input: Chunk, sel: &[u32]) -> Chunk {
-    let cols = input
-        .cols
-        .iter()
-        .map(|c| sel.iter().map(|&i| c[i as usize]).collect())
-        .collect();
+    let cols = input.cols.iter().map(|c| sel.iter().map(|&i| c[i as usize]).collect()).collect();
     Chunk { cols, len: sel.len() }
 }
 
-fn execute_node(
-    node: &PlanNode,
-    cat: &Catalog,
-    plan: &PhysicalPlan,
-) -> Result<Chunk, ExecError> {
+fn execute_node(node: &PlanNode, cat: &Catalog, plan: &PhysicalPlan) -> Result<Chunk, ExecError> {
     match node {
         PlanNode::Scan { table, cols, filter } => {
             let t = cat.get(table).expect("unknown table");
             let n = t.row_count();
-            let materialised: Vec<Vec<u64>> = cols
-                .iter()
-                .map(|&c| (0..n).map(|r| t.column(c).get_u64(r)).collect())
-                .collect();
+            let materialised: Vec<Vec<u64>> =
+                cols.iter().map(|&c| (0..n).map(|r| t.column(c).get_u64(r)).collect()).collect();
             let chunk = Chunk { cols: materialised, len: n };
             match filter {
                 None => Ok(chunk),
@@ -199,8 +187,8 @@ fn execute_node(
                 let key: Vec<u64> = build_keys.iter().map(|&k| b.cols[k][r]).collect();
                 table.entry(key).or_default().push(r);
             }
-            let out_width = p.cols.len()
-                + if *kind == JoinKind::Inner { build_payload.len() } else { 0 };
+            let out_width =
+                p.cols.len() + if *kind == JoinKind::Inner { build_payload.len() } else { 0 };
             let mut out: Vec<Vec<u64>> = vec![Vec::new(); out_width];
             for r in 0..p.len {
                 let key: Vec<u64> = probe_keys.iter().map(|&k| p.cols[k][r]).collect();
@@ -268,7 +256,7 @@ fn execute_node(
                 flat.extend(chunk.row(r));
             }
             sort_rows(&mut flat, width, keys, *limit);
-            let len = if width == 0 { 0 } else { flat.len() / width };
+            let len = flat.len().checked_div(width).unwrap_or(0);
             let mut cols: Vec<Vec<u64>> = vec![Vec::with_capacity(len); width];
             for row in flat.chunks_exact(width.max(1)) {
                 for (c, &v) in row.iter().enumerate() {
@@ -358,12 +346,7 @@ mod tests {
                     build: Box::new(PlanNode::Scan {
                         table: "nation".into(),
                         cols: vec![0, 2],
-                        filter: Some(PExpr::cmp(
-                            CmpOp::Lt,
-                            false,
-                            PExpr::Col(1),
-                            PExpr::ConstI(3),
-                        )),
+                        filter: Some(PExpr::cmp(CmpOp::Lt, false, PExpr::Col(1), PExpr::ConstI(3))),
                     }),
                     probe: Box::new(PlanNode::Scan {
                         table: "supplier".into(),

@@ -148,9 +148,9 @@ impl Operator for HashAggOp {
             }
             while let Some(t) = input.next()? {
                 let key: Vec<u64> = self.group_by.iter().map(|&k| t[k]).collect();
-                let accs = groups.entry(key).or_insert_with(|| {
-                    self.aggs.iter().map(|a| a.func.init_bits()).collect()
-                });
+                let accs = groups
+                    .entry(key)
+                    .or_insert_with(|| self.aggs.iter().map(|a| a.func.init_bits()).collect());
                 for (i, a) in self.aggs.iter().enumerate() {
                     let arg = match &a.arg {
                         Some(e) => eval(e, &t, &self.plan)?,
@@ -213,11 +213,7 @@ impl Operator for SortOp {
     }
 }
 
-fn build_op(
-    node: &PlanNode,
-    cat: &Catalog,
-    plan: &Arc<PhysicalPlan>,
-) -> Box<dyn Operator> {
+fn build_op(node: &PlanNode, cat: &Catalog, plan: &Arc<PhysicalPlan>) -> Box<dyn Operator> {
     match node {
         PlanNode::Scan { table, cols, filter } => Box::new(ScanOp {
             table: cat.get(table).expect("unknown table").clone(),
@@ -308,10 +304,8 @@ mod tests {
         let got = execute_volcano(&cat, &plan, &phys).unwrap();
 
         let li = cat.get("lineitem").unwrap();
-        let (q, d) = (
-            li.column_by_name("l_quantity").unwrap(),
-            li.column_by_name("l_discount").unwrap(),
-        );
+        let (q, d) =
+            (li.column_by_name("l_quantity").unwrap(), li.column_by_name("l_discount").unwrap());
         let mut expect = 0i64;
         for r in 0..li.row_count() {
             let (qv, dv) = (q.get_u64(r) as i64, d.get_u64(r) as i64);

@@ -55,7 +55,9 @@ fn bench_dispatch(c: &mut Criterion) {
         b.iter(|| aqe_vm::interp::execute(&bc, black_box(&[n]), &rt, &mut frame).unwrap())
     });
     g.bench_function("unoptimized", |b| {
-        b.iter(|| aqe_jit::exec::execute_compiled(&unopt, black_box(&[n]), &rt, &mut frame).unwrap())
+        b.iter(|| {
+            aqe_jit::exec::execute_compiled(&unopt, black_box(&[n]), &rt, &mut frame).unwrap()
+        })
     });
     g.bench_function("optimized", |b| {
         b.iter(|| aqe_jit::exec::execute_compiled(&opt, black_box(&[n]), &rt, &mut frame).unwrap())

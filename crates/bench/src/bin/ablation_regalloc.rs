@@ -15,13 +15,10 @@ fn main() {
         let phys = aqe_engine::plan::decompose(&cat, &q.root, q.dicts.clone());
         let module = aqe_engine::codegen::generate(&phys, &cat);
         let mut sizes = [0u32; 3];
-        for (i, strat) in [
-            AllocStrategy::NoReuse,
-            AllocStrategy::FixedWindow(8),
-            AllocStrategy::PaperLinear,
-        ]
-        .iter()
-        .enumerate()
+        for (i, strat) in
+            [AllocStrategy::NoReuse, AllocStrategy::FixedWindow(8), AllocStrategy::PaperLinear]
+                .iter()
+                .enumerate()
         {
             for f in &module.functions {
                 let bc = translate(
@@ -37,7 +34,10 @@ fn main() {
     }
 
     println!("\n# §IV-F — macro-op fusion (largest worker, instruction counts)");
-    println!("{:<16} {:>10} {:>10} {:>10} {:>10}", "query", "fused", "unfused", "ovf-fused", "gep-fused");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10}",
+        "query", "fused", "unfused", "ovf-fused", "gep-fused"
+    );
     for q in &queries {
         let phys = aqe_engine::plan::decompose(&cat, &q.root, q.dicts.clone());
         let module = aqe_engine::codegen::generate(&phys, &cat);

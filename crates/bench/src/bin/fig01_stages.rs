@@ -34,9 +34,8 @@ fn main() {
     let t = Instant::now();
     let mut bc_len = 0usize;
     for f in &module.functions {
-        bc_len += aqe_vm::translate::translate(f, &module.externs, Default::default())
-            .unwrap()
-            .len();
+        bc_len +=
+            aqe_vm::translate::translate(f, &module.externs, Default::default()).unwrap().len();
     }
     let bc_t = t.elapsed();
     let t = Instant::now();
@@ -51,7 +50,11 @@ fn main() {
     let opt_compile_t = t.elapsed();
 
     println!("# Fig. 1 / Fig. 3 — stage times (TPC-H Q1-style, SF {sf})");
-    println!("# IR instructions: {}, bytecode instructions: {}", module.instruction_count(), bc_len);
+    println!(
+        "# IR instructions: {}, bytecode instructions: {}",
+        module.instruction_count(),
+        bc_len
+    );
     println!("{:<28} {:>10}", "stage", "ms");
     for (name, d) in [
         ("parser", parse_t),

@@ -29,11 +29,6 @@ fn main() {
     ] {
         let (_, report, _) = run_mode(&cat, &phys, mode, 1, false);
         let compile = ms(report.bc_translate + report.upfront_compile);
-        println!(
-            "{:<14} {:>12} {:>12}",
-            label,
-            fmt_ms(compile),
-            fmt_ms(ms(report.exec))
-        );
+        println!("{:<14} {:>12} {:>12}", label, fmt_ms(compile), fmt_ms(ms(report.exec)));
     }
 }

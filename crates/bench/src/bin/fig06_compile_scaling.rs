@@ -9,7 +9,10 @@ fn main() {
     let tpch = aqe_storage::tpch::generate(0.01);
     let tpcds = aqe_storage::tpcds::generate(0.01);
     println!("# Fig. 6 — instructions vs compile time");
-    println!("{:<14} {:>8} {:>12} {:>12} {:>12}", "query", "instrs", "bc[ms]", "unopt[ms]", "opt[ms]");
+    println!(
+        "{:<14} {:>8} {:>12} {:>12} {:>12}",
+        "query", "instrs", "bc[ms]", "unopt[ms]", "opt[ms]"
+    );
     let run = |name: &str, cat: &aqe_storage::Catalog, q: &aqe_queries::Query| {
         let phys = aqe_engine::plan::decompose(cat, &q.root, q.dicts.clone());
         let module = aqe_engine::codegen::generate(&phys, cat);

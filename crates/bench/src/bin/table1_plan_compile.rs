@@ -52,5 +52,7 @@ fn main() {
         "{:<6} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
         "max", maxima[0], maxima[1], maxima[2], maxima[3], maxima[4]
     );
-    println!("# baselines (Volcano/vectorized) execute the same plans: their 'plan' column equals ours");
+    println!(
+        "# baselines (Volcano/vectorized) execute the same plans: their 'plan' column equals ours"
+    );
 }

@@ -83,8 +83,18 @@ pub fn fmt_ms(v: f64) -> String {
     }
 }
 
-/// All mode labels used in reports.
+/// Mode labels used in the standard reports (the four modes of Fig. 3).
 pub const MODES: [(ExecMode, &str); 4] = [
+    (ExecMode::Bytecode, "bytecode"),
+    (ExecMode::Unoptimized, "unoptimized"),
+    (ExecMode::Optimized, "optimized"),
+    (ExecMode::Adaptive, "adaptive"),
+];
+
+/// Every backend the engine can publish into a pipeline's hot-swap handle,
+/// including the slow naive-IR baseline (Fig. 2's full latency spectrum).
+pub const ALL_MODES: [(ExecMode, &str); 5] = [
+    (ExecMode::NaiveIr, "naive-ir"),
     (ExecMode::Bytecode, "bytecode"),
     (ExecMode::Unoptimized, "unoptimized"),
     (ExecMode::Optimized, "optimized"),
@@ -110,12 +120,19 @@ mod tests {
     }
 
     #[test]
-    fn run_mode_smoke() {
+    fn run_mode_smoke_all_backends() {
         let cat = aqe_storage::tpch::generate(0.001);
         let q = aqe_queries::tpch::q6(&cat);
         let phys = physical(&cat, &q);
-        let (d, _, rows) = run_mode(&cat, &phys, ExecMode::Bytecode, 1, false);
-        assert!(d.as_nanos() > 0);
-        assert_eq!(rows.row_count(), 1);
+        let mut reference: Option<Vec<u64>> = None;
+        for (mode, label) in ALL_MODES {
+            let (d, _, rows) = run_mode(&cat, &phys, mode, 1, false);
+            assert!(d.as_nanos() > 0);
+            assert_eq!(rows.row_count(), 1, "{label}");
+            match &reference {
+                None => reference = Some(rows.rows),
+                Some(want) => assert_eq!(&rows.rows, want, "{label} disagrees"),
+            }
+        }
     }
 }

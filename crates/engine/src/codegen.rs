@@ -230,8 +230,7 @@ impl<'a> Cg<'a> {
                     .iter()
                     .enumerate()
                     .map(|(j, &ft)| {
-                        let g =
-                            self.b.gep_indexed(base.into(), j as i64 * 8, i.into(), stride);
+                        let g = self.b.gep_indexed(base.into(), j as i64 * 8, i.into(), stride);
                         let v = self.b.load(Self::ir_ty(ft), g.into());
                         (v, ft)
                     })
@@ -278,12 +277,7 @@ impl<'a> Cg<'a> {
             PExpr::Col(i) => fields[*i].0,
             PExpr::ConstI(c) => {
                 // Materialise through a trivial add so the result is a value.
-                self.b.bin(
-                    BinOp::Add,
-                    Type::I64,
-                    Constant::i64(*c).into(),
-                    Constant::i64(0).into(),
-                )
+                self.b.bin(BinOp::Add, Type::I64, Constant::i64(*c).into(), Constant::i64(0).into())
             }
             PExpr::ConstF(c) => self.b.bin(
                 BinOp::Add,
@@ -342,7 +336,10 @@ impl<'a> Cg<'a> {
                 self.b.select(ty, c.into(), vt.into(), vf.into())
             }
             // Boolean-valued expressions used as values: widen 0/1.
-            PExpr::Cmp { .. } | PExpr::And(..) | PExpr::Or(..) | PExpr::Not(..)
+            PExpr::Cmp { .. }
+            | PExpr::And(..)
+            | PExpr::Or(..)
+            | PExpr::Not(..)
             | PExpr::InList { .. } => {
                 let c = self.expr_bool(e, fields);
                 self.b.cast(CastKind::ZExt, Type::I1, Type::I64, c.into())
@@ -385,17 +382,10 @@ impl<'a> Cg<'a> {
                 let vv = self.expr(v, fields);
                 let mut acc: Option<ValueId> = None;
                 for &c in list {
-                    let eq = self.b.cmp(
-                        CmpPred::Eq,
-                        Type::I64,
-                        vv.into(),
-                        Constant::i64(c).into(),
-                    );
+                    let eq = self.b.cmp(CmpPred::Eq, Type::I64, vv.into(), Constant::i64(c).into());
                     acc = Some(match acc {
                         None => eq,
-                        Some(prev) => {
-                            self.b.bin(BinOp::Or, Type::I1, prev.into(), eq.into())
-                        }
+                        Some(prev) => self.b.bin(BinOp::Or, Type::I1, prev.into(), eq.into()),
                     });
                 }
                 acc.unwrap_or_else(|| {
@@ -425,12 +415,7 @@ impl<'a> Cg<'a> {
         );
         for &k in keys {
             let x = self.b.bin(BinOp::Xor, Type::I64, h.into(), k.into());
-            h = self.b.bin(
-                BinOp::Mul,
-                Type::I64,
-                x.into(),
-                Constant::i64(FNV_PRIME as i64).into(),
-            );
+            h = self.b.bin(BinOp::Mul, Type::I64, x.into(), Constant::i64(FNV_PRIME as i64).into());
         }
         let hi = self.b.bin(BinOp::LShr, Type::I64, h.into(), Constant::i64(32).into());
         self.b.bin(BinOp::Xor, Type::I64, h.into(), hi.into())
@@ -555,9 +540,7 @@ impl<'a> Cg<'a> {
                 // tuple continues with the next chain entry.
                 let mut out = fields.to_vec();
                 for (j, &ft) in payload_tys.iter().enumerate() {
-                    let pg = self
-                        .b
-                        .gep(entry.into(), 8 + (spec.nkeys + j) as i64 * 8);
+                    let pg = self.b.gep(entry.into(), 8 + (spec.nkeys + j) as i64 * 8);
                     let v = self.b.load(Self::ir_ty(ft), pg.into());
                     out.push((v, ft));
                 }
@@ -573,11 +556,8 @@ impl<'a> Cg<'a> {
     fn compile_sink(&mut self, sink: &Sink, fields: &[(ValueId, FieldTy)], cont: BlockId) {
         match sink {
             Sink::BuildJoin { ht, keys, payload } => {
-                let row: Vec<(ValueId, FieldTy)> = keys
-                    .iter()
-                    .chain(payload.iter())
-                    .map(|&i| fields[i])
-                    .collect();
+                let row: Vec<(ValueId, FieldTy)> =
+                    keys.iter().chain(payload.iter()).map(|&i| fields[i]).collect();
                 self.stage_row(&row);
                 self.b.call(
                     ExternId(EXT_JOIN_APPEND),
@@ -683,11 +663,7 @@ impl<'a> Cg<'a> {
             self.stage_row(&staged);
             let new_entry = self.b.call(
                 ExternId(EXT_AGG_INSERT),
-                vec![
-                    self.wctx.into(),
-                    Constant::i64(agg as i64).into(),
-                    h.into(),
-                ],
+                vec![self.wctx.into(), Constant::i64(agg as i64).into(), h.into()],
                 Some(Type::I64),
             );
             let new_entry_p =
@@ -696,10 +672,7 @@ impl<'a> Cg<'a> {
             self.b.br(found);
 
             self.b.switch_to(found);
-            self.b.phi(
-                Type::Ptr,
-                vec![(keycheck, entry.into()), (miss_end, new_entry_p.into())],
-            )
+            self.b.phi(Type::Ptr, vec![(keycheck, entry.into()), (miss_end, new_entry_p.into())])
         };
         // `entry` points at [next, keys.., accs..]; accumulate each agg.
         let acc_base = 8 * (1 + nkeys) as i64;
@@ -709,12 +682,7 @@ impl<'a> Cg<'a> {
                 AggFunc::CountStar => {
                     let g = self.b.gep(entry.into(), off);
                     let cur = self.b.load(Type::I64, g.into());
-                    let v = self.b.bin(
-                        BinOp::Add,
-                        Type::I64,
-                        cur.into(),
-                        Constant::i64(1).into(),
-                    );
+                    let v = self.b.bin(BinOp::Add, Type::I64, cur.into(), Constant::i64(1).into());
                     let g2 = self.b.gep(entry.into(), off);
                     self.b.store(Type::I64, v.into(), g2.into());
                 }
@@ -738,11 +706,8 @@ impl<'a> Cg<'a> {
                     let arg = self.expr(a.arg.as_ref().unwrap(), fields);
                     let g = self.b.gep(entry.into(), off);
                     let cur = self.b.load(Type::I64, g.into());
-                    let pred = if matches!(a.func, AggFunc::MinI) {
-                        CmpPred::SLt
-                    } else {
-                        CmpPred::SGt
-                    };
+                    let pred =
+                        if matches!(a.func, AggFunc::MinI) { CmpPred::SLt } else { CmpPred::SGt };
                     let better = self.b.cmp(pred, Type::I64, arg.into(), cur.into());
                     let v = self.b.select(Type::I64, better.into(), arg.into(), cur.into());
                     let g2 = self.b.gep(entry.into(), off);
@@ -752,11 +717,8 @@ impl<'a> Cg<'a> {
                     let arg = self.expr(a.arg.as_ref().unwrap(), fields);
                     let g = self.b.gep(entry.into(), off);
                     let cur = self.b.load(Type::F64, g.into());
-                    let pred = if matches!(a.func, AggFunc::MinF) {
-                        CmpPred::SLt
-                    } else {
-                        CmpPred::SGt
-                    };
+                    let pred =
+                        if matches!(a.func, AggFunc::MinF) { CmpPred::SLt } else { CmpPred::SGt };
                     let better = self.b.cmp(pred, Type::F64, arg.into(), cur.into());
                     let v = self.b.select(Type::F64, better.into(), arg.into(), cur.into());
                     let g2 = self.b.gep(entry.into(), off);
@@ -816,13 +778,7 @@ mod tests {
             group_by: vec![],
             aggs: vec![AggSpec {
                 func: AggFunc::SumI,
-                arg: Some(PExpr::arith(
-                    ArithOp::Mul,
-                    true,
-                    false,
-                    PExpr::Col(1),
-                    PExpr::Col(2),
-                )),
+                arg: Some(PExpr::arith(ArithOp::Mul, true, false, PExpr::Col(1), PExpr::Col(2))),
             }],
         };
         let phys = decompose(&cat, &agg, vec![]);
@@ -874,7 +830,7 @@ mod tests {
                 aqe_vm::translate::TranslateOptions::default(),
             )
             .unwrap();
-            assert!(bc.len() > 0);
+            assert!(!bc.is_empty());
         }
     }
 }

@@ -11,12 +11,11 @@
 use crate::codegen;
 use crate::plan::{FieldTy, PhysicalPlan, Sink, Source};
 use crate::runtime::{merge_agg_tables, sort_rows, JoinHt, WorkerRt};
-use aqe_ir::Module;
-use aqe_jit::compile::{compile, CompiledFunction, OptLevel};
-use aqe_jit::exec::execute_compiled;
+use aqe_ir::{Function, Module};
+use aqe_jit::compile::{compile, OptLevel};
 use aqe_storage::Catalog;
-use aqe_vm::bytecode::BcFunction;
-use aqe_vm::interp::{execute as vm_execute, ExecError, Frame};
+use aqe_vm::interp::{ExecError, Frame};
+use aqe_vm::naive::NaiveBackend;
 use aqe_vm::rt::Registry;
 use aqe_vm::translate::{translate, TranslateOptions};
 use parking_lot::{Mutex, RwLock};
@@ -28,21 +27,9 @@ use std::time::{Duration, Instant};
 // Execution modes & cost model
 // ---------------------------------------------------------------------------
 
-/// How to execute a query (Fig. 3's modes plus the two interpreter
-/// baselines of Fig. 2).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum ExecMode {
-    /// Direct IR interpretation (the "LLVM interpreter" stand-in).
-    NaiveIr,
-    /// Bytecode VM for every morsel.
-    Bytecode,
-    /// Compile every pipeline without optimization up front.
-    Unoptimized,
-    /// Compile every pipeline with optimization up front.
-    Optimized,
-    /// The paper's contribution: start in bytecode, switch adaptively.
-    Adaptive,
-}
+/// Re-exported from `aqe-vm`: the mode vocabulary is shared by every
+/// backend implementation, so it lives next to [`PipelineBackend`].
+pub use aqe_vm::backend::{ExecMode, PipelineBackend};
 
 /// The empirical model behind Fig. 7's `ctime(f)` and `speedup(f)`: compile
 /// time is linear in IR instruction count (Fig. 6: "the number of LLVM
@@ -135,88 +122,82 @@ pub fn extrapolate_pipeline_durations(
 // Function handles (Fig. 5)
 // ---------------------------------------------------------------------------
 
-const LEVEL_BC: u8 = 0;
-const LEVEL_UNOPT: u8 = 1;
-const LEVEL_OPT: u8 = 2;
-
 /// "Instead of identifying a worker function by its memory address, we
-/// introduce an additional handle indirection. This object stores multiple
-/// variants of the same function. … to change the execution mode, one only
-/// needs to set a function pointer in this handle object."
+/// introduce an additional handle indirection. … to change the execution
+/// mode, one only needs to set a function pointer in this handle object."
+///
+/// The handle holds exactly one `Arc<dyn PipelineBackend>` — the *current*
+/// executable representation of the worker function. Workers [`load`] it
+/// once per morsel and call through it without knowing (or branching on)
+/// which backend it is; a background compilation publishes a better
+/// representation with [`install`], and every worker picks it up on its
+/// next morsel. Swaps are monotonic in [`ExecMode::rank`], so execution
+/// only ever upgrades.
+///
+/// [`load`]: FunctionHandle::load
+/// [`install`]: FunctionHandle::install
 pub struct FunctionHandle {
-    pub bytecode: Arc<BcFunction>,
-    unopt: RwLock<Option<Arc<CompiledFunction>>>,
-    opt: RwLock<Option<Arc<CompiledFunction>>>,
-    /// Best available variant (monotonically increasing).
-    best: AtomicU8,
+    /// The current backend. An uncontended RwLock read is cheap relative
+    /// to a morsel's worth of work (with the real `parking_lot` it is a
+    /// single atomic op; the vendored offline stand-in wraps `std::sync`
+    /// and costs slightly more), and writers only ever hold the lock for
+    /// the duration of an `Arc` store.
+    current: RwLock<Arc<dyn PipelineBackend>>,
+    /// Cached `rank()` of the current backend; the adaptive controller
+    /// polls this without touching the lock.
+    rank: AtomicU8,
     /// A compilation is in flight.
     compiling: AtomicBool,
 }
 
-/// What `dispatch` resolved for one morsel.
-pub enum Variant {
-    Bytecode(Arc<BcFunction>),
-    Compiled(Arc<CompiledFunction>),
-}
-
 impl FunctionHandle {
-    pub fn new(bytecode: BcFunction) -> Self {
+    pub fn new(initial: Arc<dyn PipelineBackend>) -> Self {
+        let rank = initial.kind().rank();
         FunctionHandle {
-            bytecode: Arc::new(bytecode),
-            unopt: RwLock::new(None),
-            opt: RwLock::new(None),
-            best: AtomicU8::new(LEVEL_BC),
+            current: RwLock::new(initial),
+            rank: AtomicU8::new(rank),
             compiling: AtomicBool::new(false),
         }
     }
 
-    /// "For every single morsel, we then choose the fastest available
-    /// representation."
-    pub fn dispatch(&self) -> (Variant, u8) {
-        match self.best.load(Ordering::Acquire) {
-            LEVEL_OPT => {
-                if let Some(f) = self.opt.read().clone() {
-                    return (Variant::Compiled(f), LEVEL_OPT);
-                }
-                (Variant::Bytecode(self.bytecode.clone()), LEVEL_BC)
-            }
-            LEVEL_UNOPT => {
-                if let Some(f) = self.unopt.read().clone() {
-                    return (Variant::Compiled(f), LEVEL_UNOPT);
-                }
-                (Variant::Bytecode(self.bytecode.clone()), LEVEL_BC)
-            }
-            _ => (Variant::Bytecode(self.bytecode.clone()), LEVEL_BC),
-        }
+    /// The function-pointer read of Fig. 5: the backend to run the next
+    /// morsel with.
+    pub fn load(&self) -> Arc<dyn PipelineBackend> {
+        self.current.read().clone()
     }
 
-    pub fn best_level(&self) -> u8 {
-        self.best.load(Ordering::Acquire)
+    /// Rank of the current backend (see [`ExecMode::rank`]).
+    pub fn rank(&self) -> u8 {
+        self.rank.load(Ordering::Acquire)
     }
 
+    /// Kind of the current backend.
+    pub fn kind(&self) -> ExecMode {
+        self.current.read().kind()
+    }
+
+    /// Atomically publish `backend` if it outranks the current one.
+    /// Returns whether the swap happened; either way the in-flight
+    /// compilation marker is cleared.
+    pub fn install(&self, backend: Arc<dyn PipelineBackend>) -> bool {
+        let rank = backend.kind().rank();
+        let swapped = {
+            let mut cur = self.current.write();
+            if rank > cur.kind().rank() {
+                *cur = backend;
+                self.rank.store(rank, Ordering::Release);
+                true
+            } else {
+                false
+            }
+        };
+        self.compiling.store(false, Ordering::Release);
+        swapped
+    }
+
+    /// Claim the right to start a (single) background compilation.
     pub fn try_begin_compile(&self) -> bool {
         !self.compiling.swap(true, Ordering::AcqRel)
-    }
-
-    pub fn install(&self, f: CompiledFunction) {
-        let level = match f.level {
-            OptLevel::Unoptimized => LEVEL_UNOPT,
-            OptLevel::Optimized => LEVEL_OPT,
-        };
-        match f.level {
-            OptLevel::Unoptimized => *self.unopt.write() = Some(Arc::new(f)),
-            OptLevel::Optimized => *self.opt.write() = Some(Arc::new(f)),
-        }
-        self.best.fetch_max(level, Ordering::AcqRel);
-        self.compiling.store(false, Ordering::Release);
-    }
-
-    pub fn has_level(&self, level: u8) -> bool {
-        match level {
-            LEVEL_UNOPT => self.unopt.read().is_some(),
-            LEVEL_OPT => self.opt.read().is_some(),
-            _ => true,
-        }
     }
 }
 
@@ -348,33 +329,43 @@ pub fn execute_module(
         .expect("runtime registry"),
     );
 
-    // ---- translate to bytecode (always; it is nearly free) ---------------
+    // Worker functions, shared with backends and background compilations.
+    let functions: Vec<Arc<Function>> =
+        module.functions.iter().map(|f| Arc::new(f.clone())).collect();
+
+    // ---- initial backend per pipeline -------------------------------------
+    // Every mode goes through the same hot-swap handle; they differ only in
+    // which backend is installed before execution starts. Bytecode
+    // translation is the default starting point ("we always start executing
+    // every query using the bytecode interpreter") and is nearly free; the
+    // naive-IR mode walks the SSA directly and skips translation.
     let t0 = Instant::now();
-    let handles: Vec<Arc<FunctionHandle>> = module
-        .functions
+    let handles: Vec<Arc<FunctionHandle>> = functions
         .iter()
         .map(|f| {
-            let bc = translate(f, &module.externs, TranslateOptions::default())
-                .expect("bytecode translation");
-            Arc::new(FunctionHandle::new(bc))
+            let initial: Arc<dyn PipelineBackend> = match opts.mode {
+                ExecMode::NaiveIr => Arc::new(NaiveBackend::new(f.clone())),
+                _ => Arc::new(
+                    translate(f, &module.externs, TranslateOptions::default())
+                        .expect("bytecode translation"),
+                ),
+            };
+            Arc::new(FunctionHandle::new(initial))
         })
         .collect();
     report.bc_translate = t0.elapsed();
 
     // ---- up-front compilation for the static compiled modes --------------
     let t0 = Instant::now();
-    match opts.mode {
-        ExecMode::Unoptimized => {
-            for (f, h) in module.functions.iter().zip(&handles) {
-                h.install(compile(f, &module.externs, OptLevel::Unoptimized).expect("compile"));
-            }
+    let upfront_level = match opts.mode {
+        ExecMode::Unoptimized => Some(OptLevel::Unoptimized),
+        ExecMode::Optimized => Some(OptLevel::Optimized),
+        _ => None,
+    };
+    if let Some(level) = upfront_level {
+        for (f, h) in functions.iter().zip(&handles) {
+            h.install(Arc::new(compile(f, &module.externs, level).expect("compile")));
         }
-        ExecMode::Optimized => {
-            for (f, h) in module.functions.iter().zip(&handles) {
-                h.install(compile(f, &module.externs, OptLevel::Optimized).expect("compile"));
-            }
-        }
-        _ => {}
     }
     report.upfront_compile = t0.elapsed();
 
@@ -418,7 +409,7 @@ pub fn execute_module(
 
         run_pipeline(
             p.id,
-            &module.functions[p.id],
+            &functions[p.id],
             module,
             &handles[p.id],
             &registry,
@@ -472,7 +463,7 @@ struct Progress {
 #[allow(clippy::too_many_arguments)]
 fn run_pipeline(
     pid: usize,
-    function: &aqe_ir::Function,
+    function: &Arc<Function>,
     module: &Module,
     handle: &Arc<FunctionHandle>,
     registry: &Arc<Registry>,
@@ -499,7 +490,6 @@ fn run_pipeline(
     let state_ptr = state.slots.as_ptr() as u64;
     let error: Mutex<Option<ExecError>> = Mutex::new(None);
     let adaptive = opts.mode == ExecMode::Adaptive;
-    let naive = opts.mode == ExecMode::NaiveIr;
 
     // Worker runtimes, one per thread (created up front so finalize can
     // collect them after the scope).
@@ -512,8 +502,7 @@ fn run_pipeline(
     let mut thread_traces: Vec<Vec<TraceEvent>> = vec![Vec::new(); threads];
 
     std::thread::scope(|scope| {
-        for (tid, (wrt, ttrace)) in
-            worker_rts.iter_mut().zip(thread_traces.iter_mut()).enumerate()
+        for (tid, (wrt, ttrace)) in worker_rts.iter_mut().zip(thread_traces.iter_mut()).enumerate()
         {
             let progress = &progress;
             let error = &error;
@@ -522,8 +511,7 @@ fn run_pipeline(
             let model = opts.model;
             let compile_events = compile_events.clone();
             let background_compiles = background_compiles.clone();
-            let worker_function =
-                if adaptive || naive { Some(function.clone()) } else { None };
+            let worker_function = if adaptive { Some(function.clone()) } else { None };
             let externs = module.externs.clone();
             scope.spawn(move || {
                 let wctx = wrt.wctx_ptr();
@@ -541,25 +529,11 @@ fn run_pipeline(
                     let end = (begin + morsel_size).min(total_rows as u64);
                     let t_m0 = exec_start.elapsed().as_micros() as u64;
                     let args = [wctx, state_ptr, begin, end];
-                    let (variant, level) = if naive {
-                        (None, LEVEL_BC)
-                    } else {
-                        let (v, l) = handle.dispatch();
-                        (Some(v), l)
-                    };
-                    let r = match &variant {
-                        // Direct IR interpretation mode (Fig. 2's "LLVM IR").
-                        None => aqe_vm::naive::interpret(
-                            worker_function.as_ref().expect("naive mode keeps the IR"),
-                            &args,
-                            &registry,
-                        ),
-                        Some(Variant::Bytecode(bc)) => vm_execute(bc, &args, &registry, &mut frame),
-                        Some(Variant::Compiled(cf)) => {
-                            execute_compiled(cf, &args, &registry, &mut frame)
-                        }
-                    };
-                    if let Err(e) = r {
+                    // The Fig. 5 indirection: pick up whatever backend is
+                    // currently published and run the morsel through it —
+                    // no per-mode branches here.
+                    let backend = handle.load();
+                    if let Err(e) = backend.call(&args, &registry, &mut frame) {
                         *error.lock() = Some(e);
                         return;
                     }
@@ -570,7 +544,7 @@ fn run_pipeline(
                         ttrace.push(TraceEvent {
                             thread: tid as u16,
                             pipeline: pid as u16,
-                            kind: level,
+                            kind: backend.kind().trace_kind(),
                             start_us: t_m0,
                             end_us: exec_start.elapsed().as_micros() as u64,
                             tuples,
@@ -592,11 +566,16 @@ fn run_pipeline(
                         let elapsed = progress.reset_at.lock().elapsed().as_secs_f64();
                         let w = threads as f64;
                         let r0 = if elapsed > 0.0 { since / elapsed / w } else { 0.0 };
-                        let cur_level = handle.best_level();
-                        let cur_speedup = match cur_level {
-                            LEVEL_UNOPT => model.speedup(OptLevel::Unoptimized),
-                            LEVEL_OPT => model.speedup(OptLevel::Optimized),
-                            _ => 1.0,
+                        // Lock-free poll of the current backend via the
+                        // cached rank — the decision path never touches
+                        // the handle's lock.
+                        let cur_rank = handle.rank();
+                        let cur_speedup = if cur_rank == ExecMode::Optimized.rank() {
+                            model.speedup(OptLevel::Optimized)
+                        } else if cur_rank == ExecMode::Unoptimized.rank() {
+                            model.speedup(OptLevel::Unoptimized)
+                        } else {
+                            1.0
                         };
                         let choice = extrapolate_pipeline_durations(
                             &model,
@@ -605,14 +584,14 @@ fn run_pipeline(
                             w,
                             r0,
                             cur_speedup,
-                            cur_level >= LEVEL_UNOPT,
+                            cur_rank >= ExecMode::Unoptimized.rank(),
                         );
                         let target = match choice {
                             ModeChoice::DoNothing => None,
-                            ModeChoice::Unoptimized if cur_level < LEVEL_UNOPT => {
+                            ModeChoice::Unoptimized if cur_rank < ExecMode::Unoptimized.rank() => {
                                 Some(OptLevel::Unoptimized)
                             }
-                            ModeChoice::Optimized if cur_level < LEVEL_OPT => {
+                            ModeChoice::Optimized if cur_rank < ExecMode::Optimized.rank() => {
                                 Some(OptLevel::Optimized)
                             }
                             _ => None,
@@ -632,8 +611,7 @@ fn run_pipeline(
                                 let t_c0 = exec_start.elapsed().as_micros() as u64;
                                 std::thread::spawn(move || {
                                     if let Ok(cf) = compile(&f, &externs, level) {
-                                        let t_c1 =
-                                            exec_start.elapsed().as_micros() as u64;
+                                        let t_c1 = exec_start.elapsed().as_micros() as u64;
                                         events.lock().push(TraceEvent {
                                             thread: u16::MAX,
                                             pipeline: pid as u16,
@@ -642,8 +620,12 @@ fn run_pipeline(
                                             end_us: t_c1,
                                             tuples: 0,
                                         });
-                                        counter.fetch_add(1, Ordering::Relaxed);
-                                        h.install(cf);
+                                        // Publish into the handle: all
+                                        // workers switch on their next
+                                        // morsel.
+                                        if h.install(Arc::new(cf)) {
+                                            counter.fetch_add(1, Ordering::Relaxed);
+                                        }
                                     }
                                 });
                                 progress.since_reset.store(0, Ordering::Relaxed);
@@ -668,10 +650,8 @@ fn run_pipeline(
     let pipeline = &plan.pipelines[pid];
     match &pipeline.sink {
         Sink::BuildJoin { ht, keys, payload } => {
-            let bufs: Vec<Vec<u64>> = worker_rts
-                .iter_mut()
-                .map(|w| std::mem::take(&mut w.join_bufs[*ht]))
-                .collect();
+            let bufs: Vec<Vec<u64>> =
+                worker_rts.iter_mut().map(|w| std::mem::take(&mut w.join_bufs[*ht])).collect();
             let table = JoinHt::build(keys.len(), payload.len(), &bufs);
             let spec = &plan.join_hts[*ht];
             state.slots[spec.state_slot] = table.buckets.as_ptr() as u64;
@@ -689,7 +669,7 @@ fn run_pipeline(
                 .collect();
             let rows = merge_agg_tables(&tables, spec.nkeys, &spec.aggs)?;
             let width = spec.nkeys + spec.aggs.len();
-            let nrows = if width == 0 { 0 } else { rows.len() / width };
+            let nrows = rows.len().checked_div(width).unwrap_or(0);
             state.agg_rows[*agg] = rows;
             state.slots[spec.rows_slot] = state.agg_rows[*agg].as_ptr() as u64;
             state.slots[spec.rows_slot + 1] = nrows as u64;
@@ -754,26 +734,58 @@ mod tests {
         assert_eq!(c, ModeChoice::Optimized);
     }
 
-    #[test]
-    fn handle_dispatch_upgrades() {
+    fn identity_function() -> Function {
         use aqe_ir::{FunctionBuilder, Type};
         let mut b = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
         let p = b.param(0);
         b.ret(Some(p.into()));
-        let f = b.finish().unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn handle_swaps_are_monotonic_upgrades() {
+        let f = identity_function();
         let bc = translate(&f, &[], TranslateOptions::default()).unwrap();
-        let h = FunctionHandle::new(bc);
-        assert!(matches!(h.dispatch().0, Variant::Bytecode(_)));
-        assert_eq!(h.best_level(), LEVEL_BC);
+        let h = FunctionHandle::new(Arc::new(bc));
+        assert_eq!(h.kind(), ExecMode::Bytecode);
         assert!(h.try_begin_compile());
         assert!(!h.try_begin_compile(), "second compile attempt must be rejected");
-        let cf = compile(&f, &[], OptLevel::Unoptimized).unwrap();
-        h.install(cf);
-        assert_eq!(h.best_level(), LEVEL_UNOPT);
-        assert!(matches!(h.dispatch().0, Variant::Compiled(_)));
+
+        let unopt = compile(&f, &[], OptLevel::Unoptimized).unwrap();
+        assert!(h.install(Arc::new(unopt)));
+        assert_eq!(h.kind(), ExecMode::Unoptimized);
         assert!(h.try_begin_compile(), "compiles allowed again after install");
-        let cf = compile(&f, &[], OptLevel::Optimized).unwrap();
-        h.install(cf);
-        assert_eq!(h.best_level(), LEVEL_OPT);
+
+        // Downgrades are refused: the handle only moves up the rank order.
+        let bc2 = translate(&f, &[], TranslateOptions::default()).unwrap();
+        assert!(!h.install(Arc::new(bc2)));
+        assert_eq!(h.kind(), ExecMode::Unoptimized);
+
+        let opt = compile(&f, &[], OptLevel::Optimized).unwrap();
+        assert!(h.install(Arc::new(opt)));
+        assert_eq!(h.kind(), ExecMode::Optimized);
+        assert_eq!(h.rank(), ExecMode::Optimized.rank());
+    }
+
+    #[test]
+    fn every_backend_agrees_through_the_handle() {
+        // The §III-B contract, exercised end-to-end through the seam the
+        // engine actually uses: identical results from every backend kind
+        // installed into a FunctionHandle.
+        let f = identity_function();
+        let shared = Arc::new(f.clone());
+        let backends: Vec<Arc<dyn PipelineBackend>> = vec![
+            Arc::new(NaiveBackend::new(shared)),
+            Arc::new(translate(&f, &[], TranslateOptions::default()).unwrap()),
+            Arc::new(compile(&f, &[], OptLevel::Unoptimized).unwrap()),
+            Arc::new(compile(&f, &[], OptLevel::Optimized).unwrap()),
+        ];
+        let rt = Registry::new();
+        let mut frame = Frame::new();
+        for b in backends {
+            let h = FunctionHandle::new(b);
+            let got = h.load().call(&[42], &rt, &mut frame).unwrap();
+            assert_eq!(got, Some(42), "backend {:?}", h.kind());
+        }
     }
 }

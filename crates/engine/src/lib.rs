@@ -9,6 +9,12 @@
 //! * [`runtime`] — hash tables, buffers, and the runtime-call surface;
 //! * [`exec`] — morsel scheduling, hot-swappable function handles (Fig. 5),
 //!   and the adaptive controller (Fig. 7).
+//!
+//! Execution is backend-agnostic: every morsel runs through a single
+//! `Arc<dyn PipelineBackend>` per pipeline (the trait lives in
+//! [`aqe_vm::backend`]), and the adaptive controller switches backends by
+//! atomically publishing a better one into the pipeline's
+//! [`exec::FunctionHandle`].
 
 pub mod codegen;
 pub mod exec;
@@ -16,6 +22,7 @@ pub mod plan;
 pub mod runtime;
 
 pub use exec::{
-    execute_plan, CostModel, ExecMode, ExecOptions, Report, ResultRows, TraceEvent,
+    execute_plan, CostModel, ExecMode, ExecOptions, FunctionHandle, PipelineBackend, Report,
+    ResultRows, TraceEvent,
 };
 pub use plan::{PhysicalPlan, PlanNode};

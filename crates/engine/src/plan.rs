@@ -46,19 +46,42 @@ pub enum PExpr {
     /// Integer/decimal/date/string-code literal.
     ConstI(i64),
     ConstF(f64),
-    Arith { op: ArithOp, checked: bool, float: bool, a: Box<PExpr>, b: Box<PExpr> },
-    Cmp { op: CmpOp, float: bool, a: Box<PExpr>, b: Box<PExpr> },
+    Arith {
+        op: ArithOp,
+        checked: bool,
+        float: bool,
+        a: Box<PExpr>,
+        b: Box<PExpr>,
+    },
+    Cmp {
+        op: CmpOp,
+        float: bool,
+        a: Box<PExpr>,
+        b: Box<PExpr>,
+    },
     And(Box<PExpr>, Box<PExpr>),
     Or(Box<PExpr>, Box<PExpr>),
     Not(Box<PExpr>),
     /// Membership in a small constant list (ints / string codes).
-    InList { v: Box<PExpr>, list: Vec<i64> },
+    InList {
+        v: Box<PExpr>,
+        list: Vec<i64>,
+    },
     /// `CASE WHEN cond THEN t ELSE f`.
-    Case { cond: Box<PExpr>, t: Box<PExpr>, f: Box<PExpr>, float: bool },
+    Case {
+        cond: Box<PExpr>,
+        t: Box<PExpr>,
+        f: Box<PExpr>,
+        float: bool,
+    },
     /// Plan-time dictionary lookup table: `table[field_value]`, used for
     /// LIKE/prefix predicates (u8 match bitmap) and ORDER BY on dictionary
     /// codes (u32 rank table). The table lives in a state slot.
-    DictLookup { v: Box<PExpr>, table: usize, elem_size: u8 },
+    DictLookup {
+        v: Box<PExpr>,
+        table: usize,
+        elem_size: u8,
+    },
     /// Integer→float conversion.
     IToF(Box<PExpr>),
 }
@@ -423,11 +446,7 @@ impl<'a> Decomposer<'a> {
                 let width = input.output_types(self.cat).len();
                 let rows_slot = self.alloc_slots(2);
                 let mat = self.mats.len();
-                self.mats.push(MatSpec {
-                    width,
-                    sort: Some((keys.clone(), *limit)),
-                    rows_slot,
-                });
+                self.mats.push(MatSpec { width, sort: Some((keys.clone(), *limit)), rows_slot });
                 let (source, ops, label) = self.compile_stream(input);
                 self.pipelines.push(Pipeline {
                     id: self.pipelines.len(),
@@ -474,7 +493,12 @@ impl<'a> Decomposer<'a> {
                 let _ = t;
                 let slot_base = self.alloc_slots(cols.len());
                 (
-                    Source::Table { table: table.clone(), cols: cols.clone(), field_tys, slot_base },
+                    Source::Table {
+                        table: table.clone(),
+                        cols: cols.clone(),
+                        field_tys,
+                        slot_base,
+                    },
                     ops,
                     format!("scan {table}"),
                 )
@@ -534,11 +558,7 @@ impl<'a> Decomposer<'a> {
                     id: self.pipelines.len(),
                     source: src,
                     ops,
-                    sink: Sink::BuildAgg {
-                        agg,
-                        group_by: group_by.clone(),
-                        aggs: aggs.clone(),
-                    },
+                    sink: Sink::BuildAgg { agg, group_by: group_by.clone(), aggs: aggs.clone() },
                     label: format!("agg {label}"),
                 });
                 // The consuming pipeline scans the merged groups.
@@ -550,11 +570,7 @@ impl<'a> Decomposer<'a> {
                 let width = input.output_types(self.cat).len();
                 let rows_slot = self.alloc_slots(2);
                 let mat = self.mats.len();
-                self.mats.push(MatSpec {
-                    width,
-                    sort: Some((keys.clone(), *limit)),
-                    rows_slot,
-                });
+                self.mats.push(MatSpec { width, sort: Some((keys.clone(), *limit)), rows_slot });
                 let (src, ops, label) = self.compile_stream(input);
                 self.pipelines.push(Pipeline {
                     id: self.pipelines.len(),

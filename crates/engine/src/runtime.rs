@@ -53,11 +53,8 @@ impl JoinHt {
     pub fn build(nkeys: usize, payload: usize, thread_rows: &[Vec<u64>]) -> JoinHt {
         let width = nkeys + payload;
         let stride = width + 1; // + next pointer
-        let rows: usize = if width == 0 {
-            0
-        } else {
-            thread_rows.iter().map(|b| b.len() / width).sum()
-        };
+        let rows: usize =
+            if width == 0 { 0 } else { thread_rows.iter().map(|b| b.len() / width).sum() };
         let nbuckets = (rows * 2).next_power_of_two().max(8);
         let mut buckets = vec![0u64; nbuckets];
         let mask = (nbuckets - 1) as u64;
@@ -199,9 +196,7 @@ impl AggTable {
 
     /// Iterate group rows as `[keys.., accs..]` slices.
     pub fn rows(&self) -> impl Iterator<Item = &[u64]> {
-        self.chunks.iter().flat_map(move |c| {
-            c.chunks_exact(self.stride).map(move |e| &e[1..])
-        })
+        self.chunks.iter().flat_map(move |c| c.chunks_exact(self.stride).map(move |e| &e[1..]))
     }
 }
 
@@ -366,6 +361,12 @@ unsafe fn worker_of(args: *const u64) -> &'static mut WorkerRt {
 
 /// `rt_join_append(wctx, ht_idx, nfields)`: append the staged row to the
 /// thread-local build buffer of join `ht_idx`.
+///
+/// # Safety
+/// Part of the generated-code runtime ABI (`codegen::runtime_fns`):
+/// `args` must point at the argument slots the translator staged for this
+/// call (first slot a valid worker-context pointer) and `ret` at a writable
+/// return slot — guarantees the validated bytecode upholds.
 pub unsafe fn rt_join_append(args: *const u64, _ret: *mut u64) {
     unsafe {
         let w = worker_of(args);
@@ -378,6 +379,12 @@ pub unsafe fn rt_join_append(args: *const u64, _ret: *mut u64) {
 
 /// `rt_agg_insert(wctx, agg_idx, hash) -> entry_ptr`: insert a new group
 /// with the staged keys.
+///
+/// # Safety
+/// Part of the generated-code runtime ABI (`codegen::runtime_fns`):
+/// `args` must point at the argument slots the translator staged for this
+/// call (first slot a valid worker-context pointer) and `ret` at a writable
+/// return slot — guarantees the validated bytecode upholds.
 pub unsafe fn rt_agg_insert(args: *const u64, ret: *mut u64) {
     unsafe {
         let w = worker_of(args);
@@ -391,6 +398,12 @@ pub unsafe fn rt_agg_insert(args: *const u64, ret: *mut u64) {
 }
 
 /// `rt_mat_append(wctx, mat_idx, nfields)`.
+///
+/// # Safety
+/// Part of the generated-code runtime ABI (`codegen::runtime_fns`):
+/// `args` must point at the argument slots the translator staged for this
+/// call (first slot a valid worker-context pointer) and `ret` at a writable
+/// return slot — guarantees the validated bytecode upholds.
 pub unsafe fn rt_mat_append(args: *const u64, _ret: *mut u64) {
     unsafe {
         let w = worker_of(args);
@@ -402,6 +415,12 @@ pub unsafe fn rt_mat_append(args: *const u64, _ret: *mut u64) {
 }
 
 /// `rt_emit(wctx, nfields)`.
+///
+/// # Safety
+/// Part of the generated-code runtime ABI (`codegen::runtime_fns`):
+/// `args` must point at the argument slots the translator staged for this
+/// call (first slot a valid worker-context pointer) and `ret` at a writable
+/// return slot — guarantees the validated bytecode upholds.
 pub unsafe fn rt_emit(args: *const u64, _ret: *mut u64) {
     unsafe {
         let w = worker_of(args);
@@ -447,7 +466,7 @@ mod tests {
             let h = hash_keys(&[k]);
             let addr = t.insert(&[k], h);
             unsafe {
-                *(addr as *mut u64).add(2) = (k * 2) as u64; // sum
+                *(addr as *mut u64).add(2) = k * 2; // sum
                 *(addr as *mut u64).add(3) = 1; // count
             }
         }
@@ -482,8 +501,7 @@ mod tests {
             }
             t
         };
-        let rows =
-            merge_agg_tables(&[mk(5, 10, -3, 1.5), mk(5, 32, 7, 9.5)], 1, &aggs).unwrap();
+        let rows = merge_agg_tables(&[mk(5, 10, -3, 1.5), mk(5, 32, 7, 9.5)], 1, &aggs).unwrap();
         assert_eq!(rows.len(), 4);
         assert_eq!(rows[0], 5);
         assert_eq!(rows[1] as i64, 42);
@@ -522,8 +540,7 @@ mod tests {
 
     #[test]
     fn sort_rows_float_desc_with_limit() {
-        let mut rows: Vec<u64> =
-            [3.5f64, 1.5, 9.0, -2.0].iter().map(|f| f.to_bits()).collect();
+        let mut rows: Vec<u64> = [3.5f64, 1.5, 9.0, -2.0].iter().map(|f| f.to_bits()).collect();
         sort_rows(&mut rows, 1, &[SortKey { field: 0, asc: false, float: true }], Some(2));
         let vals: Vec<f64> = rows.iter().map(|&b| f64::from_bits(b)).collect();
         assert_eq!(vals, vec![9.0, 3.5]);

@@ -86,10 +86,8 @@ fn q6_like_sum_matches_reference_in_all_modes() {
 fn group_by_agg_matches_reference() {
     let cat = tpch::generate(0.01);
     let li = cat.get("lineitem").unwrap();
-    let (rf, qty) = (
-        li.column_by_name("l_returnflag").unwrap(),
-        li.column_by_name("l_quantity").unwrap(),
-    );
+    let (rf, qty) =
+        (li.column_by_name("l_returnflag").unwrap(), li.column_by_name("l_quantity").unwrap());
     use std::collections::HashMap;
     let mut expect: HashMap<u64, (i64, i64)> = HashMap::new();
     for r in 0..li.row_count() {
@@ -163,10 +161,8 @@ fn hash_join_matches_reference() {
         .collect();
     use std::collections::HashMap;
     let mut expect: HashMap<u64, (i64, i64)> = HashMap::new();
-    let (sk, qty) = (
-        li.column_by_name("l_suppkey").unwrap(),
-        li.column_by_name("l_quantity").unwrap(),
-    );
+    let (sk, qty) =
+        (li.column_by_name("l_suppkey").unwrap(), li.column_by_name("l_quantity").unwrap());
     for r in 0..li.row_count() {
         let nk = nk_of[sk.get_u64(r) as usize] as u64;
         let e = expect.entry(nk).or_default();
@@ -266,11 +262,7 @@ fn overflow_in_generated_code_is_reported() {
         PExpr::arith(ArithOp::Mul, true, false, PExpr::Col(0), PExpr::Col(0)),
     );
     let plan = PlanNode::HashAgg {
-        input: Box::new(PlanNode::Scan {
-            table: "lineitem".into(),
-            cols: vec![5],
-            filter: None,
-        }),
+        input: Box::new(PlanNode::Scan { table: "lineitem".into(), cols: vec![5], filter: None }),
         group_by: vec![],
         aggs: vec![AggSpec { func: AggFunc::SumI, arg: Some(cube) }],
     };
@@ -287,11 +279,7 @@ fn adaptive_mode_compiles_hot_pipelines_eventually() {
     // Force compilation to look attractive: zero compile-cost model.
     let cat = tpch::generate(0.05);
     let plan = PlanNode::HashAgg {
-        input: Box::new(PlanNode::Scan {
-            table: "lineitem".into(),
-            cols: vec![4],
-            filter: None,
-        }),
+        input: Box::new(PlanNode::Scan { table: "lineitem".into(), cols: vec![4], filter: None }),
         group_by: vec![],
         aggs: vec![AggSpec { func: AggFunc::SumI, arg: Some(PExpr::Col(0)) }],
     };

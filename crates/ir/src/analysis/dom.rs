@@ -60,11 +60,8 @@ impl DomTree {
                     if idom[q as usize] == UNDEF {
                         continue; // not yet processed this round
                     }
-                    new_idom = if new_idom == UNDEF {
-                        q
-                    } else {
-                        Self::intersect(&idom, new_idom, q)
-                    };
+                    new_idom =
+                        if new_idom == UNDEF { q } else { Self::intersect(&idom, new_idom, q) };
                 }
                 debug_assert_ne!(new_idom, UNDEF, "reachable block without processed pred");
                 if idom[p] != new_idom {
@@ -205,10 +202,7 @@ mod tests {
         let head = BlockId(1);
         for (id, _) in f.blocks() {
             if id != Function::ENTRY {
-                assert!(
-                    dom.dominates(&rpo, head, id) || id == head,
-                    "head should dominate {id}"
-                );
+                assert!(dom.dominates(&rpo, head, id) || id == head, "head should dominate {id}");
             }
         }
         assert!(dom.dominates(&rpo, Function::ENTRY, head));

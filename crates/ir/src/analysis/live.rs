@@ -217,7 +217,8 @@ mod tests {
         let n = b.param(0);
         // v defined in the entry (outside the loop).
         let v = b.bin(BinOp::Add, Type::I64, n.into(), Constant::i64(7).into());
-        let acc_cell = b.bin(BinOp::Add, Type::I64, Constant::i64(0).into(), Constant::i64(0).into());
+        let acc_cell =
+            b.bin(BinOp::Add, Type::I64, Constant::i64(0).into(), Constant::i64(0).into());
         let _ = acc_cell;
         b.counted_loop(Constant::i64(0).into(), n.into(), |b, _i| {
             // use v inside the loop body

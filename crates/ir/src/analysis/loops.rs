@@ -303,9 +303,7 @@ mod tests {
         let inner = lf.loops.iter().find(|l| l.depth == 2).unwrap();
         assert_eq!(lf.info(inner.parent).depth, 1);
         // LCA of inner and outer is outer.
-        let inner_id = LoopId(
-            lf.loops.iter().position(|l| l.depth == 2).unwrap() as u32
-        );
+        let inner_id = LoopId(lf.loops.iter().position(|l| l.depth == 2).unwrap() as u32);
         let outer_id = inner.parent;
         assert_eq!(lf.lca(inner_id, outer_id), outer_id);
         assert_eq!(lf.child_of_on_path(inner_id, outer_id), inner_id);

@@ -25,8 +25,8 @@ impl Rpo {
         let n = f.block_count();
         let mut postorder = Vec::with_capacity(n);
         let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
-        // Iterative DFS computing postorder. Each stack entry remembers how
-        // many successors have been expanded already.
+                                      // Iterative DFS computing postorder. Each stack entry remembers how
+                                      // many successors have been expanded already.
         let mut stack: Vec<(BlockId, usize)> = vec![(Function::ENTRY, 0)];
         state[Function::ENTRY.index()] = 1;
         while let Some(&mut (b, ref mut next)) = stack.last_mut() {
@@ -91,20 +91,10 @@ mod tests {
         b.br(head);
         b.switch_to(head);
         let i = b.phi(Type::I64, vec![(pre, Constant::i64(0).into())]);
-        let c = b.cmp(
-            crate::instr::CmpPred::SGe,
-            Type::I64,
-            i.into(),
-            b.param(0).into(),
-        );
+        let c = b.cmp(crate::instr::CmpPred::SGe, Type::I64, i.into(), b.param(0).into());
         b.cond_br(c.into(), exit, body);
         b.switch_to(body);
-        let n = b.bin(
-            crate::instr::BinOp::Add,
-            Type::I64,
-            i.into(),
-            Constant::i64(1).into(),
-        );
+        let n = b.bin(crate::instr::BinOp::Add, Type::I64, i.into(), Constant::i64(1).into());
         b.phi_add_incoming(i, body, n.into());
         b.br(head);
         b.switch_to(exit);

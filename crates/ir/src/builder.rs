@@ -67,11 +67,7 @@ impl FunctionBuilder {
     }
 
     fn push(&mut self, instr: Instr, ty: Type) -> ValueId {
-        debug_assert!(
-            !self.is_terminated(),
-            "emitting into terminated block {}",
-            self.current
-        );
+        debug_assert!(!self.is_terminated(), "emitting into terminated block {}", self.current);
         let id = ValueId(self.f.values.len() as u32);
         self.f.values.push(ValueData { def: ValueDef::Instr(instr), ty });
         self.f.blocks[self.current.index()].instrs.push(id);
@@ -127,7 +123,13 @@ impl FunctionBuilder {
         self.push(Instr::Gep { base, offset, index: None }, Type::Ptr)
     }
 
-    pub fn gep_indexed(&mut self, base: Operand, offset: i64, index: Operand, scale: i64) -> ValueId {
+    pub fn gep_indexed(
+        &mut self,
+        base: Operand,
+        offset: i64,
+        index: Operand,
+        scale: i64,
+    ) -> ValueId {
         self.push(Instr::Gep { base, offset, index: Some((index, scale)) }, Type::Ptr)
     }
 

@@ -70,12 +70,6 @@ pub struct Block {
     pub term: Terminator,
 }
 
-impl Default for Terminator {
-    fn default() -> Self {
-        Terminator::None
-    }
-}
-
 /// A function in SSA form.
 ///
 /// Values are stored in one arena; `ValueId`s `0..param_count` are the

@@ -340,15 +340,26 @@ impl Instr {
 }
 
 /// Block terminators.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub enum Terminator {
-    Br { target: BlockId },
-    CondBr { cond: Operand, then_bb: BlockId, else_bb: BlockId },
-    Ret { value: Option<Operand> },
+    Br {
+        target: BlockId,
+    },
+    CondBr {
+        cond: Operand,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    },
+    Ret {
+        value: Option<Operand>,
+    },
     /// Abort query execution with an error (overflow, division by zero, …).
-    Trap { kind: TrapKind },
+    Trap {
+        kind: TrapKind,
+    },
     /// Placeholder while a block is under construction; rejected by the
     /// verifier.
+    #[default]
     None,
 }
 
@@ -467,11 +478,7 @@ mod tests {
         i.for_each_value_use(|v| uses.push(v));
         assert_eq!(uses, vec![ValueId(1)]);
         assert!(!i.has_side_effects());
-        let s = Instr::Store {
-            ty: Type::I64,
-            ptr: ValueId(0).into(),
-            val: ValueId(1).into(),
-        };
+        let s = Instr::Store { ty: Type::I64, ptr: ValueId(0).into(), val: ValueId(1).into() };
         assert!(s.has_side_effects());
     }
 }

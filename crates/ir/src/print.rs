@@ -17,12 +17,8 @@ fn op_str(op: &Operand) -> String {
 /// Render one function.
 pub fn print_function(f: &Function) -> String {
     let mut out = String::new();
-    let params: Vec<String> = f
-        .params
-        .iter()
-        .enumerate()
-        .map(|(i, t)| format!("{t} %{i}"))
-        .collect();
+    let params: Vec<String> =
+        f.params.iter().enumerate().map(|(i, t)| format!("{t} %{i}")).collect();
     let ret = f.ret.map(|t| t.to_string()).unwrap_or_else(|| "void".into());
     let _ = writeln!(out, "define {ret} @{}({}) {{", f.name, params.join(", "));
     for (bid, block) in f.blocks() {
@@ -57,11 +53,9 @@ pub fn print_function(f: &Function) -> String {
                     format!("store {ty} {}, {}", op_str(val), op_str(ptr))
                 }
                 Instr::Gep { base, offset, index } => match index {
-                    Some((i, scale)) => format!(
-                        "{vid} = gep {} + {offset} + {} * {scale}",
-                        op_str(base),
-                        op_str(i)
-                    ),
+                    Some((i, scale)) => {
+                        format!("{vid} = gep {} + {offset} + {} * {scale}", op_str(base), op_str(i))
+                    }
                     None => format!("{vid} = gep {} + {offset}", op_str(base)),
                 },
                 Instr::Call { func, args } => {
@@ -73,10 +67,8 @@ pub fn print_function(f: &Function) -> String {
                     }
                 }
                 Instr::Phi { ty, incomings } => {
-                    let inc: Vec<String> = incomings
-                        .iter()
-                        .map(|(b, o)| format!("[{}, {b}]", op_str(o)))
-                        .collect();
+                    let inc: Vec<String> =
+                        incomings.iter().map(|(b, o)| format!("[{}, {b}]", op_str(o))).collect();
                     format!("{vid} = phi {ty} {}", inc.join(", "))
                 }
             };

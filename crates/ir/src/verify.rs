@@ -182,7 +182,10 @@ impl<'a> Verifier<'a> {
                 if self.operand_type(*ptr) != Type::Ptr {
                     return Err(self.err(ctx("load from non-pointer")));
                 }
-                if res_ty != *ty || !ty.has_slot() || *ty == Type::OvfPairI32 || *ty == Type::OvfPairI64
+                if res_ty != *ty
+                    || !ty.has_slot()
+                    || *ty == Type::OvfPairI32
+                    || *ty == Type::OvfPairI64
                 {
                     return Err(self.err(ctx("load type mismatch")));
                 }
@@ -314,8 +317,8 @@ impl<'a> Verifier<'a> {
     /// end of the corresponding incoming block).
     fn check_dominance(&mut self) -> Result<(), VerifyError> {
         let mut def_site: Vec<Option<(BlockId, u32)>> = vec![None; self.f.value_count()];
-        for i in 0..self.f.param_count() {
-            def_site[i] = Some((Function::ENTRY, PARAM_INDEX));
+        for slot in def_site.iter_mut().take(self.f.param_count()) {
+            *slot = Some((Function::ENTRY, PARAM_INDEX));
         }
         for (bid, block) in self.f.blocks() {
             for (idx, &vid) in block.instrs.iter().enumerate() {
@@ -378,9 +381,7 @@ impl<'a> Verifier<'a> {
         if self.dom.dominates(&self.rpo, def_block, use_block) {
             Ok(())
         } else {
-            Err(self.err(format!(
-                "def of {v} in {def_block} does not dominate use in {use_block}"
-            )))
+            Err(self.err(format!("def of {v} in {def_block} does not dominate use in {use_block}")))
         }
     }
 }
@@ -498,10 +499,7 @@ mod tests {
         b.switch_to(e);
         b.br(j);
         b.switch_to(j);
-        let phi = b.phi(
-            Type::I64,
-            vec![(t, x.into()), (e, Constant::i64(0).into())],
-        );
+        let phi = b.phi(Type::I64, vec![(t, x.into()), (e, Constant::i64(0).into())]);
         b.ret(Some(phi.into()));
         assert!(b.finish().is_ok());
     }

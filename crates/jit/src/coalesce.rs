@@ -17,7 +17,9 @@
 //! The cost is Θ(S·N/64) for liveness/interference plus Θ(S²/64) for
 //! recoloring — super-linear in query size, exactly the Fig. 15 shape.
 
-use aqe_vm::bytecode::{BcFunction, BcInstr, Op, FIRST_FREE_SLOT, SLOT_ONE, SLOT_SCRATCH, SLOT_ZERO};
+use aqe_vm::bytecode::{
+    BcFunction, BcInstr, Op, FIRST_FREE_SLOT, SLOT_ONE, SLOT_SCRATCH, SLOT_ZERO,
+};
 
 /// What coalescing achieved (reported in EXPERIMENTS.md and used by the
 /// register-file ablation bench).
@@ -164,10 +166,7 @@ impl Uf {
 pub fn coalesce(bc: &mut BcFunction) -> CoalesceStats {
     let nslots = (bc.frame_size as usize).div_ceil(8);
     let n = bc.code.len();
-    let mut stats = CoalesceStats {
-        frame_before: bc.frame_size,
-        ..Default::default()
-    };
+    let mut stats = CoalesceStats { frame_before: bc.frame_size, ..Default::default() };
     if n == 0 || nslots == 0 {
         stats.frame_after = bc.frame_size;
         return stats;
@@ -292,8 +291,8 @@ pub fn coalesce(bc: &mut BcFunction) -> CoalesceStats {
             if let Some(wv) = r.write {
                 let ws = slot_of(wv);
                 let skip = if i.op == Op::Mov64 { Some(slot_of(i.b)) } else { None };
-                for w in 0..words {
-                    let mut bitsw = live[w];
+                for (w, &lw) in live.iter().enumerate() {
+                    let mut bitsw = lw;
                     while bitsw != 0 {
                         let t = w * 64 + bitsw.trailing_zeros() as usize;
                         bitsw &= bitsw - 1;
@@ -362,7 +361,7 @@ pub fn coalesce(bc: &mut BcFunction) -> CoalesceStats {
             if t != s {
                 let conflict = inter.get(s, t)
                     || fixed[t]
-                    || (uf.parent[t as usize] != t as u32 && {
+                    || (uf.parent[t] != t as u32 && {
                         let r = {
                             // path-compressed find without &mut: walk parents
                             let mut x = t as u32;

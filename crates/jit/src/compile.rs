@@ -56,10 +56,7 @@ pub fn compile(
     level: OptLevel,
 ) -> Result<CompiledFunction, TranslateError> {
     let start = Instant::now();
-    let mut stats = CompileStats {
-        ir_instrs_before: f.instruction_count(),
-        ..Default::default()
-    };
+    let mut stats = CompileStats { ir_instrs_before: f.instruction_count(), ..Default::default() };
 
     let bc = match level {
         OptLevel::Unoptimized => {

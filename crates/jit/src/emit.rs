@@ -102,10 +102,8 @@ pub fn pack(bc: &BcFunction) -> (Vec<Step>, PackStats) {
                 let t = i.a;
                 let reads_t = add.b == t || add.c == t;
                 let v = if add.b == t { add.c } else { add.b };
-                let stores_back = st.op == Op::Store64Disp
-                    && st.a == i.b
-                    && st.lit == i.lit
-                    && st.b == add.a;
+                let stores_back =
+                    st.op == Op::Store64Disp && st.a == i.b && st.lit == i.lit && st.b == add.a;
                 if reads_t && stores_back {
                     steps.push(Step {
                         sup,
@@ -157,13 +155,11 @@ pub fn pack(bc: &BcFunction) -> (Vec<Step>, PackStats) {
     for s in &mut steps {
         match s.sup {
             SOp::Jmp => s.i.lit = pc_map[s.i.lit as usize] as u64,
-            SOp::Plain => {
-                if s.i.op == Op::CondBr {
-                    s.i.lit = BcInstr::pack_branch(
-                        pc_map[BcInstr::branch_then(s.i.lit)],
-                        pc_map[BcInstr::branch_else(s.i.lit)],
-                    );
-                }
+            SOp::Plain if s.i.op == Op::CondBr => {
+                s.i.lit = BcInstr::pack_branch(
+                    pc_map[BcInstr::branch_then(s.i.lit)],
+                    pc_map[BcInstr::branch_else(s.i.lit)],
+                );
             }
             SOp::CmpBr => {
                 s.lit2 = BcInstr::pack_branch(
@@ -215,11 +211,7 @@ mod tests {
         let f = b.finish().unwrap();
         let bc = translate(&f, &[], TranslateOptions::default()).unwrap();
         let (steps, _) = pack(&bc);
-        assert!(
-            steps.iter().any(|s| s.sup == SOp::AccumAddI64),
-            "{}",
-            bc.disassemble()
-        );
+        assert!(steps.iter().any(|s| s.sup == SOp::AccumAddI64), "{}", bc.disassemble());
     }
 
     #[test]

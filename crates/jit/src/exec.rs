@@ -134,6 +134,27 @@ fn run(
     }
 }
 
+/// Threaded code as a uniform execution backend: background compilations
+/// produce a `CompiledFunction` that the engine publishes straight into a
+/// pipeline's hot-swap handle.
+impl aqe_vm::backend::PipelineBackend for CompiledFunction {
+    fn call(
+        &self,
+        args: &[u64],
+        rt: &Registry,
+        frame: &mut Frame,
+    ) -> Result<Option<u64>, ExecError> {
+        execute_compiled(self, args, rt, frame)
+    }
+
+    fn kind(&self) -> aqe_vm::backend::ExecMode {
+        match self.level {
+            crate::compile::OptLevel::Unoptimized => aqe_vm::backend::ExecMode::Unoptimized,
+            crate::compile::OptLevel::Optimized => aqe_vm::backend::ExecMode::Optimized,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

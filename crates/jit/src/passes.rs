@@ -212,9 +212,7 @@ fn try_fold(instr: &Instr) -> Option<Operand> {
                     BinOp::Add | BinOp::Or | BinOp::Xor if c.is_zero() => Some(x),
                     BinOp::Sub if c.is_zero() && b.as_const().is_some() => Some(x),
                     BinOp::Mul if c.bits == 1 => Some(x),
-                    BinOp::Mul | BinOp::And if c.is_zero() => {
-                        Some(norm_const(*ty, 0).into())
-                    }
+                    BinOp::Mul | BinOp::And if c.is_zero() => Some(norm_const(*ty, 0).into()),
                     BinOp::Shl | BinOp::AShr | BinOp::LShr
                         if c.is_zero() && b.as_const().is_some() =>
                     {
@@ -268,15 +266,14 @@ fn cse_key(instr: &Instr) -> Option<CseKey> {
                 return None; // keep trap sites intact
             }
             // Canonicalise commutative operand order for better hit rates.
-            let (a, b) = if matches!(
-                op,
-                BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
-            ) && operand_rank(b) < operand_rank(a)
-            {
-                (*b, *a)
-            } else {
-                (*a, *b)
-            };
+            let (a, b) =
+                if matches!(op, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor)
+                    && operand_rank(b) < operand_rank(a)
+                {
+                    (*b, *a)
+                } else {
+                    (*a, *b)
+                };
             Some(CseKey::Bin(*op, *ty, a, b))
         }
         Instr::Cmp { pred, ty, a, b } => Some(CseKey::Cmp(*pred, *ty, *a, *b)),
@@ -316,9 +313,8 @@ fn dce(f: &mut Function, stats: &mut PassStats) {
             let mut kept = Vec::with_capacity(ids.len());
             for vid in ids {
                 let instr = f.instr(vid).unwrap();
-                let removable = uses[vid.index()] == 0
-                    && !instr.has_side_effects()
-                    && !instr.can_trap();
+                let removable =
+                    uses[vid.index()] == 0 && !instr.has_side_effects() && !instr.can_trap();
                 if removable {
                     instr.for_each_value_use(|u| uses[u.index()] -= 1);
                     stats.dce_removed += 1;
@@ -408,11 +404,8 @@ fn simplify_cfg(f: &mut Function, stats: &mut PassStats) {
                 continue;
             }
             // Count only reachable preds.
-            let live_preds: Vec<BlockId> = preds[target.index()]
-                .iter()
-                .copied()
-                .filter(|p| rpo.is_reachable(*p))
-                .collect();
+            let live_preds: Vec<BlockId> =
+                preds[target.index()].iter().copied().filter(|p| rpo.is_reachable(*p)).collect();
             if live_preds != [bid] {
                 continue;
             }
@@ -604,10 +597,7 @@ mod tests {
         assert_eq!(stats.dce_removed, 1);
         let entry = f.block(Function::ENTRY);
         assert_eq!(entry.instrs.len(), 1);
-        assert!(matches!(
-            f.instr(entry.instrs[0]).unwrap(),
-            Instr::Bin { op: BinOp::SDiv, .. }
-        ));
+        assert!(matches!(f.instr(entry.instrs[0]).unwrap(), Instr::Bin { op: BinOp::SDiv, .. }));
     }
 
     #[test]

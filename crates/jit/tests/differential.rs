@@ -6,10 +6,12 @@ use aqe_ir::{BinOp, CmpPred, Constant, Function, FunctionBuilder, Operand, OvfOp
 use aqe_jit::compile::{compile, OptLevel};
 use aqe_jit::exec::execute_compiled;
 use aqe_jit::passes::optimize;
+use aqe_vm::backend::{ExecMode, PipelineBackend};
 use aqe_vm::interp::Frame;
 use aqe_vm::naive;
 use aqe_vm::rt::Registry;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 #[derive(Clone, Debug)]
 enum Stmt {
@@ -33,12 +35,8 @@ fn stmt_strategy() -> impl Strategy<Value = Stmt> {
     ];
     let bin_ops2 = bin_ops.clone();
     let ovf = prop_oneof![Just(OvfOp::Add), Just(OvfOp::Sub), Just(OvfOp::Mul)];
-    let preds = prop_oneof![
-        Just(CmpPred::Eq),
-        Just(CmpPred::SLt),
-        Just(CmpPred::SGe),
-        Just(CmpPred::UGt),
-    ];
+    let preds =
+        prop_oneof![Just(CmpPred::Eq), Just(CmpPred::SLt), Just(CmpPred::SGe), Just(CmpPred::UGt),];
     prop_oneof![
         (bin_ops, any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| Stmt::Bin(o, a, b)),
         (bin_ops2, any::<u8>(), any::<i16>()).prop_map(|(o, a, c)| Stmt::BinConst(o, a, c)),
@@ -62,12 +60,7 @@ fn lower(stmts: &[Stmt]) -> Function {
                 vals.push(v);
             }
             Stmt::BinConst(op, a, c) => {
-                let v = b.bin(
-                    op,
-                    Type::I64,
-                    pick(&vals, a).into(),
-                    Constant::i64(c as i64).into(),
-                );
+                let v = b.bin(op, Type::I64, pick(&vals, a).into(), Constant::i64(c as i64).into());
                 vals.push(v);
             }
             Stmt::Checked(op, a, bi) => {
@@ -77,12 +70,8 @@ fn lower(stmts: &[Stmt]) -> Function {
             }
             Stmt::CmpSelect(p, a, bi, c, d) => {
                 let cond = b.cmp(p, Type::I64, pick(&vals, a).into(), pick(&vals, bi).into());
-                let v = b.select(
-                    Type::I64,
-                    cond.into(),
-                    pick(&vals, c).into(),
-                    pick(&vals, d).into(),
-                );
+                let v =
+                    b.select(Type::I64, cond.into(), pick(&vals, c).into(), pick(&vals, d).into());
                 vals.push(v);
             }
             Stmt::Diamond(a, bi, c) => {
@@ -99,8 +88,7 @@ fn lower(stmts: &[Stmt]) -> Function {
                 b.switch_to(e_bb);
                 b.br(j_bb);
                 b.switch_to(j_bb);
-                let phi =
-                    b.phi(Type::I64, vec![(t_bb, tv.into()), (e_bb, pick(&vals, c).into())]);
+                let phi = b.phi(Type::I64, vec![(t_bb, tv.into()), (e_bb, pick(&vals, c).into())]);
                 vals.push(phi);
             }
             Stmt::Loop { trips, a } => {
@@ -113,12 +101,8 @@ fn lower(stmts: &[Stmt]) -> Function {
                 b.switch_to(head);
                 let iv = b.phi(Type::I64, vec![(pre, Constant::i64(0).into())]);
                 let acc = b.phi(Type::I64, vec![(pre, seed.into())]);
-                let done = b.cmp(
-                    CmpPred::SGe,
-                    Type::I64,
-                    iv.into(),
-                    Constant::i64(trips as i64).into(),
-                );
+                let done =
+                    b.cmp(CmpPred::SGe, Type::I64, iv.into(), Constant::i64(trips as i64).into());
                 b.cond_br(done.into(), exit, body);
                 b.switch_to(body);
                 let acc3 = b.bin(BinOp::Mul, Type::I64, acc.into(), Constant::i64(3).into());
@@ -167,6 +151,33 @@ proptest! {
             let cf = compile(&f, &[], level).expect("compilation");
             let got = execute_compiled(&cf, &args, &rt, &mut frame);
             prop_assert_eq!(expect, got, "level {:?}", level);
+        }
+    }
+
+    /// Compiled functions are pipeline backends: dispatched uniformly
+    /// through `Arc<dyn PipelineBackend>` (the handle the engine swaps
+    /// mid-query), both levels still agree with the naive oracle and
+    /// advertise the right kind.
+    #[test]
+    fn compiled_backends_agree_through_trait_dispatch(
+        stmts in prop::collection::vec(stmt_strategy(), 1..16),
+        x in any::<i64>(),
+        y in any::<i64>(),
+    ) {
+        let f = lower(&stmts);
+        let args = [x as u64, y as u64];
+        let expect = naive::interpret_pure(&f, &args);
+        let rt = Registry::new();
+        let mut frame = Frame::new();
+        for (level, kind) in [
+            (OptLevel::Unoptimized, ExecMode::Unoptimized),
+            (OptLevel::Optimized, ExecMode::Optimized),
+        ] {
+            let backend: Arc<dyn PipelineBackend> =
+                Arc::new(compile(&f, &[], level).expect("compilation"));
+            prop_assert_eq!(backend.kind(), kind);
+            let got = backend.call(&args, &rt, &mut frame);
+            prop_assert_eq!(&expect, &got, "kind {:?}", kind);
         }
     }
 

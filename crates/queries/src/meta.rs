@@ -124,8 +124,8 @@ mod tests {
             let mut last = None;
             for mode in [ExecMode::Bytecode, ExecMode::Unoptimized, ExecMode::Adaptive] {
                 let opts = ExecOptions { mode, threads: 1, ..Default::default() };
-                let (res, _) = execute_plan(&phys, &cat, &opts)
-                    .unwrap_or_else(|e| panic!("{}: {e}", q.name));
+                let (res, _) =
+                    execute_plan(&phys, &cat, &opts).unwrap_or_else(|e| panic!("{}: {e}", q.name));
                 if let Some(prev) = &last {
                     assert_eq!(prev, &res.rows, "{} mode {:?}", q.name, mode);
                 }

@@ -19,11 +19,7 @@ fn ci(v: i64) -> PExpr {
 /// aggregate expressions; instruction count grows linearly with `n`.
 pub fn wide_agg(n: usize) -> Query {
     // fields: 0 qty, 1 extprice, 2 discount, 3 tax
-    let scan = PlanNode::Scan {
-        table: "lineitem".into(),
-        cols: vec![4, 5, 6, 7],
-        filter: None,
-    };
+    let scan = PlanNode::Scan { table: "lineitem".into(), cols: vec![4, 5, 6, 7], filter: None };
     let mut aggs = Vec::with_capacity(n);
     for k in 0..n {
         let a = c(k % 4);

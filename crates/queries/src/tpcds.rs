@@ -1,9 +1,7 @@
 //! TPC-DS-style star-schema queries (the second series of Fig. 6).
 
 use crate::Query;
-use aqe_engine::plan::{
-    AggFunc, AggSpec, ArithOp, CmpOp, JoinKind, PExpr, PlanNode, SortKey,
-};
+use aqe_engine::plan::{AggFunc, AggSpec, ArithOp, CmpOp, JoinKind, PExpr, PlanNode, SortKey};
 use aqe_storage::Catalog;
 
 fn c(i: usize) -> PExpr {
@@ -50,11 +48,7 @@ fn mul(a: PExpr, b: PExpr) -> PExpr {
 
 /// d55-style: brand revenue for one month.
 pub fn d1(_cat: &Catalog) -> Query {
-    let dd = scan(
-        "date_dim",
-        &[0, 1, 2],
-        Some(PExpr::and(eq(c(1), ci(1999)), eq(c(2), ci(11)))),
-    );
+    let dd = scan("date_dim", &[0, 1, 2], Some(PExpr::and(eq(c(1), ci(1999)), eq(c(2), ci(11)))));
     let ss = scan("store_sales", &[0, 1, 5], None);
     let j = join(dd, ss, &[0], &[0], &[]);
     let item = scan("item", &[0, 1], None);
@@ -141,13 +135,7 @@ pub fn d8(_cat: &Catalog) -> Query {
     let item = scan("item", &[0, 1], None);
     let ss = scan("store_sales", &[1, 5, 6], None);
     let j = join(item, ss, &[0], &[0], &[1]);
-    let disc_amt = PExpr::arith(
-        ArithOp::Div,
-        false,
-        false,
-        mul(c(1), c(2)),
-        ci(100),
-    );
+    let disc_amt = PExpr::arith(ArithOp::Div, false, false, mul(c(1), c(2)), ci(100));
     let a = agg(j, &[3], vec![sum_i(disc_amt), sum_i(c(1))]);
     Query { name: "d8".into(), root: sort(a, &[(0, true)], None), dicts: vec![] }
 }

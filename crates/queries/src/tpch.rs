@@ -213,14 +213,7 @@ pub fn q1(_cat: &Catalog) -> Query {
     let a = agg(
         s,
         &[4, 5],
-        vec![
-            sum_i(c(0)),
-            sum_i(c(1)),
-            sum_i(disc_price),
-            sum_i(charge),
-            sum_i(c(2)),
-            cnt(),
-        ],
+        vec![sum_i(c(0)), sum_i(c(1)), sum_i(disc_price), sum_i(charge), sum_i(c(2)), cnt()],
     );
     // groups: 0 rf, 1 ls, 2 sumq, 3 sumb, 4 sumdp, 5 sumch, 6 sumdisc, 7 n
     let p = project(
@@ -263,11 +256,7 @@ pub fn q2(cat: &Catalog) -> Query {
         &[1],
         &[2], // carry acctbal
     ); // fields: ps_partkey, ps_suppkey, ps_cost, s_acctbal
-    let parts = scan(
-        "part",
-        &[0, 5, 4],
-        Some(eq(c(1), ci(15))),
-    );
+    let parts = scan("part", &[0, 5, 4], Some(eq(c(1), ci(15))));
     let parts = filter(parts, dict_match(brass, 2));
     let target_ps = join(parts, eu_ps.clone(), &[0], &[0], &[]);
     // min cost per part over european partsupp
@@ -286,11 +275,8 @@ pub fn q3(cat: &Catalog) -> Query {
     let orders = scan("orders", &[0, 1, 4, 7], Some(lt(c(2), date("1995-03-15"))));
     let co = join(cust, orders, &[0], &[1], &[]);
     // fields: o_orderkey, o_custkey, o_orderdate, o_shippriority
-    let li = scan(
-        "lineitem",
-        &[L_ORDERKEY, L_EXT, L_DISC, L_SHIP],
-        Some(gt(c(3), date("1995-03-15"))),
-    );
+    let li =
+        scan("lineitem", &[L_ORDERKEY, L_EXT, L_DISC, L_SHIP], Some(gt(c(3), date("1995-03-15"))));
     let j = join(co, li, &[0], &[0], &[2, 3]);
     // fields: l_orderkey, ext, disc, ship, o_orderdate, o_shippriority
     let rev = div(mul(c(1), sub(ci(100), c(2))), ci(100));
@@ -300,16 +286,9 @@ pub fn q3(cat: &Catalog) -> Query {
 
 /// Q4 — order priority checking (EXISTS → semi join).
 pub fn q4(_cat: &Catalog) -> Query {
-    let late_items = scan(
-        "lineitem",
-        &[L_ORDERKEY, L_COMMIT, L_RECEIPT],
-        Some(lt(c(1), c(2))),
-    );
-    let orders = scan(
-        "orders",
-        &[0, 4, 5],
-        Some(between(c(1), date("1993-07-01"), date("1993-09-30"))),
-    );
+    let late_items = scan("lineitem", &[L_ORDERKEY, L_COMMIT, L_RECEIPT], Some(lt(c(1), c(2))));
+    let orders =
+        scan("orders", &[0, 4, 5], Some(between(c(1), date("1993-07-01"), date("1993-09-30"))));
     let j = semi(late_items, orders, &[0], &[0]);
     let a = agg(j, &[2], vec![cnt()]);
     q("q4", sort(a, &[(0, true)], None), vec![])
@@ -330,11 +309,8 @@ pub fn q5(cat: &Catalog) -> Query {
     let li = scan("lineitem", &[L_ORDERKEY, L_SUPPKEY, L_EXT, L_DISC], None);
     let sl = join(supp, li, &[0], &[1], &[1]);
     // l_orderkey, l_suppkey, ext, disc, s_nationkey
-    let orders = scan(
-        "orders",
-        &[0, 1, 4],
-        Some(between(c(2), date("1994-01-01"), date("1994-12-31"))),
-    );
+    let orders =
+        scan("orders", &[0, 1, 4], Some(between(c(2), date("1994-01-01"), date("1994-12-31"))));
     let slo = join(orders, sl, &[0], &[0], &[1]);
     // ..., o_custkey
     let cust = scan("customer", &[0, 3], None);
@@ -386,8 +362,7 @@ pub fn q7(cat: &Catalog) -> Query {
 /// AMERICA customers' orders of a part type, by year).
 pub fn q8(cat: &Catalog) -> Query {
     let mut dicts = vec![];
-    let steel =
-        like_dict(cat, &mut dicts, "part", "p_type", |s| s.contains("ECONOMY ANODIZED"));
+    let steel = like_dict(cat, &mut dicts, "part", "p_type", |s| s.contains("ECONOMY ANODIZED"));
     let brazil = code(cat, "nation", "n_name", "BRAZIL");
     let america = code(cat, "region", "r_name", "AMERICA");
     let part = filter(scan("part", &[0, 4], None), dict_match(steel, 1));
@@ -396,11 +371,8 @@ pub fn q8(cat: &Catalog) -> Query {
     let supp = scan("supplier", &[0, 3], None);
     let pls = join(supp, pl, &[0], &[2], &[1]);
     // l_orderkey, l_partkey, l_suppkey, ext, disc, s_nationkey
-    let orders = scan(
-        "orders",
-        &[0, 1, 4],
-        Some(between(c(2), date("1995-01-01"), date("1996-12-31"))),
-    );
+    let orders =
+        scan("orders", &[0, 1, 4], Some(between(c(2), date("1995-01-01"), date("1996-12-31"))));
     let plso = join(orders, pls, &[0], &[0], &[1, 2]);
     // + o_custkey(6), o_orderdate(7)
     let nat_am = join(
@@ -431,11 +403,7 @@ pub fn q9(cat: &Catalog) -> Query {
     let mut dicts = vec![];
     let green = like_dict(cat, &mut dicts, "part", "p_name", |s| s.contains("green"));
     let part = filter(scan("part", &[0, 1], None), dict_match(green, 1));
-    let li = scan(
-        "lineitem",
-        &[L_ORDERKEY, L_PARTKEY, L_SUPPKEY, L_QTY, L_EXT, L_DISC],
-        None,
-    );
+    let li = scan("lineitem", &[L_ORDERKEY, L_PARTKEY, L_SUPPKEY, L_QTY, L_EXT, L_DISC], None);
     let pl = join(part, li, &[0], &[1], &[]);
     let ps = scan("partsupp", &[0, 1, 3], None);
     let plps = join(ps, pl, &[0, 1], &[1, 2], &[2]);
@@ -446,10 +414,7 @@ pub fn q9(cat: &Catalog) -> Query {
     let orders = scan("orders", &[0, 4], None);
     let j = join(orders, plpss, &[0], &[0], &[1]);
     // + o_orderdate(8)
-    let amount = sub(
-        div(mul(c(4), sub(ci(100), c(5))), ci(100)),
-        div(mul(c(6), c(3)), ci(100)),
-    );
+    let amount = sub(div(mul(c(4), sub(ci(100), c(5))), ci(100)), div(mul(c(6), c(3)), ci(100)));
     let withyear = project(j, vec![c(7), year(c(8)), amount]);
     let a = agg(withyear, &[0, 1], vec![sum_i(c(2))]);
     q("q9", sort(a, &[(0, true), (1, false)], None), dicts)
@@ -459,11 +424,8 @@ pub fn q9(cat: &Catalog) -> Query {
 pub fn q10(cat: &Catalog) -> Query {
     let r = code(cat, "lineitem", "l_returnflag", "R");
     let li = scan("lineitem", &[L_ORDERKEY, L_EXT, L_DISC, L_RF], Some(eq(c(3), ci(r))));
-    let orders = scan(
-        "orders",
-        &[0, 1, 4],
-        Some(between(c(2), date("1993-10-01"), date("1993-12-31"))),
-    );
+    let orders =
+        scan("orders", &[0, 1, 4], Some(between(c(2), date("1993-10-01"), date("1993-12-31"))));
     let j = join(orders, li, &[0], &[0], &[1]);
     // l_orderkey, ext, disc, rf, o_custkey
     let cust = scan("customer", &[0, 3, 5], None);
@@ -605,15 +567,8 @@ pub fn q17(cat: &Catalog) -> Query {
     let li_all = scan("lineitem", &[L_PARTKEY, L_QTY, L_EXT], None);
     let avg_qty = agg(li_all.clone(), &[0], vec![sum_i(c(1)), cnt()]);
     // per-part threshold: 0.2 * avg = sum/(5*count)
-    let threshold = project(
-        avg_qty,
-        vec![c(0), div(c(1), mul_unchecked(c(2), ci(5)))],
-    );
-    let part = scan(
-        "part",
-        &[0, 3, 6],
-        Some(and(eq(c(1), ci(b23)), eq(c(2), ci(medbox)))),
-    );
+    let threshold = project(avg_qty, vec![c(0), div(c(1), mul_unchecked(c(2), ci(5)))]);
+    let part = scan("part", &[0, 3, 6], Some(and(eq(c(1), ci(b23)), eq(c(2), ci(medbox)))));
     let li_p = join(part, li_all, &[0], &[0], &[]);
     let j = join(threshold, li_p, &[0], &[0], &[1]);
     // fields: partkey, qty, ext, threshold(3)
@@ -656,10 +611,8 @@ pub fn q19(cat: &Catalog) -> Query {
     let part = scan("part", &[0, 3, 5], None);
     let j = join(part, li, &[0], &[0], &[1, 2]);
     // fields: partkey, qty, ext, disc, instruct, mode, brand(6), size(7)
-    let case1 = and(
-        and(eq(c(6), ci(b12)), between(c(1), ci(100), ci(1100))),
-        between(c(7), ci(1), ci(5)),
-    );
+    let case1 =
+        and(and(eq(c(6), ci(b12)), between(c(1), ci(100), ci(1100))), between(c(7), ci(1), ci(5)));
     let case2 = and(
         and(eq(c(6), ci(b23)), between(c(1), ci(1000), ci(2000))),
         between(c(7), ci(1), ci(10)),
@@ -703,11 +656,7 @@ pub fn q21(cat: &Catalog) -> Query {
     let sa = code(cat, "nation", "n_name", "SAUDI ARABIA");
     let f = code(cat, "orders", "o_orderstatus", "F");
     let supp = scan("supplier", &[0, 3], Some(eq(c(1), ci(sa))));
-    let li = scan(
-        "lineitem",
-        &[L_ORDERKEY, L_SUPPKEY, L_COMMIT, L_RECEIPT],
-        Some(gt(c(3), c(2))),
-    );
+    let li = scan("lineitem", &[L_ORDERKEY, L_SUPPKEY, L_COMMIT, L_RECEIPT], Some(gt(c(3), c(2))));
     let sl = join(supp, li, &[0], &[1], &[0]);
     let orders = scan("orders", &[0, 2], Some(eq(c(1), ci(f))));
     let j = semi(orders, sl, &[0], &[0]);

@@ -88,10 +88,7 @@ impl<'a> Binder<'a> {
 }
 
 /// Collect all column references of an expression.
-fn walk_cols(
-    b: &mut Binder,
-    ast: &Ast,
-) -> Result<(), PlanError> {
+fn walk_cols(b: &mut Binder, ast: &Ast) -> Result<(), PlanError> {
     match ast {
         Ast::Col { table, name } => {
             let (ti, ci, _) = b.resolve(table, name)?;
@@ -147,11 +144,7 @@ fn tables_of(b: &Binder, ast: &Ast, out: &mut Vec<usize>) {
             tables_of(b, v, out);
             list.iter().for_each(|e| tables_of(b, e, out));
         }
-        Ast::Agg { arg, .. } => {
-            if let Some(a) = arg {
-                tables_of(b, a, out);
-            }
-        }
+        Ast::Agg { arg: Some(a), .. } => tables_of(b, a, out),
         Ast::Case { cond, t, f } => {
             tables_of(b, cond, out);
             tables_of(b, t, out);
@@ -193,10 +186,7 @@ struct Env {
 
 impl Env {
     fn index_of(&self, ti: usize, ci: usize) -> Option<(usize, FieldTy)> {
-        self.fields
-            .iter()
-            .position(|&(t, c, _)| t == ti && c == ci)
-            .map(|p| (p, self.fields[p].2))
+        self.fields.iter().position(|&(t, c, _)| t == ti && c == ci).map(|p| (p, self.fields[p].2))
     }
 }
 
@@ -228,10 +218,7 @@ fn sql_ty(dt: DataType) -> SqlTy {
 /// fixed-point decimal.
 fn coerce_dec(e: PExpr, ty: SqlTy, other: SqlTy) -> (PExpr, SqlTy) {
     if ty == SqlTy::Int && other == SqlTy::Dec {
-        (
-            PExpr::arith(ArithOp::Mul, false, false, e, PExpr::ConstI(100)),
-            SqlTy::Dec,
-        )
+        (PExpr::arith(ArithOp::Mul, false, false, e, PExpr::ConstI(100)), SqlTy::Dec)
     } else {
         (e, ty)
     }
@@ -282,22 +269,14 @@ fn lower_expr(b: &mut Binder, env: &Env, ast: &Ast) -> Result<(PExpr, FieldTy), 
             }
             let (idx, _) = env.index_of(ti, ci).ok_or_else(|| PlanError("scope".into()))?;
             let tab = b.cat.get(&b.tables[ti].name).unwrap();
-            let bitmap = tab
-                .column(ci)
-                .as_str()
-                .unwrap()
-                .match_bitmap(|s| like_match(pattern, s));
+            let bitmap = tab.column(ci).as_str().unwrap().match_bitmap(|s| like_match(pattern, s));
             b.dicts.push(DictTable { bytes: Arc::new(bitmap), elem_size: 1, state_slot: 0 });
             let tblid = b.dicts.len() - 1;
             (
                 PExpr::cmp(
                     CmpOp::Ne,
                     false,
-                    PExpr::DictLookup {
-                        v: Box::new(PExpr::Col(idx)),
-                        table: tblid,
-                        elem_size: 1,
-                    },
+                    PExpr::DictLookup { v: Box::new(PExpr::Col(idx)), table: tblid, elem_size: 1 },
                     PExpr::ConstI(0),
                 ),
                 FieldTy::I64,
@@ -342,7 +321,8 @@ fn lower_expr(b: &mut Binder, env: &Env, ast: &Ast) -> Result<(PExpr, FieldTy), 
             };
             let (pa, pb) = (coerce(pa, ta), coerce(pb, tb));
             // Fixed-point coercion for comparisons and additive arithmetic.
-            let (pa, pb) = if !float && matches!(op.as_str(), "=" | "<>" | "<" | "<=" | ">" | ">=" | "+" | "-")
+            let (pa, pb) = if !float
+                && matches!(op.as_str(), "=" | "<>" | "<" | "<=" | ">" | ">=" | "+" | "-")
             {
                 let (pa, _) = coerce_dec(pa, sa, sb);
                 let (pb, _) = coerce_dec(pb, sb, sa);
@@ -412,8 +392,7 @@ fn lower_expr(b: &mut Binder, env: &Env, ast: &Ast) -> Result<(PExpr, FieldTy), 
                         };
                         codes.push(col.code_of(s).map(|c| c as i64).unwrap_or(-1));
                     }
-                    let (idx, _) =
-                        env.index_of(ti, ci).ok_or_else(|| PlanError("scope".into()))?;
+                    let (idx, _) = env.index_of(ti, ci).ok_or_else(|| PlanError("scope".into()))?;
                     return Ok((
                         PExpr::InList { v: Box::new(PExpr::Col(idx)), list: codes },
                         FieldTy::I64,
@@ -511,28 +490,23 @@ fn plan_select(cat: &Catalog, stmt: &SelectStmt) -> Result<BoundQuery, PlanError
     // 3. Build scans + left-deep join tree: `from` is the probe side,
     //    joined tables build (they are the smaller dimension sides in the
     //    workloads this frontend serves).
-    let mk_scan = |b: &mut Binder, ti: usize, filters: &[Ast]| -> Result<(PlanNode, Env), PlanError> {
-        let cols = b.tables[ti].used_cols.clone();
-        let tab = cat.get(&b.tables[ti].name).unwrap();
-        let env = Env {
-            fields: cols
-                .iter()
-                .map(|&c| (ti, c, field_ty(tab.column_type(c))))
-                .collect(),
+    let mk_scan =
+        |b: &mut Binder, ti: usize, filters: &[Ast]| -> Result<(PlanNode, Env), PlanError> {
+            let cols = b.tables[ti].used_cols.clone();
+            let tab = cat.get(&b.tables[ti].name).unwrap();
+            let env = Env {
+                fields: cols.iter().map(|&c| (ti, c, field_ty(tab.column_type(c)))).collect(),
+            };
+            let mut filter = None;
+            for f in filters {
+                let (p, _) = lower_expr(b, &env, f)?;
+                filter = Some(match filter {
+                    None => p,
+                    Some(prev) => PExpr::and(prev, p),
+                });
+            }
+            Ok((PlanNode::Scan { table: b.tables[ti].name.clone(), cols, filter }, env))
         };
-        let mut filter = None;
-        for f in filters {
-            let (p, _) = lower_expr(b, &env, f)?;
-            filter = Some(match filter {
-                None => p,
-                Some(prev) => PExpr::and(prev, p),
-            });
-        }
-        Ok((
-            PlanNode::Scan { table: b.tables[ti].name.clone(), cols, filter },
-            env,
-        ))
-    };
 
     let (mut plan, mut env) = mk_scan(&mut b, 0, &pushed[0].clone())?;
     for (ji, j) in stmt.joins.iter().enumerate() {
@@ -542,10 +516,7 @@ fn plan_select(cat: &Catalog, stmt: &SelectStmt) -> Result<BoundQuery, PlanError
         // Which side of ON belongs to the new table?
         let ((bt, bc), (pt, pc)) =
             if lt == ti { ((lt, lc), (rt, rc)) } else { ((rt, rc), (lt, lc)) };
-        let bkey = benv
-            .index_of(bt, bc)
-            .ok_or_else(|| PlanError("join key".into()))?
-            .0;
+        let bkey = benv.index_of(bt, bc).ok_or_else(|| PlanError("join key".into()))?.0;
         let pkey = env
             .index_of(pt, pc)
             .ok_or_else(|| PlanError(format!("join key not in scope for {}", j.table)))?
@@ -568,8 +539,8 @@ fn plan_select(cat: &Catalog, stmt: &SelectStmt) -> Result<BoundQuery, PlanError
     }
 
     // 4. Aggregation / projection.
-    let has_agg = stmt.select.iter().any(|(e, _)| matches!(e, Ast::Agg { .. }))
-        || !stmt.group_by.is_empty();
+    let has_agg =
+        stmt.select.iter().any(|(e, _)| matches!(e, Ast::Agg { .. })) || !stmt.group_by.is_empty();
     let mut output_names = Vec::new();
     if has_agg {
         // Pre-project: group keys then agg args.
@@ -634,15 +605,13 @@ fn plan_select(cat: &Catalog, stmt: &SelectStmt) -> Result<BoundQuery, PlanError
                         }
                         ("avg", false) => {
                             // avg → sum / count (integer division on cents).
-                            let s =
-                                push_acc(&mut pre, &mut aggs, AggFunc::SumI, arg_p.unwrap());
+                            let s = push_acc(&mut pre, &mut aggs, AggFunc::SumI, arg_p.unwrap());
                             aggs.push(AggSpec { func: AggFunc::CountStar, arg: None });
                             let n = ngroup + aggs.len() - 1;
                             PExpr::arith(ArithOp::Div, false, false, PExpr::Col(s), PExpr::Col(n))
                         }
                         ("avg", true) => {
-                            let s =
-                                push_acc(&mut pre, &mut aggs, AggFunc::SumF, arg_p.unwrap());
+                            let s = push_acc(&mut pre, &mut aggs, AggFunc::SumF, arg_p.unwrap());
                             aggs.push(AggSpec { func: AggFunc::CountStar, arg: None });
                             let n = ngroup + aggs.len() - 1;
                             PExpr::arith(
@@ -669,11 +638,7 @@ fn plan_select(cat: &Catalog, stmt: &SelectStmt) -> Result<BoundQuery, PlanError
             }
         }
         plan = PlanNode::Project { input: Box::new(plan), exprs: pre };
-        plan = PlanNode::HashAgg {
-            input: Box::new(plan),
-            group_by: (0..ngroup).collect(),
-            aggs,
-        };
+        plan = PlanNode::HashAgg { input: Box::new(plan), group_by: (0..ngroup).collect(), aggs };
         plan = PlanNode::Project { input: Box::new(plan), exprs: select_out };
         let _ = pre_tys;
     } else {
@@ -822,11 +787,7 @@ mod tests {
     #[test]
     fn sql_avg_expansion() {
         let cat = tpch::generate(0.002);
-        let rows = run_sql(
-            &cat,
-            "SELECT avg(l_quantity) FROM lineitem",
-            ExecMode::Bytecode,
-        );
+        let rows = run_sql(&cat, "SELECT avg(l_quantity) FROM lineitem", ExecMode::Bytecode);
         let li = cat.get("lineitem").unwrap();
         let q = li.column_by_name("l_quantity").unwrap();
         let sum: i64 = (0..li.row_count()).map(|r| q.get_u64(r) as i64).sum();

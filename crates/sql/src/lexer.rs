@@ -84,9 +84,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, String> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' )
-                {
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
                     i += 1;
                 }
                 out.push(Token::Ident(sql[start..i].to_ascii_lowercase()));

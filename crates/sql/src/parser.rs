@@ -221,11 +221,7 @@ impl Parser {
             }
             "count" | "sum" | "avg" | "min" | "max" => {
                 self.expect_sym('(')?;
-                let arg = if self.eat_sym('*') {
-                    None
-                } else {
-                    Some(Box::new(self.expr()?))
-                };
+                let arg = if self.eat_sym('*') { None } else { Some(Box::new(self.expr()?)) };
                 self.expect_sym(')')?;
                 Ok(Ast::Agg { func: id, arg })
             }

@@ -22,11 +22,7 @@ pub fn generate(n_relations: usize) -> Catalog {
     cat.add(Table::new(
         "pg_namespace",
         vec![
-            (
-                "oid",
-                DataType::Int32,
-                Column::I32((0..namespaces.len() as i32).collect()),
-            ),
+            ("oid", DataType::Int32, Column::I32((0..namespaces.len() as i32).collect())),
             ("nspname", DataType::Str, Column::Str(StrColumn::from_values(namespaces))),
         ],
     ));

@@ -20,11 +20,7 @@ impl Table {
         let mut columns = Vec::with_capacity(fields.len());
         let mut rows = None;
         for (n, ty, col) in fields {
-            assert_eq!(
-                *rows.get_or_insert(col.len()),
-                col.len(),
-                "column {n} length mismatch"
-            );
+            assert_eq!(*rows.get_or_insert(col.len()), col.len(), "column {n} length mismatch");
             schema.push((n.to_string(), ty));
             columns.push(col);
         }

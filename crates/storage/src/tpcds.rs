@@ -45,11 +45,7 @@ pub fn generate(sf: f64) -> Catalog {
         cat.add(Table::new(
             "date_dim",
             vec![
-                (
-                    "d_date_sk",
-                    DataType::Int32,
-                    Column::I32((0..n_days as i32).collect()),
-                ),
+                ("d_date_sk", DataType::Int32, Column::I32((0..n_days as i32).collect())),
                 ("d_year", DataType::Int32, Column::I32(year)),
                 ("d_moy", DataType::Int32, Column::I32(moy)),
                 ("d_dom", DataType::Int32, Column::I32(dom)),
@@ -111,11 +107,7 @@ pub fn generate(sf: f64) -> Catalog {
         cat.add(Table::new(
             "customer_ds",
             vec![
-                (
-                    "c_customer_sk",
-                    DataType::Int32,
-                    Column::I32((0..n_customers as i32).collect()),
-                ),
+                ("c_customer_sk", DataType::Int32, Column::I32((0..n_customers as i32).collect())),
                 ("c_birth_year", DataType::Int32, Column::I32(birth_year)),
                 ("c_state", DataType::Str, Column::Str(StrColumn::from_values(state))),
             ],

@@ -51,18 +51,54 @@ const CONTAINER_2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN
 const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
-const SHIP_INSTRUCT: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const SHIP_INSTRUCT: [&str; 4] = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
 const WORDS: [&str; 24] = [
-    "special", "pending", "unusual", "express", "furiously", "slyly", "carefully", "blithely",
-    "requests", "deposits", "packages", "accounts", "instructions", "theodolites", "platelets",
-    "foxes", "ideas", "dependencies", "excuses", "courts", "dolphins", "warhorses", "sheaves",
+    "special",
+    "pending",
+    "unusual",
+    "express",
+    "furiously",
+    "slyly",
+    "carefully",
+    "blithely",
+    "requests",
+    "deposits",
+    "packages",
+    "accounts",
+    "instructions",
+    "theodolites",
+    "platelets",
+    "foxes",
+    "ideas",
+    "dependencies",
+    "excuses",
+    "courts",
+    "dolphins",
+    "warhorses",
+    "sheaves",
     "pinto",
 ];
 const PART_NAME_WORDS: [&str; 20] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cream", "cyan",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cream",
+    "cyan",
 ];
 
 fn comment(rng: &mut SmallRng) -> String {
@@ -140,8 +176,8 @@ pub fn generate(sf: f64) -> Catalog {
         for k in 0..n_supp {
             nationkey.push(rng.random_range(0..25));
             acctbal.push(rng.random_range(-99_999..=999_999)); // -999.99..9999.99
-            // A fraction of suppliers carry the "Customer Complaints" marker
-            // (Q16 excludes them).
+                                                               // A fraction of suppliers carry the "Customer Complaints" marker
+                                                               // (Q16 excludes them).
             comments.push(if k % 50 == 0 {
                 "customer complaints pending".to_string()
             } else {
@@ -314,7 +350,6 @@ pub fn generate(sf: f64) -> Catalog {
             let lines = rng.random_range(1..=7usize);
             let mut total = 0i64;
             let mut any_open = false;
-            let mut all_fulfilled = true;
             for ln in 0..lines {
                 let pk = rng.random_range(0..n_part as i32);
                 let qty = rng.random_range(1..=50i64);
@@ -328,11 +363,7 @@ pub fn generate(sf: f64) -> Catalog {
                 } else {
                     ("N", if ship > cutoff { "O" } else { "F" })
                 };
-                if ls == "O" {
-                    any_open = true;
-                } else {
-                    all_fulfilled = all_fulfilled && true;
-                }
+                any_open |= ls == "O";
                 l_orderkey.push(ok as i64);
                 l_partkey.push(pk);
                 l_suppkey.push(((pk as usize + ln * (n_supp / 4 + 1)) % n_supp) as i32);
@@ -352,11 +383,14 @@ pub fn generate(sf: f64) -> Catalog {
                 total += ext;
             }
             o_custkey.push(rng.random_range(0..n_cust as i32));
-            o_status.push(if any_open { "O" } else if all_fulfilled { "F" } else { "P" });
+            // Lines are only ever "F" or "O" here, so the partially-
+            // fulfilled order status "P" of full TPC-H is not modelled.
+            o_status.push(if any_open { "O" } else { "F" });
             o_total.push(total);
             o_date.push(odate);
             o_prio.push(PRIORITIES[rng.random_range(0..5)]);
-            o_clerk.push(format!("Clerk#{:09}", rng.random_range(0..(1000.0 * sf).max(10.0) as u32)));
+            o_clerk
+                .push(format!("Clerk#{:09}", rng.random_range(0..(1000.0 * sf).max(10.0) as u32)));
             o_ship.push(0i32);
             o_comment.push(comment(&mut rng));
         }
@@ -409,9 +443,9 @@ mod tests {
     #[test]
     fn tiny_scale_has_all_tables() {
         let cat = generate(0.001);
-        for t in [
-            "region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem",
-        ] {
+        for t in
+            ["region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem"]
+        {
             assert!(cat.get(t).is_some(), "missing {t}");
         }
         assert_eq!(cat.get("region").unwrap().row_count(), 5);
@@ -485,10 +519,8 @@ mod tests {
     fn dates_are_ordered() {
         let cat = generate(0.001);
         let li = cat.get("lineitem").unwrap();
-        let (ship, receipt) = (
-            li.column_by_name("l_shipdate").unwrap(),
-            li.column_by_name("l_receiptdate").unwrap(),
-        );
+        let (ship, receipt) =
+            (li.column_by_name("l_shipdate").unwrap(), li.column_by_name("l_receiptdate").unwrap());
         for r in 0..li.row_count() {
             assert!(ship.get_u64(r) as i64 <= receipt.get_u64(r) as i64);
         }

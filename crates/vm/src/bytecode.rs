@@ -23,77 +23,196 @@ use std::fmt;
 #[allow(missing_docs)]
 pub enum Op {
     // ---- integer/float arithmetic: dst=a, lhs=b, rhs=c -----------------
-    AddI8, AddI16, AddI32, AddI64, AddF64,
-    SubI8, SubI16, SubI32, SubI64, SubF64,
-    MulI8, MulI16, MulI32, MulI64, MulF64,
-    SDivI8, SDivI16, SDivI32, SDivI64,
-    UDivI8, UDivI16, UDivI32, UDivI64,
-    SRemI8, SRemI16, SRemI32, SRemI64,
-    URemI8, URemI16, URemI32, URemI64,
+    AddI8,
+    AddI16,
+    AddI32,
+    AddI64,
+    AddF64,
+    SubI8,
+    SubI16,
+    SubI32,
+    SubI64,
+    SubF64,
+    MulI8,
+    MulI16,
+    MulI32,
+    MulI64,
+    MulF64,
+    SDivI8,
+    SDivI16,
+    SDivI32,
+    SDivI64,
+    UDivI8,
+    UDivI16,
+    UDivI32,
+    UDivI64,
+    SRemI8,
+    SRemI16,
+    SRemI32,
+    SRemI64,
+    URemI8,
+    URemI16,
+    URemI32,
+    URemI64,
     FDivF64,
-    AndI8, AndI16, AndI32, AndI64,
-    OrI8, OrI16, OrI32, OrI64,
-    XorI8, XorI16, XorI32, XorI64,
-    ShlI8, ShlI16, ShlI32, ShlI64,
-    AShrI8, AShrI16, AShrI32, AShrI64,
-    LShrI8, LShrI16, LShrI32, LShrI64,
+    AndI8,
+    AndI16,
+    AndI32,
+    AndI64,
+    OrI8,
+    OrI16,
+    OrI32,
+    OrI64,
+    XorI8,
+    XorI16,
+    XorI32,
+    XorI64,
+    ShlI8,
+    ShlI16,
+    ShlI32,
+    ShlI64,
+    AShrI8,
+    AShrI16,
+    AShrI32,
+    AShrI64,
+    LShrI8,
+    LShrI16,
+    LShrI32,
+    LShrI64,
 
     // ---- immediate forms: dst=a, lhs=b, rhs=lit -------------------------
-    AddImmI32, AddImmI64, AddImmF64,
-    SubImmI32, SubImmI64,
-    MulImmI32, MulImmI64, MulImmF64,
-    AndImmI32, AndImmI64,
-    OrImmI32, OrImmI64,
-    XorImmI32, XorImmI64,
-    ShlImmI32, ShlImmI64,
-    AShrImmI32, AShrImmI64,
-    LShrImmI32, LShrImmI64,
+    AddImmI32,
+    AddImmI64,
+    AddImmF64,
+    SubImmI32,
+    SubImmI64,
+    MulImmI32,
+    MulImmI64,
+    MulImmF64,
+    AndImmI32,
+    AndImmI64,
+    OrImmI32,
+    OrImmI64,
+    XorImmI32,
+    XorImmI64,
+    ShlImmI32,
+    ShlImmI64,
+    AShrImmI32,
+    AShrImmI64,
+    LShrImmI32,
+    LShrImmI64,
 
     // ---- comparisons: dst=a (writes u8 0/1), lhs=b, rhs=c ---------------
-    CmpEqI8, CmpEqI16, CmpEqI32, CmpEqI64,
-    CmpNeI8, CmpNeI16, CmpNeI32, CmpNeI64,
-    CmpSltI8, CmpSltI16, CmpSltI32, CmpSltI64,
-    CmpSleI8, CmpSleI16, CmpSleI32, CmpSleI64,
-    CmpSgtI8, CmpSgtI16, CmpSgtI32, CmpSgtI64,
-    CmpSgeI8, CmpSgeI16, CmpSgeI32, CmpSgeI64,
-    CmpUltI8, CmpUltI16, CmpUltI32, CmpUltI64,
-    CmpUleI8, CmpUleI16, CmpUleI32, CmpUleI64,
-    CmpUgtI8, CmpUgtI16, CmpUgtI32, CmpUgtI64,
-    CmpUgeI8, CmpUgeI16, CmpUgeI32, CmpUgeI64,
-    CmpEqF64, CmpNeF64, CmpLtF64, CmpLeF64, CmpGtF64, CmpGeF64,
+    CmpEqI8,
+    CmpEqI16,
+    CmpEqI32,
+    CmpEqI64,
+    CmpNeI8,
+    CmpNeI16,
+    CmpNeI32,
+    CmpNeI64,
+    CmpSltI8,
+    CmpSltI16,
+    CmpSltI32,
+    CmpSltI64,
+    CmpSleI8,
+    CmpSleI16,
+    CmpSleI32,
+    CmpSleI64,
+    CmpSgtI8,
+    CmpSgtI16,
+    CmpSgtI32,
+    CmpSgtI64,
+    CmpSgeI8,
+    CmpSgeI16,
+    CmpSgeI32,
+    CmpSgeI64,
+    CmpUltI8,
+    CmpUltI16,
+    CmpUltI32,
+    CmpUltI64,
+    CmpUleI8,
+    CmpUleI16,
+    CmpUleI32,
+    CmpUleI64,
+    CmpUgtI8,
+    CmpUgtI16,
+    CmpUgtI32,
+    CmpUgtI64,
+    CmpUgeI8,
+    CmpUgeI16,
+    CmpUgeI32,
+    CmpUgeI64,
+    CmpEqF64,
+    CmpNeF64,
+    CmpLtF64,
+    CmpLeF64,
+    CmpGtF64,
+    CmpGeF64,
 
     // ---- immediate comparisons: dst=a, lhs=b, rhs=lit --------------------
-    CmpImmEqI32, CmpImmEqI64,
-    CmpImmNeI32, CmpImmNeI64,
-    CmpImmSltI32, CmpImmSltI64,
-    CmpImmSleI32, CmpImmSleI64,
-    CmpImmSgtI32, CmpImmSgtI64,
-    CmpImmSgeI32, CmpImmSgeI64,
-    CmpImmUltI32, CmpImmUltI64,
-    CmpImmUleI32, CmpImmUleI64,
-    CmpImmUgtI32, CmpImmUgtI64,
-    CmpImmUgeI32, CmpImmUgeI64,
+    CmpImmEqI32,
+    CmpImmEqI64,
+    CmpImmNeI32,
+    CmpImmNeI64,
+    CmpImmSltI32,
+    CmpImmSltI64,
+    CmpImmSleI32,
+    CmpImmSleI64,
+    CmpImmSgtI32,
+    CmpImmSgtI64,
+    CmpImmSgeI32,
+    CmpImmSgeI64,
+    CmpImmUltI32,
+    CmpImmUltI64,
+    CmpImmUleI32,
+    CmpImmUleI64,
+    CmpImmUgtI32,
+    CmpImmUgtI64,
+    CmpImmUgeI32,
+    CmpImmUgeI64,
 
     // ---- overflow-checked arithmetic (§IV-F macro ops) -------------------
     // Fused form: performs the op, traps on overflow ("replaces [the
     // 4-instruction sequence] with a single VM bytecode that performs all
     // four steps at once").
-    AddOvfTrapI32, AddOvfTrapI64,
-    SubOvfTrapI32, SubOvfTrapI64,
-    MulOvfTrapI32, MulOvfTrapI64,
+    AddOvfTrapI32,
+    AddOvfTrapI64,
+    SubOvfTrapI32,
+    SubOvfTrapI64,
+    MulOvfTrapI32,
+    MulOvfTrapI64,
     // Unfused fallbacks when the flag escapes the canonical pattern.
-    AddOvfValI32, AddOvfValI64,
-    SubOvfValI32, SubOvfValI64,
-    MulOvfValI32, MulOvfValI64,
-    AddOvfFlagI32, AddOvfFlagI64,
-    SubOvfFlagI32, SubOvfFlagI64,
-    MulOvfFlagI32, MulOvfFlagI64,
+    AddOvfValI32,
+    AddOvfValI64,
+    SubOvfValI32,
+    SubOvfValI64,
+    MulOvfValI32,
+    MulOvfValI64,
+    AddOvfFlagI32,
+    AddOvfFlagI64,
+    SubOvfFlagI32,
+    SubOvfFlagI64,
+    MulOvfFlagI32,
+    MulOvfFlagI64,
 
     // ---- conversions: dst=a, src=b ---------------------------------------
-    SExtI8I16, SExtI8I32, SExtI8I64, SExtI16I32, SExtI16I64, SExtI32I64,
-    ZExtI8I16, ZExtI8I32, ZExtI8I64, ZExtI16I32, ZExtI16I64, ZExtI32I64,
-    SiToFpI32, SiToFpI64,
-    FpToSiI32, FpToSiI64,
+    SExtI8I16,
+    SExtI8I32,
+    SExtI8I64,
+    SExtI16I32,
+    SExtI16I64,
+    SExtI32I64,
+    ZExtI8I16,
+    ZExtI8I32,
+    ZExtI8I64,
+    ZExtI16I32,
+    ZExtI16I64,
+    ZExtI32I64,
+    SiToFpI32,
+    SiToFpI64,
+    FpToSiI32,
+    FpToSiI64,
 
     // ---- moves / constants ------------------------------------------------
     /// Copy a full 8-byte slot (also implements `trunc` and `bitcast`).
@@ -104,16 +223,34 @@ pub enum Op {
     Select64,
 
     // ---- memory: loads dst=a, base=b --------------------------------------
-    Load8, Load16, Load32, Load64,
+    Load8,
+    Load16,
+    Load32,
+    Load64,
     // base=b, displacement=lit (signed)
-    Load8Disp, Load16Disp, Load32Disp, Load64Disp,
+    Load8Disp,
+    Load16Disp,
+    Load32Disp,
+    Load64Disp,
     // base=b, index=c, lit = scale(high u32, signed) | disp(low u32, signed)
-    Load8Idx, Load16Idx, Load32Idx, Load64Idx,
+    Load8Idx,
+    Load16Idx,
+    Load32Idx,
+    Load64Idx,
     // stores: base=a, src=b
-    Store8, Store16, Store32, Store64,
-    Store8Disp, Store16Disp, Store32Disp, Store64Disp,
+    Store8,
+    Store16,
+    Store32,
+    Store64,
+    Store8Disp,
+    Store16Disp,
+    Store32Disp,
+    Store64Disp,
     // base=a, src=b, index=c, lit packed as above
-    Store8Idx, Store16Idx, Store32Idx, Store64Idx,
+    Store8Idx,
+    Store16Idx,
+    Store32Idx,
+    Store64Idx,
     /// dst=a, base=b, index=c, lit packed: `dst = base + index*scale + disp`.
     GepIdx,
 
@@ -233,11 +370,8 @@ impl BcFunction {
             self.name, self.frame_size, self.param_slots
         );
         for (pc, i) in self.code.iter().enumerate() {
-            let _ = writeln!(
-                s,
-                "  {pc:4}: {:?} a={} b={} c={} lit={:#x}",
-                i.op, i.a, i.b, i.c, i.lit
-            );
+            let _ =
+                writeln!(s, "  {pc:4}: {:?} a={} b={} c={} lit={:#x}", i.op, i.a, i.b, i.c, i.lit);
         }
         s
     }
@@ -285,11 +419,10 @@ mod tests {
         assert_eq!(BcInstr::branch_else(lit), 123456);
     }
 
-    #[test]
-    fn reserved_slots_do_not_overlap() {
+    // Compile-time layout invariants of the reserved register slots.
+    const _: () =
         assert!(SLOT_ZERO < SLOT_ONE && SLOT_ONE < SLOT_SCRATCH && SLOT_SCRATCH < FIRST_FREE_SLOT);
-        assert_eq!(FIRST_FREE_SLOT % 8, 0);
-    }
+    const _: () = assert!(FIRST_FREE_SLOT.is_multiple_of(8));
 
     #[test]
     fn disassembly_mentions_ops() {

@@ -301,8 +301,8 @@ pub fn exec_one(i: &BcInstr, regs: *mut u8, rt: &Registry) -> Result<Ctl, ExecEr
         ($i:expr, $T:ty) => {{
             let base = rd!(regs, u64, $i.b) as i64;
             let idx = rd!(regs, i64, $i.c);
-            let p = (base + idx * BcInstr::idx_scale($i.lit) + BcInstr::idx_disp($i.lit))
-                as *const $T;
+            let p =
+                (base + idx * BcInstr::idx_scale($i.lit) + BcInstr::idx_disp($i.lit)) as *const $T;
             wr!(regs, $T, $i.a, std::ptr::read_unaligned(p));
         }};
     }
@@ -332,290 +332,296 @@ pub fn exec_one(i: &BcInstr, regs: *mut u8, rt: &Registry) -> Result<Ctl, ExecEr
     }
 
     match i.op {
-            Op::AddI8 => bin!(i, i8, i8::wrapping_add),
-            Op::AddI16 => bin!(i, i16, i16::wrapping_add),
-            Op::AddI32 => bin!(i, i32, i32::wrapping_add),
-            Op::AddI64 => bin!(i, i64, i64::wrapping_add),
-            Op::AddF64 => bin!(i, f64, |a, b| a + b),
-            Op::SubI8 => bin!(i, i8, i8::wrapping_sub),
-            Op::SubI16 => bin!(i, i16, i16::wrapping_sub),
-            Op::SubI32 => bin!(i, i32, i32::wrapping_sub),
-            Op::SubI64 => bin!(i, i64, i64::wrapping_sub),
-            Op::SubF64 => bin!(i, f64, |a, b| a - b),
-            Op::MulI8 => bin!(i, i8, i8::wrapping_mul),
-            Op::MulI16 => bin!(i, i16, i16::wrapping_mul),
-            Op::MulI32 => bin!(i, i32, i32::wrapping_mul),
-            Op::MulI64 => bin!(i, i64, i64::wrapping_mul),
-            Op::MulF64 => bin!(i, f64, |a, b| a * b),
-            Op::SDivI8 => sdiv!(i, i8),
-            Op::SDivI16 => sdiv!(i, i16),
-            Op::SDivI32 => sdiv!(i, i32),
-            Op::SDivI64 => sdiv!(i, i64),
-            Op::UDivI8 => udiv!(i, i8, u8),
-            Op::UDivI16 => udiv!(i, i16, u16),
-            Op::UDivI32 => udiv!(i, i32, u32),
-            Op::UDivI64 => udiv!(i, i64, u64),
-            Op::SRemI8 => srem!(i, i8),
-            Op::SRemI16 => srem!(i, i16),
-            Op::SRemI32 => srem!(i, i32),
-            Op::SRemI64 => srem!(i, i64),
-            Op::URemI8 => urem!(i, i8, u8),
-            Op::URemI16 => urem!(i, i16, u16),
-            Op::URemI32 => urem!(i, i32, u32),
-            Op::URemI64 => urem!(i, i64, u64),
-            Op::FDivF64 => bin!(i, f64, |a, b| a / b),
-            Op::AndI8 => bin!(i, i8, |a, b| a & b),
-            Op::AndI16 => bin!(i, i16, |a, b| a & b),
-            Op::AndI32 => bin!(i, i32, |a, b| a & b),
-            Op::AndI64 => bin!(i, i64, |a, b| a & b),
-            Op::OrI8 => bin!(i, i8, |a, b| a | b),
-            Op::OrI16 => bin!(i, i16, |a, b| a | b),
-            Op::OrI32 => bin!(i, i32, |a, b| a | b),
-            Op::OrI64 => bin!(i, i64, |a, b| a | b),
-            Op::XorI8 => bin!(i, i8, |a, b| a ^ b),
-            Op::XorI16 => bin!(i, i16, |a, b| a ^ b),
-            Op::XorI32 => bin!(i, i32, |a, b| a ^ b),
-            Op::XorI64 => bin!(i, i64, |a, b| a ^ b),
-            Op::ShlI8 => shift!(i, i8, wrapping_shl),
-            Op::ShlI16 => shift!(i, i16, wrapping_shl),
-            Op::ShlI32 => shift!(i, i32, wrapping_shl),
-            Op::ShlI64 => shift!(i, i64, wrapping_shl),
-            Op::AShrI8 => shift!(i, i8, wrapping_shr),
-            Op::AShrI16 => shift!(i, i16, wrapping_shr),
-            Op::AShrI32 => shift!(i, i32, wrapping_shr),
-            Op::AShrI64 => shift!(i, i64, wrapping_shr),
-            Op::LShrI8 => {
-                let a = rd!(regs, i8, i.b) as u8;
-                let b = rd!(regs, i8, i.c) as u8;
-                wr!(regs, u8, i.a, a.wrapping_shr(b as u32));
-            }
-            Op::LShrI16 => {
-                let a = rd!(regs, i16, i.b) as u16;
-                let b = rd!(regs, i16, i.c) as u16;
-                wr!(regs, u16, i.a, a.wrapping_shr(b as u32));
-            }
-            Op::LShrI32 => {
-                let a = rd!(regs, i32, i.b) as u32;
-                let b = rd!(regs, i32, i.c) as u32;
-                wr!(regs, u32, i.a, a.wrapping_shr(b as u32));
-            }
-            Op::LShrI64 => {
-                let a = rd!(regs, i64, i.b) as u64;
-                let b = rd!(regs, i64, i.c) as u64;
-                wr!(regs, u64, i.a, a.wrapping_shr(b as u32));
-            }
+        Op::AddI8 => bin!(i, i8, i8::wrapping_add),
+        Op::AddI16 => bin!(i, i16, i16::wrapping_add),
+        Op::AddI32 => bin!(i, i32, i32::wrapping_add),
+        Op::AddI64 => bin!(i, i64, i64::wrapping_add),
+        Op::AddF64 => bin!(i, f64, |a, b| a + b),
+        Op::SubI8 => bin!(i, i8, i8::wrapping_sub),
+        Op::SubI16 => bin!(i, i16, i16::wrapping_sub),
+        Op::SubI32 => bin!(i, i32, i32::wrapping_sub),
+        Op::SubI64 => bin!(i, i64, i64::wrapping_sub),
+        Op::SubF64 => bin!(i, f64, |a, b| a - b),
+        Op::MulI8 => bin!(i, i8, i8::wrapping_mul),
+        Op::MulI16 => bin!(i, i16, i16::wrapping_mul),
+        Op::MulI32 => bin!(i, i32, i32::wrapping_mul),
+        Op::MulI64 => bin!(i, i64, i64::wrapping_mul),
+        Op::MulF64 => bin!(i, f64, |a, b| a * b),
+        Op::SDivI8 => sdiv!(i, i8),
+        Op::SDivI16 => sdiv!(i, i16),
+        Op::SDivI32 => sdiv!(i, i32),
+        Op::SDivI64 => sdiv!(i, i64),
+        Op::UDivI8 => udiv!(i, i8, u8),
+        Op::UDivI16 => udiv!(i, i16, u16),
+        Op::UDivI32 => udiv!(i, i32, u32),
+        Op::UDivI64 => udiv!(i, i64, u64),
+        Op::SRemI8 => srem!(i, i8),
+        Op::SRemI16 => srem!(i, i16),
+        Op::SRemI32 => srem!(i, i32),
+        Op::SRemI64 => srem!(i, i64),
+        Op::URemI8 => urem!(i, i8, u8),
+        Op::URemI16 => urem!(i, i16, u16),
+        Op::URemI32 => urem!(i, i32, u32),
+        Op::URemI64 => urem!(i, i64, u64),
+        Op::FDivF64 => bin!(i, f64, |a, b| a / b),
+        Op::AndI8 => bin!(i, i8, |a, b| a & b),
+        Op::AndI16 => bin!(i, i16, |a, b| a & b),
+        Op::AndI32 => bin!(i, i32, |a, b| a & b),
+        Op::AndI64 => bin!(i, i64, |a, b| a & b),
+        Op::OrI8 => bin!(i, i8, |a, b| a | b),
+        Op::OrI16 => bin!(i, i16, |a, b| a | b),
+        Op::OrI32 => bin!(i, i32, |a, b| a | b),
+        Op::OrI64 => bin!(i, i64, |a, b| a | b),
+        Op::XorI8 => bin!(i, i8, |a, b| a ^ b),
+        Op::XorI16 => bin!(i, i16, |a, b| a ^ b),
+        Op::XorI32 => bin!(i, i32, |a, b| a ^ b),
+        Op::XorI64 => bin!(i, i64, |a, b| a ^ b),
+        Op::ShlI8 => shift!(i, i8, wrapping_shl),
+        Op::ShlI16 => shift!(i, i16, wrapping_shl),
+        Op::ShlI32 => shift!(i, i32, wrapping_shl),
+        Op::ShlI64 => shift!(i, i64, wrapping_shl),
+        Op::AShrI8 => shift!(i, i8, wrapping_shr),
+        Op::AShrI16 => shift!(i, i16, wrapping_shr),
+        Op::AShrI32 => shift!(i, i32, wrapping_shr),
+        Op::AShrI64 => shift!(i, i64, wrapping_shr),
+        Op::LShrI8 => {
+            let a = rd!(regs, i8, i.b) as u8;
+            let b = rd!(regs, i8, i.c) as u8;
+            wr!(regs, u8, i.a, a.wrapping_shr(b as u32));
+        }
+        Op::LShrI16 => {
+            let a = rd!(regs, i16, i.b) as u16;
+            let b = rd!(regs, i16, i.c) as u16;
+            wr!(regs, u16, i.a, a.wrapping_shr(b as u32));
+        }
+        Op::LShrI32 => {
+            let a = rd!(regs, i32, i.b) as u32;
+            let b = rd!(regs, i32, i.c) as u32;
+            wr!(regs, u32, i.a, a.wrapping_shr(b as u32));
+        }
+        Op::LShrI64 => {
+            let a = rd!(regs, i64, i.b) as u64;
+            let b = rd!(regs, i64, i.c) as u64;
+            wr!(regs, u64, i.a, a.wrapping_shr(b as u32));
+        }
 
-            Op::AddImmI32 => bin_imm!(i, i32, i32::wrapping_add),
-            Op::AddImmI64 => bin_imm!(i, i64, i64::wrapping_add),
-            Op::AddImmF64 => {
-                let a: f64 = rd!(regs, f64, i.b);
-                wr!(regs, f64, i.a, a + f64::from_bits(i.lit));
-            }
-            Op::SubImmI32 => bin_imm!(i, i32, i32::wrapping_sub),
-            Op::SubImmI64 => bin_imm!(i, i64, i64::wrapping_sub),
-            Op::MulImmI32 => bin_imm!(i, i32, i32::wrapping_mul),
-            Op::MulImmI64 => bin_imm!(i, i64, i64::wrapping_mul),
-            Op::MulImmF64 => {
-                let a: f64 = rd!(regs, f64, i.b);
-                wr!(regs, f64, i.a, a * f64::from_bits(i.lit));
-            }
-            Op::AndImmI32 => bin_imm!(i, i32, |a, b| a & b),
-            Op::AndImmI64 => bin_imm!(i, i64, |a, b| a & b),
-            Op::OrImmI32 => bin_imm!(i, i32, |a, b| a | b),
-            Op::OrImmI64 => bin_imm!(i, i64, |a, b| a | b),
-            Op::XorImmI32 => bin_imm!(i, i32, |a, b| a ^ b),
-            Op::XorImmI64 => bin_imm!(i, i64, |a, b| a ^ b),
-            Op::ShlImmI32 => shift_imm!(i, i32, wrapping_shl),
-            Op::ShlImmI64 => shift_imm!(i, i64, wrapping_shl),
-            Op::AShrImmI32 => shift_imm!(i, i32, wrapping_shr),
-            Op::AShrImmI64 => shift_imm!(i, i64, wrapping_shr),
-            Op::LShrImmI32 => {
-                let a = rd!(regs, i32, i.b) as u32;
-                wr!(regs, u32, i.a, a.wrapping_shr(i.lit as u32));
-            }
-            Op::LShrImmI64 => {
-                let a = rd!(regs, i64, i.b) as u64;
-                wr!(regs, u64, i.a, a.wrapping_shr(i.lit as u32));
-            }
+        Op::AddImmI32 => bin_imm!(i, i32, i32::wrapping_add),
+        Op::AddImmI64 => bin_imm!(i, i64, i64::wrapping_add),
+        Op::AddImmF64 => {
+            let a: f64 = rd!(regs, f64, i.b);
+            wr!(regs, f64, i.a, a + f64::from_bits(i.lit));
+        }
+        Op::SubImmI32 => bin_imm!(i, i32, i32::wrapping_sub),
+        Op::SubImmI64 => bin_imm!(i, i64, i64::wrapping_sub),
+        Op::MulImmI32 => bin_imm!(i, i32, i32::wrapping_mul),
+        Op::MulImmI64 => bin_imm!(i, i64, i64::wrapping_mul),
+        Op::MulImmF64 => {
+            let a: f64 = rd!(regs, f64, i.b);
+            wr!(regs, f64, i.a, a * f64::from_bits(i.lit));
+        }
+        Op::AndImmI32 => bin_imm!(i, i32, |a, b| a & b),
+        Op::AndImmI64 => bin_imm!(i, i64, |a, b| a & b),
+        Op::OrImmI32 => bin_imm!(i, i32, |a, b| a | b),
+        Op::OrImmI64 => bin_imm!(i, i64, |a, b| a | b),
+        Op::XorImmI32 => bin_imm!(i, i32, |a, b| a ^ b),
+        Op::XorImmI64 => bin_imm!(i, i64, |a, b| a ^ b),
+        Op::ShlImmI32 => shift_imm!(i, i32, wrapping_shl),
+        Op::ShlImmI64 => shift_imm!(i, i64, wrapping_shl),
+        Op::AShrImmI32 => shift_imm!(i, i32, wrapping_shr),
+        Op::AShrImmI64 => shift_imm!(i, i64, wrapping_shr),
+        Op::LShrImmI32 => {
+            let a = rd!(regs, i32, i.b) as u32;
+            wr!(regs, u32, i.a, a.wrapping_shr(i.lit as u32));
+        }
+        Op::LShrImmI64 => {
+            let a = rd!(regs, i64, i.b) as u64;
+            wr!(regs, u64, i.a, a.wrapping_shr(i.lit as u32));
+        }
 
-            Op::CmpEqI8 => cmp!(i, i8, ==),
-            Op::CmpEqI16 => cmp!(i, i16, ==),
-            Op::CmpEqI32 => cmp!(i, i32, ==),
-            Op::CmpEqI64 => cmp!(i, i64, ==),
-            Op::CmpNeI8 => cmp!(i, i8, !=),
-            Op::CmpNeI16 => cmp!(i, i16, !=),
-            Op::CmpNeI32 => cmp!(i, i32, !=),
-            Op::CmpNeI64 => cmp!(i, i64, !=),
-            Op::CmpSltI8 => cmp!(i, i8, <),
-            Op::CmpSltI16 => cmp!(i, i16, <),
-            Op::CmpSltI32 => cmp!(i, i32, <),
-            Op::CmpSltI64 => cmp!(i, i64, <),
-            Op::CmpSleI8 => cmp!(i, i8, <=),
-            Op::CmpSleI16 => cmp!(i, i16, <=),
-            Op::CmpSleI32 => cmp!(i, i32, <=),
-            Op::CmpSleI64 => cmp!(i, i64, <=),
-            Op::CmpSgtI8 => cmp!(i, i8, >),
-            Op::CmpSgtI16 => cmp!(i, i16, >),
-            Op::CmpSgtI32 => cmp!(i, i32, >),
-            Op::CmpSgtI64 => cmp!(i, i64, >),
-            Op::CmpSgeI8 => cmp!(i, i8, >=),
-            Op::CmpSgeI16 => cmp!(i, i16, >=),
-            Op::CmpSgeI32 => cmp!(i, i32, >=),
-            Op::CmpSgeI64 => cmp!(i, i64, >=),
-            Op::CmpUltI8 => cmpu!(i, i8, u8, <),
-            Op::CmpUltI16 => cmpu!(i, i16, u16, <),
-            Op::CmpUltI32 => cmpu!(i, i32, u32, <),
-            Op::CmpUltI64 => cmpu!(i, i64, u64, <),
-            Op::CmpUleI8 => cmpu!(i, i8, u8, <=),
-            Op::CmpUleI16 => cmpu!(i, i16, u16, <=),
-            Op::CmpUleI32 => cmpu!(i, i32, u32, <=),
-            Op::CmpUleI64 => cmpu!(i, i64, u64, <=),
-            Op::CmpUgtI8 => cmpu!(i, i8, u8, >),
-            Op::CmpUgtI16 => cmpu!(i, i16, u16, >),
-            Op::CmpUgtI32 => cmpu!(i, i32, u32, >),
-            Op::CmpUgtI64 => cmpu!(i, i64, u64, >),
-            Op::CmpUgeI8 => cmpu!(i, i8, u8, >=),
-            Op::CmpUgeI16 => cmpu!(i, i16, u16, >=),
-            Op::CmpUgeI32 => cmpu!(i, i32, u32, >=),
-            Op::CmpUgeI64 => cmpu!(i, i64, u64, >=),
-            Op::CmpEqF64 => cmp!(i, f64, ==),
-            Op::CmpNeF64 => cmp!(i, f64, !=),
-            Op::CmpLtF64 => cmp!(i, f64, <),
-            Op::CmpLeF64 => cmp!(i, f64, <=),
-            Op::CmpGtF64 => cmp!(i, f64, >),
-            Op::CmpGeF64 => cmp!(i, f64, >=),
+        Op::CmpEqI8 => cmp!(i, i8, ==),
+        Op::CmpEqI16 => cmp!(i, i16, ==),
+        Op::CmpEqI32 => cmp!(i, i32, ==),
+        Op::CmpEqI64 => cmp!(i, i64, ==),
+        Op::CmpNeI8 => cmp!(i, i8, !=),
+        Op::CmpNeI16 => cmp!(i, i16, !=),
+        Op::CmpNeI32 => cmp!(i, i32, !=),
+        Op::CmpNeI64 => cmp!(i, i64, !=),
+        Op::CmpSltI8 => cmp!(i, i8, <),
+        Op::CmpSltI16 => cmp!(i, i16, <),
+        Op::CmpSltI32 => cmp!(i, i32, <),
+        Op::CmpSltI64 => cmp!(i, i64, <),
+        Op::CmpSleI8 => cmp!(i, i8, <=),
+        Op::CmpSleI16 => cmp!(i, i16, <=),
+        Op::CmpSleI32 => cmp!(i, i32, <=),
+        Op::CmpSleI64 => cmp!(i, i64, <=),
+        Op::CmpSgtI8 => cmp!(i, i8, >),
+        Op::CmpSgtI16 => cmp!(i, i16, >),
+        Op::CmpSgtI32 => cmp!(i, i32, >),
+        Op::CmpSgtI64 => cmp!(i, i64, >),
+        Op::CmpSgeI8 => cmp!(i, i8, >=),
+        Op::CmpSgeI16 => cmp!(i, i16, >=),
+        Op::CmpSgeI32 => cmp!(i, i32, >=),
+        Op::CmpSgeI64 => cmp!(i, i64, >=),
+        Op::CmpUltI8 => cmpu!(i, i8, u8, <),
+        Op::CmpUltI16 => cmpu!(i, i16, u16, <),
+        Op::CmpUltI32 => cmpu!(i, i32, u32, <),
+        Op::CmpUltI64 => cmpu!(i, i64, u64, <),
+        Op::CmpUleI8 => cmpu!(i, i8, u8, <=),
+        Op::CmpUleI16 => cmpu!(i, i16, u16, <=),
+        Op::CmpUleI32 => cmpu!(i, i32, u32, <=),
+        Op::CmpUleI64 => cmpu!(i, i64, u64, <=),
+        Op::CmpUgtI8 => cmpu!(i, i8, u8, >),
+        Op::CmpUgtI16 => cmpu!(i, i16, u16, >),
+        Op::CmpUgtI32 => cmpu!(i, i32, u32, >),
+        Op::CmpUgtI64 => cmpu!(i, i64, u64, >),
+        Op::CmpUgeI8 => cmpu!(i, i8, u8, >=),
+        Op::CmpUgeI16 => cmpu!(i, i16, u16, >=),
+        Op::CmpUgeI32 => cmpu!(i, i32, u32, >=),
+        Op::CmpUgeI64 => cmpu!(i, i64, u64, >=),
+        Op::CmpEqF64 => cmp!(i, f64, ==),
+        Op::CmpNeF64 => cmp!(i, f64, !=),
+        Op::CmpLtF64 => cmp!(i, f64, <),
+        Op::CmpLeF64 => cmp!(i, f64, <=),
+        Op::CmpGtF64 => cmp!(i, f64, >),
+        Op::CmpGeF64 => cmp!(i, f64, >=),
 
-            Op::CmpImmEqI32 => cmp_imm!(i, i32, ==),
-            Op::CmpImmEqI64 => cmp_imm!(i, i64, ==),
-            Op::CmpImmNeI32 => cmp_imm!(i, i32, !=),
-            Op::CmpImmNeI64 => cmp_imm!(i, i64, !=),
-            Op::CmpImmSltI32 => cmp_imm!(i, i32, <),
-            Op::CmpImmSltI64 => cmp_imm!(i, i64, <),
-            Op::CmpImmSleI32 => cmp_imm!(i, i32, <=),
-            Op::CmpImmSleI64 => cmp_imm!(i, i64, <=),
-            Op::CmpImmSgtI32 => cmp_imm!(i, i32, >),
-            Op::CmpImmSgtI64 => cmp_imm!(i, i64, >),
-            Op::CmpImmSgeI32 => cmp_imm!(i, i32, >=),
-            Op::CmpImmSgeI64 => cmp_imm!(i, i64, >=),
-            Op::CmpImmUltI32 => cmpu_imm!(i, i32, u32, <),
-            Op::CmpImmUltI64 => cmpu_imm!(i, i64, u64, <),
-            Op::CmpImmUleI32 => cmpu_imm!(i, i32, u32, <=),
-            Op::CmpImmUleI64 => cmpu_imm!(i, i64, u64, <=),
-            Op::CmpImmUgtI32 => cmpu_imm!(i, i32, u32, >),
-            Op::CmpImmUgtI64 => cmpu_imm!(i, i64, u64, >),
-            Op::CmpImmUgeI32 => cmpu_imm!(i, i32, u32, >=),
-            Op::CmpImmUgeI64 => cmpu_imm!(i, i64, u64, >=),
+        Op::CmpImmEqI32 => cmp_imm!(i, i32, ==),
+        Op::CmpImmEqI64 => cmp_imm!(i, i64, ==),
+        Op::CmpImmNeI32 => cmp_imm!(i, i32, !=),
+        Op::CmpImmNeI64 => cmp_imm!(i, i64, !=),
+        Op::CmpImmSltI32 => cmp_imm!(i, i32, <),
+        Op::CmpImmSltI64 => cmp_imm!(i, i64, <),
+        Op::CmpImmSleI32 => cmp_imm!(i, i32, <=),
+        Op::CmpImmSleI64 => cmp_imm!(i, i64, <=),
+        Op::CmpImmSgtI32 => cmp_imm!(i, i32, >),
+        Op::CmpImmSgtI64 => cmp_imm!(i, i64, >),
+        Op::CmpImmSgeI32 => cmp_imm!(i, i32, >=),
+        Op::CmpImmSgeI64 => cmp_imm!(i, i64, >=),
+        Op::CmpImmUltI32 => cmpu_imm!(i, i32, u32, <),
+        Op::CmpImmUltI64 => cmpu_imm!(i, i64, u64, <),
+        Op::CmpImmUleI32 => cmpu_imm!(i, i32, u32, <=),
+        Op::CmpImmUleI64 => cmpu_imm!(i, i64, u64, <=),
+        Op::CmpImmUgtI32 => cmpu_imm!(i, i32, u32, >),
+        Op::CmpImmUgtI64 => cmpu_imm!(i, i64, u64, >),
+        Op::CmpImmUgeI32 => cmpu_imm!(i, i32, u32, >=),
+        Op::CmpImmUgeI64 => cmpu_imm!(i, i64, u64, >=),
 
-            Op::AddOvfTrapI32 => ovf_trap!(i, i32, checked_add),
-            Op::AddOvfTrapI64 => ovf_trap!(i, i64, checked_add),
-            Op::SubOvfTrapI32 => ovf_trap!(i, i32, checked_sub),
-            Op::SubOvfTrapI64 => ovf_trap!(i, i64, checked_sub),
-            Op::MulOvfTrapI32 => ovf_trap!(i, i32, checked_mul),
-            Op::MulOvfTrapI64 => ovf_trap!(i, i64, checked_mul),
-            Op::AddOvfValI32 => ovf_val!(i, i32, overflowing_add),
-            Op::AddOvfValI64 => ovf_val!(i, i64, overflowing_add),
-            Op::SubOvfValI32 => ovf_val!(i, i32, overflowing_sub),
-            Op::SubOvfValI64 => ovf_val!(i, i64, overflowing_sub),
-            Op::MulOvfValI32 => ovf_val!(i, i32, overflowing_mul),
-            Op::MulOvfValI64 => ovf_val!(i, i64, overflowing_mul),
-            Op::AddOvfFlagI32 => ovf_flag!(i, i32, overflowing_add),
-            Op::AddOvfFlagI64 => ovf_flag!(i, i64, overflowing_add),
-            Op::SubOvfFlagI32 => ovf_flag!(i, i32, overflowing_sub),
-            Op::SubOvfFlagI64 => ovf_flag!(i, i64, overflowing_sub),
-            Op::MulOvfFlagI32 => ovf_flag!(i, i32, overflowing_mul),
-            Op::MulOvfFlagI64 => ovf_flag!(i, i64, overflowing_mul),
+        Op::AddOvfTrapI32 => ovf_trap!(i, i32, checked_add),
+        Op::AddOvfTrapI64 => ovf_trap!(i, i64, checked_add),
+        Op::SubOvfTrapI32 => ovf_trap!(i, i32, checked_sub),
+        Op::SubOvfTrapI64 => ovf_trap!(i, i64, checked_sub),
+        Op::MulOvfTrapI32 => ovf_trap!(i, i32, checked_mul),
+        Op::MulOvfTrapI64 => ovf_trap!(i, i64, checked_mul),
+        Op::AddOvfValI32 => ovf_val!(i, i32, overflowing_add),
+        Op::AddOvfValI64 => ovf_val!(i, i64, overflowing_add),
+        Op::SubOvfValI32 => ovf_val!(i, i32, overflowing_sub),
+        Op::SubOvfValI64 => ovf_val!(i, i64, overflowing_sub),
+        Op::MulOvfValI32 => ovf_val!(i, i32, overflowing_mul),
+        Op::MulOvfValI64 => ovf_val!(i, i64, overflowing_mul),
+        Op::AddOvfFlagI32 => ovf_flag!(i, i32, overflowing_add),
+        Op::AddOvfFlagI64 => ovf_flag!(i, i64, overflowing_add),
+        Op::SubOvfFlagI32 => ovf_flag!(i, i32, overflowing_sub),
+        Op::SubOvfFlagI64 => ovf_flag!(i, i64, overflowing_sub),
+        Op::MulOvfFlagI32 => ovf_flag!(i, i32, overflowing_mul),
+        Op::MulOvfFlagI64 => ovf_flag!(i, i64, overflowing_mul),
 
-            Op::SExtI8I16 => ext!(i, i8, i16),
-            Op::SExtI8I32 => ext!(i, i8, i32),
-            Op::SExtI8I64 => ext!(i, i8, i64),
-            Op::SExtI16I32 => ext!(i, i16, i32),
-            Op::SExtI16I64 => ext!(i, i16, i64),
-            Op::SExtI32I64 => ext!(i, i32, i64),
-            Op::ZExtI8I16 => ext!(i, u8, u16),
-            Op::ZExtI8I32 => ext!(i, u8, u32),
-            Op::ZExtI8I64 => ext!(i, u8, u64),
-            Op::ZExtI16I32 => ext!(i, u16, u32),
-            Op::ZExtI16I64 => ext!(i, u16, u64),
-            Op::ZExtI32I64 => ext!(i, u32, u64),
-            Op::SiToFpI32 => ext!(i, i32, f64),
-            Op::SiToFpI64 => ext!(i, i64, f64),
-            Op::FpToSiI32 => ext!(i, f64, i32),
-            Op::FpToSiI64 => ext!(i, f64, i64),
+        Op::SExtI8I16 => ext!(i, i8, i16),
+        Op::SExtI8I32 => ext!(i, i8, i32),
+        Op::SExtI8I64 => ext!(i, i8, i64),
+        Op::SExtI16I32 => ext!(i, i16, i32),
+        Op::SExtI16I64 => ext!(i, i16, i64),
+        Op::SExtI32I64 => ext!(i, i32, i64),
+        Op::ZExtI8I16 => ext!(i, u8, u16),
+        Op::ZExtI8I32 => ext!(i, u8, u32),
+        Op::ZExtI8I64 => ext!(i, u8, u64),
+        Op::ZExtI16I32 => ext!(i, u16, u32),
+        Op::ZExtI16I64 => ext!(i, u16, u64),
+        Op::ZExtI32I64 => ext!(i, u32, u64),
+        Op::SiToFpI32 => ext!(i, i32, f64),
+        Op::SiToFpI64 => ext!(i, i64, f64),
+        Op::FpToSiI32 => ext!(i, f64, i32),
+        Op::FpToSiI64 => ext!(i, f64, i64),
 
-            Op::Mov64 => {
-                let v: u64 = rd!(regs, u64, i.b);
-                wr!(regs, u64, i.a, v);
-            }
-            Op::Const64 => wr!(regs, u64, i.a, i.lit),
-            Op::Select64 => {
-                let c: u8 = rd!(regs, u8, i.b);
-                let src = if c != 0 { i.c } else { i.lit as u16 };
-                let v: u64 = rd!(regs, u64, src);
-                wr!(regs, u64, i.a, v);
-            }
+        Op::Mov64 => {
+            let v: u64 = rd!(regs, u64, i.b);
+            wr!(regs, u64, i.a, v);
+        }
+        Op::Const64 => wr!(regs, u64, i.a, i.lit),
+        Op::Select64 => {
+            let c: u8 = rd!(regs, u8, i.b);
+            let src = if c != 0 { i.c } else { i.lit as u16 };
+            let v: u64 = rd!(regs, u64, src);
+            wr!(regs, u64, i.a, v);
+        }
 
-            Op::Load8 => load!(i, u8),
-            Op::Load16 => load!(i, u16),
-            Op::Load32 => load!(i, u32),
-            Op::Load64 => load!(i, u64),
-            Op::Load8Disp => load_disp!(i, u8),
-            Op::Load16Disp => load_disp!(i, u16),
-            Op::Load32Disp => load_disp!(i, u32),
-            Op::Load64Disp => load_disp!(i, u64),
-            Op::Load8Idx => load_idx!(i, u8),
-            Op::Load16Idx => load_idx!(i, u16),
-            Op::Load32Idx => load_idx!(i, u32),
-            Op::Load64Idx => load_idx!(i, u64),
-            Op::Store8 => store!(i, u8),
-            Op::Store16 => store!(i, u16),
-            Op::Store32 => store!(i, u32),
-            Op::Store64 => store!(i, u64),
-            Op::Store8Disp => store_disp!(i, u8),
-            Op::Store16Disp => store_disp!(i, u16),
-            Op::Store32Disp => store_disp!(i, u32),
-            Op::Store64Disp => store_disp!(i, u64),
-            Op::Store8Idx => store_idx!(i, u8),
-            Op::Store16Idx => store_idx!(i, u16),
-            Op::Store32Idx => store_idx!(i, u32),
-            Op::Store64Idx => store_idx!(i, u64),
-            Op::GepIdx => {
-                let base = rd!(regs, u64, i.b) as i64;
-                let idx = rd!(regs, i64, i.c);
-                wr!(
-                    regs,
-                    i64,
-                    i.a,
-                    base + idx * BcInstr::idx_scale(i.lit) + BcInstr::idx_disp(i.lit)
-                );
-            }
+        Op::Load8 => load!(i, u8),
+        Op::Load16 => load!(i, u16),
+        Op::Load32 => load!(i, u32),
+        Op::Load64 => load!(i, u64),
+        Op::Load8Disp => load_disp!(i, u8),
+        Op::Load16Disp => load_disp!(i, u16),
+        Op::Load32Disp => load_disp!(i, u32),
+        Op::Load64Disp => load_disp!(i, u64),
+        Op::Load8Idx => load_idx!(i, u8),
+        Op::Load16Idx => load_idx!(i, u16),
+        Op::Load32Idx => load_idx!(i, u32),
+        Op::Load64Idx => load_idx!(i, u64),
+        Op::Store8 => store!(i, u8),
+        Op::Store16 => store!(i, u16),
+        Op::Store32 => store!(i, u32),
+        Op::Store64 => store!(i, u64),
+        Op::Store8Disp => store_disp!(i, u8),
+        Op::Store16Disp => store_disp!(i, u16),
+        Op::Store32Disp => store_disp!(i, u32),
+        Op::Store64Disp => store_disp!(i, u64),
+        Op::Store8Idx => store_idx!(i, u8),
+        Op::Store16Idx => store_idx!(i, u16),
+        Op::Store32Idx => store_idx!(i, u32),
+        Op::Store64Idx => store_idx!(i, u64),
+        Op::GepIdx => {
+            let base = rd!(regs, u64, i.b) as i64;
+            let idx = rd!(regs, i64, i.c);
+            wr!(regs, i64, i.a, base + idx * BcInstr::idx_scale(i.lit) + BcInstr::idx_disp(i.lit));
+        }
 
-            Op::Br => return Ok(Ctl::Jump(i.lit as u32)),
-            Op::CondBr => {
-                let c: u8 = rd!(regs, u8, i.b);
-                let t = if c != 0 {
-                    BcInstr::branch_then(i.lit)
-                } else {
-                    BcInstr::branch_else(i.lit)
-                };
-                return Ok(Ctl::Jump(t as u32));
-            }
-            Op::Ret => return Ok(Ctl::RetNone),
-            Op::RetVal => return Ok(Ctl::RetVal(rd!(regs, u64, i.a))),
-            Op::TrapOp => {
-                return Err(match i.lit {
-                    TRAP_OVERFLOW => ExecError::Overflow,
-                    TRAP_DIV_ZERO => ExecError::DivByZero,
-                    other => ExecError::User((other & !TRAP_USER_BASE) as u32),
-                });
-            }
-            Op::CallRt => {
-                let f = rt.fn_ptr(i.lit as usize);
-                unsafe {
-                    f(regs.add(i.b as usize) as *const u64, regs.add(i.a as usize) as *mut u64)
-                };
-            }
+        Op::Br => return Ok(Ctl::Jump(i.lit as u32)),
+        Op::CondBr => {
+            let c: u8 = rd!(regs, u8, i.b);
+            let t = if c != 0 { BcInstr::branch_then(i.lit) } else { BcInstr::branch_else(i.lit) };
+            return Ok(Ctl::Jump(t as u32));
+        }
+        Op::Ret => return Ok(Ctl::RetNone),
+        Op::RetVal => return Ok(Ctl::RetVal(rd!(regs, u64, i.a))),
+        Op::TrapOp => {
+            return Err(match i.lit {
+                TRAP_OVERFLOW => ExecError::Overflow,
+                TRAP_DIV_ZERO => ExecError::DivByZero,
+                other => ExecError::User((other & !TRAP_USER_BASE) as u32),
+            });
+        }
+        Op::CallRt => {
+            let f = rt.fn_ptr(i.lit as usize);
+            unsafe { f(regs.add(i.b as usize) as *const u64, regs.add(i.a as usize) as *mut u64) };
+        }
     }
     Ok(Ctl::Next)
+}
+
+/// The bytecode VM as a uniform execution backend: translated functions
+/// are directly installable into the engine's hot-swap handles.
+impl crate::backend::PipelineBackend for BcFunction {
+    fn call(
+        &self,
+        args: &[u64],
+        rt: &Registry,
+        frame: &mut Frame,
+    ) -> Result<Option<u64>, ExecError> {
+        execute(self, args, rt, frame)
+    }
+
+    fn kind(&self) -> crate::backend::ExecMode {
+        crate::backend::ExecMode::Bytecode
+    }
 }
 
 #[cfg(test)]
@@ -697,10 +703,7 @@ mod tests {
         let f = b.finish().unwrap();
         assert_eq!(run1(&f, &[10, 3]).unwrap(), Some(3));
         assert_eq!(run1(&f, &[10, 0]), Err(ExecError::DivByZero));
-        assert_eq!(
-            run1(&f, &[i64::MIN as u64, (-1i64) as u64]),
-            Err(ExecError::Overflow)
-        );
+        assert_eq!(run1(&f, &[i64::MIN as u64, (-1i64) as u64]), Err(ExecError::Overflow));
     }
 
     #[test]
@@ -737,11 +740,8 @@ mod tests {
             unsafe { *ret = *args + *args.add(1) + *args.add(2) }
         }
         let mut m = aqe_ir::Module::new();
-        let ext = m.declare_extern(
-            "rt_add3",
-            vec![Type::I64, Type::I64, Type::I64],
-            Some(Type::I64),
-        );
+        let ext =
+            m.declare_extern("rt_add3", vec![Type::I64, Type::I64, Type::I64], Some(Type::I64));
         let mut b = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
         let r = b.call(
             ext,

@@ -6,6 +6,11 @@
 //!
 //! This crate contains:
 //!
+//! * [`backend`] — the [`backend::PipelineBackend`] trait: the uniform,
+//!   hot-swappable seam through which the engine invokes *any* executable
+//!   representation of a worker function (VM bytecode, direct IR walking,
+//!   or `aqe-jit`'s threaded code), plus the [`backend::ExecMode`]
+//!   vocabulary shared by all of them;
 //! * [`bytecode`] — the fixed-length, statically-typed instruction format
 //!   (16 bytes per instruction: opcode + three register byte-offsets + a
 //!   64-bit literal) and the compiled [`bytecode::BcFunction`] container;
@@ -27,6 +32,15 @@
 //!   signature up front, so unsupported signatures are a translation-time
 //!   error, not a runtime surprise (§IV-E).
 
+// The interpreter's public single-instruction dispatch (`interp::exec_one`)
+// intentionally takes a raw register-file pointer: validated translator
+// output is the safety boundary (see the module docs of `interp`), exactly
+// like generated machine code in the paper's engine. Marking these `unsafe`
+// would force `unsafe` onto every safe internal caller without adding a
+// checkable contract, so the clippy lint is disabled crate-wide.
+#![allow(clippy::not_unsafe_ptr_arg_deref)]
+
+pub mod backend;
 pub mod bytecode;
 pub mod interp;
 pub mod naive;
@@ -34,6 +48,7 @@ pub mod regalloc;
 pub mod rt;
 pub mod translate;
 
+pub use backend::{ExecMode, PipelineBackend};
 pub use bytecode::{BcFunction, BcInstr, Op};
 pub use interp::{execute, ExecError, Frame};
 pub use regalloc::AllocStrategy;

@@ -22,16 +22,11 @@
 use crate::interp::ExecError;
 use crate::rt::Registry;
 use aqe_ir::{
-    BinOp, CastKind, CmpPred, Function, Instr, Operand, OvfOp, Terminator, TrapKind,
-    Type, ValueId,
+    BinOp, CastKind, CmpPred, Function, Instr, Operand, OvfOp, Terminator, TrapKind, Type, ValueId,
 };
 
 /// Interpret `f` directly over its SSA form.
-pub fn interpret(
-    f: &Function,
-    args: &[u64],
-    rt: &Registry,
-) -> Result<Option<u64>, ExecError> {
+pub fn interpret(f: &Function, args: &[u64], rt: &Registry) -> Result<Option<u64>, ExecError> {
     assert_eq!(args.len(), f.param_count(), "argument count mismatch");
     // Value environment: (value, flag) — the flag doubles as the overflow
     // bit for pair values.
@@ -333,6 +328,34 @@ pub fn eval_cast(kind: CastKind, from: Type, to: Type, v: u64) -> u64 {
 /// Convenience for tests: interpret with an empty runtime registry.
 pub fn interpret_pure(f: &Function, args: &[u64]) -> Result<Option<u64>, ExecError> {
     interpret(f, args, &Registry::new())
+}
+
+/// The direct IR interpreter as a uniform execution backend. Holds the IR
+/// function it walks; the caller's register-file `frame` is unused because
+/// this mode evaluates straight over the SSA value environment.
+pub struct NaiveBackend {
+    function: std::sync::Arc<Function>,
+}
+
+impl NaiveBackend {
+    pub fn new(function: std::sync::Arc<Function>) -> Self {
+        NaiveBackend { function }
+    }
+}
+
+impl crate::backend::PipelineBackend for NaiveBackend {
+    fn call(
+        &self,
+        args: &[u64],
+        rt: &Registry,
+        _frame: &mut crate::interp::Frame,
+    ) -> Result<Option<u64>, ExecError> {
+        interpret(&self.function, args, rt)
+    }
+
+    fn kind(&self) -> crate::backend::ExecMode {
+        crate::backend::ExecMode::NaiveIr
+    }
 }
 
 #[cfg(test)]

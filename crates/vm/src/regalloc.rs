@@ -19,17 +19,12 @@
 use aqe_ir::analysis::LiveRange;
 
 /// Slot-reuse strategy (see module docs).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum AllocStrategy {
+    #[default]
     PaperLinear,
     FixedWindow(u32),
     NoReuse,
-}
-
-impl Default for AllocStrategy {
-    fn default() -> Self {
-        AllocStrategy::PaperLinear
-    }
 }
 
 /// The effective lifetime the translator enforces for a value under a given
@@ -102,7 +97,7 @@ impl SlotAllocator {
 
     /// Return a slot to the free list.
     pub fn free(&mut self, off: u16) {
-        debug_assert!((off as u32) < self.next && off % 8 == 0);
+        debug_assert!((off as u32) < self.next && off.is_multiple_of(8));
         debug_assert!(!self.free.contains(&off), "double free of slot {off}");
         self.free.push(off);
     }

@@ -100,7 +100,12 @@ impl Registry {
 
     /// Validate that a call with `idx` and `nargs` matches a registered
     /// declaration; used by the translator.
-    pub fn check_call(&self, idx: usize, nargs: usize, ret: Option<Type>) -> Result<(), RegistryError> {
+    pub fn check_call(
+        &self,
+        idx: usize,
+        nargs: usize,
+        ret: Option<Type>,
+    ) -> Result<(), RegistryError> {
         let d = self
             .decls
             .get(idx)

@@ -312,16 +312,13 @@ impl<'a> Tx<'a> {
         };
         match index {
             None => true, // plain displacement uses the full 64-bit literal
-            Some((_, scale)) => {
-                i32::try_from(*offset).is_ok() && i32::try_from(*scale).is_ok()
-            }
+            Some((_, scale)) => i32::try_from(*offset).is_ok() && i32::try_from(*scale).is_ok(),
         }
     }
 
     fn is_overflow_trap_block(&self, b: aqe_ir::BlockId) -> bool {
         let blk = self.f.block(b);
-        blk.instrs.is_empty()
-            && matches!(blk.term, Terminator::Trap { kind: TrapKind::Overflow })
+        blk.instrs.is_empty() && matches!(blk.term, Terminator::Trap { kind: TrapKind::Overflow })
     }
 
     // ---- slots ------------------------------------------------------------
@@ -340,14 +337,10 @@ impl<'a> Tx<'a> {
         if let Some(&p) = self.pair_slot.get(&v) {
             return Ok(p);
         }
-        let a = self
-            .alloc
-            .alloc()
-            .map_err(|_| TranslateError::OutOfRegisters(format!("pair {v}")))?;
-        let b = self
-            .alloc
-            .alloc()
-            .map_err(|_| TranslateError::OutOfRegisters(format!("pair {v}")))?;
+        let a =
+            self.alloc.alloc().map_err(|_| TranslateError::OutOfRegisters(format!("pair {v}")))?;
+        let b =
+            self.alloc.alloc().map_err(|_| TranslateError::OutOfRegisters(format!("pair {v}")))?;
         self.pair_slot.insert(v, (a, b));
         Ok((a, b))
     }
@@ -366,10 +359,7 @@ impl<'a> Tx<'a> {
         let i = v.index();
         debug_assert!(self.uses_left[i] > 0, "use count underflow for {v}");
         self.uses_left[i] -= 1;
-        if self.uses_left[i] == 0
-            && self.eff_end[i] == pos
-            && self.point_range[i]
-            && !self.freed[i]
+        if self.uses_left[i] == 0 && self.eff_end[i] == pos && self.point_range[i] && !self.freed[i]
         {
             self.free_value(v);
         }
@@ -392,11 +382,7 @@ impl<'a> Tx<'a> {
     /// Resolve an operand: the slot of a value, or a materialised constant.
     /// Constants 0 and 1 hit the preloaded slots; other constants go to a
     /// temp slot freed after the consuming instruction.
-    fn operand_slot(
-        &mut self,
-        op: Operand,
-        temps: &mut Vec<u16>,
-    ) -> Result<u16, TranslateError> {
+    fn operand_slot(&mut self, op: Operand, temps: &mut Vec<u16>) -> Result<u16, TranslateError> {
         match op {
             Operand::Value(v) => Ok(self.use_slot(v)),
             Operand::Const(c) => self.materialize(c, temps),
@@ -529,10 +515,7 @@ impl<'a> Tx<'a> {
     /// for calls with ignored results).
     fn maybe_free_dead(&mut self, v: ValueId, pos: u32) {
         let i = v.index();
-        if self.uses_left[i] == 0
-            && self.eff_end[i] == pos
-            && self.point_range[i]
-            && !self.freed[i]
+        if self.uses_left[i] == 0 && self.eff_end[i] == pos && self.point_range[i] && !self.freed[i]
         {
             self.free_value(v);
         }
@@ -570,10 +553,8 @@ impl<'a> Tx<'a> {
                 self.maybe_free_dead(vid, pos);
             }
             Instr::Extract { pair, field } => {
-                let (vslot, fslot) = *self
-                    .pair_slot
-                    .get(pair)
-                    .expect("extract from pair without slots");
+                let (vslot, fslot) =
+                    *self.pair_slot.get(pair).expect("extract from pair without slots");
                 let src = if *field == 0 { vslot } else { fslot };
                 let dst = self.ensure_slot(vid)?;
                 self.emit(Op::Mov64, dst, src, 0, 0);
@@ -677,6 +658,7 @@ impl<'a> Tx<'a> {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn emit_bin(
         &mut self,
         vid: ValueId,
@@ -687,10 +669,8 @@ impl<'a> Tx<'a> {
         temps: &mut Vec<u16>,
         pos: u32,
     ) -> Result<(), TranslateError> {
-        let commutative = matches!(
-            op,
-            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
-        );
+        let commutative =
+            matches!(op, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor);
         if commutative && a.as_const().is_some() && b.as_const().is_none() {
             std::mem::swap(&mut a, &mut b);
         }
@@ -708,9 +688,8 @@ impl<'a> Tx<'a> {
         let sa = self.operand_slot(a, temps)?;
         let sb = self.operand_slot(b, temps)?;
         let dst = self.ensure_slot(vid)?;
-        let opcode = reg_bin_op(op, ty).ok_or_else(|| {
-            TranslateError::Unsupported(format!("{} on {ty}", op.name()))
-        })?;
+        let opcode = reg_bin_op(op, ty)
+            .ok_or_else(|| TranslateError::Unsupported(format!("{} on {ty}", op.name())))?;
         self.emit(opcode, dst, sa, sb, 0);
         self.dec_operand(a, pos);
         self.dec_operand(b, pos);
@@ -718,6 +697,7 @@ impl<'a> Tx<'a> {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn emit_cmp(
         &mut self,
         vid: ValueId,
@@ -754,6 +734,7 @@ impl<'a> Tx<'a> {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn emit_cast(
         &mut self,
         vid: ValueId,
@@ -782,8 +763,7 @@ impl<'a> Tx<'a> {
                 Type::I32 => self.emit(Op::SiToFpI32, dst, sv, 0, 0),
                 Type::I64 => self.emit(Op::SiToFpI64, dst, sv, 0, 0),
                 Type::I8 | Type::I16 => {
-                    let widen =
-                        if from == Type::I8 { Op::SExtI8I64 } else { Op::SExtI16I64 };
+                    let widen = if from == Type::I8 { Op::SExtI8I64 } else { Op::SExtI16I64 };
                     self.emit(widen, SLOT_SCRATCH, sv, 0, 0);
                     self.emit(Op::SiToFpI64, dst, SLOT_SCRATCH, 0, 0);
                 }
@@ -903,7 +883,12 @@ impl<'a> Tx<'a> {
 
     // ---- terminators and φ propagation ---------------------------------
 
-    fn phi_copies_for_edge(&mut self, pred: aqe_ir::BlockId, succ: aqe_ir::BlockId, pos: u32) -> Vec<(u16, CopySrc)> {
+    fn phi_copies_for_edge(
+        &mut self,
+        pred: aqe_ir::BlockId,
+        succ: aqe_ir::BlockId,
+        pos: u32,
+    ) -> Vec<(u16, CopySrc)> {
         let mut copies = Vec::new();
         for &pvid in &self.f.block(succ).instrs.clone() {
             let Some(Instr::Phi { incomings, .. }) = self.f.instr(pvid) else {
@@ -945,9 +930,8 @@ impl<'a> Tx<'a> {
             }
         }
         while !pending.is_empty() {
-            let free_idx = pending
-                .iter()
-                .position(|&(dst, _)| pending.iter().all(|&(_, src)| src != dst));
+            let free_idx =
+                pending.iter().position(|&(dst, _)| pending.iter().all(|&(_, src)| src != dst));
             match free_idx {
                 Some(i) => {
                     let (dst, src) = pending.swap_remove(i);
@@ -1391,8 +1375,7 @@ mod tests {
         }
         b.ret(Some(acc));
         let f = b.finish().unwrap();
-        let reuse =
-            translate(&f, &no_externs(), TranslateOptions::default()).unwrap().frame_size;
+        let reuse = translate(&f, &no_externs(), TranslateOptions::default()).unwrap().frame_size;
         let no_reuse = translate(
             &f,
             &no_externs(),

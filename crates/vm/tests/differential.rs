@@ -9,12 +9,14 @@
 //! strategy and with fusion on and off.
 
 use aqe_ir::{BinOp, CmpPred, Constant, Function, FunctionBuilder, Operand, OvfOp, Type, ValueId};
+use aqe_vm::backend::{ExecMode, PipelineBackend};
 use aqe_vm::interp::{execute, ExecError, Frame};
-use aqe_vm::naive;
+use aqe_vm::naive::{self, NaiveBackend};
 use aqe_vm::regalloc::AllocStrategy;
 use aqe_vm::rt::Registry;
 use aqe_vm::translate::{translate, TranslateOptions};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// A little structured-program AST that proptest can generate and that
 /// always terminates.
@@ -84,12 +86,8 @@ fn lower(stmts: &[Stmt]) -> Function {
             }
             Stmt::CmpSelect(p, a, bi, c, d) => {
                 let cond = b.cmp(p, Type::I64, pick(&vals, a).into(), pick(&vals, bi).into());
-                let v = b.select(
-                    Type::I64,
-                    cond.into(),
-                    pick(&vals, c).into(),
-                    pick(&vals, d).into(),
-                );
+                let v =
+                    b.select(Type::I64, cond.into(), pick(&vals, c).into(), pick(&vals, d).into());
                 vals.push(v);
             }
             Stmt::Diamond(a, bi, c, d) => {
@@ -100,12 +98,8 @@ fn lower(stmts: &[Stmt]) -> Function {
                 let j_bb = b.add_block();
                 b.cond_br(cond.into(), t_bb, e_bb);
                 b.switch_to(t_bb);
-                let tv = b.bin(
-                    BinOp::Add,
-                    Type::I64,
-                    pick(&vals, bi).into(),
-                    pick(&vals, c).into(),
-                );
+                let tv =
+                    b.bin(BinOp::Add, Type::I64, pick(&vals, bi).into(), pick(&vals, c).into());
                 b.br(j_bb);
                 b.switch_to(e_bb);
                 let ev = b.bin(
@@ -129,12 +123,8 @@ fn lower(stmts: &[Stmt]) -> Function {
                 b.switch_to(head);
                 let iv = b.phi(Type::I64, vec![(pre, Constant::i64(0).into())]);
                 let acc = b.phi(Type::I64, vec![(pre, seed.into())]);
-                let done = b.cmp(
-                    CmpPred::SGe,
-                    Type::I64,
-                    iv.into(),
-                    Constant::i64(trips as i64).into(),
-                );
+                let done =
+                    b.cmp(CmpPred::SGe, Type::I64, iv.into(), Constant::i64(trips as i64).into());
                 b.cond_br(done.into(), exit, body);
                 b.switch_to(body);
                 // acc' = acc*3 ^ iv (wrapping, never traps)
@@ -148,12 +138,8 @@ fn lower(stmts: &[Stmt]) -> Function {
                 vals.push(acc);
             }
             Stmt::Div(a, bi) => {
-                let v = b.bin(
-                    BinOp::SDiv,
-                    Type::I64,
-                    pick(&vals, a).into(),
-                    pick(&vals, bi).into(),
-                );
+                let v =
+                    b.bin(BinOp::SDiv, Type::I64, pick(&vals, a).into(), pick(&vals, bi).into());
                 vals.push(v);
             }
         }
@@ -167,11 +153,7 @@ fn lower(stmts: &[Stmt]) -> Function {
     b.finish().expect("generated program must verify")
 }
 
-fn run_vm(
-    f: &Function,
-    args: &[u64],
-    opts: TranslateOptions,
-) -> Result<Option<u64>, ExecError> {
+fn run_vm(f: &Function, args: &[u64], opts: TranslateOptions) -> Result<Option<u64>, ExecError> {
     let bc = translate(f, &[], opts).expect("translation");
     let rt = Registry::new();
     let mut frame = Frame::new();
@@ -192,6 +174,29 @@ proptest! {
         let expect = naive::interpret_pure(&f, &[x as u64, y as u64]);
         let got = run_vm(&f, &[x as u64, y as u64], TranslateOptions::default());
         prop_assert_eq!(expect, got);
+    }
+
+    /// Both of this crate's backends, dispatched uniformly through the
+    /// engine's `Arc<dyn PipelineBackend>` seam, agree — results *and*
+    /// traps (the §III-B hot-swap contract).
+    #[test]
+    fn backends_agree_through_trait_dispatch(
+        stmts in prop::collection::vec(stmt_strategy(), 1..16),
+        x in any::<i64>(),
+        y in any::<i64>(),
+    ) {
+        let f = lower(&stmts);
+        let bc = translate(&f, &[], TranslateOptions::default()).expect("translation");
+        let backends: [Arc<dyn PipelineBackend>; 2] =
+            [Arc::new(NaiveBackend::new(Arc::new(f))), Arc::new(bc)];
+        prop_assert_eq!(backends[0].kind(), ExecMode::NaiveIr);
+        prop_assert_eq!(backends[1].kind(), ExecMode::Bytecode);
+        let rt = Registry::new();
+        let mut frame = Frame::new();
+        let args = [x as u64, y as u64];
+        let results: Vec<_> =
+            backends.iter().map(|b| b.call(&args, &rt, &mut frame)).collect();
+        prop_assert_eq!(&results[0], &results[1], "naive vs bytecode via dyn dispatch");
     }
 
     /// Fusion must not change semantics.
@@ -263,9 +268,7 @@ fn regression_shapes() {
     ];
     for stmts in cases {
         let f = lower(&stmts);
-        for &(x, y) in
-            &[(0i64, 0i64), (1, -1), (i64::MAX, 2), (i64::MIN, -1), (12345, -67890)]
-        {
+        for &(x, y) in &[(0i64, 0i64), (1, -1), (i64::MAX, 2), (i64::MIN, -1), (12345, -67890)] {
             let expect = naive::interpret_pure(&f, &[x as u64, y as u64]);
             let got = run_vm(&f, &[x as u64, y as u64], TranslateOptions::default());
             assert_eq!(expect, got, "stmts={stmts:?} x={x} y={y}");

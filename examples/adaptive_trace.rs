@@ -18,12 +18,8 @@ fn main() {
     let q = tpch::q11(&catalog);
     let phys = decompose(&catalog, &q.root, q.dicts.clone());
 
-    let mut opts = ExecOptions {
-        mode: ExecMode::Adaptive,
-        threads: 4,
-        trace: true,
-        ..Default::default()
-    };
+    let mut opts =
+        ExecOptions { mode: ExecMode::Adaptive, threads: 4, trace: true, ..Default::default() };
     // Nudge the model so the demo compiles even at small scale factors.
     opts.model.speedup_opt = 3.0;
     let (result, report) = execute_plan(&phys, &catalog, &opts).expect("query ok");
@@ -49,7 +45,13 @@ fn main() {
         c.1 += e.tuples;
     }
     for ((p, k), (morsels, tuples)) in counts {
-        let mode = ["bytecode", "unoptimized", "optimized"][k as usize];
+        let mode = match k {
+            0 => "bytecode",
+            1 => "unoptimized",
+            2 => "optimized",
+            3 => "naive-ir",
+            _ => "?",
+        };
         println!("  p{p} {mode:<12} {morsels:>6} morsels {tuples:>12} tuples");
     }
     println!(

@@ -13,8 +13,18 @@
 //! * [`baselines`] — Volcano-style and vectorized comparison engines
 //! * [`queries`] — the evaluation query corpus
 //!
+//! All execution backends plug into one seam: the object-safe
+//! [`vm::backend::PipelineBackend`] trait (re-exported here as
+//! [`PipelineBackend`]), implemented by the bytecode VM, the naive IR
+//! interpreter, and both threaded-code levels. The engine's morsel loop
+//! calls through a hot-swappable `Arc<dyn PipelineBackend>` handle per
+//! pipeline, which is what lets a query switch representation mid-flight.
+//!
 //! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for the
 //! system inventory and the per-figure reproduction index.
+
+pub use aqe_engine::exec::{ExecMode, ExecOptions, FunctionHandle};
+pub use aqe_vm::backend::PipelineBackend;
 
 pub use aqe_baselines as baselines;
 pub use aqe_engine as engine;

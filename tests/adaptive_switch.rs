@@ -1,0 +1,128 @@
+//! Engine-level tests for the hot-swap machinery itself:
+//!
+//! 1. a large synthetic query started in `ExecMode::Adaptive` must actually
+//!    *switch* backends mid-pipeline (a background compilation appears in
+//!    the trace and compiled morsels follow interpreted ones), and
+//! 2. every one of the five `ExecMode`s — i.e. every backend that can sit
+//!    in a pipeline's `Arc<dyn PipelineBackend>` handle — produces
+//!    identical `ResultRows` on a TPC-H subset.
+
+use aqe::engine::exec::{execute_plan, ExecMode, ExecOptions, TraceEvent};
+use aqe::engine::plan::decompose;
+use aqe::queries::{synthetic, tpch};
+use aqe::storage::tpch as tpch_data;
+
+/// Trace kind marking a background compilation (see `TraceEvent::kind`).
+const KIND_COMPILE: u8 = 255;
+
+fn normalized(rows: &[u64], width: usize, sorted: bool) -> Vec<Vec<u64>> {
+    if width == 0 {
+        return vec![];
+    }
+    let mut out: Vec<Vec<u64>> = rows.chunks_exact(width).map(|r| r.to_vec()).collect();
+    if !sorted {
+        out.sort();
+    }
+    out
+}
+
+#[test]
+fn adaptive_mode_switches_backend_mid_query() {
+    // A wide synthetic aggregation: expensive enough per tuple that the
+    // Fig. 7 extrapolation always decides compilation pays off, and long
+    // enough that the background compile lands while morsels remain.
+    let cat = tpch_data::generate(0.02);
+    let q = synthetic::wide_agg(120);
+    let phys = decompose(&cat, &q.root, vec![]);
+
+    let mut opts =
+        ExecOptions { mode: ExecMode::Adaptive, threads: 2, trace: true, ..Default::default() };
+    // Generous modeled speedup so the decision is deterministic even on a
+    // slow CI machine; the *observed* switch below is what the test checks.
+    opts.model.speedup_opt = 6.0;
+    opts.model.speedup_unopt = 3.0;
+    let (rows, report) = execute_plan(&phys, &cat, &opts).expect("adaptive execution");
+
+    assert!(
+        report.background_compiles >= 1,
+        "expected at least one background compilation, got {}",
+        report.background_compiles
+    );
+    let compiles: Vec<&TraceEvent> =
+        report.trace.iter().filter(|e| e.kind == KIND_COMPILE).collect();
+    assert!(!compiles.is_empty(), "trace must contain a compilation event");
+
+    // The switch must be *observable in executed morsels*: interpreted
+    // (bytecode, kind 0) morsels first, compiled (kind 1 or 2) morsels
+    // after the backend was published into the handle.
+    let morsel_kinds: std::collections::BTreeSet<u8> =
+        report.trace.iter().filter(|e| e.kind != KIND_COMPILE).map(|e| e.kind).collect();
+    assert!(
+        morsel_kinds.contains(&0),
+        "query must start on the bytecode backend, kinds seen: {morsel_kinds:?}"
+    );
+    assert!(
+        morsel_kinds.contains(&1) || morsel_kinds.contains(&2),
+        "no morsel ran on a compiled backend — no switch happened; \
+         kinds seen: {morsel_kinds:?}"
+    );
+
+    // Same thread, backend changes between consecutive morsels: the
+    // hot-swap handle picked up the new backend on the very next morsel.
+    let mut per_thread_switches = 0usize;
+    for tid in report.trace.iter().map(|e| e.thread).collect::<std::collections::BTreeSet<_>>() {
+        let kinds: Vec<u8> = report
+            .trace
+            .iter()
+            .filter(|e| e.thread == tid && e.kind != KIND_COMPILE)
+            .map(|e| e.kind)
+            .collect();
+        per_thread_switches += kinds.windows(2).filter(|w| w[0] != w[1]).count();
+    }
+    assert!(per_thread_switches >= 1, "at least one worker must switch backends");
+
+    // And the switch must not have changed the answer.
+    let bc_opts = ExecOptions { mode: ExecMode::Bytecode, threads: 2, ..Default::default() };
+    let (bc_rows, _) = execute_plan(&phys, &cat, &bc_opts).expect("bytecode execution");
+    let w = phys.output_tys.len();
+    assert_eq!(
+        normalized(&rows.rows, w, phys.sorted_output),
+        normalized(&bc_rows.rows, w, phys.sorted_output),
+        "adaptive result differs from pure bytecode result"
+    );
+}
+
+#[test]
+fn all_five_modes_agree_on_tpch_subset() {
+    let cat = tpch_data::generate(0.005);
+    let all = tpch::all(&cat);
+    // A subset that covers scan+filter+agg, joins, and sorted output while
+    // keeping the naive IR interpreter's runtime tolerable.
+    let subset = ["q1", "q3", "q6", "q14"];
+    let mut covered = 0;
+    for q in all.iter().filter(|q| subset.contains(&q.name.as_str())) {
+        covered += 1;
+        let phys = decompose(&cat, &q.root, q.dicts.clone());
+        let width = phys.output_tys.len();
+        let mut reference: Option<Vec<Vec<u64>>> = None;
+        for mode in [
+            ExecMode::NaiveIr,
+            ExecMode::Bytecode,
+            ExecMode::Unoptimized,
+            ExecMode::Optimized,
+            ExecMode::Adaptive,
+        ] {
+            let opts = ExecOptions { mode, threads: 2, ..Default::default() };
+            let (res, _) = execute_plan(&phys, &cat, &opts)
+                .unwrap_or_else(|e| panic!("{} {mode:?}: {e}", q.name));
+            let got = normalized(&res.rows, width, phys.sorted_output);
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => {
+                    assert_eq!(&got, want, "{} {mode:?} disagrees with NaiveIr", q.name)
+                }
+            }
+        }
+    }
+    assert_eq!(covered, subset.len(), "TPC-H subset lookup failed");
+}

@@ -32,29 +32,18 @@ fn tpch_corpus_agrees_across_all_engines_and_modes() {
             width,
             sorted,
         );
-        let vector = normalized(
-            &execute_vectorized(&cat, &q.root, &phys).unwrap(),
-            width,
-            sorted,
-        );
+        let vector = normalized(&execute_vectorized(&cat, &q.root, &phys).unwrap(), width, sorted);
         assert_eq!(volcano, vector, "{}: baselines disagree", q.name);
 
-        for mode in [
-            ExecMode::Bytecode,
-            ExecMode::Unoptimized,
-            ExecMode::Optimized,
-            ExecMode::Adaptive,
-        ] {
+        for mode in
+            [ExecMode::Bytecode, ExecMode::Unoptimized, ExecMode::Optimized, ExecMode::Adaptive]
+        {
             for threads in [1, 4] {
                 let opts = ExecOptions { mode, threads, ..Default::default() };
                 let (res, _) = execute_plan(&phys, &cat, &opts)
                     .unwrap_or_else(|e| panic!("{} {mode:?}: {e}", q.name));
                 let got = normalized(&res.rows, width, sorted);
-                assert_eq!(
-                    got, volcano,
-                    "{} {mode:?} x{threads} disagrees with baselines",
-                    q.name
-                );
+                assert_eq!(got, volcano, "{} {mode:?} x{threads} disagrees with baselines", q.name);
             }
         }
     }

@@ -5,9 +5,7 @@
 
 use aqe::baselines::execute_volcano;
 use aqe::engine::exec::{execute_plan, ExecMode, ExecOptions};
-use aqe::engine::plan::{
-    decompose, AggFunc, AggSpec, ArithOp, CmpOp, PExpr, PlanNode,
-};
+use aqe::engine::plan::{decompose, AggFunc, AggSpec, ArithOp, CmpOp, PExpr, PlanNode};
 use aqe::storage::{tpch, Catalog};
 use proptest::prelude::*;
 use std::sync::OnceLock;
@@ -52,18 +50,9 @@ fn query_strategy() -> impl Strategy<Value = RandomQuery> {
         0usize..3,
         prop_oneof![Just(ArithOp::Add), Just(ArithOp::Sub), Just(ArithOp::Mul)],
     )
-        .prop_map(
-            |(filter_col, cmp, threshold, grouped, agg_sel, arg_a, arg_b, arg_op)| RandomQuery {
-                filter_col,
-                cmp,
-                threshold,
-                grouped,
-                agg_sel,
-                arg_a,
-                arg_b,
-                arg_op,
-            },
-        )
+        .prop_map(|(filter_col, cmp, threshold, grouped, agg_sel, arg_a, arg_b, arg_op)| {
+            RandomQuery { filter_col, cmp, threshold, grouped, agg_sel, arg_a, arg_b, arg_op }
+        })
 }
 
 fn build_plan(q: &RandomQuery) -> PlanNode {
@@ -78,13 +67,7 @@ fn build_plan(q: &RandomQuery) -> PlanNode {
             PExpr::ConstI(q.threshold),
         )),
     };
-    let arg = PExpr::arith(
-        q.arg_op,
-        true,
-        false,
-        PExpr::Col(q.arg_a),
-        PExpr::Col(q.arg_b),
-    );
+    let arg = PExpr::arith(q.arg_op, true, false, PExpr::Col(q.arg_a), PExpr::Col(q.arg_b));
     let agg = match q.agg_sel {
         0 => AggSpec { func: AggFunc::SumI, arg: Some(arg) },
         1 => AggSpec { func: AggFunc::MinI, arg: Some(arg) },

@@ -1,0 +1,388 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Implements the subset this repository's property tests use: the
+//! [`proptest!`] test harness macro, [`strategy::Strategy`] with
+//! `prop_map`, [`strategy::Just`], integer-range and tuple strategies,
+//! `any::<T>()` with edge-case biasing, [`prop_oneof!`] unions, and
+//! [`collection::vec`]. Failing cases are reported with their values via
+//! panic; there is **no shrinking** — the failing input is printed as-is.
+
+pub mod test_runner {
+    /// Per-test configuration (only `cases` is honoured).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// The RNG handed to strategies. Deterministic per test name so runs
+    /// are reproducible; override the stream with `PROPTEST_SEED`.
+    pub struct TestRng(pub(crate) rand::rngs::SmallRng);
+
+    impl TestRng {
+        pub fn deterministic(name: &str) -> Self {
+            use rand::SeedableRng;
+            let env: u64 =
+                std::env::var("PROPTEST_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0);
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ env;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(rand::rngs::SmallRng::seed_from_u64(h))
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use rand::Rng as _;
+    use std::rc::Rc;
+
+    /// A generator of values of type `Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `s.prop_map(f)` combinator.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between strategies (the expansion of `prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<Rc<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Clone for Union<V> {
+        fn clone(&self) -> Self {
+            Union { options: self.options.clone() }
+        }
+    }
+
+    impl<V> Union<V> {
+        pub fn new(options: Vec<Rc<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.0.random_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Helper used by `prop_oneof!` to erase each member's concrete type.
+    pub fn union_member<S>(s: S) -> Rc<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Rc::new(s)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.random_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng as _;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.0.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Bias towards boundary values — the cases integer
+                    // differential tests most need (real proptest gets the
+                    // same effect from its binary-search shrinking).
+                    if rng.0.random_bool(0.125) {
+                        const EDGES: [i128; 5] =
+                            [<$t>::MIN as i128, <$t>::MAX as i128, 0, 1, -1i128 as i128];
+                        EDGES[rng.0.random_range(0..EDGES.len())] as $t
+                    } else {
+                        rng.0.next_u64() as $t
+                    }
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng as _;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.0.random_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of real proptest's `prelude::prop` module shorthand.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// The test-harness macro: expands each `fn name(arg in strategy, ...)`
+/// into a `#[test]` that generates `cases` inputs and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..__cfg.cases {
+                let ( $($arg,)* ) =
+                    ( $( $crate::strategy::Strategy::generate(&($strat), &mut __rng), )* );
+                $body
+            }
+        }
+    )*};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::union_member($strat) ),+
+        ])
+    };
+}
+
+/// Assertion macros: plain panics (no shrink-and-retry machinery).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Shape {
+        Dot,
+        Line(u8),
+        Pair(i64, i64),
+    }
+
+    fn shape() -> impl Strategy<Value = Shape> {
+        prop_oneof![
+            Just(Shape::Dot),
+            (1u8..5).prop_map(Shape::Line),
+            (any::<i64>(), any::<i64>()).prop_map(|(a, b)| Shape::Pair(a, b)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+
+        #[test]
+        fn tuple_and_vec_strategies_generate(
+            items in prop::collection::vec(shape(), 1..8),
+            flag in any::<bool>(),
+            n in 0usize..3,
+        ) {
+            prop_assert!(!items.is_empty() && items.len() < 8);
+            prop_assert!(n < 3);
+            let _ = flag;
+            for it in &items {
+                if let Shape::Line(w) = it {
+                    prop_assert!((1..5).contains(w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = shape();
+        let a: Vec<Shape> =
+            (0..32).scan(TestRng::deterministic("x"), |r, _| Some(s.generate(r))).collect();
+        let b: Vec<Shape> =
+            (0..32).scan(TestRng::deterministic("x"), |r, _| Some(s.generate(r))).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn any_hits_edge_values() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let mut rng = TestRng::deterministic("edges");
+        let s = any::<i64>();
+        let vals: Vec<i64> = (0..4000).map(|_| s.generate(&mut rng)).collect();
+        assert!(vals.contains(&i64::MAX));
+        assert!(vals.contains(&i64::MIN));
+        assert!(vals.contains(&0));
+    }
+}

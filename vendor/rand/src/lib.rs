@@ -1,0 +1,164 @@
+//! Offline stand-in for the `rand` crate, 0.9-style API (see
+//! `vendor/README.md`).
+//!
+//! Deterministic by construction: the only generator is [`rngs::SmallRng`]
+//! seeded via [`SeedableRng::seed_from_u64`], which is exactly how the data
+//! generators in `aqe-storage` use it. The stream differs from the real
+//! rand crate's SmallRng — data generated here is self-consistent but not
+//! bit-identical to a build against crates.io rand.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    pub use crate::small::SmallRng;
+}
+
+mod small {
+    /// xoroshiro128++ — small, fast, and plenty good for test-data
+    /// generation (the same algorithm family the real `SmallRng` uses).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s0: u64,
+        s1: u64,
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl crate::SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut st = seed;
+            let s0 = splitmix64(&mut st);
+            let s1 = splitmix64(&mut st);
+            SmallRng { s0, s1 }
+        }
+    }
+
+    impl crate::Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let (s0, mut s1) = (self.s0, self.s1);
+            let result = s0.wrapping_add(s1).rotate_left(17).wrapping_add(s0);
+            s1 ^= s0;
+            self.s0 = s0.rotate_left(49) ^ s1 ^ (s1 << 21);
+            self.s1 = s1.rotate_left(28);
+            result
+        }
+    }
+}
+
+/// Construction from a `u64` seed (the only constructor this repo uses).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types usable with [`Rng::random_range`].
+pub trait UniformInt: Copy {
+    fn to_i128(self) -> i128;
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {
+        $(impl UniformInt for $t {
+            fn to_i128(self) -> i128 { self as i128 }
+            fn from_i128(v: i128) -> Self { v as $t }
+        })*
+    };
+}
+impl_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Ranges acceptable to [`Rng::random_range`]; yields inclusive bounds.
+pub trait SampleRange<T> {
+    fn inclusive_bounds(self) -> (i128, i128);
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn inclusive_bounds(self) -> (i128, i128) {
+        (self.start.to_i128(), self.end.to_i128() - 1)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn inclusive_bounds(self) -> (i128, i128) {
+        (self.start().to_i128(), self.end().to_i128())
+    }
+}
+
+/// The generator trait: one required method, everything else derived.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from an integer range (panics on an empty range,
+    /// like the real crate).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: SampleRange<T>,
+    {
+        let (lo, hi) = range.inclusive_bounds();
+        assert!(lo <= hi, "cannot sample from empty range");
+        let span = (hi - lo + 1) as u128;
+        // span < 2^65 always holds for the 64-bit-and-smaller types above.
+        let v = (((self.next_u64() as u128) << 64) | self.next_u64() as u128) % span;
+        T::from_i128(lo + v as i128)
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::SmallRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = SmallRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = r.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+            let u = r.random_range(0usize..3);
+            assert!(u < 3);
+            let w = r.random_range(99..=49_999i64);
+            assert!((99..=49_999).contains(&w));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[r.random_range(0u8..6) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all bucket values should appear");
+    }
+
+    #[test]
+    fn bool_probability_sane() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+        assert!(!(0..100).any(|_| r.random_bool(0.0)));
+        assert!((0..100).all(|_| r.random_bool(1.0)));
+    }
+}
