@@ -1,18 +1,20 @@
 //! Fig. 2 — compilation vs execution time of TPC-H Q1 per execution mode
 //! (handwritten, optimized, unoptimized, bytecode, naive IR interpretation).
 
-use aqe_bench::{env_sf, fmt_ms, ms, physical, run_mode};
+use aqe_bench::{env_sf, env_threads, fmt_ms, ms, physical, run_mode};
 use aqe_engine::exec::ExecMode;
 use std::time::Instant;
 
 fn main() {
     let sf = env_sf(0.1);
+    // The paper's figure is single-threaded; AQE_THREADS overrides.
+    let threads = env_threads(1);
     eprintln!("generating TPC-H SF {sf}…");
     let cat = aqe_storage::tpch::generate(sf);
     let q = aqe_queries::tpch::q1(&cat);
     let phys = physical(&cat, &q);
 
-    println!("# Fig. 2 — TPC-H Q1 @ SF {sf}, single-threaded");
+    println!("# Fig. 2 — TPC-H Q1 @ SF {sf}, {threads} thread(s)");
     println!("{:<14} {:>12} {:>12}", "mode", "compile[ms]", "exec[ms]");
 
     let t = Instant::now();
@@ -27,7 +29,7 @@ fn main() {
         (ExecMode::Bytecode, "bytecode"),
         (ExecMode::NaiveIr, "naive-IR"),
     ] {
-        let (_, report, _) = run_mode(&cat, &phys, mode, 1, false);
+        let (_, report, _) = run_mode(&cat, &phys, mode, threads, false);
         let compile = ms(report.bc_translate + report.upfront_compile);
         println!("{:<14} {:>12} {:>12}", label, fmt_ms(compile), fmt_ms(ms(report.exec)));
     }

@@ -14,6 +14,7 @@
 //! | `table1_plan_compile` | Table I (planning and compilation times) |
 //! | `table2_exec` | Table II (execution times + §V-D ratios) |
 //! | `ablation_regalloc` | §IV-C register-file sizes, fusion on/off |
+//! | `fig_stealing` | beyond the paper: skewed-morsel work stealing + cost-model calibration |
 //!
 //! Scale factors default to laptop-friendly values; override with `AQE_SF`
 //! / `AQE_SF_LIST` / `AQE_THREADS` environment variables.

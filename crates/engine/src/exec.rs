@@ -1,5 +1,5 @@
-//! Query execution: morsel-driven parallelism, hot-swappable function
-//! handles (Fig. 5), and the adaptive controller (Fig. 7).
+//! Query execution orchestration: hot-swappable function handles (Fig. 5),
+//! pipeline setup, and sink finalisation.
 //!
 //! "We always start executing every query using the bytecode interpreter and
 //! all available threads. We then monitor the execution progress to decide
@@ -7,11 +7,19 @@
 //! this is the case, we start compiling on a background thread, while the
 //! other threads continue the interpreted execution. Once compilation is
 //! finished, all threads quickly switch to the compiled machine code."
+//!
+//! The *scheduling* half of that loop — who runs which rows, how progress
+//! is observed, when the controller compiles, and how the cost model is
+//! calibrated — lives in [`crate::sched`]; this module owns the per-query
+//! state, the handle indirection, and the pipeline-end sinks.
 
 use crate::codegen;
 use crate::plan::{FieldTy, PhysicalPlan, Sink, Source};
 use crate::runtime::{merge_agg_tables, sort_rows, JoinHt, WorkerRt};
-use aqe_ir::{Function, Module};
+use crate::sched::{
+    AdaptiveController, ControllerCtx, CostCalibrator, MorselDispenser, PipelineProgress,
+};
+use aqe_ir::{ExternDecl, Function, Module};
 use aqe_jit::compile::{compile, OptLevel};
 use aqe_storage::Catalog;
 use aqe_vm::interp::{ExecError, Frame};
@@ -19,104 +27,25 @@ use aqe_vm::naive::NaiveBackend;
 use aqe_vm::rt::Registry;
 use aqe_vm::translate::{translate, TranslateOptions};
 use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
-// Execution modes & cost model
+// Execution modes & scheduler vocabulary (re-exports)
 // ---------------------------------------------------------------------------
 
 /// Re-exported from `aqe-vm`: the mode vocabulary is shared by every
 /// backend implementation, so it lives next to [`PipelineBackend`].
 pub use aqe_vm::backend::{ExecMode, PipelineBackend};
 
-/// The empirical model behind Fig. 7's `ctime(f)` and `speedup(f)`: compile
-/// time is linear in IR instruction count (Fig. 6: "the number of LLVM
-/// instructions of a query correlates very well with its compilation
-/// time"); speedups are global empirical factors (§V-D).
-#[derive(Clone, Copy, Debug)]
-pub struct CostModel {
-    pub unopt_base_s: f64,
-    pub unopt_per_instr_s: f64,
-    pub opt_base_s: f64,
-    pub opt_per_instr_s: f64,
-    /// Execution speedup of unoptimized / optimized code over bytecode.
-    pub speedup_unopt: f64,
-    pub speedup_opt: f64,
-}
-
-impl Default for CostModel {
-    fn default() -> Self {
-        // Defaults measured on this reproduction's backends (see
-        // EXPERIMENTS.md); recalibrate with `CostModel::calibrate`.
-        CostModel {
-            unopt_base_s: 30e-6,
-            unopt_per_instr_s: 0.4e-6,
-            opt_base_s: 80e-6,
-            opt_per_instr_s: 4.0e-6,
-            speedup_unopt: 1.5,
-            speedup_opt: 2.2,
-        }
-    }
-}
-
-impl CostModel {
-    pub fn ctime(&self, level: OptLevel, instrs: usize) -> f64 {
-        match level {
-            OptLevel::Unoptimized => self.unopt_base_s + self.unopt_per_instr_s * instrs as f64,
-            OptLevel::Optimized => self.opt_base_s + self.opt_per_instr_s * instrs as f64,
-        }
-    }
-    pub fn speedup(&self, level: OptLevel) -> f64 {
-        match level {
-            OptLevel::Unoptimized => self.speedup_unopt,
-            OptLevel::Optimized => self.speedup_opt,
-        }
-    }
-}
-
-/// Fig. 7's decision outcome.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum ModeChoice {
-    DoNothing,
-    Unoptimized,
-    Optimized,
-}
-
-/// `extrapolatePipelineDurations` (Fig. 7, verbatim structure): given the
-/// remaining tuples `n`, the number of active workers `w`, the observed
-/// current processing rate `r0` (tuples/s per thread), the current mode's
-/// speedup factor over bytecode, and the model, pick the cheapest plan.
-pub fn extrapolate_pipeline_durations(
-    model: &CostModel,
-    instrs: usize,
-    n: f64,
-    w: f64,
-    r0: f64,
-    current_speedup: f64,
-    unopt_available: bool,
-) -> ModeChoice {
-    if r0 <= 0.0 || n <= 0.0 {
-        return ModeChoice::DoNothing;
-    }
-    let r1 = r0 * (model.speedup(OptLevel::Unoptimized) / current_speedup);
-    let c1 = model.ctime(OptLevel::Unoptimized, instrs);
-    let r2 = r0 * (model.speedup(OptLevel::Optimized) / current_speedup);
-    let c2 = model.ctime(OptLevel::Optimized, instrs);
-    let t0 = n / r0 / w;
-    // While compiling, w-1 workers keep processing at the current rate.
-    let t1 = c1 + (n - (w - 1.0) * r0 * c1).max(0.0) / r1 / w;
-    let t2 = c2 + (n - (w - 1.0) * r0 * c2).max(0.0) / r2 / w;
-    let mut best = (t0, ModeChoice::DoNothing);
-    if !unopt_available && t1 < best.0 && r1 > r0 {
-        best = (t1, ModeChoice::Unoptimized);
-    }
-    if t2 < best.0 && r2 > r0 {
-        best = (t2, ModeChoice::Optimized);
-    }
-    best.1
-}
+/// Re-exported from [`crate::sched`]: the cost model, the Fig. 7
+/// extrapolation, and the calibration/report vocabulary grew out of this
+/// module in PR 2 and keep their historical import paths.
+pub use crate::sched::{
+    extrapolate_pipeline_durations, CalibrationReport, CostModel, ExecLevel, ModeChoice,
+    PipelineSchedReport,
+};
 
 // ---------------------------------------------------------------------------
 // Function handles (Fig. 5)
@@ -199,6 +128,14 @@ impl FunctionHandle {
     pub fn try_begin_compile(&self) -> bool {
         !self.compiling.swap(true, Ordering::AcqRel)
     }
+
+    /// Abandon a claimed compilation without publishing anything (the
+    /// compile failed): re-opens the slot so a later decision can retry —
+    /// without this, an `Err` from the compiler would leak the slot and
+    /// permanently disable upgrades for the pipeline.
+    pub fn cancel_compile(&self) {
+        self.compiling.store(false, Ordering::Release);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -231,6 +168,11 @@ pub struct Report {
     pub pipeline_labels: Vec<String>,
     /// IR instruction count of the module.
     pub ir_instrs: usize,
+    /// Per-pipeline scheduler summaries (morsels, steals, decisions, the
+    /// model each controller decided with).
+    pub sched: Vec<PipelineSchedReport>,
+    /// What the query's cost calibrator learned (final model + counts).
+    pub calibration: CalibrationReport,
 }
 
 // ---------------------------------------------------------------------------
@@ -278,6 +220,11 @@ pub struct ExecOptions {
     pub max_morsel: usize,
     /// Delay before the first adaptive evaluation (paper: 1 ms).
     pub first_eval: Duration,
+    /// Enable LIFO half-range work stealing between workers (the
+    /// single-cursor behaviour of PR 1 has no equivalent; disabling this
+    /// leaves static per-worker partitions, the honest no-stealing
+    /// baseline).
+    pub steal: bool,
 }
 
 impl Default for ExecOptions {
@@ -290,6 +237,7 @@ impl Default for ExecOptions {
             min_morsel: 1024,
             max_morsel: 64 * 1024,
             first_eval: Duration::from_millis(1),
+            steal: true,
         }
     }
 }
@@ -332,6 +280,7 @@ pub fn execute_module(
     // Worker functions, shared with backends and background compilations.
     let functions: Vec<Arc<Function>> =
         module.functions.iter().map(|f| Arc::new(f.clone())).collect();
+    let externs: Arc<Vec<ExternDecl>> = Arc::new(module.externs.clone());
 
     // ---- initial backend per pipeline -------------------------------------
     // Every mode goes through the same hot-swap handle; they differ only in
@@ -388,6 +337,9 @@ pub fn execute_module(
     let exec_start = Instant::now();
     let compile_events: Arc<Mutex<Vec<TraceEvent>>> = Arc::new(Mutex::new(Vec::new()));
     let background_compiles = Arc::new(AtomicUsize::new(0));
+    // One calibrator per query execution: pipelines decide with whatever
+    // the pipelines before them measured.
+    let calibrator = Arc::new(CostCalibrator::new(opts.model));
 
     // ---- run pipelines in order -------------------------------------------
     for p in &plan.pipelines {
@@ -407,28 +359,29 @@ pub fn execute_module(
             }
         };
 
-        run_pipeline(
-            p.id,
-            &functions[p.id],
-            module,
-            &handles[p.id],
-            &registry,
+        let pipeline = PipelineRun {
+            pid: p.id,
+            function: &functions[p.id],
+            externs: &externs,
+            handle: &handles[p.id],
+            registry: &registry,
             total_rows,
             plan,
-            &agg_shapes,
+            agg_shapes: &agg_shapes,
             opts,
             exec_start,
-            &mut report,
-            &compile_events,
-            &background_compiles,
-            &mut state,
-        )?;
+            compile_events: &compile_events,
+            background_compiles: &background_compiles,
+            calibrator: &calibrator,
+        };
+        pipeline.run(&mut report, &mut state)?;
     }
 
     report.background_compiles = background_compiles.load(Ordering::Relaxed);
     report.exec = exec_start.elapsed();
     report.trace.extend(compile_events.lock().drain(..));
     report.trace.sort_by_key(|e| (e.thread, e.start_us));
+    report.calibration = calibrator.report();
 
     // ---- final output ------------------------------------------------------
     let rows = std::mem::take(&mut state.out_rows);
@@ -450,289 +403,210 @@ fn plan_max_row_width(plan: &PhysicalPlan) -> usize {
     w
 }
 
-/// Per-pipeline progress shared between workers and the decider.
-struct Progress {
-    next: AtomicU64,
-    done_tuples: AtomicU64,
-    /// Tuples processed since the last rate reset and its start time.
-    since_reset: AtomicU64,
-    reset_at: Mutex<Instant>,
-    deciding: AtomicBool,
+/// Everything one pipeline run needs (bundled so the orchestration reads
+/// as: build scheduler, spawn workers, finalize controller, run the sink).
+struct PipelineRun<'a> {
+    pid: usize,
+    function: &'a Arc<Function>,
+    externs: &'a Arc<Vec<ExternDecl>>,
+    handle: &'a Arc<FunctionHandle>,
+    registry: &'a Arc<Registry>,
+    total_rows: usize,
+    plan: &'a PhysicalPlan,
+    agg_shapes: &'a [(usize, Vec<crate::plan::AggFunc>)],
+    opts: &'a ExecOptions,
+    exec_start: Instant,
+    compile_events: &'a Arc<Mutex<Vec<TraceEvent>>>,
+    background_compiles: &'a Arc<AtomicUsize>,
+    calibrator: &'a Arc<CostCalibrator>,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_pipeline(
-    pid: usize,
-    function: &Arc<Function>,
-    module: &Module,
-    handle: &Arc<FunctionHandle>,
-    registry: &Arc<Registry>,
-    total_rows: usize,
-    plan: &PhysicalPlan,
-    agg_shapes: &[(usize, Vec<crate::plan::AggFunc>)],
-    opts: &ExecOptions,
-    exec_start: Instant,
-    report: &mut Report,
-    compile_events: &Arc<Mutex<Vec<TraceEvent>>>,
-    background_compiles: &Arc<AtomicUsize>,
-    state: &mut QueryState,
-) -> Result<(), ExecError> {
-    let threads = opts.threads.max(1);
-    let progress = Progress {
-        next: AtomicU64::new(0),
-        done_tuples: AtomicU64::new(0),
-        since_reset: AtomicU64::new(0),
-        reset_at: Mutex::new(Instant::now()),
-        deciding: AtomicBool::new(false),
-    };
-    let pipeline_start = Instant::now();
-    let instrs = function.instruction_count();
-    let state_ptr = state.slots.as_ptr() as u64;
-    let error: Mutex<Option<ExecError>> = Mutex::new(None);
-    let adaptive = opts.mode == ExecMode::Adaptive;
+impl PipelineRun<'_> {
+    fn run(self, report: &mut Report, state: &mut QueryState) -> Result<(), ExecError> {
+        let opts = self.opts;
+        let threads = opts.threads.max(1);
 
-    // Worker runtimes, one per thread (created up front so finalize can
-    // collect them after the scope).
-    let row_buf_slots = plan_max_row_width(plan);
-    let mut worker_rts: Vec<Box<WorkerRt>> = (0..threads)
-        .map(|_| {
-            WorkerRt::with_row_buf(plan.join_hts.len(), agg_shapes, plan.mats.len(), row_buf_slots)
-        })
-        .collect();
-    let mut thread_traces: Vec<Vec<TraceEvent>> = vec![Vec::new(); threads];
+        // ---- scheduler assembly (see crate::sched) ------------------------
+        let dispenser = MorselDispenser::new(
+            self.total_rows as u64,
+            threads,
+            opts.min_morsel as u64,
+            opts.max_morsel as u64,
+            opts.steal,
+        );
+        let progress = Arc::new(PipelineProgress::new(threads));
+        let controller = AdaptiveController::new(ControllerCtx {
+            pid: self.pid,
+            function: self.function.clone(),
+            externs: self.externs.clone(),
+            handle: self.handle.clone(),
+            progress: progress.clone(),
+            calibrator: self.calibrator.clone(),
+            compile_events: self.compile_events.clone(),
+            background_compiles: self.background_compiles.clone(),
+            exec_start: self.exec_start,
+            total_rows: self.total_rows as u64,
+            threads,
+            adaptive: opts.mode == ExecMode::Adaptive,
+            first_eval: opts.first_eval,
+        });
 
-    std::thread::scope(|scope| {
-        for (tid, (wrt, ttrace)) in worker_rts.iter_mut().zip(thread_traces.iter_mut()).enumerate()
-        {
-            let progress = &progress;
-            let error = &error;
-            let handle = handle.clone();
-            let registry = registry.clone();
-            let model = opts.model;
-            let compile_events = compile_events.clone();
-            let background_compiles = background_compiles.clone();
-            let worker_function = if adaptive { Some(function.clone()) } else { None };
-            let externs = module.externs.clone();
-            scope.spawn(move || {
-                let wctx = wrt.wctx_ptr();
-                let mut frame = Frame::new();
-                let mut morsel_size = opts.min_morsel as u64;
-                let mut morsel_count = 0u64;
-                loop {
-                    if error.lock().is_some() {
-                        return;
-                    }
-                    let begin = progress.next.fetch_add(morsel_size, Ordering::Relaxed);
-                    if begin >= total_rows as u64 {
-                        return;
-                    }
-                    let end = (begin + morsel_size).min(total_rows as u64);
-                    let t_m0 = exec_start.elapsed().as_micros() as u64;
-                    let args = [wctx, state_ptr, begin, end];
-                    // The Fig. 5 indirection: pick up whatever backend is
-                    // currently published and run the morsel through it —
-                    // no per-mode branches here.
-                    let backend = handle.load();
-                    if let Err(e) = backend.call(&args, &registry, &mut frame) {
-                        *error.lock() = Some(e);
-                        return;
-                    }
-                    let tuples = end - begin;
-                    progress.done_tuples.fetch_add(tuples, Ordering::Relaxed);
-                    progress.since_reset.fetch_add(tuples, Ordering::Relaxed);
-                    if opts.trace {
-                        ttrace.push(TraceEvent {
-                            thread: tid as u16,
-                            pipeline: pid as u16,
-                            kind: backend.kind().trace_kind(),
-                            start_us: t_m0,
-                            end_us: exec_start.elapsed().as_micros() as u64,
-                            tuples,
-                        });
-                    }
-                    morsel_count += 1;
-                    if morsel_count.is_power_of_two() && morsel_size < opts.max_morsel as u64 {
-                        morsel_size *= 2;
-                    }
+        let state_ptr = state.slots.as_ptr() as u64;
+        // Workers poll only the flag (relaxed, once per morsel); the error
+        // value itself is stored under the mutex on the cold path.
+        let failed = AtomicBool::new(false);
+        let error: Mutex<Option<ExecError>> = Mutex::new(None);
 
-                    // ---- adaptive decision (Fig. 7) -----------------------
-                    if adaptive
-                        && pipeline_start.elapsed() >= opts.first_eval
-                        && !progress.deciding.swap(true, Ordering::AcqRel)
-                    {
-                        let done = progress.done_tuples.load(Ordering::Relaxed);
-                        let n = (total_rows as u64).saturating_sub(done) as f64;
-                        let since = progress.since_reset.load(Ordering::Relaxed) as f64;
-                        let elapsed = progress.reset_at.lock().elapsed().as_secs_f64();
-                        let w = threads as f64;
-                        let r0 = if elapsed > 0.0 { since / elapsed / w } else { 0.0 };
-                        // Lock-free poll of the current backend via the
-                        // cached rank — the decision path never touches
-                        // the handle's lock.
-                        let cur_rank = handle.rank();
-                        let cur_speedup = if cur_rank == ExecMode::Optimized.rank() {
-                            model.speedup(OptLevel::Optimized)
-                        } else if cur_rank == ExecMode::Unoptimized.rank() {
-                            model.speedup(OptLevel::Unoptimized)
-                        } else {
-                            1.0
-                        };
-                        let choice = extrapolate_pipeline_durations(
-                            &model,
-                            instrs,
-                            n,
-                            w,
-                            r0,
-                            cur_speedup,
-                            cur_rank >= ExecMode::Unoptimized.rank(),
-                        );
-                        let target = match choice {
-                            ModeChoice::DoNothing => None,
-                            ModeChoice::Unoptimized if cur_rank < ExecMode::Unoptimized.rank() => {
-                                Some(OptLevel::Unoptimized)
-                            }
-                            ModeChoice::Optimized if cur_rank < ExecMode::Optimized.rank() => {
-                                Some(OptLevel::Optimized)
-                            }
-                            _ => None,
-                        };
-                        if let Some(level) = target {
-                            if handle.try_begin_compile() {
-                                // "the thread compiles the worker function
-                                // and resets all processing rates" — we hand
-                                // the compile to a background thread (§III:
-                                // compilation is single-threaded, the other
-                                // workers keep going).
-                                let h = handle.clone();
-                                let f = worker_function.clone().unwrap();
-                                let externs = externs.clone();
-                                let events = compile_events.clone();
-                                let counter = background_compiles.clone();
-                                let t_c0 = exec_start.elapsed().as_micros() as u64;
-                                std::thread::spawn(move || {
-                                    if let Ok(cf) = compile(&f, &externs, level) {
-                                        let t_c1 = exec_start.elapsed().as_micros() as u64;
-                                        events.lock().push(TraceEvent {
-                                            thread: u16::MAX,
-                                            pipeline: pid as u16,
-                                            kind: 255,
-                                            start_us: t_c0,
-                                            end_us: t_c1,
-                                            tuples: 0,
-                                        });
-                                        // Publish into the handle: all
-                                        // workers switch on their next
-                                        // morsel.
-                                        if h.install(Arc::new(cf)) {
-                                            counter.fetch_add(1, Ordering::Relaxed);
-                                        }
-                                    }
-                                });
-                                progress.since_reset.store(0, Ordering::Relaxed);
-                                *progress.reset_at.lock() = Instant::now();
-                            }
+        // Worker runtimes, one per thread (created up front so finalize can
+        // collect them after the scope).
+        let row_buf_slots = plan_max_row_width(self.plan);
+        let mut worker_rts: Vec<Box<WorkerRt>> = (0..threads)
+            .map(|_| {
+                WorkerRt::with_row_buf(
+                    self.plan.join_hts.len(),
+                    self.agg_shapes,
+                    self.plan.mats.len(),
+                    row_buf_slots,
+                )
+            })
+            .collect();
+        let mut thread_traces: Vec<Vec<TraceEvent>> = vec![Vec::new(); threads];
+
+        // ---- the morsel loop ----------------------------------------------
+        std::thread::scope(|scope| {
+            for (tid, (wrt, ttrace)) in
+                worker_rts.iter_mut().zip(thread_traces.iter_mut()).enumerate()
+            {
+                let dispenser = &dispenser;
+                let progress = &progress;
+                let controller = &controller;
+                let failed = &failed;
+                let error = &error;
+                let handle = self.handle;
+                let registry = self.registry;
+                let exec_start = self.exec_start;
+                let pid = self.pid;
+                scope.spawn(move || {
+                    let wctx = wrt.wctx_ptr();
+                    let mut frame = Frame::new();
+                    loop {
+                        if failed.load(Ordering::Relaxed) {
+                            return;
                         }
-                        progress.deciding.store(false, Ordering::Release);
+                        // Front of our own partition, or stolen loot once
+                        // it runs dry; `None` means the pipeline is done.
+                        let Some(m) = dispenser.claim(tid) else { return };
+                        let t_m0 = exec_start.elapsed().as_micros() as u64;
+                        let args = [wctx, state_ptr, m.begin, m.end];
+                        // The Fig. 5 indirection: pick up whatever backend
+                        // is currently published and run the morsel through
+                        // it — no per-mode branches here.
+                        let backend = handle.load();
+                        if let Err(e) = backend.call(&args, registry, &mut frame) {
+                            *error.lock() = Some(e);
+                            failed.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                        progress.record(tid, m.tuples());
+                        if opts.trace {
+                            ttrace.push(TraceEvent {
+                                thread: tid as u16,
+                                pipeline: pid as u16,
+                                kind: backend.kind().trace_kind(),
+                                start_us: t_m0,
+                                end_us: exec_start.elapsed().as_micros() as u64,
+                                tuples: m.tuples(),
+                            });
+                        }
+                        // ---- adaptive decision (Fig. 7) -------------------
+                        controller.maybe_decide();
                     }
+                });
+            }
+        });
+
+        // Joins in-flight compiles (no detached-thread leak: their trace
+        // events and calibration feedback land before the report is read).
+        report.sched.push(controller.finalize(&dispenser));
+
+        if let Some(e) = error.into_inner() {
+            return Err(e);
+        }
+        for t in thread_traces {
+            report.trace.extend(t);
+        }
+
+        self.finalize_sink(state, &mut worker_rts)
+    }
+
+    /// Pipeline finalize (the "queryStart" host side).
+    fn finalize_sink(
+        &self,
+        state: &mut QueryState,
+        worker_rts: &mut [Box<WorkerRt>],
+    ) -> Result<(), ExecError> {
+        let plan = self.plan;
+        let pipeline = &plan.pipelines[self.pid];
+        match &pipeline.sink {
+            Sink::BuildJoin { ht, keys, payload } => {
+                let bufs: Vec<Vec<u64>> =
+                    worker_rts.iter_mut().map(|w| std::mem::take(&mut w.join_bufs[*ht])).collect();
+                let table = JoinHt::build(keys.len(), payload.len(), &bufs);
+                let spec = &plan.join_hts[*ht];
+                state.slots[spec.state_slot] = table.buckets.as_ptr() as u64;
+                state.slots[spec.state_slot + 1] = table.mask;
+                state.join_hts[*ht] = Some(table);
+            }
+            Sink::BuildAgg { agg, .. } => {
+                let spec = &plan.aggs[*agg];
+                let tables: Vec<crate::runtime::AggTable> = worker_rts
+                    .iter_mut()
+                    .map(|w| {
+                        let fresh = crate::runtime::AggTable::new(spec.nkeys, &spec.aggs);
+                        std::mem::replace(&mut w.agg_tables[*agg], fresh)
+                    })
+                    .collect();
+                let rows = merge_agg_tables(&tables, spec.nkeys, &spec.aggs)?;
+                let width = spec.nkeys + spec.aggs.len();
+                let nrows = rows.len().checked_div(width).unwrap_or(0);
+                state.agg_rows[*agg] = rows;
+                state.slots[spec.rows_slot] = state.agg_rows[*agg].as_ptr() as u64;
+                state.slots[spec.rows_slot + 1] = nrows as u64;
+            }
+            Sink::Materialize { mat } => {
+                let spec = &plan.mats[*mat];
+                let mut rows: Vec<u64> = Vec::new();
+                for w in worker_rts.iter_mut() {
+                    rows.append(&mut w.mat_bufs[*mat]);
                 }
-            });
-        }
-    });
-
-    if let Some(e) = error.into_inner() {
-        return Err(e);
-    }
-    for t in thread_traces {
-        report.trace.extend(t);
-    }
-
-    // ---- pipeline finalize (the "queryStart" host side) --------------------
-    let pipeline = &plan.pipelines[pid];
-    match &pipeline.sink {
-        Sink::BuildJoin { ht, keys, payload } => {
-            let bufs: Vec<Vec<u64>> =
-                worker_rts.iter_mut().map(|w| std::mem::take(&mut w.join_bufs[*ht])).collect();
-            let table = JoinHt::build(keys.len(), payload.len(), &bufs);
-            let spec = &plan.join_hts[*ht];
-            state.slots[spec.state_slot] = table.buckets.as_ptr() as u64;
-            state.slots[spec.state_slot + 1] = table.mask;
-            state.join_hts[*ht] = Some(table);
-        }
-        Sink::BuildAgg { agg, .. } => {
-            let spec = &plan.aggs[*agg];
-            let tables: Vec<crate::runtime::AggTable> = worker_rts
-                .iter_mut()
-                .map(|w| {
-                    let fresh = crate::runtime::AggTable::new(spec.nkeys, &spec.aggs);
-                    std::mem::replace(&mut w.agg_tables[*agg], fresh)
-                })
-                .collect();
-            let rows = merge_agg_tables(&tables, spec.nkeys, &spec.aggs)?;
-            let width = spec.nkeys + spec.aggs.len();
-            let nrows = rows.len().checked_div(width).unwrap_or(0);
-            state.agg_rows[*agg] = rows;
-            state.slots[spec.rows_slot] = state.agg_rows[*agg].as_ptr() as u64;
-            state.slots[spec.rows_slot + 1] = nrows as u64;
-        }
-        Sink::Materialize { mat } => {
-            let spec = &plan.mats[*mat];
-            let mut rows: Vec<u64> = Vec::new();
-            for w in worker_rts.iter_mut() {
-                rows.append(&mut w.mat_bufs[*mat]);
+                if let Some((keys, limit)) = &spec.sort {
+                    sort_rows(&mut rows, spec.width, keys, *limit);
+                }
+                state.mat_rows[*mat] = rows;
+                state.slots[spec.rows_slot] = state.mat_rows[*mat].as_ptr() as u64;
+                state.slots[spec.rows_slot + 1] =
+                    (state.mat_rows[*mat].len() / spec.width.max(1)) as u64;
             }
-            if let Some((keys, limit)) = &spec.sort {
-                sort_rows(&mut rows, spec.width, keys, *limit);
-            }
-            state.mat_rows[*mat] = rows;
-            state.slots[spec.rows_slot] = state.mat_rows[*mat].as_ptr() as u64;
-            state.slots[spec.rows_slot + 1] =
-                (state.mat_rows[*mat].len() / spec.width.max(1)) as u64;
-        }
-        Sink::Emit => {
-            for w in worker_rts.iter_mut() {
-                state.out_rows.append(&mut w.out_buf);
+            Sink::Emit => {
+                for w in worker_rts.iter_mut() {
+                    state.out_rows.append(&mut w.out_buf);
+                }
             }
         }
-    }
 
-    // A root sort materialises; expose it as the output.
-    if pid == plan.pipelines.len() - 1 {
-        if let Sink::Materialize { mat } = &pipeline.sink {
-            state.out_rows = std::mem::take(&mut state.mat_rows[*mat]);
+        // A root sort materialises; expose it as the output.
+        if self.pid == plan.pipelines.len() - 1 {
+            if let Sink::Materialize { mat } = &pipeline.sink {
+                state.out_rows = std::mem::take(&mut state.mat_rows[*mat]);
+            }
         }
+        Ok(())
     }
-    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn extrapolation_prefers_interpretation_for_tiny_work() {
-        let m = CostModel::default();
-        // 1k remaining tuples at 1M tuples/s: finishes in 1ms — never worth
-        // hundreds of µs of compilation.
-        let c = extrapolate_pipeline_durations(&m, 5000, 1e3, 4.0, 1e6, 1.0, false);
-        assert_eq!(c, ModeChoice::DoNothing);
-    }
-
-    #[test]
-    fn extrapolation_compiles_for_large_work() {
-        let m = CostModel::default();
-        // 100M tuples at 10M tuples/s/thread: worth compiling.
-        let c = extrapolate_pipeline_durations(&m, 5000, 1e8, 4.0, 1e7, 1.0, false);
-        assert_ne!(c, ModeChoice::DoNothing);
-    }
-
-    #[test]
-    fn extrapolation_upgrades_from_unopt_to_opt() {
-        let m = CostModel::default();
-        // Already running unoptimized code (speedup factor applied); for
-        // huge remaining work the optimized mode should still win.
-        let c = extrapolate_pipeline_durations(&m, 2000, 1e9, 4.0, 2e7, m.speedup_unopt, true);
-        assert_eq!(c, ModeChoice::Optimized);
-    }
 
     fn identity_function() -> Function {
         use aqe_ir::{FunctionBuilder, Type};
@@ -750,6 +624,9 @@ mod tests {
         assert_eq!(h.kind(), ExecMode::Bytecode);
         assert!(h.try_begin_compile());
         assert!(!h.try_begin_compile(), "second compile attempt must be rejected");
+        // A failed compile re-opens the slot instead of leaking it.
+        h.cancel_compile();
+        assert!(h.try_begin_compile(), "cancel must re-open the compile slot");
 
         let unopt = compile(&f, &[], OptLevel::Unoptimized).unwrap();
         assert!(h.install(Arc::new(unopt)));

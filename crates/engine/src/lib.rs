@@ -7,8 +7,12 @@
 //! * [`plan`] — physical plans and their decomposition into pipelines;
 //! * [`codegen`] — pipelines → IR worker functions (Fig. 4);
 //! * [`runtime`] — hash tables, buffers, and the runtime-call surface;
-//! * [`exec`] — morsel scheduling, hot-swappable function handles (Fig. 5),
-//!   and the adaptive controller (Fig. 7).
+//! * [`exec`] — per-query orchestration, hot-swappable function handles
+//!   (Fig. 5), and pipeline sinks;
+//! * [`sched`] — the morsel scheduler subsystem: work-stealing
+//!   [`sched::MorselDispenser`], lock-free [`sched::PipelineProgress`],
+//!   the Fig. 7 [`sched::AdaptiveController`], and per-query cost-model
+//!   calibration ([`sched::CostCalibrator`]).
 //!
 //! Execution is backend-agnostic: every morsel runs through a single
 //! `Arc<dyn PipelineBackend>` per pipeline (the trait lives in
@@ -20,9 +24,11 @@ pub mod codegen;
 pub mod exec;
 pub mod plan;
 pub mod runtime;
+pub mod sched;
 
 pub use exec::{
     execute_plan, CostModel, ExecMode, ExecOptions, FunctionHandle, PipelineBackend, Report,
     ResultRows, TraceEvent,
 };
 pub use plan::{PhysicalPlan, PlanNode};
+pub use sched::{CalibrationReport, ExecLevel, PipelineSchedReport};

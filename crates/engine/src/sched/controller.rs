@@ -1,0 +1,445 @@
+//! The adaptive controller: Fig. 7 as a first-class type.
+//!
+//! PR 1 ran the whole decision — rate sampling, extrapolation, compile
+//! claim, trace emission — as an inline block in the worker loop, and
+//! detached its background-compile threads (`std::thread::spawn` handles
+//! were dropped: a compile finishing after the pipeline ended could push a
+//! trace event after `compile_events` was drained, and its work was
+//! silently wasted). [`AdaptiveController`] owns all of it: workers call
+//! [`maybe_decide`] after each morsel, the controller polls on a cadence,
+//! extrapolates from the lock-free progress window, claims the (single)
+//! compilation slot, spawns the compile on a *tracked* thread, and
+//! [`finalize`] joins every in-flight compile before the pipeline's
+//! results are read — no leaks, no lost trace events, and measured compile
+//! times plus observed post-switch rates flow into the per-query
+//! [`CostCalibrator`].
+//!
+//! [`maybe_decide`]: AdaptiveController::maybe_decide
+//! [`finalize`]: AdaptiveController::finalize
+
+use crate::exec::{FunctionHandle, TraceEvent};
+use crate::sched::calibrate::{CostCalibrator, CostModel};
+use crate::sched::morsel::MorselDispenser;
+use crate::sched::progress::PipelineProgress;
+use aqe_ir::{ExternDecl, Function};
+use aqe_jit::compile::{compile, OptLevel};
+use aqe_vm::backend::ExecMode;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The execution level a pipeline is currently running at, derived from
+/// the hot-swap handle's rank. This is the *typed* form of what PR 1
+/// passed to the extrapolation as a misleading `unopt_available: bool`
+/// (which actually meant "already at unoptimized rank or above").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum ExecLevel {
+    /// Bytecode or naive-IR interpretation (speedup factor 1).
+    Interpreted,
+    Unoptimized,
+    Optimized,
+}
+
+impl ExecLevel {
+    /// Classify a backend rank (see `ExecMode::rank`).
+    pub fn from_rank(rank: u8) -> ExecLevel {
+        if rank >= ExecMode::Optimized.rank() {
+            ExecLevel::Optimized
+        } else if rank >= ExecMode::Unoptimized.rank() {
+            ExecLevel::Unoptimized
+        } else {
+            ExecLevel::Interpreted
+        }
+    }
+
+    /// Modelled speedup over bytecode at this level.
+    pub fn speedup(self, model: &CostModel) -> f64 {
+        match self {
+            ExecLevel::Interpreted => 1.0,
+            ExecLevel::Unoptimized => model.speedup(OptLevel::Unoptimized),
+            ExecLevel::Optimized => model.speedup(OptLevel::Optimized),
+        }
+    }
+}
+
+/// Fig. 7's decision outcome.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ModeChoice {
+    DoNothing,
+    Unoptimized,
+    Optimized,
+}
+
+/// `extrapolatePipelineDurations` (Fig. 7, verbatim structure): given the
+/// remaining tuples `n`, the number of active workers `w`, the observed
+/// current processing rate `r0` (tuples/s per thread), the model, and the
+/// level the pipeline is *currently* executing at, pick the cheapest plan.
+///
+/// A compilation level is only a candidate when it lies strictly above
+/// `current` — the hot-swap handle refuses downgrades, so proposing the
+/// current level or below would waste the (single) compile slot. PR 1
+/// encoded this as a `!unopt_available` guard whose doc read backwards;
+/// the typed `current` argument makes the comparison direction explicit.
+pub fn extrapolate_pipeline_durations(
+    model: &CostModel,
+    instrs: usize,
+    n: f64,
+    w: f64,
+    r0: f64,
+    current: ExecLevel,
+) -> ModeChoice {
+    if r0 <= 0.0 || n <= 0.0 {
+        return ModeChoice::DoNothing;
+    }
+    let cur_speedup = current.speedup(model);
+    let t0 = n / r0 / w;
+    let mut best = (t0, ModeChoice::DoNothing);
+    if current < ExecLevel::Unoptimized {
+        let r1 = r0 * (model.speedup(OptLevel::Unoptimized) / cur_speedup);
+        let c1 = model.ctime(OptLevel::Unoptimized, instrs);
+        // While compiling, w-1 workers keep processing at the current rate.
+        let t1 = c1 + (n - (w - 1.0) * r0 * c1).max(0.0) / r1 / w;
+        if t1 < best.0 && r1 > r0 {
+            best = (t1, ModeChoice::Unoptimized);
+        }
+    }
+    if current < ExecLevel::Optimized {
+        let r2 = r0 * (model.speedup(OptLevel::Optimized) / cur_speedup);
+        let c2 = model.ctime(OptLevel::Optimized, instrs);
+        let t2 = c2 + (n - (w - 1.0) * r0 * c2).max(0.0) / r2 / w;
+        if t2 < best.0 && r2 > r0 {
+            best = (t2, ModeChoice::Optimized);
+        }
+    }
+    best.1
+}
+
+/// Per-pipeline scheduler summary, surfaced in `Report::sched`.
+#[derive(Clone, Debug)]
+pub struct PipelineSchedReport {
+    pub pipeline: usize,
+    pub total_rows: u64,
+    pub morsels: u64,
+    /// Work-stealing transitions between workers.
+    pub steals: u64,
+    pub stolen_tuples: u64,
+    /// Fig. 7 evaluations performed.
+    pub decisions: u64,
+    pub compiles_started: u64,
+    /// Tuples processed per worker — individually observable thanks to the
+    /// per-worker partitions (a global cursor could not attribute them).
+    pub worker_tuples: Vec<u64>,
+    /// Whether this pipeline's controller decided with a model that had
+    /// already received feedback from earlier pipelines of the query.
+    pub calibrated: bool,
+    /// The model the controller decided with.
+    pub model: CostModel,
+}
+
+/// Everything a pipeline's controller needs that outlives the worker loop
+/// (shared query-level channels plus this pipeline's identity).
+pub struct ControllerCtx {
+    pub pid: usize,
+    pub function: Arc<Function>,
+    pub externs: Arc<Vec<ExternDecl>>,
+    pub handle: Arc<FunctionHandle>,
+    pub progress: Arc<PipelineProgress>,
+    pub calibrator: Arc<CostCalibrator>,
+    pub compile_events: Arc<Mutex<Vec<TraceEvent>>>,
+    pub background_compiles: Arc<AtomicUsize>,
+    /// Query start (trace timestamps are relative to it).
+    pub exec_start: Instant,
+    pub total_rows: u64,
+    pub threads: usize,
+    /// `false` pins the initial backend (static modes): `maybe_decide`
+    /// becomes a no-op and only the sched report is produced.
+    pub adaptive: bool,
+    /// Delay before the first evaluation (paper: 1 ms); later evaluations
+    /// poll on the same cadence (floored at 50 µs).
+    pub first_eval: Duration,
+}
+
+/// A claimed compilation whose post-switch rate is still to be observed.
+struct PendingSwitch {
+    /// Per-thread rate and level at claim time.
+    pre_rate: f64,
+    pre_level: ExecLevel,
+    level: OptLevel,
+    /// Set by the compile thread once the backend is installed (it resets
+    /// the rate window at that moment, so the window measures the new
+    /// level only).
+    installed: Arc<AtomicBool>,
+}
+
+/// One pipeline run's adaptive controller (Fig. 7).
+pub struct AdaptiveController {
+    ctx: ControllerCtx,
+    /// Snapshot of the calibrator's model at pipeline start: decisions
+    /// within one pipeline are stable even while feedback accrues.
+    model: CostModel,
+    calibrated: bool,
+    instrs: usize,
+    pipeline_start: Instant,
+    poll_us: u64,
+    next_eval_us: AtomicU64,
+    deciding: AtomicBool,
+    decisions: AtomicU64,
+    compiles_started: AtomicU64,
+    pending: Mutex<Option<PendingSwitch>>,
+    compile_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl AdaptiveController {
+    pub fn new(ctx: ControllerCtx) -> AdaptiveController {
+        let model = ctx.calibrator.model();
+        let calibrated = ctx.calibrator.is_calibrated();
+        let instrs = ctx.function.instruction_count();
+        let first_us = ctx.first_eval.as_micros() as u64;
+        AdaptiveController {
+            model,
+            calibrated,
+            instrs,
+            pipeline_start: Instant::now(),
+            poll_us: first_us.max(50),
+            next_eval_us: AtomicU64::new(first_us),
+            deciding: AtomicBool::new(false),
+            decisions: AtomicU64::new(0),
+            compiles_started: AtomicU64::new(0),
+            pending: Mutex::new(None),
+            compile_threads: Mutex::new(Vec::new()),
+            ctx,
+        }
+    }
+
+    /// The model this pipeline decides with (calibrated when earlier
+    /// pipelines of the query recorded feedback).
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Called by workers after every morsel: cheap cadence check, then at
+    /// most one worker at a time runs the Fig. 7 evaluation.
+    pub fn maybe_decide(&self) {
+        if !self.ctx.adaptive {
+            return;
+        }
+        let now_us = self.pipeline_start.elapsed().as_micros() as u64;
+        if now_us < self.next_eval_us.load(Ordering::Relaxed) {
+            return;
+        }
+        if self.deciding.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.next_eval_us.store(now_us + self.poll_us, Ordering::Relaxed);
+        self.decide();
+        self.deciding.store(false, Ordering::Release);
+    }
+
+    fn decide(&self) {
+        self.decisions.fetch_add(1, Ordering::Relaxed);
+        let progress = &self.ctx.progress;
+        let (win_tuples, win_secs) = progress.window();
+        let w = self.ctx.threads as f64;
+        let r0 = if win_secs > 0.0 { win_tuples as f64 / win_secs / w } else { 0.0 };
+        let n = self.ctx.total_rows.saturating_sub(progress.total()) as f64;
+        // Lock-free poll of the current backend via the cached rank — the
+        // decision path never touches the handle's lock.
+        let current = ExecLevel::from_rank(self.ctx.handle.rank());
+        let choice = extrapolate_pipeline_durations(&self.model, self.instrs, n, w, r0, current);
+        let target = match choice {
+            ModeChoice::DoNothing => None,
+            ModeChoice::Unoptimized if current < ExecLevel::Unoptimized => {
+                Some(OptLevel::Unoptimized)
+            }
+            ModeChoice::Optimized if current < ExecLevel::Optimized => Some(OptLevel::Optimized),
+            _ => None,
+        };
+        let Some(level) = target else { return };
+        if !self.ctx.handle.try_begin_compile() {
+            return;
+        }
+        // "the thread compiles the worker function and resets all
+        // processing rates" — we hand the compile to a background thread
+        // (§III: compilation is single-threaded, the other workers keep
+        // going) but keep its JoinHandle: `finalize` joins it, so a
+        // compile can never outlive the pipeline's bookkeeping.
+        self.compiles_started.fetch_add(1, Ordering::Relaxed);
+        let installed = Arc::new(AtomicBool::new(false));
+        // An earlier switch may still be awaiting its post-switch rate; the
+        // current window rate *is* that rate (the window was reset at its
+        // install), so harvest the observation before displacing it.
+        let displaced = self.pending.lock().replace(PendingSwitch {
+            pre_rate: r0,
+            pre_level: current,
+            level,
+            installed: installed.clone(),
+        });
+        if let Some(p) = displaced {
+            self.record_switch_observation(&p, r0);
+        }
+        let job = CompileJob {
+            function: self.ctx.function.clone(),
+            externs: self.ctx.externs.clone(),
+            handle: self.ctx.handle.clone(),
+            progress: progress.clone(),
+            calibrator: self.ctx.calibrator.clone(),
+            events: self.ctx.compile_events.clone(),
+            counter: self.ctx.background_compiles.clone(),
+            exec_start: self.ctx.exec_start,
+            pid: self.ctx.pid,
+            instrs: self.instrs,
+            level,
+            installed,
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("aqe-compile-p{}", self.ctx.pid))
+            .spawn(move || job.run())
+            .expect("spawn background compile thread");
+        self.compile_threads.lock().push(handle);
+        progress.reset_window();
+    }
+
+    /// Feed one observed post-switch rate into the calibrator. The window
+    /// ratio measures new-level vs claim-time rate; rebase to "over
+    /// bytecode" via the level the pipeline ran at when the compile was
+    /// claimed.
+    fn record_switch_observation(&self, p: &PendingSwitch, post_rate: f64) {
+        if p.installed.load(Ordering::Acquire) && p.pre_rate > 0.0 && post_rate > 0.0 {
+            let observed = (post_rate / p.pre_rate) * p.pre_level.speedup(&self.model);
+            self.ctx.calibrator.record_speedup(p.level, observed);
+        }
+    }
+
+    /// End of the pipeline run: join every in-flight compile (their trace
+    /// events and calibration feedback land before the report is read),
+    /// record the observed post-switch rate, and summarise.
+    pub fn finalize(self, dispenser: &MorselDispenser) -> PipelineSchedReport {
+        let threads: Vec<JoinHandle<()>> = std::mem::take(&mut *self.compile_threads.lock());
+        for t in threads {
+            let _ = t.join();
+        }
+        if let Some(p) = self.pending.lock().take() {
+            let (tuples, secs) = self.ctx.progress.window();
+            if tuples > 0 && secs > 1e-6 {
+                let post_rate = tuples as f64 / secs / self.ctx.threads as f64;
+                self.record_switch_observation(&p, post_rate);
+            }
+        }
+        PipelineSchedReport {
+            pipeline: self.ctx.pid,
+            total_rows: self.ctx.total_rows,
+            morsels: self.ctx.progress.morsels(),
+            steals: dispenser.steals(),
+            stolen_tuples: dispenser.stolen_tuples(),
+            decisions: self.decisions.load(Ordering::Relaxed),
+            compiles_started: self.compiles_started.load(Ordering::Relaxed),
+            worker_tuples: (0..self.ctx.progress.worker_count())
+                .map(|i| self.ctx.progress.worker(i).tuples())
+                .collect(),
+            calibrated: self.calibrated,
+            model: self.model,
+        }
+    }
+}
+
+/// The body of one tracked background-compile thread.
+struct CompileJob {
+    function: Arc<Function>,
+    externs: Arc<Vec<ExternDecl>>,
+    handle: Arc<FunctionHandle>,
+    progress: Arc<PipelineProgress>,
+    calibrator: Arc<CostCalibrator>,
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+    counter: Arc<AtomicUsize>,
+    exec_start: Instant,
+    pid: usize,
+    instrs: usize,
+    level: OptLevel,
+    installed: Arc<AtomicBool>,
+}
+
+impl CompileJob {
+    fn run(self) {
+        let t_c0 = self.exec_start.elapsed().as_micros() as u64;
+        match compile(&self.function, &self.externs, self.level) {
+            Ok(cf) => {
+                let t_c1 = self.exec_start.elapsed().as_micros() as u64;
+                self.events.lock().push(TraceEvent {
+                    thread: u16::MAX,
+                    pipeline: self.pid as u16,
+                    kind: 255,
+                    start_us: t_c0,
+                    end_us: t_c1,
+                    tuples: 0,
+                });
+                // Actual ctime feedback: measured wall time per IR
+                // instruction.
+                self.calibrator.record_compile(self.level, self.instrs, cf.stats.compile_time);
+                // Publish into the handle: all workers switch on their next
+                // morsel. Reset the rate window so the post-switch rate is
+                // measured at the new level only.
+                if self.handle.install(Arc::new(cf)) {
+                    self.counter.fetch_add(1, Ordering::Relaxed);
+                    self.installed.store(true, Ordering::Release);
+                    self.progress.reset_window();
+                }
+            }
+            Err(_) => {
+                // Re-open the compile slot: leaving `compiling` set would
+                // permanently disable upgrades for this pipeline.
+                self.handle.cancel_compile();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_level_classifies_ranks() {
+        assert_eq!(ExecLevel::from_rank(ExecMode::NaiveIr.rank()), ExecLevel::Interpreted);
+        assert_eq!(ExecLevel::from_rank(ExecMode::Bytecode.rank()), ExecLevel::Interpreted);
+        assert_eq!(ExecLevel::from_rank(ExecMode::Unoptimized.rank()), ExecLevel::Unoptimized);
+        assert_eq!(ExecLevel::from_rank(ExecMode::Optimized.rank()), ExecLevel::Optimized);
+        assert!(ExecLevel::Interpreted < ExecLevel::Unoptimized);
+        assert!(ExecLevel::Unoptimized < ExecLevel::Optimized);
+    }
+
+    #[test]
+    fn extrapolation_prefers_interpretation_for_tiny_work() {
+        let m = CostModel::default();
+        // 1k remaining tuples at 1M tuples/s: finishes in 1ms — never worth
+        // hundreds of µs of compilation.
+        let c = extrapolate_pipeline_durations(&m, 5000, 1e3, 4.0, 1e6, ExecLevel::Interpreted);
+        assert_eq!(c, ModeChoice::DoNothing);
+    }
+
+    #[test]
+    fn extrapolation_compiles_for_large_work() {
+        let m = CostModel::default();
+        // 100M tuples at 10M tuples/s/thread: worth compiling.
+        let c = extrapolate_pipeline_durations(&m, 5000, 1e8, 4.0, 1e7, ExecLevel::Interpreted);
+        assert_ne!(c, ModeChoice::DoNothing);
+    }
+
+    #[test]
+    fn extrapolation_upgrades_from_unopt_to_opt() {
+        let m = CostModel::default();
+        // Already running unoptimized code; for huge remaining work the
+        // optimized mode should still win — and unoptimized must never be
+        // re-proposed.
+        let c = extrapolate_pipeline_durations(&m, 2000, 1e9, 4.0, 2e7, ExecLevel::Unoptimized);
+        assert_eq!(c, ModeChoice::Optimized);
+    }
+
+    #[test]
+    fn extrapolation_never_downgrades_from_optimized() {
+        let m = CostModel::default();
+        let c = extrapolate_pipeline_durations(&m, 2000, 1e9, 4.0, 2e7, ExecLevel::Optimized);
+        assert_eq!(c, ModeChoice::DoNothing);
+    }
+}
