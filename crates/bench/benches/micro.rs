@@ -99,8 +99,14 @@ fn bench_q6_modes(c: &mut Criterion) {
     ] {
         g.bench_function(label, |b| {
             b.iter(|| {
-                let opts = ExecOptions { mode, threads: 1, ..Default::default() };
-                aqe_engine::exec::execute_plan(black_box(&phys), &cat, &opts).unwrap()
+                // Cold path on purpose: a fresh engine per iteration keeps
+                // this a codegen+translate+execute measurement.
+                let opts =
+                    ExecOptions { mode, threads: 1, cache_results: false, ..Default::default() };
+                let engine = aqe_engine::session::Engine::new(cat.clone());
+                let session = engine.session();
+                let q = session.prepare_plan(black_box(&phys).clone());
+                session.execute_with(&q, &opts).unwrap()
             })
         });
     }

@@ -1,14 +1,14 @@
 //! Fig. 2 — compilation vs execution time of TPC-H Q1 per execution mode
 //! (handwritten, optimized, unoptimized, bytecode, naive IR interpretation).
 
-use aqe_bench::{env_sf, env_threads, fmt_ms, ms, physical, run_mode};
+use aqe_bench::{env_sf, fmt_ms, ms, physical, run_mode, threads_from_env};
 use aqe_engine::exec::ExecMode;
 use std::time::Instant;
 
 fn main() {
     let sf = env_sf(0.1);
     // The paper's figure is single-threaded; AQE_THREADS overrides.
-    let threads = env_threads(1);
+    let threads = threads_from_env(1);
     eprintln!("generating TPC-H SF {sf}…");
     let cat = aqe_storage::tpch::generate(sf);
     let q = aqe_queries::tpch::q1(&cat);

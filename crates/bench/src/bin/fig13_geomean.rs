@@ -4,11 +4,11 @@
 //! Paper setup: SF 0.01–30, 8 threads on 8 cores. This host has one core;
 //! defaults are SF {0.01, 0.1, 0.5} and AQE_THREADS (default 4, time-sliced).
 
-use aqe_bench::{env_sf_list, env_threads, geomean, ms, physical, run_mode, MODES};
+use aqe_bench::{env_sf_list, geomean, ms, physical, run_mode, threads_from_env, MODES};
 
 fn main() {
     let sfs = env_sf_list(&[0.01, 0.1, 0.5]);
-    let threads = env_threads(4);
+    let threads = threads_from_env(4);
     println!("# Fig. 13 — geometric mean over TPC-H queries ({threads} threads)");
     println!("{:<8} {:>12} {:>12} {:>12} {:>12}", "SF", "bytecode", "unopt", "opt", "adaptive");
     for &sf in &sfs {

@@ -2,13 +2,13 @@
 //! bytecode, unoptimized, and adaptive execution. Prints a compact textual
 //! gantt and a CSV (`fig14_trace.csv`).
 
-use aqe_bench::{env_sf, env_threads, ms, physical, run_mode};
+use aqe_bench::{env_sf, ms, physical, run_mode, threads_from_env};
 use aqe_engine::exec::ExecMode;
 use std::io::Write;
 
 fn main() {
     let sf = env_sf(0.2);
-    let threads = env_threads(4);
+    let threads = threads_from_env(4);
     eprintln!("generating TPC-H SF {sf}…");
     let cat = aqe_storage::tpch::generate(sf);
     let q = aqe_queries::tpch::q11(&cat);

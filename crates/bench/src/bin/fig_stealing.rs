@@ -8,14 +8,16 @@
 //! LIFO half-range stealing the hot region is redistributed. The report's
 //! per-worker tuple counts make the redistribution directly visible.
 //!
-//! Part B runs TPC-H Q1 and Q6 adaptively and prints the default vs
-//! calibrated `CostModel` constants the per-query calibrator learned from
-//! measured compile times and observed post-switch rates (recorded in
-//! EXPERIMENTS.md).
+//! Part B runs TPC-H Q1 and Q6 adaptively on *one long-lived `Engine`*
+//! and prints the default vs calibrated `CostModel` constants: Q1's
+//! measured compile times and post-switch rates persist in the engine's
+//! `CalibrationStore`, so Q6 starts seeded instead of from the defaults
+//! (recorded in EXPERIMENTS.md).
 
-use aqe_bench::{env_sf, env_threads, ms, physical};
-use aqe_engine::exec::{execute_plan, CostModel, ExecMode, ExecOptions, Report};
+use aqe_bench::{env_sf, ms, physical, threads_from_env};
+use aqe_engine::exec::{CostModel, ExecMode, ExecOptions, Report};
 use aqe_engine::plan::{decompose, AggFunc, AggSpec, JoinKind, PExpr, PhysicalPlan, PlanNode};
+use aqe_engine::session::Engine;
 use aqe_storage::{Catalog, Column, DataType, Table};
 use std::time::Instant;
 
@@ -79,16 +81,22 @@ fn skewed_plan(cat: &Catalog) -> PhysicalPlan {
 }
 
 fn run(cat: &Catalog, phys: &PhysicalPlan, threads: usize, steal: bool) -> (f64, Report, u64) {
+    // A fresh engine per run with caching off: both runs must execute the
+    // morsel loop for real for the steal counters to mean anything.
     let opts = ExecOptions {
         mode: ExecMode::Bytecode,
         threads,
         steal,
         min_morsel: 256,
         max_morsel: 4096,
+        cache_results: false,
         ..Default::default()
     };
+    let engine = Engine::new(cat.clone());
+    let session = engine.session();
+    let prepared = session.prepare_plan(phys.clone());
     let t0 = Instant::now();
-    let (rows, report) = execute_plan(phys, cat, &opts).expect("skewed query failed");
+    let (rows, report) = session.execute_with(&prepared, &opts).expect("skewed query failed");
     let sum = rows.rows.first().copied().unwrap_or(0);
     (ms(t0.elapsed()), report, sum)
 }
@@ -108,7 +116,7 @@ fn print_model(label: &str, m: &CostModel) {
 
 fn main() {
     let sf = env_sf(1.0);
-    let threads = env_threads(4);
+    let threads = threads_from_env(4);
     let probe_rows = ((600_000.0 * sf) as usize).max(10_000);
 
     // ---- Part A: skewed-morsel workload, static partitions vs stealing ----
@@ -148,24 +156,40 @@ fn main() {
         }
     }
 
-    // ---- Part B: calibration feedback on TPC-H Q1/Q6 ---------------------
+    // ---- Part B: cross-query calibration on one long-lived engine --------
     let tpch_sf = 0.2 * sf;
     println!("\n# Cost-model calibration — TPC-H @ SF {tpch_sf}, adaptive, {threads} threads");
     print_model("default", &CostModel::default());
     let cat = aqe_storage::tpch::generate(tpch_sf);
+    // One engine for the whole sequence: what Q1 measures, Q6 starts from.
+    let engine = Engine::new(cat.clone());
+    let session = engine.session();
     for q in [aqe_queries::tpch::q1(&cat), aqe_queries::tpch::q6(&cat)] {
         let phys = physical(&cat, &q);
-        let opts = ExecOptions { mode: ExecMode::Adaptive, threads, ..Default::default() };
+        let prepared = session.prepare_plan(phys);
+        let opts = ExecOptions {
+            mode: ExecMode::Adaptive,
+            threads,
+            cache_results: false,
+            ..Default::default()
+        };
         let t0 = Instant::now();
-        let (_, report) = execute_plan(&phys, &cat, &opts).expect("tpch query failed");
+        let (_, report) = session.execute_with(&prepared, &opts).expect("tpch query failed");
         let wall = ms(t0.elapsed());
+        let seeded = report.sched.first().map(|s| s.calibrated).unwrap_or(false);
         println!(
-            "\n{}: {wall:.2} ms, {} background compiles, {} ctime obs, {} speedup obs",
+            "\n{}: {wall:.2} ms, {} background compiles, {} ctime obs, {} speedup obs{}",
             q.name,
             report.background_compiles,
             report.calibration.compile_observations,
             report.calibration.speedup_observations,
+            if seeded { " (seeded from engine store)" } else { "" },
         );
         print_model("calibrated", &report.calibration.model);
     }
+    println!(
+        "\nengine calibration store: {} shapes, {} reports absorbed",
+        engine.calibration().len(),
+        engine.calibration().absorbed(),
+    );
 }

@@ -2,13 +2,13 @@
 //! the Volcano baseline ("PG"), the vectorized baseline ("Monet"), and the
 //! three compiled-engine modes; plus the §V-D geometric-mean speedup ratios.
 
-use aqe_bench::{env_sf, env_threads, geomean, ms, physical, run_mode};
+use aqe_bench::{env_sf, geomean, ms, physical, run_mode, threads_from_env};
 use aqe_engine::exec::ExecMode;
 use std::time::Instant;
 
 fn main() {
     let sf = env_sf(0.05);
-    let threads = env_threads(4);
+    let threads = threads_from_env(4);
     eprintln!("generating TPC-H SF {sf}…");
     let cat = aqe_storage::tpch::generate(sf);
     let queries = aqe_queries::tpch::all(&cat);

@@ -19,8 +19,9 @@
 //! Scale factors default to laptop-friendly values; override with `AQE_SF`
 //! / `AQE_SF_LIST` / `AQE_THREADS` environment variables.
 
-use aqe_engine::exec::{execute_plan, ExecMode, ExecOptions, Report, ResultRows};
+use aqe_engine::exec::{ExecMode, ExecOptions, Report, ResultRows};
 use aqe_engine::plan::{decompose, PhysicalPlan};
+use aqe_engine::session::Engine;
 use aqe_queries::Query;
 use aqe_storage::Catalog;
 use std::time::{Duration, Instant};
@@ -37,7 +38,9 @@ pub fn env_sf_list(default: &[f64]) -> Vec<f64> {
         .unwrap_or_else(|| default.to_vec())
 }
 
-pub fn env_threads(default: usize) -> usize {
+/// Worker thread count from `AQE_THREADS` (the shared knob every harness
+/// binary honours), falling back to the figure's default.
+pub fn threads_from_env(default: usize) -> usize {
     std::env::var("AQE_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
 }
 
@@ -48,6 +51,12 @@ pub fn physical(cat: &Catalog, q: &Query) -> PhysicalPlan {
 
 /// Run one query end-to-end in a mode; returns (total wall time, report,
 /// result).
+///
+/// Each call builds a throwaway [`Engine`] with result caching disabled:
+/// the harness measures *cold* executions, so nothing may be reused or
+/// served from cache across calls. Long-lived-engine effects (prepared
+/// reuse, calibration persistence) are measured by the bins that construct
+/// their own `Engine`.
 pub fn run_mode(
     cat: &Catalog,
     phys: &PhysicalPlan,
@@ -55,9 +64,12 @@ pub fn run_mode(
     threads: usize,
     trace: bool,
 ) -> (Duration, Report, ResultRows) {
-    let opts = ExecOptions { mode, threads, trace, ..Default::default() };
+    let opts = ExecOptions { mode, threads, trace, cache_results: false, ..Default::default() };
+    let engine = Engine::new(cat.clone());
+    let session = engine.session();
     let t0 = Instant::now();
-    let (rows, report) = execute_plan(phys, cat, &opts).expect("query failed");
+    let prepared = session.prepare_plan(phys.clone());
+    let (rows, report) = session.execute_with(&prepared, &opts).expect("query failed");
     (t0.elapsed(), report, rows)
 }
 
@@ -116,7 +128,7 @@ mod tests {
     #[test]
     fn env_parsing_defaults() {
         assert_eq!(env_sf(0.25), 0.25);
-        assert_eq!(env_threads(3), 3);
+        assert_eq!(threads_from_env(3), 3);
         assert_eq!(env_sf_list(&[0.1, 1.0]), vec![0.1, 1.0]);
     }
 

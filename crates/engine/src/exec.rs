@@ -13,19 +13,15 @@
 //! calibrated — lives in [`crate::sched`]; this module owns the per-query
 //! state, the handle indirection, and the pipeline-end sinks.
 
-use crate::codegen;
 use crate::plan::{FieldTy, PhysicalPlan, Sink, Source};
 use crate::runtime::{merge_agg_tables, sort_rows, JoinHt, WorkerRt};
 use crate::sched::{
     AdaptiveController, ControllerCtx, CostCalibrator, MorselDispenser, PipelineProgress,
 };
 use aqe_ir::{ExternDecl, Function, Module};
-use aqe_jit::compile::{compile, OptLevel};
 use aqe_storage::Catalog;
 use aqe_vm::interp::{ExecError, Frame};
-use aqe_vm::naive::NaiveBackend;
 use aqe_vm::rt::Registry;
-use aqe_vm::translate::{translate, TranslateOptions};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -157,7 +153,11 @@ pub struct TraceEvent {
 /// Full execution report.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
+    /// Wall time spent generating IR for this execution.
+    /// `Duration::ZERO` on a warm prepared-query re-execution.
     pub codegen: Duration,
+    /// Wall time spent translating IR to bytecode for this execution.
+    /// `Duration::ZERO` on a warm prepared-query re-execution.
     pub bc_translate: Duration,
     /// Up-front compilations (static modes): per pipeline.
     pub upfront_compile: Duration,
@@ -173,6 +173,9 @@ pub struct Report {
     pub sched: Vec<PipelineSchedReport>,
     /// What the query's cost calibrator learned (final model + counts).
     pub calibration: CalibrationReport,
+    /// The result came from the engine's versioned query-result cache:
+    /// no codegen, no translation, no morsel ran (and `sched` is empty).
+    pub result_cache_hit: bool,
 }
 
 // ---------------------------------------------------------------------------
@@ -225,6 +228,10 @@ pub struct ExecOptions {
     /// leaves static per-worker partitions, the honest no-stealing
     /// baseline).
     pub steal: bool,
+    /// Consult and populate the engine's versioned query-result cache
+    /// (`session::Engine`). Disable for benchmarks that must observe a
+    /// real execution on every run.
+    pub cache_results: bool,
 }
 
 impl Default for ExecOptions {
@@ -238,85 +245,88 @@ impl Default for ExecOptions {
             max_morsel: 64 * 1024,
             first_eval: Duration::from_millis(1),
             steal: true,
+            cache_results: true,
         }
     }
 }
 
 /// Execute a physical plan. Returns the output rows and a report.
+///
+/// Deprecated shim: builds a throwaway [`Engine`](crate::session::Engine)
+/// per call, so every execution pays codegen and translation from scratch
+/// and nothing is learned across calls — exactly the one-shot behaviour
+/// the session API exists to amortize.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a long-lived session::Engine and use Session::prepare + Session::execute"
+)]
 pub fn execute_plan(
     plan: &PhysicalPlan,
     cat: &Catalog,
     opts: &ExecOptions,
 ) -> Result<(ResultRows, Report), ExecError> {
-    let mut report = Report {
-        pipeline_labels: plan.pipelines.iter().map(|p| p.label.clone()).collect(),
-        ..Default::default()
-    };
-
-    // ---- code generation -------------------------------------------------
-    let t0 = Instant::now();
-    let module = codegen::generate(plan, cat);
-    report.codegen = t0.elapsed();
-    report.ir_instrs = module.instruction_count();
-
-    execute_module(plan, cat, &module, opts, report)
+    let engine = crate::session::Engine::new(cat.clone());
+    let session = engine.session();
+    let prepared = session.prepare_plan(plan.clone());
+    session.execute_with(&prepared, opts)
 }
 
-/// Execute with a pre-generated module (used by benches that time stages).
+/// Execute with a pre-generated module.
+///
+/// Deprecated shim over a throwaway [`Engine`](crate::session::Engine);
+/// use [`Session::prepare_module`](crate::session::Session::prepare_module)
+/// for stage-timing harnesses that generate IR themselves.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a long-lived session::Engine and use Session::prepare_module + Session::execute"
+)]
 pub fn execute_module(
     plan: &PhysicalPlan,
     cat: &Catalog,
     module: &Module,
     opts: &ExecOptions,
-    mut report: Report,
+    report: Report,
 ) -> Result<(ResultRows, Report), ExecError> {
-    let registry = Arc::new(
-        Registry::for_externs(&module.externs, |name| {
-            codegen::runtime_fns().iter().find(|(n, _)| *n == name).map(|(_, f)| *f)
-        })
-        .expect("runtime registry"),
-    );
+    let engine = crate::session::Engine::new(cat.clone());
+    let session = engine.session();
+    let prepared = session.prepare_module(plan.clone(), module.clone());
+    let (rows, mut out) = session.execute_with(&prepared, opts)?;
+    // The historical contract: the caller timed code generation itself and
+    // passed the measurement in; carry it through to the final report.
+    out.codegen = report.codegen;
+    Ok((rows, out))
+}
 
-    // Worker functions, shared with backends and background compilations.
-    let functions: Vec<Arc<Function>> =
-        module.functions.iter().map(|f| Arc::new(f.clone())).collect();
-    let externs: Arc<Vec<ExternDecl>> = Arc::new(module.externs.clone());
+// ---------------------------------------------------------------------------
+// Pipeline-loop core (driven by the session layer)
+// ---------------------------------------------------------------------------
 
-    // ---- initial backend per pipeline -------------------------------------
-    // Every mode goes through the same hot-swap handle; they differ only in
-    // which backend is installed before execution starts. Bytecode
-    // translation is the default starting point ("we always start executing
-    // every query using the bytecode interpreter") and is nearly free; the
-    // naive-IR mode walks the SSA directly and skips translation.
-    let t0 = Instant::now();
-    let handles: Vec<Arc<FunctionHandle>> = functions
-        .iter()
-        .map(|f| {
-            let initial: Arc<dyn PipelineBackend> = match opts.mode {
-                ExecMode::NaiveIr => Arc::new(NaiveBackend::new(f.clone())),
-                _ => Arc::new(
-                    translate(f, &module.externs, TranslateOptions::default())
-                        .expect("bytecode translation"),
-                ),
-            };
-            Arc::new(FunctionHandle::new(initial))
-        })
-        .collect();
-    report.bc_translate = t0.elapsed();
+/// Everything one query execution needs once its artifacts (functions,
+/// registry, per-pipeline handles with their initial backends) have been
+/// assembled by the session layer.
+pub(crate) struct QueryRun<'a> {
+    pub plan: &'a PhysicalPlan,
+    pub cat: &'a Catalog,
+    pub functions: &'a [Arc<Function>],
+    pub externs: &'a Arc<Vec<ExternDecl>>,
+    pub registry: &'a Arc<Registry>,
+    pub handles: &'a [Arc<FunctionHandle>],
+    /// Per-query calibrator, possibly seeded from the engine's
+    /// cross-query `CalibrationStore`.
+    pub calibrator: &'a Arc<CostCalibrator>,
+    pub opts: &'a ExecOptions,
+}
 
-    // ---- up-front compilation for the static compiled modes --------------
-    let t0 = Instant::now();
-    let upfront_level = match opts.mode {
-        ExecMode::Unoptimized => Some(OptLevel::Unoptimized),
-        ExecMode::Optimized => Some(OptLevel::Optimized),
-        _ => None,
-    };
-    if let Some(level) = upfront_level {
-        for (f, h) in functions.iter().zip(&handles) {
-            h.install(Arc::new(compile(f, &module.externs, level).expect("compile")));
-        }
-    }
-    report.upfront_compile = t0.elapsed();
+/// Run every pipeline of the plan in order through the hot-swap handles:
+/// state assembly, the morsel loops, sink finalisation, and the report's
+/// execution-side fields. Code generation, translation, and up-front
+/// compilation have already happened — this is the part a warm prepared
+/// query repeats on every execution.
+pub(crate) fn run_pipelines(
+    run: QueryRun<'_>,
+    report: &mut Report,
+) -> Result<ResultRows, ExecError> {
+    let QueryRun { plan, cat, functions, externs, registry, handles, calibrator, opts } = run;
 
     // ---- state assembly ---------------------------------------------------
     let mut state = QueryState {
@@ -337,16 +347,15 @@ pub fn execute_module(
     let exec_start = Instant::now();
     let compile_events: Arc<Mutex<Vec<TraceEvent>>> = Arc::new(Mutex::new(Vec::new()));
     let background_compiles = Arc::new(AtomicUsize::new(0));
-    // One calibrator per query execution: pipelines decide with whatever
-    // the pipelines before them measured.
-    let calibrator = Arc::new(CostCalibrator::new(opts.model));
 
     // ---- run pipelines in order -------------------------------------------
     for p in &plan.pipelines {
         // Resolve the source: base pointers + total work.
         let total_rows = match &p.source {
             Source::Table { table, cols, slot_base, .. } => {
-                let t = cat.get(table).expect("unknown table");
+                let t = cat
+                    .get(table)
+                    .ok_or_else(|| ExecError::Setup(format!("unknown table {table}")))?;
                 for (k, &c) in cols.iter().enumerate() {
                     state.slots[slot_base + k] = t.column(c).base_ptr() as u64;
                 }
@@ -362,9 +371,9 @@ pub fn execute_module(
         let pipeline = PipelineRun {
             pid: p.id,
             function: &functions[p.id],
-            externs: &externs,
+            externs,
             handle: &handles[p.id],
-            registry: &registry,
+            registry,
             total_rows,
             plan,
             agg_shapes: &agg_shapes,
@@ -372,12 +381,12 @@ pub fn execute_module(
             exec_start,
             compile_events: &compile_events,
             background_compiles: &background_compiles,
-            calibrator: &calibrator,
+            calibrator,
         };
-        pipeline.run(&mut report, &mut state)?;
+        pipeline.run(report, &mut state)?;
     }
 
-    report.background_compiles = background_compiles.load(Ordering::Relaxed);
+    report.background_compiles += background_compiles.load(Ordering::Relaxed);
     report.exec = exec_start.elapsed();
     report.trace.extend(compile_events.lock().drain(..));
     report.trace.sort_by_key(|e| (e.thread, e.start_us));
@@ -385,7 +394,7 @@ pub fn execute_module(
 
     // ---- final output ------------------------------------------------------
     let rows = std::mem::take(&mut state.out_rows);
-    Ok((ResultRows { tys: plan.output_tys.clone(), rows }, report))
+    Ok(ResultRows { tys: plan.output_tys.clone(), rows })
 }
 
 /// Widest row any sink of the plan stages into the row buffer.
@@ -607,6 +616,9 @@ impl PipelineRun<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aqe_jit::compile::{compile, OptLevel};
+    use aqe_vm::naive::NaiveBackend;
+    use aqe_vm::translate::{translate, TranslateOptions};
 
     fn identity_function() -> Function {
         use aqe_ir::{FunctionBuilder, Type};

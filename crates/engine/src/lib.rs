@@ -4,15 +4,20 @@
 //! engine whose pipelines start in the bytecode interpreter and adaptively
 //! switch to compiled code based on observed progress.
 //!
-//! * [`plan`] — physical plans and their decomposition into pipelines;
+//! * [`plan`] — physical plans, their decomposition into pipelines, and
+//!   the stable [`plan::PhysicalPlan::fingerprint`] cache identity;
 //! * [`codegen`] — pipelines → IR worker functions (Fig. 4);
 //! * [`runtime`] — hash tables, buffers, and the runtime-call surface;
-//! * [`exec`] — per-query orchestration, hot-swappable function handles
+//! * [`exec`] — the pipeline-loop core, hot-swappable function handles
 //!   (Fig. 5), and pipeline sinks;
 //! * [`sched`] — the morsel scheduler subsystem: work-stealing
 //!   [`sched::MorselDispenser`], lock-free [`sched::PipelineProgress`],
 //!   the Fig. 7 [`sched::AdaptiveController`], and per-query cost-model
-//!   calibration ([`sched::CostCalibrator`]).
+//!   calibration ([`sched::CostCalibrator`]);
+//! * [`session`] — the long-lived API: [`session::Engine`] (catalog
+//!   version, cross-query calibration store, versioned result cache),
+//!   [`session::Session`], and [`session::PreparedQuery`] (code reuse
+//!   across executions).
 //!
 //! Execution is backend-agnostic: every morsel runs through a single
 //! `Arc<dyn PipelineBackend>` per pipeline (the trait lives in
@@ -25,10 +30,14 @@ pub mod exec;
 pub mod plan;
 pub mod runtime;
 pub mod sched;
+pub mod session;
 
+#[allow(deprecated)]
+pub use exec::execute_plan;
 pub use exec::{
-    execute_plan, CostModel, ExecMode, ExecOptions, FunctionHandle, PipelineBackend, Report,
-    ResultRows, TraceEvent,
+    CostModel, ExecMode, ExecOptions, FunctionHandle, PipelineBackend, Report, ResultRows,
+    TraceEvent,
 };
 pub use plan::{PhysicalPlan, PlanNode};
 pub use sched::{CalibrationReport, ExecLevel, PipelineSchedReport};
+pub use session::{CalibrationStore, Engine, PreparedQuery, Session, WorkloadShape};

@@ -4,12 +4,13 @@
 //! done for the entire query, but for a specific query pipeline", §III).
 
 use aqe_storage::{Catalog, DataType};
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// The runtime representation type of a field flowing through a pipeline.
 /// Everything is widened to 64 bits: integers/dates/decimals/string codes as
 /// `i64`, floats as `f64`.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum FieldTy {
     I64,
     F64,
@@ -19,7 +20,7 @@ pub enum FieldTy {
 /// compile to the overflow-checked pattern (the §IV-F macro op); SQL decimal
 /// and integer arithmetic is checked, like HyPer's ("Any arithmetic that
 /// occurs within a query is checked for overflows").
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum ArithOp {
     Add,
     Sub,
@@ -28,7 +29,7 @@ pub enum ArithOp {
 }
 
 /// Comparison predicates (type-directed: float or int).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CmpOp {
     Eq,
     Ne,
@@ -134,7 +135,7 @@ impl PExpr {
 
 /// Aggregate accumulator primitives. `Avg` is expanded by the frontend into
 /// `Sum` + `Count` plus a post-projection.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum AggFunc {
     /// Overflow-checked integer/decimal sum.
     SumI,
@@ -173,7 +174,7 @@ pub struct AggSpec {
 }
 
 /// Join kinds supported by the hash join.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum JoinKind {
     Inner,
     /// Probe row passes if at least one build match exists.
@@ -183,7 +184,7 @@ pub enum JoinKind {
 }
 
 /// Sort key: field index, ascending?, float?.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct SortKey {
     pub field: usize,
     pub asc: bool,
@@ -586,6 +587,192 @@ impl<'a> Decomposer<'a> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Plan fingerprints
+// ---------------------------------------------------------------------------
+
+/// Fixed-constant FNV-1a (64-bit). `DefaultHasher`'s algorithm is
+/// explicitly unspecified across Rust releases, but fingerprints are
+/// cache identities a caller may persist — so the hash function must be
+/// pinned, not inherited from the standard library du jour.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// Hash an `f64` by bit pattern (fingerprints must not depend on float
+/// identity quirks; two plans with the same literal bits are the same plan).
+fn hash_f64<H: Hasher>(h: &mut H, v: f64) {
+    v.to_bits().hash(h);
+}
+
+fn hash_pexpr<H: Hasher>(h: &mut H, e: &PExpr) {
+    std::mem::discriminant(e).hash(h);
+    match e {
+        PExpr::Col(i) => i.hash(h),
+        PExpr::ConstI(v) => v.hash(h),
+        PExpr::ConstF(v) => hash_f64(h, *v),
+        PExpr::Arith { op, checked, float, a, b } => {
+            op.hash(h);
+            checked.hash(h);
+            float.hash(h);
+            hash_pexpr(h, a);
+            hash_pexpr(h, b);
+        }
+        PExpr::Cmp { op, float, a, b } => {
+            op.hash(h);
+            float.hash(h);
+            hash_pexpr(h, a);
+            hash_pexpr(h, b);
+        }
+        PExpr::And(a, b) | PExpr::Or(a, b) => {
+            hash_pexpr(h, a);
+            hash_pexpr(h, b);
+        }
+        PExpr::Not(a) | PExpr::IToF(a) => hash_pexpr(h, a),
+        PExpr::InList { v, list } => {
+            hash_pexpr(h, v);
+            list.hash(h);
+        }
+        PExpr::Case { cond, t, f, float } => {
+            float.hash(h);
+            hash_pexpr(h, cond);
+            hash_pexpr(h, t);
+            hash_pexpr(h, f);
+        }
+        PExpr::DictLookup { v, table, elem_size } => {
+            hash_pexpr(h, v);
+            table.hash(h);
+            elem_size.hash(h);
+        }
+    }
+}
+
+fn hash_source<H: Hasher>(h: &mut H, s: &Source) {
+    std::mem::discriminant(s).hash(h);
+    match s {
+        Source::Table { table, cols, field_tys, slot_base } => {
+            table.hash(h);
+            cols.hash(h);
+            field_tys.hash(h);
+            slot_base.hash(h);
+        }
+        Source::Rows { rows_slot, field_tys } => {
+            rows_slot.hash(h);
+            field_tys.hash(h);
+        }
+    }
+}
+
+fn hash_sink<H: Hasher>(h: &mut H, s: &Sink) {
+    std::mem::discriminant(s).hash(h);
+    match s {
+        Sink::BuildJoin { ht, keys, payload } => {
+            ht.hash(h);
+            keys.hash(h);
+            payload.hash(h);
+        }
+        Sink::BuildAgg { agg, group_by, aggs } => {
+            agg.hash(h);
+            group_by.hash(h);
+            for a in aggs {
+                a.func.hash(h);
+                match &a.arg {
+                    None => 0u8.hash(h),
+                    Some(e) => {
+                        1u8.hash(h);
+                        hash_pexpr(h, e);
+                    }
+                }
+            }
+        }
+        Sink::Materialize { mat } => mat.hash(h),
+        Sink::Emit => {}
+    }
+}
+
+impl PhysicalPlan {
+    /// A stable 64-bit structural fingerprint of the plan.
+    ///
+    /// Two plans have equal fingerprints iff they execute the same
+    /// pipelines over the same expressions, sinks, dictionary contents,
+    /// and slot layout — the identity the engine's prepared-statement code
+    /// cache and query-result cache key by (paired with
+    /// [`Catalog::version`](aqe_storage::Catalog::version), since the
+    /// fingerprint deliberately says nothing about the *data*). Uses a
+    /// pinned FNV-1a hash, so the value is stable across processes, runs,
+    /// and toolchain upgrades (on a given target architecture).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        self.pipelines.len().hash(&mut h);
+        for p in &self.pipelines {
+            p.id.hash(&mut h);
+            hash_source(&mut h, &p.source);
+            p.ops.len().hash(&mut h);
+            for op in &p.ops {
+                std::mem::discriminant(op).hash(&mut h);
+                match op {
+                    PipeOp::Filter(e) => hash_pexpr(&mut h, e),
+                    PipeOp::Project(es) => {
+                        es.len().hash(&mut h);
+                        for e in es {
+                            hash_pexpr(&mut h, e);
+                        }
+                    }
+                    PipeOp::Probe { ht, keys, kind, payload_tys } => {
+                        ht.hash(&mut h);
+                        keys.hash(&mut h);
+                        kind.hash(&mut h);
+                        payload_tys.hash(&mut h);
+                    }
+                }
+            }
+            hash_sink(&mut h, &p.sink);
+        }
+        for spec in &self.join_hts {
+            spec.nkeys.hash(&mut h);
+            spec.payload.hash(&mut h);
+            spec.state_slot.hash(&mut h);
+        }
+        for a in &self.aggs {
+            a.nkeys.hash(&mut h);
+            a.aggs.hash(&mut h);
+            a.rows_slot.hash(&mut h);
+        }
+        for m in &self.mats {
+            m.width.hash(&mut h);
+            m.sort.hash(&mut h);
+            m.rows_slot.hash(&mut h);
+        }
+        for d in &self.dicts {
+            // Dictionary *contents* matter: two LIKE patterns produce
+            // structurally identical plans that differ only in the bitmap.
+            d.bytes.as_slice().hash(&mut h);
+            d.elem_size.hash(&mut h);
+            d.state_slot.hash(&mut h);
+        }
+        self.state_slots.hash(&mut h);
+        self.output_tys.hash(&mut h);
+        self.sorted_output.hash(&mut h);
+        h.finish()
+    }
+}
+
 /// Convenience entry point.
 pub fn decompose(cat: &Catalog, root: &PlanNode, dicts: Vec<DictTable>) -> PhysicalPlan {
     let mut d = Decomposer::new(cat);
@@ -688,6 +875,45 @@ mod tests {
         assert_eq!(phys.pipelines.len(), 3);
         assert!(phys.sorted_output);
         assert_eq!(phys.output_tys.len(), 2);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_structural() {
+        let cat = cat();
+        let plan = |c: i64| PlanNode::HashAgg {
+            input: Box::new(PlanNode::Scan {
+                table: "lineitem".into(),
+                cols: vec![4, 5],
+                filter: Some(PExpr::cmp(CmpOp::Lt, false, PExpr::Col(0), PExpr::ConstI(c))),
+            }),
+            group_by: vec![],
+            aggs: vec![AggSpec { func: AggFunc::SumI, arg: Some(PExpr::Col(1)) }],
+        };
+        let a = decompose(&cat, &plan(10), vec![]);
+        let b = decompose(&cat, &plan(10), vec![]);
+        let c = decompose(&cat, &plan(11), vec![]);
+        // Same structure → same fingerprint, across independent decompositions.
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // A different literal is a different query.
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Repeated calls on one plan agree (no hidden state).
+        assert_eq!(a.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_dictionary_contents() {
+        let cat = cat();
+        let scan = PlanNode::Scan { table: "lineitem".into(), cols: vec![4], filter: None };
+        let with_dict = |bytes: Vec<u8>| {
+            let mut d = Decomposer::new(&cat);
+            d.add_dict(bytes, 1);
+            d.finish(&scan)
+        };
+        let a = with_dict(vec![1, 0, 1]);
+        let b = with_dict(vec![1, 0, 1]);
+        let c = with_dict(vec![0, 1, 1]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint(), "LIKE bitmaps must distinguish plans");
     }
 
     #[test]

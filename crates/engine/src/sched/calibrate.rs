@@ -79,6 +79,10 @@ struct Inner {
     model: CostModel,
     compile_obs: u32,
     speedup_obs: u32,
+    /// The starting model itself came from earlier feedback (a
+    /// cross-query `CalibrationStore` seed), so the query counts as
+    /// calibrated before its first own observation.
+    seeded: bool,
 }
 
 /// Per-query cost-model feedback accumulator, shared (via `Arc`) by every
@@ -106,7 +110,21 @@ fn blend(old: f64, observed: f64) -> f64 {
 
 impl CostCalibrator {
     pub fn new(model: CostModel) -> CostCalibrator {
-        CostCalibrator { inner: Mutex::new(Inner { model, compile_obs: 0, speedup_obs: 0 }) }
+        CostCalibrator {
+            inner: Mutex::new(Inner { model, compile_obs: 0, speedup_obs: 0, seeded: false }),
+        }
+    }
+
+    /// A calibrator whose starting model was learned by *earlier queries*
+    /// (the engine's cross-query `CalibrationStore`): [`is_calibrated`]
+    /// holds from the first pipeline on, so `Report::sched[0].calibrated`
+    /// distinguishes a store-warmed query from a cold one.
+    ///
+    /// [`is_calibrated`]: CostCalibrator::is_calibrated
+    pub fn seeded(model: CostModel) -> CostCalibrator {
+        CostCalibrator {
+            inner: Mutex::new(Inner { model, compile_obs: 0, speedup_obs: 0, seeded: true }),
+        }
     }
 
     /// Snapshot of the current (possibly calibrated) model — what a
@@ -115,10 +133,11 @@ impl CostCalibrator {
         self.inner.lock().model
     }
 
-    /// Whether any feedback has been recorded yet.
+    /// Whether any feedback has been recorded yet — or the starting
+    /// model was already seeded from cross-query feedback.
     pub fn is_calibrated(&self) -> bool {
         let g = self.inner.lock();
-        g.compile_obs + g.speedup_obs > 0
+        g.seeded || g.compile_obs + g.speedup_obs > 0
     }
 
     /// Feed back a measured background-compile wall time: the cost above
@@ -197,6 +216,13 @@ mod tests {
         assert!(m.speedup_opt < CostModel::default().speedup_opt);
         c.record_speedup(OptLevel::Unoptimized, f64::NAN); // ignored
         assert_eq!(c.report().speedup_observations, 1);
+    }
+
+    #[test]
+    fn seeded_calibrator_reports_calibrated_before_any_observation() {
+        let c = CostCalibrator::seeded(CostModel::default());
+        assert!(c.is_calibrated());
+        assert_eq!(c.report().compile_observations, 0);
     }
 
     #[test]

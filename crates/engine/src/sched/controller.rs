@@ -120,6 +120,11 @@ pub fn extrapolate_pipeline_durations(
 #[derive(Clone, Debug)]
 pub struct PipelineSchedReport {
     pub pipeline: usize,
+    /// The [`ExecLevel`] the pipeline's first morsel ran at. Cold queries
+    /// always start [`Interpreted`](ExecLevel::Interpreted); a warm
+    /// prepared-query re-execution starts at the highest level a prior run
+    /// reached.
+    pub start_level: ExecLevel,
     pub total_rows: u64,
     pub morsels: u64,
     /// Work-stealing transitions between workers.
@@ -180,6 +185,8 @@ pub struct AdaptiveController {
     /// within one pipeline are stable even while feedback accrues.
     model: CostModel,
     calibrated: bool,
+    /// Backend level installed when the controller was constructed.
+    start_level: ExecLevel,
     instrs: usize,
     pipeline_start: Instant,
     poll_us: u64,
@@ -195,11 +202,13 @@ impl AdaptiveController {
     pub fn new(ctx: ControllerCtx) -> AdaptiveController {
         let model = ctx.calibrator.model();
         let calibrated = ctx.calibrator.is_calibrated();
+        let start_level = ExecLevel::from_rank(ctx.handle.rank());
         let instrs = ctx.function.instruction_count();
         let first_us = ctx.first_eval.as_micros() as u64;
         AdaptiveController {
             model,
             calibrated,
+            start_level,
             instrs,
             pipeline_start: Instant::now(),
             poll_us: first_us.max(50),
@@ -329,6 +338,7 @@ impl AdaptiveController {
         }
         PipelineSchedReport {
             pipeline: self.ctx.pid,
+            start_level: self.start_level,
             total_rows: self.ctx.total_rows,
             morsels: self.ctx.progress.morsels(),
             steals: dispenser.steals(),

@@ -1,0 +1,154 @@
+//! The versioned query-result cache.
+//!
+//! Keys are `(plan fingerprint, catalog version)`: the fingerprint
+//! identifies *what* the query computes (`PhysicalPlan::fingerprint`), the
+//! catalog version identifies *which data* it computed it over. A catalog
+//! mutation bumps the version, so every cached entry for the old contents
+//! becomes unreachable — invalidation is a key mismatch, never a scan. The
+//! uniform `ResultRows` output makes hits backend-agnostic: a result
+//! produced by the bytecode interpreter serves a later optimized-mode
+//! submission of the same plan bit-identically.
+
+use crate::exec::ResultRows;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Cache key: `(plan fingerprint, catalog version)`.
+pub(crate) type ResultKey = (u64, u64);
+
+/// Admission bound: results wider than this many `u64` slots (8 MiB) are
+/// never cached — the entry budget bounds *count*, this bounds the worst
+/// case per entry, so an engine cannot silently pin gigabytes of rows.
+pub(crate) const MAX_RESULT_SLOTS: usize = 1 << 20;
+
+struct Entry {
+    rows: ResultRows,
+    last_used: u64,
+}
+
+struct Inner {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<ResultKey, Entry>,
+}
+
+/// A bounded LRU cache of query results, owned by the `Engine`.
+pub(crate) struct ResultCache {
+    inner: Mutex<Inner>,
+}
+
+impl ResultCache {
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache { inner: Mutex::new(Inner { capacity, tick: 0, map: HashMap::new() }) }
+    }
+
+    /// Look up a result, marking the entry most-recently-used on a hit.
+    pub fn get(&self, key: ResultKey) -> Option<ResultRows> {
+        let mut g = self.inner.lock();
+        g.tick += 1;
+        let tick = g.tick;
+        let e = g.map.get_mut(&key)?;
+        e.last_used = tick;
+        Some(e.rows.clone())
+    }
+
+    /// Insert a result, evicting least-recently-used entries beyond the
+    /// capacity. A capacity of zero disables the cache entirely; results
+    /// over [`MAX_RESULT_SLOTS`] are refused (callers check the bound
+    /// *before* cloning the rows — this guard is the backstop).
+    pub fn put(&self, key: ResultKey, rows: ResultRows) {
+        if rows.rows.len() > MAX_RESULT_SLOTS {
+            return;
+        }
+        let mut g = self.inner.lock();
+        if g.capacity == 0 {
+            return;
+        }
+        g.tick += 1;
+        let tick = g.tick;
+        g.map.insert(key, Entry { rows, last_used: tick });
+        while g.map.len() > g.capacity {
+            // Small caches: a linear LRU scan beats maintaining an
+            // intrusive list.
+            let oldest = g
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty over-capacity cache");
+            g.map.remove(&oldest);
+        }
+    }
+
+    /// Drop every entry that was not produced at `version` — called after
+    /// a catalog mutation, when the stale keys can never be requested
+    /// again.
+    pub fn retain_version(&self, version: u64) {
+        self.inner.lock().map.retain(|&(_, v), _| v == version);
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut g = self.inner.lock();
+        g.capacity = capacity;
+        while g.map.len() > g.capacity {
+            let oldest = g
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty over-capacity cache");
+            g.map.remove(&oldest);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FieldTy;
+
+    fn rows(v: u64) -> ResultRows {
+        ResultRows { tys: vec![FieldTy::I64], rows: vec![v] }
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let c = ResultCache::new(2);
+        c.put((1, 0), rows(1));
+        c.put((2, 0), rows(2));
+        assert!(c.get((1, 0)).is_some()); // touch 1 → 2 is now coldest
+        c.put((3, 0), rows(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get((2, 0)).is_none(), "LRU entry must be evicted");
+        assert!(c.get((1, 0)).is_some());
+        assert!(c.get((3, 0)).is_some());
+    }
+
+    #[test]
+    fn version_mismatch_is_a_miss_and_retain_purges() {
+        let c = ResultCache::new(4);
+        c.put((7, 0), rows(7));
+        assert!(c.get((7, 1)).is_none(), "newer catalog version must miss");
+        c.retain_version(1);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = ResultCache::new(0);
+        c.put((1, 0), rows(1));
+        assert!(c.get((1, 0)).is_none());
+    }
+
+    #[test]
+    fn oversized_results_are_refused() {
+        let c = ResultCache::new(4);
+        let huge = ResultRows { tys: vec![FieldTy::I64], rows: vec![0; MAX_RESULT_SLOTS + 1] };
+        c.put((1, 0), huge);
+        assert_eq!(c.len(), 0, "an over-budget result must not be admitted");
+    }
+}

@@ -1,0 +1,581 @@
+//! The long-lived execution API: [`Engine`] → [`Session`] → [`PreparedQuery`].
+//!
+//! The paper's whole premise is amortizing compilation against execution,
+//! yet a one-shot `execute_plan` re-runs codegen, bytecode translation,
+//! and the adaptive warm-up ladder on every call and throws away the
+//! calibrator's measured constants at query end. This subsystem is the
+//! connection/prepared-statement lifecycle that lets all of that outlive
+//! a single execution (DESIGN.md §6):
+//!
+//! * [`Engine`] — owns the [`Catalog`] behind its monotonic version
+//!   counter, a cross-query [`CalibrationStore`], and a bounded LRU
+//!   result cache keyed by `(plan fingerprint, catalog version)`;
+//! * [`Session`] — a per-client handle: `prepare` / `execute` plus the
+//!   session's [`ExecOptions`] defaults;
+//! * [`PreparedQuery`] — retains the generated module, the translated
+//!   bytecode, and every backend a prior run already compiled, so a
+//!   re-execution skips codegen and translation entirely and starts at
+//!   the highest [`ExecLevel`] previously reached. First runs are still
+//!   governed by the Fig. 7 controller — the ladder is only ever climbed
+//!   once per (prepared query, catalog version).
+//!
+//! Invalidation is by construction, not by scanning: every cache key
+//! embeds [`Catalog::version`], which every mutation bumps.
+
+mod cache;
+mod calibration;
+
+pub use calibration::{CalibrationStore, WorkloadShape};
+
+use crate::codegen;
+use crate::exec::{
+    run_pipelines, ExecMode, ExecOptions, FunctionHandle, PipelineBackend, QueryRun, Report,
+    ResultRows,
+};
+use crate::plan::{decompose, DictTable, FieldTy, PhysicalPlan, PlanNode, Source};
+use crate::sched::{CostCalibrator, CostModel, ExecLevel};
+use aqe_ir::{ExternDecl, Function, Module};
+use aqe_jit::compile::{compile, OptLevel};
+use aqe_storage::{Catalog, DataType};
+use aqe_vm::interp::ExecError;
+use aqe_vm::naive::NaiveBackend;
+use aqe_vm::rt::Registry;
+use aqe_vm::translate::{translate, TranslateOptions};
+use cache::ResultCache;
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default bound of the engine's result cache, in entries.
+const DEFAULT_RESULT_CACHE_ENTRIES: usize = 32;
+
+/// Everything sessions share. `Arc`-held by every [`Session`] and
+/// [`PreparedQuery`], so prepared statements stay valid for as long as
+/// anything still references the engine.
+struct EngineShared {
+    catalog: RwLock<Catalog>,
+    calibration: CalibrationStore,
+    results: ResultCache,
+    defaults: ExecOptions,
+}
+
+/// The long-lived engine: catalog + caches + calibration memory.
+///
+/// ```no_run
+/// use aqe_engine::session::Engine;
+/// use aqe_storage::tpch;
+///
+/// let engine = Engine::new(tpch::generate(0.01));
+/// let session = engine.session();
+/// # let plan = unimplemented!();
+/// let query = session.prepare_plan(plan);
+/// let (rows, report) = session.execute(&query).unwrap();   // cold: codegen + warm-up
+/// let (rows, report) = session.execute(&query).unwrap();   // warm: cached
+/// ```
+pub struct Engine {
+    shared: Arc<EngineShared>,
+}
+
+impl Engine {
+    /// An engine over `catalog` with default [`ExecOptions`].
+    pub fn new(catalog: Catalog) -> Engine {
+        Engine::with_defaults(catalog, ExecOptions::default())
+    }
+
+    /// An engine whose sessions start from `defaults`.
+    pub fn with_defaults(catalog: Catalog, defaults: ExecOptions) -> Engine {
+        Engine {
+            shared: Arc::new(EngineShared {
+                catalog: RwLock::new(catalog),
+                calibration: CalibrationStore::new(),
+                results: ResultCache::new(DEFAULT_RESULT_CACHE_ENTRIES),
+                defaults,
+            }),
+        }
+    }
+
+    /// Open a session (a per-client handle; cheap, any number may exist).
+    pub fn session(&self) -> Session {
+        Session { shared: self.shared.clone(), defaults: self.shared.defaults.clone() }
+    }
+
+    /// Current catalog version (bumped by every mutation through
+    /// [`with_catalog_mut`](Engine::with_catalog_mut)).
+    pub fn catalog_version(&self) -> u64 {
+        self.shared.catalog.read().version()
+    }
+
+    /// Read access to the catalog.
+    pub fn with_catalog<R>(&self, f: impl FnOnce(&Catalog) -> R) -> R {
+        f(&self.shared.catalog.read())
+    }
+
+    /// Mutate the catalog. Any mutation bumps [`Catalog::version`], which
+    /// invalidates every cached result and forces prepared queries to
+    /// re-generate code on their next execution; entries for older
+    /// versions are purged eagerly, since their keys can never be
+    /// requested again.
+    pub fn with_catalog_mut<R>(&self, f: impl FnOnce(&mut Catalog) -> R) -> R {
+        let (r, version) = {
+            let mut cat = self.shared.catalog.write();
+            let r = f(&mut cat);
+            (r, cat.version())
+        };
+        self.shared.results.retain_version(version);
+        r
+    }
+
+    /// The engine's cross-query calibration store.
+    pub fn calibration(&self) -> &CalibrationStore {
+        &self.shared.calibration
+    }
+
+    /// Number of results currently cached.
+    pub fn result_cache_len(&self) -> usize {
+        self.shared.results.len()
+    }
+
+    /// Re-bound the result cache (0 disables it; shrinking evicts LRU).
+    pub fn set_result_cache_capacity(&self, entries: usize) {
+        self.shared.results.set_capacity(entries);
+    }
+}
+
+/// A per-client handle onto an [`Engine`]: prepares and executes queries
+/// with its own [`ExecOptions`] defaults.
+pub struct Session {
+    shared: Arc<EngineShared>,
+    defaults: ExecOptions,
+}
+
+impl Session {
+    /// The options [`execute`](Session::execute) runs with.
+    pub fn defaults(&self) -> &ExecOptions {
+        &self.defaults
+    }
+
+    /// Replace this session's default options.
+    pub fn set_defaults(&mut self, defaults: ExecOptions) {
+        self.defaults = defaults;
+    }
+
+    /// Read access to the engine's catalog (e.g. for planning SQL against
+    /// it — see `aqe_sql::prepare`).
+    pub fn with_catalog<R>(&self, f: impl FnOnce(&Catalog) -> R) -> R {
+        f(&self.shared.catalog.read())
+    }
+
+    /// Decompose a plan tree against the engine's catalog and prepare it.
+    pub fn prepare(&self, root: &PlanNode, dicts: Vec<DictTable>) -> PreparedQuery {
+        let plan = {
+            let cat = self.shared.catalog.read();
+            decompose(&cat, root, dicts)
+        };
+        self.prepare_plan(plan)
+    }
+
+    /// Prepare an already-decomposed physical plan.
+    pub fn prepare_plan(&self, plan: PhysicalPlan) -> PreparedQuery {
+        PreparedQuery {
+            engine: self.shared.clone(),
+            fingerprint: plan.fingerprint(),
+            plan: Arc::new(plan),
+            module: None,
+            compiled: Mutex::new(None),
+        }
+    }
+
+    /// Prepare a plan with a caller-generated IR module (stage-timing
+    /// harnesses that measure codegen separately). The module is trusted
+    /// to match the plan; it is retained verbatim across catalog versions.
+    pub fn prepare_module(&self, plan: PhysicalPlan, module: Module) -> PreparedQuery {
+        PreparedQuery {
+            engine: self.shared.clone(),
+            fingerprint: plan.fingerprint(),
+            plan: Arc::new(plan),
+            module: Some(Arc::new(module)),
+            compiled: Mutex::new(None),
+        }
+    }
+
+    /// Execute with the session's default options.
+    pub fn execute(&self, query: &PreparedQuery) -> Result<(ResultRows, Report), ExecError> {
+        self.execute_with(query, &self.defaults)
+    }
+
+    /// Execute a prepared query.
+    ///
+    /// Cold path: generate IR, translate to bytecode, run the Fig. 7
+    /// ladder from the interpreter up. Warm path: reuse the retained
+    /// module/bytecode/compiled backends (`Report::{codegen,
+    /// bc_translate}` are zero) and start every pipeline at the highest
+    /// level a prior run reached. With `opts.cache_results`, an identical
+    /// plan over an unchanged catalog returns straight from the result
+    /// cache (`Report::result_cache_hit`) without running a single morsel.
+    pub fn execute_with(
+        &self,
+        query: &PreparedQuery,
+        opts: &ExecOptions,
+    ) -> Result<(ResultRows, Report), ExecError> {
+        if !Arc::ptr_eq(&query.engine, &self.shared) {
+            return Err(ExecError::Setup(
+                "prepared query belongs to a different engine".to_string(),
+            ));
+        }
+        // Held for the whole execution: generated code dereferences column
+        // base pointers, so the catalog must not move underneath it.
+        let cat = self.shared.catalog.read();
+        let version = cat.version();
+        let plan = &query.plan;
+
+        let mut report = Report {
+            pipeline_labels: plan.pipelines.iter().map(|p| p.label.clone()).collect(),
+            ..Default::default()
+        };
+
+        // ---- result cache -------------------------------------------------
+        // Module-override prepares are excluded in both directions: their
+        // rows reflect the caller's module, but the key would only name
+        // the plan — caching them could serve wrong rows to an honest
+        // prepare of the same plan (and vice versa).
+        let key = (query.fingerprint, version);
+        let cacheable = opts.cache_results && query.module.is_none();
+        if cacheable {
+            if let Some(rows) = self.shared.results.get(key) {
+                report.result_cache_hit = true;
+                return Ok((rows, report));
+            }
+        }
+
+        // ---- code reuse / (re)generation ---------------------------------
+        // The compiled-state lock is held only for artifact assembly, not
+        // across the morsel loop: concurrent executions of one prepared
+        // query proceed in parallel once each has its handles.
+        let (functions, externs, registry, instrs, handles) = {
+            let mut guard = query.compiled.lock();
+            let stale = !matches!(&*guard, Some(s) if s.catalog_version == version);
+            if stale {
+                *guard = Some(CompiledState::build(
+                    plan,
+                    query.module.as_ref(),
+                    &cat,
+                    version,
+                    &mut report,
+                )?);
+            }
+            let state = guard.as_mut().expect("compiled state just ensured");
+            // Every mode goes through the same hot-swap handles; they
+            // differ only in what is installed before execution starts. A
+            // warm adaptive run starts from the best backend any prior
+            // run published; the static modes pin their exact level
+            // (compiling it now only if no prior run already did).
+            let handles = state.handles_for(opts.mode, &mut report)?;
+            (
+                state.functions.clone(),
+                state.externs.clone(),
+                state.registry.clone(),
+                state.instrs,
+                handles,
+            )
+        };
+        report.ir_instrs = instrs;
+
+        // ---- calibration seed --------------------------------------------
+        // An explicitly customized cost model is an instruction, not a
+        // default the store may improve on: callers that nudge constants
+        // (demos forcing a compile, tests pinning decisions) keep exactly
+        // what they asked for even on a warm engine — and, symmetrically,
+        // what such a run "learns" is never absorbed back into the store,
+        // since its model blends fabricated constants no one measured.
+        let shape = WorkloadShape::new(plan.pipelines.len(), instrs);
+        let default_model = opts.model == CostModel::default();
+        let calibrator = Arc::new(if !default_model {
+            CostCalibrator::new(opts.model)
+        } else {
+            match self.shared.calibration.seed(shape) {
+                Some(model) => CostCalibrator::seeded(model),
+                None => CostCalibrator::new(opts.model),
+            }
+        });
+
+        // ---- the morsel loops ---------------------------------------------
+        let rows = run_pipelines(
+            QueryRun {
+                plan,
+                cat: &cat,
+                functions: &functions,
+                externs: &externs,
+                registry: &registry,
+                handles: &handles,
+                calibrator: &calibrator,
+                opts,
+            },
+            &mut report,
+        )?;
+
+        // ---- persistence: code, calibration, results ----------------------
+        // Re-lock briefly to retain the backends this run published. A
+        // concurrent catalog mutation may have rebuilt the state at a
+        // newer version in the meantime; backends compiled from the old
+        // module must not leak into it.
+        {
+            let mut guard = query.compiled.lock();
+            if let Some(state) = guard.as_mut() {
+                if state.catalog_version == version {
+                    state.harvest(&handles);
+                }
+            }
+        }
+        if default_model {
+            self.shared.calibration.absorb(shape, &report.calibration);
+        }
+        if cacheable && rows.rows.len() <= cache::MAX_RESULT_SLOTS {
+            self.shared.results.put(key, rows.clone());
+        }
+        Ok((rows, report))
+    }
+}
+
+/// A prepared query: the plan plus every execution artifact worth keeping
+/// between runs. Create via [`Session::prepare`]; execute any number of
+/// times via [`Session::execute`].
+pub struct PreparedQuery {
+    engine: Arc<EngineShared>,
+    plan: Arc<PhysicalPlan>,
+    fingerprint: u64,
+    /// Caller-supplied module ([`Session::prepare_module`]); `None` means
+    /// codegen runs (once per catalog version) at execution time.
+    module: Option<Arc<Module>>,
+    compiled: Mutex<Option<CompiledState>>,
+}
+
+impl PreparedQuery {
+    /// The stable plan fingerprint this query is cached under.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The decomposed plan.
+    pub fn plan(&self) -> &PhysicalPlan {
+        &self.plan
+    }
+
+    /// Highest [`ExecLevel`] reached so far, per pipeline — the level the
+    /// next adaptive execution starts at. All-`Interpreted` before the
+    /// first run.
+    pub fn levels(&self) -> Vec<ExecLevel> {
+        match &*self.compiled.lock() {
+            None => vec![ExecLevel::Interpreted; self.plan.pipelines.len()],
+            Some(s) => (0..s.functions.len())
+                .map(|i| {
+                    if s.opt[i].is_some() {
+                        ExecLevel::Optimized
+                    } else if s.unopt[i].is_some() {
+                        ExecLevel::Unoptimized
+                    } else {
+                        ExecLevel::Interpreted
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The retained compilation artifacts of one prepared query at one
+/// catalog version.
+struct CompiledState {
+    catalog_version: u64,
+    instrs: usize,
+    functions: Vec<Arc<Function>>,
+    externs: Arc<Vec<ExternDecl>>,
+    registry: Arc<Registry>,
+    /// Translated bytecode, one per pipeline — filled lazily by the first
+    /// execution whose mode interprets bytecode (`NaiveIr` never pays for
+    /// translation, and the static compiled modes pin their own level).
+    bytecode: Vec<Option<Arc<dyn PipelineBackend>>>,
+    /// Backends a prior run compiled (background or up-front), per level.
+    unopt: Vec<Option<Arc<dyn PipelineBackend>>>,
+    opt: Vec<Option<Arc<dyn PipelineBackend>>>,
+}
+
+/// The plan's table scans must still line up with the (possibly mutated)
+/// catalog before any pointer is taken from it: a dropped table, an
+/// out-of-range column, or a type-changed column is a `Setup` error here,
+/// not a panic inside codegen or a misread base pointer in the morsel
+/// loop. Plans are prepared against a catalog version and not re-bound,
+/// so this is the re-validation point after mutations.
+fn validate_sources(plan: &PhysicalPlan, cat: &Catalog) -> Result<(), ExecError> {
+    for p in &plan.pipelines {
+        if let Source::Table { table, cols, field_tys, .. } = &p.source {
+            let t =
+                cat.get(table).ok_or_else(|| ExecError::Setup(format!("unknown table {table}")))?;
+            for (k, &c) in cols.iter().enumerate() {
+                if c >= t.column_count() {
+                    return Err(ExecError::Setup(format!(
+                        "table {table} has {} columns, plan scans column {c}",
+                        t.column_count()
+                    )));
+                }
+                let got = match t.column_type(c) {
+                    DataType::Float64 => FieldTy::F64,
+                    _ => FieldTy::I64,
+                };
+                if got != field_tys[k] {
+                    return Err(ExecError::Setup(format!(
+                        "column {c} of {table} changed representation type; re-prepare the query"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+impl CompiledState {
+    /// Cold path: source re-validation, codegen (unless a module was
+    /// supplied), registry resolution — each failure a value, not a panic.
+    fn build(
+        plan: &PhysicalPlan,
+        module_override: Option<&Arc<Module>>,
+        cat: &Catalog,
+        catalog_version: u64,
+        report: &mut Report,
+    ) -> Result<CompiledState, ExecError> {
+        validate_sources(plan, cat)?;
+        let t0 = Instant::now();
+        let module: Arc<Module> = match module_override {
+            Some(m) => m.clone(),
+            None => Arc::new(codegen::generate(plan, cat)),
+        };
+        if module_override.is_none() {
+            report.codegen = t0.elapsed();
+        }
+
+        let registry = Arc::new(
+            Registry::for_externs(&module.externs, |name| {
+                codegen::runtime_fns().iter().find(|(n, _)| *n == name).map(|(_, f)| *f)
+            })
+            .map_err(|e| ExecError::Setup(e.to_string()))?,
+        );
+        let functions: Vec<Arc<Function>> =
+            module.functions.iter().map(|f| Arc::new(f.clone())).collect();
+        let externs: Arc<Vec<ExternDecl>> = Arc::new(module.externs.clone());
+
+        let n = functions.len();
+        Ok(CompiledState {
+            catalog_version,
+            instrs: module.instruction_count(),
+            functions,
+            externs,
+            registry,
+            bytecode: vec![None; n],
+            unopt: vec![None; n],
+            opt: vec![None; n],
+        })
+    }
+
+    /// Translate every pipeline that does not have bytecode yet (timed in
+    /// `Report::bc_translate`; a no-op — and a zero report — when a prior
+    /// execution already paid for it).
+    fn ensure_bytecode(&mut self, report: &mut Report) -> Result<(), ExecError> {
+        if self.bytecode.iter().all(Option::is_some) {
+            return Ok(());
+        }
+        let t0 = Instant::now();
+        for (f, slot) in self.functions.iter().zip(self.bytecode.iter_mut()) {
+            if slot.is_none() {
+                let bc = translate(f, &self.externs, TranslateOptions::default())
+                    .map_err(|e| ExecError::Translate(e.to_string()))?;
+                *slot = Some(Arc::new(bc));
+            }
+        }
+        report.bc_translate = t0.elapsed();
+        Ok(())
+    }
+
+    /// Fresh per-run hot-swap handles holding each pipeline's initial
+    /// backend for `mode`. Static compiled modes reuse a prior run's
+    /// backend at their exact level or compile it now (timed in
+    /// `Report::upfront_compile`).
+    fn handles_for(
+        &mut self,
+        mode: ExecMode,
+        report: &mut Report,
+    ) -> Result<Vec<Arc<FunctionHandle>>, ExecError> {
+        let n = self.functions.len();
+        let handles = match mode {
+            ExecMode::NaiveIr => self
+                .functions
+                .iter()
+                .map(|f| {
+                    let b: Arc<dyn PipelineBackend> = Arc::new(NaiveBackend::new(f.clone()));
+                    Arc::new(FunctionHandle::new(b))
+                })
+                .collect(),
+            ExecMode::Bytecode => {
+                self.ensure_bytecode(report)?;
+                self.bytecode
+                    .iter()
+                    .map(|b| {
+                        Arc::new(FunctionHandle::new(b.clone().expect("bytecode just ensured")))
+                    })
+                    .collect()
+            }
+            ExecMode::Unoptimized | ExecMode::Optimized => {
+                let level = match mode {
+                    ExecMode::Unoptimized => OptLevel::Unoptimized,
+                    _ => OptLevel::Optimized,
+                };
+                let t0 = Instant::now();
+                let mut hs = Vec::with_capacity(n);
+                for i in 0..n {
+                    let slot = match level {
+                        OptLevel::Unoptimized => &mut self.unopt[i],
+                        OptLevel::Optimized => &mut self.opt[i],
+                    };
+                    let backend = match slot {
+                        Some(b) => b.clone(),
+                        None => {
+                            let cf = compile(&self.functions[i], &self.externs, level)
+                                .map_err(|e| ExecError::Compile(e.to_string()))?;
+                            let b: Arc<dyn PipelineBackend> = Arc::new(cf);
+                            *slot = Some(b.clone());
+                            b
+                        }
+                    };
+                    hs.push(Arc::new(FunctionHandle::new(backend)));
+                }
+                report.upfront_compile = t0.elapsed();
+                hs
+            }
+            ExecMode::Adaptive => {
+                // The ladder's base rank: even a warm run needs bytecode
+                // as the fallback for pipelines nothing has upgraded yet.
+                self.ensure_bytecode(report)?;
+                (0..n)
+                    .map(|i| {
+                        let best =
+                            self.opt[i].clone().or_else(|| self.unopt[i].clone()).unwrap_or_else(
+                                || self.bytecode[i].clone().expect("bytecode just ensured"),
+                            );
+                        Arc::new(FunctionHandle::new(best))
+                    })
+                    .collect()
+            }
+        };
+        Ok(handles)
+    }
+
+    /// After a run: retain whatever backends the controller published, so
+    /// the next execution starts where this one ended.
+    fn harvest(&mut self, handles: &[Arc<FunctionHandle>]) {
+        for (i, h) in handles.iter().enumerate() {
+            let b = h.load();
+            match b.kind() {
+                ExecMode::Unoptimized => self.unopt[i] = Some(b),
+                ExecMode::Optimized => self.opt[i] = Some(b),
+                _ => {}
+            }
+        }
+    }
+}

@@ -2,10 +2,11 @@
 //! bytecode, unoptimized, optimized, adaptive — must produce identical
 //! results, at 1 and 4 threads, matching a host-computed reference.
 
-use aqe_engine::exec::{execute_plan, ExecMode, ExecOptions};
+use aqe_engine::exec::{ExecMode, ExecOptions};
 use aqe_engine::plan::{
     decompose, AggFunc, AggSpec, ArithOp, CmpOp, JoinKind, PExpr, PlanNode, SortKey,
 };
+use aqe_engine::session::Engine;
 use aqe_storage::{tpch, Catalog};
 
 fn all_modes() -> [ExecMode; 5] {
@@ -19,9 +20,11 @@ fn all_modes() -> [ExecMode; 5] {
 }
 
 fn run(cat: &Catalog, plan: &PlanNode, mode: ExecMode, threads: usize) -> Vec<u64> {
-    let phys = decompose(cat, plan, vec![]);
+    let engine = Engine::new(cat.clone());
+    let session = engine.session();
+    let prepared = session.prepare(plan, vec![]);
     let opts = ExecOptions { mode, threads, ..Default::default() };
-    let (res, _report) = execute_plan(&phys, cat, &opts).expect("query must succeed");
+    let (res, _report) = session.execute_with(&prepared, &opts).expect("query must succeed");
     res.rows
 }
 
@@ -266,10 +269,12 @@ fn overflow_in_generated_code_is_reported() {
         group_by: vec![],
         aggs: vec![AggSpec { func: AggFunc::SumI, arg: Some(cube) }],
     };
-    let phys = decompose(&cat, &plan, vec![]);
+    let engine = Engine::new(cat.clone());
+    let session = engine.session();
+    let prepared = session.prepare(&plan, vec![]);
     for mode in all_modes() {
         let opts = ExecOptions { mode, threads: 2, ..Default::default() };
-        let r = execute_plan(&phys, &cat, &opts);
+        let r = session.execute_with(&prepared, &opts);
         assert!(r.is_err(), "{mode:?} must report the overflow");
     }
 }
@@ -298,7 +303,10 @@ fn adaptive_mode_compiles_hot_pipelines_eventually() {
     opts.model.opt_per_instr_s = 0.0;
     opts.model.speedup_opt = 100.0; // make compilation irresistible
     opts.model.speedup_unopt = 50.0;
-    let (res, report) = execute_plan(&phys, &cat, &opts).unwrap();
+    let engine = Engine::new(cat.clone());
+    let session = engine.session();
+    let prepared = session.prepare_plan(phys);
+    let (res, report) = session.execute_with(&prepared, &opts).unwrap();
     assert_eq!(res.row_count(), 1);
     assert!(
         report.background_compiles > 0,

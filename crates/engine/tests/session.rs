@@ -1,0 +1,370 @@
+//! Tests for the long-lived `Engine` / `Session` / `PreparedQuery` API:
+//!
+//! * a warm prepared-query re-execution skips codegen and bytecode
+//!   translation and starts at the `ExecLevel` a prior run reached;
+//! * a result-cache hit returns identical `ResultRows` without running the
+//!   morsel loop;
+//! * a catalog mutation bumps the version and invalidates both the cached
+//!   result and the retained code;
+//! * a second query on the same engine decides with a calibrated
+//!   (non-default) `CostModel` seeded from the `CalibrationStore`;
+//! * setup failures (bad module, wrong engine) surface as `ExecError`
+//!   values, and the deprecated one-shot shims still work.
+
+use aqe_engine::exec::{ExecMode, ExecOptions};
+use aqe_engine::plan::{decompose, AggFunc, AggSpec, ArithOp, PExpr, PhysicalPlan, PlanNode};
+use aqe_engine::sched::{CostModel, ExecLevel};
+use aqe_engine::session::Engine;
+use aqe_storage::{tpch, Catalog, Column, DataType, Table};
+use aqe_vm::interp::ExecError;
+use std::time::Duration;
+
+/// A wide aggregation over lineitem: expensive enough per tuple that the
+/// Fig. 7 extrapolation (with the irresistible model below) reliably
+/// compiles, and deterministic in its single output row.
+fn wide_plan(aggs: usize) -> PlanNode {
+    let specs = (0..aggs)
+        .map(|k| AggSpec {
+            func: AggFunc::SumI,
+            arg: Some(PExpr::arith(
+                ArithOp::Add,
+                true,
+                false,
+                PExpr::arith(
+                    ArithOp::Mul,
+                    true,
+                    false,
+                    PExpr::Col(k % 3),
+                    PExpr::ConstI(k as i64 + 1),
+                ),
+                PExpr::Col((k + 1) % 3),
+            )),
+        })
+        .collect();
+    PlanNode::HashAgg {
+        input: Box::new(PlanNode::Scan {
+            table: "lineitem".into(),
+            cols: vec![4, 5, 6],
+            filter: None,
+        }),
+        group_by: vec![],
+        aggs: specs,
+    }
+}
+
+/// Options that make the compile decision irresistible and immediate.
+fn eager_adaptive(threads: usize) -> ExecOptions {
+    let mut opts = ExecOptions {
+        mode: ExecMode::Adaptive,
+        threads,
+        min_morsel: 256,
+        first_eval: Duration::from_micros(50),
+        cache_results: false,
+        ..Default::default()
+    };
+    opts.model.unopt_base_s = 0.0;
+    opts.model.unopt_per_instr_s = 0.0;
+    opts.model.opt_base_s = 0.0;
+    opts.model.opt_per_instr_s = 0.0;
+    opts.model.speedup_unopt = 50.0;
+    opts.model.speedup_opt = 100.0;
+    opts
+}
+
+/// Adaptive options with the *default* cost model (runs whose feedback the
+/// engine's store absorbs — fabricated models are deliberately not
+/// absorbed) and a prompt first evaluation. Paired with a large
+/// `wide_plan`, the default-model extrapolation reliably chooses to
+/// compile: tens of bytecode instructions per tuple over ~100k rows dwarf
+/// a few ms of modelled compile time at any plausible machine speed.
+fn default_adaptive(threads: usize) -> ExecOptions {
+    ExecOptions {
+        mode: ExecMode::Adaptive,
+        threads,
+        min_morsel: 256,
+        first_eval: Duration::from_micros(50),
+        cache_results: false,
+        ..Default::default()
+    }
+}
+
+fn physical(cat: &Catalog, plan: &PlanNode) -> PhysicalPlan {
+    decompose(cat, plan, vec![])
+}
+
+#[test]
+fn warm_reexecution_skips_codegen_and_starts_at_reached_level() {
+    let cat = tpch::generate(0.02);
+    let engine = Engine::new(cat.clone());
+    let session = engine.session();
+    let prepared = session.prepare(&wide_plan(40), vec![]);
+    let opts = eager_adaptive(2);
+
+    let (rows1, cold) = session.execute_with(&prepared, &opts).expect("cold run");
+    assert!(cold.codegen > Duration::ZERO, "cold run pays codegen");
+    assert!(cold.bc_translate > Duration::ZERO, "cold run pays translation");
+    assert!(cold.background_compiles >= 1, "the eager model must force a compile");
+    assert!(cold.sched.iter().all(|s| s.start_level == ExecLevel::Interpreted));
+
+    // What the first run reached is what the second starts from.
+    let levels = prepared.levels();
+    assert!(
+        levels.iter().any(|&l| l > ExecLevel::Interpreted),
+        "at least one pipeline must have been upgraded: {levels:?}"
+    );
+
+    let (rows2, warm) = session.execute_with(&prepared, &opts).expect("warm run");
+    assert_eq!(warm.codegen, Duration::ZERO, "warm run must not regenerate IR");
+    assert_eq!(warm.bc_translate, Duration::ZERO, "warm run must not re-translate");
+    assert!(!warm.result_cache_hit, "caching was disabled; this really executed");
+    let starts: Vec<ExecLevel> = warm.sched.iter().map(|s| s.start_level).collect();
+    assert_eq!(starts, levels, "warm run starts at the previously reached levels");
+    assert_eq!(rows1.rows, rows2.rows, "warm reuse must not change the answer");
+}
+
+#[test]
+fn result_cache_hit_skips_the_morsel_loop() {
+    let cat = tpch::generate(0.005);
+    let engine = Engine::new(cat.clone());
+    let session = engine.session();
+    let prepared = session.prepare(&wide_plan(4), vec![]);
+
+    let opts = ExecOptions { threads: 2, ..Default::default() };
+    let (rows1, first) = session.execute_with(&prepared, &opts).expect("first run");
+    assert!(!first.result_cache_hit);
+    assert!(!first.sched.is_empty(), "the first run executes pipelines");
+    assert_eq!(engine.result_cache_len(), 1);
+
+    let (rows2, second) = session.execute_with(&prepared, &opts).expect("cached run");
+    assert!(second.result_cache_hit, "identical re-submission must hit");
+    assert!(second.sched.is_empty(), "a cache hit runs no pipeline");
+    assert_eq!(second.codegen, Duration::ZERO);
+    assert_eq!(rows1.tys, rows2.tys);
+    assert_eq!(rows1.rows, rows2.rows, "cache hit must return identical rows");
+
+    // A separately prepared identical plan shares the cache entry: the key
+    // is the plan fingerprint, not the statement object.
+    let twin = session.prepare(&wide_plan(4), vec![]);
+    assert_eq!(twin.fingerprint(), prepared.fingerprint());
+    let (_, third) = session.execute_with(&twin, &opts).expect("twin run");
+    assert!(third.result_cache_hit, "fingerprint-identical plans share cached results");
+}
+
+#[test]
+fn catalog_mutation_bumps_version_and_invalidates_caches() {
+    let cat = tpch::generate(0.005);
+    let engine = Engine::new(cat.clone());
+    let session = engine.session();
+    let prepared = session.prepare(&wide_plan(4), vec![]);
+    let opts = ExecOptions { threads: 2, ..Default::default() };
+
+    let v0 = engine.catalog_version();
+    let (rows1, _) = session.execute_with(&prepared, &opts).expect("first run");
+    assert_eq!(engine.result_cache_len(), 1);
+
+    // An unrelated mutation: the engine cannot know it is unrelated, so
+    // everything derived from the old version must go.
+    engine.with_catalog_mut(|c| {
+        c.add(Table::new("tiny", vec![("x", DataType::Int64, Column::I64(vec![1, 2, 3]))]))
+    });
+    assert!(engine.catalog_version() > v0, "mutation must bump the version");
+    assert_eq!(engine.result_cache_len(), 0, "stale results are purged eagerly");
+
+    let (rows2, after) = session.execute_with(&prepared, &opts).expect("post-mutation run");
+    assert!(!after.result_cache_hit, "the old cache entry must not serve the new version");
+    assert!(after.codegen > Duration::ZERO, "retained code is stale after a catalog change");
+    assert_eq!(rows1.rows, rows2.rows, "the data did not change, only the version");
+}
+
+#[test]
+fn second_query_on_the_same_engine_is_calibrated() {
+    let cat = tpch::generate(0.02);
+    let engine = Engine::new(cat.clone());
+    let session = engine.session();
+
+    // Query A: a default-model run whose compiles feed measured constants
+    // into the engine's calibration store (fabricated models would be
+    // refused by the absorb gate).
+    let a = session.prepare(&wide_plan(120), vec![]);
+    let (_, rep_a) = session.execute_with(&a, &default_adaptive(2)).expect("query A");
+    assert!(
+        rep_a.calibration.compile_observations >= 1,
+        "query A must record at least one measured compile"
+    );
+    assert!(!rep_a.sched[0].calibrated, "a cold engine has nothing to seed from");
+    assert!(engine.calibration().absorbed() >= 1);
+
+    // Query B: a different plan, default options — and still its *first*
+    // pipeline decides with a store-seeded, non-default model.
+    let b = session.prepare(&wide_plan(12), vec![]);
+    let opts = ExecOptions { threads: 2, cache_results: false, ..Default::default() };
+    let (_, rep_b) = session.execute_with(&b, &opts).expect("query B");
+    assert!(
+        rep_b.sched[0].calibrated,
+        "query B's first pipeline must start from the engine's calibration store"
+    );
+    assert_ne!(
+        rep_b.sched[0].model,
+        CostModel::default(),
+        "the seeded model must differ from the defaults"
+    );
+}
+
+#[test]
+fn module_override_queries_bypass_the_result_cache() {
+    // A caller-supplied module is only trusted for its own statement: its
+    // rows must never be cached under the plan's fingerprint, where an
+    // honest prepare of the same plan would pick them up.
+    let cat = tpch::generate(0.002);
+    let engine = Engine::new(cat.clone());
+    let session = engine.session();
+    let phys = physical(&cat, &wide_plan(3));
+    let module = aqe_engine::codegen::generate(&phys, &cat);
+    let with_module = session.prepare_module(phys.clone(), module);
+
+    let (_, first) = session.execute(&with_module).expect("module run");
+    assert!(!first.result_cache_hit);
+    assert_eq!(engine.result_cache_len(), 0, "module-override rows must not be cached");
+    let (_, again) = session.execute(&with_module).expect("module re-run");
+    assert!(!again.result_cache_hit, "…nor served from the cache");
+
+    // The honest prepare of the same plan builds its own cached entry.
+    let honest = session.prepare_plan(phys);
+    let (_, h1) = session.execute(&honest).expect("honest run");
+    assert!(!h1.result_cache_hit);
+    assert_eq!(engine.result_cache_len(), 1);
+}
+
+#[test]
+fn prepared_query_rejects_a_foreign_engine() {
+    let cat = tpch::generate(0.001);
+    let engine_a = Engine::new(cat.clone());
+    let engine_b = Engine::new(cat);
+    let prepared = engine_a.session().prepare(&wide_plan(2), vec![]);
+    let err = engine_b.session().execute(&prepared).unwrap_err();
+    assert!(matches!(err, ExecError::Setup(_)), "got {err:?}");
+}
+
+#[test]
+fn bad_module_surfaces_as_a_setup_error_not_a_panic() {
+    let cat = tpch::generate(0.001);
+    let engine = Engine::new(cat.clone());
+    let session = engine.session();
+    let phys = physical(&cat, &wide_plan(2));
+    // A module whose extern surface cannot be resolved against the
+    // engine's runtime registry: pre-PR 3 this was an `.expect()` abort.
+    let mut module = aqe_engine::codegen::generate(&phys, &cat);
+    module.declare_extern("no_such_runtime_helper", vec![], None);
+    let prepared = session.prepare_module(phys, module);
+    let err = session.execute(&prepared).unwrap_err();
+    assert!(matches!(err, ExecError::Setup(_)), "got {err:?}");
+}
+
+#[test]
+fn explicit_cost_model_override_beats_the_store_seed() {
+    let cat = tpch::generate(0.02);
+    let engine = Engine::new(cat.clone());
+    let session = engine.session();
+
+    // Warm the store with an honest default-model run.
+    let a = session.prepare(&wide_plan(120), vec![]);
+    session.execute_with(&a, &default_adaptive(2)).expect("query A");
+    assert!(engine.calibration().absorbed() >= 1);
+
+    // A caller-nudged model must be used verbatim, not replaced by the
+    // store's seed — nudging constants is the documented way to force (or
+    // forbid) compiles deterministically.
+    let absorbed_before = engine.calibration().absorbed();
+    let b = session.prepare(&wide_plan(12), vec![]);
+    let custom = eager_adaptive(2);
+    let (_, rep) = session.execute_with(&b, &custom).expect("query B");
+    assert!(
+        !rep.sched[0].calibrated,
+        "an explicit model is an instruction; the store must not override it"
+    );
+    assert_eq!(rep.sched[0].model, custom.model, "the custom constants are used verbatim");
+    assert_eq!(
+        engine.calibration().absorbed(),
+        absorbed_before,
+        "what a fabricated-model run 'learns' must not poison the store"
+    );
+}
+
+#[test]
+fn naive_ir_mode_never_pays_bytecode_translation() {
+    let cat = tpch::generate(0.001);
+    let engine = Engine::new(cat);
+    let session = engine.session();
+    let prepared = session.prepare(&wide_plan(3), vec![]);
+    let opts = ExecOptions { mode: ExecMode::NaiveIr, ..Default::default() };
+    let (_, report) = session.execute_with(&prepared, &opts).expect("naive run");
+    assert_eq!(report.bc_translate, Duration::ZERO, "the IR walker needs no bytecode");
+    // A later adaptive run on the same prepared query pays it exactly once.
+    let adaptive = ExecOptions { cache_results: false, ..Default::default() };
+    let (_, r2) = session.execute_with(&prepared, &adaptive).expect("adaptive run");
+    assert!(r2.bc_translate > Duration::ZERO);
+    let (_, r3) = session.execute_with(&prepared, &adaptive).expect("warm adaptive run");
+    assert_eq!(r3.bc_translate, Duration::ZERO);
+}
+
+#[test]
+fn dropping_a_scanned_table_errors_for_plain_prepared_queries_too() {
+    // Same scenario as below but through the codegen path (`prepare`, no
+    // module override): the rebuild after the mutation must fail as a
+    // value before codegen dereferences the missing table.
+    let cat = tpch::generate(0.001);
+    let engine = Engine::new(cat);
+    let session = engine.session();
+    let prepared = session.prepare(&wide_plan(2), vec![]);
+    session.execute(&prepared).expect("table still present");
+    engine.with_catalog_mut(|c| {
+        c.remove("lineitem");
+    });
+    let err = session.execute(&prepared).unwrap_err();
+    assert!(matches!(err, ExecError::Setup(_)), "got {err:?}");
+}
+
+#[test]
+fn dropping_a_scanned_table_is_a_setup_error() {
+    let cat = tpch::generate(0.001);
+    let engine = Engine::new(cat.clone());
+    let session = engine.session();
+    // A caller-supplied module is retained across catalog versions, so
+    // execution reaches source resolution — which must fail as a value,
+    // not a panic, once the scanned table is gone.
+    let phys = physical(&cat, &wide_plan(2));
+    let module = aqe_engine::codegen::generate(&phys, &cat);
+    let prepared = session.prepare_module(phys, module);
+    session.execute(&prepared).expect("table still present");
+    engine.with_catalog_mut(|c| {
+        c.remove("lineitem");
+    });
+    let err = session.execute(&prepared).unwrap_err();
+    assert!(matches!(err, ExecError::Setup(_)), "got {err:?}");
+}
+
+/// The deprecated one-shot shims must keep working for out-of-repo
+/// callers; this is their only in-repo use.
+#[test]
+#[allow(deprecated)]
+fn deprecated_one_shot_shims_still_execute() {
+    let cat = tpch::generate(0.002);
+    let phys = physical(&cat, &wide_plan(3));
+    let opts = ExecOptions { threads: 1, ..Default::default() };
+
+    let (rows, report) = aqe_engine::exec::execute_plan(&phys, &cat, &opts).expect("shim run");
+    assert_eq!(rows.row_count(), 1);
+    assert!(report.codegen > Duration::ZERO);
+
+    let module = aqe_engine::codegen::generate(&phys, &cat);
+    let report_in =
+        aqe_engine::exec::Report { codegen: Duration::from_millis(7), ..Default::default() };
+    let (rows2, report2) = aqe_engine::exec::execute_module(&phys, &cat, &module, &opts, report_in)
+        .expect("module shim");
+    assert_eq!(rows.rows, rows2.rows);
+    assert_eq!(
+        report2.codegen,
+        Duration::from_millis(7),
+        "caller-measured codegen carried through"
+    );
+}

@@ -1,8 +1,8 @@
 //! Dominator tree with pre/post-order labels for O(1) ancestor queries.
 //!
 //! The paper (§IV-D, Fig. 12): "Using this labeling, we can compute the
-//! dominator tree D efficiently [23], [24] … For lookup purposes we label
-//! all nodes in D with pre-/post-order numbers [25]. This labeling allows us
+//! dominator tree D efficiently \[23\], \[24\] … For lookup purposes we label
+//! all nodes in D with pre-/post-order numbers \[25\]. This labeling allows us
 //! to determine ancestor/descendant relationships in O(1)."
 //!
 //! We use the Cooper–Harvey–Kennedy iterative algorithm, which runs in

@@ -80,20 +80,22 @@ mod tests {
 
     #[test]
     fn handwritten_q1_matches_engine_q1() {
-        use aqe_engine::exec::{execute_plan, ExecMode, ExecOptions};
-        use aqe_engine::plan::decompose;
+        use aqe_engine::exec::{ExecMode, ExecOptions};
+        use aqe_engine::session::Engine;
         let cat = tpch::generate(0.001);
         let hw = q1_handwritten(&cat);
         assert!(!hw.is_empty());
 
         let q = crate::tpch::q1(&cat);
-        let phys = decompose(&cat, &q.root, q.dicts);
-        let (res, _) = execute_plan(
-            &phys,
-            &cat,
-            &ExecOptions { mode: ExecMode::Bytecode, threads: 1, ..Default::default() },
-        )
-        .unwrap();
+        let engine = Engine::new(cat.clone());
+        let session = engine.session();
+        let prepared = session.prepare(&q.root, q.dicts);
+        let (res, _) = session
+            .execute_with(
+                &prepared,
+                &ExecOptions { mode: ExecMode::Bytecode, threads: 1, ..Default::default() },
+            )
+            .unwrap();
         // Engine rows: rf, ls, sum_qty, sum_base, sum_dp, sum_ch, avgs…, n
         let width = res.tys.len();
         let mut engine: Vec<(u64, u64, i64, i64, i64)> = res

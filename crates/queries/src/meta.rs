@@ -112,20 +112,24 @@ pub fn startup_batch() -> Vec<Query> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aqe_engine::exec::{execute_plan, ExecMode, ExecOptions};
-    use aqe_engine::plan::decompose;
+    use aqe_engine::exec::{ExecMode, ExecOptions};
+    use aqe_engine::session::Engine;
     use aqe_storage::meta;
 
     #[test]
     fn metadata_queries_run_in_all_relevant_modes() {
         let cat = meta::generate(300);
+        let engine = Engine::new(cat.clone());
+        let session = engine.session();
         for q in startup_batch() {
-            let phys = decompose(&cat, &q.root, q.dicts.clone());
+            let prepared = session.prepare(&q.root, q.dicts.clone());
             let mut last = None;
             for mode in [ExecMode::Bytecode, ExecMode::Unoptimized, ExecMode::Adaptive] {
-                let opts = ExecOptions { mode, threads: 1, ..Default::default() };
-                let (res, _) =
-                    execute_plan(&phys, &cat, &opts).unwrap_or_else(|e| panic!("{}: {e}", q.name));
+                let opts =
+                    ExecOptions { mode, threads: 1, cache_results: false, ..Default::default() };
+                let (res, _) = session
+                    .execute_with(&prepared, &opts)
+                    .unwrap_or_else(|e| panic!("{}: {e}", q.name));
                 if let Some(prev) = &last {
                     assert_eq!(prev, &res.rows, "{} mode {:?}", q.name, mode);
                 }

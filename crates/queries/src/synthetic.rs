@@ -3,7 +3,7 @@
 //! "Our sample queries consist of a single table scan and an increasing
 //! number of aggregate expressions. By scaling this number from 10 to 1900,
 //! we receive query plans that contain between 1,000 and 160,000
-//! [IR] instructions, most of which are in a single large function."
+//! \[IR\] instructions, most of which are in a single large function."
 
 use crate::Query;
 use aqe_engine::plan::{AggFunc, AggSpec, ArithOp, PExpr, PlanNode};
@@ -70,22 +70,22 @@ mod tests {
 
     #[test]
     fn wide_agg_runs_correctly_small() {
-        use aqe_engine::exec::{execute_plan, ExecMode, ExecOptions};
+        use aqe_engine::exec::{ExecMode, ExecOptions};
+        use aqe_engine::session::Engine;
         let cat = tpch::generate(0.001);
         let q = wide_agg(16);
         let phys = decompose(&cat, &q.root, vec![]);
-        let (bc, _) = execute_plan(
-            &phys,
-            &cat,
-            &ExecOptions { mode: ExecMode::Bytecode, threads: 1, ..Default::default() },
-        )
-        .unwrap();
-        let (un, _) = execute_plan(
-            &phys,
-            &cat,
-            &ExecOptions { mode: ExecMode::Unoptimized, threads: 1, ..Default::default() },
-        )
-        .unwrap();
+        let engine = Engine::new(cat.clone());
+        let session = engine.session();
+        // One prepared query, two modes: the result cache must be off for
+        // the second run to actually exercise the unoptimized backend.
+        let prepared = session.prepare_plan(phys);
+        let run = |mode| {
+            let opts = ExecOptions { mode, threads: 1, cache_results: false, ..Default::default() };
+            session.execute_with(&prepared, &opts).unwrap().0
+        };
+        let bc = run(ExecMode::Bytecode);
+        let un = run(ExecMode::Unoptimized);
         assert_eq!(bc.rows, un.rows);
         assert_eq!(bc.row_count(), 1);
     }

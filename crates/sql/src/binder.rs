@@ -707,15 +707,17 @@ fn e_name(e: &Ast) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aqe_engine::exec::{execute_plan, ExecMode, ExecOptions};
-    use aqe_engine::plan::decompose;
+    use aqe_engine::exec::{ExecMode, ExecOptions};
+    use aqe_engine::session::Engine;
     use aqe_storage::tpch;
 
     fn run_sql(cat: &Catalog, sql: &str, mode: ExecMode) -> Vec<u64> {
+        let engine = Engine::new(cat.clone());
+        let session = engine.session();
         let bound = plan_sql(cat, sql).unwrap();
-        let phys = decompose(cat, &bound.root, bound.dicts);
+        let prepared = session.prepare(&bound.root, bound.dicts);
         let opts = ExecOptions { mode, threads: 1, ..Default::default() };
-        execute_plan(&phys, cat, &opts).unwrap().0.rows
+        session.execute_with(&prepared, &opts).unwrap().0.rows
     }
 
     #[test]

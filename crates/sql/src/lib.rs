@@ -10,11 +10,18 @@
 //! The optimizer performs predicate pushdown into scans, projection pruning
 //! (only referenced columns are scanned), greedy build-side selection for
 //! joins, and `avg` expansion into `sum`/`count` with a post-projection.
+//!
+//! [`prepare()`](prepare::prepare) is the prepared-statement entry point:
+//! it plans SQL once against an engine session's catalog and returns a
+//! statement whose compiled artifacts the session layer reuses across
+//! executions.
 
 pub mod binder;
 pub mod lexer;
 pub mod parser;
+pub mod prepare;
 
 pub use binder::{plan_sql, PlanError};
 pub use lexer::{tokenize, Token};
 pub use parser::{parse, SelectStmt};
+pub use prepare::{prepare, PreparedStatement};

@@ -1,0 +1,59 @@
+//! SQL-level prepared statements: `PREPARE`-style plumbing from SQL text
+//! to an engine [`PreparedQuery`].
+//!
+//! Planning (parse → bind → optimize → decompose) happens once, against
+//! the session's catalog; the returned statement can then be executed any
+//! number of times, with codegen, bytecode translation, compiled
+//! backends, and cost-model calibration amortized across executions by
+//! the session layer.
+
+use crate::binder::{plan_sql, PlanError};
+use aqe_engine::session::{PreparedQuery, Session};
+
+/// A prepared SQL statement: the engine-side prepared query plus the
+/// frontend's output metadata.
+pub struct PreparedStatement {
+    /// The engine-side handle; execute via [`Session::execute`].
+    pub query: PreparedQuery,
+    /// Output column names, in result order.
+    pub output_names: Vec<String>,
+}
+
+/// Plan `sql` against the session's catalog and prepare it for repeated
+/// execution.
+pub fn prepare(session: &Session, sql: &str) -> Result<PreparedStatement, PlanError> {
+    let bound = session.with_catalog(|cat| plan_sql(cat, sql))?;
+    let query = session.prepare(&bound.root, bound.dicts);
+    Ok(PreparedStatement { query, output_names: bound.output_names })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqe_engine::session::Engine;
+    use aqe_storage::tpch;
+
+    #[test]
+    fn prepared_statement_executes_repeatedly() {
+        let engine = Engine::new(tpch::generate(0.002));
+        let session = engine.session();
+        let stmt = prepare(
+            &session,
+            "SELECT count(*) AS n, sum(l_quantity) AS q FROM lineitem WHERE l_quantity < 30",
+        )
+        .expect("valid SQL");
+        assert_eq!(stmt.output_names, vec!["n", "q"]);
+        let (a, first) = session.execute(&stmt.query).unwrap();
+        let (b, second) = session.execute(&stmt.query).unwrap();
+        assert_eq!(a.rows, b.rows);
+        assert!(!first.result_cache_hit);
+        assert!(second.result_cache_hit, "identical re-submission must hit the result cache");
+    }
+
+    #[test]
+    fn invalid_sql_fails_at_prepare_time() {
+        let engine = Engine::new(tpch::generate(0.001));
+        let session = engine.session();
+        assert!(prepare(&session, "SELECT nope FROM lineitem").is_err());
+    }
+}

@@ -69,9 +69,20 @@ impl fmt::Display for Table {
 
 /// A named collection of tables. Tables are `Arc`-shared so that queries and
 /// worker threads can hold them without copying.
+///
+/// Every mutation ([`add`], [`remove`]) bumps a monotonic [`version`]
+/// counter. Long-lived consumers (the engine's prepared-statement code
+/// cache and query-result cache) key their entries by this version, so a
+/// catalog change automatically invalidates anything derived from the old
+/// contents.
+///
+/// [`add`]: Catalog::add
+/// [`remove`]: Catalog::remove
+/// [`version`]: Catalog::version
 #[derive(Clone, Default, Debug)]
 pub struct Catalog {
     tables: HashMap<String, Arc<Table>>,
+    version: u64,
 }
 
 impl Catalog {
@@ -79,8 +90,30 @@ impl Catalog {
         Self::default()
     }
 
+    /// Insert (or replace) a table, bumping the catalog version.
     pub fn add(&mut self, table: Table) {
         self.tables.insert(table.name.clone(), Arc::new(table));
+        self.version += 1;
+    }
+
+    /// Remove a table by name, bumping the catalog version when the table
+    /// existed.
+    pub fn remove(&mut self, name: &str) -> Option<Arc<Table>> {
+        let removed = self.tables.remove(name);
+        if removed.is_some() {
+            self.version += 1;
+        }
+        removed
+    }
+
+    /// Monotonic mutation counter: incremented by every [`add`] and
+    /// successful [`remove`]. Two catalogs with the same version that share
+    /// a mutation history hold the same tables.
+    ///
+    /// [`add`]: Catalog::add
+    /// [`remove`]: Catalog::remove
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     pub fn get(&self, name: &str) -> Option<&Arc<Table>> {
@@ -146,5 +179,23 @@ mod tests {
         assert!(c.get("t").is_some());
         assert!(c.get("nope").is_none());
         assert_eq!(c.table_names(), vec!["t"]);
+    }
+
+    #[test]
+    fn mutations_bump_the_version() {
+        let mut c = Catalog::new();
+        assert_eq!(c.version(), 0);
+        c.add(t());
+        assert_eq!(c.version(), 1);
+        // Replacing an existing table is a mutation too.
+        c.add(t());
+        assert_eq!(c.version(), 2);
+        assert!(c.remove("t").is_some());
+        assert_eq!(c.version(), 3);
+        // Removing a missing table is a no-op.
+        assert!(c.remove("t").is_none());
+        assert_eq!(c.version(), 3);
+        // Clones carry the version with them.
+        assert_eq!(c.clone().version(), 3);
     }
 }

@@ -1,7 +1,7 @@
 //! The bytecode format (§IV-A).
 //!
 //! "The instruction set of the VM is fixed length, statically typed, and in
-//! most places mimics the [IR] instruction set. … the LLVM instructions are
+//! most places mimics the \[IR\] instruction set. … the LLVM instructions are
 //! annotated with types, while the VM instructions have the type baked into
 //! the opcode itself."
 //!

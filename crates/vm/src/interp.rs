@@ -12,7 +12,8 @@
 //! [`STACK_FRAME_BYTES`] live in a stack buffer.
 //!
 //! # Safety
-//! Bytecode produced by [`crate::translate`] is the safety boundary: the
+//! Bytecode produced by [`crate::translate`](mod@crate::translate) is the
+//! safety boundary: the
 //! translator guarantees that every register offset is within the frame,
 //! every branch target is a valid instruction index, and every runtime call
 //! index was validated against the extern table. Load/store opcodes
@@ -26,12 +27,25 @@ use std::fmt;
 /// Frames at most this large use the stack buffer.
 pub const STACK_FRAME_BYTES: usize = 4096;
 
-/// Execution aborted with a trap (SQL runtime error).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Execution aborted with a trap (SQL runtime error), or query setup
+/// failed before any morsel ran.
+///
+/// The first three variants are the VM traps proper. The remaining ones
+/// surface *preparation* failures — a module that does not translate, a
+/// compilation that fails, a missing runtime helper or table — as values
+/// through the engine's session API instead of aborting the process.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ExecError {
     Overflow,
     DivByZero,
     User(u32),
+    /// IR → bytecode translation rejected the module.
+    Translate(String),
+    /// Compilation to a higher execution level failed.
+    Compile(String),
+    /// Query/session setup failed (missing runtime helper, unknown table,
+    /// prepared statement used with the wrong engine).
+    Setup(String),
 }
 
 impl fmt::Display for ExecError {
@@ -40,6 +54,9 @@ impl fmt::Display for ExecError {
             ExecError::Overflow => write!(f, "numeric overflow"),
             ExecError::DivByZero => write!(f, "division by zero"),
             ExecError::User(c) => write!(f, "query error #{c}"),
+            ExecError::Translate(m) => write!(f, "bytecode translation failed: {m}"),
+            ExecError::Compile(m) => write!(f, "compilation failed: {m}"),
+            ExecError::Setup(m) => write!(f, "query setup failed: {m}"),
         }
     }
 }

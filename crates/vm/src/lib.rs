@@ -1,7 +1,7 @@
 //! # aqe-vm — fast bytecode interpretation (paper §IV)
 //!
 //! "To make interpretation a viable strategy, we translate the native
-//! [IR] into an optimized bytecode format for a virtual machine that can be
+//! \[IR\] into an optimized bytecode format for a virtual machine that can be
 //! interpreted much more efficiently."
 //!
 //! This crate contains:
@@ -18,7 +18,8 @@
 //!   loop-aware live ranges of `aqe-ir`, including the two alternative
 //!   strategies of §IV-C (no-reuse and fixed-window greedy) used for the
 //!   register-file-size ablation;
-//! * [`translate`] — the single-pass IR→bytecode translator (Fig. 9) with
+//! * [`translate`](mod@translate) — the single-pass IR→bytecode
+//!   translator (Fig. 9) with
 //!   the paper's macro-op fusion: the 4-instruction overflow-check sequence
 //!   becomes one trapping opcode and `gep`+`load`/`store` pairs fuse into
 //!   indexed memory ops (§IV-F);

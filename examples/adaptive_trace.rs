@@ -6,23 +6,24 @@
 //! cargo run --release --example adaptive_trace
 //! ```
 
-use aqe::engine::exec::{execute_plan, ExecMode, ExecOptions};
-use aqe::engine::plan::decompose;
+use aqe::engine::exec::{ExecMode, ExecOptions};
+use aqe::engine::session::Engine;
 use aqe::queries::tpch;
 use aqe::storage::tpch as tpch_data;
 
 fn main() {
     let sf = std::env::var("AQE_SF").ok().and_then(|s| s.parse().ok()).unwrap_or(0.2);
     println!("generating TPC-H SF {sf}…");
-    let catalog = tpch_data::generate(sf);
-    let q = tpch::q11(&catalog);
-    let phys = decompose(&catalog, &q.root, q.dicts.clone());
+    let engine = Engine::new(tpch_data::generate(sf));
+    let session = engine.session();
+    let q = engine.with_catalog(tpch::q11);
+    let prepared = session.prepare(&q.root, q.dicts.clone());
 
     let mut opts =
         ExecOptions { mode: ExecMode::Adaptive, threads: 4, trace: true, ..Default::default() };
     // Nudge the model so the demo compiles even at small scale factors.
     opts.model.speedup_opt = 3.0;
-    let (result, report) = execute_plan(&phys, &catalog, &opts).expect("query ok");
+    let (result, report) = session.execute_with(&prepared, &opts).expect("query ok");
 
     println!("\npipelines:");
     for (i, label) in report.pipeline_labels.iter().enumerate() {

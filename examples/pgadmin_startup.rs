@@ -7,8 +7,8 @@
 //! cargo run --release --example pgadmin_startup
 //! ```
 
-use aqe::engine::exec::{execute_plan, ExecMode, ExecOptions};
-use aqe::engine::plan::decompose;
+use aqe::engine::exec::{ExecMode, ExecOptions};
+use aqe::engine::session::Engine;
 use aqe::queries::meta;
 use aqe::storage::meta as meta_tables;
 use std::time::Instant;
@@ -25,12 +25,15 @@ fn main() {
         (ExecMode::Bytecode, "bytecode"),
         (ExecMode::Adaptive, "adaptive"),
     ] {
+        // A fresh engine per mode: each row measures a cold startup batch.
+        let engine = Engine::new(catalog.clone());
+        let session = engine.session();
         let t0 = Instant::now();
         let mut compiles = 0usize;
         for q in &batch {
-            let phys = decompose(&catalog, &q.root, q.dicts.clone());
+            let prepared = session.prepare(&q.root, q.dicts.clone());
             let opts = ExecOptions { mode, threads: 1, ..Default::default() };
-            let (_, report) = execute_plan(&phys, &catalog, &opts).expect("query ok");
+            let (_, report) = session.execute_with(&prepared, &opts).expect("query ok");
             compiles += report.background_compiles
                 + if matches!(mode, ExecMode::Optimized | ExecMode::Unoptimized) {
                     report.pipeline_labels.len()

@@ -1,43 +1,50 @@
-//! Quickstart: run a SQL query through the adaptive engine.
+//! Quickstart: the long-lived `Engine` → `Session` → `PreparedQuery` API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Prepares one SQL statement and executes it three times on the same
+//! engine: the first run pays codegen + bytecode translation and climbs
+//! the adaptive ladder; the second reuses every compiled artifact; the
+//! third is answered straight from the versioned result cache.
 
-use aqe::engine::exec::{execute_plan, ExecMode, ExecOptions};
-use aqe::engine::plan::decompose;
-use aqe::sql::plan_sql;
+use aqe::engine::session::Engine;
+use aqe::engine::ExecOptions;
+use aqe::sql::prepare;
 use aqe::storage::tpch;
 
 fn main() {
-    // 1. Generate (or load) data.
+    // 1. Generate (or load) data, and build the long-lived engine over it.
     println!("generating TPC-H scale factor 0.01…");
-    let catalog = tpch::generate(0.01);
+    let engine = Engine::new(tpch::generate(0.01));
 
-    // 2. Plan a SQL query.
+    // 2. Open a session and prepare a SQL statement (parse → bind →
+    //    optimize → decompose, once).
+    let mut session = engine.session();
+    session.set_defaults(ExecOptions { threads: 2, ..Default::default() });
     let sql = "SELECT l_returnflag, count(*) AS n, sum(l_extendedprice) AS revenue \
                FROM lineitem WHERE l_shipdate <= date '1998-09-02' \
                GROUP BY l_returnflag ORDER BY revenue DESC";
-    let bound = plan_sql(&catalog, sql).expect("valid SQL");
-    let phys = decompose(&catalog, &bound.root, bound.dicts);
+    let stmt = prepare(&session, sql).expect("valid SQL");
 
-    // 3. Execute adaptively: starts in the bytecode interpreter and
+    // 3. Execute. The first run starts in the bytecode interpreter and
     //    compiles hot pipelines in the background (paper §III).
-    let opts = ExecOptions { mode: ExecMode::Adaptive, threads: 2, ..Default::default() };
-    let (result, report) = execute_plan(&phys, &catalog, &opts).expect("query ok");
+    let (result, cold) = session.execute(&stmt.query).expect("query ok");
 
     // 4. Render.
-    println!("{:?}", bound.output_names);
+    println!("{:?}", stmt.output_names);
     let width = result.tys.len();
-    let rf_dict = catalog
-        .get("lineitem")
-        .unwrap()
-        .column_by_name("l_returnflag")
-        .unwrap()
-        .as_str()
-        .unwrap()
-        .dict
-        .clone();
+    let rf_dict = engine.with_catalog(|cat| {
+        cat.get("lineitem")
+            .unwrap()
+            .column_by_name("l_returnflag")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .dict
+            .clone()
+    });
     for row in result.rows.chunks_exact(width) {
         let flag = &rf_dict[row[0] as usize];
         println!(
@@ -47,8 +54,25 @@ fn main() {
             (row[2] as i64 % 100).abs()
         );
     }
+
+    // 5. Execute again: same prepared query, same engine. Nothing is
+    //    regenerated — and a third submission never runs a morsel at all.
+    let no_cache = ExecOptions { threads: 2, cache_results: false, ..Default::default() };
+    let (_, warm) = session.execute_with(&stmt.query, &no_cache).expect("query ok");
+    let (_, cached) = session.execute(&stmt.query).expect("query ok");
+
     println!(
-        "\ncodegen {:?}, bytecode translation {:?}, execution {:?}, background compiles: {}",
-        report.codegen, report.bc_translate, report.exec, report.background_compiles
+        "\ncold run:   codegen {:?}, bytecode translation {:?}, execution {:?}, \
+         background compiles: {}",
+        cold.codegen, cold.bc_translate, cold.exec, cold.background_compiles
     );
+    println!(
+        "warm run:   codegen {:?}, bytecode translation {:?}, execution {:?} \
+         (starts at {:?})",
+        warm.codegen,
+        warm.bc_translate,
+        warm.exec,
+        warm.sched.iter().map(|s| s.start_level).max().unwrap()
+    );
+    println!("cached run: result cache hit = {}", cached.result_cache_hit);
 }

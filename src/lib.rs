@@ -20,10 +20,18 @@
 //! calls through a hot-swappable `Arc<dyn PipelineBackend>` handle per
 //! pipeline, which is what lets a query switch representation mid-flight.
 //!
+//! The public execution API is the long-lived session layer
+//! ([`Engine`] → [`Session`] → [`PreparedQuery`], re-exported here):
+//! prepared statements retain generated code across executions, the
+//! engine persists cost-model calibration across queries, and a
+//! versioned result cache answers repeated identical plans without
+//! running a morsel.
+//!
 //! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for the
 //! system inventory and the per-figure reproduction index.
 
 pub use aqe_engine::exec::{ExecMode, ExecOptions, FunctionHandle};
+pub use aqe_engine::session::{Engine, PreparedQuery, Session};
 pub use aqe_vm::backend::PipelineBackend;
 
 pub use aqe_baselines as baselines;

@@ -7,8 +7,9 @@
 //!    in a pipeline's `Arc<dyn PipelineBackend>` handle — produces
 //!    identical `ResultRows` on a TPC-H subset.
 
-use aqe::engine::exec::{execute_plan, ExecMode, ExecOptions, TraceEvent};
+use aqe::engine::exec::{ExecMode, ExecOptions, TraceEvent};
 use aqe::engine::plan::decompose;
+use aqe::engine::session::Engine;
 use aqe::queries::{synthetic, tpch};
 use aqe::storage::tpch as tpch_data;
 
@@ -41,7 +42,10 @@ fn adaptive_mode_switches_backend_mid_query() {
     // slow CI machine; the *observed* switch below is what the test checks.
     opts.model.speedup_opt = 6.0;
     opts.model.speedup_unopt = 3.0;
-    let (rows, report) = execute_plan(&phys, &cat, &opts).expect("adaptive execution");
+    let engine = Engine::new(cat.clone());
+    let session = engine.session();
+    let prepared = session.prepare_plan(phys.clone());
+    let (rows, report) = session.execute_with(&prepared, &opts).expect("adaptive execution");
 
     assert!(
         report.background_compiles >= 1,
@@ -81,9 +85,15 @@ fn adaptive_mode_switches_backend_mid_query() {
     }
     assert!(per_thread_switches >= 1, "at least one worker must switch backends");
 
-    // And the switch must not have changed the answer.
-    let bc_opts = ExecOptions { mode: ExecMode::Bytecode, threads: 2, ..Default::default() };
-    let (bc_rows, _) = execute_plan(&phys, &cat, &bc_opts).expect("bytecode execution");
+    // And the switch must not have changed the answer (cache off: the
+    // comparison run must really execute on the bytecode backend).
+    let bc_opts = ExecOptions {
+        mode: ExecMode::Bytecode,
+        threads: 2,
+        cache_results: false,
+        ..Default::default()
+    };
+    let (bc_rows, _) = session.execute_with(&prepared, &bc_opts).expect("bytecode execution");
     let w = phys.output_tys.len();
     assert_eq!(
         normalized(&rows.rows, w, phys.sorted_output),
@@ -108,7 +118,10 @@ fn later_pipelines_decide_with_calibrated_cost_model() {
         ExecOptions { mode: ExecMode::Adaptive, threads: 2, trace: false, ..Default::default() };
     opts.model.speedup_opt = 6.0;
     opts.model.speedup_unopt = 3.0;
-    let (_, report) = execute_plan(&phys, &cat, &opts).expect("adaptive execution");
+    let engine = Engine::new(cat.clone());
+    let session = engine.session();
+    let prepared = session.prepare_plan(phys);
+    let (_, report) = session.execute_with(&prepared, &opts).expect("adaptive execution");
 
     assert!(report.background_compiles >= 1, "test needs at least one background compile");
     assert!(
@@ -143,21 +156,25 @@ fn work_stealing_is_observable_in_the_sched_report() {
     let q = synthetic::wide_agg(40);
     let phys = decompose(&cat, &q.root, vec![]);
 
+    let engine = Engine::new(cat.clone());
+    let session = engine.session();
+    let prepared = session.prepare_plan(phys);
     let steal_opts = ExecOptions {
         mode: ExecMode::Bytecode,
         threads: 4,
         min_morsel: 64,
         max_morsel: 256,
+        cache_results: false,
         ..Default::default()
     };
-    let (rows, report) = execute_plan(&phys, &cat, &steal_opts).expect("bytecode execution");
+    let (rows, report) = session.execute_with(&prepared, &steal_opts).expect("bytecode execution");
     let total_morsels: u64 = report.sched.iter().map(|s| s.morsels).sum();
     assert!(total_morsels > 0);
     let total_rows: u64 = report.sched.iter().map(|s| s.total_rows).max().unwrap();
     assert_eq!(total_rows, cat.get("lineitem").unwrap().row_count() as u64);
 
     let no_steal = ExecOptions { steal: false, ..steal_opts };
-    let (rows2, report2) = execute_plan(&phys, &cat, &no_steal).expect("no-steal execution");
+    let (rows2, report2) = session.execute_with(&prepared, &no_steal).expect("no-steal execution");
     assert!(report2.sched.iter().all(|s| s.steals == 0 && s.stolen_tuples == 0));
     assert_eq!(rows.rows, rows2.rows, "stealing must not change the answer");
 }
@@ -170,10 +187,13 @@ fn all_five_modes_agree_on_tpch_subset() {
     // keeping the naive IR interpreter's runtime tolerable.
     let subset = ["q1", "q3", "q6", "q14"];
     let mut covered = 0;
+    let engine = Engine::new(cat.clone());
+    let session = engine.session();
     for q in all.iter().filter(|q| subset.contains(&q.name.as_str())) {
         covered += 1;
         let phys = decompose(&cat, &q.root, q.dicts.clone());
         let width = phys.output_tys.len();
+        let prepared = session.prepare_plan(phys.clone());
         let mut reference: Option<Vec<Vec<u64>>> = None;
         for mode in [
             ExecMode::NaiveIr,
@@ -182,8 +202,9 @@ fn all_five_modes_agree_on_tpch_subset() {
             ExecMode::Optimized,
             ExecMode::Adaptive,
         ] {
-            let opts = ExecOptions { mode, threads: 2, ..Default::default() };
-            let (res, _) = execute_plan(&phys, &cat, &opts)
+            let opts = ExecOptions { mode, threads: 2, cache_results: false, ..Default::default() };
+            let (res, _) = session
+                .execute_with(&prepared, &opts)
                 .unwrap_or_else(|e| panic!("{} {mode:?}: {e}", q.name));
             let got = normalized(&res.rows, width, phys.sorted_output);
             match &reference {

@@ -3,8 +3,9 @@
 //! both baseline engines, single- and multi-threaded.
 
 use aqe::baselines::{execute_vectorized, execute_volcano};
-use aqe::engine::exec::{execute_plan, ExecMode, ExecOptions};
+use aqe::engine::exec::{ExecMode, ExecOptions};
 use aqe::engine::plan::decompose;
+use aqe::engine::session::Engine;
 use aqe::queries::{synthetic, tpcds, tpch};
 use aqe::storage::{tpcds as ds_data, tpch as tpch_data};
 
@@ -35,12 +36,17 @@ fn tpch_corpus_agrees_across_all_engines_and_modes() {
         let vector = normalized(&execute_vectorized(&cat, &q.root, &phys).unwrap(), width, sorted);
         assert_eq!(volcano, vector, "{}: baselines disagree", q.name);
 
+        let engine = Engine::new(cat.clone());
+        let session = engine.session();
+        let prepared = session.prepare_plan(phys.clone());
         for mode in
             [ExecMode::Bytecode, ExecMode::Unoptimized, ExecMode::Optimized, ExecMode::Adaptive]
         {
             for threads in [1, 4] {
-                let opts = ExecOptions { mode, threads, ..Default::default() };
-                let (res, _) = execute_plan(&phys, &cat, &opts)
+                let opts =
+                    ExecOptions { mode, threads, cache_results: false, ..Default::default() };
+                let (res, _) = session
+                    .execute_with(&prepared, &opts)
                     .unwrap_or_else(|e| panic!("{} {mode:?}: {e}", q.name));
                 let got = normalized(&res.rows, width, sorted);
                 assert_eq!(got, volcano, "{} {mode:?} x{threads} disagrees with baselines", q.name);
@@ -57,9 +63,12 @@ fn tpcds_corpus_agrees() {
         let width = phys.output_tys.len();
         let volcano =
             normalized(&execute_volcano(&cat, &q.root, &phys).unwrap(), width, phys.sorted_output);
+        let engine = Engine::new(cat.clone());
+        let session = engine.session();
+        let prepared = session.prepare_plan(phys.clone());
         for mode in [ExecMode::Bytecode, ExecMode::Optimized, ExecMode::Adaptive] {
-            let opts = ExecOptions { mode, threads: 2, ..Default::default() };
-            let (res, _) = execute_plan(&phys, &cat, &opts).unwrap();
+            let opts = ExecOptions { mode, threads: 2, cache_results: false, ..Default::default() };
+            let (res, _) = session.execute_with(&prepared, &opts).unwrap();
             assert_eq!(
                 normalized(&res.rows, width, phys.sorted_output),
                 volcano,
@@ -76,10 +85,13 @@ fn wide_aggregate_queries_agree_at_scale() {
     for n in [10, 150] {
         let q = synthetic::wide_agg(n);
         let phys = decompose(&cat, &q.root, vec![]);
+        let engine = Engine::new(cat.clone());
+        let session = engine.session();
+        let prepared = session.prepare_plan(phys);
         let mut results = Vec::new();
         for mode in [ExecMode::Bytecode, ExecMode::Unoptimized, ExecMode::Optimized] {
-            let opts = ExecOptions { mode, threads: 2, ..Default::default() };
-            let (res, _) = execute_plan(&phys, &cat, &opts).unwrap();
+            let opts = ExecOptions { mode, threads: 2, cache_results: false, ..Default::default() };
+            let (res, _) = session.execute_with(&prepared, &opts).unwrap();
             results.push(res.rows);
         }
         assert_eq!(results[0], results[1], "wide_agg_{n}");
@@ -98,8 +110,11 @@ fn sql_frontend_to_adaptive_execution_end_to_end() {
     )
     .unwrap();
     let phys = decompose(&cat, &bound.root, bound.dicts);
+    let engine = Engine::new(cat.clone());
+    let session = engine.session();
+    let prepared = session.prepare_plan(phys.clone());
     let opts = ExecOptions { mode: ExecMode::Adaptive, threads: 2, ..Default::default() };
-    let (res, _) = execute_plan(&phys, &cat, &opts).unwrap();
+    let (res, _) = session.execute_with(&prepared, &opts).unwrap();
     assert_eq!(res.row_count(), 3);
     // Also through Volcano for agreement.
     let v = execute_volcano(&cat, &bound.root, &phys).unwrap();

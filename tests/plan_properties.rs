@@ -1,11 +1,12 @@
 //! Property tests at the plan level: randomly generated filter/aggregate
 //! plans over TPC-H data must produce identical results in every execution
-//! mode and in the Volcano baseline (DESIGN.md §7: "random SQL-ish plans →
+//! mode and in the Volcano baseline (DESIGN.md §8: "random SQL-ish plans →
 //! mode-equivalence").
 
 use aqe::baselines::execute_volcano;
-use aqe::engine::exec::{execute_plan, ExecMode, ExecOptions};
+use aqe::engine::exec::{ExecMode, ExecOptions};
 use aqe::engine::plan::{decompose, AggFunc, AggSpec, ArithOp, CmpOp, PExpr, PlanNode};
+use aqe::engine::session::Engine;
 use aqe::storage::{tpch, Catalog};
 use proptest::prelude::*;
 use std::sync::OnceLock;
@@ -99,9 +100,12 @@ proptest! {
 
         let reference = execute_volcano(cat, &plan, &phys)
             .map(|rows| normalized(&rows, width));
+        let engine = Engine::new(cat.clone());
+        let session = engine.session();
+        let prepared = session.prepare_plan(phys.clone());
         for mode in [ExecMode::Bytecode, ExecMode::Unoptimized, ExecMode::Optimized, ExecMode::Adaptive] {
-            let opts = ExecOptions { mode, threads: 2, ..Default::default() };
-            let got = execute_plan(&phys, cat, &opts)
+            let opts = ExecOptions { mode, threads: 2, cache_results: false, ..Default::default() };
+            let got = session.execute_with(&prepared, &opts)
                 .map(|(res, _)| normalized(&res.rows, width));
             // Both the result *and* any trap (overflow from checked
             // arithmetic) must agree with the baseline.
