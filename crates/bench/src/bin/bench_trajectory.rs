@@ -1,0 +1,125 @@
+//! Machine-readable benchmark trajectory (`BENCH_PR4.json`).
+//!
+//! Every PR that claims "faster" needs a number the next PR can regress
+//! against. This runner measures the Q1/Q6-style suite across every
+//! execution mode — per-mode geomean runtimes, per-level compile times,
+//! and adaptive end-to-end latency — and writes them as JSON. The
+//! committed `BENCH_PR4.json` at the repo root is the baseline recorded
+//! when the native tier landed; future PRs append `BENCH_PR<n>.json`
+//! files measured by the same runner, giving a comparable trajectory.
+//!
+//! Knobs: `AQE_SF` (scale factor, default 0.1), `AQE_THREADS` (default 1),
+//! `AQE_REPS` (default 3; the *minimum* over reps is recorded),
+//! `AQE_BENCH_OUT` (output path, default `BENCH_PR4.json`).
+
+use aqe_bench::{env_sf, geomean, ms, physical, run_mode, threads_from_env, MODES};
+use aqe_engine::exec::ExecMode;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+fn main() {
+    let sf = env_sf(0.1);
+    let threads = threads_from_env(1);
+    let reps: usize =
+        std::env::var("AQE_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(3).max(1);
+    let out_path = std::env::var("AQE_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
+    let native_enabled = aqe_jit::native::enabled();
+
+    eprintln!("generating TPC-H SF {sf}…");
+    let cat = aqe_storage::tpch::generate(sf);
+    let queries = [aqe_queries::tpch::q1(&cat), aqe_queries::tpch::q6(&cat)];
+
+    // mode label → query name → best exec ms / best total ms
+    let mut exec_ms: BTreeMap<&str, BTreeMap<String, f64>> = BTreeMap::new();
+    let mut total_ms: BTreeMap<&str, BTreeMap<String, f64>> = BTreeMap::new();
+    // level label → query name → compile ms (up-front, best rep)
+    let mut compile_ms: BTreeMap<&str, BTreeMap<String, f64>> = BTreeMap::new();
+
+    for q in &queries {
+        let phys = physical(&cat, q);
+        for (mode, label) in MODES {
+            let mut best_exec = f64::INFINITY;
+            let mut best_total = f64::INFINITY;
+            let mut best_compile = f64::INFINITY;
+            for _ in 0..reps {
+                let (total, report, _) = run_mode(&cat, &phys, mode, threads, false);
+                best_exec = best_exec.min(ms(report.exec));
+                best_total = best_total.min(ms(total));
+                best_compile = best_compile.min(ms(report.upfront_compile));
+            }
+            eprintln!(
+                "{:>4} {label:<12} exec {:>9.3} ms  total {:>9.3} ms",
+                q.name, best_exec, best_total
+            );
+            exec_ms.entry(label).or_default().insert(q.name.clone(), best_exec);
+            total_ms.entry(label).or_default().insert(q.name.clone(), best_total);
+            if matches!(mode, ExecMode::Unoptimized | ExecMode::Optimized | ExecMode::Native) {
+                compile_ms.entry(label).or_default().insert(q.name.clone(), best_compile);
+            }
+        }
+    }
+
+    let geo = |m: &BTreeMap<String, f64>| geomean(&m.values().copied().collect::<Vec<_>>());
+    let opt_geo = geo(&exec_ms["optimized"]);
+    let native_geo = geo(&exec_ms["native"]);
+    let bc_geo = geo(&exec_ms["bytecode"]);
+
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"pr\": 4,");
+    let _ = writeln!(j, "  \"schema_version\": 1,");
+    let _ = writeln!(j, "  \"suite\": \"tpch-q1-q6\",");
+    let _ = writeln!(
+        j,
+        "  \"config\": {{\"sf\": {sf}, \"threads\": {threads}, \"reps\": {reps}, \
+         \"native_enabled\": {native_enabled}}},"
+    );
+    let _ = writeln!(j, "  \"modes\": {{");
+    let nmodes = exec_ms.len();
+    for (k, (label, per_q)) in exec_ms.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    \"{label}\": {{\"geomean_exec_ms\": {:.4}, \"geomean_total_ms\": {:.4}, \
+             \"per_query_exec_ms\": {{",
+            geo(per_q),
+            geo(&total_ms[label])
+        );
+        let nq = per_q.len();
+        for (i, (qn, v)) in per_q.iter().enumerate() {
+            let _ = write!(j, "\"{qn}\": {v:.4}{}", if i + 1 < nq { ", " } else { "" });
+        }
+        let _ = writeln!(j, "}}}}{}", if k + 1 < nmodes { "," } else { "" });
+    }
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"compile_ms_per_level\": {{");
+    let nlevels = compile_ms.len();
+    for (k, (label, per_q)) in compile_ms.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    \"{label}\": {:.4}{}",
+            geo(per_q),
+            if k + 1 < nlevels { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"adaptive_end_to_end_ms\": {:.4},", geo(&total_ms["adaptive"]));
+    let _ = writeln!(j, "  \"ratios\": {{");
+    let _ = writeln!(j, "    \"bytecode_over_native\": {:.3},", bc_geo / native_geo);
+    let _ = writeln!(j, "    \"optimized_over_native\": {:.3}", opt_geo / native_geo);
+    let _ = writeln!(j, "  }}");
+    let _ = writeln!(j, "}}");
+
+    std::fs::File::create(&out_path)
+        .and_then(|mut f| f.write_all(j.as_bytes()))
+        .expect("write benchmark json");
+    eprintln!("\nwrote {out_path}");
+    eprintln!(
+        "geomeans: bytecode {bc_geo:.2} ms, optimized {opt_geo:.2} ms, native {native_geo:.2} ms \
+         (optimized/native = {:.2}x)",
+        opt_geo / native_geo
+    );
+    if native_enabled && opt_geo / native_geo < 2.0 {
+        eprintln!("WARNING: native speedup below the 2x acceptance bar");
+    }
+}

@@ -1,5 +1,6 @@
 //! Fig. 2 — compilation vs execution time of TPC-H Q1 per execution mode
-//! (handwritten, optimized, unoptimized, bytecode, naive IR interpretation).
+//! (handwritten, native machine code, optimized, unoptimized, bytecode,
+//! naive IR interpretation).
 
 use aqe_bench::{env_sf, fmt_ms, ms, physical, run_mode, threads_from_env};
 use aqe_engine::exec::ExecMode;
@@ -24,6 +25,7 @@ fn main() {
     assert!(!hw.is_empty());
 
     for (mode, label) in [
+        (ExecMode::Native, "native"),
         (ExecMode::Optimized, "optimized"),
         (ExecMode::Unoptimized, "unoptimized"),
         (ExecMode::Bytecode, "bytecode"),

@@ -34,6 +34,7 @@ fn main() {
                     0 => b'b',
                     1 => b'u',
                     2 => b'o',
+                    4 => b'n',
                     _ => b'C',
                 };
                 for c in line.iter_mut().take(b + 1).skip(a) {
@@ -54,5 +55,8 @@ fn main() {
     std::fs::File::create("fig14_trace.csv")
         .and_then(|mut f| f.write_all(csv.as_bytes()))
         .expect("write csv");
-    println!("\n(legend: b=bytecode morsel, u=unoptimized, o=optimized, C=compile; CSV → fig14_trace.csv)");
+    println!(
+        "\n(legend: b=bytecode morsel, u=unoptimized, o=optimized, n=native, C=compile; \
+         CSV → fig14_trace.csv)"
+    );
 }

@@ -143,7 +143,8 @@ impl FunctionHandle {
 pub struct TraceEvent {
     pub thread: u16,
     pub pipeline: u16,
-    /// 0 = bytecode, 1 = unoptimized, 2 = optimized, 255 = compilation.
+    /// 0 = bytecode, 1 = unoptimized, 2 = optimized, 3 = naive IR,
+    /// 4 = native machine code, 255 = compilation.
     pub kind: u8,
     pub start_us: u64,
     pub end_us: u64,
@@ -348,6 +349,12 @@ pub(crate) fn run_pipelines(
     let compile_events: Arc<Mutex<Vec<TraceEvent>>> = Arc::new(Mutex::new(Vec::new()));
     let background_compiles = Arc::new(AtomicUsize::new(0));
 
+    // One reusable register-file buffer per worker for the *whole query*:
+    // a pipeline whose frame spills to the heap re-uses the previous
+    // pipeline's allocation instead of growing a fresh one.
+    let threads = opts.threads.max(1);
+    let mut frames: Vec<Frame> = (0..threads).map(|_| Frame::new()).collect();
+
     // ---- run pipelines in order -------------------------------------------
     for p in &plan.pipelines {
         // Resolve the source: base pointers + total work.
@@ -383,7 +390,7 @@ pub(crate) fn run_pipelines(
             background_compiles: &background_compiles,
             calibrator,
         };
-        pipeline.run(report, &mut state)?;
+        pipeline.run(report, &mut state, &mut frames)?;
     }
 
     report.background_compiles += background_compiles.load(Ordering::Relaxed);
@@ -431,9 +438,14 @@ struct PipelineRun<'a> {
 }
 
 impl PipelineRun<'_> {
-    fn run(self, report: &mut Report, state: &mut QueryState) -> Result<(), ExecError> {
+    fn run(
+        self,
+        report: &mut Report,
+        state: &mut QueryState,
+        frames: &mut [Frame],
+    ) -> Result<(), ExecError> {
         let opts = self.opts;
-        let threads = opts.threads.max(1);
+        let threads = frames.len();
 
         // ---- scheduler assembly (see crate::sched) ------------------------
         let dispenser = MorselDispenser::new(
@@ -483,8 +495,11 @@ impl PipelineRun<'_> {
 
         // ---- the morsel loop ----------------------------------------------
         std::thread::scope(|scope| {
-            for (tid, (wrt, ttrace)) in
-                worker_rts.iter_mut().zip(thread_traces.iter_mut()).enumerate()
+            for (tid, ((wrt, ttrace), frame)) in worker_rts
+                .iter_mut()
+                .zip(thread_traces.iter_mut())
+                .zip(frames.iter_mut())
+                .enumerate()
             {
                 let dispenser = &dispenser;
                 let progress = &progress;
@@ -497,7 +512,14 @@ impl PipelineRun<'_> {
                 let pid = self.pid;
                 scope.spawn(move || {
                     let wctx = wrt.wctx_ptr();
-                    let mut frame = Frame::new();
+                    // The Fig. 5 indirection, loaded once and then refreshed
+                    // only when the handle's (atomic) rank says a better
+                    // backend was published: the `Arc` clone + lock of a
+                    // full `load()` happens once per *switch*, not once per
+                    // morsel — the controller can't swap more often than
+                    // the rank changes, so nothing newer can be missed.
+                    let mut backend = handle.load();
+                    let mut backend_rank = backend.kind().rank();
                     loop {
                         if failed.load(Ordering::Relaxed) {
                             return;
@@ -507,11 +529,12 @@ impl PipelineRun<'_> {
                         let Some(m) = dispenser.claim(tid) else { return };
                         let t_m0 = exec_start.elapsed().as_micros() as u64;
                         let args = [wctx, state_ptr, m.begin, m.end];
-                        // The Fig. 5 indirection: pick up whatever backend
-                        // is currently published and run the morsel through
-                        // it — no per-mode branches here.
-                        let backend = handle.load();
-                        if let Err(e) = backend.call(&args, registry, &mut frame) {
+                        let rank = handle.rank();
+                        if rank != backend_rank {
+                            backend = handle.load();
+                            backend_rank = rank;
+                        }
+                        if let Err(e) = backend.call(&args, registry, frame) {
                             *error.lock() = Some(e);
                             failed.store(true, Ordering::Relaxed);
                             return;

@@ -13,7 +13,7 @@
 //! default constants — the mid-query feedback loop that distinguishes
 //! adaptive engines from static heuristics.
 
-use aqe_jit::compile::OptLevel;
+use crate::sched::controller::ExecLevel;
 use parking_lot::Mutex;
 use std::time::Duration;
 
@@ -27,9 +27,13 @@ pub struct CostModel {
     pub unopt_per_instr_s: f64,
     pub opt_base_s: f64,
     pub opt_per_instr_s: f64,
-    /// Execution speedup of unoptimized / optimized code over bytecode.
+    pub native_base_s: f64,
+    pub native_per_instr_s: f64,
+    /// Execution speedup of unoptimized / optimized threaded code and
+    /// native machine code over bytecode.
     pub speedup_unopt: f64,
     pub speedup_opt: f64,
+    pub speedup_native: f64,
 }
 
 impl Default for CostModel {
@@ -41,23 +45,35 @@ impl Default for CostModel {
             unopt_per_instr_s: 0.4e-6,
             opt_base_s: 80e-6,
             opt_per_instr_s: 4.0e-6,
+            // Native runs the whole optimized pipeline plus instruction
+            // emission and an mmap/mprotect round trip.
+            native_base_s: 150e-6,
+            native_per_instr_s: 5.0e-6,
             speedup_unopt: 1.5,
             speedup_opt: 2.2,
+            speedup_native: 6.0,
         }
     }
 }
 
 impl CostModel {
-    pub fn ctime(&self, level: OptLevel, instrs: usize) -> f64 {
+    /// Modelled compile time for reaching `level` (zero for the level the
+    /// engine starts at — interpretation needs no compilation).
+    pub fn ctime(&self, level: ExecLevel, instrs: usize) -> f64 {
         match level {
-            OptLevel::Unoptimized => self.unopt_base_s + self.unopt_per_instr_s * instrs as f64,
-            OptLevel::Optimized => self.opt_base_s + self.opt_per_instr_s * instrs as f64,
+            ExecLevel::Interpreted => 0.0,
+            ExecLevel::Unoptimized => self.unopt_base_s + self.unopt_per_instr_s * instrs as f64,
+            ExecLevel::Optimized => self.opt_base_s + self.opt_per_instr_s * instrs as f64,
+            ExecLevel::Native => self.native_base_s + self.native_per_instr_s * instrs as f64,
         }
     }
-    pub fn speedup(&self, level: OptLevel) -> f64 {
+    /// Modelled execution speedup of `level` over bytecode.
+    pub fn speedup(&self, level: ExecLevel) -> f64 {
         match level {
-            OptLevel::Unoptimized => self.speedup_unopt,
-            OptLevel::Optimized => self.speedup_opt,
+            ExecLevel::Interpreted => 1.0,
+            ExecLevel::Unoptimized => self.speedup_unopt,
+            ExecLevel::Optimized => self.speedup_opt,
+            ExecLevel::Native => self.speedup_native,
         }
     }
 }
@@ -142,33 +158,39 @@ impl CostCalibrator {
 
     /// Feed back a measured background-compile wall time: the cost above
     /// the modelled base is attributed to the per-instruction constant.
-    pub fn record_compile(&self, level: OptLevel, instrs: usize, measured: Duration) {
+    pub fn record_compile(&self, level: ExecLevel, instrs: usize, measured: Duration) {
         if instrs == 0 {
             return;
         }
         let secs = measured.as_secs_f64();
         let mut g = self.inner.lock();
-        g.compile_obs += 1;
         let (base, per) = match level {
-            OptLevel::Unoptimized => (g.model.unopt_base_s, &mut g.model.unopt_per_instr_s),
-            OptLevel::Optimized => (g.model.opt_base_s, &mut g.model.opt_per_instr_s),
+            ExecLevel::Interpreted => return, // nothing was compiled
+            ExecLevel::Unoptimized => (g.model.unopt_base_s, &mut g.model.unopt_per_instr_s),
+            ExecLevel::Optimized => (g.model.opt_base_s, &mut g.model.opt_per_instr_s),
+            ExecLevel::Native => (g.model.native_base_s, &mut g.model.native_per_instr_s),
         };
         let observed_per = (secs - base).max(0.0) / instrs as f64;
         *per = blend(*per, observed_per);
+        g.compile_obs += 1;
     }
 
     /// Feed back an observed post-switch speedup over bytecode at `level`.
-    pub fn record_speedup(&self, level: OptLevel, observed: f64) {
+    pub fn record_speedup(&self, level: ExecLevel, observed: f64) {
         if !observed.is_finite() || observed <= 0.0 {
             return;
         }
         let observed = observed.clamp(SPEEDUP_FLOOR, SPEEDUP_CEIL);
         let mut g = self.inner.lock();
-        g.speedup_obs += 1;
         match level {
-            OptLevel::Unoptimized => g.model.speedup_unopt = blend(g.model.speedup_unopt, observed),
-            OptLevel::Optimized => g.model.speedup_opt = blend(g.model.speedup_opt, observed),
+            ExecLevel::Interpreted => return, // not a switch target
+            ExecLevel::Unoptimized => {
+                g.model.speedup_unopt = blend(g.model.speedup_unopt, observed)
+            }
+            ExecLevel::Optimized => g.model.speedup_opt = blend(g.model.speedup_opt, observed),
+            ExecLevel::Native => g.model.speedup_native = blend(g.model.speedup_native, observed),
         }
+        g.speedup_obs += 1;
     }
 
     pub fn report(&self) -> CalibrationReport {
@@ -188,8 +210,8 @@ mod tests {
     #[test]
     fn ctime_is_linear_in_instrs() {
         let m = CostModel::default();
-        let a = m.ctime(OptLevel::Optimized, 1000);
-        let b = m.ctime(OptLevel::Optimized, 2000);
+        let a = m.ctime(ExecLevel::Optimized, 1000);
+        let b = m.ctime(ExecLevel::Optimized, 2000);
         assert!((b - a - m.opt_per_instr_s * 1000.0).abs() < 1e-12);
     }
 
@@ -198,7 +220,7 @@ mod tests {
         let c = CostCalibrator::new(CostModel::default());
         assert!(!c.is_calibrated());
         // 10k instrs measured at 100 ms: vastly above the default model.
-        c.record_compile(OptLevel::Optimized, 10_000, Duration::from_millis(100));
+        c.record_compile(ExecLevel::Optimized, 10_000, Duration::from_millis(100));
         assert!(c.is_calibrated());
         let m = c.model();
         assert!(m.opt_per_instr_s > CostModel::default().opt_per_instr_s);
@@ -210,11 +232,11 @@ mod tests {
     #[test]
     fn speedup_feedback_is_clamped_and_blended() {
         let c = CostCalibrator::new(CostModel::default());
-        c.record_speedup(OptLevel::Optimized, 0.2); // an "upgrade" can't model as a slowdown
+        c.record_speedup(ExecLevel::Optimized, 0.2); // an "upgrade" can't model as a slowdown
         let m = c.model();
         assert!(m.speedup_opt >= SPEEDUP_FLOOR * BLEND);
         assert!(m.speedup_opt < CostModel::default().speedup_opt);
-        c.record_speedup(OptLevel::Unoptimized, f64::NAN); // ignored
+        c.record_speedup(ExecLevel::Unoptimized, f64::NAN); // ignored
         assert_eq!(c.report().speedup_observations, 1);
     }
 
@@ -226,9 +248,26 @@ mod tests {
     }
 
     #[test]
+    fn native_feedback_moves_native_constants_only() {
+        let c = CostCalibrator::new(CostModel::default());
+        c.record_compile(ExecLevel::Native, 10_000, Duration::from_millis(200));
+        c.record_speedup(ExecLevel::Native, 10.0);
+        let m = c.model();
+        assert!(m.native_per_instr_s > CostModel::default().native_per_instr_s);
+        assert!(m.speedup_native > CostModel::default().speedup_native);
+        assert_eq!(m.opt_per_instr_s, CostModel::default().opt_per_instr_s);
+        assert_eq!(m.speedup_opt, CostModel::default().speedup_opt);
+        // Interpreted is not a compile target: both feedback kinds ignore it.
+        c.record_compile(ExecLevel::Interpreted, 1000, Duration::from_secs(1));
+        c.record_speedup(ExecLevel::Interpreted, 3.0);
+        assert_eq!(c.report().compile_observations, 1);
+        assert_eq!(c.report().speedup_observations, 1);
+    }
+
+    #[test]
     fn zero_instr_compile_is_ignored() {
         let c = CostCalibrator::new(CostModel::default());
-        c.record_compile(OptLevel::Unoptimized, 0, Duration::from_secs(1));
+        c.record_compile(ExecLevel::Unoptimized, 0, Duration::from_secs(1));
         assert!(!c.is_calibrated());
     }
 }

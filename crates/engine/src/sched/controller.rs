@@ -40,12 +40,16 @@ pub enum ExecLevel {
     Interpreted,
     Unoptimized,
     Optimized,
+    /// Real machine code (`aqe_jit::native`, rank 4).
+    Native,
 }
 
 impl ExecLevel {
     /// Classify a backend rank (see `ExecMode::rank`).
     pub fn from_rank(rank: u8) -> ExecLevel {
-        if rank >= ExecMode::Optimized.rank() {
+        if rank >= ExecMode::Native.rank() {
+            ExecLevel::Native
+        } else if rank >= ExecMode::Optimized.rank() {
             ExecLevel::Optimized
         } else if rank >= ExecMode::Unoptimized.rank() {
             ExecLevel::Unoptimized
@@ -56,12 +60,12 @@ impl ExecLevel {
 
     /// Modelled speedup over bytecode at this level.
     pub fn speedup(self, model: &CostModel) -> f64 {
-        match self {
-            ExecLevel::Interpreted => 1.0,
-            ExecLevel::Unoptimized => model.speedup(OptLevel::Unoptimized),
-            ExecLevel::Optimized => model.speedup(OptLevel::Optimized),
-        }
+        model.speedup(self)
     }
+
+    /// The levels a compilation can target, in rank order.
+    pub const COMPILED: [ExecLevel; 3] =
+        [ExecLevel::Unoptimized, ExecLevel::Optimized, ExecLevel::Native];
 }
 
 /// Fig. 7's decision outcome.
@@ -70,6 +74,18 @@ pub enum ModeChoice {
     DoNothing,
     Unoptimized,
     Optimized,
+    Native,
+}
+
+impl ModeChoice {
+    fn of(level: ExecLevel) -> ModeChoice {
+        match level {
+            ExecLevel::Interpreted => ModeChoice::DoNothing,
+            ExecLevel::Unoptimized => ModeChoice::Unoptimized,
+            ExecLevel::Optimized => ModeChoice::Optimized,
+            ExecLevel::Native => ModeChoice::Native,
+        }
+    }
 }
 
 /// `extrapolatePipelineDurations` (Fig. 7, verbatim structure): given the
@@ -79,9 +95,10 @@ pub enum ModeChoice {
 ///
 /// A compilation level is only a candidate when it lies strictly above
 /// `current` — the hot-swap handle refuses downgrades, so proposing the
-/// current level or below would waste the (single) compile slot. PR 1
-/// encoded this as a `!unopt_available` guard whose doc read backwards;
-/// the typed `current` argument makes the comparison direction explicit.
+/// current level or below would waste the (single) compile slot — and at
+/// or below `ceiling`, the highest level this process can actually
+/// compile (`Native` only where `aqe_jit::native` has an emitter and
+/// `AQE_NATIVE` does not force the fallback).
 pub fn extrapolate_pipeline_durations(
     model: &CostModel,
     instrs: usize,
@@ -89,6 +106,7 @@ pub fn extrapolate_pipeline_durations(
     w: f64,
     r0: f64,
     current: ExecLevel,
+    ceiling: ExecLevel,
 ) -> ModeChoice {
     if r0 <= 0.0 || n <= 0.0 {
         return ModeChoice::DoNothing;
@@ -96,21 +114,16 @@ pub fn extrapolate_pipeline_durations(
     let cur_speedup = current.speedup(model);
     let t0 = n / r0 / w;
     let mut best = (t0, ModeChoice::DoNothing);
-    if current < ExecLevel::Unoptimized {
-        let r1 = r0 * (model.speedup(OptLevel::Unoptimized) / cur_speedup);
-        let c1 = model.ctime(OptLevel::Unoptimized, instrs);
-        // While compiling, w-1 workers keep processing at the current rate.
-        let t1 = c1 + (n - (w - 1.0) * r0 * c1).max(0.0) / r1 / w;
-        if t1 < best.0 && r1 > r0 {
-            best = (t1, ModeChoice::Unoptimized);
+    for cand in ExecLevel::COMPILED {
+        if cand <= current || cand > ceiling {
+            continue;
         }
-    }
-    if current < ExecLevel::Optimized {
-        let r2 = r0 * (model.speedup(OptLevel::Optimized) / cur_speedup);
-        let c2 = model.ctime(OptLevel::Optimized, instrs);
-        let t2 = c2 + (n - (w - 1.0) * r0 * c2).max(0.0) / r2 / w;
-        if t2 < best.0 && r2 > r0 {
-            best = (t2, ModeChoice::Optimized);
+        let r = r0 * (model.speedup(cand) / cur_speedup);
+        let c = model.ctime(cand, instrs);
+        // While compiling, w-1 workers keep processing at the current rate.
+        let t = c + (n - (w - 1.0) * r0 * c).max(0.0) / r / w;
+        if t < best.0 && r > r0 {
+            best = (t, ModeChoice::of(cand));
         }
     }
     best.1
@@ -171,7 +184,7 @@ struct PendingSwitch {
     /// Per-thread rate and level at claim time.
     pre_rate: f64,
     pre_level: ExecLevel,
-    level: OptLevel,
+    level: ExecLevel,
     /// Set by the compile thread once the backend is installed (it resets
     /// the rate window at that moment, so the window measures the new
     /// level only).
@@ -187,6 +200,9 @@ pub struct AdaptiveController {
     calibrated: bool,
     /// Backend level installed when the controller was constructed.
     start_level: ExecLevel,
+    /// Highest level this process can compile to (snapshotted once: the
+    /// `AQE_NATIVE` gate is not re-read on the per-morsel decision path).
+    ceiling: ExecLevel,
     instrs: usize,
     pipeline_start: Instant,
     poll_us: u64,
@@ -205,10 +221,13 @@ impl AdaptiveController {
         let start_level = ExecLevel::from_rank(ctx.handle.rank());
         let instrs = ctx.function.instruction_count();
         let first_us = ctx.first_eval.as_micros() as u64;
+        let ceiling =
+            if aqe_jit::native::enabled() { ExecLevel::Native } else { ExecLevel::Optimized };
         AdaptiveController {
             model,
             calibrated,
             start_level,
+            ceiling,
             instrs,
             pipeline_start: Instant::now(),
             poll_us: first_us.max(50),
@@ -256,13 +275,22 @@ impl AdaptiveController {
         // Lock-free poll of the current backend via the cached rank — the
         // decision path never touches the handle's lock.
         let current = ExecLevel::from_rank(self.ctx.handle.rank());
-        let choice = extrapolate_pipeline_durations(&self.model, self.instrs, n, w, r0, current);
+        let choice = extrapolate_pipeline_durations(
+            &self.model,
+            self.instrs,
+            n,
+            w,
+            r0,
+            current,
+            self.ceiling,
+        );
         let target = match choice {
             ModeChoice::DoNothing => None,
             ModeChoice::Unoptimized if current < ExecLevel::Unoptimized => {
-                Some(OptLevel::Unoptimized)
+                Some(ExecLevel::Unoptimized)
             }
-            ModeChoice::Optimized if current < ExecLevel::Optimized => Some(OptLevel::Optimized),
+            ModeChoice::Optimized if current < ExecLevel::Optimized => Some(ExecLevel::Optimized),
+            ModeChoice::Native if current < ExecLevel::Native => Some(ExecLevel::Native),
             _ => None,
         };
         let Some(level) = target else { return };
@@ -366,15 +394,43 @@ struct CompileJob {
     exec_start: Instant,
     pid: usize,
     instrs: usize,
-    level: OptLevel,
+    level: ExecLevel,
     installed: Arc<AtomicBool>,
 }
 
 impl CompileJob {
+    /// Compile to the claimed level. `Native` goes through the machine-code
+    /// emitter; the threaded levels through the classic driver. Returns
+    /// the backend plus its measured compile wall time.
+    fn compile_to_level(
+        &self,
+    ) -> Result<(Arc<dyn aqe_vm::backend::PipelineBackend>, std::time::Duration), String> {
+        match self.level {
+            ExecLevel::Interpreted => Err("interpretation is not a compile target".to_string()),
+            ExecLevel::Unoptimized | ExecLevel::Optimized => {
+                let level = if self.level == ExecLevel::Unoptimized {
+                    OptLevel::Unoptimized
+                } else {
+                    OptLevel::Optimized
+                };
+                let cf =
+                    compile(&self.function, &self.externs, level).map_err(|e| e.to_string())?;
+                let t = cf.stats.compile_time;
+                Ok((Arc::new(cf), t))
+            }
+            ExecLevel::Native => {
+                let nf = aqe_jit::native::compile_native(&self.function, &self.externs)
+                    .map_err(|e| e.to_string())?;
+                let t = nf.stats.compile_time;
+                Ok((Arc::new(nf), t))
+            }
+        }
+    }
+
     fn run(self) {
         let t_c0 = self.exec_start.elapsed().as_micros() as u64;
-        match compile(&self.function, &self.externs, self.level) {
-            Ok(cf) => {
+        match self.compile_to_level() {
+            Ok((backend, compile_time)) => {
                 let t_c1 = self.exec_start.elapsed().as_micros() as u64;
                 self.events.lock().push(TraceEvent {
                     thread: u16::MAX,
@@ -386,11 +442,11 @@ impl CompileJob {
                 });
                 // Actual ctime feedback: measured wall time per IR
                 // instruction.
-                self.calibrator.record_compile(self.level, self.instrs, cf.stats.compile_time);
+                self.calibrator.record_compile(self.level, self.instrs, compile_time);
                 // Publish into the handle: all workers switch on their next
                 // morsel. Reset the rate window so the post-switch rate is
                 // measured at the new level only.
-                if self.handle.install(Arc::new(cf)) {
+                if self.handle.install(backend) {
                     self.counter.fetch_add(1, Ordering::Relaxed);
                     self.installed.store(true, Ordering::Release);
                     self.progress.reset_window();
@@ -415,8 +471,10 @@ mod tests {
         assert_eq!(ExecLevel::from_rank(ExecMode::Bytecode.rank()), ExecLevel::Interpreted);
         assert_eq!(ExecLevel::from_rank(ExecMode::Unoptimized.rank()), ExecLevel::Unoptimized);
         assert_eq!(ExecLevel::from_rank(ExecMode::Optimized.rank()), ExecLevel::Optimized);
+        assert_eq!(ExecLevel::from_rank(ExecMode::Native.rank()), ExecLevel::Native);
         assert!(ExecLevel::Interpreted < ExecLevel::Unoptimized);
         assert!(ExecLevel::Unoptimized < ExecLevel::Optimized);
+        assert!(ExecLevel::Optimized < ExecLevel::Native);
     }
 
     #[test]
@@ -424,7 +482,15 @@ mod tests {
         let m = CostModel::default();
         // 1k remaining tuples at 1M tuples/s: finishes in 1ms — never worth
         // hundreds of µs of compilation.
-        let c = extrapolate_pipeline_durations(&m, 5000, 1e3, 4.0, 1e6, ExecLevel::Interpreted);
+        let c = extrapolate_pipeline_durations(
+            &m,
+            5000,
+            1e3,
+            4.0,
+            1e6,
+            ExecLevel::Interpreted,
+            ExecLevel::Native,
+        );
         assert_eq!(c, ModeChoice::DoNothing);
     }
 
@@ -432,7 +498,15 @@ mod tests {
     fn extrapolation_compiles_for_large_work() {
         let m = CostModel::default();
         // 100M tuples at 10M tuples/s/thread: worth compiling.
-        let c = extrapolate_pipeline_durations(&m, 5000, 1e8, 4.0, 1e7, ExecLevel::Interpreted);
+        let c = extrapolate_pipeline_durations(
+            &m,
+            5000,
+            1e8,
+            4.0,
+            1e7,
+            ExecLevel::Interpreted,
+            ExecLevel::Native,
+        );
         assert_ne!(c, ModeChoice::DoNothing);
     }
 
@@ -442,14 +516,83 @@ mod tests {
         // Already running unoptimized code; for huge remaining work the
         // optimized mode should still win — and unoptimized must never be
         // re-proposed.
-        let c = extrapolate_pipeline_durations(&m, 2000, 1e9, 4.0, 2e7, ExecLevel::Unoptimized);
+        let c = extrapolate_pipeline_durations(
+            &m,
+            2000,
+            1e9,
+            4.0,
+            2e7,
+            ExecLevel::Unoptimized,
+            ExecLevel::Optimized,
+        );
         assert_eq!(c, ModeChoice::Optimized);
     }
 
     #[test]
     fn extrapolation_never_downgrades_from_optimized() {
         let m = CostModel::default();
-        let c = extrapolate_pipeline_durations(&m, 2000, 1e9, 4.0, 2e7, ExecLevel::Optimized);
+        let c = extrapolate_pipeline_durations(
+            &m,
+            2000,
+            1e9,
+            4.0,
+            2e7,
+            ExecLevel::Optimized,
+            ExecLevel::Optimized,
+        );
+        assert_eq!(c, ModeChoice::DoNothing);
+    }
+
+    #[test]
+    fn extrapolation_reaches_native_for_huge_work() {
+        let m = CostModel::default();
+        // Enormous remaining work: the native tier's higher compile cost
+        // amortizes and its higher speedup wins outright.
+        let c = extrapolate_pipeline_durations(
+            &m,
+            2000,
+            1e9,
+            4.0,
+            2e7,
+            ExecLevel::Interpreted,
+            ExecLevel::Native,
+        );
+        assert_eq!(c, ModeChoice::Native);
+        // From optimized code the only remaining upgrade is native.
+        let c = extrapolate_pipeline_durations(
+            &m,
+            2000,
+            1e9,
+            4.0,
+            5e7,
+            ExecLevel::Optimized,
+            ExecLevel::Native,
+        );
+        assert_eq!(c, ModeChoice::Native);
+    }
+
+    #[test]
+    fn ceiling_caps_the_choice_below_native() {
+        let m = CostModel::default();
+        let c = extrapolate_pipeline_durations(
+            &m,
+            2000,
+            1e9,
+            4.0,
+            2e7,
+            ExecLevel::Interpreted,
+            ExecLevel::Optimized,
+        );
+        assert_ne!(c, ModeChoice::Native, "the fallback ceiling must exclude native");
+        let c = extrapolate_pipeline_durations(
+            &m,
+            2000,
+            1e9,
+            4.0,
+            2e7,
+            ExecLevel::Optimized,
+            ExecLevel::Optimized,
+        );
         assert_eq!(c, ModeChoice::DoNothing);
     }
 }

@@ -1,4 +1,4 @@
-//! The versioned query-result cache.
+//! The versioned query-result cache with a total-byte budget.
 //!
 //! Keys are `(plan fingerprint, catalog version)`: the fingerprint
 //! identifies *what* the query computes (`PhysicalPlan::fingerprint`), the
@@ -6,8 +6,17 @@
 //! mutation bumps the version, so every cached entry for the old contents
 //! becomes unreachable — invalidation is a key mismatch, never a scan. The
 //! uniform `ResultRows` output makes hits backend-agnostic: a result
-//! produced by the bytecode interpreter serves a later optimized-mode
+//! produced by the bytecode interpreter serves a later native-mode
 //! submission of the same plan bit-identically.
+//!
+//! Sizing is a single **total-byte budget** (PR 3 bounded entry *count*
+//! at 32 plus an 8 MiB per-entry admission cap — a shape that let 32
+//! near-cap entries pin ~256 MiB while a thousand tiny results thrashed).
+//! Eviction is **size-weighted LRU**: recency orders the victims, but
+//! between entries of similar recency the larger one goes first (small
+//! results get a bounded recency grace — see [`Entry::score`]). Admission
+//! refuses any single result over a quarter of the budget, so one giant
+//! answer cannot wipe the whole cache for a miss that may never repeat.
 
 use crate::exec::ResultRows;
 use parking_lot::Mutex;
@@ -16,30 +25,80 @@ use std::collections::HashMap;
 /// Cache key: `(plan fingerprint, catalog version)`.
 pub(crate) type ResultKey = (u64, u64);
 
-/// Admission bound: results wider than this many `u64` slots (8 MiB) are
-/// never cached — the entry budget bounds *count*, this bounds the worst
-/// case per entry, so an engine cannot silently pin gigabytes of rows.
-pub(crate) const MAX_RESULT_SLOTS: usize = 1 << 20;
+/// Default total budget: 64 MiB of cached result rows.
+pub(crate) const DEFAULT_BUDGET_BYTES: usize = 64 << 20;
+
+/// Heap bytes a result occupies in the cache (rows dominate; the type
+/// vector and map entry are a fixed small overhead).
+pub(crate) fn entry_bytes(rows: &ResultRows) -> usize {
+    rows.rows.len() * 8 + rows.tys.len() + 64
+}
 
 struct Entry {
     rows: ResultRows,
+    bytes: usize,
     last_used: u64,
 }
 
+impl Entry {
+    /// Size-weighted eviction score (lower evicts first): recency plus a
+    /// small-size grace. The grace is capped at 8 ticks, so a tiny entry
+    /// can outlive the plain LRU order only briefly, while entries above
+    /// ~1/128 of the budget get no grace at all and are evicted in pure
+    /// recency order.
+    fn score(&self, budget: usize) -> u64 {
+        let grace = (budget as u64 / (self.bytes as u64 * 128 + 1)).min(8);
+        self.last_used + grace
+    }
+}
+
 struct Inner {
-    capacity: usize,
+    budget: usize,
+    used: usize,
     tick: u64,
     map: HashMap<ResultKey, Entry>,
 }
 
-/// A bounded LRU cache of query results, owned by the `Engine`.
+impl Inner {
+    fn evict_to_budget(&mut self) {
+        while self.used > self.budget && !self.map.is_empty() {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.score(self.budget))
+                .map(|(k, _)| *k)
+                .expect("non-empty over-budget cache");
+            if let Some(e) = self.map.remove(&victim) {
+                self.used -= e.bytes;
+            }
+        }
+    }
+}
+
+/// A byte-budgeted, size-weighted-LRU cache of query results, owned by the
+/// `Engine`.
 pub(crate) struct ResultCache {
     inner: Mutex<Inner>,
 }
 
 impl ResultCache {
-    pub fn new(capacity: usize) -> ResultCache {
-        ResultCache { inner: Mutex::new(Inner { capacity, tick: 0, map: HashMap::new() }) }
+    pub fn new(budget_bytes: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                budget: budget_bytes,
+                used: 0,
+                tick: 0,
+                map: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Whether a result of `bytes` would be admitted at all — callers
+    /// check *before* cloning the rows; [`put`](ResultCache::put) is the
+    /// backstop. The per-entry ceiling is a quarter of the budget.
+    pub fn admits(&self, bytes: usize) -> bool {
+        let g = self.inner.lock();
+        g.budget > 0 && bytes <= g.budget / 4
     }
 
     /// Look up a result, marking the entry most-recently-used on a hit.
@@ -52,57 +111,58 @@ impl ResultCache {
         Some(e.rows.clone())
     }
 
-    /// Insert a result, evicting least-recently-used entries beyond the
-    /// capacity. A capacity of zero disables the cache entirely; results
-    /// over [`MAX_RESULT_SLOTS`] are refused (callers check the bound
-    /// *before* cloning the rows — this guard is the backstop).
+    /// Insert a result, evicting by size-weighted LRU until the total is
+    /// back under budget. A zero budget disables the cache entirely;
+    /// over-ceiling results (see [`admits`](ResultCache::admits)) are
+    /// refused.
     pub fn put(&self, key: ResultKey, rows: ResultRows) {
-        if rows.rows.len() > MAX_RESULT_SLOTS {
-            return;
-        }
+        let bytes = entry_bytes(&rows);
         let mut g = self.inner.lock();
-        if g.capacity == 0 {
+        if g.budget == 0 || bytes > g.budget / 4 {
             return;
         }
         g.tick += 1;
         let tick = g.tick;
-        g.map.insert(key, Entry { rows, last_used: tick });
-        while g.map.len() > g.capacity {
-            // Small caches: a linear LRU scan beats maintaining an
-            // intrusive list.
-            let oldest = g
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| *k)
-                .expect("non-empty over-capacity cache");
-            g.map.remove(&oldest);
+        if let Some(old) = g.map.insert(key, Entry { rows, bytes, last_used: tick }) {
+            g.used -= old.bytes;
         }
+        g.used += bytes;
+        g.evict_to_budget();
     }
 
     /// Drop every entry that was not produced at `version` — called after
     /// a catalog mutation, when the stale keys can never be requested
     /// again.
     pub fn retain_version(&self, version: u64) {
-        self.inner.lock().map.retain(|&(_, v), _| v == version);
+        let mut g = self.inner.lock();
+        let mut freed = 0usize;
+        g.map.retain(|&(_, v), e| {
+            let keep = v == version;
+            if !keep {
+                freed += e.bytes;
+            }
+            keep
+        });
+        g.used -= freed;
     }
 
     pub fn len(&self) -> usize {
         self.inner.lock().map.len()
     }
 
-    pub fn set_capacity(&self, capacity: usize) {
+    /// Bytes currently pinned by cached results.
+    pub fn bytes_used(&self) -> usize {
+        self.inner.lock().used
+    }
+
+    /// Re-bound the cache (0 disables it; shrinking evicts immediately).
+    pub fn set_budget(&self, budget_bytes: usize) {
         let mut g = self.inner.lock();
-        g.capacity = capacity;
-        while g.map.len() > g.capacity {
-            let oldest = g
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| *k)
-                .expect("non-empty over-capacity cache");
-            g.map.remove(&oldest);
-        }
+        g.budget = budget_bytes;
+        g.evict_to_budget();
+        // Every entry costs at least its fixed overhead, so a zero budget
+        // necessarily drained the map above.
+        debug_assert!(budget_bytes > 0 || g.map.is_empty());
     }
 }
 
@@ -111,44 +171,96 @@ mod tests {
     use super::*;
     use crate::plan::FieldTy;
 
-    fn rows(v: u64) -> ResultRows {
-        ResultRows { tys: vec![FieldTy::I64], rows: vec![v] }
+    fn rows_of(v: u64, n: usize) -> ResultRows {
+        ResultRows { tys: vec![FieldTy::I64], rows: vec![v; n] }
     }
 
     #[test]
     fn lru_evicts_the_coldest_entry() {
-        let c = ResultCache::new(2);
-        c.put((1, 0), rows(1));
-        c.put((2, 0), rows(2));
+        // Budget fits four of the five same-sized entries (each under the
+        // quarter-budget admission ceiling).
+        let one = entry_bytes(&rows_of(0, 1000));
+        let c = ResultCache::new(4 * one + one / 2);
+        for k in 1..=4 {
+            c.put((k, 0), rows_of(k, 1000));
+        }
         assert!(c.get((1, 0)).is_some()); // touch 1 → 2 is now coldest
-        c.put((3, 0), rows(3));
-        assert_eq!(c.len(), 2);
+        c.put((5, 0), rows_of(5, 1000));
+        assert_eq!(c.len(), 4);
         assert!(c.get((2, 0)).is_none(), "LRU entry must be evicted");
-        assert!(c.get((1, 0)).is_some());
-        assert!(c.get((3, 0)).is_some());
+        for k in [1, 3, 4, 5] {
+            assert!(c.get((k, 0)).is_some(), "entry {k} must survive");
+        }
+    }
+
+    #[test]
+    fn size_weight_prefers_evicting_the_large_entry() {
+        // A tiny entry older than a large one: when space is needed the
+        // large entry goes first (the tiny one is within its recency
+        // grace), even though pure LRU would evict the tiny one.
+        let c = ResultCache::new(100_000);
+        c.put((1, 0), rows_of(1, 1)); // tiny, oldest
+        c.put((2, 0), rows_of(2, 3000)); // large, newer
+        for k in 3..=6 {
+            c.put((k, 0), rows_of(k, 3000)); // fill until over budget
+        }
+        assert!(c.get((1, 0)).is_some(), "tiny old entry survives (grace)");
+        assert!(c.get((2, 0)).is_none(), "large entry is the size-weighted victim");
+        for k in 3..=6 {
+            assert!(c.get((k, 0)).is_some(), "entry {k} must survive");
+        }
+    }
+
+    #[test]
+    fn bytes_are_accounted_across_replace_and_retain() {
+        let c = ResultCache::new(1 << 20);
+        c.put((1, 0), rows_of(1, 100));
+        c.put((1, 0), rows_of(1, 200)); // replace: old bytes released
+        assert_eq!(c.bytes_used(), entry_bytes(&rows_of(1, 200)));
+        c.put((2, 1), rows_of(2, 50));
+        c.retain_version(1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes_used(), entry_bytes(&rows_of(2, 50)));
     }
 
     #[test]
     fn version_mismatch_is_a_miss_and_retain_purges() {
-        let c = ResultCache::new(4);
-        c.put((7, 0), rows(7));
+        let c = ResultCache::new(1 << 20);
+        c.put((7, 0), rows_of(7, 1));
         assert!(c.get((7, 1)).is_none(), "newer catalog version must miss");
         c.retain_version(1);
         assert_eq!(c.len(), 0);
+        assert_eq!(c.bytes_used(), 0);
     }
 
     #[test]
-    fn zero_capacity_disables_caching() {
+    fn zero_budget_disables_caching() {
         let c = ResultCache::new(0);
-        c.put((1, 0), rows(1));
+        assert!(!c.admits(8));
+        c.put((1, 0), rows_of(1, 1));
         assert!(c.get((1, 0)).is_none());
     }
 
     #[test]
     fn oversized_results_are_refused() {
-        let c = ResultCache::new(4);
-        let huge = ResultRows { tys: vec![FieldTy::I64], rows: vec![0; MAX_RESULT_SLOTS + 1] };
-        c.put((1, 0), huge);
-        assert_eq!(c.len(), 0, "an over-budget result must not be admitted");
+        let c = ResultCache::new(4096);
+        assert!(!c.admits(2048), "over a quarter of the budget");
+        c.put((1, 0), rows_of(0, 1000)); // ~8 KB > 1 KB ceiling
+        assert_eq!(c.len(), 0, "an over-ceiling result must not be admitted");
+    }
+
+    #[test]
+    fn shrinking_the_budget_evicts_immediately() {
+        let c = ResultCache::new(1 << 20);
+        for k in 0..8 {
+            c.put((k, 0), rows_of(k, 1000));
+        }
+        assert_eq!(c.len(), 8);
+        let two = 2 * entry_bytes(&rows_of(0, 1000)) + 1;
+        c.set_budget(two);
+        assert!(c.len() <= 2, "shrink must evict down to the new budget");
+        assert!(c.bytes_used() <= two);
+        c.set_budget(0);
+        assert_eq!(c.len(), 0);
     }
 }

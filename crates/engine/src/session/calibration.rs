@@ -61,8 +61,11 @@ fn blend(old: &CostModel, new: &CostModel) -> CostModel {
         unopt_per_instr_s: mix(old.unopt_per_instr_s, new.unopt_per_instr_s),
         opt_base_s: mix(old.opt_base_s, new.opt_base_s),
         opt_per_instr_s: mix(old.opt_per_instr_s, new.opt_per_instr_s),
+        native_base_s: mix(old.native_base_s, new.native_base_s),
+        native_per_instr_s: mix(old.native_per_instr_s, new.native_per_instr_s),
         speedup_unopt: mix(old.speedup_unopt, new.speedup_unopt),
         speedup_opt: mix(old.speedup_opt, new.speedup_opt),
+        speedup_native: mix(old.speedup_native, new.speedup_native),
     }
 }
 

@@ -46,9 +46,6 @@ use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Default bound of the engine's result cache, in entries.
-const DEFAULT_RESULT_CACHE_ENTRIES: usize = 32;
-
 /// Everything sessions share. `Arc`-held by every [`Session`] and
 /// [`PreparedQuery`], so prepared statements stay valid for as long as
 /// anything still references the engine.
@@ -77,18 +74,29 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// An engine over `catalog` with default [`ExecOptions`].
+    /// An engine over `catalog` with default [`ExecOptions`] and the
+    /// default result-cache budget.
     pub fn new(catalog: Catalog) -> Engine {
         Engine::with_defaults(catalog, ExecOptions::default())
     }
 
     /// An engine whose sessions start from `defaults`.
     pub fn with_defaults(catalog: Catalog, defaults: ExecOptions) -> Engine {
+        Engine::with_result_cache_budget(catalog, defaults, cache::DEFAULT_BUDGET_BYTES)
+    }
+
+    /// An engine with an explicit result-cache byte budget (0 disables
+    /// result caching entirely).
+    pub fn with_result_cache_budget(
+        catalog: Catalog,
+        defaults: ExecOptions,
+        cache_budget_bytes: usize,
+    ) -> Engine {
         Engine {
             shared: Arc::new(EngineShared {
                 catalog: RwLock::new(catalog),
                 calibration: CalibrationStore::new(),
-                results: ResultCache::new(DEFAULT_RESULT_CACHE_ENTRIES),
+                results: ResultCache::new(cache_budget_bytes),
                 defaults,
             }),
         }
@@ -135,9 +143,15 @@ impl Engine {
         self.shared.results.len()
     }
 
-    /// Re-bound the result cache (0 disables it; shrinking evicts LRU).
-    pub fn set_result_cache_capacity(&self, entries: usize) {
-        self.shared.results.set_capacity(entries);
+    /// Bytes currently pinned by cached results.
+    pub fn result_cache_bytes(&self) -> usize {
+        self.shared.results.bytes_used()
+    }
+
+    /// Re-bound the result cache's byte budget (0 disables it; shrinking
+    /// evicts by size-weighted LRU immediately).
+    pub fn set_result_cache_budget(&self, budget_bytes: usize) {
+        self.shared.results.set_budget(budget_bytes);
     }
 }
 
@@ -329,7 +343,7 @@ impl Session {
         if default_model {
             self.shared.calibration.absorb(shape, &report.calibration);
         }
-        if cacheable && rows.rows.len() <= cache::MAX_RESULT_SLOTS {
+        if cacheable && self.shared.results.admits(cache::entry_bytes(&rows)) {
             self.shared.results.put(key, rows.clone());
         }
         Ok((rows, report))
@@ -368,7 +382,9 @@ impl PreparedQuery {
             None => vec![ExecLevel::Interpreted; self.plan.pipelines.len()],
             Some(s) => (0..s.functions.len())
                 .map(|i| {
-                    if s.opt[i].is_some() {
+                    if s.native[i].is_some() {
+                        ExecLevel::Native
+                    } else if s.opt[i].is_some() {
                         ExecLevel::Optimized
                     } else if s.unopt[i].is_some() {
                         ExecLevel::Unoptimized
@@ -396,6 +412,10 @@ struct CompiledState {
     /// Backends a prior run compiled (background or up-front), per level.
     unopt: Vec<Option<Arc<dyn PipelineBackend>>>,
     opt: Vec<Option<Arc<dyn PipelineBackend>>>,
+    /// Native machine-code backends (rank 4). On targets without the
+    /// emitter these slots stay `None` and `ExecMode::Native` aliases to
+    /// the optimized threaded level.
+    native: Vec<Option<Arc<dyn PipelineBackend>>>,
 }
 
 /// The plan's table scans must still line up with the (possibly mutated)
@@ -471,6 +491,7 @@ impl CompiledState {
             bytecode: vec![None; n],
             unopt: vec![None; n],
             opt: vec![None; n],
+            native: vec![None; n],
         })
     }
 
@@ -529,20 +550,17 @@ impl CompiledState {
                 let t0 = Instant::now();
                 let mut hs = Vec::with_capacity(n);
                 for i in 0..n {
-                    let slot = match level {
-                        OptLevel::Unoptimized => &mut self.unopt[i],
-                        OptLevel::Optimized => &mut self.opt[i],
-                    };
-                    let backend = match slot {
-                        Some(b) => b.clone(),
-                        None => {
-                            let cf = compile(&self.functions[i], &self.externs, level)
-                                .map_err(|e| ExecError::Compile(e.to_string()))?;
-                            let b: Arc<dyn PipelineBackend> = Arc::new(cf);
-                            *slot = Some(b.clone());
-                            b
-                        }
-                    };
+                    let backend = self.threaded_backend(i, level)?;
+                    hs.push(Arc::new(FunctionHandle::new(backend)));
+                }
+                report.upfront_compile = t0.elapsed();
+                hs
+            }
+            ExecMode::Native => {
+                let t0 = Instant::now();
+                let mut hs = Vec::with_capacity(n);
+                for i in 0..n {
+                    let backend = self.native_backend(i)?;
                     hs.push(Arc::new(FunctionHandle::new(backend)));
                 }
                 report.upfront_compile = t0.elapsed();
@@ -554,16 +572,62 @@ impl CompiledState {
                 self.ensure_bytecode(report)?;
                 (0..n)
                     .map(|i| {
-                        let best =
-                            self.opt[i].clone().or_else(|| self.unopt[i].clone()).unwrap_or_else(
-                                || self.bytecode[i].clone().expect("bytecode just ensured"),
-                            );
+                        let best = self.native[i]
+                            .clone()
+                            .or_else(|| self.opt[i].clone())
+                            .or_else(|| self.unopt[i].clone())
+                            .unwrap_or_else(|| {
+                                self.bytecode[i].clone().expect("bytecode just ensured")
+                            });
                         Arc::new(FunctionHandle::new(best))
                     })
                     .collect()
             }
         };
         Ok(handles)
+    }
+
+    /// Pipeline `i`'s threaded-code backend at `level`, compiling and
+    /// retaining it if no prior run already did.
+    fn threaded_backend(
+        &mut self,
+        i: usize,
+        level: OptLevel,
+    ) -> Result<Arc<dyn PipelineBackend>, ExecError> {
+        let slot = match level {
+            OptLevel::Unoptimized => &mut self.unopt[i],
+            OptLevel::Optimized => &mut self.opt[i],
+        };
+        match slot {
+            Some(b) => Ok(b.clone()),
+            None => {
+                let cf = compile(&self.functions[i], &self.externs, level)
+                    .map_err(|e| ExecError::Compile(e.to_string()))?;
+                let b: Arc<dyn PipelineBackend> = Arc::new(cf);
+                *slot = Some(b.clone());
+                Ok(b)
+            }
+        }
+    }
+
+    /// Pipeline `i`'s native machine-code backend — or, where the emitter
+    /// is unavailable (non-x86-64 targets, `AQE_NATIVE=0`), the clean
+    /// fallback alias: the optimized threaded backend. A genuine compile
+    /// *failure* (as opposed to unavailability) also falls back rather
+    /// than failing the query, since `Optimized` is semantically
+    /// equivalent.
+    fn native_backend(&mut self, i: usize) -> Result<Arc<dyn PipelineBackend>, ExecError> {
+        if let Some(b) = &self.native[i] {
+            return Ok(b.clone());
+        }
+        match aqe_jit::native::compile_native(&self.functions[i], &self.externs) {
+            Ok(nf) => {
+                let b: Arc<dyn PipelineBackend> = Arc::new(nf);
+                self.native[i] = Some(b.clone());
+                Ok(b)
+            }
+            Err(_) => self.threaded_backend(i, OptLevel::Optimized),
+        }
     }
 
     /// After a run: retain whatever backends the controller published, so
@@ -574,6 +638,7 @@ impl CompiledState {
             match b.kind() {
                 ExecMode::Unoptimized => self.unopt[i] = Some(b),
                 ExecMode::Optimized => self.opt[i] = Some(b),
+                ExecMode::Native => self.native[i] = Some(b),
                 _ => {}
             }
         }

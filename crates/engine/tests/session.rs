@@ -368,3 +368,44 @@ fn deprecated_one_shot_shims_still_execute() {
         "caller-measured codegen carried through"
     );
 }
+
+#[test]
+fn native_mode_warms_prepared_query_to_rank_four() {
+    // One up-front Native run retains rank-4 backends in the prepared
+    // query (or the optimized alias where the emitter is unavailable); a
+    // later adaptive run starts every pipeline at that retained level.
+    let cat = tpch::generate(0.01);
+    let engine = Engine::new(cat.clone());
+    let session = engine.session();
+    let prepared = session.prepare(&wide_plan(20), vec![]);
+    let native_opts = ExecOptions {
+        mode: ExecMode::Native,
+        threads: 2,
+        cache_results: false,
+        ..Default::default()
+    };
+    let (rows_native, first) = session.execute_with(&prepared, &native_opts).expect("native run");
+    assert!(first.upfront_compile > Duration::ZERO, "the cold native run compiles up front");
+
+    let expect = if aqe_jit::native::enabled() { ExecLevel::Native } else { ExecLevel::Optimized };
+    assert!(
+        prepared.levels().iter().all(|&l| l == expect),
+        "retained levels {:?}, expected all {expect:?}",
+        prepared.levels()
+    );
+
+    let warm = ExecOptions {
+        mode: ExecMode::Adaptive,
+        threads: 2,
+        cache_results: false,
+        ..Default::default()
+    };
+    let (rows_warm, report) = session.execute_with(&prepared, &warm).expect("warm adaptive run");
+    assert!(
+        report.sched.iter().all(|s| s.start_level == expect),
+        "warm adaptive run must start at the retained level: {:?}",
+        report.sched.iter().map(|s| s.start_level).collect::<Vec<_>>()
+    );
+    assert_eq!(report.background_compiles, 0, "nothing above the retained level to compile to");
+    assert_eq!(rows_native.rows, rows_warm.rows);
+}

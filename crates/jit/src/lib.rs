@@ -1,25 +1,35 @@
-//! # aqe-jit — "machine code" backends (paper §II–III)
+//! # aqe-jit — machine-code backends (paper §II–III)
 //!
 //! The paper compiles worker functions to machine code with LLVM at two
 //! levels: **unoptimized** ("fast instruction selection, no IR optimization
 //! passes, low backend optimization level") and **optimized** (hand-picked
-//! IR passes + full backend optimization). No machine-code JIT is available
-//! in this environment, so this crate substitutes the closest synthetic
-//! equivalent (see DESIGN.md §2): translation to *pre-decoded threaded code*
-//! executed with superinstruction packing.
+//! IR passes + full backend optimization). This crate provides three
+//! compiled tiers above the bytecode VM (see DESIGN.md §2 and §7):
 //!
-//! The substitution preserves the three properties the paper's evaluation
-//! depends on:
+//! * the two threaded-code levels ([`compile()`] at [`OptLevel`]):
+//!   translation to *pre-decoded threaded code* executed with
+//!   superinstruction packing — the portable stand-ins for the paper's two
+//!   LLVM levels;
+//! * [`mod@native`] — a real x86-64 machine-code tier ([`compile_native`],
+//!   `ExecMode::Native`, rank 4): the optimized step stream lowered to
+//!   actual instructions in executable pages, `cfg`-gated to x86-64 Linux
+//!   with a clean fallback alias to `Optimized` elsewhere.
+//!
+//! The tiers preserve the three properties the paper's evaluation depends
+//! on:
 //!
 //! 1. **Cost ordering & scaling** — unoptimized compilation is a strictly
 //!    linear pipeline (lowering + packing), while optimized compilation runs
 //!    a real optimization pass pipeline plus an interference-graph register
 //!    coalescer whose super-linear cost reproduces why LLVM `-O2` explodes
-//!    on huge machine-generated queries (§V-E, Fig. 15).
-//! 2. **Speed ordering** — optimized code executes fewer, fatter steps than
-//!    unoptimized code, which executes fewer dispatches than the bytecode
-//!    VM; absolute ratios are smaller than real machine code and are
-//!    reported honestly in EXPERIMENTS.md.
+//!    on huge machine-generated queries (§V-E, Fig. 15); native compilation
+//!    adds instruction emission on top of the optimized pipeline and is the
+//!    most expensive level.
+//! 2. **Speed ordering** — native machine code eliminates dispatch
+//!    entirely and outruns optimized threaded code, which executes fewer,
+//!    fatter steps than unoptimized code, which executes fewer dispatches
+//!    than the bytecode VM (measured ratios in EXPERIMENTS.md and
+//!    `BENCH_PR4.json`).
 //! 3. **Identical semantics** — all backends execute the same IR with the
 //!    same traps, so the adaptive engine can switch a pipeline mid-flight
 //!    without losing work (§III-B).
@@ -28,8 +38,10 @@ pub mod coalesce;
 pub mod compile;
 pub mod emit;
 pub mod exec;
+pub mod native;
 pub mod passes;
 
 pub use compile::{compile, CompileStats, CompiledFunction, OptLevel};
 pub use exec::execute_compiled;
+pub use native::{compile_native, NativeError, NativeFunction, NativeStats};
 pub use passes::{optimize, PassStats};

@@ -1,0 +1,626 @@
+//! A minimal x86-64 instruction encoder.
+//!
+//! Exactly the subset the lowering in [`super::lower`] needs: 64-bit moves
+//! and ALU ops, width-extending loads and width-exact stores against
+//! `[base + disp]` operands, comparisons with `setcc`/`cmovcc`, shifts,
+//! `idiv`/`div`, scalar-double SSE2 arithmetic, and rel32 control flow with
+//! label fixups. Registers and memory operands are encoded from first
+//! principles (REX / ModRM / SIB); `r12`-as-base (which forces a SIB byte)
+//! and `r13`-as-base (which forces a displacement) are handled by always
+//! emitting an explicit disp8/disp32.
+
+/// General-purpose registers with their hardware encodings.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+#[allow(dead_code, missing_docs)]
+pub enum Reg {
+    Rax = 0,
+    Rcx = 1,
+    Rdx = 2,
+    Rbx = 3,
+    Rsp = 4,
+    Rbp = 5,
+    Rsi = 6,
+    Rdi = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Reg {
+    #[inline]
+    fn low(self) -> u8 {
+        self as u8 & 7
+    }
+    #[inline]
+    fn hi(self) -> bool {
+        self as u8 >= 8
+    }
+}
+
+/// SSE registers (only two scratch slots are ever needed).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Xmm {
+    Xmm0 = 0,
+    Xmm1 = 1,
+}
+
+/// Two-operand integer ALU operations, encoded via their `r, r/m` opcode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum Alu {
+    Add,
+    Or,
+    And,
+    Sub,
+    Xor,
+    Cmp,
+}
+
+impl Alu {
+    /// `op r64, r/m64` opcode byte.
+    fn rr64(self) -> u8 {
+        match self {
+            Alu::Add => 0x03,
+            Alu::Or => 0x0B,
+            Alu::And => 0x23,
+            Alu::Sub => 0x2B,
+            Alu::Xor => 0x33,
+            Alu::Cmp => 0x3B,
+        }
+    }
+    /// `/n` extension for the `81 /n` imm32 form.
+    fn ext(self) -> u8 {
+        match self {
+            Alu::Add => 0,
+            Alu::Or => 1,
+            Alu::And => 4,
+            Alu::Sub => 5,
+            Alu::Xor => 6,
+            Alu::Cmp => 7,
+        }
+    }
+}
+
+/// Shift operations (`D3 /n` by `cl`, `C1 /n` by imm8).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum Shift {
+    Shl,
+    Shr,
+    Sar,
+}
+
+impl Shift {
+    fn ext(self) -> u8 {
+        match self {
+            Shift::Shl => 4,
+            Shift::Shr => 5,
+            Shift::Sar => 7,
+        }
+    }
+}
+
+/// Scalar-double SSE2 arithmetic (`F2 0F xx`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum Sse {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl Sse {
+    fn opcode(self) -> u8 {
+        match self {
+            Sse::Add => 0x58,
+            Sse::Sub => 0x5C,
+            Sse::Mul => 0x59,
+            Sse::Div => 0x5E,
+        }
+    }
+}
+
+/// Condition codes (the low nibble of `0F 8x` / `0F 9x`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+#[allow(dead_code, missing_docs)]
+pub enum Cc {
+    O = 0x0,
+    No = 0x1,
+    B = 0x2,
+    Ae = 0x3,
+    E = 0x4,
+    Ne = 0x5,
+    Be = 0x6,
+    A = 0x7,
+    S = 0x8,
+    Ns = 0x9,
+    P = 0xA,
+    Np = 0xB,
+    L = 0xC,
+    Ge = 0xD,
+    Le = 0xE,
+    G = 0xF,
+}
+
+/// A forward-referencable jump target.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Label(usize);
+
+/// The code buffer plus label bookkeeping.
+#[derive(Default)]
+pub struct Asm {
+    code: Vec<u8>,
+    /// Bound offsets per label (`usize::MAX` = unbound).
+    labels: Vec<usize>,
+    /// `(offset of rel32 field, target label)`.
+    fixups: Vec<(usize, Label)>,
+}
+
+impl Asm {
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Allocate an unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(usize::MAX);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind `l` to the current position.
+    pub fn bind(&mut self, l: Label) {
+        debug_assert_eq!(self.labels[l.0], usize::MAX, "label bound twice");
+        self.labels[l.0] = self.code.len();
+    }
+
+    /// Patch every rel32 fixup and return the finished code.
+    pub fn finish(mut self) -> Result<Vec<u8>, String> {
+        for &(pos, l) in &self.fixups {
+            let target = self.labels[l.0];
+            if target == usize::MAX {
+                return Err(format!("unbound label {l:?}"));
+            }
+            let rel = target as i64 - (pos as i64 + 4);
+            let rel32 = i32::try_from(rel).map_err(|_| "jump out of rel32 range".to_string())?;
+            self.code[pos..pos + 4].copy_from_slice(&rel32.to_le_bytes());
+        }
+        Ok(self.code)
+    }
+
+    // ---- raw emission helpers ------------------------------------------
+
+    #[inline]
+    fn byte(&mut self, b: u8) {
+        self.code.push(b);
+    }
+
+    #[inline]
+    fn bytes(&mut self, bs: &[u8]) {
+        self.code.extend_from_slice(bs);
+    }
+
+    /// REX prefix; emitted only when any field is set (or when `force`
+    /// demands one, e.g. for `sil`/`dil`-class byte registers — unused
+    /// here since all byte scratch lives in `al`/`cl`/`dl`).
+    #[inline]
+    fn rex(&mut self, w: bool, r: bool, x: bool, b: bool) {
+        if w || r || x || b {
+            self.byte(0x40 | (w as u8) << 3 | (r as u8) << 2 | (x as u8) << 1 | b as u8);
+        }
+    }
+
+    /// ModRM (+SIB) + disp for a `[base + disp]` operand with `reg` in the
+    /// reg field. Always uses an explicit disp8/disp32, which sidesteps
+    /// the `rbp`/`r13` no-displacement special case; `rsp`/`r12` bases get
+    /// their mandatory SIB byte.
+    fn modrm_mem(&mut self, reg: u8, base: Reg, disp: i32) {
+        let (modbits, small) =
+            if (-128..=127).contains(&disp) { (0b01u8, true) } else { (0b10u8, false) };
+        let base_low = base.low();
+        if base_low == 4 {
+            self.byte(modbits << 6 | (reg & 7) << 3 | 0b100);
+            self.byte(0b00_100_100); // scale 1, no index, base = rsp/r12
+        } else {
+            self.byte(modbits << 6 | (reg & 7) << 3 | base_low);
+        }
+        if small {
+            self.byte(disp as i8 as u8);
+        } else {
+            self.bytes(&disp.to_le_bytes());
+        }
+    }
+
+    #[inline]
+    fn modrm_rr(&mut self, reg: u8, rm: u8) {
+        self.byte(0b11 << 6 | (reg & 7) << 3 | (rm & 7));
+    }
+
+    /// Generic `opcode /r` with a memory operand: optional legacy prefix,
+    /// REX, multi-byte opcode, ModRM.
+    fn op_mem(
+        &mut self,
+        prefix: Option<u8>,
+        w: bool,
+        opcode: &[u8],
+        reg: u8,
+        base: Reg,
+        disp: i32,
+    ) {
+        if let Some(p) = prefix {
+            self.byte(p);
+        }
+        self.rex(w, reg >= 8, false, base.hi());
+        self.bytes(opcode);
+        self.modrm_mem(reg, base, disp);
+    }
+
+    /// Generic `opcode /r` register-register.
+    fn op_rr(&mut self, prefix: Option<u8>, w: bool, opcode: &[u8], reg: u8, rm: u8) {
+        if let Some(p) = prefix {
+            self.byte(p);
+        }
+        self.rex(w, reg >= 8, false, rm >= 8);
+        self.bytes(opcode);
+        self.modrm_rr(reg, rm);
+    }
+
+    // ---- moves ----------------------------------------------------------
+
+    /// `mov r64, imm` choosing the shortest encoding.
+    pub fn mov_ri(&mut self, dst: Reg, imm: u64) {
+        if imm <= u32::MAX as u64 {
+            // mov r32, imm32 zero-extends.
+            self.rex(false, false, false, dst.hi());
+            self.byte(0xB8 + dst.low());
+            self.bytes(&(imm as u32).to_le_bytes());
+        } else if imm as i64 >= i32::MIN as i64 && imm as i64 <= i32::MAX as i64 {
+            // mov r/m64, imm32 (sign-extended).
+            self.rex(true, false, false, dst.hi());
+            self.byte(0xC7);
+            self.modrm_rr(0, dst.low());
+            self.bytes(&(imm as i64 as i32).to_le_bytes());
+        } else {
+            self.rex(true, false, false, dst.hi());
+            self.byte(0xB8 + dst.low());
+            self.bytes(&imm.to_le_bytes());
+        }
+    }
+
+    /// `mov r64, r64`.
+    pub fn mov_rr(&mut self, dst: Reg, src: Reg) {
+        self.op_rr(None, true, &[0x89], src as u8, dst as u8);
+    }
+
+    /// `mov r64, [base+disp]`.
+    pub fn load64(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.op_mem(None, true, &[0x8B], dst as u8, base, disp);
+    }
+
+    /// `mov r32, [base+disp]` (zero-extends to 64 bits).
+    pub fn load32zx(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.op_mem(None, false, &[0x8B], dst as u8, base, disp);
+    }
+
+    /// `movzx r64, word [base+disp]`.
+    pub fn load16zx(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.op_mem(None, true, &[0x0F, 0xB7], dst as u8, base, disp);
+    }
+
+    /// `movzx r64, byte [base+disp]`.
+    pub fn load8zx(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.op_mem(None, true, &[0x0F, 0xB6], dst as u8, base, disp);
+    }
+
+    /// `movsxd r64, dword [base+disp]`.
+    pub fn load32sx(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.op_mem(None, true, &[0x63], dst as u8, base, disp);
+    }
+
+    /// `movsx r64, word [base+disp]`.
+    pub fn load16sx(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.op_mem(None, true, &[0x0F, 0xBF], dst as u8, base, disp);
+    }
+
+    /// `movsx r64, byte [base+disp]`.
+    pub fn load8sx(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.op_mem(None, true, &[0x0F, 0xBE], dst as u8, base, disp);
+    }
+
+    /// `mov [base+disp], r64`.
+    pub fn store64(&mut self, base: Reg, disp: i32, src: Reg) {
+        self.op_mem(None, true, &[0x89], src as u8, base, disp);
+    }
+
+    /// `mov [base+disp], r32`.
+    pub fn store32(&mut self, base: Reg, disp: i32, src: Reg) {
+        self.op_mem(None, false, &[0x89], src as u8, base, disp);
+    }
+
+    /// `mov [base+disp], r16`.
+    pub fn store16(&mut self, base: Reg, disp: i32, src: Reg) {
+        self.op_mem(Some(0x66), false, &[0x89], src as u8, base, disp);
+    }
+
+    /// `mov [base+disp], r8`. `src` must be `al`/`cl`/`dl`/`bl` — the
+    /// REX-free byte registers (the lowering only uses those as scratch).
+    pub fn store8(&mut self, base: Reg, disp: i32, src: Reg) {
+        debug_assert!((src as u8) < 4, "byte store needs a low register");
+        self.op_mem(None, false, &[0x88], src as u8, base, disp);
+    }
+
+    /// `lea r64, [base+disp]`.
+    pub fn lea(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.op_mem(None, true, &[0x8D], dst as u8, base, disp);
+    }
+
+    // ---- integer ALU ----------------------------------------------------
+
+    /// 64-bit `op dst, src`.
+    pub fn alu_rr(&mut self, op: Alu, dst: Reg, src: Reg) {
+        self.op_rr(None, true, &[op.rr64()], dst as u8, src as u8);
+    }
+
+    /// 32-bit `op dst, src` (sets 32-bit flags; zero-extends `dst`).
+    pub fn alu32_rr(&mut self, op: Alu, dst: Reg, src: Reg) {
+        self.op_rr(None, false, &[op.rr64()], dst as u8, src as u8);
+    }
+
+    /// 8-bit `op dst, src` on the REX-free byte registers.
+    pub fn alu8_rr(&mut self, op: Alu, dst: Reg, src: Reg) {
+        debug_assert!((dst as u8) < 4 && (src as u8) < 4);
+        self.op_rr(None, false, &[op.rr64() - 1], dst as u8, src as u8);
+    }
+
+    /// 64-bit `op r, imm32` (sign-extended).
+    pub fn alu_ri(&mut self, op: Alu, reg: Reg, imm: i32) {
+        self.rex(true, false, false, reg.hi());
+        self.byte(0x81);
+        self.modrm_rr(op.ext(), reg.low());
+        self.bytes(&imm.to_le_bytes());
+    }
+
+    /// 32-bit `and r32, imm32` (used to mask shift counts).
+    pub fn and32_ri(&mut self, reg: Reg, imm: u32) {
+        self.rex(false, false, false, reg.hi());
+        self.byte(0x81);
+        self.modrm_rr(Alu::And.ext(), reg.low());
+        self.bytes(&imm.to_le_bytes());
+    }
+
+    /// `imul r64, r64`.
+    pub fn imul_rr(&mut self, dst: Reg, src: Reg) {
+        self.op_rr(None, true, &[0x0F, 0xAF], dst as u8, src as u8);
+    }
+
+    /// 32-bit `imul r32, r32` (sets OF on 32-bit overflow).
+    pub fn imul32_rr(&mut self, dst: Reg, src: Reg) {
+        self.op_rr(None, false, &[0x0F, 0xAF], dst as u8, src as u8);
+    }
+
+    /// `imul r64, r64, imm32`.
+    pub fn imul_rri(&mut self, dst: Reg, src: Reg, imm: i32) {
+        self.rex(true, dst.hi(), false, src.hi());
+        self.byte(0x69);
+        self.modrm_rr(dst.low(), src.low());
+        self.bytes(&imm.to_le_bytes());
+    }
+
+    /// 64-bit shift by `cl`.
+    pub fn shift_cl(&mut self, op: Shift, reg: Reg) {
+        self.rex(true, false, false, reg.hi());
+        self.byte(0xD3);
+        self.modrm_rr(op.ext(), reg.low());
+    }
+
+    /// 64-bit shift by immediate.
+    pub fn shift_i(&mut self, op: Shift, reg: Reg, imm: u8) {
+        self.rex(true, false, false, reg.hi());
+        self.byte(0xC1);
+        self.modrm_rr(op.ext(), reg.low());
+        self.byte(imm);
+    }
+
+    /// 64-bit `test a, b`.
+    pub fn test_rr(&mut self, a: Reg, b: Reg) {
+        self.op_rr(None, true, &[0x85], b as u8, a as u8);
+    }
+
+    /// 8-bit `test a, b` on low byte registers.
+    pub fn test8_rr(&mut self, a: Reg, b: Reg) {
+        debug_assert!((a as u8) < 4 && (b as u8) < 4);
+        self.op_rr(None, false, &[0x84], b as u8, a as u8);
+    }
+
+    /// `setcc r8` on a low byte register.
+    pub fn setcc(&mut self, cc: Cc, reg: Reg) {
+        debug_assert!((reg as u8) < 4, "setcc needs a low register");
+        self.bytes(&[0x0F, 0x90 + cc as u8]);
+        self.modrm_rr(0, reg.low());
+    }
+
+    /// `cmovcc r64, r64`.
+    pub fn cmovcc(&mut self, cc: Cc, dst: Reg, src: Reg) {
+        self.op_rr(None, true, &[0x0F, 0x40 + cc as u8], dst as u8, src as u8);
+    }
+
+    /// `cqo` (sign-extend rax into rdx:rax).
+    pub fn cqo(&mut self) {
+        self.bytes(&[0x48, 0x99]);
+    }
+
+    /// `idiv r64`.
+    pub fn idiv(&mut self, reg: Reg) {
+        self.rex(true, false, false, reg.hi());
+        self.byte(0xF7);
+        self.modrm_rr(7, reg.low());
+    }
+
+    /// `div r64`.
+    pub fn div(&mut self, reg: Reg) {
+        self.rex(true, false, false, reg.hi());
+        self.byte(0xF7);
+        self.modrm_rr(6, reg.low());
+    }
+
+    /// `xor r32, r32` — the canonical zero idiom.
+    pub fn zero(&mut self, reg: Reg) {
+        self.op_rr(None, false, &[0x33], reg as u8, reg as u8);
+    }
+
+    // ---- SSE2 scalar double ---------------------------------------------
+
+    /// `movsd xmm, [base+disp]`.
+    pub fn movsd_load(&mut self, dst: Xmm, base: Reg, disp: i32) {
+        self.op_mem(Some(0xF2), false, &[0x0F, 0x10], dst as u8, base, disp);
+    }
+
+    /// `movsd [base+disp], xmm`.
+    pub fn movsd_store(&mut self, base: Reg, disp: i32, src: Xmm) {
+        self.op_mem(Some(0xF2), false, &[0x0F, 0x11], src as u8, base, disp);
+    }
+
+    /// `addsd/subsd/mulsd/divsd xmm, [base+disp]`.
+    pub fn sse_mem(&mut self, op: Sse, dst: Xmm, base: Reg, disp: i32) {
+        self.op_mem(Some(0xF2), false, &[0x0F, op.opcode()], dst as u8, base, disp);
+    }
+
+    /// `addsd/subsd/mulsd/divsd xmm, xmm`.
+    pub fn sse_rr(&mut self, op: Sse, dst: Xmm, src: Xmm) {
+        self.op_rr(Some(0xF2), false, &[0x0F, op.opcode()], dst as u8, src as u8);
+    }
+
+    /// `ucomisd xmm, [base+disp]`.
+    pub fn ucomisd_mem(&mut self, a: Xmm, base: Reg, disp: i32) {
+        self.op_mem(Some(0x66), false, &[0x0F, 0x2E], a as u8, base, disp);
+    }
+
+    /// `cvtsi2sd xmm, r64`.
+    pub fn cvtsi2sd(&mut self, dst: Xmm, src: Reg) {
+        self.op_rr(Some(0xF2), true, &[0x0F, 0x2A], dst as u8, src as u8);
+    }
+
+    /// `movq xmm, r64`.
+    pub fn movq_xr(&mut self, dst: Xmm, src: Reg) {
+        self.op_rr(Some(0x66), true, &[0x0F, 0x6E], dst as u8, src as u8);
+    }
+
+    // ---- control flow ----------------------------------------------------
+
+    /// `jmp rel32` to a label.
+    pub fn jmp(&mut self, l: Label) {
+        self.byte(0xE9);
+        self.fixups.push((self.code.len(), l));
+        self.bytes(&[0; 4]);
+    }
+
+    /// `jcc rel32` to a label.
+    pub fn jcc(&mut self, cc: Cc, l: Label) {
+        self.bytes(&[0x0F, 0x80 + cc as u8]);
+        self.fixups.push((self.code.len(), l));
+        self.bytes(&[0; 4]);
+    }
+
+    /// `call r64`.
+    pub fn call_reg(&mut self, reg: Reg) {
+        self.rex(false, false, false, reg.hi());
+        self.byte(0xFF);
+        self.modrm_rr(2, reg.low());
+    }
+
+    /// `push r64`.
+    pub fn push(&mut self, reg: Reg) {
+        self.rex(false, false, false, reg.hi());
+        self.byte(0x50 + reg.low());
+    }
+
+    /// `pop r64`.
+    pub fn pop(&mut self, reg: Reg) {
+        self.rex(false, false, false, reg.hi());
+        self.byte(0x58 + reg.low());
+    }
+
+    /// `ret`.
+    pub fn ret(&mut self) {
+        self.byte(0xC3);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mov_ri_picks_short_encodings() {
+        let mut a = Asm::new();
+        a.mov_ri(Reg::Rax, 1); // 5-byte mov eax, imm32
+        assert_eq!(a.len(), 5);
+        let mut b = Asm::new();
+        b.mov_ri(Reg::Rax, u64::MAX); // 7-byte mov rax, imm32 sign-extended
+        assert_eq!(b.len(), 7);
+        let mut c = Asm::new();
+        c.mov_ri(Reg::Rax, 0x1234_5678_9abc_def0); // 10-byte movabs
+        assert_eq!(c.len(), 10);
+    }
+
+    #[test]
+    fn known_encodings() {
+        // Cross-checked against an external assembler.
+        let mut a = Asm::new();
+        a.load64(Reg::Rax, Reg::R12, 8); // mov rax, [r12+8]
+        assert_eq!(a.finish().unwrap(), vec![0x49, 0x8B, 0x44, 0x24, 0x08]);
+
+        let mut a = Asm::new();
+        a.store64(Reg::R13, 0, Reg::Rcx); // mov [r13+0], rcx
+        assert_eq!(a.finish().unwrap(), vec![0x49, 0x89, 0x4D, 0x00]);
+
+        let mut a = Asm::new();
+        a.alu_rr(Alu::Add, Reg::Rax, Reg::Rcx); // add rax, rcx
+        assert_eq!(a.finish().unwrap(), vec![0x48, 0x03, 0xC1]);
+
+        let mut a = Asm::new();
+        a.setcc(Cc::L, Reg::Rdx); // setl dl
+        assert_eq!(a.finish().unwrap(), vec![0x0F, 0x9C, 0xC2]);
+
+        let mut a = Asm::new();
+        a.movsd_load(Xmm::Xmm0, Reg::Rax, 16); // movsd xmm0, [rax+16]
+        assert_eq!(a.finish().unwrap(), vec![0xF2, 0x0F, 0x10, 0x40, 0x10]);
+    }
+
+    #[test]
+    fn labels_fix_up_forward_and_backward() {
+        let mut a = Asm::new();
+        let top = a.label();
+        let out = a.label();
+        a.bind(top);
+        a.jcc(Cc::E, out);
+        a.jmp(top);
+        a.bind(out);
+        let code = a.finish().unwrap();
+        // jcc at 0 (6 bytes), jmp at 6 (5 bytes), out at 11.
+        assert_eq!(&code[2..6], &5i32.to_le_bytes()); // 11 - (2+4)
+        assert_eq!(&code[7..11], &(-11i32).to_le_bytes()); // 0 - (7+4)
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Asm::new();
+        let l = a.label();
+        a.jmp(l);
+        assert!(a.finish().is_err());
+    }
+}

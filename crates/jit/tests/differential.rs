@@ -1,6 +1,9 @@
-//! Differential tests: compiled code (both levels) must behave identically
-//! to the naive IR interpreter — the §III-B requirement that lets the
-//! adaptive engine hot-swap execution modes mid-pipeline.
+//! Differential tests: compiled code (both threaded levels *and* the
+//! native machine-code tier) must behave identically to the naive IR
+//! interpreter — the §III-B requirement that lets the adaptive engine
+//! hot-swap execution modes mid-pipeline. Native coverage runs only where
+//! the emitter exists (x86-64 Linux, `AQE_NATIVE` not forcing fallback);
+//! elsewhere the same properties hold vacuously through the alias.
 
 use aqe_ir::{BinOp, CmpPred, Constant, Function, FunctionBuilder, Operand, OvfOp, Type, ValueId};
 use aqe_jit::compile::{compile, OptLevel};
@@ -152,6 +155,11 @@ proptest! {
             let got = execute_compiled(&cf, &args, &rt, &mut frame);
             prop_assert_eq!(expect, got, "level {:?}", level);
         }
+        if aqe_jit::native::enabled() {
+            let nf = aqe_jit::native::compile_native(&f, &[]).expect("native compilation");
+            let got = nf.call(&args, &rt, &mut frame);
+            prop_assert_eq!(expect, got, "native");
+        }
     }
 
     /// Compiled functions are pipeline backends: dispatched uniformly
@@ -169,12 +177,23 @@ proptest! {
         let expect = naive::interpret_pure(&f, &args);
         let rt = Registry::new();
         let mut frame = Frame::new();
-        for (level, kind) in [
-            (OptLevel::Unoptimized, ExecMode::Unoptimized),
-            (OptLevel::Optimized, ExecMode::Optimized),
-        ] {
-            let backend: Arc<dyn PipelineBackend> =
-                Arc::new(compile(&f, &[], level).expect("compilation"));
+        let mut backends: Vec<(Arc<dyn PipelineBackend>, ExecMode)> = vec![
+            (
+                Arc::new(compile(&f, &[], OptLevel::Unoptimized).expect("compilation")),
+                ExecMode::Unoptimized,
+            ),
+            (
+                Arc::new(compile(&f, &[], OptLevel::Optimized).expect("compilation")),
+                ExecMode::Optimized,
+            ),
+        ];
+        if aqe_jit::native::enabled() {
+            backends.push((
+                Arc::new(aqe_jit::native::compile_native(&f, &[]).expect("native compilation")),
+                ExecMode::Native,
+            ));
+        }
+        for (backend, kind) in backends {
             prop_assert_eq!(backend.kind(), kind);
             let got = backend.call(&args, &rt, &mut frame);
             prop_assert_eq!(&expect, &got, "kind {:?}", kind);
@@ -200,5 +219,83 @@ proptest! {
         let u = compile(&f, &[], OptLevel::Unoptimized).unwrap();
         let o = compile(&f, &[], OptLevel::Optimized).unwrap();
         prop_assert!(o.stats.ir_instrs_after <= u.stats.ir_instrs_before);
+    }
+}
+
+/// A worker-ABI-shaped accumulator: `f(ptr, begin, end)` folds
+/// `i*i ^ i` over `begin..end` into `[ptr]` with an overflow-checked add —
+/// the same memory-resident state a pipeline's aggregation keeps, so a
+/// range can be split across two backends exactly like a pipeline split
+/// across morsels.
+fn range_accum_fn() -> Function {
+    let mut b = FunctionBuilder::new("accum", &[Type::Ptr, Type::I64, Type::I64], None);
+    let p = b.param(0);
+    let begin = b.param(1);
+    let end = b.param(2);
+    b.counted_loop(begin.into(), end.into(), |b, iv| {
+        let sq = b.bin(BinOp::Mul, Type::I64, iv.into(), iv.into());
+        let v = b.bin(BinOp::Xor, Type::I64, sq.into(), iv.into());
+        let cur = b.load(Type::I64, p.into());
+        let sum = b.checked_arith(OvfOp::Add, Type::I64, cur.into(), v.into());
+        b.store(Type::I64, sum.into(), p.into());
+    });
+    b.ret(None);
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The §III-B hot-swap contract at the top of the ladder: running the
+    /// first part of a range on `Optimized` threaded code and the rest on
+    /// `Native` machine code must produce exactly the state and trap
+    /// behaviour of any single backend — including seeds chosen to
+    /// overflow mid-range, where *which half traps* must also agree.
+    #[test]
+    fn mid_morsel_switch_optimized_to_native_preserves_results_and_traps(
+        total in 0u64..400,
+        split_frac in 0u64..=100,
+        seed in prop_oneof![
+            Just(0i64),
+            any::<i64>(),
+            (0i64..1 << 20).prop_map(|d| i64::MAX - d), // near-overflow seeds
+        ],
+    ) {
+        let f = range_accum_fn();
+        let rt = Registry::new();
+        let mut frame = Frame::new();
+        let split = total * split_frac / 100;
+
+        // Reference: the whole split executed on the bytecode VM.
+        let bc = aqe_vm::translate::translate(&f, &[], aqe_vm::translate::TranslateOptions::default())
+            .expect("translate");
+        let mut run_pair = |first: &dyn PipelineBackend, second: &dyn PipelineBackend| {
+            let mut acc = [seed as u64];
+            let p = acc.as_mut_ptr() as u64;
+            let r1 = first.call(&[p, 0, split], &rt, &mut frame);
+            let r2 = match &r1 {
+                Ok(_) => Some(second.call(&[p, split, total], &rt, &mut frame)),
+                Err(_) => None, // the first half already trapped
+            };
+            (r1, r2, acc[0])
+        };
+        let reference = run_pair(&bc, &bc);
+
+        let opt = compile(&f, &[], OptLevel::Optimized).expect("compile optimized");
+        if aqe_jit::native::enabled() {
+            let nat = aqe_jit::native::compile_native(&f, &[]).expect("compile native");
+            let switched = run_pair(&opt, &nat);
+            prop_assert_eq!(&switched.0, &reference.0, "first-half status");
+            prop_assert_eq!(&switched.1, &reference.1, "second-half status");
+            prop_assert_eq!(switched.2, reference.2, "accumulated state");
+        } else {
+            // Fallback platforms: the alias pair (optimized → optimized)
+            // must satisfy the same contract.
+            let opt2 = compile(&f, &[], OptLevel::Optimized).expect("compile optimized");
+            let switched = run_pair(&opt, &opt2);
+            prop_assert_eq!(&switched.0, &reference.0, "first-half status");
+            prop_assert_eq!(&switched.1, &reference.1, "second-half status");
+            prop_assert_eq!(switched.2, reference.2, "accumulated state");
+        }
     }
 }

@@ -5,8 +5,9 @@
 //! [`PipelineBackend`]. The engine's morsel loop calls through a single
 //! `Arc<dyn PipelineBackend>` handle and never branches on the mode; the
 //! adaptive controller switches a pipeline mid-flight by atomically
-//! publishing a different backend into that handle. Future backends
-//! (native codegen, remote execution) plug in by implementing this trait.
+//! publishing a different backend into that handle. The native x86-64
+//! machine-code tier (`aqe-jit`'s `native` module) plugged in exactly
+//! this way; future backends (remote execution) would too.
 //!
 //! The trait lives here, at the bottom of the crate stack, because its
 //! vocabulary types ([`Frame`], [`Registry`], [`ExecError`]) do and because
@@ -16,7 +17,7 @@ use crate::interp::{ExecError, Frame};
 use crate::rt::Registry;
 
 /// How to execute a query (Fig. 3's modes plus the two interpreter
-/// baselines of Fig. 2). The first four name concrete backends; `Adaptive`
+/// baselines of Fig. 2). The first five name concrete backends; `Adaptive`
 /// is the engine policy that starts at `Bytecode` and upgrades at runtime.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum ExecMode {
@@ -28,6 +29,10 @@ pub enum ExecMode {
     Unoptimized,
     /// Compile every pipeline with optimization up front.
     Optimized,
+    /// Real machine code: the x86-64 emitter in `aqe-jit`'s `native`
+    /// module. On targets without the emitter the engine aliases this
+    /// mode to `Optimized` threaded code.
+    Native,
     /// The paper's contribution: start in bytecode, switch adaptively.
     Adaptive,
 }
@@ -42,18 +47,20 @@ impl ExecMode {
             ExecMode::Bytecode | ExecMode::Adaptive => 1,
             ExecMode::Unoptimized => 2,
             ExecMode::Optimized => 3,
+            ExecMode::Native => 4,
         }
     }
 
     /// Compact code used in execution traces (Fig. 14): 0 = bytecode,
-    /// 1 = unoptimized, 2 = optimized, 3 = naive IR. (255 marks a
-    /// compilation event and never names a backend.)
+    /// 1 = unoptimized, 2 = optimized, 3 = naive IR, 4 = native machine
+    /// code. (255 marks a compilation event and never names a backend.)
     pub fn trace_kind(self) -> u8 {
         match self {
             ExecMode::Bytecode | ExecMode::Adaptive => 0,
             ExecMode::Unoptimized => 1,
             ExecMode::Optimized => 2,
             ExecMode::NaiveIr => 3,
+            ExecMode::Native => 4,
         }
     }
 }
@@ -92,6 +99,7 @@ mod tests {
         assert!(ExecMode::NaiveIr.rank() < ExecMode::Bytecode.rank());
         assert!(ExecMode::Bytecode.rank() < ExecMode::Unoptimized.rank());
         assert!(ExecMode::Unoptimized.rank() < ExecMode::Optimized.rank());
+        assert!(ExecMode::Optimized.rank() < ExecMode::Native.rank());
         assert_eq!(ExecMode::Adaptive.rank(), ExecMode::Bytecode.rank());
     }
 
@@ -101,6 +109,7 @@ mod tests {
         assert_eq!(ExecMode::Unoptimized.trace_kind(), 1);
         assert_eq!(ExecMode::Optimized.trace_kind(), 2);
         assert_eq!(ExecMode::NaiveIr.trace_kind(), 3);
+        assert_eq!(ExecMode::Native.trace_kind(), 4);
     }
 
     #[test]

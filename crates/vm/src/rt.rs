@@ -98,6 +98,14 @@ impl Registry {
         self.fns[idx]
     }
 
+    /// Base pointer of the function table, for generated machine code that
+    /// indexes runtime calls directly (`aqe-jit`'s native backend). Only
+    /// indices the translator validated may be dereferenced through it.
+    #[inline]
+    pub fn fns_ptr(&self) -> *const RtFn {
+        self.fns.as_ptr()
+    }
+
     /// Validate that a call with `idx` and `nargs` matches a registered
     /// declaration; used by the translator.
     pub fn check_call(

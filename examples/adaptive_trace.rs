@@ -51,6 +51,7 @@ fn main() {
             1 => "unoptimized",
             2 => "optimized",
             3 => "naive-ir",
+            4 => "native",
             _ => "?",
         };
         println!("  p{p} {mode:<12} {morsels:>6} morsels {tuples:>12} tuples");

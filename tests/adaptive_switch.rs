@@ -3,9 +3,14 @@
 //! 1. a large synthetic query started in `ExecMode::Adaptive` must actually
 //!    *switch* backends mid-pipeline (a background compilation appears in
 //!    the trace and compiled morsels follow interpreted ones), and
-//! 2. every one of the five `ExecMode`s — i.e. every backend that can sit
-//!    in a pipeline's `Arc<dyn PipelineBackend>` handle — produces
-//!    identical `ResultRows` on a TPC-H subset.
+//! 2. every one of the six `ExecMode`s — i.e. every backend that can sit
+//!    in a pipeline's `Arc<dyn PipelineBackend>` handle, the native
+//!    machine-code tier included — produces identical `ResultRows` on a
+//!    TPC-H subset (on targets without the emitter, `Native` runs through
+//!    its fallback alias and must still agree), and
+//! 3. with an irresistible native speedup model, the Fig. 7 controller
+//!    actually climbs to rank 4 mid-query: the trace shows morsels on the
+//!    native backend (kind 4) after interpreted ones.
 
 use aqe::engine::exec::{ExecMode, ExecOptions, TraceEvent};
 use aqe::engine::plan::decompose;
@@ -180,7 +185,7 @@ fn work_stealing_is_observable_in_the_sched_report() {
 }
 
 #[test]
-fn all_five_modes_agree_on_tpch_subset() {
+fn all_six_modes_agree_on_tpch_subset() {
     let cat = tpch_data::generate(0.005);
     let all = tpch::all(&cat);
     // A subset that covers scan+filter+agg, joins, and sorted output while
@@ -200,6 +205,7 @@ fn all_five_modes_agree_on_tpch_subset() {
             ExecMode::Bytecode,
             ExecMode::Unoptimized,
             ExecMode::Optimized,
+            ExecMode::Native,
             ExecMode::Adaptive,
         ] {
             let opts = ExecOptions { mode, threads: 2, cache_results: false, ..Default::default() };
@@ -216,4 +222,90 @@ fn all_five_modes_agree_on_tpch_subset() {
         }
     }
     assert_eq!(covered, subset.len(), "TPC-H subset lookup failed");
+}
+
+#[test]
+fn adaptive_controller_reaches_native_rank_four() {
+    if !aqe::jit::native::enabled() {
+        eprintln!("native emitter disabled; skipping the rank-4 switch test");
+        return;
+    }
+    // Make the native rung irresistible relative to the threaded levels:
+    // huge modelled native speedup, modest threaded speedups — over a wide
+    // aggregation there is easily enough remaining work to amortize the
+    // native compile cost, so extrapolation picks rank 4 directly.
+    let cat = tpch_data::generate(0.02);
+    let q = synthetic::wide_agg(120);
+    let phys = decompose(&cat, &q.root, vec![]);
+
+    let mut opts =
+        ExecOptions { mode: ExecMode::Adaptive, threads: 2, trace: true, ..Default::default() };
+    opts.model.speedup_unopt = 1.05;
+    opts.model.speedup_opt = 1.1;
+    opts.model.speedup_native = 20.0;
+    let engine = Engine::new(cat.clone());
+    let session = engine.session();
+    let prepared = session.prepare_plan(phys.clone());
+    let (rows, report) = session.execute_with(&prepared, &opts).expect("adaptive execution");
+
+    assert!(report.background_compiles >= 1, "a background compile must have landed");
+    let morsel_kinds: std::collections::BTreeSet<u8> =
+        report.trace.iter().filter(|e| e.kind != KIND_COMPILE).map(|e| e.kind).collect();
+    assert!(morsel_kinds.contains(&0), "query starts interpreted: {morsel_kinds:?}");
+    assert!(
+        morsel_kinds.contains(&4),
+        "no morsel ran on the native backend — the rank-4 switch did not happen; \
+         kinds seen: {morsel_kinds:?}"
+    );
+
+    // The switch must not change the answer.
+    let bc_opts = ExecOptions {
+        mode: ExecMode::Bytecode,
+        threads: 2,
+        cache_results: false,
+        ..Default::default()
+    };
+    let (bc_rows, _) = session.execute_with(&prepared, &bc_opts).expect("bytecode execution");
+    let w = phys.output_tys.len();
+    assert_eq!(
+        normalized(&rows.rows, w, phys.sorted_output),
+        normalized(&bc_rows.rows, w, phys.sorted_output),
+        "native-switched result differs from pure bytecode result"
+    );
+}
+
+#[test]
+fn native_mode_runs_or_aliases_cleanly() {
+    // `ExecMode::Native` must work on every target: real machine code
+    // where the emitter exists, the optimized threaded alias elsewhere
+    // (and under AQE_NATIVE=0). Either way the rows match bytecode.
+    let cat = tpch_data::generate(0.01);
+    let q = synthetic::wide_agg(40);
+    let phys = decompose(&cat, &q.root, vec![]);
+    let engine = Engine::new(cat.clone());
+    let session = engine.session();
+    let prepared = session.prepare_plan(phys.clone());
+    let native_opts = ExecOptions {
+        mode: ExecMode::Native,
+        threads: 2,
+        trace: true,
+        cache_results: false,
+        ..Default::default()
+    };
+    let (rows, report) = session.execute_with(&prepared, &native_opts).expect("native execution");
+    let kinds: std::collections::BTreeSet<u8> =
+        report.trace.iter().filter(|e| e.kind != KIND_COMPILE).map(|e| e.kind).collect();
+    if aqe::jit::native::enabled() {
+        assert_eq!(kinds, [4u8].into(), "every morsel must run on machine code: {kinds:?}");
+    } else {
+        assert_eq!(kinds, [2u8].into(), "fallback must alias to optimized: {kinds:?}");
+    }
+    let bc_opts = ExecOptions {
+        mode: ExecMode::Bytecode,
+        threads: 2,
+        cache_results: false,
+        ..Default::default()
+    };
+    let (bc_rows, _) = session.execute_with(&prepared, &bc_opts).expect("bytecode execution");
+    assert_eq!(rows.rows, bc_rows.rows, "native (or alias) must agree with bytecode");
 }

@@ -1,6 +1,8 @@
 //! Workspace-level integration tests: the whole TPC-H corpus must produce
-//! identical results across the compiling engine's five execution modes and
-//! both baseline engines, single- and multi-threaded.
+//! identical results across the compiling engine's six execution modes
+//! (native machine code included — or its fallback alias on targets
+//! without the emitter) and both baseline engines, single- and
+//! multi-threaded.
 
 use aqe::baselines::{execute_vectorized, execute_volcano};
 use aqe::engine::exec::{ExecMode, ExecOptions};
@@ -39,9 +41,13 @@ fn tpch_corpus_agrees_across_all_engines_and_modes() {
         let engine = Engine::new(cat.clone());
         let session = engine.session();
         let prepared = session.prepare_plan(phys.clone());
-        for mode in
-            [ExecMode::Bytecode, ExecMode::Unoptimized, ExecMode::Optimized, ExecMode::Adaptive]
-        {
+        for mode in [
+            ExecMode::Bytecode,
+            ExecMode::Unoptimized,
+            ExecMode::Optimized,
+            ExecMode::Native,
+            ExecMode::Adaptive,
+        ] {
             for threads in [1, 4] {
                 let opts =
                     ExecOptions { mode, threads, cache_results: false, ..Default::default() };
@@ -66,7 +72,8 @@ fn tpcds_corpus_agrees() {
         let engine = Engine::new(cat.clone());
         let session = engine.session();
         let prepared = session.prepare_plan(phys.clone());
-        for mode in [ExecMode::Bytecode, ExecMode::Optimized, ExecMode::Adaptive] {
+        for mode in [ExecMode::Bytecode, ExecMode::Optimized, ExecMode::Native, ExecMode::Adaptive]
+        {
             let opts = ExecOptions { mode, threads: 2, cache_results: false, ..Default::default() };
             let (res, _) = session.execute_with(&prepared, &opts).unwrap();
             assert_eq!(
@@ -89,13 +96,16 @@ fn wide_aggregate_queries_agree_at_scale() {
         let session = engine.session();
         let prepared = session.prepare_plan(phys);
         let mut results = Vec::new();
-        for mode in [ExecMode::Bytecode, ExecMode::Unoptimized, ExecMode::Optimized] {
+        for mode in
+            [ExecMode::Bytecode, ExecMode::Unoptimized, ExecMode::Optimized, ExecMode::Native]
+        {
             let opts = ExecOptions { mode, threads: 2, cache_results: false, ..Default::default() };
             let (res, _) = session.execute_with(&prepared, &opts).unwrap();
             results.push(res.rows);
         }
-        assert_eq!(results[0], results[1], "wide_agg_{n}");
-        assert_eq!(results[0], results[2], "wide_agg_{n}");
+        for (k, r) in results.iter().enumerate().skip(1) {
+            assert_eq!(&results[0], r, "wide_agg_{n} mode #{k}");
+        }
     }
 }
 
