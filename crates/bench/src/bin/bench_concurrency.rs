@@ -1,0 +1,349 @@
+//! Multi-session throughput benchmark: concurrent traffic against one
+//! long-lived `Engine` (DESIGN.md §8).
+//!
+//! Drives M outer sessions from a thread pool against K prepared queries
+//! and reports how warm-execution throughput scales with the session
+//! count, plus per-execution p50/p99 latency — the numbers that expose
+//! shared-state serialization no single-session benchmark can see.
+//!
+//! Scenarios:
+//!
+//! * `warm_shared` — every thread hammers **one** shared `PreparedQuery`
+//!   (result cache off, so every run is a real morsel loop). Pre-PR 5
+//!   this path serialized on the prepared query's compiled-state mutex
+//!   and the engine's catalog `RwLock`; now it is epoch reads and
+//!   hot-swap slot loads all the way down.
+//! * `warm_mix` — K distinct prepared queries round-robin across the
+//!   threads: the no-shared-artifact upper bound on session scaling.
+//! * `cached` — result cache on: throughput of the sharded cache's hit
+//!   path, reported with the engine's `cache_stats()` counters.
+//! * `mutating` — `warm_shared` at the max thread count while a mutator
+//!   thread publishes a new catalog epoch every few hundred µs. With the
+//!   old reader/writer lock a single mutation stalled the whole engine
+//!   behind the longest-running execution; with snapshots the traffic
+//!   keeps flowing and the report counts the epochs and rebuilds.
+//!
+//! Knobs: `AQE_SF` (scale factor, default 0.05), `AQE_CONC_THREADS`
+//! (comma list, default `1,2,4,8`), `AQE_CONC_SECS` (seconds per
+//! measurement point, default 1.0), `AQE_BENCH_OUT` (output path,
+//! default `BENCH_PR5.json`). `--smoke` shrinks everything for CI and
+//! defaults the output to a temp path.
+//!
+//! Output: if the target file already holds a `bench_trajectory` JSON
+//! object, a `"concurrency"` section is merged into it (so the committed
+//! `BENCH_PR5.json` carries the single-thread trajectory *and* the
+//! concurrency surface in one artifact); otherwise a standalone object is
+//! written.
+
+use aqe_bench::{env_sf, ms, physical};
+use aqe_engine::exec::{ExecMode, ExecOptions};
+use aqe_engine::plan::{AggFunc, AggSpec, ArithOp, PExpr, PlanNode};
+use aqe_engine::session::{Engine, PreparedQuery};
+use aqe_storage::{Column, DataType, Table};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One measurement point: a thread-count's worth of executions.
+struct Point {
+    threads: usize,
+    executions: u64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// A deterministic single-row aggregation over lineitem (the shape the
+/// engine tests use): heavy enough per tuple to exercise the morsel loop,
+/// small enough that per-execution latency stays in the milliseconds.
+fn agg_plan(aggs: usize) -> PlanNode {
+    let specs = (0..aggs)
+        .map(|k| AggSpec {
+            func: AggFunc::SumI,
+            arg: Some(PExpr::arith(
+                ArithOp::Add,
+                true,
+                false,
+                PExpr::arith(
+                    ArithOp::Mul,
+                    true,
+                    false,
+                    PExpr::Col(k % 3),
+                    PExpr::ConstI(k as i64 + 1),
+                ),
+                PExpr::Col((k + 1) % 3),
+            )),
+        })
+        .collect();
+    PlanNode::HashAgg {
+        input: Box::new(PlanNode::Scan {
+            table: "lineitem".into(),
+            cols: vec![4, 5, 6],
+            filter: None,
+        }),
+        group_by: vec![],
+        aggs: specs,
+    }
+}
+
+/// Run `threads` workers for `secs`, each executing queries picked
+/// round-robin from `queries`, and collect throughput + latency.
+fn drive(
+    engine: &Arc<Engine>,
+    queries: &[Arc<PreparedQuery>],
+    threads: usize,
+    secs: f64,
+    opts: &ExecOptions,
+) -> Point {
+    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+    let mut latencies: Vec<Vec<f64>> = Vec::new();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let engine = engine.clone();
+                let opts = opts.clone();
+                scope.spawn(move || {
+                    let session = engine.session();
+                    let mut lats = Vec::new();
+                    let mut i = tid; // stagger the round-robin start
+                    while Instant::now() < deadline {
+                        let q = &queries[i % queries.len()];
+                        i += 1;
+                        let t = Instant::now();
+                        let (rows, _) =
+                            session.execute_with(q, &opts).expect("benchmark execution");
+                        assert!(rows.row_count() > 0, "benchmark query returned no rows");
+                        lats.push(ms(t.elapsed()));
+                    }
+                    lats
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies.push(h.join().expect("worker"));
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let mut all: Vec<f64> = latencies.into_iter().flatten().collect();
+    all.sort_by(|a, b| a.total_cmp(b));
+    Point {
+        threads,
+        executions: all.len() as u64,
+        qps: all.len() as f64 / wall,
+        p50_ms: percentile(&all, 0.50),
+        p99_ms: percentile(&all, 0.99),
+    }
+}
+
+fn sweep_json(points: &[Point]) -> String {
+    let base = points.first().map(|p| p.qps).unwrap_or(0.0);
+    let mut j = String::from("{");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            j,
+            "\"{}\": {{\"qps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"executions\": {}, \"speedup\": {:.2}}}{}",
+            p.threads,
+            p.qps,
+            p.p50_ms,
+            p.p99_ms,
+            p.executions,
+            if base > 0.0 { p.qps / base } else { 0.0 },
+            if i + 1 < points.len() { ", " } else { "" }
+        );
+    }
+    j.push('}');
+    j
+}
+
+fn print_sweep(label: &str, points: &[Point]) {
+    let base = points.first().map(|p| p.qps).unwrap_or(0.0);
+    for p in points {
+        eprintln!(
+            "{label:<12} {:>2} threads  {:>8.0} exec/s  p50 {:>7.3} ms  p99 {:>7.3} ms  \
+             ({:.2}x vs 1 thread)",
+            p.threads,
+            p.qps,
+            p.p50_ms,
+            p.p99_ms,
+            if base > 0.0 { p.qps / base } else { 0.0 },
+        );
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sf = env_sf(if smoke { 0.01 } else { 0.05 });
+    let secs: f64 = std::env::var("AQE_CONC_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 0.15 } else { 1.0 });
+    let thread_counts: Vec<usize> = std::env::var("AQE_CONC_THREADS")
+        .ok()
+        .map(|s| s.split(',').filter_map(|x| x.parse().ok()).collect())
+        .unwrap_or_else(|| if smoke { vec![1, 2, 4] } else { vec![1, 2, 4, 8] });
+    let out_path = std::env::var("AQE_BENCH_OUT").unwrap_or_else(|_| {
+        if smoke {
+            "/tmp/bench_concurrency_smoke.json".to_string()
+        } else {
+            "BENCH_PR5.json".into()
+        }
+    });
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    eprintln!("generating TPC-H SF {sf}… ({cpus} cpus)");
+    let cat = aqe_storage::tpch::generate(sf);
+    let engine = Arc::new(Engine::new(cat.clone()));
+    let session = engine.session();
+
+    // K = 4 prepared queries: TPC-H Q1/Q6 plus two synthetic aggregation
+    // shapes, all warm before measurement (the benchmark measures the
+    // contention of *warm traffic*, not cold compiles).
+    let q1 = aqe_queries::tpch::q1(&cat);
+    let q6 = aqe_queries::tpch::q6(&cat);
+    let queries: Vec<Arc<PreparedQuery>> = vec![
+        Arc::new(session.prepare_plan(physical(&cat, &q1))),
+        Arc::new(session.prepare_plan(physical(&cat, &q6))),
+        Arc::new(session.prepare(&agg_plan(4), vec![])),
+        Arc::new(session.prepare(&agg_plan(16), vec![])),
+    ];
+    let no_cache = ExecOptions {
+        mode: ExecMode::Adaptive,
+        threads: 1,
+        cache_results: false,
+        ..Default::default()
+    };
+    let cached = ExecOptions { mode: ExecMode::Adaptive, threads: 1, ..Default::default() };
+    for q in &queries {
+        session.execute_with(q, &no_cache).expect("warm-up");
+    }
+
+    // ---- scenario: one shared prepared query ------------------------------
+    let shared = std::slice::from_ref(&queries[1]); // Q6: the fast scan
+    let warm_shared: Vec<Point> =
+        thread_counts.iter().map(|&t| drive(&engine, shared, t, secs, &no_cache)).collect();
+    print_sweep("warm-shared", &warm_shared);
+
+    // ---- scenario: K queries round-robin ----------------------------------
+    let warm_mix: Vec<Point> =
+        thread_counts.iter().map(|&t| drive(&engine, &queries, t, secs, &no_cache)).collect();
+    print_sweep("warm-mix", &warm_mix);
+
+    // ---- scenario: result-cache hit path ----------------------------------
+    let cached_points: Vec<Point> =
+        thread_counts.iter().map(|&t| drive(&engine, &queries, t, secs, &cached)).collect();
+    print_sweep("cached", &cached_points);
+    let cache = engine.cache_stats();
+    eprintln!(
+        "cached:      {} hits / {} misses / {} insertions, {} entries, {} bytes",
+        cache.hits, cache.misses, cache.insertions, cache.entries, cache.bytes_used
+    );
+
+    // ---- scenario: traffic under a mutating catalog -----------------------
+    let max_threads = *thread_counts.iter().max().unwrap_or(&4);
+    let before = engine.concurrency();
+    let stop = Arc::new(AtomicBool::new(false));
+    let mutations = Arc::new(AtomicUsize::new(0));
+    let mutating = {
+        let mutator = {
+            let engine = engine.clone();
+            let stop = stop.clone();
+            let mutations = mutations.clone();
+            std::thread::spawn(move || {
+                let mut i = 0i64;
+                while !stop.load(Ordering::Acquire) {
+                    engine.with_catalog_mut(|c| {
+                        if i % 2 == 0 {
+                            c.add(Table::new(
+                                "scratch",
+                                vec![("x", DataType::Int64, Column::I64(vec![i]))],
+                            ));
+                        } else {
+                            c.remove("scratch");
+                        }
+                    });
+                    i += 1;
+                    mutations.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+            })
+        };
+        let p = drive(&engine, shared, max_threads, secs, &no_cache);
+        stop.store(true, Ordering::Release);
+        mutator.join().expect("mutator");
+        p
+    };
+    let after = engine.concurrency();
+    eprintln!(
+        "mutating:    {:>2} threads  {:>8.0} exec/s  p50 {:>7.3} ms  p99 {:>7.3} ms  \
+         ({} epochs published, {} cold rebuilds)",
+        mutating.threads,
+        mutating.qps,
+        mutating.p50_ms,
+        mutating.p99_ms,
+        mutations.load(Ordering::Relaxed),
+        after.cold_builds - before.cold_builds,
+    );
+
+    // ---- JSON -------------------------------------------------------------
+    let mut j = String::new();
+    let _ = write!(
+        j,
+        "\"concurrency\": {{\n    \"config\": {{\"sf\": {sf}, \"secs\": {secs}, \
+         \"cpus\": {cpus}, \"smoke\": {smoke}}},\n"
+    );
+    let _ = writeln!(j, "    \"warm_shared\": {},", sweep_json(&warm_shared));
+    let _ = writeln!(j, "    \"warm_mix\": {},", sweep_json(&warm_mix));
+    let _ = writeln!(j, "    \"cached\": {},", sweep_json(&cached_points));
+    let _ = writeln!(
+        j,
+        "    \"cache_stats\": {{\"hits\": {}, \"misses\": {}, \"insertions\": {}, \
+         \"admission_rejections\": {}, \"shards\": {}}},",
+        cache.hits, cache.misses, cache.insertions, cache.admission_rejections, cache.shards
+    );
+    let _ = write!(
+        j,
+        "    \"mutating\": {{\"threads\": {}, \"qps\": {:.1}, \"p50_ms\": {:.3}, \
+         \"p99_ms\": {:.3}, \"epochs_published\": {}, \"cold_rebuilds\": {}, \
+         \"peak_in_flight\": {}}}\n  }}",
+        mutating.threads,
+        mutating.qps,
+        mutating.p50_ms,
+        mutating.p99_ms,
+        mutations.load(Ordering::Relaxed),
+        after.cold_builds - before.cold_builds,
+        after.peak_in_flight,
+    );
+
+    // Merge into an existing bench_trajectory object (the committed
+    // BENCH_PR<n>.json carries both surfaces) or write standalone. A
+    // previous run's "concurrency" section — always the final member,
+    // written by this bin — is replaced, not duplicated.
+    let out = match std::fs::read_to_string(&out_path) {
+        Ok(existing) if existing.trim_end().ends_with('}') => {
+            let trimmed = existing.trim_end();
+            let body = match trimmed.find("\"concurrency\":") {
+                Some(idx) => trimmed[..idx].trim_end(),
+                None => trimmed[..trimmed.len() - 1].trim_end(),
+            };
+            let body = body.strip_suffix(',').unwrap_or(body);
+            format!("{body},\n  {j}\n}}\n")
+        }
+        _ => format!("{{\n  {j}\n}}\n"),
+    };
+    std::fs::File::create(&out_path)
+        .and_then(|mut f| f.write_all(out.as_bytes()))
+        .expect("write benchmark json");
+    eprintln!("\nwrote {out_path}");
+}

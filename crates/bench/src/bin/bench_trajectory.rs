@@ -1,16 +1,19 @@
-//! Machine-readable benchmark trajectory (`BENCH_PR4.json`).
+//! Machine-readable benchmark trajectory (`BENCH_PR<n>.json`).
 //!
 //! Every PR that claims "faster" needs a number the next PR can regress
 //! against. This runner measures the Q1/Q6-style suite across every
 //! execution mode — per-mode geomean runtimes, per-level compile times,
 //! and adaptive end-to-end latency — and writes them as JSON. The
 //! committed `BENCH_PR4.json` at the repo root is the baseline recorded
-//! when the native tier landed; future PRs append `BENCH_PR<n>.json`
-//! files measured by the same runner, giving a comparable trajectory.
+//! when the native tier landed; later PRs commit `BENCH_PR<n>.json`
+//! files measured by the same runner, giving a comparable trajectory
+//! (`BENCH_PR5.json` additionally carries the `bench_concurrency`
+//! section, merged in by that bin).
 //!
 //! Knobs: `AQE_SF` (scale factor, default 0.1), `AQE_THREADS` (default 1),
 //! `AQE_REPS` (default 3; the *minimum* over reps is recorded),
-//! `AQE_BENCH_OUT` (output path, default `BENCH_PR4.json`).
+//! `AQE_BENCH_PR` (the `pr` stamp, default 5),
+//! `AQE_BENCH_OUT` (output path, default `BENCH_PR<pr>.json`).
 
 use aqe_bench::{env_sf, geomean, ms, physical, run_mode, threads_from_env, MODES};
 use aqe_engine::exec::ExecMode;
@@ -23,7 +26,8 @@ fn main() {
     let threads = threads_from_env(1);
     let reps: usize =
         std::env::var("AQE_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(3).max(1);
-    let out_path = std::env::var("AQE_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
+    let pr: u32 = std::env::var("AQE_BENCH_PR").ok().and_then(|s| s.parse().ok()).unwrap_or(5);
+    let out_path = std::env::var("AQE_BENCH_OUT").unwrap_or_else(|_| format!("BENCH_PR{pr}.json"));
     let native_enabled = aqe_jit::native::enabled();
 
     eprintln!("generating TPC-H SF {sf}…");
@@ -67,7 +71,7 @@ fn main() {
 
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"pr\": 4,");
+    let _ = writeln!(j, "  \"pr\": {pr},");
     let _ = writeln!(j, "  \"schema_version\": 1,");
     let _ = writeln!(j, "  \"suite\": \"tpch-q1-q6\",");
     let _ = writeln!(

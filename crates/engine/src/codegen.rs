@@ -16,7 +16,7 @@ use aqe_ir::{
     BinOp, BlockId, CastKind, CmpPred, Constant, ExternId, FunctionBuilder, Module, OvfOp, Type,
     ValueId,
 };
-use aqe_storage::{Catalog, DataType};
+use aqe_storage::{CatalogSnapshot, DataType};
 use std::collections::HashMap;
 
 /// Extern indices, fixed per module (order matches `runtime_fns`).
@@ -45,7 +45,7 @@ fn declare_externs(m: &mut Module) {
 
 /// Generate the module for a physical plan: one worker per pipeline, in
 /// pipeline order.
-pub fn generate(plan: &PhysicalPlan, cat: &Catalog) -> Module {
+pub fn generate(plan: &PhysicalPlan, cat: &CatalogSnapshot) -> Module {
     let mut module = Module::new();
     declare_externs(&mut module);
     for p in &plan.pipelines {
@@ -59,7 +59,7 @@ pub fn generate(plan: &PhysicalPlan, cat: &Catalog) -> Module {
 struct Cg<'a> {
     b: FunctionBuilder,
     plan: &'a PhysicalPlan,
-    cat: &'a Catalog,
+    cat: &'a CatalogSnapshot,
     wctx: ValueId,
     state: ValueId,
     /// Hoisted `load ptr state[slot]` values, by state slot.
@@ -70,7 +70,7 @@ struct Cg<'a> {
     agg_hdrs: HashMap<usize, ValueId>,
 }
 
-fn gen_pipeline(plan: &PhysicalPlan, cat: &Catalog, p: &Pipeline) -> aqe_ir::Function {
+fn gen_pipeline(plan: &PhysicalPlan, cat: &CatalogSnapshot, p: &Pipeline) -> aqe_ir::Function {
     let mut b = FunctionBuilder::new(
         format!("worker_p{}", p.id),
         &[Type::Ptr, Type::Ptr, Type::I64, Type::I64],

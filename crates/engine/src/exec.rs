@@ -18,8 +18,8 @@ use crate::runtime::{merge_agg_tables, sort_rows, JoinHt, WorkerRt};
 use crate::sched::{
     AdaptiveController, ControllerCtx, CostCalibrator, MorselDispenser, PipelineProgress,
 };
-use aqe_ir::{ExternDecl, Function, Module};
-use aqe_storage::Catalog;
+use aqe_ir::{ExternDecl, Function};
+use aqe_storage::CatalogSnapshot;
 use aqe_vm::interp::{ExecError, Frame};
 use aqe_vm::rt::Registry;
 use parking_lot::{Mutex, RwLock};
@@ -134,6 +134,60 @@ impl FunctionHandle {
     }
 }
 
+/// A pipeline's *retained* backend slot: the best compiled representation
+/// any execution has published so far, kept alive across runs by the
+/// session layer's prepared-query state.
+///
+/// Same install/load discipline as [`FunctionHandle`] — a cached atomic
+/// rank for lock-free polling, an `RwLock`ed `Arc` held only for the
+/// duration of a pointer copy, and rank-monotonic installs — but the slot
+/// starts *empty* (rank 0) and is shared by every concurrent execution of
+/// one prepared query: warm runs seed their per-run handles from it
+/// without any coordination, and background compiles publish into it the
+/// moment they finish, so an execution starting mid-flight of another
+/// already benefits from the other's compile.
+///
+/// Only compiled backends (rank ≥ [`ExecMode::Unoptimized`]) are ever
+/// installed; interpretation tiers live in their own compile-once latches.
+#[derive(Default)]
+pub struct RetainedSlot {
+    slot: RwLock<Option<Arc<dyn PipelineBackend>>>,
+    /// Cached rank of the occupant; 0 = empty.
+    rank: AtomicU8,
+}
+
+impl RetainedSlot {
+    pub fn new() -> RetainedSlot {
+        RetainedSlot::default()
+    }
+
+    /// Rank of the retained backend (0 when empty) — lock-free.
+    pub fn rank(&self) -> u8 {
+        self.rank.load(Ordering::Acquire)
+    }
+
+    /// The retained backend, if any run has published one.
+    pub fn load(&self) -> Option<Arc<dyn PipelineBackend>> {
+        self.slot.read().clone()
+    }
+
+    /// Publish `backend` if it outranks the current occupant (an empty
+    /// slot ranks 0). Returns whether the slot changed. Safe to race:
+    /// the highest-ranked install wins regardless of arrival order.
+    pub fn install(&self, backend: Arc<dyn PipelineBackend>) -> bool {
+        let rank = backend.kind().rank();
+        let mut cur = self.slot.write();
+        let cur_rank = cur.as_ref().map_or(0, |b| b.kind().rank());
+        if rank > cur_rank {
+            *cur = Some(backend);
+            self.rank.store(rank, Ordering::Release);
+            true
+        } else {
+            false
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Tracing (Fig. 14)
 // ---------------------------------------------------------------------------
@@ -177,6 +231,20 @@ pub struct Report {
     /// The result came from the engine's versioned query-result cache:
     /// no codegen, no translation, no morsel ran (and `sched` is empty).
     pub result_cache_hit: bool,
+    /// Version of the immutable catalog snapshot this execution ran
+    /// against. Every artifact of the run — cache key, compiled state,
+    /// column base pointers — derives from this one epoch, so a torn read
+    /// (mixing two catalog versions within one execution) is impossible
+    /// by construction.
+    pub snapshot_version: u64,
+    /// This execution built the prepared query's compiled state (codegen,
+    /// registry resolution) under the cold-compile latch. Warm executions
+    /// reuse the published state without ever taking that latch.
+    pub cold_build: bool,
+    /// Executions in flight on the engine (this one included) when this
+    /// execution started — the contention observability counter for the
+    /// concurrency benchmark.
+    pub concurrent_executions: usize,
 }
 
 // ---------------------------------------------------------------------------
@@ -251,53 +319,6 @@ impl Default for ExecOptions {
     }
 }
 
-/// Execute a physical plan. Returns the output rows and a report.
-///
-/// Deprecated shim: builds a throwaway [`Engine`](crate::session::Engine)
-/// per call, so every execution pays codegen and translation from scratch
-/// and nothing is learned across calls — exactly the one-shot behaviour
-/// the session API exists to amortize.
-#[deprecated(
-    since = "0.1.0",
-    note = "build a long-lived session::Engine and use Session::prepare + Session::execute"
-)]
-pub fn execute_plan(
-    plan: &PhysicalPlan,
-    cat: &Catalog,
-    opts: &ExecOptions,
-) -> Result<(ResultRows, Report), ExecError> {
-    let engine = crate::session::Engine::new(cat.clone());
-    let session = engine.session();
-    let prepared = session.prepare_plan(plan.clone());
-    session.execute_with(&prepared, opts)
-}
-
-/// Execute with a pre-generated module.
-///
-/// Deprecated shim over a throwaway [`Engine`](crate::session::Engine);
-/// use [`Session::prepare_module`](crate::session::Session::prepare_module)
-/// for stage-timing harnesses that generate IR themselves.
-#[deprecated(
-    since = "0.1.0",
-    note = "build a long-lived session::Engine and use Session::prepare_module + Session::execute"
-)]
-pub fn execute_module(
-    plan: &PhysicalPlan,
-    cat: &Catalog,
-    module: &Module,
-    opts: &ExecOptions,
-    report: Report,
-) -> Result<(ResultRows, Report), ExecError> {
-    let engine = crate::session::Engine::new(cat.clone());
-    let session = engine.session();
-    let prepared = session.prepare_module(plan.clone(), module.clone());
-    let (rows, mut out) = session.execute_with(&prepared, opts)?;
-    // The historical contract: the caller timed code generation itself and
-    // passed the measurement in; carry it through to the final report.
-    out.codegen = report.codegen;
-    Ok((rows, out))
-}
-
 // ---------------------------------------------------------------------------
 // Pipeline-loop core (driven by the session layer)
 // ---------------------------------------------------------------------------
@@ -307,11 +328,17 @@ pub fn execute_module(
 /// assembled by the session layer.
 pub(crate) struct QueryRun<'a> {
     pub plan: &'a PhysicalPlan,
-    pub cat: &'a Catalog,
+    /// The immutable catalog epoch this execution is pinned to — cloned
+    /// `Arc`s, never a lock held across the morsel loop.
+    pub cat: &'a CatalogSnapshot,
     pub functions: &'a [Arc<Function>],
     pub externs: &'a Arc<Vec<ExternDecl>>,
     pub registry: &'a Arc<Registry>,
     pub handles: &'a [Arc<FunctionHandle>],
+    /// Per-pipeline retained slots of the prepared query's compiled
+    /// state: background compiles publish into these the moment they
+    /// finish, so concurrent executions warm-start mid-flight.
+    pub retained: &'a [Arc<RetainedSlot>],
     /// Per-query calibrator, possibly seeded from the engine's
     /// cross-query `CalibrationStore`.
     pub calibrator: &'a Arc<CostCalibrator>,
@@ -327,7 +354,8 @@ pub(crate) fn run_pipelines(
     run: QueryRun<'_>,
     report: &mut Report,
 ) -> Result<ResultRows, ExecError> {
-    let QueryRun { plan, cat, functions, externs, registry, handles, calibrator, opts } = run;
+    let QueryRun { plan, cat, functions, externs, registry, handles, retained, calibrator, opts } =
+        run;
 
     // ---- state assembly ---------------------------------------------------
     let mut state = QueryState {
@@ -380,6 +408,7 @@ pub(crate) fn run_pipelines(
             function: &functions[p.id],
             externs,
             handle: &handles[p.id],
+            retained: &retained[p.id],
             registry,
             total_rows,
             plan,
@@ -426,6 +455,7 @@ struct PipelineRun<'a> {
     function: &'a Arc<Function>,
     externs: &'a Arc<Vec<ExternDecl>>,
     handle: &'a Arc<FunctionHandle>,
+    retained: &'a Arc<RetainedSlot>,
     registry: &'a Arc<Registry>,
     total_rows: usize,
     plan: &'a PhysicalPlan,
@@ -461,6 +491,7 @@ impl PipelineRun<'_> {
             function: self.function.clone(),
             externs: self.externs.clone(),
             handle: self.handle.clone(),
+            retained: Some(self.retained.clone()),
             progress: progress.clone(),
             calibrator: self.calibrator.clone(),
             compile_events: self.compile_events.clone(),
@@ -677,6 +708,24 @@ mod tests {
         assert!(h.install(Arc::new(opt)));
         assert_eq!(h.kind(), ExecMode::Optimized);
         assert_eq!(h.rank(), ExecMode::Optimized.rank());
+    }
+
+    #[test]
+    fn retained_slot_installs_are_rank_monotonic_from_empty() {
+        let f = identity_function();
+        let slot = RetainedSlot::new();
+        assert_eq!(slot.rank(), 0, "a fresh slot is empty");
+        assert!(slot.load().is_none());
+
+        let opt = compile(&f, &[], OptLevel::Optimized).unwrap();
+        assert!(slot.install(Arc::new(opt)));
+        assert_eq!(slot.rank(), ExecMode::Optimized.rank());
+
+        // A lower-ranked late arrival (a racing unoptimized compile) is
+        // refused; the best published backend stays.
+        let unopt = compile(&f, &[], OptLevel::Unoptimized).unwrap();
+        assert!(!slot.install(Arc::new(unopt)));
+        assert_eq!(slot.load().unwrap().kind(), ExecMode::Optimized);
     }
 
     #[test]

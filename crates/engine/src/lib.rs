@@ -32,12 +32,12 @@ pub mod runtime;
 pub mod sched;
 pub mod session;
 
-#[allow(deprecated)]
-pub use exec::execute_plan;
 pub use exec::{
     CostModel, ExecMode, ExecOptions, FunctionHandle, PipelineBackend, Report, ResultRows,
-    TraceEvent,
+    RetainedSlot, TraceEvent,
 };
 pub use plan::{PhysicalPlan, PlanNode};
 pub use sched::{CalibrationReport, ExecLevel, PipelineSchedReport};
-pub use session::{CalibrationStore, Engine, PreparedQuery, Session, WorkloadShape};
+pub use session::{
+    CacheStats, CalibrationStore, ConcurrencyStats, Engine, PreparedQuery, Session, WorkloadShape,
+};

@@ -3,7 +3,7 @@
 //! chooses execution modes ("The tracking and the decision to compile is not
 //! done for the entire query, but for a specific query pipeline", §III).
 
-use aqe_storage::{Catalog, DataType};
+use aqe_storage::{CatalogSnapshot, DataType};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
@@ -234,7 +234,7 @@ pub enum PlanNode {
 
 impl PlanNode {
     /// Output field types of this node, resolving scans against a catalog.
-    pub fn output_types(&self, cat: &Catalog) -> Vec<FieldTy> {
+    pub fn output_types(&self, cat: &CatalogSnapshot) -> Vec<FieldTy> {
         match self {
             PlanNode::Scan { table, cols, .. } => {
                 let t = cat.get(table).expect("unknown table in plan");
@@ -272,7 +272,7 @@ impl PlanNode {
     /// engine deliberately does *not* rely on estimates — §III: "Without
     /// relying on the notoriously inaccurate cost estimates of query
     /// optimizers").
-    pub fn estimate_rows(&self, cat: &Catalog) -> usize {
+    pub fn estimate_rows(&self, cat: &CatalogSnapshot) -> usize {
         match self {
             PlanNode::Scan { table, .. } => cat.get(table).map(|t| t.row_count()).unwrap_or(0),
             PlanNode::Filter { input, .. } => input.estimate_rows(cat) / 3,
@@ -401,7 +401,7 @@ pub struct PhysicalPlan {
 /// aggregations, and sorts break pipelines; Fig. 4's example becomes three
 /// worker functions).
 pub struct Decomposer<'a> {
-    cat: &'a Catalog,
+    cat: &'a CatalogSnapshot,
     pipelines: Vec<Pipeline>,
     join_hts: Vec<JoinHtSpec>,
     aggs: Vec<AggSpec2>,
@@ -411,7 +411,7 @@ pub struct Decomposer<'a> {
 }
 
 impl<'a> Decomposer<'a> {
-    pub fn new(cat: &'a Catalog) -> Self {
+    pub fn new(cat: &'a CatalogSnapshot) -> Self {
         Decomposer {
             cat,
             pipelines: Vec::new(),
@@ -713,7 +713,7 @@ impl PhysicalPlan {
     /// pipelines over the same expressions, sinks, dictionary contents,
     /// and slot layout — the identity the engine's prepared-statement code
     /// cache and query-result cache key by (paired with
-    /// [`Catalog::version`](aqe_storage::Catalog::version), since the
+    /// [`CatalogSnapshot::version`](aqe_storage::CatalogSnapshot::version), since the
     /// fingerprint deliberately says nothing about the *data*). Uses a
     /// pinned FNV-1a hash, so the value is stable across processes, runs,
     /// and toolchain upgrades (on a given target architecture).
@@ -774,7 +774,7 @@ impl PhysicalPlan {
 }
 
 /// Convenience entry point.
-pub fn decompose(cat: &Catalog, root: &PlanNode, dicts: Vec<DictTable>) -> PhysicalPlan {
+pub fn decompose(cat: &CatalogSnapshot, root: &PlanNode, dicts: Vec<DictTable>) -> PhysicalPlan {
     let mut d = Decomposer::new(cat);
     d.dicts = dicts;
     // dict state slots were allocated by the caller through `Decomposer`; if
@@ -791,7 +791,7 @@ pub fn decompose(cat: &Catalog, root: &PlanNode, dicts: Vec<DictTable>) -> Physi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aqe_storage::tpch;
+    use aqe_storage::{tpch, Catalog};
 
     fn cat() -> Catalog {
         tpch::generate(0.001)

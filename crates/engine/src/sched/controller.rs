@@ -17,7 +17,7 @@
 //! [`maybe_decide`]: AdaptiveController::maybe_decide
 //! [`finalize`]: AdaptiveController::finalize
 
-use crate::exec::{FunctionHandle, TraceEvent};
+use crate::exec::{FunctionHandle, RetainedSlot, TraceEvent};
 use crate::sched::calibrate::{CostCalibrator, CostModel};
 use crate::sched::morsel::MorselDispenser;
 use crate::sched::progress::PipelineProgress;
@@ -163,6 +163,12 @@ pub struct ControllerCtx {
     pub function: Arc<Function>,
     pub externs: Arc<Vec<ExternDecl>>,
     pub handle: Arc<FunctionHandle>,
+    /// The prepared query's retained slot for this pipeline, when one
+    /// exists: a finished background compile publishes here *in addition
+    /// to* the per-run handle, so concurrent executions of the same
+    /// prepared query warm-start from it mid-flight instead of waiting
+    /// for this run's end-of-query harvest.
+    pub retained: Option<Arc<RetainedSlot>>,
     pub progress: Arc<PipelineProgress>,
     pub calibrator: Arc<CostCalibrator>,
     pub compile_events: Arc<Mutex<Vec<TraceEvent>>>,
@@ -294,6 +300,28 @@ impl AdaptiveController {
             _ => None,
         };
         let Some(level) = target else { return };
+        // A concurrent execution of the same prepared query may already
+        // have compiled this pipeline at (or above) the target level and
+        // published it into the shared retained slot — install that for
+        // free instead of burning a background thread on an identical
+        // compile. Rate bookkeeping mirrors a compile install: reset the
+        // window so the post-switch rate is measured at the new level.
+        if let Some(retained) = &self.ctx.retained {
+            let needed = match level {
+                ExecLevel::Interpreted => ExecMode::Bytecode.rank(),
+                ExecLevel::Unoptimized => ExecMode::Unoptimized.rank(),
+                ExecLevel::Optimized => ExecMode::Optimized.rank(),
+                ExecLevel::Native => ExecMode::Native.rank(),
+            };
+            if retained.rank() >= needed {
+                if let Some(b) = retained.load() {
+                    if self.ctx.handle.install(b) {
+                        progress.reset_window();
+                    }
+                    return;
+                }
+            }
+        }
         if !self.ctx.handle.try_begin_compile() {
             return;
         }
@@ -320,6 +348,7 @@ impl AdaptiveController {
             function: self.ctx.function.clone(),
             externs: self.ctx.externs.clone(),
             handle: self.ctx.handle.clone(),
+            retained: self.ctx.retained.clone(),
             progress: progress.clone(),
             calibrator: self.ctx.calibrator.clone(),
             events: self.ctx.compile_events.clone(),
@@ -387,6 +416,7 @@ struct CompileJob {
     function: Arc<Function>,
     externs: Arc<Vec<ExternDecl>>,
     handle: Arc<FunctionHandle>,
+    retained: Option<Arc<RetainedSlot>>,
     progress: Arc<PipelineProgress>,
     calibrator: Arc<CostCalibrator>,
     events: Arc<Mutex<Vec<TraceEvent>>>,
@@ -445,7 +475,12 @@ impl CompileJob {
                 self.calibrator.record_compile(self.level, self.instrs, compile_time);
                 // Publish into the handle: all workers switch on their next
                 // morsel. Reset the rate window so the post-switch rate is
-                // measured at the new level only.
+                // measured at the new level only. The retained slot gets
+                // the backend either way — even when this *run* already
+                // outranks it, a slower concurrent execution may not.
+                if let Some(retained) = &self.retained {
+                    retained.install(backend.clone());
+                }
                 if self.handle.install(backend) {
                     self.counter.fetch_add(1, Ordering::Relaxed);
                     self.installed.store(true, Ordering::Release);

@@ -15,10 +15,24 @@
 //! mildly modulated by query size. A query with no exact shape match
 //! seeds from the global blend; [`clear`](CalibrationStore::clear) is the
 //! eviction hook for when data or hardware change underneath the engine.
+//!
+//! **Concurrency.** Every execution seeds from the store on its hot
+//! path, so reads follow the engine's epoch discipline: the whole store
+//! is an immutable snapshot behind an `Arc` — [`seed`] clones the `Arc`
+//! and looks up lock-free, while [`absorb`]/[`clear`] rebuild the store
+//! copy-on-write (serialized by a writer mutex that readers never touch)
+//! and publish the successor in one swap. Absorbs are rare (one per
+//! execution) and the map is small, so the clone is cheap; seeds are hot
+//! and now never serialize.
+//!
+//! [`seed`]: CalibrationStore::seed
+//! [`absorb`]: CalibrationStore::absorb
 
+use super::epoch::EpochCell;
 use crate::sched::{CalibrationReport, CostModel};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Coarse workload-shape key for calibration persistence.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -35,7 +49,7 @@ impl WorkloadShape {
     }
 }
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct Store {
     by_shape: HashMap<WorkloadShape, CostModel>,
     /// Blend over every absorbed report, the fallback seed for shapes the
@@ -45,9 +59,13 @@ struct Store {
 }
 
 /// Engine-lifetime store of calibrated cost models, keyed by workload
-/// shape.
+/// shape. Reads are snapshot-`Arc` clones (never serialized behind a
+/// map lock); writes rebuild copy-on-write.
 pub struct CalibrationStore {
-    inner: Mutex<Store>,
+    snap: EpochCell<Arc<Store>>,
+    /// Serializes writers only, so concurrent absorbs cannot lose each
+    /// other's blend; readers never touch it.
+    write: Mutex<()>,
 }
 
 /// Blend weight when absorbing a new report into an existing entry;
@@ -71,44 +89,51 @@ fn blend(old: &CostModel, new: &CostModel) -> CostModel {
 
 impl CalibrationStore {
     pub(crate) fn new() -> CalibrationStore {
-        CalibrationStore { inner: Mutex::new(Store::default()) }
+        CalibrationStore { snap: EpochCell::new(Arc::new(Store::default())), write: Mutex::new(()) }
     }
 
     /// The model a query of this shape should start from: the shape's own
-    /// entry, else the global blend, else `None` (cold store).
+    /// entry, else the global blend, else `None` (cold store). Lock-free
+    /// lookup over the current snapshot — the hot-path read of every
+    /// execution never serializes behind writers.
     pub fn seed(&self, shape: WorkloadShape) -> Option<CostModel> {
-        let g = self.inner.lock();
-        g.by_shape.get(&shape).copied().or(g.global)
+        let s = self.snap.get();
+        s.by_shape.get(&shape).copied().or(s.global)
     }
 
     /// Absorb what one execution learned. Reports without a single
     /// observation are ignored — they would only echo the seed back.
+    /// Copy-on-write: builds the successor store off to the side and
+    /// publishes it in one swap; in-flight seeds keep their snapshot.
     pub fn absorb(&self, shape: WorkloadShape, rep: &CalibrationReport) {
         if rep.compile_observations + rep.speedup_observations == 0 {
             return;
         }
-        let mut g = self.inner.lock();
-        g.absorbed += 1;
-        let entry = match g.by_shape.get(&shape) {
+        let _writers = self.write.lock();
+        let mut next = (*self.snap.get()).clone();
+        next.absorbed += 1;
+        let entry = match next.by_shape.get(&shape) {
             Some(old) => blend(old, &rep.model),
             None => rep.model,
         };
-        g.by_shape.insert(shape, entry);
-        g.global = Some(match &g.global {
+        next.by_shape.insert(shape, entry);
+        next.global = Some(match &next.global {
             Some(old) => blend(old, &rep.model),
             None => rep.model,
         });
+        self.snap.set(Arc::new(next));
     }
 
     /// Forget everything — the eviction hook for when the data or the
     /// hardware underneath the engine changed.
     pub fn clear(&self) {
-        *self.inner.lock() = Store::default();
+        let _writers = self.write.lock();
+        self.snap.set(Arc::new(Store::default()));
     }
 
     /// Number of distinct workload shapes with a calibrated entry.
     pub fn len(&self) -> usize {
-        self.inner.lock().by_shape.len()
+        self.snap.get().by_shape.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -117,7 +142,7 @@ impl CalibrationStore {
 
     /// Total reports absorbed since construction (or the last `clear`).
     pub fn absorbed(&self) -> u64 {
-        self.inner.lock().absorbed
+        self.snap.get().absorbed
     }
 }
 

@@ -1,15 +1,18 @@
 //! The long-lived execution API: [`Engine`] → [`Session`] → [`PreparedQuery`].
 //!
 //! The paper's whole premise is amortizing compilation against execution,
-//! yet a one-shot `execute_plan` re-runs codegen, bytecode translation,
-//! and the adaptive warm-up ladder on every call and throws away the
-//! calibrator's measured constants at query end. This subsystem is the
+//! yet a one-shot execution re-runs codegen, bytecode translation, and the
+//! adaptive warm-up ladder on every call and throws away the calibrator's
+//! measured constants at query end. This subsystem is the
 //! connection/prepared-statement lifecycle that lets all of that outlive
-//! a single execution (DESIGN.md §6):
+//! a single execution (DESIGN.md §6), built so that **concurrent traffic
+//! never serializes on shared state** (DESIGN.md §8):
 //!
-//! * [`Engine`] — owns the [`Catalog`] behind its monotonic version
-//!   counter, a cross-query [`CalibrationStore`], and a bounded LRU
-//!   result cache keyed by `(plan fingerprint, catalog version)`;
+//! * [`Engine`] — owns the catalog as an immutable, versioned
+//!   [`CatalogSnapshot`] epoch swapped atomically on mutation, a
+//!   cross-query [`CalibrationStore`] with snapshot reads, and a sharded,
+//!   byte-budgeted result cache keyed by `(plan fingerprint, catalog
+//!   version)`;
 //! * [`Session`] — a per-client handle: `prepare` / `execute` plus the
 //!   session's [`ExecOptions`] defaults;
 //! * [`PreparedQuery`] — retains the generated module, the translated
@@ -19,41 +22,111 @@
 //!   governed by the Fig. 7 controller — the ladder is only ever climbed
 //!   once per (prepared query, catalog version).
 //!
-//! Invalidation is by construction, not by scanning: every cache key
-//! embeds [`Catalog::version`], which every mutation bumps.
+//! The concurrency discipline is uniform: an execution pins its epoch
+//! (two `Arc` clones) at start and never holds an engine-wide lock across
+//! the morsel loop; the only mutex a warm execution can block on is a
+//! per-slot latch held for the duration of a pointer copy. Invalidation
+//! is by construction, not by scanning: every cache key embeds
+//! [`CatalogSnapshot::version`], which every mutation bumps.
 
 mod cache;
 mod calibration;
+mod epoch;
 
+pub use cache::CacheStats;
 pub use calibration::{CalibrationStore, WorkloadShape};
 
 use crate::codegen;
 use crate::exec::{
     run_pipelines, ExecMode, ExecOptions, FunctionHandle, PipelineBackend, QueryRun, Report,
-    ResultRows,
+    ResultRows, RetainedSlot,
 };
 use crate::plan::{decompose, DictTable, FieldTy, PhysicalPlan, PlanNode, Source};
 use crate::sched::{CostCalibrator, CostModel, ExecLevel};
 use aqe_ir::{ExternDecl, Function, Module};
 use aqe_jit::compile::{compile, OptLevel};
-use aqe_storage::{Catalog, DataType};
+use aqe_storage::{Catalog, CatalogSnapshot, DataType};
 use aqe_vm::interp::ExecError;
 use aqe_vm::naive::NaiveBackend;
 use aqe_vm::rt::Registry;
 use aqe_vm::translate::{translate, TranslateOptions};
 use cache::ResultCache;
-use parking_lot::{Mutex, RwLock};
+use epoch::EpochCell;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Everything sessions share. `Arc`-held by every [`Session`] and
 /// [`PreparedQuery`], so prepared statements stay valid for as long as
 /// anything still references the engine.
 struct EngineShared {
-    catalog: RwLock<Catalog>,
+    /// The current catalog epoch. Executions `get` an `Arc` at start and
+    /// run lock-free against it; mutations publish a copy-on-write
+    /// successor. No execution ever holds a catalog-wide lock.
+    catalog: EpochCell<Arc<CatalogSnapshot>>,
+    /// Serializes *mutators* only (so two `with_catalog_mut` calls cannot
+    /// lose each other's update); readers never touch it.
+    catalog_mut: Mutex<()>,
     calibration: CalibrationStore,
     results: ResultCache,
     defaults: ExecOptions,
+    stats: EngineStats,
+}
+
+/// Engine-lifetime concurrency counters (all atomics; written on the
+/// execution path with relaxed ordering — observability, not
+/// synchronization).
+#[derive(Default)]
+struct EngineStats {
+    executions_started: AtomicU64,
+    executions_completed: AtomicU64,
+    /// Executions that built compiled state under the cold-compile latch.
+    cold_builds: AtomicU64,
+    /// Executions that reused published state without taking any latch.
+    warm_executions: AtomicU64,
+    /// Catalog epochs published by `with_catalog_mut`.
+    snapshot_swaps: AtomicU64,
+    in_flight: AtomicUsize,
+    peak_in_flight: AtomicUsize,
+}
+
+impl EngineStats {
+    /// Enter an execution: bump started/in-flight, track the peak, and
+    /// return the in-flight count including this execution.
+    fn enter(&self) -> usize {
+        self.executions_started.fetch_add(1, Ordering::Relaxed);
+        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_in_flight.fetch_max(now, Ordering::Relaxed);
+        now
+    }
+}
+
+/// Drops the in-flight count on every exit path (success, error, cache
+/// hit) of one execution.
+struct InFlight<'a>(&'a EngineStats);
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.0.executions_completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time view of the engine's concurrency counters
+/// ([`Engine::concurrency`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConcurrencyStats {
+    pub executions_started: u64,
+    pub executions_completed: u64,
+    /// Executions that built compiled state under a cold-compile latch.
+    pub cold_builds: u64,
+    /// Executions that reused published compiled state latch-free.
+    pub warm_executions: u64,
+    /// Catalog snapshot epochs published by mutations.
+    pub snapshot_swaps: u64,
+    pub in_flight: usize,
+    pub peak_in_flight: usize,
 }
 
 /// The long-lived engine: catalog + caches + calibration memory.
@@ -94,10 +167,12 @@ impl Engine {
     ) -> Engine {
         Engine {
             shared: Arc::new(EngineShared {
-                catalog: RwLock::new(catalog),
+                catalog: EpochCell::new(Arc::new(catalog.snapshot())),
+                catalog_mut: Mutex::new(()),
                 calibration: CalibrationStore::new(),
                 results: ResultCache::new(cache_budget_bytes),
                 defaults,
+                stats: EngineStats::default(),
             }),
         }
     }
@@ -110,26 +185,39 @@ impl Engine {
     /// Current catalog version (bumped by every mutation through
     /// [`with_catalog_mut`](Engine::with_catalog_mut)).
     pub fn catalog_version(&self) -> u64 {
-        self.shared.catalog.read().version()
+        self.shared.catalog.get().version()
     }
 
-    /// Read access to the catalog.
+    /// The current catalog epoch: an immutable snapshot that stays valid
+    /// (tables, column base pointers and all) across later mutations.
+    pub fn snapshot(&self) -> Arc<CatalogSnapshot> {
+        self.shared.catalog.get()
+    }
+
+    /// Read access to the catalog (a view of the current epoch).
     pub fn with_catalog<R>(&self, f: impl FnOnce(&Catalog) -> R) -> R {
-        f(&self.shared.catalog.read())
+        let snap = self.shared.catalog.get();
+        f(&Catalog::from_snapshot((*snap).clone()))
     }
 
-    /// Mutate the catalog. Any mutation bumps [`Catalog::version`], which
-    /// invalidates every cached result and forces prepared queries to
-    /// re-generate code on their next execution; entries for older
-    /// versions are purged eagerly, since their keys can never be
-    /// requested again.
+    /// Mutate the catalog. The mutation runs against a copy-on-write
+    /// builder and publishes a new snapshot epoch in one atomic swap —
+    /// in-flight executions keep their pinned epoch; everything *derived*
+    /// from older versions (cached results, retained code) is invalidated
+    /// by the version bump, and unreachable result-cache entries are
+    /// purged eagerly.
     pub fn with_catalog_mut<R>(&self, f: impl FnOnce(&mut Catalog) -> R) -> R {
-        let (r, version) = {
-            let mut cat = self.shared.catalog.write();
-            let r = f(&mut cat);
-            (r, cat.version())
-        };
-        self.shared.results.retain_version(version);
+        let _mutators = self.shared.catalog_mut.lock();
+        let before = self.shared.catalog.get();
+        let mut cat = Catalog::from_snapshot((*before).clone());
+        let r = f(&mut cat);
+        let snap = cat.snapshot();
+        if snap.version() != before.version() {
+            let version = snap.version();
+            self.shared.catalog.set(Arc::new(snap));
+            self.shared.stats.snapshot_swaps.fetch_add(1, Ordering::Relaxed);
+            self.shared.results.retain_version(version);
+        }
         r
     }
 
@@ -146,6 +234,27 @@ impl Engine {
     /// Bytes currently pinned by cached results.
     pub fn result_cache_bytes(&self) -> usize {
         self.shared.results.bytes_used()
+    }
+
+    /// Result-cache behavior counters: entries, bytes, hit/miss/
+    /// admission-rejection/eviction counts (see [`CacheStats`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.results.stats()
+    }
+
+    /// The engine's concurrency counters: executions started/completed/
+    /// in flight, cold builds vs latch-free warm reuses, snapshot swaps.
+    pub fn concurrency(&self) -> ConcurrencyStats {
+        let s = &self.shared.stats;
+        ConcurrencyStats {
+            executions_started: s.executions_started.load(Ordering::Relaxed),
+            executions_completed: s.executions_completed.load(Ordering::Relaxed),
+            cold_builds: s.cold_builds.load(Ordering::Relaxed),
+            warm_executions: s.warm_executions.load(Ordering::Relaxed),
+            snapshot_swaps: s.snapshot_swaps.load(Ordering::Relaxed),
+            in_flight: s.in_flight.load(Ordering::Relaxed),
+            peak_in_flight: s.peak_in_flight.load(Ordering::Relaxed),
+        }
     }
 
     /// Re-bound the result cache's byte budget (0 disables it; shrinking
@@ -176,16 +285,14 @@ impl Session {
     /// Read access to the engine's catalog (e.g. for planning SQL against
     /// it — see `aqe_sql::prepare`).
     pub fn with_catalog<R>(&self, f: impl FnOnce(&Catalog) -> R) -> R {
-        f(&self.shared.catalog.read())
+        let snap = self.shared.catalog.get();
+        f(&Catalog::from_snapshot((*snap).clone()))
     }
 
     /// Decompose a plan tree against the engine's catalog and prepare it.
     pub fn prepare(&self, root: &PlanNode, dicts: Vec<DictTable>) -> PreparedQuery {
-        let plan = {
-            let cat = self.shared.catalog.read();
-            decompose(&cat, root, dicts)
-        };
-        self.prepare_plan(plan)
+        let snap = self.shared.catalog.get();
+        self.prepare_plan(decompose(&snap, root, dicts))
     }
 
     /// Prepare an already-decomposed physical plan.
@@ -195,7 +302,8 @@ impl Session {
             fingerprint: plan.fingerprint(),
             plan: Arc::new(plan),
             module: None,
-            compiled: Mutex::new(None),
+            state: EpochCell::new(None),
+            build: Mutex::new(()),
         }
     }
 
@@ -208,7 +316,8 @@ impl Session {
             fingerprint: plan.fingerprint(),
             plan: Arc::new(plan),
             module: Some(Arc::new(module)),
-            compiled: Mutex::new(None),
+            state: EpochCell::new(None),
+            build: Mutex::new(()),
         }
     }
 
@@ -223,9 +332,13 @@ impl Session {
     /// ladder from the interpreter up. Warm path: reuse the retained
     /// module/bytecode/compiled backends (`Report::{codegen,
     /// bc_translate}` are zero) and start every pipeline at the highest
-    /// level a prior run reached. With `opts.cache_results`, an identical
-    /// plan over an unchanged catalog returns straight from the result
-    /// cache (`Report::result_cache_hit`) without running a single morsel.
+    /// level a prior run reached — **without blocking concurrent warm
+    /// executions of the same query**: the compiled state is read through
+    /// an epoch cell and the per-pipeline backends through hot-swap
+    /// slots, so the only serialization left is the one-time cold-compile
+    /// latch. With `opts.cache_results`, an identical plan over an
+    /// unchanged catalog returns straight from the sharded result cache
+    /// (`Report::result_cache_hit`) without running a single morsel.
     pub fn execute_with(
         &self,
         query: &PreparedQuery,
@@ -236,14 +349,21 @@ impl Session {
                 "prepared query belongs to a different engine".to_string(),
             ));
         }
-        // Held for the whole execution: generated code dereferences column
-        // base pointers, so the catalog must not move underneath it.
-        let cat = self.shared.catalog.read();
-        let version = cat.version();
+        // Pin this execution's catalog epoch: generated code dereferences
+        // column base pointers, and the snapshot's `Arc`s keep them alive
+        // even if a concurrent mutation publishes a newer epoch mid-run.
+        // From here on, nothing in this execution reads shared catalog
+        // state — no lock is held across the morsel loop.
+        let snap: Arc<CatalogSnapshot> = self.shared.catalog.get();
+        let version = snap.version();
         let plan = &query.plan;
 
+        let stats = &self.shared.stats;
+        let _in_flight = InFlight(stats);
         let mut report = Report {
             pipeline_labels: plan.pipelines.iter().map(|p| p.label.clone()).collect(),
+            snapshot_version: version,
+            concurrent_executions: stats.enter(),
             ..Default::default()
         };
 
@@ -262,37 +382,18 @@ impl Session {
         }
 
         // ---- code reuse / (re)generation ---------------------------------
-        // The compiled-state lock is held only for artifact assembly, not
-        // across the morsel loop: concurrent executions of one prepared
-        // query proceed in parallel once each has its handles.
-        let (functions, externs, registry, instrs, handles) = {
-            let mut guard = query.compiled.lock();
-            let stale = !matches!(&*guard, Some(s) if s.catalog_version == version);
-            if stale {
-                *guard = Some(CompiledState::build(
-                    plan,
-                    query.module.as_ref(),
-                    &cat,
-                    version,
-                    &mut report,
-                )?);
-            }
-            let state = guard.as_mut().expect("compiled state just ensured");
-            // Every mode goes through the same hot-swap handles; they
-            // differ only in what is installed before execution starts. A
-            // warm adaptive run starts from the best backend any prior
-            // run published; the static modes pin their exact level
-            // (compiling it now only if no prior run already did).
-            let handles = state.handles_for(opts.mode, &mut report)?;
-            (
-                state.functions.clone(),
-                state.externs.clone(),
-                state.registry.clone(),
-                state.instrs,
-                handles,
-            )
-        };
-        report.ir_instrs = instrs;
+        // Warm executions read the published state epoch-style (an `Arc`
+        // clone); only a version change funnels through the cold-compile
+        // latch, and only the builder holds it.
+        let state = query.state_for(&snap, stats, &mut report)?;
+        report.ir_instrs = state.instrs;
+        // Every mode goes through the same hot-swap handles; they differ
+        // only in what is installed before execution starts. A warm
+        // adaptive run starts from the best backend any prior (or
+        // concurrent!) run published; the static modes pin their exact
+        // level, compiling it under the per-slot latch only if no run did.
+        let handles = state.handles_for(opts.mode, &mut report)?;
+        let retained: Vec<Arc<RetainedSlot>> = state.slots.iter().map(|s| s.best.clone()).collect();
 
         // ---- calibration seed --------------------------------------------
         // An explicitly customized cost model is an instruction, not a
@@ -301,7 +402,7 @@ impl Session {
         // what they asked for even on a warm engine — and, symmetrically,
         // what such a run "learns" is never absorbed back into the store,
         // since its model blends fabricated constants no one measured.
-        let shape = WorkloadShape::new(plan.pipelines.len(), instrs);
+        let shape = WorkloadShape::new(plan.pipelines.len(), state.instrs);
         let default_model = opts.model == CostModel::default();
         let calibrator = Arc::new(if !default_model {
             CostCalibrator::new(opts.model)
@@ -316,11 +417,12 @@ impl Session {
         let rows = run_pipelines(
             QueryRun {
                 plan,
-                cat: &cat,
-                functions: &functions,
-                externs: &externs,
-                registry: &registry,
+                cat: &snap,
+                functions: &state.functions,
+                externs: &state.externs,
+                registry: &state.registry,
                 handles: &handles,
+                retained: &retained,
                 calibrator: &calibrator,
                 opts,
             },
@@ -328,18 +430,12 @@ impl Session {
         )?;
 
         // ---- persistence: code, calibration, results ----------------------
-        // Re-lock briefly to retain the backends this run published. A
-        // concurrent catalog mutation may have rebuilt the state at a
-        // newer version in the meantime; backends compiled from the old
-        // module must not leak into it.
-        {
-            let mut guard = query.compiled.lock();
-            if let Some(state) = guard.as_mut() {
-                if state.catalog_version == version {
-                    state.harvest(&handles);
-                }
-            }
-        }
+        // Retain the backends this run published into the slots of *this*
+        // state object. A concurrent catalog mutation may have published a
+        // newer state in the meantime — backends compiled from the old
+        // module land in the old state, which dies with its last `Arc`,
+        // so they can never leak across versions.
+        state.harvest(&handles);
         if default_model {
             self.shared.calibration.absorb(shape, &report.calibration);
         }
@@ -352,7 +448,8 @@ impl Session {
 
 /// A prepared query: the plan plus every execution artifact worth keeping
 /// between runs. Create via [`Session::prepare`]; execute any number of
-/// times via [`Session::execute`].
+/// times — concurrently from any number of threads — via
+/// [`Session::execute`].
 pub struct PreparedQuery {
     engine: Arc<EngineShared>,
     plan: Arc<PhysicalPlan>,
@@ -360,7 +457,14 @@ pub struct PreparedQuery {
     /// Caller-supplied module ([`Session::prepare_module`]); `None` means
     /// codegen runs (once per catalog version) at execution time.
     module: Option<Arc<Module>>,
-    compiled: Mutex<Option<CompiledState>>,
+    /// The published compiled state for the newest catalog version built
+    /// so far. Warm executions clone the `Arc` and go; they never touch
+    /// the build latch.
+    state: EpochCell<Option<Arc<PreparedState>>>,
+    /// The one-time cold-compile latch: serializes *builders* (one per
+    /// catalog version) so racing cold executions produce one state, not
+    /// N. Never taken on the warm path.
+    build: Mutex<()>,
 }
 
 impl PreparedQuery {
@@ -378,44 +482,90 @@ impl PreparedQuery {
     /// next adaptive execution starts at. All-`Interpreted` before the
     /// first run.
     pub fn levels(&self) -> Vec<ExecLevel> {
-        match &*self.compiled.lock() {
+        match self.state.get() {
             None => vec![ExecLevel::Interpreted; self.plan.pipelines.len()],
-            Some(s) => (0..s.functions.len())
-                .map(|i| {
-                    if s.native[i].is_some() {
-                        ExecLevel::Native
-                    } else if s.opt[i].is_some() {
-                        ExecLevel::Optimized
-                    } else if s.unopt[i].is_some() {
-                        ExecLevel::Unoptimized
-                    } else {
-                        ExecLevel::Interpreted
-                    }
-                })
-                .collect(),
+            Some(s) => s.slots.iter().map(|sl| ExecLevel::from_rank(sl.best.rank())).collect(),
+        }
+    }
+
+    /// The compiled state for `snap`'s catalog version: the published one
+    /// when fresh (warm path — an `Arc` clone, no latch), else built under
+    /// the cold-compile latch. A straggler execution pinned to an *older*
+    /// epoch than the published state builds privately without clobbering
+    /// the newer publication.
+    fn state_for(
+        &self,
+        snap: &CatalogSnapshot,
+        stats: &EngineStats,
+        report: &mut Report,
+    ) -> Result<Arc<PreparedState>, ExecError> {
+        let version = snap.version();
+        if let Some(s) = self.state.get() {
+            if s.catalog_version == version {
+                stats.warm_executions.fetch_add(1, Ordering::Relaxed);
+                return Ok(s);
+            }
+        }
+        let _latch = self.build.lock();
+        // Double-check: a racing cold execution may have built while this
+        // one waited on the latch.
+        if let Some(s) = self.state.get() {
+            if s.catalog_version == version {
+                stats.warm_executions.fetch_add(1, Ordering::Relaxed);
+                return Ok(s);
+            }
+        }
+        let built = Arc::new(PreparedState::build(&self.plan, self.module.as_ref(), snap, report)?);
+        report.cold_build = true;
+        stats.cold_builds.fetch_add(1, Ordering::Relaxed);
+        let newer_published = self.state.get().is_some_and(|s| s.catalog_version > version);
+        if !newer_published {
+            self.state.set(Some(built.clone()));
+        }
+        Ok(built)
+    }
+}
+
+/// Per-pipeline backend slots of one compiled state: the wait-free warm
+/// path. `best` is the rank-monotonic hot-swap slot adaptive runs seed
+/// from and background compiles publish into mid-flight; the four
+/// per-level latches hold the exact representation a static mode pins,
+/// each a compile-once mutex held across its (cold) compile so racing
+/// executions of the same level compile once, and held for a pointer copy
+/// on every later (warm) read.
+pub(crate) struct PipelineSlots {
+    best: Arc<RetainedSlot>,
+    bytecode: Mutex<Option<Arc<dyn PipelineBackend>>>,
+    unopt: Mutex<Option<Arc<dyn PipelineBackend>>>,
+    opt: Mutex<Option<Arc<dyn PipelineBackend>>>,
+    /// Native machine-code backend (rank 4). On targets without the
+    /// emitter this slot stays `None` and `ExecMode::Native` aliases to
+    /// the optimized threaded level.
+    native: Mutex<Option<Arc<dyn PipelineBackend>>>,
+}
+
+impl PipelineSlots {
+    fn new() -> PipelineSlots {
+        PipelineSlots {
+            best: Arc::new(RetainedSlot::new()),
+            bytecode: Mutex::new(None),
+            unopt: Mutex::new(None),
+            opt: Mutex::new(None),
+            native: Mutex::new(None),
         }
     }
 }
 
 /// The retained compilation artifacts of one prepared query at one
-/// catalog version.
-struct CompiledState {
+/// catalog version: an immutable core (functions, externs, registry)
+/// shared by reference, plus interior-mutable per-pipeline backend slots.
+struct PreparedState {
     catalog_version: u64,
     instrs: usize,
     functions: Vec<Arc<Function>>,
     externs: Arc<Vec<ExternDecl>>,
     registry: Arc<Registry>,
-    /// Translated bytecode, one per pipeline — filled lazily by the first
-    /// execution whose mode interprets bytecode (`NaiveIr` never pays for
-    /// translation, and the static compiled modes pin their own level).
-    bytecode: Vec<Option<Arc<dyn PipelineBackend>>>,
-    /// Backends a prior run compiled (background or up-front), per level.
-    unopt: Vec<Option<Arc<dyn PipelineBackend>>>,
-    opt: Vec<Option<Arc<dyn PipelineBackend>>>,
-    /// Native machine-code backends (rank 4). On targets without the
-    /// emitter these slots stay `None` and `ExecMode::Native` aliases to
-    /// the optimized threaded level.
-    native: Vec<Option<Arc<dyn PipelineBackend>>>,
+    slots: Vec<PipelineSlots>,
 }
 
 /// The plan's table scans must still line up with the (possibly mutated)
@@ -424,7 +574,7 @@ struct CompiledState {
 /// not a panic inside codegen or a misread base pointer in the morsel
 /// loop. Plans are prepared against a catalog version and not re-bound,
 /// so this is the re-validation point after mutations.
-fn validate_sources(plan: &PhysicalPlan, cat: &Catalog) -> Result<(), ExecError> {
+fn validate_sources(plan: &PhysicalPlan, cat: &CatalogSnapshot) -> Result<(), ExecError> {
     for p in &plan.pipelines {
         if let Source::Table { table, cols, field_tys, .. } = &p.source {
             let t =
@@ -451,16 +601,15 @@ fn validate_sources(plan: &PhysicalPlan, cat: &Catalog) -> Result<(), ExecError>
     Ok(())
 }
 
-impl CompiledState {
+impl PreparedState {
     /// Cold path: source re-validation, codegen (unless a module was
     /// supplied), registry resolution — each failure a value, not a panic.
     fn build(
         plan: &PhysicalPlan,
         module_override: Option<&Arc<Module>>,
-        cat: &Catalog,
-        catalog_version: u64,
+        cat: &CatalogSnapshot,
         report: &mut Report,
-    ) -> Result<CompiledState, ExecError> {
+    ) -> Result<PreparedState, ExecError> {
         validate_sources(plan, cat)?;
         let t0 = Instant::now();
         let module: Arc<Module> = match module_override {
@@ -482,35 +631,36 @@ impl CompiledState {
         let externs: Arc<Vec<ExternDecl>> = Arc::new(module.externs.clone());
 
         let n = functions.len();
-        Ok(CompiledState {
-            catalog_version,
+        Ok(PreparedState {
+            catalog_version: cat.version(),
             instrs: module.instruction_count(),
             functions,
             externs,
             registry,
-            bytecode: vec![None; n],
-            unopt: vec![None; n],
-            opt: vec![None; n],
-            native: vec![None; n],
+            slots: (0..n).map(|_| PipelineSlots::new()).collect(),
         })
     }
 
-    /// Translate every pipeline that does not have bytecode yet (timed in
-    /// `Report::bc_translate`; a no-op — and a zero report — when a prior
-    /// execution already paid for it).
-    fn ensure_bytecode(&mut self, report: &mut Report) -> Result<(), ExecError> {
-        if self.bytecode.iter().all(Option::is_some) {
-            return Ok(());
-        }
-        let t0 = Instant::now();
-        for (f, slot) in self.functions.iter().zip(self.bytecode.iter_mut()) {
+    /// Translate every pipeline that does not have bytecode yet, each
+    /// under its own compile-once latch (timed in `Report::bc_translate`;
+    /// a no-op — and a zero report — when a prior execution already paid
+    /// for it). Concurrent cold executions dedup per pipeline: the second
+    /// waits on the slot's latch and finds it filled.
+    fn ensure_bytecode(&self, report: &mut Report) -> Result<(), ExecError> {
+        let mut spent = Duration::ZERO;
+        for (f, slots) in self.functions.iter().zip(&self.slots) {
+            let mut slot = slots.bytecode.lock();
             if slot.is_none() {
+                let t0 = Instant::now();
                 let bc = translate(f, &self.externs, TranslateOptions::default())
                     .map_err(|e| ExecError::Translate(e.to_string()))?;
                 *slot = Some(Arc::new(bc));
+                spent += t0.elapsed();
             }
         }
-        report.bc_translate = t0.elapsed();
+        if spent > Duration::ZERO {
+            report.bc_translate += spent;
+        }
         Ok(())
     }
 
@@ -519,7 +669,7 @@ impl CompiledState {
     /// backend at their exact level or compile it now (timed in
     /// `Report::upfront_compile`).
     fn handles_for(
-        &mut self,
+        &self,
         mode: ExecMode,
         report: &mut Report,
     ) -> Result<Vec<Arc<FunctionHandle>>, ExecError> {
@@ -535,10 +685,11 @@ impl CompiledState {
                 .collect(),
             ExecMode::Bytecode => {
                 self.ensure_bytecode(report)?;
-                self.bytecode
+                self.slots
                     .iter()
-                    .map(|b| {
-                        Arc::new(FunctionHandle::new(b.clone().expect("bytecode just ensured")))
+                    .map(|s| {
+                        let bc = s.bytecode.lock().clone().expect("bytecode just ensured");
+                        Arc::new(FunctionHandle::new(bc))
                     })
                     .collect()
             }
@@ -570,15 +721,15 @@ impl CompiledState {
                 // The ladder's base rank: even a warm run needs bytecode
                 // as the fallback for pipelines nothing has upgraded yet.
                 self.ensure_bytecode(report)?;
-                (0..n)
-                    .map(|i| {
-                        let best = self.native[i]
-                            .clone()
-                            .or_else(|| self.opt[i].clone())
-                            .or_else(|| self.unopt[i].clone())
-                            .unwrap_or_else(|| {
-                                self.bytecode[i].clone().expect("bytecode just ensured")
-                            });
+                self.slots
+                    .iter()
+                    .map(|s| {
+                        // Best backend any prior — or concurrently running
+                        // — execution published; rank-monotonic, so this
+                        // can only ever improve on bytecode.
+                        let best = s.best.load().unwrap_or_else(|| {
+                            s.bytecode.lock().clone().expect("bytecode just ensured")
+                        });
                         Arc::new(FunctionHandle::new(best))
                     })
                     .collect()
@@ -588,26 +739,27 @@ impl CompiledState {
     }
 
     /// Pipeline `i`'s threaded-code backend at `level`, compiling and
-    /// retaining it if no prior run already did.
+    /// retaining it if no prior run already did (the slot latch is held
+    /// across the compile, so racing executions compile once).
     fn threaded_backend(
-        &mut self,
+        &self,
         i: usize,
         level: OptLevel,
     ) -> Result<Arc<dyn PipelineBackend>, ExecError> {
         let slot = match level {
-            OptLevel::Unoptimized => &mut self.unopt[i],
-            OptLevel::Optimized => &mut self.opt[i],
+            OptLevel::Unoptimized => &self.slots[i].unopt,
+            OptLevel::Optimized => &self.slots[i].opt,
         };
-        match slot {
-            Some(b) => Ok(b.clone()),
-            None => {
-                let cf = compile(&self.functions[i], &self.externs, level)
-                    .map_err(|e| ExecError::Compile(e.to_string()))?;
-                let b: Arc<dyn PipelineBackend> = Arc::new(cf);
-                *slot = Some(b.clone());
-                Ok(b)
-            }
+        let mut guard = slot.lock();
+        if let Some(b) = &*guard {
+            return Ok(b.clone());
         }
+        let cf = compile(&self.functions[i], &self.externs, level)
+            .map_err(|e| ExecError::Compile(e.to_string()))?;
+        let b: Arc<dyn PipelineBackend> = Arc::new(cf);
+        *guard = Some(b.clone());
+        self.slots[i].best.install(b.clone());
+        Ok(b)
     }
 
     /// Pipeline `i`'s native machine-code backend — or, where the emitter
@@ -616,30 +768,41 @@ impl CompiledState {
     /// *failure* (as opposed to unavailability) also falls back rather
     /// than failing the query, since `Optimized` is semantically
     /// equivalent.
-    fn native_backend(&mut self, i: usize) -> Result<Arc<dyn PipelineBackend>, ExecError> {
-        if let Some(b) = &self.native[i] {
-            return Ok(b.clone());
-        }
-        match aqe_jit::native::compile_native(&self.functions[i], &self.externs) {
-            Ok(nf) => {
-                let b: Arc<dyn PipelineBackend> = Arc::new(nf);
-                self.native[i] = Some(b.clone());
-                Ok(b)
+    fn native_backend(&self, i: usize) -> Result<Arc<dyn PipelineBackend>, ExecError> {
+        {
+            let mut guard = self.slots[i].native.lock();
+            if let Some(b) = &*guard {
+                return Ok(b.clone());
             }
-            Err(_) => self.threaded_backend(i, OptLevel::Optimized),
+            if let Ok(nf) = aqe_jit::native::compile_native(&self.functions[i], &self.externs) {
+                let b: Arc<dyn PipelineBackend> = Arc::new(nf);
+                *guard = Some(b.clone());
+                self.slots[i].best.install(b.clone());
+                return Ok(b);
+            }
+            // Fall back below — with the native latch released, so the
+            // fallback compile cannot nest slot locks.
         }
+        self.threaded_backend(i, OptLevel::Optimized)
     }
 
     /// After a run: retain whatever backends the controller published, so
-    /// the next execution starts where this one ended.
-    fn harvest(&mut self, handles: &[Arc<FunctionHandle>]) {
-        for (i, h) in handles.iter().enumerate() {
+    /// the next execution starts where this one ended. (Mid-run, finished
+    /// background compiles already installed into `best`; this sweep
+    /// backfills the exact-level latches for the static modes.)
+    fn harvest(&self, handles: &[Arc<FunctionHandle>]) {
+        for (slots, h) in self.slots.iter().zip(handles) {
             let b = h.load();
-            match b.kind() {
-                ExecMode::Unoptimized => self.unopt[i] = Some(b),
-                ExecMode::Optimized => self.opt[i] = Some(b),
-                ExecMode::Native => self.native[i] = Some(b),
-                _ => {}
+            let slot = match b.kind() {
+                ExecMode::Unoptimized => &slots.unopt,
+                ExecMode::Optimized => &slots.opt,
+                ExecMode::Native => &slots.native,
+                _ => continue,
+            };
+            slots.best.install(b.clone());
+            let mut guard = slot.lock();
+            if guard.is_none() {
+                *guard = Some(b);
             }
         }
     }

@@ -120,6 +120,47 @@ fn warm_reexecution_skips_codegen_and_starts_at_reached_level() {
     let starts: Vec<ExecLevel> = warm.sched.iter().map(|s| s.start_level).collect();
     assert_eq!(starts, levels, "warm run starts at the previously reached levels");
     assert_eq!(rows1.rows, rows2.rows, "warm reuse must not change the answer");
+
+    // The cold/warm split is observable: the first run built state under
+    // the cold-compile latch, the second reused it latch-free.
+    assert!(cold.cold_build, "the first run builds the compiled state");
+    assert!(!warm.cold_build, "the warm run must not");
+    assert_eq!(cold.snapshot_version, warm.snapshot_version, "same catalog epoch");
+    let stats = engine.concurrency();
+    assert_eq!(stats.cold_builds, 1);
+    assert_eq!(stats.warm_executions, 1);
+    assert_eq!(stats.executions_started, 2);
+    assert_eq!(stats.in_flight, 0);
+}
+
+#[test]
+fn cache_stats_surface_counts_behavior_under_load() {
+    let cat = tpch::generate(0.005);
+    let engine = Engine::new(cat);
+    let session = engine.session();
+    let prepared = session.prepare(&wide_plan(4), vec![]);
+    let opts = ExecOptions { threads: 1, ..Default::default() };
+
+    session.execute_with(&prepared, &opts).expect("miss + insert");
+    session.execute_with(&prepared, &opts).expect("hit");
+    session.execute_with(&prepared, &opts).expect("hit");
+
+    let s = engine.cache_stats();
+    assert_eq!(s.entries, 1);
+    assert_eq!(s.insertions, 1);
+    assert_eq!(s.misses, 1, "only the first submission misses");
+    assert_eq!(s.hits, 2);
+    assert!(s.bytes_used > 0 && s.bytes_used <= s.budget_bytes);
+    assert!(s.shards > 1, "the engine's cache is sharded");
+
+    // Invalidation shows up as occupancy, not as lost counters.
+    engine.with_catalog_mut(|c| {
+        c.add(Table::new("tiny", vec![("x", DataType::Int64, Column::I64(vec![1]))]))
+    });
+    let after = engine.cache_stats();
+    assert_eq!(after.entries, 0);
+    assert_eq!(after.bytes_used, 0);
+    assert_eq!(after.hits, 2, "counters are engine-lifetime");
 }
 
 #[test]
@@ -343,30 +384,32 @@ fn dropping_a_scanned_table_is_a_setup_error() {
     assert!(matches!(err, ExecError::Setup(_)), "got {err:?}");
 }
 
-/// The deprecated one-shot shims must keep working for out-of-repo
-/// callers; this is their only in-repo use.
+/// The one-shot pattern the deprecated `execute_plan`/`execute_module`
+/// shims used to paper over, written out in the session API: a throwaway
+/// engine per call still works, a caller-generated module produces the
+/// same rows as engine codegen, and the module path pays no codegen.
 #[test]
-#[allow(deprecated)]
-fn deprecated_one_shot_shims_still_execute() {
+fn one_shot_execution_through_a_throwaway_engine() {
     let cat = tpch::generate(0.002);
     let phys = physical(&cat, &wide_plan(3));
     let opts = ExecOptions { threads: 1, ..Default::default() };
 
-    let (rows, report) = aqe_engine::exec::execute_plan(&phys, &cat, &opts).expect("shim run");
+    let engine = Engine::new(cat.clone());
+    let session = engine.session();
+    let prepared = session.prepare_plan(phys.clone());
+    let (rows, report) = session.execute_with(&prepared, &opts).expect("one-shot run");
     assert_eq!(rows.row_count(), 1);
     assert!(report.codegen > Duration::ZERO);
 
+    // Stage-timing harnesses generate IR themselves and hand it in;
+    // execution must then charge them nothing for codegen.
     let module = aqe_engine::codegen::generate(&phys, &cat);
-    let report_in =
-        aqe_engine::exec::Report { codegen: Duration::from_millis(7), ..Default::default() };
-    let (rows2, report2) = aqe_engine::exec::execute_module(&phys, &cat, &module, &opts, report_in)
-        .expect("module shim");
+    let engine2 = Engine::new(cat.clone());
+    let session2 = engine2.session();
+    let with_module = session2.prepare_module(phys, module);
+    let (rows2, report2) = session2.execute_with(&with_module, &opts).expect("module run");
     assert_eq!(rows.rows, rows2.rows);
-    assert_eq!(
-        report2.codegen,
-        Duration::from_millis(7),
-        "caller-measured codegen carried through"
-    );
+    assert_eq!(report2.codegen, Duration::ZERO, "caller-supplied module pays no codegen");
 }
 
 #[test]

@@ -19,4 +19,4 @@ pub mod tpch;
 
 pub use column::{Column, DataType, StrColumn};
 pub use date::{date_to_days, days_to_date};
-pub use table::{Catalog, Table};
+pub use table::{Catalog, CatalogSnapshot, Table};

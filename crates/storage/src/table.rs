@@ -3,6 +3,7 @@
 use crate::column::{Column, DataType};
 use std::collections::HashMap;
 use std::fmt;
+use std::ops::Deref;
 use std::sync::Arc;
 
 /// An immutable in-memory table: a schema plus one column vector per field.
@@ -67,53 +68,65 @@ impl fmt::Display for Table {
     }
 }
 
-/// A named collection of tables. Tables are `Arc`-shared so that queries and
-/// worker threads can hold them without copying.
+/// One immutable epoch of the catalog: a versioned, `Arc`-shared table
+/// map that can never change underneath a reader.
 ///
-/// Every mutation ([`add`], [`remove`]) bumps a monotonic [`version`]
-/// counter. Long-lived consumers (the engine's prepared-statement code
-/// cache and query-result cache) key their entries by this version, so a
-/// catalog change automatically invalidates anything derived from the old
+/// This is the unit the engine's concurrency story is built on: an
+/// execution clones a `CatalogSnapshot` (two `Arc` bumps) at start and
+/// reads it lock-free for its whole lifetime — generated code can keep
+/// dereferencing column base pointers even while a concurrent mutation
+/// publishes a *new* snapshot, because the old epoch's `Arc<Table>`s stay
+/// alive for as long as anything references them.
+///
+/// Mutations are **copy-on-write builders**: [`with_added`] /
+/// [`with_removed`] clone the table map (cheap — it holds `Arc<Table>`,
+/// not table data), apply the change, and bump the monotonic version.
+/// Long-lived consumers (the engine's prepared-statement code cache and
+/// query-result cache) key their entries by [`version`], so a catalog
+/// change automatically invalidates anything derived from the old
 /// contents.
 ///
-/// [`add`]: Catalog::add
-/// [`remove`]: Catalog::remove
-/// [`version`]: Catalog::version
-#[derive(Clone, Default, Debug)]
-pub struct Catalog {
-    tables: HashMap<String, Arc<Table>>,
+/// [`with_added`]: CatalogSnapshot::with_added
+/// [`with_removed`]: CatalogSnapshot::with_removed
+/// [`version`]: CatalogSnapshot::version
+#[derive(Clone, Debug)]
+pub struct CatalogSnapshot {
+    tables: Arc<HashMap<String, Arc<Table>>>,
     version: u64,
 }
 
-impl Catalog {
-    pub fn new() -> Self {
-        Self::default()
+impl Default for CatalogSnapshot {
+    fn default() -> Self {
+        CatalogSnapshot { tables: Arc::new(HashMap::new()), version: 0 }
     }
+}
 
-    /// Insert (or replace) a table, bumping the catalog version.
-    pub fn add(&mut self, table: Table) {
-        self.tables.insert(table.name.clone(), Arc::new(table));
-        self.version += 1;
-    }
-
-    /// Remove a table by name, bumping the catalog version when the table
-    /// existed.
-    pub fn remove(&mut self, name: &str) -> Option<Arc<Table>> {
-        let removed = self.tables.remove(name);
-        if removed.is_some() {
-            self.version += 1;
-        }
-        removed
-    }
-
-    /// Monotonic mutation counter: incremented by every [`add`] and
-    /// successful [`remove`]. Two catalogs with the same version that share
-    /// a mutation history hold the same tables.
-    ///
-    /// [`add`]: Catalog::add
-    /// [`remove`]: Catalog::remove
+impl CatalogSnapshot {
+    /// Monotonic mutation counter: incremented by every copy-on-write
+    /// mutation. Two snapshots with the same version that share a mutation
+    /// history hold the same tables.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// A new snapshot with `table` inserted (or replaced) and the version
+    /// bumped. `self` is unaffected — readers of the old epoch keep their
+    /// view.
+    pub fn with_added(&self, table: Table) -> CatalogSnapshot {
+        let mut tables = (*self.tables).clone();
+        tables.insert(table.name.clone(), Arc::new(table));
+        CatalogSnapshot { tables: Arc::new(tables), version: self.version + 1 }
+    }
+
+    /// A new snapshot with `name` removed (version bumped only when the
+    /// table existed), plus the removed table.
+    pub fn with_removed(&self, name: &str) -> (CatalogSnapshot, Option<Arc<Table>>) {
+        if !self.tables.contains_key(name) {
+            return (self.clone(), None);
+        }
+        let mut tables = (*self.tables).clone();
+        let removed = tables.remove(name);
+        (CatalogSnapshot { tables: Arc::new(tables), version: self.version + 1 }, removed)
     }
 
     pub fn get(&self, name: &str) -> Option<&Arc<Table>> {
@@ -132,6 +145,63 @@ impl Catalog {
 
     pub fn is_empty(&self) -> bool {
         self.tables.is_empty()
+    }
+}
+
+/// A named collection of tables: the *mutable builder* over the immutable
+/// [`CatalogSnapshot`] epochs. Tables are `Arc`-shared so that queries and
+/// worker threads can hold them without copying.
+///
+/// `Catalog` derefs to its current snapshot, so every read accessor
+/// ([`get`](CatalogSnapshot::get), [`version`](CatalogSnapshot::version),
+/// [`table_names`](CatalogSnapshot::table_names), …) is available on it
+/// directly; [`add`] and [`remove`] build the next epoch copy-on-write.
+/// [`snapshot`] hands out the current epoch for lock-free sharing.
+///
+/// [`add`]: Catalog::add
+/// [`remove`]: Catalog::remove
+/// [`snapshot`]: Catalog::snapshot
+#[derive(Clone, Default, Debug)]
+pub struct Catalog {
+    snap: CatalogSnapshot,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A catalog whose current contents are `snap` (continues that epoch's
+    /// version history).
+    pub fn from_snapshot(snap: CatalogSnapshot) -> Catalog {
+        Catalog { snap }
+    }
+
+    /// The current epoch: an immutable, cheaply clonable view that stays
+    /// valid across later mutations of this catalog.
+    pub fn snapshot(&self) -> CatalogSnapshot {
+        self.snap.clone()
+    }
+
+    /// Insert (or replace) a table, bumping the catalog version.
+    pub fn add(&mut self, table: Table) {
+        self.snap = self.snap.with_added(table);
+    }
+
+    /// Remove a table by name, bumping the catalog version when the table
+    /// existed.
+    pub fn remove(&mut self, name: &str) -> Option<Arc<Table>> {
+        let (snap, removed) = self.snap.with_removed(name);
+        self.snap = snap;
+        removed
+    }
+}
+
+impl Deref for Catalog {
+    type Target = CatalogSnapshot;
+
+    fn deref(&self) -> &CatalogSnapshot {
+        &self.snap
     }
 }
 
@@ -197,5 +267,55 @@ mod tests {
         assert_eq!(c.version(), 3);
         // Clones carry the version with them.
         assert_eq!(c.clone().version(), 3);
+    }
+
+    #[test]
+    fn snapshots_are_immutable_epochs() {
+        let mut c = Catalog::new();
+        c.add(t());
+        let epoch1 = c.snapshot();
+        assert_eq!(epoch1.version(), 1);
+
+        // Mutations build new epochs; the old snapshot's view is frozen.
+        c.remove("t");
+        assert_eq!(c.version(), 2);
+        assert!(c.get("t").is_none());
+        assert!(epoch1.get("t").is_some(), "old epoch keeps the removed table alive");
+        assert_eq!(epoch1.version(), 1);
+
+        // The removed table's columns stay dereferenceable through the old
+        // epoch — the property in-flight executions rely on.
+        let table = epoch1.get("t").unwrap();
+        assert_eq!(table.row_count(), 3);
+        assert_eq!(table.column(0).len(), 3);
+    }
+
+    #[test]
+    fn copy_on_write_builders_version_correctly() {
+        let base = Catalog::new().snapshot();
+        let one = base.with_added(t());
+        assert_eq!(base.version(), 0);
+        assert_eq!(one.version(), 1);
+        assert!(base.get("t").is_none());
+        assert!(one.get("t").is_some());
+
+        let (two, removed) = one.with_removed("t");
+        assert!(removed.is_some());
+        assert_eq!(two.version(), 2);
+        assert!(one.get("t").is_some(), "removal is copy-on-write");
+
+        // Removing a missing table is a no-op that does not bump.
+        let (same, none) = two.with_removed("t");
+        assert!(none.is_none());
+        assert_eq!(same.version(), 2);
+    }
+
+    #[test]
+    fn catalog_round_trips_through_snapshots() {
+        let mut c = Catalog::new();
+        c.add(t());
+        let rebuilt = Catalog::from_snapshot(c.snapshot());
+        assert_eq!(rebuilt.version(), c.version());
+        assert_eq!(rebuilt.table_names(), c.table_names());
     }
 }
