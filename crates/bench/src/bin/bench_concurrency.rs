@@ -26,12 +26,12 @@
 //! Knobs: `AQE_SF` (scale factor, default 0.05), `AQE_CONC_THREADS`
 //! (comma list, default `1,2,4,8`), `AQE_CONC_SECS` (seconds per
 //! measurement point, default 1.0), `AQE_BENCH_OUT` (output path,
-//! default `BENCH_PR5.json`). `--smoke` shrinks everything for CI and
+//! default `BENCH_PR6.json`). `--smoke` shrinks everything for CI and
 //! defaults the output to a temp path.
 //!
 //! Output: if the target file already holds a `bench_trajectory` JSON
 //! object, a `"concurrency"` section is merged into it (so the committed
-//! `BENCH_PR5.json` carries the single-thread trajectory *and* the
+//! `BENCH_PR<n>.json` carries the single-thread trajectory *and* the
 //! concurrency surface in one artifact); otherwise a standalone object is
 //! written.
 
@@ -197,7 +197,7 @@ fn main() {
         if smoke {
             "/tmp/bench_concurrency_smoke.json".to_string()
         } else {
-            "BENCH_PR5.json".into()
+            "BENCH_PR6.json".into()
         }
     });
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);

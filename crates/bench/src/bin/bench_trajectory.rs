@@ -12,7 +12,7 @@
 //!
 //! Knobs: `AQE_SF` (scale factor, default 0.1), `AQE_THREADS` (default 1),
 //! `AQE_REPS` (default 3; the *minimum* over reps is recorded),
-//! `AQE_BENCH_PR` (the `pr` stamp, default 5),
+//! `AQE_BENCH_PR` (the `pr` stamp, default 6),
 //! `AQE_BENCH_OUT` (output path, default `BENCH_PR<pr>.json`).
 
 use aqe_bench::{env_sf, geomean, ms, physical, run_mode, threads_from_env, MODES};
@@ -26,9 +26,10 @@ fn main() {
     let threads = threads_from_env(1);
     let reps: usize =
         std::env::var("AQE_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(3).max(1);
-    let pr: u32 = std::env::var("AQE_BENCH_PR").ok().and_then(|s| s.parse().ok()).unwrap_or(5);
+    let pr: u32 = std::env::var("AQE_BENCH_PR").ok().and_then(|s| s.parse().ok()).unwrap_or(6);
     let out_path = std::env::var("AQE_BENCH_OUT").unwrap_or_else(|_| format!("BENCH_PR{pr}.json"));
     let native_enabled = aqe_jit::native::enabled();
+    let simd_enabled = aqe_engine::simd::enabled();
 
     eprintln!("generating TPC-H SF {sf}…");
     let cat = aqe_storage::tpch::generate(sf);
@@ -58,7 +59,10 @@ fn main() {
             );
             exec_ms.entry(label).or_default().insert(q.name.clone(), best_exec);
             total_ms.entry(label).or_default().insert(q.name.clone(), best_total);
-            if matches!(mode, ExecMode::Unoptimized | ExecMode::Optimized | ExecMode::Native) {
+            if matches!(
+                mode,
+                ExecMode::Unoptimized | ExecMode::Optimized | ExecMode::Native | ExecMode::Simd
+            ) {
                 compile_ms.entry(label).or_default().insert(q.name.clone(), best_compile);
             }
         }
@@ -67,6 +71,7 @@ fn main() {
     let geo = |m: &BTreeMap<String, f64>| geomean(&m.values().copied().collect::<Vec<_>>());
     let opt_geo = geo(&exec_ms["optimized"]);
     let native_geo = geo(&exec_ms["native"]);
+    let simd_geo = geo(&exec_ms["simd"]);
     let bc_geo = geo(&exec_ms["bytecode"]);
 
     let mut j = String::new();
@@ -77,7 +82,7 @@ fn main() {
     let _ = writeln!(
         j,
         "  \"config\": {{\"sf\": {sf}, \"threads\": {threads}, \"reps\": {reps}, \
-         \"native_enabled\": {native_enabled}}},"
+         \"native_enabled\": {native_enabled}, \"simd_enabled\": {simd_enabled}}},"
     );
     let _ = writeln!(j, "  \"modes\": {{");
     let nmodes = exec_ms.len();
@@ -110,7 +115,8 @@ fn main() {
     let _ = writeln!(j, "  \"adaptive_end_to_end_ms\": {:.4},", geo(&total_ms["adaptive"]));
     let _ = writeln!(j, "  \"ratios\": {{");
     let _ = writeln!(j, "    \"bytecode_over_native\": {:.3},", bc_geo / native_geo);
-    let _ = writeln!(j, "    \"optimized_over_native\": {:.3}", opt_geo / native_geo);
+    let _ = writeln!(j, "    \"optimized_over_native\": {:.3},", opt_geo / native_geo);
+    let _ = writeln!(j, "    \"native_over_simd\": {:.3}", native_geo / simd_geo);
     let _ = writeln!(j, "  }}");
     let _ = writeln!(j, "}}");
 
@@ -119,9 +125,10 @@ fn main() {
         .expect("write benchmark json");
     eprintln!("\nwrote {out_path}");
     eprintln!(
-        "geomeans: bytecode {bc_geo:.2} ms, optimized {opt_geo:.2} ms, native {native_geo:.2} ms \
-         (optimized/native = {:.2}x)",
-        opt_geo / native_geo
+        "geomeans: bytecode {bc_geo:.2} ms, optimized {opt_geo:.2} ms, native {native_geo:.2} ms, \
+         simd {simd_geo:.2} ms (optimized/native = {:.2}x, native/simd = {:.2}x)",
+        opt_geo / native_geo,
+        native_geo / simd_geo
     );
     if native_enabled && opt_geo / native_geo < 2.0 {
         eprintln!("WARNING: native speedup below the 2x acceptance bar");

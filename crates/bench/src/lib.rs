@@ -97,23 +97,25 @@ pub fn fmt_ms(v: f64) -> String {
 }
 
 /// Mode labels used in the standard reports (the four modes of Fig. 3 plus
-/// the native machine-code tier above them).
-pub const MODES: [(ExecMode, &str); 5] = [
+/// the native machine-code tier and its vectorized scan-kernel cap).
+pub const MODES: [(ExecMode, &str); 6] = [
     (ExecMode::Bytecode, "bytecode"),
     (ExecMode::Unoptimized, "unoptimized"),
     (ExecMode::Optimized, "optimized"),
     (ExecMode::Native, "native"),
+    (ExecMode::Simd, "simd"),
     (ExecMode::Adaptive, "adaptive"),
 ];
 
 /// Every backend the engine can publish into a pipeline's hot-swap handle,
 /// including the slow naive-IR baseline (Fig. 2's full latency spectrum).
-pub const ALL_MODES: [(ExecMode, &str); 6] = [
+pub const ALL_MODES: [(ExecMode, &str); 7] = [
     (ExecMode::NaiveIr, "naive-ir"),
     (ExecMode::Bytecode, "bytecode"),
     (ExecMode::Unoptimized, "unoptimized"),
     (ExecMode::Optimized, "optimized"),
     (ExecMode::Native, "native"),
+    (ExecMode::Simd, "simd"),
     (ExecMode::Adaptive, "adaptive"),
 ];
 

@@ -18,6 +18,7 @@ use crate::runtime::{merge_agg_tables, sort_rows, JoinHt, WorkerRt};
 use crate::sched::{
     AdaptiveController, ControllerCtx, CostCalibrator, MorselDispenser, PipelineProgress,
 };
+use crate::simd::ScanKernel;
 use aqe_ir::{ExternDecl, Function};
 use aqe_storage::CatalogSnapshot;
 use aqe_vm::interp::{ExecError, Frame};
@@ -339,6 +340,11 @@ pub(crate) struct QueryRun<'a> {
     /// state: background compiles publish into these the moment they
     /// finish, so concurrent executions warm-start mid-flight.
     pub retained: &'a [Arc<RetainedSlot>],
+    /// Per-pipeline vectorized scan kernels extracted at prepare time
+    /// (`None` where the pipeline has no vectorizable filter); handed to
+    /// each pipeline's controller so the adaptive ladder can top out at
+    /// the SIMD tier.
+    pub kernels: &'a [Option<Arc<ScanKernel>>],
     /// Per-query calibrator, possibly seeded from the engine's
     /// cross-query `CalibrationStore`.
     pub calibrator: &'a Arc<CostCalibrator>,
@@ -354,8 +360,18 @@ pub(crate) fn run_pipelines(
     run: QueryRun<'_>,
     report: &mut Report,
 ) -> Result<ResultRows, ExecError> {
-    let QueryRun { plan, cat, functions, externs, registry, handles, retained, calibrator, opts } =
-        run;
+    let QueryRun {
+        plan,
+        cat,
+        functions,
+        externs,
+        registry,
+        handles,
+        retained,
+        kernels,
+        calibrator,
+        opts,
+    } = run;
 
     // ---- state assembly ---------------------------------------------------
     let mut state = QueryState {
@@ -409,6 +425,7 @@ pub(crate) fn run_pipelines(
             externs,
             handle: &handles[p.id],
             retained: &retained[p.id],
+            kernel: kernels.get(p.id).and_then(|k| k.clone()),
             registry,
             total_rows,
             plan,
@@ -456,6 +473,7 @@ struct PipelineRun<'a> {
     externs: &'a Arc<Vec<ExternDecl>>,
     handle: &'a Arc<FunctionHandle>,
     retained: &'a Arc<RetainedSlot>,
+    kernel: Option<Arc<ScanKernel>>,
     registry: &'a Arc<Registry>,
     total_rows: usize,
     plan: &'a PhysicalPlan,
@@ -492,6 +510,7 @@ impl PipelineRun<'_> {
             externs: self.externs.clone(),
             handle: self.handle.clone(),
             retained: Some(self.retained.clone()),
+            kernel: self.kernel.clone(),
             progress: progress.clone(),
             calibrator: self.calibrator.clone(),
             compile_events: self.compile_events.clone(),

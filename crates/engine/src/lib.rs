@@ -31,6 +31,7 @@ pub mod plan;
 pub mod runtime;
 pub mod sched;
 pub mod session;
+pub mod simd;
 
 pub use exec::{
     CostModel, ExecMode, ExecOptions, FunctionHandle, PipelineBackend, Report, ResultRows,

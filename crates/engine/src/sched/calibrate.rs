@@ -29,11 +29,20 @@ pub struct CostModel {
     pub opt_per_instr_s: f64,
     pub native_base_s: f64,
     pub native_per_instr_s: f64,
-    /// Execution speedup of unoptimized / optimized threaded code and
-    /// native machine code over bytecode.
+    /// Reaching the SIMD tier costs a native compile plus the (cheap)
+    /// kernel wrap, so its constants sit just above the native ones.
+    pub simd_base_s: f64,
+    pub simd_per_instr_s: f64,
+    /// Execution speedup of unoptimized / optimized threaded code, native
+    /// machine code, and kernel-fronted native code over bytecode.
     pub speedup_unopt: f64,
     pub speedup_opt: f64,
     pub speedup_native: f64,
+    /// Only meaningful on pipelines with a vectorizable filter — the
+    /// controller never proposes the SIMD level elsewhere. Selective
+    /// filters skip most scalar work, hence the distinctly higher default;
+    /// the calibrator pulls it down fast on non-selective scans.
+    pub speedup_simd: f64,
 }
 
 impl Default for CostModel {
@@ -49,9 +58,12 @@ impl Default for CostModel {
             // emission and an mmap/mprotect round trip.
             native_base_s: 150e-6,
             native_per_instr_s: 5.0e-6,
+            simd_base_s: 160e-6,
+            simd_per_instr_s: 5.0e-6,
             speedup_unopt: 1.5,
             speedup_opt: 2.2,
             speedup_native: 6.0,
+            speedup_simd: 9.0,
         }
     }
 }
@@ -65,6 +77,7 @@ impl CostModel {
             ExecLevel::Unoptimized => self.unopt_base_s + self.unopt_per_instr_s * instrs as f64,
             ExecLevel::Optimized => self.opt_base_s + self.opt_per_instr_s * instrs as f64,
             ExecLevel::Native => self.native_base_s + self.native_per_instr_s * instrs as f64,
+            ExecLevel::Simd => self.simd_base_s + self.simd_per_instr_s * instrs as f64,
         }
     }
     /// Modelled execution speedup of `level` over bytecode.
@@ -74,6 +87,7 @@ impl CostModel {
             ExecLevel::Unoptimized => self.speedup_unopt,
             ExecLevel::Optimized => self.speedup_opt,
             ExecLevel::Native => self.speedup_native,
+            ExecLevel::Simd => self.speedup_simd,
         }
     }
 }
@@ -169,6 +183,7 @@ impl CostCalibrator {
             ExecLevel::Unoptimized => (g.model.unopt_base_s, &mut g.model.unopt_per_instr_s),
             ExecLevel::Optimized => (g.model.opt_base_s, &mut g.model.opt_per_instr_s),
             ExecLevel::Native => (g.model.native_base_s, &mut g.model.native_per_instr_s),
+            ExecLevel::Simd => (g.model.simd_base_s, &mut g.model.simd_per_instr_s),
         };
         let observed_per = (secs - base).max(0.0) / instrs as f64;
         *per = blend(*per, observed_per);
@@ -189,6 +204,7 @@ impl CostCalibrator {
             }
             ExecLevel::Optimized => g.model.speedup_opt = blend(g.model.speedup_opt, observed),
             ExecLevel::Native => g.model.speedup_native = blend(g.model.speedup_native, observed),
+            ExecLevel::Simd => g.model.speedup_simd = blend(g.model.speedup_simd, observed),
         }
         g.speedup_obs += 1;
     }

@@ -21,6 +21,7 @@ use crate::exec::{FunctionHandle, RetainedSlot, TraceEvent};
 use crate::sched::calibrate::{CostCalibrator, CostModel};
 use crate::sched::morsel::MorselDispenser;
 use crate::sched::progress::PipelineProgress;
+use crate::simd::{self, ScanKernel, SimdScanBackend};
 use aqe_ir::{ExternDecl, Function};
 use aqe_jit::compile::{compile, OptLevel};
 use aqe_vm::backend::ExecMode;
@@ -42,12 +43,16 @@ pub enum ExecLevel {
     Optimized,
     /// Real machine code (`aqe_jit::native`, rank 4).
     Native,
+    /// Native code behind a vectorized scan-kernel pre-pass (rank 5).
+    Simd,
 }
 
 impl ExecLevel {
     /// Classify a backend rank (see `ExecMode::rank`).
     pub fn from_rank(rank: u8) -> ExecLevel {
-        if rank >= ExecMode::Native.rank() {
+        if rank >= ExecMode::Simd.rank() {
+            ExecLevel::Simd
+        } else if rank >= ExecMode::Native.rank() {
             ExecLevel::Native
         } else if rank >= ExecMode::Optimized.rank() {
             ExecLevel::Optimized
@@ -64,8 +69,8 @@ impl ExecLevel {
     }
 
     /// The levels a compilation can target, in rank order.
-    pub const COMPILED: [ExecLevel; 3] =
-        [ExecLevel::Unoptimized, ExecLevel::Optimized, ExecLevel::Native];
+    pub const COMPILED: [ExecLevel; 4] =
+        [ExecLevel::Unoptimized, ExecLevel::Optimized, ExecLevel::Native, ExecLevel::Simd];
 }
 
 /// Fig. 7's decision outcome.
@@ -75,6 +80,7 @@ pub enum ModeChoice {
     Unoptimized,
     Optimized,
     Native,
+    Simd,
 }
 
 impl ModeChoice {
@@ -84,6 +90,7 @@ impl ModeChoice {
             ExecLevel::Unoptimized => ModeChoice::Unoptimized,
             ExecLevel::Optimized => ModeChoice::Optimized,
             ExecLevel::Native => ModeChoice::Native,
+            ExecLevel::Simd => ModeChoice::Simd,
         }
     }
 }
@@ -169,6 +176,11 @@ pub struct ControllerCtx {
     /// prepared query warm-start from it mid-flight instead of waiting
     /// for this run's end-of-query harvest.
     pub retained: Option<Arc<RetainedSlot>>,
+    /// The pipeline's vectorized filter pre-pass, when one was extracted
+    /// from the plan: its presence is what raises the controller's
+    /// ceiling from `Native` to `Simd`, and the background compile wraps
+    /// the freshly compiled scalar backend in it.
+    pub kernel: Option<Arc<ScanKernel>>,
     pub progress: Arc<PipelineProgress>,
     pub calibrator: Arc<CostCalibrator>,
     pub compile_events: Arc<Mutex<Vec<TraceEvent>>>,
@@ -227,8 +239,13 @@ impl AdaptiveController {
         let start_level = ExecLevel::from_rank(ctx.handle.rank());
         let instrs = ctx.function.instruction_count();
         let first_us = ctx.first_eval.as_micros() as u64;
-        let ceiling =
-            if aqe_jit::native::enabled() { ExecLevel::Native } else { ExecLevel::Optimized };
+        let ceiling = if ctx.kernel.is_some() && simd::enabled() {
+            ExecLevel::Simd
+        } else if aqe_jit::native::enabled() {
+            ExecLevel::Native
+        } else {
+            ExecLevel::Optimized
+        };
         AdaptiveController {
             model,
             calibrated,
@@ -297,6 +314,7 @@ impl AdaptiveController {
             }
             ModeChoice::Optimized if current < ExecLevel::Optimized => Some(ExecLevel::Optimized),
             ModeChoice::Native if current < ExecLevel::Native => Some(ExecLevel::Native),
+            ModeChoice::Simd if current < ExecLevel::Simd => Some(ExecLevel::Simd),
             _ => None,
         };
         let Some(level) = target else { return };
@@ -312,6 +330,7 @@ impl AdaptiveController {
                 ExecLevel::Unoptimized => ExecMode::Unoptimized.rank(),
                 ExecLevel::Optimized => ExecMode::Optimized.rank(),
                 ExecLevel::Native => ExecMode::Native.rank(),
+                ExecLevel::Simd => ExecMode::Simd.rank(),
             };
             if retained.rank() >= needed {
                 if let Some(b) = retained.load() {
@@ -349,6 +368,7 @@ impl AdaptiveController {
             externs: self.ctx.externs.clone(),
             handle: self.ctx.handle.clone(),
             retained: self.ctx.retained.clone(),
+            kernel: self.ctx.kernel.clone(),
             progress: progress.clone(),
             calibrator: self.ctx.calibrator.clone(),
             events: self.ctx.compile_events.clone(),
@@ -417,6 +437,7 @@ struct CompileJob {
     externs: Arc<Vec<ExternDecl>>,
     handle: Arc<FunctionHandle>,
     retained: Option<Arc<RetainedSlot>>,
+    kernel: Option<Arc<ScanKernel>>,
     progress: Arc<PipelineProgress>,
     calibrator: Arc<CostCalibrator>,
     events: Arc<Mutex<Vec<TraceEvent>>>,
@@ -453,6 +474,28 @@ impl CompileJob {
                     .map_err(|e| e.to_string())?;
                 let t = nf.stats.compile_time;
                 Ok((Arc::new(nf), t))
+            }
+            ExecLevel::Simd => {
+                let kernel =
+                    self.kernel.clone().ok_or("simd claimed without a scan kernel".to_string())?;
+                // The scalar code under the kernel: native where the
+                // emitter works, optimized threaded code otherwise — the
+                // kernel only pre-filters, so any scalar backend is a
+                // correct inner.
+                let (inner, t): (Arc<dyn aqe_vm::backend::PipelineBackend>, Duration) =
+                    match aqe_jit::native::compile_native(&self.function, &self.externs) {
+                        Ok(nf) => {
+                            let t = nf.stats.compile_time;
+                            (Arc::new(nf), t)
+                        }
+                        Err(_) => {
+                            let cf = compile(&self.function, &self.externs, OptLevel::Optimized)
+                                .map_err(|e| e.to_string())?;
+                            let t = cf.stats.compile_time;
+                            (Arc::new(cf), t)
+                        }
+                    };
+                Ok((Arc::new(SimdScanBackend::new(inner, kernel)), t))
             }
         }
     }
@@ -507,9 +550,11 @@ mod tests {
         assert_eq!(ExecLevel::from_rank(ExecMode::Unoptimized.rank()), ExecLevel::Unoptimized);
         assert_eq!(ExecLevel::from_rank(ExecMode::Optimized.rank()), ExecLevel::Optimized);
         assert_eq!(ExecLevel::from_rank(ExecMode::Native.rank()), ExecLevel::Native);
+        assert_eq!(ExecLevel::from_rank(ExecMode::Simd.rank()), ExecLevel::Simd);
         assert!(ExecLevel::Interpreted < ExecLevel::Unoptimized);
         assert!(ExecLevel::Unoptimized < ExecLevel::Optimized);
         assert!(ExecLevel::Optimized < ExecLevel::Native);
+        assert!(ExecLevel::Native < ExecLevel::Simd);
     }
 
     #[test]

@@ -81,9 +81,12 @@ fn blend(old: &CostModel, new: &CostModel) -> CostModel {
         opt_per_instr_s: mix(old.opt_per_instr_s, new.opt_per_instr_s),
         native_base_s: mix(old.native_base_s, new.native_base_s),
         native_per_instr_s: mix(old.native_per_instr_s, new.native_per_instr_s),
+        simd_base_s: mix(old.simd_base_s, new.simd_base_s),
+        simd_per_instr_s: mix(old.simd_per_instr_s, new.simd_per_instr_s),
         speedup_unopt: mix(old.speedup_unopt, new.speedup_unopt),
         speedup_opt: mix(old.speedup_opt, new.speedup_opt),
         speedup_native: mix(old.speedup_native, new.speedup_native),
+        speedup_simd: mix(old.speedup_simd, new.speedup_simd),
     }
 }
 

@@ -43,6 +43,7 @@ use crate::exec::{
 };
 use crate::plan::{decompose, DictTable, FieldTy, PhysicalPlan, PlanNode, Source};
 use crate::sched::{CostCalibrator, CostModel, ExecLevel};
+use crate::simd::{self, ScanKernel, SimdScanBackend};
 use aqe_ir::{ExternDecl, Function, Module};
 use aqe_jit::compile::{compile, OptLevel};
 use aqe_storage::{Catalog, CatalogSnapshot, DataType};
@@ -423,6 +424,7 @@ impl Session {
                 registry: &state.registry,
                 handles: &handles,
                 retained: &retained,
+                kernels: &state.kernels,
                 calibrator: &calibrator,
                 opts,
             },
@@ -542,6 +544,11 @@ pub(crate) struct PipelineSlots {
     /// emitter this slot stays `None` and `ExecMode::Native` aliases to
     /// the optimized threaded level.
     native: Mutex<Option<Arc<dyn PipelineBackend>>>,
+    /// Vectorized scan-kernel backend (rank 5): the native (or fallback)
+    /// backend wrapped in a packed-compare filter pre-pass. Stays `None`
+    /// on pipelines without a vectorizable filter and `ExecMode::Simd`
+    /// aliases to `Native` there.
+    simd: Mutex<Option<Arc<dyn PipelineBackend>>>,
 }
 
 impl PipelineSlots {
@@ -552,6 +559,7 @@ impl PipelineSlots {
             unopt: Mutex::new(None),
             opt: Mutex::new(None),
             native: Mutex::new(None),
+            simd: Mutex::new(None),
         }
     }
 }
@@ -566,6 +574,11 @@ struct PreparedState {
     externs: Arc<Vec<ExternDecl>>,
     registry: Arc<Registry>,
     slots: Vec<PipelineSlots>,
+    /// Per-pipeline vectorized filter pre-passes extracted from the plan
+    /// against this catalog version (`None` where the pipeline has no
+    /// vectorizable filter). Column element widths come from the catalog,
+    /// so kernels are rebuilt with the rest of the state on version bumps.
+    kernels: Vec<Option<Arc<ScanKernel>>>,
 }
 
 /// The plan's table scans must still line up with the (possibly mutated)
@@ -631,6 +644,13 @@ impl PreparedState {
         let externs: Arc<Vec<ExternDecl>> = Arc::new(module.externs.clone());
 
         let n = functions.len();
+        let kernels = plan
+            .pipelines
+            .iter()
+            .map(|p| ScanKernel::extract(p, cat).map(Arc::new))
+            .chain(std::iter::repeat(None))
+            .take(n)
+            .collect();
         Ok(PreparedState {
             catalog_version: cat.version(),
             instrs: module.instruction_count(),
@@ -638,6 +658,7 @@ impl PreparedState {
             externs,
             registry,
             slots: (0..n).map(|_| PipelineSlots::new()).collect(),
+            kernels,
         })
     }
 
@@ -717,6 +738,16 @@ impl PreparedState {
                 report.upfront_compile = t0.elapsed();
                 hs
             }
+            ExecMode::Simd => {
+                let t0 = Instant::now();
+                let mut hs = Vec::with_capacity(n);
+                for i in 0..n {
+                    let backend = self.simd_backend(i)?;
+                    hs.push(Arc::new(FunctionHandle::new(backend)));
+                }
+                report.upfront_compile = t0.elapsed();
+                hs
+            }
             ExecMode::Adaptive => {
                 // The ladder's base rank: even a warm run needs bytecode
                 // as the fallback for pipelines nothing has upgraded yet.
@@ -786,6 +817,29 @@ impl PreparedState {
         self.threaded_backend(i, OptLevel::Optimized)
     }
 
+    /// Pipeline `i`'s vectorized scan-kernel backend — the native (or its
+    /// fallback) backend wrapped in the pipeline's [`ScanKernel`] — or,
+    /// where no kernel was extracted or `AQE_SIMD=0`, the clean alias:
+    /// the native backend itself. Lock order is simd → native (the inner
+    /// compile takes the native latch); nothing takes them reversed.
+    fn simd_backend(&self, i: usize) -> Result<Arc<dyn PipelineBackend>, ExecError> {
+        let Some(kernel) = self.kernels.get(i).and_then(|k| k.clone()) else {
+            return self.native_backend(i);
+        };
+        if !simd::enabled() {
+            return self.native_backend(i);
+        }
+        let mut guard = self.slots[i].simd.lock();
+        if let Some(b) = &*guard {
+            return Ok(b.clone());
+        }
+        let inner = self.native_backend(i)?;
+        let b: Arc<dyn PipelineBackend> = Arc::new(SimdScanBackend::new(inner, kernel));
+        *guard = Some(b.clone());
+        self.slots[i].best.install(b.clone());
+        Ok(b)
+    }
+
     /// After a run: retain whatever backends the controller published, so
     /// the next execution starts where this one ended. (Mid-run, finished
     /// background compiles already installed into `best`; this sweep
@@ -797,6 +851,7 @@ impl PreparedState {
                 ExecMode::Unoptimized => &slots.unopt,
                 ExecMode::Optimized => &slots.opt,
                 ExecMode::Native => &slots.native,
+                ExecMode::Simd => &slots.simd,
                 _ => continue,
             };
             slots.best.install(b.clone());

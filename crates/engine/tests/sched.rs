@@ -1,4 +1,4 @@
-//! Scheduler-subsystem tests (DESIGN.md §5/§9):
+//! Scheduler-subsystem tests (DESIGN.md §5/§10):
 //!
 //! 1. a property test that per-worker ranges plus steals cover
 //!    `0..total_rows` exactly once under random steal interleavings,

@@ -43,6 +43,13 @@ impl Reg {
     }
 }
 
+/// Byte-width access to `rsp`/`rbp`/`rsi`/`rdi` (encodings 4–7) needs a REX
+/// prefix — without one those encodings name `ah`/`ch`/`dh`/`bh` instead.
+#[inline]
+fn needs_byte_rex(r: Reg) -> bool {
+    matches!(r as u8, 4..=7)
+}
+
 /// SSE registers (only two scratch slots are ever needed).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[repr(u8)]
@@ -214,12 +221,18 @@ impl Asm {
         self.code.extend_from_slice(bs);
     }
 
-    /// REX prefix; emitted only when any field is set (or when `force`
-    /// demands one, e.g. for `sil`/`dil`-class byte registers — unused
-    /// here since all byte scratch lives in `al`/`cl`/`dl`).
+    /// REX prefix; emitted only when any field is set.
     #[inline]
     fn rex(&mut self, w: bool, r: bool, x: bool, b: bool) {
-        if w || r || x || b {
+        self.rex_force(w, r, x, b, false);
+    }
+
+    /// REX prefix with a `force` knob: byte-width operations on
+    /// `spl`/`bpl`/`sil`/`dil` (encodings 4–7) must emit a REX byte even
+    /// with no bit set, or the encoding silently means `ah`/`ch`/`dh`/`bh`.
+    #[inline]
+    fn rex_force(&mut self, w: bool, r: bool, x: bool, b: bool, force: bool) {
+        if force || w || r || x || b {
             self.byte(0x40 | (w as u8) << 3 | (r as u8) << 2 | (x as u8) << 1 | b as u8);
         }
     }
@@ -356,11 +369,12 @@ impl Asm {
         self.op_mem(Some(0x66), false, &[0x89], src as u8, base, disp);
     }
 
-    /// `mov [base+disp], r8`. `src` must be `al`/`cl`/`dl`/`bl` — the
-    /// REX-free byte registers (the lowering only uses those as scratch).
+    /// `mov [base+disp], r8` — any register; a forced REX selects the low
+    /// byte of `rsp`/`rbp`/`rsi`/`rdi`-class sources.
     pub fn store8(&mut self, base: Reg, disp: i32, src: Reg) {
-        debug_assert!((src as u8) < 4, "byte store needs a low register");
-        self.op_mem(None, false, &[0x88], src as u8, base, disp);
+        self.rex_force(false, src.hi(), false, base.hi(), needs_byte_rex(src));
+        self.byte(0x88);
+        self.modrm_mem(src as u8, base, disp);
     }
 
     /// `lea r64, [base+disp]`.
@@ -380,10 +394,17 @@ impl Asm {
         self.op_rr(None, false, &[op.rr64()], dst as u8, src as u8);
     }
 
-    /// 8-bit `op dst, src` on the REX-free byte registers.
+    /// 8-bit `op dst, src` — any registers (forced REX where required).
     pub fn alu8_rr(&mut self, op: Alu, dst: Reg, src: Reg) {
-        debug_assert!((dst as u8) < 4 && (src as u8) < 4);
-        self.op_rr(None, false, &[op.rr64() - 1], dst as u8, src as u8);
+        self.rex_force(
+            false,
+            dst.hi(),
+            false,
+            src.hi(),
+            needs_byte_rex(dst) || needs_byte_rex(src),
+        );
+        self.byte(op.rr64() - 1);
+        self.modrm_rr(dst as u8, src as u8);
     }
 
     /// 64-bit `op r, imm32` (sign-extended).
@@ -440,15 +461,16 @@ impl Asm {
         self.op_rr(None, true, &[0x85], b as u8, a as u8);
     }
 
-    /// 8-bit `test a, b` on low byte registers.
+    /// 8-bit `test a, b` — any registers (forced REX where required).
     pub fn test8_rr(&mut self, a: Reg, b: Reg) {
-        debug_assert!((a as u8) < 4 && (b as u8) < 4);
-        self.op_rr(None, false, &[0x84], b as u8, a as u8);
+        self.rex_force(false, b.hi(), false, a.hi(), needs_byte_rex(a) || needs_byte_rex(b));
+        self.byte(0x84);
+        self.modrm_rr(b as u8, a as u8);
     }
 
-    /// `setcc r8` on a low byte register.
+    /// `setcc r8` — any register (forced REX where required).
     pub fn setcc(&mut self, cc: Cc, reg: Reg) {
-        debug_assert!((reg as u8) < 4, "setcc needs a low register");
+        self.rex_force(false, false, false, reg.hi(), needs_byte_rex(reg));
         self.bytes(&[0x0F, 0x90 + cc as u8]);
         self.modrm_rr(0, reg.low());
     }
@@ -509,6 +531,11 @@ impl Asm {
         self.op_mem(Some(0x66), false, &[0x0F, 0x2E], a as u8, base, disp);
     }
 
+    /// `ucomisd xmm, xmm`.
+    pub fn ucomisd_rr(&mut self, a: Xmm, b: Xmm) {
+        self.op_rr(Some(0x66), false, &[0x0F, 0x2E], a as u8, b as u8);
+    }
+
     /// `cvtsi2sd xmm, r64`.
     pub fn cvtsi2sd(&mut self, dst: Xmm, src: Reg) {
         self.op_rr(Some(0xF2), true, &[0x0F, 0x2A], dst as u8, src as u8);
@@ -517,6 +544,11 @@ impl Asm {
     /// `movq xmm, r64`.
     pub fn movq_xr(&mut self, dst: Xmm, src: Reg) {
         self.op_rr(Some(0x66), true, &[0x0F, 0x6E], dst as u8, src as u8);
+    }
+
+    /// `movq r64, xmm`.
+    pub fn movq_rx(&mut self, dst: Reg, src: Xmm) {
+        self.op_rr(Some(0x66), true, &[0x0F, 0x7E], src as u8, dst as u8);
     }
 
     // ---- control flow ----------------------------------------------------
@@ -599,6 +631,55 @@ mod tests {
         let mut a = Asm::new();
         a.movsd_load(Xmm::Xmm0, Reg::Rax, 16); // movsd xmm0, [rax+16]
         assert_eq!(a.finish().unwrap(), vec![0xF2, 0x0F, 0x10, 0x40, 0x10]);
+    }
+
+    #[test]
+    fn byte_ops_encode_every_register_class() {
+        // Low legacy registers stay REX-free.
+        let mut a = Asm::new();
+        a.setcc(Cc::E, Reg::Rdx); // sete dl
+        assert_eq!(a.finish().unwrap(), vec![0x0F, 0x94, 0xC2]);
+
+        // Encodings 4–7 force an empty REX to reach sil/dil (not dh/bh).
+        let mut a = Asm::new();
+        a.setcc(Cc::E, Reg::Rsi); // sete sil
+        assert_eq!(a.finish().unwrap(), vec![0x40, 0x0F, 0x94, 0xC6]);
+
+        let mut a = Asm::new();
+        a.store8(Reg::Rax, 0, Reg::Rsi); // mov [rax+0], sil
+        assert_eq!(a.finish().unwrap(), vec![0x40, 0x88, 0x70, 0x00]);
+
+        // r8–r15 byte halves via REX.B / REX.R.
+        let mut a = Asm::new();
+        a.setcc(Cc::E, Reg::R9); // sete r9b
+        assert_eq!(a.finish().unwrap(), vec![0x41, 0x0F, 0x94, 0xC1]);
+
+        let mut a = Asm::new();
+        a.test8_rr(Reg::R14, Reg::R14); // test r14b, r14b
+        assert_eq!(a.finish().unwrap(), vec![0x45, 0x84, 0xF6]);
+
+        let mut a = Asm::new();
+        a.alu8_rr(Alu::And, Reg::Rbx, Reg::Rbp); // and bl, bpl
+        assert_eq!(a.finish().unwrap(), vec![0x40, 0x22, 0xDD]);
+    }
+
+    #[test]
+    fn movq_roundtrip_and_ucomisd_rr_encodings() {
+        let mut a = Asm::new();
+        a.movq_xr(Xmm::Xmm1, Reg::Rax); // movq xmm1, rax
+        assert_eq!(a.finish().unwrap(), vec![0x66, 0x48, 0x0F, 0x6E, 0xC8]);
+
+        let mut a = Asm::new();
+        a.movq_rx(Reg::Rax, Xmm::Xmm1); // movq rax, xmm1
+        assert_eq!(a.finish().unwrap(), vec![0x66, 0x48, 0x0F, 0x7E, 0xC8]);
+
+        let mut a = Asm::new();
+        a.movq_rx(Reg::R14, Xmm::Xmm0); // movq r14, xmm0
+        assert_eq!(a.finish().unwrap(), vec![0x66, 0x49, 0x0F, 0x7E, 0xC6]);
+
+        let mut a = Asm::new();
+        a.ucomisd_rr(Xmm::Xmm0, Xmm::Xmm1); // ucomisd xmm0, xmm1
+        assert_eq!(a.finish().unwrap(), vec![0x66, 0x0F, 0x2E, 0xC1]);
     }
 
     #[test]

@@ -1,31 +1,55 @@
 //! Lowering from packed threaded-code [`Step`]s to x86-64 machine code.
 //!
-//! The generated code is a *template JIT* over the same register file the
-//! VM uses: the frame stays in memory (base pointer pinned in `r12`, the
-//! runtime-function table in `r13`) and every step becomes a short fixed
-//! sequence of real instructions — load operands, compute, store the
-//! destination at its exact width. What disappears relative to threaded
-//! code is the entire dispatch machinery: no step decode, no opcode
-//! match, no control-flow trampoline — branches are real `jcc`/`jmp`s to
-//! code addresses. Semantics are bit-identical to `aqe_vm::interp::exec_one`
-//! (wrapping arithmetic at width, Rust float comparison semantics including
-//! NaN, division traps, checked-arithmetic traps), which is what lets the
-//! adaptive controller hot-swap a pipeline onto this backend mid-flight.
+//! PR 4's version of this file was a pure *template JIT*: every VM
+//! register-file slot lived in memory at `[r12 + slot]` and each step
+//! loaded its operands, computed, and stored the result back. This
+//! version layers a [`super::regalloc`] pass on top: slots whose every
+//! access is 64 bits wide may be promoted into machine GPRs for the whole
+//! function, and all slot traffic below goes through accessors that pick
+//! the register or the frame per slot. Branches fall through to the next
+//! step when the target is the textual successor instead of always
+//! emitting a `jmp`. Semantics remain bit-identical to
+//! `aqe_vm::interp::exec_one` (wrapping arithmetic at width, Rust float
+//! comparison semantics including NaN, division traps, checked-arithmetic
+//! traps), which is what lets the adaptive controller hot-swap a pipeline
+//! onto this backend mid-flight.
 //!
-//! Calling convention of the generated function (System V):
+//! ## Calling and clobber convention (the authoritative list)
+//!
+//! Generated functions are System V:
 //!
 //! ```text
 //! extern "C" fn(regs: *mut u8, fns: *const RtFn) -> (rax = status, rdx = value)
 //! ```
 //!
-//! Status codes are [`STATUS_RET_NONE`] through [`STATUS_USER_TRAP`];
-//! `rdx` carries the return value or the user-trap code. Runtime calls go
-//! through a Rust-compiled trampoline (`RtFn` uses the unstable Rust ABI,
-//! so generated code must not call it directly).
+//! * **Pinned**: `r12` = register-file base (`REGS`), `r13` =
+//!   runtime-function table (`FNS`). Saved in the prologue, never
+//!   reassigned.
+//! * **Scratch**: `rax`/`rcx`/`rdx` (`A`/`C`/`D`) and `xmm0`/`xmm1` are
+//!   per-step temporaries, never live across a step boundary and never
+//!   handed to the allocator. `rdx` doubles as `idiv`'s high half and the
+//!   second return register; `rsi`/`rdi` are only ever written as
+//!   `CallRt` trampoline arguments.
+//! * **Allocatable** (disjoint from all of the above, so assignments can
+//!   never collide with fixed scratch): callee-saved `rbx`/`r14`/`r15`/
+//!   `rbp`, all pushed unconditionally in the prologue, and caller-saved
+//!   `r8`–`r11`, which the lowering flushes to their frame slots before —
+//!   and reloads after — every call inside the owning interval's hull.
+//! * **Stack**: prologue pushes six callee-saved registers and subtracts
+//!   8, keeping `rsp` 16-byte aligned at every `call` site (entry
+//!   `rsp ≡ 8 (mod 16)` after the caller's `call`).
+//! * Status codes are [`STATUS_RET_NONE`] through [`STATUS_USER_TRAP`];
+//!   `rdx` carries the return value or the user-trap code. Runtime calls
+//!   go through a Rust-compiled trampoline (`RtFn` uses the unstable Rust
+//!   ABI, so generated code must not call it directly); the callee reads
+//!   its arguments from and writes its result to the *frame*, so arg/ret
+//!   slots are never register-promoted.
 
 use super::asm::{Alu, Asm, Cc, Label, Reg, Shift, Sse, Xmm};
+use super::regalloc::{self, Assignment, CALLEE_SAVED_POOL, CALLER_SAVED_POOL};
 use crate::compile::CompiledFunction;
 use crate::emit::SOp;
+use aqe_ir::ExternDecl;
 use aqe_vm::bytecode::{BcInstr, Op, TRAP_DIV_ZERO, TRAP_OVERFLOW, TRAP_USER_BASE};
 
 /// Worker function returned without a value.
@@ -85,30 +109,51 @@ struct Lowerer {
     l_overflow: Label,
     l_divzero: Label,
     helpers: Helpers,
+    ra: Assignment,
 }
 
-/// Lower a compiled (threaded-code) function to machine code.
-pub(super) fn lower(cf: &CompiledFunction, helpers: Helpers) -> Result<Vec<u8>, String> {
+/// Lower a compiled (threaded-code) function to machine code. `externs`
+/// gives `CallRt` argument counts so the allocator can pin arg areas.
+pub(super) fn lower(
+    cf: &CompiledFunction,
+    externs: &[ExternDecl],
+    helpers: Helpers,
+) -> Result<Vec<u8>, String> {
+    let ra = if super::regalloc_enabled() {
+        regalloc::allocate(&cf.steps, externs, &CALLEE_SAVED_POOL, &CALLER_SAVED_POOL)
+    } else {
+        Assignment::none()
+    };
+
     let mut a = Asm::new();
     let step_labels: Vec<Label> = (0..cf.steps.len()).map(|_| a.label()).collect();
     let l_epilogue = a.label();
     let l_overflow = a.label();
     let l_divzero = a.label();
-    let mut lo = Lowerer { a, step_labels, l_epilogue, l_overflow, l_divzero, helpers };
+    let mut lo = Lowerer { a, step_labels, l_epilogue, l_overflow, l_divzero, helpers, ra };
 
-    // Prologue: three callee-saved pushes keep rsp 16-byte aligned at
-    // every call site (entry rsp ≡ 8 mod 16 after the caller's `call`).
+    // Prologue: six callee-saved pushes (rbx/rbp/r14/r15 belong to the
+    // allocator's pool) plus an 8-byte adjustment keep rsp 16-byte
+    // aligned at every call site (entry rsp ≡ 8 mod 16).
     lo.a.push(Reg::Rbp);
-    lo.a.mov_rr(Reg::Rbp, Reg::Rsp);
+    lo.a.push(Reg::Rbx);
     lo.a.push(REGS);
     lo.a.push(FNS);
+    lo.a.push(Reg::R14);
+    lo.a.push(Reg::R15);
+    lo.a.alu_ri(Alu::Sub, Reg::Rsp, 8);
     lo.a.mov_rr(REGS, Reg::Rdi);
     lo.a.mov_rr(FNS, Reg::Rsi);
+    // Promoted slots that are live-in (parameters, the constant slots)
+    // start from the frame image `execute_native` wrote.
+    for &(slot, reg) in lo.ra.entry_loads() {
+        lo.a.load64(reg, REGS, s(slot));
+    }
 
-    for (pc, s) in cf.steps.iter().enumerate() {
+    for (pc, st) in cf.steps.iter().enumerate() {
         let l = lo.step_labels[pc];
         lo.a.bind(l);
-        lo.step(s)?;
+        lo.step(pc, st)?;
     }
 
     // Shared trap/exit stubs.
@@ -119,8 +164,12 @@ pub(super) fn lower(cf: &CompiledFunction, helpers: Helpers) -> Result<Vec<u8>, 
     lo.a.mov_ri(A, STATUS_DIV_ZERO);
     lo.a.jmp(lo.l_epilogue);
     lo.a.bind(lo.l_epilogue);
+    lo.a.alu_ri(Alu::Add, Reg::Rsp, 8);
+    lo.a.pop(Reg::R15);
+    lo.a.pop(Reg::R14);
     lo.a.pop(FNS);
     lo.a.pop(REGS);
+    lo.a.pop(Reg::Rbx);
     lo.a.pop(Reg::Rbp);
     lo.a.ret();
 
@@ -140,35 +189,185 @@ impl Lowerer {
             .ok_or_else(|| format!("branch target {pc} out of range"))
     }
 
-    fn step(&mut self, st: &crate::emit::Step) -> Result<(), String> {
+    /// `jmp target` unless the target is the textual successor.
+    fn jmp_or_fall(&mut self, pc: usize, target: u64) -> Result<(), String> {
+        if target != (pc + 1) as u64 {
+            let t = self.step_target(target)?;
+            self.a.jmp(t);
+        }
+        Ok(())
+    }
+
+    /// Two-way branch on `al != 0`, laid out to fall through whenever one
+    /// side is the textual successor.
+    fn branch_on_al(&mut self, pc: usize, then_pc: u64, else_pc: u64) -> Result<(), String> {
+        self.a.test8_rr(A, A);
+        if else_pc == (pc + 1) as u64 {
+            let then = self.step_target(then_pc)?;
+            self.a.jcc(Cc::Ne, then);
+        } else if then_pc == (pc + 1) as u64 {
+            let els = self.step_target(else_pc)?;
+            self.a.jcc(Cc::E, els);
+        } else {
+            let then = self.step_target(then_pc)?;
+            let els = self.step_target(else_pc)?;
+            self.a.jcc(Cc::Ne, then);
+            self.a.jmp(els);
+        }
+        Ok(())
+    }
+
+    fn step(&mut self, pc: usize, st: &crate::emit::Step) -> Result<(), String> {
         match st.sup {
-            SOp::Plain => self.plain(&st.i),
-            SOp::Jmp => {
-                let t = self.step_target(st.i.lit)?;
-                self.a.jmp(t);
-                Ok(())
-            }
+            SOp::Plain => self.plain(pc, &st.i),
+            SOp::Jmp => self.jmp_or_fall(pc, st.i.lit),
             SOp::CmpBr => {
                 // Compute the flag (exactly as the unfused cmp would,
                 // including the byte write to the flag slot — later code
                 // may re-read it), then branch on the byte in `al`.
-                self.plain(&st.i)?;
-                let then = self.step_target(BcInstr::branch_then(st.lit2) as u64)?;
-                let els = self.step_target(BcInstr::branch_else(st.lit2) as u64)?;
-                self.a.test8_rr(A, A);
-                self.a.jcc(Cc::Ne, then);
-                self.a.jmp(els);
-                Ok(())
+                self.plain(pc, &st.i)?;
+                self.branch_on_al(
+                    pc,
+                    BcInstr::branch_then(st.lit2) as u64,
+                    BcInstr::branch_else(st.lit2) as u64,
+                )
             }
             SOp::AddImmBr | SOp::MovBr | SOp::ConstBr => {
-                self.plain(&st.i)?;
-                let t = self.step_target(st.lit2)?;
-                self.a.jmp(t);
-                Ok(())
+                self.plain(pc, &st.i)?;
+                self.jmp_or_fall(pc, st.lit2)
             }
             SOp::AccumAddI64 => self.accum_i64(st, false),
             SOp::AccumOvfAddI64 => self.accum_i64(st, true),
             SOp::AccumAddF64 => self.accum_f64(st),
+        }
+    }
+
+    // ---- register-or-frame slot accessors -------------------------------
+
+    /// Read a slot as 64 bits into `dst`.
+    fn ld_slot64(&mut self, dst: Reg, slot: u16) {
+        match self.ra.reg(slot) {
+            Some(r) => self.a.mov_rr(dst, r),
+            None => self.a.load64(dst, REGS, s(slot)),
+        }
+    }
+
+    /// Write `src` to a slot at 64 bits.
+    fn st_slot64(&mut self, slot: u16, src: Reg) {
+        match self.ra.reg(slot) {
+            Some(r) => self.a.mov_rr(r, src),
+            None => self.a.store64(REGS, s(slot), src),
+        }
+    }
+
+    /// Read a slot zero-extended at width. Sub-width slots are never
+    /// promoted (allocator eligibility), so those always hit the frame.
+    fn ld_slot_zx(&mut self, dst: Reg, slot: u16, w: W) {
+        if w == W::B8 {
+            self.ld_slot64(dst, slot);
+        } else {
+            debug_assert!(self.ra.reg(slot).is_none(), "sub-width slot promoted");
+            match w {
+                W::B1 => self.a.load8zx(dst, REGS, s(slot)),
+                W::B2 => self.a.load16zx(dst, REGS, s(slot)),
+                W::B4 => self.a.load32zx(dst, REGS, s(slot)),
+                W::B8 => unreachable!(),
+            }
+        }
+    }
+
+    /// Read a slot sign-extended at width.
+    fn ld_slot_sx(&mut self, dst: Reg, slot: u16, w: W) {
+        if w == W::B8 {
+            self.ld_slot64(dst, slot);
+        } else {
+            debug_assert!(self.ra.reg(slot).is_none(), "sub-width slot promoted");
+            match w {
+                W::B1 => self.a.load8sx(dst, REGS, s(slot)),
+                W::B2 => self.a.load16sx(dst, REGS, s(slot)),
+                W::B4 => self.a.load32sx(dst, REGS, s(slot)),
+                W::B8 => unreachable!(),
+            }
+        }
+    }
+
+    /// Write `src` to a slot at width.
+    fn st_slot(&mut self, slot: u16, src: Reg, w: W) {
+        if w == W::B8 {
+            self.st_slot64(slot, src);
+        } else {
+            debug_assert!(self.ra.reg(slot).is_none(), "sub-width slot promoted");
+            match w {
+                W::B1 => self.a.store8(REGS, s(slot), src),
+                W::B2 => self.a.store16(REGS, s(slot), src),
+                W::B4 => self.a.store32(REGS, s(slot), src),
+                W::B8 => unreachable!(),
+            }
+        }
+    }
+
+    /// Write the low byte of `src` to a flag slot (never promoted).
+    fn st_flag(&mut self, slot: u16, src: Reg) {
+        debug_assert!(self.ra.reg(slot).is_none(), "flag slot promoted");
+        self.a.store8(REGS, s(slot), src);
+    }
+
+    /// Read a slot into an XMM register.
+    fn movsd_ld_slot(&mut self, dst: Xmm, slot: u16) {
+        match self.ra.reg(slot) {
+            Some(r) => self.a.movq_xr(dst, r),
+            None => self.a.movsd_load(dst, REGS, s(slot)),
+        }
+    }
+
+    /// Write an XMM register to a slot.
+    fn movsd_st_slot(&mut self, slot: u16, src: Xmm) {
+        match self.ra.reg(slot) {
+            Some(r) => self.a.movq_rx(r, src),
+            None => self.a.movsd_store(REGS, s(slot), src),
+        }
+    }
+
+    /// `op dst, slot` for scalar-double arithmetic; promoted slots bounce
+    /// through the `xmm1` scratch (callers keep `xmm1` free here).
+    fn sse_slot(&mut self, op: Sse, dst: Xmm, slot: u16) {
+        debug_assert!(dst != Xmm::Xmm1);
+        match self.ra.reg(slot) {
+            Some(r) => {
+                self.a.movq_xr(Xmm::Xmm1, r);
+                self.a.sse_rr(op, dst, Xmm::Xmm1);
+            }
+            None => self.a.sse_mem(op, dst, REGS, s(slot)),
+        }
+    }
+
+    /// `ucomisd x, slot`, bouncing promoted slots through `xmm1`.
+    fn ucomisd_slot(&mut self, x: Xmm, slot: u16) {
+        debug_assert!(x != Xmm::Xmm1);
+        match self.ra.reg(slot) {
+            Some(r) => {
+                self.a.movq_xr(Xmm::Xmm1, r);
+                self.a.ucomisd_rr(x, Xmm::Xmm1);
+            }
+            None => self.a.ucomisd_mem(x, REGS, s(slot)),
+        }
+    }
+
+    /// Sync caller-saved promoted registers to their frame slots before a
+    /// call at step `pc`; returns the window to reload afterwards.
+    fn flush_for_call(&mut self, pc: usize) -> Vec<(u16, Reg)> {
+        let wnd = self.ra.call_window(pc);
+        for &(slot, reg) in &wnd {
+            self.a.store64(REGS, s(slot), reg);
+        }
+        wnd
+    }
+
+    /// Reload a call window (the callee may not touch the frame slots,
+    /// but the registers themselves were clobbered).
+    fn reload_after_call(&mut self, wnd: &[(u16, Reg)]) {
+        for &(slot, reg) in wnd {
+            self.a.load64(reg, REGS, s(slot));
         }
     }
 
@@ -177,15 +376,15 @@ impl Lowerer {
     fn accum_i64(&mut self, st: &crate::emit::Step, checked: bool) -> Result<(), String> {
         let i = &st.i;
         let disp = disp32(i.lit)?;
-        self.a.load64(A, REGS, s(i.b));
+        self.ld_slot64(A, i.b);
         self.a.load64(C, A, disp);
-        self.a.store64(REGS, s(i.a), C);
-        self.a.load64(D, REGS, s(i.c));
+        self.st_slot64(i.a, C);
+        self.ld_slot64(D, i.c);
         self.a.alu_rr(Alu::Add, C, D);
         if checked {
             self.a.jcc(Cc::O, self.l_overflow);
         }
-        self.a.store64(REGS, s(st.lit2 as u16), C);
+        self.st_slot64(st.lit2 as u16, C);
         self.a.store64(A, disp, C);
         Ok(())
     }
@@ -194,31 +393,22 @@ impl Lowerer {
     fn accum_f64(&mut self, st: &crate::emit::Step) -> Result<(), String> {
         let i = &st.i;
         let disp = disp32(i.lit)?;
-        self.a.load64(A, REGS, s(i.b));
+        self.ld_slot64(A, i.b);
         self.a.movsd_load(Xmm::Xmm0, A, disp);
-        self.a.movsd_store(REGS, s(i.a), Xmm::Xmm0);
-        self.a.sse_mem(Sse::Add, Xmm::Xmm0, REGS, s(i.c));
-        self.a.movsd_store(REGS, s(st.lit2 as u16), Xmm::Xmm0);
+        self.movsd_st_slot(i.a, Xmm::Xmm0);
+        self.sse_slot(Sse::Add, Xmm::Xmm0, i.c);
+        self.movsd_st_slot(st.lit2 as u16, Xmm::Xmm0);
         self.a.movsd_store(A, disp, Xmm::Xmm0);
         Ok(())
     }
 
-    // ---- slot loads/stores at width -------------------------------------
+    // ---- raw memory accesses at width (heap side; not slots) ------------
 
     fn load_zx(&mut self, dst: Reg, base: Reg, disp: i32, w: W) {
         match w {
             W::B1 => self.a.load8zx(dst, base, disp),
             W::B2 => self.a.load16zx(dst, base, disp),
             W::B4 => self.a.load32zx(dst, base, disp),
-            W::B8 => self.a.load64(dst, base, disp),
-        }
-    }
-
-    fn load_sx(&mut self, dst: Reg, base: Reg, disp: i32, w: W) {
-        match w {
-            W::B1 => self.a.load8sx(dst, base, disp),
-            W::B2 => self.a.load16sx(dst, base, disp),
-            W::B4 => self.a.load32sx(dst, base, disp),
             W::B8 => self.a.load64(dst, base, disp),
         }
     }
@@ -236,92 +426,92 @@ impl Lowerer {
 
     /// Wrapping binary op: 64-bit compute, width-exact store.
     fn bin(&mut self, i: &BcInstr, op: Alu, w: W) {
-        self.a.load64(A, REGS, s(i.b));
-        self.a.load64(C, REGS, s(i.c));
+        self.ld_slot64(A, i.b);
+        self.ld_slot64(C, i.c);
         self.a.alu_rr(op, A, C);
-        self.store_w(REGS, s(i.a), A, w);
+        self.st_slot(i.a, A, w);
     }
 
     fn mul(&mut self, i: &BcInstr, w: W) {
-        self.a.load64(A, REGS, s(i.b));
-        self.a.load64(C, REGS, s(i.c));
+        self.ld_slot64(A, i.b);
+        self.ld_slot64(C, i.c);
         self.a.imul_rr(A, C);
-        self.store_w(REGS, s(i.a), A, w);
+        self.st_slot(i.a, A, w);
     }
 
     fn bin_imm(&mut self, i: &BcInstr, op: Alu, w: W) {
-        self.a.load64(A, REGS, s(i.b));
+        self.ld_slot64(A, i.b);
         self.a.mov_ri(C, i.lit);
         self.a.alu_rr(op, A, C);
-        self.store_w(REGS, s(i.a), A, w);
+        self.st_slot(i.a, A, w);
     }
 
     fn mul_imm(&mut self, i: &BcInstr, w: W) {
-        self.a.load64(A, REGS, s(i.b));
+        self.ld_slot64(A, i.b);
         self.a.mov_ri(C, i.lit);
         self.a.imul_rr(A, C);
-        self.store_w(REGS, s(i.a), A, w);
+        self.st_slot(i.a, A, w);
     }
 
     /// Shift by a register count, masked to the width like `wrapping_shl`.
     fn shift(&mut self, i: &BcInstr, op: Shift, w: W) {
         match op {
-            Shift::Sar => self.load_sx(A, REGS, s(i.b), w),
-            Shift::Shr => self.load_zx(A, REGS, s(i.b), w),
-            Shift::Shl => self.a.load64(A, REGS, s(i.b)),
+            Shift::Sar => self.ld_slot_sx(A, i.b, w),
+            Shift::Shr => self.ld_slot_zx(A, i.b, w),
+            Shift::Shl => self.ld_slot64(A, i.b),
         }
-        self.a.load64(C, REGS, s(i.c));
+        self.ld_slot64(C, i.c);
         self.a.and32_ri(C, w.bits() - 1);
         self.a.shift_cl(op, A);
-        self.store_w(REGS, s(i.a), A, w);
+        self.st_slot(i.a, A, w);
     }
 
     fn shift_imm(&mut self, i: &BcInstr, op: Shift, w: W) {
         match op {
-            Shift::Sar => self.load_sx(A, REGS, s(i.b), w),
-            Shift::Shr => self.load_zx(A, REGS, s(i.b), w),
-            Shift::Shl => self.a.load64(A, REGS, s(i.b)),
+            Shift::Sar => self.ld_slot_sx(A, i.b, w),
+            Shift::Shr => self.ld_slot_zx(A, i.b, w),
+            Shift::Shl => self.ld_slot64(A, i.b),
         }
         self.a.shift_i(op, A, (i.lit as u32 & (w.bits() - 1)) as u8);
-        self.store_w(REGS, s(i.a), A, w);
+        self.st_slot(i.a, A, w);
     }
 
     /// f64 arithmetic.
     fn fbin(&mut self, i: &BcInstr, op: Sse) {
-        self.a.movsd_load(Xmm::Xmm0, REGS, s(i.b));
-        self.a.sse_mem(op, Xmm::Xmm0, REGS, s(i.c));
-        self.a.movsd_store(REGS, s(i.a), Xmm::Xmm0);
+        self.movsd_ld_slot(Xmm::Xmm0, i.b);
+        self.sse_slot(op, Xmm::Xmm0, i.c);
+        self.movsd_st_slot(i.a, Xmm::Xmm0);
     }
 
     fn fbin_imm(&mut self, i: &BcInstr, op: Sse) {
-        self.a.movsd_load(Xmm::Xmm0, REGS, s(i.b));
+        self.movsd_ld_slot(Xmm::Xmm0, i.b);
         self.a.mov_ri(C, i.lit);
         self.a.movq_xr(Xmm::Xmm1, C);
         self.a.sse_rr(op, Xmm::Xmm0, Xmm::Xmm1);
-        self.a.movsd_store(REGS, s(i.a), Xmm::Xmm0);
+        self.movsd_st_slot(i.a, Xmm::Xmm0);
     }
 
     /// Integer comparison producing a 0/1 byte in `al` *and* the flag
     /// slot (callers that fuse a branch re-test `al`).
     fn cmp(&mut self, i: &BcInstr, cc: Cc, signed: bool, w: W, rhs: Option<u64>) {
         if signed {
-            self.load_sx(A, REGS, s(i.b), w);
+            self.ld_slot_sx(A, i.b, w);
         } else {
-            self.load_zx(A, REGS, s(i.b), w);
+            self.ld_slot_zx(A, i.b, w);
         }
         match rhs {
             None => {
                 if signed {
-                    self.load_sx(C, REGS, s(i.c), w);
+                    self.ld_slot_sx(C, i.c, w);
                 } else {
-                    self.load_zx(C, REGS, s(i.c), w);
+                    self.ld_slot_zx(C, i.c, w);
                 }
             }
             Some(imm) => self.a.mov_ri(C, imm),
         }
         self.a.alu_rr(Alu::Cmp, A, C);
         self.a.setcc(cc, A);
-        self.a.store8(REGS, s(i.a), A);
+        self.st_flag(i.a, A);
     }
 
     /// Immediate operand, extended to 64 bits the way the interpreter's
@@ -339,15 +529,15 @@ impl Lowerer {
     fn fcmp(&mut self, i: &BcInstr, pred: Op) {
         match pred {
             Op::CmpEqF64 => {
-                self.a.movsd_load(Xmm::Xmm0, REGS, s(i.b));
-                self.a.ucomisd_mem(Xmm::Xmm0, REGS, s(i.c));
+                self.movsd_ld_slot(Xmm::Xmm0, i.b);
+                self.ucomisd_slot(Xmm::Xmm0, i.c);
                 self.a.setcc(Cc::Np, C);
                 self.a.setcc(Cc::E, A);
                 self.a.alu8_rr(Alu::And, A, C);
             }
             Op::CmpNeF64 => {
-                self.a.movsd_load(Xmm::Xmm0, REGS, s(i.b));
-                self.a.ucomisd_mem(Xmm::Xmm0, REGS, s(i.c));
+                self.movsd_ld_slot(Xmm::Xmm0, i.b);
+                self.ucomisd_slot(Xmm::Xmm0, i.c);
                 self.a.setcc(Cc::P, C);
                 self.a.setcc(Cc::Ne, A);
                 self.a.alu8_rr(Alu::Or, A, C);
@@ -355,25 +545,25 @@ impl Lowerer {
             // a < b  ⟺  b > a: compare reversed so `seta`/`setae` (which
             // are false on unordered) give the right NaN behaviour.
             Op::CmpLtF64 | Op::CmpLeF64 => {
-                self.a.movsd_load(Xmm::Xmm0, REGS, s(i.c));
-                self.a.ucomisd_mem(Xmm::Xmm0, REGS, s(i.b));
+                self.movsd_ld_slot(Xmm::Xmm0, i.c);
+                self.ucomisd_slot(Xmm::Xmm0, i.b);
                 self.a.setcc(if pred == Op::CmpLtF64 { Cc::A } else { Cc::Ae }, A);
             }
             Op::CmpGtF64 | Op::CmpGeF64 => {
-                self.a.movsd_load(Xmm::Xmm0, REGS, s(i.b));
-                self.a.ucomisd_mem(Xmm::Xmm0, REGS, s(i.c));
+                self.movsd_ld_slot(Xmm::Xmm0, i.b);
+                self.ucomisd_slot(Xmm::Xmm0, i.c);
                 self.a.setcc(if pred == Op::CmpGtF64 { Cc::A } else { Cc::Ae }, A);
             }
             _ => unreachable!("not a float comparison"),
         }
-        self.a.store8(REGS, s(i.a), A);
+        self.st_flag(i.a, A);
     }
 
     /// Overflow-checked arithmetic (`W::B4`/`W::B8` only). `trap` jumps to
     /// the overflow stub, `flag` stores OF as a byte instead of the value.
     fn ovf(&mut self, i: &BcInstr, op: Op, w: W, mode: OvfMode) {
-        self.load_zx(A, REGS, s(i.b), w);
-        self.load_zx(C, REGS, s(i.c), w);
+        self.ld_slot_zx(A, i.b, w);
+        self.ld_slot_zx(C, i.c, w);
         let alu = match op {
             Op::AddOvfTrapI32
             | Op::AddOvfTrapI64
@@ -398,20 +588,20 @@ impl Lowerer {
         match mode {
             OvfMode::Trap => {
                 self.a.jcc(Cc::O, self.l_overflow);
-                self.store_w(REGS, s(i.a), A, w);
+                self.st_slot(i.a, A, w);
             }
-            OvfMode::Val => self.store_w(REGS, s(i.a), A, w),
+            OvfMode::Val => self.st_slot(i.a, A, w),
             OvfMode::Flag => {
                 self.a.setcc(Cc::O, D);
-                self.a.store8(REGS, s(i.a), D);
+                self.st_flag(i.a, D);
             }
         }
     }
 
     /// Signed division/remainder with the interpreter's trap semantics.
     fn sdiv(&mut self, i: &BcInstr, w: W, rem: bool) {
-        self.load_sx(A, REGS, s(i.b), w);
-        self.load_sx(C, REGS, s(i.c), w);
+        self.ld_slot_sx(A, i.b, w);
+        self.ld_slot_sx(C, i.c, w);
         self.a.test_rr(C, C);
         self.a.jcc(Cc::E, self.l_divzero);
         let done = self.a.label();
@@ -438,49 +628,51 @@ impl Lowerer {
             self.a.alu_ri(Alu::Cmp, C, -1);
             self.a.jcc(Cc::Ne, ok);
             self.a.zero(A);
-            self.a.store64(REGS, s(i.a), A);
+            self.st_slot64(i.a, A);
             self.a.jmp(done);
             self.a.bind(ok);
         }
         self.a.cqo();
         self.a.idiv(C);
-        self.store_w(REGS, s(i.a), if rem { D } else { A }, w);
+        self.st_slot(i.a, if rem { D } else { A }, w);
         self.a.bind(done);
     }
 
     /// Unsigned division/remainder.
     fn udiv(&mut self, i: &BcInstr, w: W, rem: bool) {
-        self.load_zx(A, REGS, s(i.b), w);
-        self.load_zx(C, REGS, s(i.c), w);
+        self.ld_slot_zx(A, i.b, w);
+        self.ld_slot_zx(C, i.c, w);
         self.a.test_rr(C, C);
         self.a.jcc(Cc::E, self.l_divzero);
         self.a.zero(D);
         self.a.div(C);
-        self.store_w(REGS, s(i.a), if rem { D } else { A }, w);
+        self.st_slot(i.a, if rem { D } else { A }, w);
     }
 
     /// Width conversion: load with the given extension, store at `to`.
     fn ext(&mut self, i: &BcInstr, from: W, to: W, signed: bool) {
         if signed {
-            self.load_sx(A, REGS, s(i.b), from);
+            self.ld_slot_sx(A, i.b, from);
         } else {
-            self.load_zx(A, REGS, s(i.b), from);
+            self.ld_slot_zx(A, i.b, from);
         }
-        self.store_w(REGS, s(i.a), A, to);
+        self.st_slot(i.a, A, to);
     }
 
     /// Call a Rust helper taking `xmm0` and returning in `rax`.
-    fn call_f2i(&mut self, i: &BcInstr, helper: u64, to: W) {
-        self.a.movsd_load(Xmm::Xmm0, REGS, s(i.b));
+    fn call_f2i(&mut self, pc: usize, i: &BcInstr, helper: u64, to: W) {
+        self.movsd_ld_slot(Xmm::Xmm0, i.b);
+        let wnd = self.flush_for_call(pc);
         self.a.mov_ri(A, helper);
         self.a.call_reg(A);
-        self.store_w(REGS, s(i.a), A, to);
+        self.reload_after_call(&wnd);
+        self.st_slot(i.a, A, to);
     }
 
     /// Leave the effective address `[slot(base)] + lit` in `rax`, returning
     /// the residual displacement to fold into the access.
     fn addr_disp(&mut self, base_slot: u16, lit: u64) -> Result<i32, String> {
-        self.a.load64(A, REGS, s(base_slot));
+        self.ld_slot64(A, base_slot);
         match i32::try_from(lit as i64) {
             Ok(d) => Ok(d),
             Err(_) => {
@@ -494,8 +686,8 @@ impl Lowerer {
     /// Leave `[slot(base)] + [slot(idx)] * scale` in `rax`, returning the
     /// displacement component.
     fn addr_idx(&mut self, base_slot: u16, idx_slot: u16, lit: u64) -> i32 {
-        self.a.load64(A, REGS, s(base_slot));
-        self.a.load64(C, REGS, s(idx_slot));
+        self.ld_slot64(A, base_slot);
+        self.ld_slot64(C, idx_slot);
         self.a.imul_rri(C, C, BcInstr::idx_scale(lit) as i32);
         self.a.alu_rr(Alu::Add, A, C);
         BcInstr::idx_disp(lit) as i32
@@ -508,7 +700,7 @@ impl Lowerer {
             Addr::Idx => self.addr_idx(i.b, i.c, i.lit),
         };
         self.load_zx(C, A, disp, w);
-        self.store_w(REGS, s(i.a), C, w);
+        self.st_slot(i.a, C, w);
         Ok(())
     }
 
@@ -518,14 +710,14 @@ impl Lowerer {
             Addr::Disp => self.addr_disp(i.a, i.lit)?,
             Addr::Idx => self.addr_idx(i.a, i.c, i.lit),
         };
-        self.a.load64(C, REGS, s(i.b));
+        self.ld_slot64(C, i.b);
         self.store_w(A, disp, C, w);
         Ok(())
     }
 
     /// One non-fused instruction — the native mirror of `exec_one`.
     #[allow(clippy::too_many_lines)]
-    fn plain(&mut self, i: &BcInstr) -> Result<(), String> {
+    fn plain(&mut self, pc: usize, i: &BcInstr) -> Result<(), String> {
         use Op::*;
         match i.op {
             AddI8 => self.bin(i, Alu::Add, W::B1),
@@ -729,33 +921,33 @@ impl Lowerer {
             ZExtI16I64 => self.ext(i, W::B2, W::B8, false),
             ZExtI32I64 => self.ext(i, W::B4, W::B8, false),
             SiToFpI32 => {
-                self.load_sx(A, REGS, s(i.b), W::B4);
+                self.ld_slot_sx(A, i.b, W::B4);
                 self.a.cvtsi2sd(Xmm::Xmm0, A);
-                self.a.movsd_store(REGS, s(i.a), Xmm::Xmm0);
+                self.movsd_st_slot(i.a, Xmm::Xmm0);
             }
             SiToFpI64 => {
-                self.a.load64(A, REGS, s(i.b));
+                self.ld_slot64(A, i.b);
                 self.a.cvtsi2sd(Xmm::Xmm0, A);
-                self.a.movsd_store(REGS, s(i.a), Xmm::Xmm0);
+                self.movsd_st_slot(i.a, Xmm::Xmm0);
             }
-            FpToSiI32 => self.call_f2i(i, self.helpers.f2i32, W::B4),
-            FpToSiI64 => self.call_f2i(i, self.helpers.f2i64, W::B8),
+            FpToSiI32 => self.call_f2i(pc, i, self.helpers.f2i32, W::B4),
+            FpToSiI64 => self.call_f2i(pc, i, self.helpers.f2i64, W::B8),
 
             Mov64 => {
-                self.a.load64(A, REGS, s(i.b));
-                self.a.store64(REGS, s(i.a), A);
+                self.ld_slot64(A, i.b);
+                self.st_slot64(i.a, A);
             }
             Const64 => {
                 self.a.mov_ri(A, i.lit);
-                self.a.store64(REGS, s(i.a), A);
+                self.st_slot64(i.a, A);
             }
             Select64 => {
-                self.a.load8zx(A, REGS, s(i.b));
-                self.a.load64(C, REGS, s(i.c));
-                self.a.load64(D, REGS, s(i.lit as u16));
+                self.ld_slot_zx(A, i.b, W::B1);
+                self.ld_slot64(C, i.c);
+                self.ld_slot64(D, i.lit as u16);
                 self.a.test_rr(A, A);
                 self.a.cmovcc(Cc::E, C, D);
-                self.a.store64(REGS, s(i.a), C);
+                self.st_slot64(i.a, C);
             }
 
             Load8 => self.mem_load(i, W::B1, Addr::Plain)?,
@@ -787,27 +979,24 @@ impl Lowerer {
                 if disp != 0 {
                     self.a.lea(A, A, disp);
                 }
-                self.a.store64(REGS, s(i.a), A);
+                self.st_slot64(i.a, A);
             }
 
-            Br => {
-                let t = self.step_target(i.lit)?;
-                self.a.jmp(t);
-            }
+            Br => self.jmp_or_fall(pc, i.lit)?,
             CondBr => {
-                let then = self.step_target(BcInstr::branch_then(i.lit) as u64)?;
-                let els = self.step_target(BcInstr::branch_else(i.lit) as u64)?;
-                self.a.load8zx(A, REGS, s(i.b));
-                self.a.test_rr(A, A);
-                self.a.jcc(Cc::Ne, then);
-                self.a.jmp(els);
+                self.ld_slot_zx(A, i.b, W::B1);
+                self.branch_on_al(
+                    pc,
+                    BcInstr::branch_then(i.lit) as u64,
+                    BcInstr::branch_else(i.lit) as u64,
+                )?;
             }
             Ret => {
                 self.a.mov_ri(A, STATUS_RET_NONE);
                 self.a.jmp(self.l_epilogue);
             }
             RetVal => {
-                self.a.load64(D, REGS, s(i.a));
+                self.ld_slot64(D, i.a);
                 self.a.mov_ri(A, STATUS_RET_VAL);
                 self.a.jmp(self.l_epilogue);
             }
@@ -826,11 +1015,15 @@ impl Lowerer {
                     .checked_mul(8)
                     .and_then(|o| i32::try_from(o).ok())
                     .ok_or_else(|| format!("runtime-call index {} out of range", i.lit))?;
+                // Arg/ret slots are frame-pinned by the allocator; only
+                // caller-saved promoted registers need syncing.
+                let wnd = self.flush_for_call(pc);
                 self.a.load64(Reg::Rdi, FNS, table_off);
                 self.a.lea(Reg::Rsi, REGS, s(i.b));
                 self.a.lea(Reg::Rdx, REGS, s(i.a));
                 self.a.mov_ri(A, self.helpers.rt_tramp);
                 self.a.call_reg(A);
+                self.reload_after_call(&wnd);
             }
         }
         Ok(())

@@ -24,6 +24,8 @@ mod asm;
 mod execmem;
 #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
 mod lower;
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod regalloc;
 
 use crate::compile::{compile, CompileStats, OptLevel};
 use aqe_ir::{ExternDecl, Function};
@@ -40,6 +42,14 @@ pub const HAVE_EMITTER: bool = cfg!(all(target_arch = "x86_64", target_os = "lin
 /// compiled in and `AQE_NATIVE=0` has not forced the fallback path.
 pub fn enabled() -> bool {
     HAVE_EMITTER && std::env::var("AQE_NATIVE").map_or(true, |v| v != "0")
+}
+
+/// Whether lowering runs the linear-scan register allocator. Defaults on;
+/// `AQE_NATIVE_REGALLOC=0` falls back to the PR 4 template behaviour
+/// (every slot in the frame) — the ablation knob used by the benchmarks
+/// and the differential suite.
+pub fn regalloc_enabled() -> bool {
+    std::env::var("AQE_NATIVE_REGALLOC").map_or(true, |v| v != "0")
 }
 
 /// Why a native compilation did not produce machine code.
@@ -179,7 +189,7 @@ fn compile_native_impl(
     let start = std::time::Instant::now();
     let cf = compile(f, externs, OptLevel::Optimized)
         .map_err(|e| NativeError::Compile(e.to_string()))?;
-    let code = lower::lower(&cf, imp::helpers()).map_err(NativeError::Lower)?;
+    let code = lower::lower(&cf, externs, imp::helpers()).map_err(NativeError::Lower)?;
     let code_bytes = code.len();
     let mem = execmem::ExecMem::map(&code).map_err(NativeError::Lower)?;
     Ok(NativeFunction {

@@ -1,0 +1,650 @@
+//! Machine register allocation for the native tier (linear scan).
+//!
+//! The template lowering kept every VM register-file slot in memory at
+//! `[r12 + slot]`. This pass promotes hot slots into x86-64 GPRs for the
+//! whole function: it scans the packed [`Step`] stream for each slot's
+//! access widths, runs a backward liveness dataflow over the step CFG,
+//! collapses each slot's live positions into one convex interval, and
+//! linear-scans those intervals onto a register pool with loop-weighted
+//! eviction. "Spilling" a slot simply means leaving it where the template
+//! JIT had it — in the frame — so no spill code is ever emitted.
+//!
+//! Soundness invariants:
+//!
+//! * **Eligibility.** A slot is promotable only if *every* static access
+//!   to it is 64 bits wide (including `movsd` float traffic, which moves
+//!   whole slots). The VM's slot allocator reuses one slot for values of
+//!   different types, and sub-width accesses (flag bytes, i8/i16/i32
+//!   values) rely on the frame's byte-exact layout — those slots stay in
+//!   memory. Runtime-call argument/return areas are read and written *by
+//!   the callee through memory*, so `CallRt` arg and ret slots are pinned
+//!   to the frame too.
+//! * **Interval sharing.** Two slots may share a register only when their
+//!   convex live hulls are disjoint. If both were live at some point `p`,
+//!   `p` would lie in both hulls — so disjoint hulls imply no
+//!   interference, with no reasoning about CFG shape required.
+//! * **Calls.** Helper calls (`CallRt` trampoline, `f64→int` conversion)
+//!   clobber caller-saved registers. Intervals in caller-saved registers
+//!   are flushed to their frame slots before each call inside their hull
+//!   and reloaded after; call-crossing intervals prefer callee-saved
+//!   registers so most never need it.
+//! * **Definedness.** An interval live-in at entry is loaded from the
+//!   frame in the prologue (parameters and the constant slots 0/8 are
+//!   written there by `execute_native`). Every other interval is written
+//!   at full width before it is read on every path, by liveness.
+
+use super::asm::Reg;
+use crate::emit::{SOp, Step};
+use aqe_ir::ExternDecl;
+use aqe_vm::bytecode::BcInstr;
+use std::collections::HashMap;
+
+/// Registers handed to the allocator, split by save class. The scratch
+/// trio `rax`/`rcx`/`rdx`, the pinned `r12`/`r13`, `rsp`, and the
+/// `CallRt` argument registers `rsi`/`rdi` are deliberately absent — see
+/// the calling-convention notes in [`super::lower`].
+pub(super) const CALLEE_SAVED_POOL: [Reg; 4] = [Reg::Rbx, Reg::R14, Reg::R15, Reg::Rbp];
+pub(super) const CALLER_SAVED_POOL: [Reg; 4] = [Reg::R8, Reg::R9, Reg::R10, Reg::R11];
+
+/// How one step touches one slot.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Read,
+    Write,
+}
+
+/// One `(slot, byte width, read/write)` access.
+type Access = (u16, u8, Kind);
+
+/// The allocation result the lowering consults.
+#[derive(Default)]
+pub(super) struct Assignment {
+    /// Slot byte offset → promoted register.
+    reg_of: HashMap<u16, Reg>,
+    /// Slots live-in at entry, loaded from the frame in the prologue.
+    entry_loads: Vec<(u16, Reg)>,
+    /// Caller-saved intervals: `(slot, reg, hull start, hull end)` —
+    /// flushed/reloaded around calls whose pc the hull contains.
+    caller_saved: Vec<(u16, Reg, u32, u32)>,
+    /// Number of slots promoted / left in the frame under pressure.
+    pub promoted: usize,
+    pub demoted: usize,
+}
+
+impl Assignment {
+    /// The empty assignment: pure template behaviour.
+    pub fn none() -> Assignment {
+        Assignment::default()
+    }
+
+    /// The register holding `slot`, if promoted.
+    pub fn reg(&self, slot: u16) -> Option<Reg> {
+        self.reg_of.get(&slot).copied()
+    }
+
+    /// Prologue loads (slots whose value exists in the frame at entry).
+    pub fn entry_loads(&self) -> &[(u16, Reg)] {
+        &self.entry_loads
+    }
+
+    /// Caller-saved registers that must be synced to/from their frame
+    /// slots around a call at step `pc`.
+    pub fn call_window(&self, pc: usize) -> Vec<(u16, Reg)> {
+        let pc = pc as u32;
+        self.caller_saved
+            .iter()
+            .filter(|&&(_, _, s, e)| s <= pc && pc <= e)
+            .map(|&(slot, reg, _, _)| (slot, reg))
+            .collect()
+    }
+}
+
+/// Whether a step calls out of the generated code (clobbering
+/// caller-saved registers).
+pub(super) fn is_call(st: &Step) -> bool {
+    use aqe_vm::bytecode::Op;
+    st.sup == SOp::Plain && matches!(st.i.op, Op::CallRt | Op::FpToSiI32 | Op::FpToSiI64)
+}
+
+/// Enumerate every register-file slot access a step performs, mirroring
+/// the lowering's operand traffic exactly (widths included).
+fn accesses(st: &Step, externs: &[ExternDecl], out: &mut Vec<Access>) {
+    use aqe_vm::bytecode::Op::*;
+    use Kind::{Read, Write};
+    out.clear();
+    let i = &st.i;
+    match st.sup {
+        SOp::Jmp => return,
+        SOp::AccumAddI64 | SOp::AccumOvfAddI64 | SOp::AccumAddF64 => {
+            out.push((i.b, 8, Read));
+            out.push((i.a, 8, Write));
+            out.push((i.c, 8, Read));
+            out.push((st.lit2 as u16, 8, Write));
+            return;
+        }
+        // CmpBr/AddImmBr/MovBr/ConstBr wrap a plain instruction; the
+        // fused branch itself only re-tests scratch.
+        SOp::Plain | SOp::CmpBr | SOp::AddImmBr | SOp::MovBr | SOp::ConstBr => {}
+    }
+    match i.op {
+        // Wrapping arithmetic/logic: 64-bit operand loads, width-exact
+        // destination store.
+        AddI8 | SubI8 | MulI8 | AndI8 | OrI8 | XorI8 => bin(out, i, 1),
+        AddI16 | SubI16 | MulI16 | AndI16 | OrI16 | XorI16 => bin(out, i, 2),
+        AddI32 | SubI32 | MulI32 | AndI32 | OrI32 | XorI32 => bin(out, i, 4),
+        AddI64 | SubI64 | MulI64 | AndI64 | OrI64 | XorI64 => bin(out, i, 8),
+        AddF64 | SubF64 | MulF64 | FDivF64 => bin(out, i, 8),
+
+        SDivI8 | SRemI8 | UDivI8 | URemI8 => div(out, i, 1),
+        SDivI16 | SRemI16 | UDivI16 | URemI16 => div(out, i, 2),
+        SDivI32 | SRemI32 | UDivI32 | URemI32 => div(out, i, 4),
+        SDivI64 | SRemI64 | UDivI64 | URemI64 => div(out, i, 8),
+
+        // Shifts load the shiftee at width (sar/shr) or 64 bits (shl),
+        // the count always at 64 bits, and store at width.
+        ShlI8 => shl(out, i, 1),
+        ShlI16 => shl(out, i, 2),
+        ShlI32 => shl(out, i, 4),
+        ShlI64 => shl(out, i, 8),
+        AShrI8 | LShrI8 => sh(out, i, 1),
+        AShrI16 | LShrI16 => sh(out, i, 2),
+        AShrI32 | LShrI32 => sh(out, i, 4),
+        AShrI64 | LShrI64 => sh(out, i, 8),
+
+        AddImmI32 | SubImmI32 | MulImmI32 | AndImmI32 | OrImmI32 | XorImmI32 => {
+            imm(out, i, 4);
+        }
+        AddImmI64 | SubImmI64 | MulImmI64 | AndImmI64 | OrImmI64 | XorImmI64 | AddImmF64
+        | MulImmF64 => imm(out, i, 8),
+        ShlImmI32 => imm(out, i, 4),
+        ShlImmI64 => imm(out, i, 8),
+        AShrImmI32 | LShrImmI32 => {
+            out.push((i.b, 4, Read));
+            out.push((i.a, 4, Write));
+        }
+        AShrImmI64 | LShrImmI64 => imm(out, i, 8),
+
+        // Comparisons: operands at width, a one-byte flag result.
+        CmpEqI8 | CmpNeI8 | CmpSltI8 | CmpSleI8 | CmpSgtI8 | CmpSgeI8 | CmpUltI8 | CmpUleI8
+        | CmpUgtI8 | CmpUgeI8 => cmp(out, i, 1),
+        CmpEqI16 | CmpNeI16 | CmpSltI16 | CmpSleI16 | CmpSgtI16 | CmpSgeI16 | CmpUltI16
+        | CmpUleI16 | CmpUgtI16 | CmpUgeI16 => cmp(out, i, 2),
+        CmpEqI32 | CmpNeI32 | CmpSltI32 | CmpSleI32 | CmpSgtI32 | CmpSgeI32 | CmpUltI32
+        | CmpUleI32 | CmpUgtI32 | CmpUgeI32 => cmp(out, i, 4),
+        CmpEqI64 | CmpNeI64 | CmpSltI64 | CmpSleI64 | CmpSgtI64 | CmpSgeI64 | CmpUltI64
+        | CmpUleI64 | CmpUgtI64 | CmpUgeI64 => cmp(out, i, 8),
+        CmpEqF64 | CmpNeF64 | CmpLtF64 | CmpLeF64 | CmpGtF64 | CmpGeF64 => cmp(out, i, 8),
+        CmpImmEqI32 | CmpImmNeI32 | CmpImmSltI32 | CmpImmSleI32 | CmpImmSgtI32 | CmpImmSgeI32
+        | CmpImmUltI32 | CmpImmUleI32 | CmpImmUgtI32 | CmpImmUgeI32 => {
+            out.push((i.b, 4, Read));
+            out.push((i.a, 1, Write));
+        }
+        CmpImmEqI64 | CmpImmNeI64 | CmpImmSltI64 | CmpImmSleI64 | CmpImmSgtI64 | CmpImmSgeI64
+        | CmpImmUltI64 | CmpImmUleI64 | CmpImmUgtI64 | CmpImmUgeI64 => {
+            out.push((i.b, 8, Read));
+            out.push((i.a, 1, Write));
+        }
+
+        AddOvfTrapI32 | SubOvfTrapI32 | MulOvfTrapI32 | AddOvfValI32 | SubOvfValI32
+        | MulOvfValI32 => bin(out, i, 4),
+        AddOvfTrapI64 | SubOvfTrapI64 | MulOvfTrapI64 | AddOvfValI64 | SubOvfValI64
+        | MulOvfValI64 => bin(out, i, 8),
+        AddOvfFlagI32 | SubOvfFlagI32 | MulOvfFlagI32 => {
+            out.push((i.b, 4, Read));
+            out.push((i.c, 4, Read));
+            out.push((i.a, 1, Write));
+        }
+        AddOvfFlagI64 | SubOvfFlagI64 | MulOvfFlagI64 => {
+            out.push((i.b, 8, Read));
+            out.push((i.c, 8, Read));
+            out.push((i.a, 1, Write));
+        }
+
+        SExtI8I16 | ZExtI8I16 => ext(out, i, 1, 2),
+        SExtI8I32 | ZExtI8I32 => ext(out, i, 1, 4),
+        SExtI8I64 | ZExtI8I64 => ext(out, i, 1, 8),
+        SExtI16I32 | ZExtI16I32 => ext(out, i, 2, 4),
+        SExtI16I64 | ZExtI16I64 => ext(out, i, 2, 8),
+        SExtI32I64 | ZExtI32I64 => ext(out, i, 4, 8),
+        SiToFpI32 => ext(out, i, 4, 8),
+        SiToFpI64 => ext(out, i, 8, 8),
+        FpToSiI32 => ext(out, i, 8, 4),
+        FpToSiI64 => ext(out, i, 8, 8),
+
+        Mov64 => ext(out, i, 8, 8),
+        Const64 => out.push((i.a, 8, Write)),
+        Select64 => {
+            out.push((i.b, 1, Read));
+            out.push((i.c, 8, Read));
+            out.push((i.lit as u16, 8, Read));
+            out.push((i.a, 8, Write));
+        }
+
+        Load8 | Load8Disp => mem_ld(out, i, 1, false),
+        Load16 | Load16Disp => mem_ld(out, i, 2, false),
+        Load32 | Load32Disp => mem_ld(out, i, 4, false),
+        Load64 | Load64Disp => mem_ld(out, i, 8, false),
+        Load8Idx => mem_ld(out, i, 1, true),
+        Load16Idx => mem_ld(out, i, 2, true),
+        Load32Idx => mem_ld(out, i, 4, true),
+        Load64Idx => mem_ld(out, i, 8, true),
+        // Stores read the value slot with a full 64-bit load and narrow
+        // at the memory side, so the value access is 8 bytes wide.
+        Store8 | Store16 | Store32 | Store64 | Store8Disp | Store16Disp | Store32Disp
+        | Store64Disp => {
+            out.push((i.a, 8, Read));
+            out.push((i.b, 8, Read));
+        }
+        Store8Idx | Store16Idx | Store32Idx | Store64Idx => {
+            out.push((i.a, 8, Read));
+            out.push((i.c, 8, Read));
+            out.push((i.b, 8, Read));
+        }
+        GepIdx => {
+            out.push((i.b, 8, Read));
+            out.push((i.c, 8, Read));
+            out.push((i.a, 8, Write));
+        }
+
+        Br | Ret | TrapOp => {}
+        CondBr => out.push((i.b, 1, Read)),
+        RetVal => out.push((i.a, 8, Read)),
+        // The callee reads arguments from and writes the result to the
+        // frame itself; record sub-width accesses so these slots are
+        // pinned to memory.
+        CallRt => {
+            let nargs =
+                externs.get(i.lit as usize).map(|e: &ExternDecl| e.params.len()).unwrap_or(0);
+            for k in 0..nargs {
+                out.push((i.b + 8 * k as u16, 1, Read));
+            }
+            out.push((i.a, 1, Write));
+        }
+    }
+}
+
+fn bin(out: &mut Vec<Access>, i: &BcInstr, w: u8) {
+    out.push((i.b, 8, Kind::Read));
+    out.push((i.c, 8, Kind::Read));
+    out.push((i.a, w, Kind::Write));
+}
+
+fn div(out: &mut Vec<Access>, i: &BcInstr, w: u8) {
+    out.push((i.b, w, Kind::Read));
+    out.push((i.c, w, Kind::Read));
+    out.push((i.a, w, Kind::Write));
+}
+
+fn sh(out: &mut Vec<Access>, i: &BcInstr, w: u8) {
+    out.push((i.b, w, Kind::Read));
+    out.push((i.c, 8, Kind::Read));
+    out.push((i.a, w, Kind::Write));
+}
+
+fn shl(out: &mut Vec<Access>, i: &BcInstr, w: u8) {
+    out.push((i.b, 8, Kind::Read));
+    out.push((i.c, 8, Kind::Read));
+    out.push((i.a, w, Kind::Write));
+}
+
+fn imm(out: &mut Vec<Access>, i: &BcInstr, w: u8) {
+    out.push((i.b, 8, Kind::Read));
+    out.push((i.a, w, Kind::Write));
+}
+
+fn cmp(out: &mut Vec<Access>, i: &BcInstr, w: u8) {
+    out.push((i.b, w, Kind::Read));
+    out.push((i.c, w, Kind::Read));
+    out.push((i.a, 1, Kind::Write));
+}
+
+fn ext(out: &mut Vec<Access>, i: &BcInstr, from: u8, to: u8) {
+    out.push((i.b, from, Kind::Read));
+    out.push((i.a, to, Kind::Write));
+}
+
+fn mem_ld(out: &mut Vec<Access>, i: &BcInstr, w: u8, idx: bool) {
+    out.push((i.b, 8, Kind::Read));
+    if idx {
+        out.push((i.c, 8, Kind::Read));
+    }
+    out.push((i.a, w, Kind::Write));
+}
+
+/// CFG successors of the step at `pc` (mirrors the lowering's branch
+/// emission and the interpreter's control flow).
+fn successors(pc: usize, st: &Step, out: &mut Vec<usize>) {
+    use aqe_vm::bytecode::Op;
+    out.clear();
+    match st.sup {
+        SOp::Jmp => out.push(st.i.lit as usize),
+        SOp::CmpBr => {
+            out.push(BcInstr::branch_then(st.lit2));
+            out.push(BcInstr::branch_else(st.lit2));
+        }
+        SOp::AddImmBr | SOp::MovBr | SOp::ConstBr => out.push(st.lit2 as usize),
+        SOp::AccumAddI64 | SOp::AccumOvfAddI64 | SOp::AccumAddF64 => out.push(pc + 1),
+        SOp::Plain => match st.i.op {
+            Op::Br => out.push(st.i.lit as usize),
+            Op::CondBr => {
+                out.push(BcInstr::branch_then(st.i.lit));
+                out.push(BcInstr::branch_else(st.i.lit));
+            }
+            Op::Ret | Op::RetVal | Op::TrapOp => {}
+            _ => out.push(pc + 1),
+        },
+    }
+}
+
+/// A promotable slot's convex live hull plus its loop-weighted score.
+struct Interval {
+    slot: u16,
+    start: u32,
+    end: u32,
+    score: u64,
+    live_in_entry: bool,
+    crosses_call: bool,
+}
+
+/// Run the allocation over a step stream. `callee_pool`/`caller_pool`
+/// define the available registers (empty pools yield [`Assignment::none`],
+/// i.e. pure template lowering).
+pub(super) fn allocate(
+    steps: &[Step],
+    externs: &[ExternDecl],
+    callee_pool: &[Reg],
+    caller_pool: &[Reg],
+) -> Assignment {
+    if steps.is_empty() || (callee_pool.is_empty() && caller_pool.is_empty()) {
+        return Assignment::none();
+    }
+
+    // ---- pass 1: eligibility + per-step use/def sets -------------------
+    let mut eligible: HashMap<u16, bool> = HashMap::new();
+    let mut acc = Vec::new();
+    let mut step_acc: Vec<Vec<Access>> = Vec::with_capacity(steps.len());
+    for st in steps {
+        accesses(st, externs, &mut acc);
+        for &(slot, w, _) in &acc {
+            let e = eligible.entry(slot).or_insert(true);
+            if w != 8 {
+                *e = false;
+            }
+        }
+        step_acc.push(acc.clone());
+    }
+    let mut slots: Vec<u16> = eligible.iter().filter(|&(_, &e)| e).map(|(&s, _)| s).collect();
+    slots.sort_unstable();
+    if slots.is_empty() {
+        return Assignment::none();
+    }
+    let index: HashMap<u16, usize> = slots.iter().enumerate().map(|(k, &s)| (s, k)).collect();
+    let words = slots.len().div_ceil(64);
+
+    // ---- pass 2: loop weights ------------------------------------------
+    // A backward branch pc' → t (t ≤ pc') brackets the loop region
+    // [t, pc']; weight grows 8× per nesting level (capped).
+    let mut depth_delta = vec![0i32; steps.len() + 1];
+    let mut succ = Vec::new();
+    for (pc, st) in steps.iter().enumerate() {
+        successors(pc, st, &mut succ);
+        for &t in &succ {
+            if t <= pc && t < steps.len() {
+                depth_delta[t] += 1;
+                depth_delta[pc + 1] -= 1;
+            }
+        }
+    }
+    let mut weight = vec![1u64; steps.len()];
+    let mut depth = 0i32;
+    for pc in 0..steps.len() {
+        depth += depth_delta[pc];
+        weight[pc] = 8u64.saturating_pow(depth.clamp(0, 6) as u32);
+    }
+
+    // ---- pass 3: backward liveness over the step CFG -------------------
+    let mut uses = vec![vec![0u64; words]; steps.len()];
+    let mut defs = vec![vec![0u64; words]; steps.len()];
+    for (pc, accs) in step_acc.iter().enumerate() {
+        for &(slot, _, kind) in accs {
+            if let Some(&k) = index.get(&slot) {
+                let (w, b) = (k / 64, 1u64 << (k % 64));
+                match kind {
+                    // A read in the same step happens before the write
+                    // (operands load first), so reads always count as
+                    // upward-exposed uses.
+                    Kind::Read => uses[pc][w] |= b,
+                    Kind::Write => defs[pc][w] |= b,
+                }
+            }
+        }
+    }
+    let mut live_in = vec![vec![0u64; words]; steps.len()];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for pc in (0..steps.len()).rev() {
+            successors(pc, &steps[pc], &mut succ);
+            let mut out = vec![0u64; words];
+            for &t in &succ {
+                if t < steps.len() {
+                    for w in 0..words {
+                        out[w] |= live_in[t][w];
+                    }
+                }
+            }
+            let mut new_in = vec![0u64; words];
+            for w in 0..words {
+                new_in[w] = uses[pc][w] | (out[w] & !defs[pc][w]);
+            }
+            if new_in != live_in[pc] {
+                live_in[pc] = new_in;
+                changed = true;
+            }
+        }
+    }
+
+    // ---- pass 4: convex hulls + scores ---------------------------------
+    let call_pcs: Vec<u32> =
+        steps.iter().enumerate().filter(|(_, st)| is_call(st)).map(|(pc, _)| pc as u32).collect();
+    let mut start = vec![u32::MAX; slots.len()];
+    let mut end = vec![0u32; slots.len()];
+    let mut score = vec![0u64; slots.len()];
+    for pc in 0..steps.len() {
+        for k in 0..slots.len() {
+            let (w, b) = (k / 64, 1u64 << (k % 64));
+            if live_in[pc][w] & b != 0 || defs[pc][w] & b != 0 || uses[pc][w] & b != 0 {
+                start[k] = start[k].min(pc as u32);
+                end[k] = end[k].max(pc as u32);
+            }
+        }
+        for &(slot, _, _) in &step_acc[pc] {
+            if let Some(&k) = index.get(&slot) {
+                score[k] = score[k].saturating_add(weight[pc]);
+            }
+        }
+    }
+    let mut intervals: Vec<Interval> = slots
+        .iter()
+        .enumerate()
+        .filter(|&(k, _)| start[k] != u32::MAX)
+        .map(|(k, &slot)| Interval {
+            slot,
+            start: start[k],
+            end: end[k],
+            score: score[k],
+            live_in_entry: live_in[0][k / 64] & (1u64 << (k % 64)) != 0,
+            crosses_call: call_pcs.iter().any(|&c| start[k] <= c && c <= end[k]),
+        })
+        .collect();
+    intervals.sort_by_key(|iv| (iv.start, iv.end));
+
+    // ---- pass 5: linear scan -------------------------------------------
+    let mut free_callee: Vec<Reg> = callee_pool.to_vec();
+    let mut free_caller: Vec<Reg> = caller_pool.to_vec();
+    let is_caller = |r: Reg| caller_pool.contains(&r);
+    // Active: (end, score, slot, reg).
+    let mut active: Vec<(u32, u64, u16, Reg)> = Vec::new();
+    let mut asg = Assignment::none();
+    let mut assigned: Vec<(u16, Reg, u32, u32, bool)> = Vec::new();
+    for iv in &intervals {
+        // Expire strictly-finished intervals (equal endpoints overlap).
+        active.retain(|&(e, _, _, reg)| {
+            if e < iv.start {
+                if is_caller(reg) {
+                    free_caller.push(reg);
+                } else {
+                    free_callee.push(reg);
+                }
+                false
+            } else {
+                true
+            }
+        });
+        // Call-crossing intervals prefer callee-saved registers (no
+        // flush traffic); short ones prefer caller-saved.
+        let pick = if iv.crosses_call {
+            free_callee.pop().or_else(|| free_caller.pop())
+        } else {
+            free_caller.pop().or_else(|| free_callee.pop())
+        };
+        let reg = match pick {
+            Some(r) => r,
+            None => {
+                // Pressure: evict the lowest-scored active interval if
+                // this one outranks it, else leave this slot in memory.
+                let (vi, &(_, vscore, _, _)) =
+                    match active.iter().enumerate().min_by_key(|(_, &(_, score, _, _))| score) {
+                        Some(v) => v,
+                        None => continue,
+                    };
+                if vscore >= iv.score {
+                    asg.demoted += 1;
+                    continue;
+                }
+                let (_, _, vslot, vreg) = active.swap_remove(vi);
+                assigned.retain(|&(s, _, _, _, _)| s != vslot);
+                asg.demoted += 1;
+                vreg
+            }
+        };
+        active.push((iv.end, iv.score, iv.slot, reg));
+        assigned.push((iv.slot, reg, iv.start, iv.end, iv.live_in_entry));
+    }
+
+    for &(slot, reg, start, end, live_in_entry) in &assigned {
+        asg.reg_of.insert(slot, reg);
+        if live_in_entry {
+            asg.entry_loads.push((slot, reg));
+        }
+        if is_caller(reg) {
+            asg.caller_saved.push((slot, reg, start, end));
+        }
+    }
+    asg.entry_loads.sort_unstable_by_key(|&(s, _)| s);
+    asg.promoted = assigned.len();
+    asg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqe_vm::bytecode::Op;
+
+    fn step(op: Op, a: u16, b: u16, c: u16, lit: u64) -> Step {
+        Step { sup: SOp::Plain, i: BcInstr { op, a, b, c, lit }, lit2: 0 }
+    }
+
+    #[test]
+    fn width_mixed_slot_is_never_promoted() {
+        // Slot 16 is written as a comparison flag (1 byte) and slot 24
+        // only ever at 64 bits; only 24 may be promoted.
+        let steps = vec![
+            step(Op::CmpSltI64, 16, 24, 32, 0),
+            step(Op::AddI64, 24, 24, 32, 0),
+            step(Op::Ret, 0, 0, 0, 0),
+        ];
+        let a = allocate(&steps, &[], &CALLEE_SAVED_POOL, &CALLER_SAVED_POOL);
+        assert!(a.reg(16).is_none(), "flag slot must stay in the frame");
+        assert!(a.reg(24).is_some(), "64-bit-only slot should be promoted");
+    }
+
+    #[test]
+    fn callrt_arg_and_ret_slots_stay_in_memory() {
+        let ext = ExternDecl {
+            name: "f".into(),
+            params: vec![aqe_ir::Type::I64, aqe_ir::Type::I64],
+            ret: Some(aqe_ir::Type::I64),
+        };
+        let steps = vec![
+            step(Op::Mov64, 40, 24, 0, 0),
+            step(Op::Mov64, 48, 32, 0, 0),
+            step(Op::CallRt, 56, 40, 0, 0),
+            step(Op::AddI64, 24, 56, 56, 0),
+            step(Op::Ret, 0, 0, 0, 0),
+        ];
+        let a = allocate(&steps, &[ext], &CALLEE_SAVED_POOL, &CALLER_SAVED_POOL);
+        assert!(a.reg(40).is_none() && a.reg(48).is_none(), "arg area pinned");
+        assert!(a.reg(56).is_none(), "ret slot pinned");
+        assert!(a.reg(24).is_some());
+    }
+
+    #[test]
+    fn entry_live_slots_get_prologue_loads() {
+        // Slot 16 is read before any write (a parameter pattern).
+        let steps = vec![step(Op::AddI64, 24, 16, 16, 0), step(Op::RetVal, 24, 0, 0, 0)];
+        let a = allocate(&steps, &[], &CALLEE_SAVED_POOL, &CALLER_SAVED_POOL);
+        let r16 = a.reg(16).expect("parameter slot promoted");
+        assert!(a.entry_loads().iter().any(|&(s, r)| s == 16 && r == r16));
+        // Slot 24 is written first: no prologue load.
+        assert!(!a.entry_loads().iter().any(|&(s, _)| s == 24));
+    }
+
+    #[test]
+    fn pressure_prefers_loop_slots() {
+        // More simultaneously-live 64-bit slots than registers: ten
+        // straight-line slots defined before a loop and consumed after it
+        // (so their ranges span the loop), plus loop slots 16/24. Only
+        // eight registers exist; the loop slots must be among the winners.
+        let mut steps = Vec::new();
+        for k in 0..10u16 {
+            steps.push(step(Op::Const64, 32 + k * 8, 0, 0, 7));
+        }
+        let loop_head = steps.len();
+        steps.push(step(Op::AddI64, 16, 16, 24, 0));
+        steps.push(step(Op::CmpSltI64, 0, 16, 24, 0));
+        let lit = BcInstr::pack_branch(loop_head as u32, (loop_head + 3) as u32);
+        steps.push(step(Op::CondBr, 0, 0, 0, lit));
+        for k in 0..10u16 {
+            steps.push(step(Op::AddI64, 24, 24, 32 + k * 8, 0));
+        }
+        steps.push(step(Op::Ret, 0, 0, 0, 0));
+        let a = allocate(&steps, &[], &CALLEE_SAVED_POOL, &CALLER_SAVED_POOL);
+        assert!(a.reg(16).is_some() && a.reg(24).is_some(), "loop slots promoted");
+        assert_eq!(a.promoted, 8, "pool size bounds promotions");
+        assert!(a.demoted >= 2);
+    }
+
+    #[test]
+    fn disjoint_hulls_share_a_register_only_safely() {
+        // Straight-line: slot 16 dies before slot 24 is born — they may
+        // share; but any pair simultaneously live must not.
+        let steps = vec![
+            step(Op::Const64, 16, 0, 0, 1),
+            step(Op::AddI64, 32, 16, 16, 0),
+            step(Op::Const64, 24, 0, 0, 2),
+            step(Op::AddI64, 32, 24, 32, 0),
+            step(Op::RetVal, 32, 0, 0, 0),
+        ];
+        let a = allocate(&steps, &[], &[Reg::Rbx, Reg::R14], &[]);
+        let (r16, r24, r32) = (a.reg(16), a.reg(24), a.reg(32));
+        // 32 overlaps both 16 and 24 — if promoted alongside either, the
+        // registers must differ.
+        if let (Some(x), Some(z)) = (r16, r32) {
+            assert_ne!(x, z);
+        }
+        if let (Some(y), Some(z)) = (r24, r32) {
+            assert_ne!(y, z);
+        }
+    }
+}

@@ -19,12 +19,33 @@ use std::sync::Arc;
 #[derive(Clone, Debug)]
 enum Stmt {
     Bin(BinOp, u8, u8),
-    BinConst(BinOp, u8, i16),
+    BinConst(BinOp, u8, i64),
     Checked(OvfOp, u8, u8),
     CmpSelect(CmpPred, u8, u8, u8, u8),
+    /// compare against a literal — exercises the emitter's immediate
+    /// widening (i32-range vs 64-bit literals need different encodings).
+    CmpConst(CmpPred, u8, i64, u8, u8),
     Diamond(u8, u8, u8),
-    Loop { trips: u8, a: u8 },
+    Loop {
+        trips: u8,
+        a: u8,
+    },
     Div(u8, i16),
+}
+
+/// Literal pool biased toward encoding boundaries: values around the
+/// i8/i32 immediate limits, the i32/i64 type extremes, and sign flips.
+fn const_strategy() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        any::<i16>().prop_map(i64::from),
+        Just(i64::MIN),
+        Just(i64::MAX),
+        Just(i32::MIN as i64),
+        Just(i32::MAX as i64),
+        Just(i32::MIN as i64 - 1),
+        Just(i32::MAX as i64 + 1),
+        Just(-1i64),
+    ]
 }
 
 fn stmt_strategy() -> impl Strategy<Value = Stmt> {
@@ -40,12 +61,15 @@ fn stmt_strategy() -> impl Strategy<Value = Stmt> {
     let ovf = prop_oneof![Just(OvfOp::Add), Just(OvfOp::Sub), Just(OvfOp::Mul)];
     let preds =
         prop_oneof![Just(CmpPred::Eq), Just(CmpPred::SLt), Just(CmpPred::SGe), Just(CmpPred::UGt),];
+    let preds2 = preds.clone();
     prop_oneof![
         (bin_ops, any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| Stmt::Bin(o, a, b)),
-        (bin_ops2, any::<u8>(), any::<i16>()).prop_map(|(o, a, c)| Stmt::BinConst(o, a, c)),
+        (bin_ops2, any::<u8>(), const_strategy()).prop_map(|(o, a, c)| Stmt::BinConst(o, a, c)),
         (ovf, any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| Stmt::Checked(o, a, b)),
         (preds, any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
             .prop_map(|(p, a, b, c, d)| Stmt::CmpSelect(p, a, b, c, d)),
+        (preds2, any::<u8>(), const_strategy(), any::<u8>(), any::<u8>())
+            .prop_map(|(p, a, k, c, d)| Stmt::CmpConst(p, a, k, c, d)),
         (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c)| Stmt::Diamond(a, b, c)),
         (0u8..5, any::<u8>()).prop_map(|(trips, a)| Stmt::Loop { trips, a }),
         (any::<u8>(), any::<i16>()).prop_map(|(a, d)| Stmt::Div(a, d)),
@@ -63,7 +87,13 @@ fn lower(stmts: &[Stmt]) -> Function {
                 vals.push(v);
             }
             Stmt::BinConst(op, a, c) => {
-                let v = b.bin(op, Type::I64, pick(&vals, a).into(), Constant::i64(c as i64).into());
+                let v = b.bin(op, Type::I64, pick(&vals, a).into(), Constant::i64(c).into());
+                vals.push(v);
+            }
+            Stmt::CmpConst(p, a, k, c, d) => {
+                let cond = b.cmp(p, Type::I64, pick(&vals, a).into(), Constant::i64(k).into());
+                let v =
+                    b.select(Type::I64, cond.into(), pick(&vals, c).into(), pick(&vals, d).into());
                 vals.push(v);
             }
             Stmt::Checked(op, a, bi) => {
@@ -296,6 +326,48 @@ proptest! {
             prop_assert_eq!(&switched.0, &reference.0, "first-half status");
             prop_assert_eq!(&switched.1, &reference.1, "second-half status");
             prop_assert_eq!(switched.2, reference.2, "accumulated state");
+        }
+    }
+}
+
+/// Deterministic register-pressure corpus for the linear-scan allocator:
+/// more simultaneously loop-crossing values than the native tier has
+/// allocatable registers (4 callee-saved + 4 caller-saved), so some hulls
+/// are promoted, some evicted, and some stay in memory — and the final
+/// XOR fold keeps every value live to the end. The register-allocated
+/// native code must agree with the naive interpreter bit-for-bit,
+/// boundary inputs included.
+#[test]
+fn native_regalloc_under_pressure_matches_naive() {
+    use Stmt::*;
+    // 12 long-lived values defined before three nested-pressure loops.
+    let mut stmts: Vec<Stmt> = (0..12i64)
+        .map(|i| BinConst(BinOp::Add, (i % 3) as u8, i * 0x0123_4567_89AB + i64::MIN / 7))
+        .collect();
+    stmts.extend([
+        Loop { trips: 4, a: 3 },
+        CmpConst(CmpPred::SLt, 5, i32::MAX as i64 + 1, 2, 9),
+        Loop { trips: 3, a: 7 },
+        Checked(OvfOp::Add, 1, 11),
+        CmpConst(CmpPred::UGt, 4, i32::MIN as i64, 8, 1),
+        Loop { trips: 2, a: 13 },
+        Div(6, 257),
+    ]);
+    let f = lower(&stmts);
+    let rt = Registry::new();
+    let mut frame = Frame::new();
+    for &(x, y) in
+        &[(0i64, 0i64), (1, -1), (i64::MAX, 2), (i64::MIN, -1), (i32::MAX as i64, i32::MIN as i64)]
+    {
+        let args = [x as u64, y as u64];
+        let expect = naive::interpret_pure(&f, &args);
+        for level in [OptLevel::Unoptimized, OptLevel::Optimized] {
+            let cf = compile(&f, &[], level).expect("compile");
+            assert_eq!(expect, execute_compiled(&cf, &args, &rt, &mut frame), "{level:?} {x} {y}");
+        }
+        if aqe_jit::native::enabled() {
+            let nf = aqe_jit::native::compile_native(&f, &[]).expect("native compile");
+            assert_eq!(expect, nf.call(&args, &rt, &mut frame), "native {x} {y}");
         }
     }
 }

@@ -33,6 +33,12 @@ pub enum ExecMode {
     /// module. On targets without the emitter the engine aliases this
     /// mode to `Optimized` threaded code.
     Native,
+    /// Vectorized scan kernels layered over a compiled scalar worker: a
+    /// packed-compare filter pre-pass (SSE2/AVX2) produces a selection
+    /// bitmask and only the surviving row runs enter the scalar code. On
+    /// pipelines without a vectorizable filter — or with `AQE_SIMD=0` —
+    /// the engine aliases this mode to `Native`.
+    Simd,
     /// The paper's contribution: start in bytecode, switch adaptively.
     Adaptive,
 }
@@ -48,12 +54,14 @@ impl ExecMode {
             ExecMode::Unoptimized => 2,
             ExecMode::Optimized => 3,
             ExecMode::Native => 4,
+            ExecMode::Simd => 5,
         }
     }
 
     /// Compact code used in execution traces (Fig. 14): 0 = bytecode,
     /// 1 = unoptimized, 2 = optimized, 3 = naive IR, 4 = native machine
-    /// code. (255 marks a compilation event and never names a backend.)
+    /// code, 5 = vectorized scan kernel. (255 marks a compilation event
+    /// and never names a backend.)
     pub fn trace_kind(self) -> u8 {
         match self {
             ExecMode::Bytecode | ExecMode::Adaptive => 0,
@@ -61,6 +69,7 @@ impl ExecMode {
             ExecMode::Optimized => 2,
             ExecMode::NaiveIr => 3,
             ExecMode::Native => 4,
+            ExecMode::Simd => 5,
         }
     }
 }
@@ -100,6 +109,7 @@ mod tests {
         assert!(ExecMode::Bytecode.rank() < ExecMode::Unoptimized.rank());
         assert!(ExecMode::Unoptimized.rank() < ExecMode::Optimized.rank());
         assert!(ExecMode::Optimized.rank() < ExecMode::Native.rank());
+        assert!(ExecMode::Native.rank() < ExecMode::Simd.rank());
         assert_eq!(ExecMode::Adaptive.rank(), ExecMode::Bytecode.rank());
     }
 
@@ -110,6 +120,7 @@ mod tests {
         assert_eq!(ExecMode::Optimized.trace_kind(), 2);
         assert_eq!(ExecMode::NaiveIr.trace_kind(), 3);
         assert_eq!(ExecMode::Native.trace_kind(), 4);
+        assert_eq!(ExecMode::Simd.trace_kind(), 5);
     }
 
     #[test]

@@ -24,6 +24,8 @@ use std::sync::Arc;
 enum Stmt {
     /// new value = binop(pick(a), pick(b))
     Bin(BinOp, u8, u8),
+    /// new value = binop(pick(a), literal) — boundary constants included
+    BinConst(BinOp, u8, i64),
     /// new value = checked add/sub/mul (may trap with Overflow)
     Checked(OvfOp, u8, u8),
     /// new value = select(cmp(a, b), c, d)
@@ -34,6 +36,24 @@ enum Stmt {
     Loop { trips: u8, a: u8 },
     /// new value = pick(a) / pick(b) — may trap with DivByZero/Overflow
     Div(u8, u8),
+    /// new value = select(cmp(pick(a), literal), c, d) — the literal pool
+    /// leans on i32/i64 extremes so widening/sign bugs can't hide
+    CmpConst(CmpPred, u8, i64, u8, u8),
+}
+
+/// Literal pool biased toward representation boundaries: the i32/i64 type
+/// extremes, the first values *past* the i32 range, and sign flips.
+fn const_strategy() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        any::<i16>().prop_map(i64::from),
+        Just(i64::MIN),
+        Just(i64::MAX),
+        Just(i32::MIN as i64),
+        Just(i32::MAX as i64),
+        Just(i32::MIN as i64 - 1),
+        Just(i32::MAX as i64 + 1),
+        Just(-1i64),
+    ]
 }
 
 fn stmt_strategy() -> impl Strategy<Value = Stmt> {
@@ -55,11 +75,16 @@ fn stmt_strategy() -> impl Strategy<Value = Stmt> {
         Just(CmpPred::UGe),
         Just(CmpPred::ULt),
     ];
+    let bin_ops2 = bin_ops.clone();
+    let preds2 = preds.clone();
     prop_oneof![
         (bin_ops, any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| Stmt::Bin(o, a, b)),
+        (bin_ops2, any::<u8>(), const_strategy()).prop_map(|(o, a, c)| Stmt::BinConst(o, a, c)),
         (ovf_ops, any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| Stmt::Checked(o, a, b)),
         (preds, any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
             .prop_map(|(p, a, b, c, d)| Stmt::CmpSelect(p, a, b, c, d)),
+        (preds2, any::<u8>(), const_strategy(), any::<u8>(), any::<u8>())
+            .prop_map(|(p, a, k, c, d)| Stmt::CmpConst(p, a, k, c, d)),
         (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
             .prop_map(|(a, b, c, d)| Stmt::Diamond(a, b, c, d)),
         (0u8..6, any::<u8>()).prop_map(|(trips, a)| Stmt::Loop { trips, a }),
@@ -77,6 +102,16 @@ fn lower(stmts: &[Stmt]) -> Function {
             Stmt::Bin(op, a, bi) => {
                 let (x, y) = (pick(&vals, a), pick(&vals, bi));
                 let v = b.bin(op, Type::I64, x.into(), y.into());
+                vals.push(v);
+            }
+            Stmt::BinConst(op, a, c) => {
+                let v = b.bin(op, Type::I64, pick(&vals, a).into(), Constant::i64(c).into());
+                vals.push(v);
+            }
+            Stmt::CmpConst(p, a, k, c, d) => {
+                let cond = b.cmp(p, Type::I64, pick(&vals, a).into(), Constant::i64(k).into());
+                let v =
+                    b.select(Type::I64, cond.into(), pick(&vals, c).into(), pick(&vals, d).into());
                 vals.push(v);
             }
             Stmt::Checked(op, a, bi) => {
@@ -265,6 +300,12 @@ fn regression_shapes() {
         vec![Diamond(0, 1, 0, 1), Loop { trips: 0, a: 2 }],
         vec![Checked(OvfOp::Add, 0, 0), Checked(OvfOp::Sub, 1, 2), Bin(BinOp::Mul, 3, 3)],
         vec![Loop { trips: 5, a: 1 }, Loop { trips: 2, a: 2 }, Diamond(3, 2, 1, 0)],
+        vec![
+            BinConst(BinOp::Add, 0, i64::MIN),
+            CmpConst(CmpPred::SLt, 2, i32::MAX as i64 + 1, 0, 1),
+            BinConst(BinOp::Xor, 3, i32::MIN as i64 - 1),
+            CmpConst(CmpPred::UGe, 1, -1, 3, 2),
+        ],
     ];
     for stmts in cases {
         let f = lower(&stmts);
