@@ -96,6 +96,11 @@ pub fn eval(e: &PExpr, row: &[u64], plan: &PhysicalPlan) -> Result<u64, ExecErro
             }
         }
         PExpr::IToF(v) => ((eval(v, row, plan)? as i64) as f64).to_bits(),
+        // The baselines replay fixed statements; bind parameters belong to
+        // the session layer's prepared-query path.
+        PExpr::Param { .. } => {
+            return Err(ExecError::Setup("baseline evaluators do not bind parameters".into()))
+        }
     })
 }
 
@@ -119,6 +124,8 @@ mod tests {
             state_slots: 0,
             output_tys: vec![],
             sorted_output: false,
+            params: vec![],
+            param_slot: None,
         }
     }
 

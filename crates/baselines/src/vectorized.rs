@@ -140,6 +140,11 @@ fn eval_vec(e: &PExpr, input: &Chunk, plan: &PhysicalPlan) -> Result<Vec<u64>, E
             let x = eval_vec(v, input, plan)?;
             (0..n).map(|i| ((x[i] as i64) as f64).to_bits()).collect()
         }
+        // The baselines replay fixed statements; bind parameters belong to
+        // the session layer's prepared-query path.
+        PExpr::Param { .. } => {
+            return Err(ExecError::Setup("baseline evaluators do not bind parameters".into()))
+        }
     })
 }
 

@@ -35,9 +35,9 @@
 //! concurrency surface in one artifact); otherwise a standalone object is
 //! written.
 
-use aqe_bench::{env_sf, ms, physical};
-use aqe_engine::exec::{ExecMode, ExecOptions};
-use aqe_engine::plan::{AggFunc, AggSpec, ArithOp, PExpr, PlanNode};
+use aqe_bench::{env_sf, ms, physical, q6_qty_plan};
+use aqe_engine::exec::{ExecMode, ExecOptions, ParamValue};
+use aqe_engine::plan::{AggFunc, AggSpec, ArithOp, FieldTy, PExpr, PlanNode};
 use aqe_engine::session::{Engine, PreparedQuery};
 use aqe_storage::{Column, DataType, Table};
 use std::fmt::Write as _;
@@ -124,6 +124,80 @@ fn drive(
                         let (rows, _) =
                             session.execute_with(q, &opts).expect("benchmark execution");
                         assert!(rows.row_count() > 0, "benchmark query returned no rows");
+                        lats.push(ms(t.elapsed()));
+                    }
+                    lats
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies.push(h.join().expect("worker"));
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let mut all: Vec<f64> = latencies.into_iter().flatten().collect();
+    all.sort_by(|a, b| a.total_cmp(b));
+    Point {
+        threads,
+        executions: all.len() as u64,
+        qps: all.len() as f64 / wall,
+        p50_ms: percentile(&all, 0.50),
+        p99_ms: percentile(&all, 0.99),
+    }
+}
+
+/// Cumulative Zipf(s) distribution over ranks `1..=n`.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
+/// Like [`drive`], but each execution binds a parameter drawn from a Zipf
+/// distribution over `values` — the skewed bind-value traffic a prepared
+/// OLTP statement sees. Result caching stays on in the options the caller
+/// passes: hot values hit the sharded result cache, cold ones run warm
+/// code with a fresh parameter block.
+fn drive_bound(
+    engine: &Arc<Engine>,
+    query: &Arc<PreparedQuery>,
+    values: &[i64],
+    cdf: &[f64],
+    threads: usize,
+    secs: f64,
+    opts: &ExecOptions,
+) -> Point {
+    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+    let mut latencies: Vec<Vec<f64>> = Vec::new();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let engine = engine.clone();
+                let opts = opts.clone();
+                scope.spawn(move || {
+                    let session = engine.session();
+                    let mut lats = Vec::new();
+                    // Per-thread LCG (deterministic, no rand dependency).
+                    let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ (tid as u64).wrapping_mul(0xA24B);
+                    while Instant::now() < deadline {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                        let idx = cdf.partition_point(|&c| c < u).min(values.len() - 1);
+                        let params = [ParamValue::I64(values[idx])];
+                        let t = Instant::now();
+                        session
+                            .execute_bound_with(query, &params, &opts)
+                            .expect("bound benchmark execution");
                         lats.push(ms(t.elapsed()));
                     }
                     lats
@@ -250,8 +324,69 @@ fn main() {
         cache.hits, cache.misses, cache.insertions, cache.entries, cache.bytes_used
     );
 
-    // ---- scenario: traffic under a mutating catalog -----------------------
+    // ---- scenario: Zipf-parameterized bound traffic -----------------------
+    // One prepared statement, skewed bind values: compiled once, every
+    // execution binds a fresh threshold. The rebake baseline re-prepares
+    // the statement with the literal baked in per execution — what an
+    // engine without parameter slots does for every distinct literal.
     let max_threads = *thread_counts.iter().max().unwrap_or(&4);
+    let bound_q6 =
+        Arc::new(session.prepare(&q6_qty_plan(PExpr::Param { idx: 0, ty: FieldTy::I64 }), vec![]));
+    session
+        .execute_bound_with(&bound_q6, &[ParamValue::I64(2400)], &no_cache)
+        .expect("bound warm-up");
+    let values: Vec<i64> = (0..64).map(|k| 500 + 50 * k).collect();
+    let cdf = zipf_cdf(values.len(), 1.1);
+    let zipf_bound: Vec<Point> = thread_counts
+        .iter()
+        .map(|&t| drive_bound(&engine, &bound_q6, &values, &cdf, t, secs, &cached))
+        .collect();
+    print_sweep("zipf-bound", &zipf_bound);
+
+    // Rebake baseline at the same thread count, same Zipf stream.
+    let rebake = {
+        let deadline = Instant::now() + Duration::from_secs_f64(secs);
+        let t0 = Instant::now();
+        let counts: u64 = std::thread::scope(|scope| {
+            (0..max_threads)
+                .map(|tid| {
+                    let engine = engine.clone();
+                    let opts = no_cache.clone();
+                    let (values, cdf) = (&values, &cdf);
+                    scope.spawn(move || {
+                        let session = engine.session();
+                        let mut state =
+                            0x9E37_79B9_7F4A_7C15u64 ^ (tid as u64).wrapping_mul(0xA24B);
+                        let mut n = 0u64;
+                        while Instant::now() < deadline {
+                            state = state
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                            let idx = cdf.partition_point(|&c| c < u).min(values.len() - 1);
+                            let baked =
+                                session.prepare(&q6_qty_plan(PExpr::ConstI(values[idx])), vec![]);
+                            session.execute_with(&baked, &opts).expect("rebaked execution");
+                            n += 1;
+                        }
+                        n
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("rebake worker"))
+                .sum()
+        });
+        counts as f64 / t0.elapsed().as_secs_f64()
+    };
+    let bound_peak = zipf_bound.last().map(|p| p.qps).unwrap_or(0.0);
+    eprintln!(
+        "rebake:      {max_threads:>2} threads  {rebake:>8.0} exec/s  \
+         (bound path sustains {:.1}x the rebake-per-literal baseline)",
+        if rebake > 0.0 { bound_peak / rebake } else { 0.0 }
+    );
+
+    // ---- scenario: traffic under a mutating catalog -----------------------
     let before = engine.concurrency();
     let stop = Arc::new(AtomicBool::new(false));
     let mutations = Arc::new(AtomicUsize::new(0));
@@ -306,6 +441,13 @@ fn main() {
     let _ = writeln!(j, "    \"warm_shared\": {},", sweep_json(&warm_shared));
     let _ = writeln!(j, "    \"warm_mix\": {},", sweep_json(&warm_mix));
     let _ = writeln!(j, "    \"cached\": {},", sweep_json(&cached_points));
+    let _ = writeln!(j, "    \"zipf_bound\": {},", sweep_json(&zipf_bound));
+    let _ = writeln!(
+        j,
+        "    \"rebake_baseline\": {{\"threads\": {max_threads}, \"qps\": {rebake:.1}, \
+         \"bound_speedup\": {:.1}}},",
+        if rebake > 0.0 { bound_peak / rebake } else { 0.0 }
+    );
     let _ = writeln!(
         j,
         "    \"cache_stats\": {{\"hits\": {}, \"misses\": {}, \"insertions\": {}, \

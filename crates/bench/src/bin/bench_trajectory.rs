@@ -15,11 +15,85 @@
 //! `AQE_BENCH_PR` (the `pr` stamp, default 6),
 //! `AQE_BENCH_OUT` (output path, default `BENCH_PR<pr>.json`).
 
-use aqe_bench::{env_sf, geomean, ms, physical, run_mode, threads_from_env, MODES};
-use aqe_engine::exec::ExecMode;
+use aqe_bench::{env_sf, geomean, ms, physical, q6_qty_plan, run_mode, threads_from_env, MODES};
+use aqe_engine::exec::{ExecMode, ExecOptions, ParamValue};
+use aqe_engine::plan::{FieldTy, PExpr};
+use aqe_engine::session::Engine;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::Write as _;
+use std::time::Instant;
+
+/// Bound-vs-rebaked measurement over the parameterized Q6 shape.
+struct BoundNumbers {
+    cold_ms: f64,
+    warm_repeat_ms: f64,
+    warm_bound_fresh_ms: f64,
+    rebake_per_literal_ms: f64,
+}
+
+/// Measure what the binding pipeline buys: a warm `execute_bound` with a
+/// *fresh* quantity threshold (reusing every compilation artifact) against
+/// re-preparing the statement with the literal baked in (a cold compile
+/// per distinct value — what a cache keyed on exact literals would do).
+fn bench_bound(cat: &aqe_storage::Catalog, threads: usize, reps: usize) -> BoundNumbers {
+    let engine = Engine::new(cat.clone());
+    let session = engine.session();
+    let opts = ExecOptions {
+        mode: ExecMode::Adaptive,
+        threads,
+        cache_results: false,
+        ..Default::default()
+    };
+    let prepared = session.prepare(&q6_qty_plan(PExpr::Param { idx: 0, ty: FieldTy::I64 }), vec![]);
+
+    let t0 = Instant::now();
+    session.execute_bound_with(&prepared, &[ParamValue::I64(2400)], &opts).expect("cold bound");
+    let cold_ms = ms(t0.elapsed());
+    // Let the adaptive controller settle on its retained level.
+    for _ in 0..2 {
+        session.execute_bound_with(&prepared, &[ParamValue::I64(2400)], &opts).expect("settle");
+    }
+
+    let mut warm_repeat_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        session.execute_bound_with(&prepared, &[ParamValue::I64(2400)], &opts).expect("repeat");
+        warm_repeat_ms = warm_repeat_ms.min(ms(t.elapsed()));
+    }
+
+    // Fresh-value rebinding, same retained code: each timed run binds
+    // 2400 *after* an untimed run bound a different value, so the timed
+    // execution does identical work to `warm_repeat` but with a changed
+    // parameter — the difference is pure binding overhead. The report
+    // must show zero compilation, or the point of the pipeline is lost.
+    let mut warm_bound_fresh_ms = f64::INFINITY;
+    for _ in 0..reps.max(3) {
+        session.execute_bound_with(&prepared, &[ParamValue::I64(1000)], &opts).expect("rebind");
+        let t = Instant::now();
+        let (_, rep) =
+            session.execute_bound_with(&prepared, &[ParamValue::I64(2400)], &opts).expect("bound");
+        warm_bound_fresh_ms = warm_bound_fresh_ms.min(ms(t.elapsed()));
+        assert!(rep.codegen.is_zero(), "a warm bound execution must not pay codegen");
+        assert!(rep.bc_translate.is_zero(), "…nor bytecode translation");
+    }
+
+    // Rebake value sweep (distinct literals, each a cold prepare).
+    let fresh: [i64; 6] = [600, 1000, 1400, 1800, 2800, 3200];
+
+    // Rebake baseline: every distinct literal is a new statement — new
+    // codegen, new translation, new compile ladder.
+    let mut rebake_per_literal_ms = f64::INFINITY;
+    for r in 0..reps.max(fresh.len()) {
+        let v = fresh[r % fresh.len()];
+        let t = Instant::now();
+        let baked = session.prepare(&q6_qty_plan(PExpr::ConstI(v)), vec![]);
+        session.execute_with(&baked, &opts).expect("rebaked");
+        rebake_per_literal_ms = rebake_per_literal_ms.min(ms(t.elapsed()));
+    }
+
+    BoundNumbers { cold_ms, warm_repeat_ms, warm_bound_fresh_ms, rebake_per_literal_ms }
+}
 
 fn main() {
     let sf = env_sf(0.1);
@@ -68,6 +142,13 @@ fn main() {
         }
     }
 
+    let bound = bench_bound(&cat, threads, reps);
+    eprintln!(
+        "bound q6: cold {:.3} ms, warm repeat {:.3} ms, warm bound fresh value {:.3} ms, \
+         rebake per literal {:.3} ms",
+        bound.cold_ms, bound.warm_repeat_ms, bound.warm_bound_fresh_ms, bound.rebake_per_literal_ms
+    );
+
     let geo = |m: &BTreeMap<String, f64>| geomean(&m.values().copied().collect::<Vec<_>>());
     let opt_geo = geo(&exec_ms["optimized"]);
     let native_geo = geo(&exec_ms["native"]);
@@ -113,6 +194,18 @@ fn main() {
     }
     let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"adaptive_end_to_end_ms\": {:.4},", geo(&total_ms["adaptive"]));
+    let _ = writeln!(
+        j,
+        "  \"bound\": {{\"cold_ms\": {:.4}, \"warm_repeat_ms\": {:.4}, \
+         \"warm_bound_fresh_ms\": {:.4}, \"rebake_per_literal_ms\": {:.4}, \
+         \"bound_over_repeat\": {:.3}, \"rebake_over_bound\": {:.2}}},",
+        bound.cold_ms,
+        bound.warm_repeat_ms,
+        bound.warm_bound_fresh_ms,
+        bound.rebake_per_literal_ms,
+        bound.warm_bound_fresh_ms / bound.warm_repeat_ms,
+        bound.rebake_per_literal_ms / bound.warm_bound_fresh_ms
+    );
     let _ = writeln!(j, "  \"ratios\": {{");
     let _ = writeln!(j, "    \"bytecode_over_native\": {:.3},", bc_geo / native_geo);
     let _ = writeln!(j, "    \"optimized_over_native\": {:.3},", opt_geo / native_geo);

@@ -20,9 +20,12 @@
 //! / `AQE_SF_LIST` / `AQE_THREADS` environment variables.
 
 use aqe_engine::exec::{ExecMode, ExecOptions, Report, ResultRows};
-use aqe_engine::plan::{decompose, PhysicalPlan};
+use aqe_engine::plan::{
+    decompose, AggFunc, AggSpec, ArithOp, CmpOp, PExpr, PhysicalPlan, PlanNode,
+};
 use aqe_engine::session::Engine;
 use aqe_queries::Query;
+use aqe_storage::date::parse_date;
 use aqe_storage::Catalog;
 use std::time::{Duration, Instant};
 
@@ -47,6 +50,49 @@ pub fn threads_from_env(default: usize) -> usize {
 /// Decompose a query against a catalog.
 pub fn physical(cat: &Catalog, q: &Query) -> PhysicalPlan {
     decompose(cat, &q.root, q.dicts.clone())
+}
+
+/// TPC-H Q6 with the quantity threshold supplied by the caller: pass
+/// `PExpr::Param { idx: 0, .. }` for the bound path or `PExpr::ConstI(v)`
+/// for the rebake-per-literal baseline. Dates and discount bounds stay
+/// literal — one varying slot is what the bound/rebaked comparison needs.
+pub fn q6_qty_plan(qty: PExpr) -> PlanNode {
+    // lineitem cols: 4 = l_quantity, 5 = l_extendedprice, 6 = l_discount,
+    // 10 = l_shipdate (decimals stored ×100, dates as day numbers).
+    PlanNode::HashAgg {
+        input: Box::new(PlanNode::Scan {
+            table: "lineitem".into(),
+            cols: vec![4, 5, 6, 10],
+            filter: Some(PExpr::and(
+                PExpr::and(
+                    PExpr::cmp(
+                        CmpOp::Ge,
+                        false,
+                        PExpr::Col(3),
+                        PExpr::ConstI(parse_date("1994-01-01") as i64),
+                    ),
+                    PExpr::cmp(
+                        CmpOp::Le,
+                        false,
+                        PExpr::Col(3),
+                        PExpr::ConstI(parse_date("1994-12-31") as i64),
+                    ),
+                ),
+                PExpr::and(
+                    PExpr::and(
+                        PExpr::cmp(CmpOp::Ge, false, PExpr::Col(2), PExpr::ConstI(5)),
+                        PExpr::cmp(CmpOp::Le, false, PExpr::Col(2), PExpr::ConstI(7)),
+                    ),
+                    PExpr::cmp(CmpOp::Lt, false, PExpr::Col(0), qty),
+                ),
+            )),
+        }),
+        group_by: vec![],
+        aggs: vec![AggSpec {
+            func: AggFunc::SumI,
+            arg: Some(PExpr::arith(ArithOp::Mul, true, false, PExpr::Col(1), PExpr::Col(2))),
+        }],
+    }
 }
 
 /// Run one query end-to-end in a mode; returns (total wall time, report,

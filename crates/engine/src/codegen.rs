@@ -68,6 +68,10 @@ struct Cg<'a> {
     rowbuf: Option<ValueId>,
     /// Hoisted aggregate header pointers, by agg index.
     agg_hdrs: HashMap<usize, ValueId>,
+    /// Hoisted parameter values (loaded once from the param block in the
+    /// entry — loop-invariant, so inside the morsel loop a bind variable
+    /// costs exactly what a baked literal in a register does).
+    param_vals: HashMap<usize, ValueId>,
 }
 
 fn gen_pipeline(plan: &PhysicalPlan, cat: &CatalogSnapshot, p: &Pipeline) -> aqe_ir::Function {
@@ -93,6 +97,7 @@ fn gen_pipeline(plan: &PhysicalPlan, cat: &CatalogSnapshot, p: &Pipeline) -> aqe
         slot_ptrs: HashMap::new(),
         rowbuf: None,
         agg_hdrs: HashMap::new(),
+        param_vals: HashMap::new(),
     };
 
     // ---- entry: hoist loop-invariant pointers --------------------------
@@ -150,9 +155,14 @@ impl<'a> Cg<'a> {
                 self.hoist_slot(s + 1);
             }
         }
-        // Dictionary tables used anywhere in this pipeline.
+        // Dictionary tables and bind parameters used anywhere in this
+        // pipeline.
         let mut dicts = Vec::new();
-        let mut visit = |e: &PExpr| collect_dicts(e, &mut dicts);
+        let mut params = Vec::new();
+        let mut visit = |e: &PExpr| {
+            collect_dicts(e, &mut dicts);
+            collect_params(e, &mut params);
+        };
         match &p.source {
             Source::Table { .. } | Source::Rows { .. } => {}
         }
@@ -172,6 +182,20 @@ impl<'a> Cg<'a> {
         }
         for d in dicts {
             self.hoist_slot(self.plan.dicts[d].state_slot);
+        }
+        // Parameter values: one pointer load for the block, one typed load
+        // per distinct parameter, all in the entry block.
+        if !params.is_empty() {
+            let slot = self.plan.param_slot.expect("plan with params must carry a param slot");
+            self.hoist_slot(slot);
+            params.sort_unstable_by_key(|&(idx, _)| idx);
+            params.dedup_by_key(|&mut (idx, _)| idx);
+            for (idx, ft) in params {
+                let base = self.slot_ptr(slot);
+                let g = self.b.gep(base.into(), idx as i64 * 8);
+                let v = self.b.load(Self::ir_ty(ft), g.into());
+                self.param_vals.insert(idx, v);
+            }
         }
         // Row buffer and aggregate headers.
         match &p.sink {
@@ -285,6 +309,7 @@ impl<'a> Cg<'a> {
                 Constant::f64(*c).into(),
                 Constant::f64(0.0).into(),
             ),
+            PExpr::Param { idx, .. } => self.param_vals[idx],
             PExpr::Arith { op, checked, float, a, b } => {
                 let va = self.expr(a, fields);
                 let vb = self.expr(b, fields);
@@ -727,6 +752,29 @@ impl<'a> Cg<'a> {
             }
         }
         self.b.br(cont);
+    }
+}
+
+fn collect_params(e: &PExpr, out: &mut Vec<(usize, FieldTy)>) {
+    match e {
+        PExpr::Param { idx, ty } => out.push((*idx, *ty)),
+        PExpr::Arith { a, b, .. } | PExpr::Cmp { a, b, .. } => {
+            collect_params(a, out);
+            collect_params(b, out);
+        }
+        PExpr::And(a, b) | PExpr::Or(a, b) => {
+            collect_params(a, out);
+            collect_params(b, out);
+        }
+        PExpr::Not(a) | PExpr::IToF(a) => collect_params(a, out),
+        PExpr::InList { v, .. } => collect_params(v, out),
+        PExpr::Case { cond, t, f, .. } => {
+            collect_params(cond, out);
+            collect_params(t, out);
+            collect_params(f, out);
+        }
+        PExpr::DictLookup { v, .. } => collect_params(v, out),
+        PExpr::Col(_) | PExpr::ConstI(_) | PExpr::ConstF(_) => {}
     }
 }
 

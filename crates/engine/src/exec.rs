@@ -279,6 +279,46 @@ impl ResultRows {
     }
 }
 
+/// A bind-variable value supplied to [`Session::execute_bound`]
+/// (`crate::session::Session::execute_bound`). Decimal parameters are
+/// bound in their scaled integer representation (cents), date parameters
+/// as day numbers — the same representation the plan's literals use.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ParamValue {
+    I64(i64),
+    F64(f64),
+}
+
+impl ParamValue {
+    /// The representation type this value binds to.
+    pub fn field_ty(&self) -> FieldTy {
+        match self {
+            ParamValue::I64(_) => FieldTy::I64,
+            ParamValue::F64(_) => FieldTy::F64,
+        }
+    }
+
+    /// The 64-bit pattern stored in the parameter block.
+    pub fn bits(&self) -> u64 {
+        match self {
+            ParamValue::I64(v) => *v as u64,
+            ParamValue::F64(v) => v.to_bits(),
+        }
+    }
+}
+
+impl From<i64> for ParamValue {
+    fn from(v: i64) -> ParamValue {
+        ParamValue::I64(v)
+    }
+}
+
+impl From<f64> for ParamValue {
+    fn from(v: f64) -> ParamValue {
+        ParamValue::F64(v)
+    }
+}
+
 /// Execution options.
 #[derive(Clone, Debug)]
 pub struct ExecOptions {
@@ -349,6 +389,12 @@ pub(crate) struct QueryRun<'a> {
     /// cross-query `CalibrationStore`.
     pub calibrator: &'a Arc<CostCalibrator>,
     pub opts: &'a ExecOptions,
+    /// Bind-variable values for this execution, one `u64` bit pattern per
+    /// entry of `plan.params` (`f64` parameters as `to_bits`). Empty for
+    /// non-parameterized plans. The slice is installed into the plan's
+    /// param state slot, so every tier — interpreted, threaded, native,
+    /// SIMD — reads the same block.
+    pub params: &'a [u64],
 }
 
 /// Run every pipeline of the plan in order through the hot-swap handles:
@@ -371,6 +417,7 @@ pub(crate) fn run_pipelines(
         kernels,
         calibrator,
         opts,
+        params,
     } = run;
 
     // ---- state assembly ---------------------------------------------------
@@ -384,6 +431,18 @@ pub(crate) fn run_pipelines(
     };
     for d in &plan.dicts {
         state.slots[d.state_slot] = d.bytes.as_ptr() as u64;
+    }
+    if let Some(ps) = plan.param_slot {
+        if params.len() != plan.params.len() {
+            return Err(ExecError::Bind(format!(
+                "plan expects {} parameter(s), got {}",
+                plan.params.len(),
+                params.len()
+            )));
+        }
+        // `params` borrows from the caller, which outlives the morsel
+        // loops — same lifetime discipline as the dictionary slots above.
+        state.slots[ps] = params.as_ptr() as u64;
     }
 
     let agg_shapes: Vec<(usize, Vec<crate::plan::AggFunc>)> =

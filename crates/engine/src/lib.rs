@@ -34,8 +34,8 @@ pub mod session;
 pub mod simd;
 
 pub use exec::{
-    CostModel, ExecMode, ExecOptions, FunctionHandle, PipelineBackend, Report, ResultRows,
-    RetainedSlot, TraceEvent,
+    CostModel, ExecMode, ExecOptions, FunctionHandle, ParamValue, PipelineBackend, Report,
+    ResultRows, RetainedSlot, TraceEvent,
 };
 pub use plan::{PhysicalPlan, PlanNode};
 pub use sched::{CalibrationReport, ExecLevel, PipelineSchedReport};

@@ -47,6 +47,14 @@ pub enum PExpr {
     /// Integer/decimal/date/string-code literal.
     ConstI(i64),
     ConstF(f64),
+    /// Bind-variable slot `idx` of the query's parameter table. Executes
+    /// as a load from the per-execution parameter block (state slot
+    /// [`PhysicalPlan::param_slot`]), so one compiled plan serves every
+    /// binding; the fingerprint hashes the slot index, never a value.
+    Param {
+        idx: usize,
+        ty: FieldTy,
+    },
     Arith {
         op: ArithOp,
         checked: bool,
@@ -113,6 +121,7 @@ impl PExpr {
             PExpr::Col(i) => fields[*i],
             PExpr::ConstI(_) => FieldTy::I64,
             PExpr::ConstF(_) => FieldTy::F64,
+            PExpr::Param { ty, .. } => *ty,
             PExpr::Arith { float, .. } => {
                 if *float {
                     FieldTy::F64
@@ -395,6 +404,14 @@ pub struct PhysicalPlan {
     pub output_tys: Vec<FieldTy>,
     /// Whether output order is defined (root sort).
     pub sorted_output: bool,
+    /// Parameter table: the representation type of each bind-variable
+    /// slot referenced by `PExpr::Param` anywhere in the plan. Empty for
+    /// non-parameterized plans.
+    pub params: Vec<FieldTy>,
+    /// State slot holding the base pointer of the per-execution parameter
+    /// block (`params.len()` u64 values); `None` when the plan has no
+    /// parameters.
+    pub param_slot: Option<usize>,
 }
 
 /// Decomposes a plan tree into pipelines (HyPer-style: hash-table builds,
@@ -437,6 +454,57 @@ impl<'a> Decomposer<'a> {
         self.dicts.len() - 1
     }
 
+    /// Collect every `PExpr::Param` of the finished pipelines into a dense
+    /// parameter table (the binder assigns contiguous indices; a gap left
+    /// by a caller-built plan defaults to `I64`).
+    fn collect_params(pipelines: &[Pipeline]) -> Vec<FieldTy> {
+        fn walk(e: &PExpr, out: &mut Vec<Option<FieldTy>>) {
+            match e {
+                PExpr::Param { idx, ty } => {
+                    if out.len() <= *idx {
+                        out.resize(*idx + 1, None);
+                    }
+                    out[*idx] = Some(*ty);
+                }
+                PExpr::Arith { a, b, .. } | PExpr::Cmp { a, b, .. } => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                PExpr::And(a, b) | PExpr::Or(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                PExpr::Not(a) | PExpr::IToF(a) => walk(a, out),
+                PExpr::InList { v, .. } => walk(v, out),
+                PExpr::Case { cond, t, f, .. } => {
+                    walk(cond, out);
+                    walk(t, out);
+                    walk(f, out);
+                }
+                PExpr::DictLookup { v, .. } => walk(v, out),
+                PExpr::Col(_) | PExpr::ConstI(_) | PExpr::ConstF(_) => {}
+            }
+        }
+        let mut tys: Vec<Option<FieldTy>> = Vec::new();
+        for p in pipelines {
+            for op in &p.ops {
+                match op {
+                    PipeOp::Filter(e) => walk(e, &mut tys),
+                    PipeOp::Project(es) => es.iter().for_each(|e| walk(e, &mut tys)),
+                    PipeOp::Probe { .. } => {}
+                }
+            }
+            if let Sink::BuildAgg { aggs, .. } = &p.sink {
+                for a in aggs {
+                    if let Some(e) = &a.arg {
+                        walk(e, &mut tys);
+                    }
+                }
+            }
+        }
+        tys.into_iter().map(|t| t.unwrap_or(FieldTy::I64)).collect()
+    }
+
     /// Decompose `root` and finish the physical plan.
     pub fn finish(mut self, root: &PlanNode) -> PhysicalPlan {
         let output_tys = root.output_types(self.cat);
@@ -468,6 +536,8 @@ impl<'a> Decomposer<'a> {
                 });
             }
         }
+        let params = Self::collect_params(&self.pipelines);
+        let param_slot = if params.is_empty() { None } else { Some(self.alloc_slots(1)) };
         PhysicalPlan {
             pipelines: self.pipelines,
             join_hts: self.join_hts,
@@ -477,6 +547,8 @@ impl<'a> Decomposer<'a> {
             state_slots: self.state_slots,
             output_tys,
             sorted_output,
+            params,
+            param_slot,
         }
     }
 
@@ -627,6 +699,13 @@ fn hash_pexpr<H: Hasher>(h: &mut H, e: &PExpr) {
         PExpr::Col(i) => i.hash(h),
         PExpr::ConstI(v) => v.hash(h),
         PExpr::ConstF(v) => hash_f64(h, *v),
+        // Parameters hash by slot, never by value: one fingerprint —
+        // hence one retained module/bytecode/native buffer and one
+        // result-cache fingerprint class — covers every binding.
+        PExpr::Param { idx, ty } => {
+            idx.hash(h);
+            ty.hash(h);
+        }
         PExpr::Arith { op, checked, float, a, b } => {
             op.hash(h);
             checked.hash(h);
@@ -769,6 +848,8 @@ impl PhysicalPlan {
         self.state_slots.hash(&mut h);
         self.output_tys.hash(&mut h);
         self.sorted_output.hash(&mut h);
+        self.params.hash(&mut h);
+        self.param_slot.hash(&mut h);
         h.finish()
     }
 }
@@ -898,6 +979,35 @@ mod tests {
         assert_ne!(a.fingerprint(), c.fingerprint());
         // Repeated calls on one plan agree (no hidden state).
         assert_eq!(a.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn params_generalize_the_fingerprint_and_allocate_a_slot() {
+        let cat = cat();
+        let plan = |rhs: PExpr| PlanNode::HashAgg {
+            input: Box::new(PlanNode::Scan {
+                table: "lineitem".into(),
+                cols: vec![4, 5],
+                filter: Some(PExpr::cmp(CmpOp::Lt, false, PExpr::Col(0), rhs)),
+            }),
+            group_by: vec![],
+            aggs: vec![AggSpec { func: AggFunc::SumI, arg: Some(PExpr::Col(1)) }],
+        };
+        let p = PExpr::Param { idx: 0, ty: FieldTy::I64 };
+        let a = decompose(&cat, &plan(p.clone()), vec![]);
+        let b = decompose(&cat, &plan(p), vec![]);
+        // The parameterized plan carries a one-entry param table and a
+        // dedicated state slot for the parameter block.
+        assert_eq!(a.params, vec![FieldTy::I64]);
+        assert!(a.param_slot.is_some());
+        assert_eq!(a.state_slots, b.state_slots);
+        // One fingerprint covers every binding of the same statement…
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // …and is distinct from any literal-baked instance of it.
+        let baked = decompose(&cat, &plan(PExpr::ConstI(10)), vec![]);
+        assert!(baked.params.is_empty());
+        assert!(baked.param_slot.is_none());
+        assert_ne!(a.fingerprint(), baked.fingerprint());
     }
 
     #[test]

@@ -40,8 +40,12 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-/// Cache key: `(plan fingerprint, catalog version)`.
-pub(crate) type ResultKey = (u64, u64);
+/// Cache key: `(generalized plan fingerprint, catalog version, bind
+/// values)`. A parameterized statement has one fingerprint across all of
+/// its bindings; the bound values (bit patterns, in slot order) are what
+/// keep one binding's rows from serving another's. Non-parameterized
+/// queries carry an empty value vector.
+pub(crate) type ResultKey = (u64, u64, Vec<u64>);
 
 /// Default total budget: 64 MiB of cached result rows.
 pub(crate) const DEFAULT_BUDGET_BYTES: usize = 64 << 20;
@@ -113,7 +117,7 @@ impl Shard {
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.score(self.budget))
-                .map(|(k, _)| *k)
+                .map(|(k, _)| k.clone())
                 .expect("non-empty over-budget shard");
             if let Some(e) = self.map.remove(&victim) {
                 self.used -= e.bytes;
@@ -170,7 +174,7 @@ impl ResultCache {
         }
     }
 
-    fn shard_of(&self, key: ResultKey) -> &Mutex<Shard> {
+    fn shard_of(&self, key: &ResultKey) -> &Mutex<Shard> {
         // The fingerprint is an FNV-1a hash — already well mixed; fold the
         // high half in so shard choice uses all 64 bits.
         let idx = ((key.0 ^ (key.0 >> 32)) as usize) % self.shards.len();
@@ -191,11 +195,11 @@ impl ResultCache {
     }
 
     /// Look up a result, marking the entry most-recently-used on a hit.
-    pub fn get(&self, key: ResultKey) -> Option<ResultRows> {
+    pub fn get(&self, key: &ResultKey) -> Option<ResultRows> {
         let mut g = self.shard_of(key).lock();
         g.tick += 1;
         let tick = g.tick;
-        match g.map.get_mut(&key) {
+        match g.map.get_mut(key) {
             Some(e) => {
                 e.last_used = tick;
                 let rows = e.rows.clone();
@@ -217,7 +221,7 @@ impl ResultCache {
     /// refused.
     pub fn put(&self, key: ResultKey, rows: ResultRows) {
         let bytes = entry_bytes(&rows);
-        let mut g = self.shard_of(key).lock();
+        let mut g = self.shard_of(&key).lock();
         // The floor is checked *under* the shard lock: a purge that ran
         // between an early check and this insert would otherwise let a
         // straggler from an already-purged epoch slip in (the purge holds
@@ -249,8 +253,8 @@ impl ResultCache {
         for shard in &self.shards {
             let mut g = shard.lock();
             let mut freed = 0usize;
-            g.map.retain(|&(_, v), e| {
-                let keep = v == version;
+            g.map.retain(|k, e| {
+                let keep = k.1 == version;
                 if !keep {
                     freed += e.bytes;
                 }
@@ -316,6 +320,11 @@ mod tests {
         ResultRows { tys: vec![FieldTy::I64], rows: vec![v; n] }
     }
 
+    /// Unbound key (no bind values) — the shape every pre-PR 7 test used.
+    fn key(fingerprint: u64, version: u64) -> ResultKey {
+        (fingerprint, version, Vec::new())
+    }
+
     /// Policy tests (LRU order, size weighting, budget accounting) pin a
     /// single shard so victim selection is deterministic across keys; the
     /// sharded tests below cover the multi-shard surface.
@@ -330,14 +339,14 @@ mod tests {
         let one = entry_bytes(&rows_of(0, 1000));
         let c = single_shard(4 * one + one / 2);
         for k in 1..=4 {
-            c.put((k, 0), rows_of(k, 1000));
+            c.put(key(k, 0), rows_of(k, 1000));
         }
-        assert!(c.get((1, 0)).is_some()); // touch 1 → 2 is now coldest
-        c.put((5, 0), rows_of(5, 1000));
+        assert!(c.get(&key(1, 0)).is_some()); // touch 1 → 2 is now coldest
+        c.put(key(5, 0), rows_of(5, 1000));
         assert_eq!(c.len(), 4);
-        assert!(c.get((2, 0)).is_none(), "LRU entry must be evicted");
+        assert!(c.get(&key(2, 0)).is_none(), "LRU entry must be evicted");
         for k in [1, 3, 4, 5] {
-            assert!(c.get((k, 0)).is_some(), "entry {k} must survive");
+            assert!(c.get(&key(k, 0)).is_some(), "entry {k} must survive");
         }
     }
 
@@ -347,25 +356,25 @@ mod tests {
         // large entry goes first (the tiny one is within its recency
         // grace), even though pure LRU would evict the tiny one.
         let c = single_shard(100_000);
-        c.put((1, 0), rows_of(1, 1)); // tiny, oldest
-        c.put((2, 0), rows_of(2, 3000)); // large, newer
+        c.put(key(1, 0), rows_of(1, 1)); // tiny, oldest
+        c.put(key(2, 0), rows_of(2, 3000)); // large, newer
         for k in 3..=6 {
-            c.put((k, 0), rows_of(k, 3000)); // fill until over budget
+            c.put(key(k, 0), rows_of(k, 3000)); // fill until over budget
         }
-        assert!(c.get((1, 0)).is_some(), "tiny old entry survives (grace)");
-        assert!(c.get((2, 0)).is_none(), "large entry is the size-weighted victim");
+        assert!(c.get(&key(1, 0)).is_some(), "tiny old entry survives (grace)");
+        assert!(c.get(&key(2, 0)).is_none(), "large entry is the size-weighted victim");
         for k in 3..=6 {
-            assert!(c.get((k, 0)).is_some(), "entry {k} must survive");
+            assert!(c.get(&key(k, 0)).is_some(), "entry {k} must survive");
         }
     }
 
     #[test]
     fn bytes_are_accounted_across_replace_and_retain() {
         let c = single_shard(1 << 20);
-        c.put((1, 0), rows_of(1, 100));
-        c.put((1, 0), rows_of(1, 200)); // replace: old bytes released
+        c.put(key(1, 0), rows_of(1, 100));
+        c.put(key(1, 0), rows_of(1, 200)); // replace: old bytes released
         assert_eq!(c.bytes_used(), entry_bytes(&rows_of(1, 200)));
-        c.put((2, 1), rows_of(2, 50));
+        c.put(key(2, 1), rows_of(2, 50));
         c.retain_version(1);
         assert_eq!(c.len(), 1);
         assert_eq!(c.bytes_used(), entry_bytes(&rows_of(2, 50)));
@@ -374,8 +383,8 @@ mod tests {
     #[test]
     fn version_mismatch_is_a_miss_and_retain_purges() {
         let c = single_shard(1 << 20);
-        c.put((7, 0), rows_of(7, 1));
-        assert!(c.get((7, 1)).is_none(), "newer catalog version must miss");
+        c.put(key(7, 0), rows_of(7, 1));
+        assert!(c.get(&key(7, 1)).is_none(), "newer catalog version must miss");
         c.retain_version(1);
         assert_eq!(c.len(), 0);
         assert_eq!(c.bytes_used(), 0);
@@ -385,15 +394,15 @@ mod tests {
     fn zero_budget_disables_caching() {
         let c = ResultCache::new(0);
         assert!(!c.admits(8));
-        c.put((1, 0), rows_of(1, 1));
-        assert!(c.get((1, 0)).is_none());
+        c.put(key(1, 0), rows_of(1, 1));
+        assert!(c.get(&key(1, 0)).is_none());
     }
 
     #[test]
     fn oversized_results_are_refused() {
         let c = single_shard(4096);
         assert!(!c.admits(2048), "over a quarter of the budget");
-        c.put((1, 0), rows_of(0, 1000)); // ~8 KB > 1 KB ceiling
+        c.put(key(1, 0), rows_of(0, 1000)); // ~8 KB > 1 KB ceiling
         assert_eq!(c.len(), 0, "an over-ceiling result must not be admitted");
     }
 
@@ -401,7 +410,7 @@ mod tests {
     fn shrinking_the_budget_evicts_immediately() {
         let c = single_shard(1 << 20);
         for k in 0..8 {
-            c.put((k, 0), rows_of(k, 1000));
+            c.put(key(k, 0), rows_of(k, 1000));
         }
         assert_eq!(c.len(), 8);
         let two = 2 * entry_bytes(&rows_of(0, 1000)) + 1;
@@ -419,10 +428,26 @@ mod tests {
         // entries. Its late insert must bounce off the version floor.
         let c = single_shard(1 << 20);
         c.retain_version(5);
-        c.put((1, 4), rows_of(1, 10));
+        c.put(key(1, 4), rows_of(1, 10));
         assert_eq!(c.len(), 0, "a straggler from a purged epoch must be refused");
-        c.put((1, 5), rows_of(1, 10));
+        c.put(key(1, 5), rows_of(1, 10));
         assert_eq!(c.len(), 1, "current-version inserts are unaffected");
+    }
+
+    #[test]
+    fn bind_values_separate_entries_under_one_fingerprint() {
+        let c = single_shard(1 << 20);
+        c.put((7, 0, vec![10]), rows_of(1, 4));
+        c.put((7, 0, vec![11]), rows_of(2, 4));
+        c.put((7, 0, vec![10, 20]), rows_of(3, 4));
+        assert_eq!(c.len(), 3, "distinct bindings must not alias");
+        assert_eq!(c.get(&(7, 0, vec![10])).unwrap().rows, vec![1; 4]);
+        assert_eq!(c.get(&(7, 0, vec![11])).unwrap().rows, vec![2; 4]);
+        assert_eq!(c.get(&(7, 0, vec![10, 20])).unwrap().rows, vec![3; 4]);
+        assert!(c.get(&key(7, 0)).is_none(), "unbound key is yet another identity");
+        // A version purge drops every binding of the fingerprint at once.
+        c.retain_version(1);
+        assert_eq!(c.len(), 0, "catalog mutation invalidates all bindings");
     }
 
     #[test]
@@ -430,12 +455,12 @@ mod tests {
         let c = ResultCache::new(1 << 20);
         for k in 0..64u64 {
             // Spread fingerprints across the hash space the way FNV would.
-            c.put((k.wrapping_mul(0x9e3779b97f4a7c15), 0), rows_of(k, 10));
+            c.put(key(k.wrapping_mul(0x9e3779b97f4a7c15), 0), rows_of(k, 10));
         }
         assert_eq!(c.len(), 64);
         assert_eq!(c.bytes_used(), 64 * entry_bytes(&rows_of(0, 10)));
         for k in 0..64u64 {
-            assert!(c.get((k.wrapping_mul(0x9e3779b97f4a7c15), 0)).is_some());
+            assert!(c.get(&key(k.wrapping_mul(0x9e3779b97f4a7c15), 0)).is_some());
         }
         // Retain purges across every shard.
         c.retain_version(1);
@@ -446,9 +471,9 @@ mod tests {
     #[test]
     fn stats_count_hits_misses_insertions_and_rejections() {
         let c = single_shard(100_000);
-        assert!(c.get((1, 0)).is_none());
-        c.put((1, 0), rows_of(1, 10));
-        assert!(c.get((1, 0)).is_some());
+        assert!(c.get(&key(1, 0)).is_none());
+        c.put(key(1, 0), rows_of(1, 10));
+        assert!(c.get(&key(1, 0)).is_some());
         assert!(!c.admits(usize::MAX), "over-ceiling probe");
         let s = c.stats();
         assert_eq!(s.entries, 1);
@@ -468,7 +493,7 @@ mod tests {
         let one = entry_bytes(&rows_of(0, 1000));
         let c = single_shard(4 * one + 1);
         for k in 0..6 {
-            c.put((k, 0), rows_of(k, 1000));
+            c.put(key(k, 0), rows_of(k, 1000));
         }
         let s = c.stats();
         assert_eq!(s.entries, 4);

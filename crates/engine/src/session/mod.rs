@@ -38,8 +38,8 @@ pub use calibration::{CalibrationStore, WorkloadShape};
 
 use crate::codegen;
 use crate::exec::{
-    run_pipelines, ExecMode, ExecOptions, FunctionHandle, PipelineBackend, QueryRun, Report,
-    ResultRows, RetainedSlot,
+    run_pipelines, ExecMode, ExecOptions, FunctionHandle, ParamValue, PipelineBackend, QueryRun,
+    Report, ResultRows, RetainedSlot,
 };
 use crate::plan::{decompose, DictTable, FieldTy, PhysicalPlan, PlanNode, Source};
 use crate::sched::{CostCalibrator, CostModel, ExecLevel};
@@ -345,6 +345,77 @@ impl Session {
         query: &PreparedQuery,
         opts: &ExecOptions,
     ) -> Result<(ResultRows, Report), ExecError> {
+        if !query.plan.params.is_empty() {
+            return Err(ExecError::Bind(format!(
+                "query expects {} parameter(s); use execute_bound",
+                query.plan.params.len()
+            )));
+        }
+        self.execute_inner(query, &[], opts)
+    }
+
+    /// Execute a parameterized prepared query with bind values, using the
+    /// session's default options.
+    ///
+    /// This is the warm path the whole binding pipeline exists for: the
+    /// retained module, bytecode, compiled backends, and reached
+    /// [`ExecLevel`] are all keyed by the *generalized* plan, so distinct
+    /// bindings of one statement share every compilation artifact —
+    /// a warm bound execution reports `codegen == bc_translate == ZERO`
+    /// no matter how fresh its values are. Results are cached per
+    /// `(fingerprint, param values, catalog version)`, so bindings never
+    /// alias each other's rows.
+    pub fn execute_bound(
+        &self,
+        query: &PreparedQuery,
+        params: &[ParamValue],
+    ) -> Result<(ResultRows, Report), ExecError> {
+        self.execute_bound_with(query, params, &self.defaults)
+    }
+
+    /// [`execute_bound`](Session::execute_bound) with explicit options.
+    ///
+    /// Arity and type mismatches — and binding values to a query that has
+    /// no parameters — are [`ExecError::Bind`] values, never panics.
+    pub fn execute_bound_with(
+        &self,
+        query: &PreparedQuery,
+        params: &[ParamValue],
+        opts: &ExecOptions,
+    ) -> Result<(ResultRows, Report), ExecError> {
+        let want = &query.plan.params;
+        if want.is_empty() && !params.is_empty() {
+            return Err(ExecError::Bind(format!(
+                "query has no parameters, got {} value(s)",
+                params.len()
+            )));
+        }
+        if params.len() != want.len() {
+            return Err(ExecError::Bind(format!(
+                "query expects {} parameter(s), got {}",
+                want.len(),
+                params.len()
+            )));
+        }
+        for (i, (p, w)) in params.iter().zip(want.iter()).enumerate() {
+            if p.field_ty() != *w {
+                return Err(ExecError::Bind(format!(
+                    "parameter ${} expects {w:?}, got {:?} ({p:?})",
+                    i + 1,
+                    p.field_ty()
+                )));
+            }
+        }
+        let bits: Vec<u64> = params.iter().map(ParamValue::bits).collect();
+        self.execute_inner(query, &bits, opts)
+    }
+
+    fn execute_inner(
+        &self,
+        query: &PreparedQuery,
+        params: &[u64],
+        opts: &ExecOptions,
+    ) -> Result<(ResultRows, Report), ExecError> {
         if !Arc::ptr_eq(&query.engine, &self.shared) {
             return Err(ExecError::Setup(
                 "prepared query belongs to a different engine".to_string(),
@@ -373,10 +444,13 @@ impl Session {
         // rows reflect the caller's module, but the key would only name
         // the plan — caching them could serve wrong rows to an honest
         // prepare of the same plan (and vice versa).
-        let key = (query.fingerprint, version);
+        // Bind values join the key: one generalized fingerprint covers
+        // every binding of a statement, so the values are what separate
+        // one binding's rows from another's.
+        let key = (query.fingerprint, version, params.to_vec());
         let cacheable = opts.cache_results && query.module.is_none();
         if cacheable {
-            if let Some(rows) = self.shared.results.get(key) {
+            if let Some(rows) = self.shared.results.get(&key) {
                 report.result_cache_hit = true;
                 return Ok((rows, report));
             }
@@ -427,6 +501,7 @@ impl Session {
                 kernels: &state.kernels,
                 calibrator: &calibrator,
                 opts,
+                params,
             },
             &mut report,
         )?;
@@ -470,9 +545,17 @@ pub struct PreparedQuery {
 }
 
 impl PreparedQuery {
-    /// The stable plan fingerprint this query is cached under.
+    /// The stable plan fingerprint this query is cached under. For a
+    /// parameterized query this is the *generalized* fingerprint: every
+    /// binding of the statement shares it.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// Representation types of the query's bind-variable slots, in slot
+    /// order. Empty for non-parameterized queries.
+    pub fn param_types(&self) -> &[FieldTy] {
+        &self.plan.params
     }
 
     /// The decomposed plan.
@@ -647,7 +730,7 @@ impl PreparedState {
         let kernels = plan
             .pipelines
             .iter()
-            .map(|p| ScanKernel::extract(p, cat).map(Arc::new))
+            .map(|p| ScanKernel::extract(p, cat, plan.param_slot).map(Arc::new))
             .chain(std::iter::repeat(None))
             .take(n)
             .collect();

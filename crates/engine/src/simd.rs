@@ -40,7 +40,7 @@
 //! masks — the CPUID fallback test relies on it. `AQE_SIMD=0` disables
 //! the mode; `AQE_SIMD_TIER=avx2|sse2|scalar` forces a tier (testing).
 
-use crate::plan::{CmpOp, PExpr, PipeOp, Pipeline, Source};
+use crate::plan::{CmpOp, FieldTy, PExpr, PipeOp, Pipeline, Source};
 use aqe_storage::{CatalogSnapshot, DataType};
 use aqe_vm::backend::{ExecMode, PipelineBackend};
 use aqe_vm::interp::{ExecError, Frame};
@@ -105,7 +105,10 @@ enum Elem {
     F64,
 }
 
-/// One vectorizable necessary condition: `column <op> constant`.
+/// One vectorizable necessary condition: `column <op> constant`, with the
+/// constant resolved to its lane-domain value. This is the *runtime* form
+/// the packed compares consume; the retained skeleton keeps
+/// [`ConjunctSpec`]s instead, so one kernel serves every parameter binding.
 #[derive(Clone, Copy, Debug)]
 struct Conjunct {
     /// State slot holding the column's base pointer.
@@ -117,6 +120,31 @@ struct Conjunct {
     rhs_f: f64,
 }
 
+/// Comparison right-hand side as extracted from the plan: a baked constant
+/// or a bind-parameter slot whose value arrives per execution through the
+/// plan's param block.
+#[derive(Clone, Copy, Debug)]
+enum Rhs {
+    ConstI(i64),
+    ConstF(f64),
+    /// `params[idx]` read as `i64`.
+    ParamI(usize),
+    /// `params[idx]` read as an `f64` bit pattern.
+    ParamF(usize),
+}
+
+/// A retained conjunct skeleton. Baked constants are lane-domain checked at
+/// extraction; parameter slots are checked at [`ScanKernel::resolve`] time,
+/// per binding — a value outside the lane domain just drops the conjunct
+/// for that binding (sound under the superset-mask contract).
+#[derive(Clone, Copy, Debug)]
+struct ConjunctSpec {
+    slot: usize,
+    elem: Elem,
+    op: CmpOp,
+    rhs: Rhs,
+}
+
 /// Mask-block width: one `u64` of selection bits per evaluation.
 const BLOCK: u64 = 64;
 
@@ -126,16 +154,22 @@ const BLOCK: u64 = 64;
 const MERGE_GAP: u64 = 16;
 
 /// A compiled filter pre-pass for one scan pipeline: which columns to
-/// compare against which constants, and at which [`KernelTier`].
+/// compare against which constants (or parameter slots), and at which
+/// [`KernelTier`]. The kernel itself is binding-independent — it is
+/// retained with the prepared query's compiled state and resolved against
+/// the current parameter block on every backend call.
 pub struct ScanKernel {
-    conjuncts: Vec<Conjunct>,
+    specs: Vec<ConjunctSpec>,
+    /// State slot holding the parameter-block pointer (`plan.param_slot`);
+    /// `None` when every conjunct is a baked constant.
+    param_slot: Option<usize>,
     tier: KernelTier,
 }
 
 impl std::fmt::Debug for ScanKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ScanKernel")
-            .field("conjuncts", &self.conjuncts.len())
+            .field("conjuncts", &self.specs.len())
             .field("tier", &self.tier)
             .finish()
     }
@@ -156,8 +190,14 @@ impl ScanKernel {
     /// Extract a kernel from a pipeline: a table scan whose first operator
     /// is a filter with at least one vectorizable top-level conjunct.
     /// Returns `None` when the mode cannot help (non-scan source, no
-    /// filter, or no comparison the lanes can express).
-    pub fn extract(p: &Pipeline, cat: &CatalogSnapshot) -> Option<ScanKernel> {
+    /// filter, or no comparison the lanes can express). `param_slot` is the
+    /// plan's parameter-block slot; comparisons against `PExpr::Param` are
+    /// extracted as parameter conjuncts resolved per binding.
+    pub fn extract(
+        p: &Pipeline,
+        cat: &CatalogSnapshot,
+        param_slot: Option<usize>,
+    ) -> Option<ScanKernel> {
         let Source::Table { table, cols, slot_base, .. } = &p.source else { return None };
         let Some(PipeOp::Filter(pred)) = p.ops.first() else { return None };
         let t = cat.get(table)?;
@@ -177,32 +217,51 @@ impl ScanKernel {
             }
         }
 
-        let mut conjuncts = Vec::new();
+        let mut specs = Vec::new();
         for leaf in leaves {
             let PExpr::Cmp { op, float, a, b } = leaf else { continue };
-            let (k, op, ci, cf) = match (&**a, &**b) {
-                (PExpr::Col(k), PExpr::ConstI(v)) if !float => (*k, *op, *v, 0.0),
-                (PExpr::ConstI(v), PExpr::Col(k)) if !float => (*k, flip(*op), *v, 0.0),
-                (PExpr::Col(k), PExpr::ConstF(v)) if *float => (*k, *op, 0, *v),
-                (PExpr::ConstF(v), PExpr::Col(k)) if *float => (*k, flip(*op), 0, *v),
+            let (k, op, rhs) = match (&**a, &**b) {
+                (PExpr::Col(k), PExpr::ConstI(v)) if !float => (*k, *op, Rhs::ConstI(*v)),
+                (PExpr::ConstI(v), PExpr::Col(k)) if !float => (*k, flip(*op), Rhs::ConstI(*v)),
+                (PExpr::Col(k), PExpr::ConstF(v)) if *float => (*k, *op, Rhs::ConstF(*v)),
+                (PExpr::ConstF(v), PExpr::Col(k)) if *float => (*k, flip(*op), Rhs::ConstF(*v)),
+                (PExpr::Col(k), PExpr::Param { idx, ty: FieldTy::I64 }) if !float => {
+                    (*k, *op, Rhs::ParamI(*idx))
+                }
+                (PExpr::Param { idx, ty: FieldTy::I64 }, PExpr::Col(k)) if !float => {
+                    (*k, flip(*op), Rhs::ParamI(*idx))
+                }
+                (PExpr::Col(k), PExpr::Param { idx, ty: FieldTy::F64 }) if *float => {
+                    (*k, *op, Rhs::ParamF(*idx))
+                }
+                (PExpr::Param { idx, ty: FieldTy::F64 }, PExpr::Col(k)) if *float => {
+                    (*k, flip(*op), Rhs::ParamF(*idx))
+                }
                 _ => continue,
             };
             if k >= cols.len() {
                 continue;
             }
+            // A parameter's value is unknown until binding: its lane-domain
+            // check happens at resolve time.
+            let (ci, is_param) = match rhs {
+                Rhs::ConstI(v) => (v, false),
+                Rhs::ConstF(_) => (0, false),
+                Rhs::ParamI(_) | Rhs::ParamF(_) => (0, true),
+            };
             // The lane domain must hold the constant exactly, or the
             // packed compare would see a different value than the widened
             // scalar compare. Out-of-range constants are simply skipped —
             // such a conjunct is constant-true or constant-false anyway.
             let elem = match t.column_type(cols[k]) {
                 DataType::Int32 | DataType::Date => {
-                    if *float || i32::try_from(ci).is_err() {
+                    if *float || (!is_param && i32::try_from(ci).is_err()) {
                         continue;
                     }
                     Elem::I32
                 }
                 DataType::Str => {
-                    if *float || !(0..=u32::MAX as i64).contains(&ci) {
+                    if *float || (!is_param && !(0..=u32::MAX as i64).contains(&ci)) {
                         continue;
                     }
                     Elem::U32
@@ -221,12 +280,20 @@ impl ScanKernel {
                 }
                 DataType::Bool => continue,
             };
-            conjuncts.push(Conjunct { slot: slot_base + k, elem, op, rhs_i: ci, rhs_f: cf });
+            specs.push(ConjunctSpec { slot: slot_base + k, elem, op, rhs });
         }
-        if conjuncts.is_empty() {
+        if specs.is_empty() {
             return None;
         }
-        Some(ScanKernel { conjuncts, tier: KernelTier::detect() })
+        let uses_params = specs.iter().any(|s| matches!(s.rhs, Rhs::ParamI(_) | Rhs::ParamF(_)));
+        if uses_params && param_slot.is_none() {
+            return None;
+        }
+        Some(ScanKernel {
+            specs,
+            param_slot: if uses_params { param_slot } else { None },
+            tier: KernelTier::detect(),
+        })
     }
 
     /// The tier this kernel evaluates with.
@@ -234,9 +301,49 @@ impl ScanKernel {
         self.tier
     }
 
-    /// Number of vectorized conjuncts.
+    /// Number of vectorized conjuncts (before per-binding resolution).
     pub fn conjunct_count(&self) -> usize {
-        self.conjuncts.len()
+        self.specs.len()
+    }
+
+    /// Resolve the retained skeleton against the current execution's
+    /// parameter block (read from the worker state), producing the runtime
+    /// conjuncts for this binding. A parameter value outside its lane
+    /// domain drops that conjunct — the mask gets denser, never wrong.
+    ///
+    /// # Safety
+    /// When the kernel has parameter conjuncts, `state[param_slot]` must
+    /// hold a valid pointer to the execution's parameter block, with every
+    /// referenced index in bounds (guaranteed by `run_pipelines`' arity
+    /// check against `plan.params`).
+    unsafe fn resolve(&self, state: *const u64) -> Vec<Conjunct> {
+        let block = self.param_slot.map(|s| unsafe { *state.add(s) } as *const u64);
+        let mut out = Vec::with_capacity(self.specs.len());
+        for s in &self.specs {
+            let (rhs_i, rhs_f) = match s.rhs {
+                Rhs::ConstI(v) => (v, 0.0),
+                Rhs::ConstF(v) => (0, v),
+                Rhs::ParamI(idx) => {
+                    let Some(b) = block else { continue };
+                    (unsafe { *b.add(idx) } as i64, 0.0)
+                }
+                Rhs::ParamF(idx) => {
+                    let Some(b) = block else { continue };
+                    (0, f64::from_bits(unsafe { *b.add(idx) }))
+                }
+            };
+            // Per-binding lane-domain check (mirrors the extraction-time
+            // check for baked constants).
+            let in_domain = match s.elem {
+                Elem::I32 => i32::try_from(rhs_i).is_ok(),
+                Elem::U32 => (0..=u32::MAX as i64).contains(&rhs_i),
+                Elem::I64 | Elem::F64 => true,
+            };
+            if in_domain {
+                out.push(Conjunct { slot: s.slot, elem: s.elem, op: s.op, rhs_i, rhs_f });
+            }
+        }
+        out
     }
 
     /// Evaluate the selection mask for rows `[row, row + n)` (`n ≤ 64`);
@@ -246,16 +353,22 @@ impl ScanKernel {
     /// # Safety
     /// The slots named by the conjuncts must hold valid base pointers of
     /// columns with at least `row + n` elements of the declared type.
-    unsafe fn mask(&self, state: *const u64, row: u64, n: u64) -> u64 {
+    unsafe fn mask(
+        conjuncts: &[Conjunct],
+        tier: KernelTier,
+        state: *const u64,
+        row: u64,
+        n: u64,
+    ) -> u64 {
         debug_assert!((1..=BLOCK).contains(&n));
         let mut m = if n == BLOCK { !0u64 } else { (1u64 << n) - 1 };
-        for c in &self.conjuncts {
+        for c in conjuncts {
             if m == 0 {
                 break;
             }
             let base = unsafe { *state.add(c.slot) } as *const u8;
             let cm = if n == BLOCK {
-                match self.tier {
+                match tier {
                     #[cfg(target_arch = "x86_64")]
                     KernelTier::Avx2 => unsafe { avx2::conjunct_mask(c, base, row) },
                     #[cfg(target_arch = "x86_64")]
@@ -541,6 +654,17 @@ impl PipelineBackend for SimdScanBackend {
             return Err(ExecError::Setup("simd backend expects the worker ABI".into()));
         };
         let state = state_ptr as *const u64;
+        // Resolve the retained skeleton against this execution's parameter
+        // block (no-op for all-constant kernels). Safety: `run_pipelines`
+        // installed the block pointer and checked the arity before any
+        // backend ran.
+        let conjuncts = unsafe { self.kernel.resolve(state) };
+        if conjuncts.is_empty() {
+            // Every conjunct dropped for this binding (out-of-lane-domain
+            // values): the pre-pass can't help, run the scalar inner
+            // worker over the whole morsel.
+            return self.inner.call(args, rt, frame);
+        }
         // Pending merged run of (maybe-)passing rows, [start, end).
         let mut pend: Option<(u64, u64)> = None;
         let mut row = begin;
@@ -549,7 +673,7 @@ impl PipelineBackend for SimdScanBackend {
             // Safety: the state slots hold this epoch's column base
             // pointers and the dispenser hands out in-bounds row ranges —
             // the same contract the scalar workers load under.
-            let mut m = unsafe { self.kernel.mask(state, row, n) };
+            let mut m = unsafe { ScanKernel::mask(&conjuncts, self.kernel.tier, state, row, n) };
             while m != 0 {
                 let t = m.trailing_zeros() as u64;
                 let ones = (!(m >> t)).trailing_zeros() as u64;
@@ -588,10 +712,6 @@ mod tests {
         Conjunct { slot: 0, elem, op, rhs_i, rhs_f }
     }
 
-    fn kernel(tier: KernelTier, conjuncts: Vec<Conjunct>) -> ScanKernel {
-        ScanKernel { conjuncts, tier }
-    }
-
     /// Evaluate one conjunct over `len` rows with every tier and assert
     /// the masks are bit-identical, returning the scalar one.
     fn masks_agree(c: Conjunct, base: *const u8, len: u64) -> Vec<u64> {
@@ -608,7 +728,7 @@ mod tests {
             let per: Vec<u64> = tiers
                 .iter()
                 .filter(|&&t| t != KernelTier::Avx2 || KernelTier::detect() == KernelTier::Avx2)
-                .map(|&t| unsafe { kernel(t, vec![c]).mask(state.as_ptr(), row, n) })
+                .map(|&t| unsafe { ScanKernel::mask(&[c], t, state.as_ptr(), row, n) })
                 .collect();
             for w in per.windows(2) {
                 assert_eq!(w[0], w[1], "tiers disagree at row {row}");
@@ -701,6 +821,34 @@ mod tests {
                 assert_eq!(ms.last().unwrap() >> last_n, 0, "ghost bits past row {len}");
             }
         }
+    }
+
+    #[test]
+    fn skeleton_resolves_per_binding_and_drops_out_of_domain_params() {
+        // Kernel: col0 (i32) < $0  AND  col0 (i32) >= 5 (baked).
+        let k = ScanKernel {
+            specs: vec![
+                ConjunctSpec { slot: 0, elem: Elem::I32, op: CmpOp::Lt, rhs: Rhs::ParamI(0) },
+                ConjunctSpec { slot: 0, elem: Elem::I32, op: CmpOp::Ge, rhs: Rhs::ConstI(5) },
+            ],
+            param_slot: Some(1),
+            tier: KernelTier::Scalar,
+        };
+        let data: Vec<i32> = (0..64).collect();
+        let bind = |v: i64| {
+            let params = [v as u64];
+            let state = [data.as_ptr() as u64, params.as_ptr() as u64];
+            let cs = unsafe { k.resolve(state.as_ptr()) };
+            let m = unsafe { ScanKernel::mask(&cs, KernelTier::Scalar, state.as_ptr(), 0, 64) };
+            (cs.len(), m.count_ones())
+        };
+        // In-domain binding: both conjuncts resolve; rows 5..10 pass.
+        assert_eq!(bind(10), (2, 5));
+        // Re-binding the same kernel flips the range without re-extraction.
+        assert_eq!(bind(20), (2, 15));
+        // Out-of-i32-domain binding: the param conjunct drops, the baked
+        // one stays — superset mask, rows 5..64 pass.
+        assert_eq!(bind(i64::from(i32::MAX) + 1), (1, 59));
     }
 
     #[test]

@@ -18,8 +18,8 @@
 //! * **eager invalidation** — a mutation purges every result cached for
 //!   older versions.
 
-use aqe_engine::exec::{ExecMode, ExecOptions};
-use aqe_engine::plan::{AggFunc, AggSpec, ArithOp, PExpr, PlanNode};
+use aqe_engine::exec::{ExecMode, ExecOptions, ParamValue};
+use aqe_engine::plan::{AggFunc, AggSpec, ArithOp, CmpOp, FieldTy, PExpr, PlanNode};
 use aqe_engine::session::Engine;
 use aqe_storage::{tpch, Column, DataType, Table};
 use aqe_vm::interp::ExecError;
@@ -250,6 +250,117 @@ fn executions_pinned_to_an_epoch_survive_table_drops() {
 
     assert!(successes.load(Ordering::Relaxed) > 0, "some executions must have succeeded");
     assert_eq!(engine.concurrency().in_flight, 0);
+}
+
+/// [`agg_plan`] with the scan filtered on `l_quantity < $1`: one
+/// fingerprint whose answer depends on the bound value.
+fn bound_agg_plan(aggs: usize) -> PlanNode {
+    let specs = (0..aggs)
+        .map(|k| AggSpec {
+            func: AggFunc::SumI,
+            arg: Some(PExpr::arith(
+                ArithOp::Add,
+                true,
+                false,
+                PExpr::arith(
+                    ArithOp::Mul,
+                    true,
+                    false,
+                    PExpr::Col(k % 3),
+                    PExpr::ConstI(k as i64 + 1),
+                ),
+                PExpr::Col((k + 1) % 3),
+            )),
+        })
+        .collect();
+    PlanNode::HashAgg {
+        input: Box::new(PlanNode::Scan {
+            table: "lineitem".into(),
+            cols: vec![4, 5, 6],
+            filter: Some(PExpr::cmp(
+                CmpOp::Lt,
+                false,
+                PExpr::Col(0),
+                PExpr::Param { idx: 0, ty: FieldTy::I64 },
+            )),
+        }),
+        group_by: vec![],
+        aggs: specs,
+    }
+}
+
+#[test]
+fn concurrent_bindings_of_one_prepared_query_never_cross_results() {
+    // Many threads hammer ONE shared parameterized `PreparedQuery` with
+    // different bind values while a mutator publishes new catalog epochs.
+    // Result caching stays ON: the dangerous failure mode is binding B
+    // being served binding A's cached rows (or a pre-mutation entry
+    // surviving). Every run is checked against its value's reference.
+    const WORKERS: usize = 6;
+    const RUNS_PER_WORKER: usize = 10;
+    const BINDINGS: [i64; 3] = [900, 1700, 2400];
+
+    let engine = Arc::new(Engine::new(tpch::generate(0.005)));
+    let session = engine.session();
+    let prepared = Arc::new(session.prepare(&bound_agg_plan(8), vec![]));
+
+    // Single-threaded, cache-off references — one per binding.
+    let reference: Vec<_> = BINDINGS
+        .iter()
+        .map(|&v| {
+            let (rows, _) = session
+                .execute_bound_with(&prepared, &[ParamValue::I64(v)], &no_cache_opts())
+                .expect("reference run");
+            rows.rows
+        })
+        .collect();
+    assert!(
+        reference.iter().zip(reference.iter().skip(1)).all(|(a, b)| a != b),
+        "the bindings must produce pairwise-distinct answers for aliasing to be observable"
+    );
+
+    let cached = ExecOptions { threads: 1, ..Default::default() };
+    std::thread::scope(|scope| {
+        for w in 0..WORKERS {
+            let engine = engine.clone();
+            let prepared = prepared.clone();
+            let reference = &reference;
+            let opts = cached.clone();
+            scope.spawn(move || {
+                let session = engine.session();
+                for r in 0..RUNS_PER_WORKER {
+                    // Each worker walks the bindings in a different order.
+                    let i = (w + r) % BINDINGS.len();
+                    let params = [ParamValue::I64(BINDINGS[i])];
+                    let (rows, _) =
+                        session.execute_bound_with(&prepared, &params, &opts).expect("bound run");
+                    assert_eq!(
+                        rows.rows, reference[i],
+                        "binding {} returned another binding's rows",
+                        BINDINGS[i]
+                    );
+                }
+            });
+        }
+        // A few mutations mid-flight: each purges every binding's entries
+        // for the older versions, and post-mutation runs repopulate.
+        for i in 0..3 {
+            std::thread::sleep(Duration::from_micros(400));
+            engine.with_catalog_mut(|c| c.add(scratch_table(i + 1)));
+        }
+    });
+
+    // At most one entry per binding can remain, all for the final version.
+    assert!(engine.result_cache_len() <= BINDINGS.len());
+    engine.with_catalog_mut(|c| {
+        c.remove("scratch");
+    });
+    assert_eq!(engine.result_cache_len(), 0, "stale binding entries must be purged eagerly");
+
+    let stats = engine.concurrency();
+    assert_eq!(stats.in_flight, 0);
+    assert_eq!(stats.executions_started, stats.executions_completed);
+    assert!(stats.warm_executions > 0, "bindings between mutations must share warm state");
 }
 
 #[test]

@@ -11,8 +11,10 @@
 //! * setup failures (bad module, wrong engine) surface as `ExecError`
 //!   values, and the deprecated one-shot shims still work.
 
-use aqe_engine::exec::{ExecMode, ExecOptions};
-use aqe_engine::plan::{decompose, AggFunc, AggSpec, ArithOp, PExpr, PhysicalPlan, PlanNode};
+use aqe_engine::exec::{ExecMode, ExecOptions, ParamValue};
+use aqe_engine::plan::{
+    decompose, AggFunc, AggSpec, ArithOp, CmpOp, FieldTy, PExpr, PhysicalPlan, PlanNode,
+};
 use aqe_engine::sched::{CostModel, ExecLevel};
 use aqe_engine::session::Engine;
 use aqe_storage::{tpch, Catalog, Column, DataType, Table};
@@ -410,6 +412,170 @@ fn one_shot_execution_through_a_throwaway_engine() {
     let (rows2, report2) = session2.execute_with(&with_module, &opts).expect("module run");
     assert_eq!(rows.rows, rows2.rows);
     assert_eq!(report2.codegen, Duration::ZERO, "caller-supplied module pays no codegen");
+}
+
+/// A parameterized variant of [`wide_plan`]: the same wide aggregation,
+/// but the scan filters on `l_quantity < $1` so the sums depend on the
+/// bound value. One fingerprint, many bindings.
+fn bound_plan(aggs: usize) -> PlanNode {
+    let specs = (0..aggs)
+        .map(|k| AggSpec {
+            func: AggFunc::SumI,
+            arg: Some(PExpr::arith(
+                ArithOp::Add,
+                true,
+                false,
+                PExpr::arith(
+                    ArithOp::Mul,
+                    true,
+                    false,
+                    PExpr::Col(k % 3),
+                    PExpr::ConstI(k as i64 + 1),
+                ),
+                PExpr::Col((k + 1) % 3),
+            )),
+        })
+        .collect();
+    PlanNode::HashAgg {
+        input: Box::new(PlanNode::Scan {
+            table: "lineitem".into(),
+            cols: vec![4, 5, 6],
+            filter: Some(PExpr::cmp(
+                CmpOp::Lt,
+                false,
+                PExpr::Col(0),
+                PExpr::Param { idx: 0, ty: FieldTy::I64 },
+            )),
+        }),
+        group_by: vec![],
+        aggs: specs,
+    }
+}
+
+#[test]
+fn distinct_bindings_never_alias_a_result_cache_entry() {
+    let cat = tpch::generate(0.005);
+    let engine = Engine::new(cat);
+    let session = engine.session();
+    let prepared = session.prepare(&bound_plan(4), vec![]);
+    let opts = ExecOptions { threads: 2, ..Default::default() };
+
+    // Two bindings with different selectivities: different answers, so
+    // serving one from the other's cache entry would be visible here.
+    let (rows_a, first) =
+        session.execute_bound_with(&prepared, &[ParamValue::I64(2400)], &opts).expect("binding A");
+    assert!(!first.result_cache_hit);
+    let (rows_b, second) =
+        session.execute_bound_with(&prepared, &[ParamValue::I64(1000)], &opts).expect("binding B");
+    assert!(!second.result_cache_hit, "a fresh binding must not hit another binding's entry");
+    assert_ne!(rows_a.rows, rows_b.rows, "the two bindings must select different rows");
+    assert_eq!(engine.result_cache_len(), 2, "each binding owns its own cache entry");
+
+    // Re-submitting either binding hits exactly its own entry.
+    let (ra, ha) =
+        session.execute_bound_with(&prepared, &[ParamValue::I64(2400)], &opts).expect("A again");
+    assert!(ha.result_cache_hit);
+    assert_eq!(ra.rows, rows_a.rows);
+    let (rb, hb) =
+        session.execute_bound_with(&prepared, &[ParamValue::I64(1000)], &opts).expect("B again");
+    assert!(hb.result_cache_hit);
+    assert_eq!(rb.rows, rows_b.rows);
+}
+
+#[test]
+fn warm_bound_execution_with_a_fresh_value_pays_no_compilation() {
+    let cat = tpch::generate(0.02);
+    let engine = Engine::new(cat);
+    let session = engine.session();
+    let prepared = session.prepare(&bound_plan(40), vec![]);
+    let opts = eager_adaptive(2);
+
+    let (_, cold) =
+        session.execute_bound_with(&prepared, &[ParamValue::I64(2400)], &opts).expect("cold bound");
+    assert!(cold.codegen > Duration::ZERO, "the cold binding pays codegen");
+    assert!(cold.bc_translate > Duration::ZERO);
+    let levels = prepared.levels();
+    assert!(
+        levels.iter().any(|&l| l > ExecLevel::Interpreted),
+        "the eager model must have upgraded at least one pipeline: {levels:?}"
+    );
+
+    // A *different* value on the same prepared query: all compilation
+    // artifacts are keyed by the generalized plan, so nothing is rebuilt
+    // and every pipeline starts at the level the first binding reached.
+    let (_, warm) =
+        session.execute_bound_with(&prepared, &[ParamValue::I64(900)], &opts).expect("warm bound");
+    assert_eq!(warm.codegen, Duration::ZERO, "a fresh value must not regenerate IR");
+    assert_eq!(warm.bc_translate, Duration::ZERO, "…nor re-translate bytecode");
+    assert!(!warm.result_cache_hit, "a fresh value really executes");
+    let starts: Vec<ExecLevel> = warm.sched.iter().map(|s| s.start_level).collect();
+    assert_eq!(starts, levels, "warm bound run starts at the previously reached levels");
+    assert!(!warm.cold_build, "the compiled state is shared across bindings");
+}
+
+#[test]
+fn catalog_mutation_invalidates_every_binding_of_a_fingerprint() {
+    let cat = tpch::generate(0.005);
+    let engine = Engine::new(cat);
+    let session = engine.session();
+    let prepared = session.prepare(&bound_plan(4), vec![]);
+    let opts = ExecOptions { threads: 2, ..Default::default() };
+
+    let (rows_a, _) =
+        session.execute_bound_with(&prepared, &[ParamValue::I64(2400)], &opts).expect("binding A");
+    let (rows_b, _) =
+        session.execute_bound_with(&prepared, &[ParamValue::I64(1000)], &opts).expect("binding B");
+    assert_eq!(engine.result_cache_len(), 2);
+
+    // One mutation, all bindings gone: the key's version component means
+    // no binding of the old fingerprint can ever be served again.
+    engine.with_catalog_mut(|c| {
+        c.add(Table::new("tiny", vec![("x", DataType::Int64, Column::I64(vec![1]))]))
+    });
+    assert_eq!(engine.result_cache_len(), 0, "every binding's entry must be purged");
+
+    let (ra, after_a) =
+        session.execute_bound_with(&prepared, &[ParamValue::I64(2400)], &opts).expect("A again");
+    assert!(!after_a.result_cache_hit);
+    assert!(after_a.codegen > Duration::ZERO, "retained code is stale after the mutation");
+    assert_eq!(ra.rows, rows_a.rows, "the data did not change, only the version");
+    let (rb, after_b) =
+        session.execute_bound_with(&prepared, &[ParamValue::I64(1000)], &opts).expect("B again");
+    assert!(!after_b.result_cache_hit);
+    assert_eq!(rb.rows, rows_b.rows);
+}
+
+#[test]
+fn binding_mistakes_are_bind_errors_not_panics() {
+    let cat = tpch::generate(0.001);
+    let engine = Engine::new(cat);
+    let session = engine.session();
+    let with_params = session.prepare(&bound_plan(2), vec![]);
+    let without = session.prepare(&wide_plan(2), vec![]);
+
+    // Arity: too few, too many.
+    let err = session.execute_bound(&with_params, &[]).unwrap_err();
+    assert!(matches!(err, ExecError::Bind(_)), "got {err:?}");
+    let err =
+        session.execute_bound(&with_params, &[ParamValue::I64(1), ParamValue::I64(2)]).unwrap_err();
+    assert!(matches!(err, ExecError::Bind(_)), "got {err:?}");
+
+    // Type: the plan's slot is I64, the value is F64.
+    let err = session.execute_bound(&with_params, &[ParamValue::F64(1.0)]).unwrap_err();
+    assert!(matches!(err, ExecError::Bind(_)), "got {err:?}");
+
+    // Binding values to a query that has no parameters.
+    let err = session.execute_bound(&without, &[ParamValue::I64(1)]).unwrap_err();
+    assert!(matches!(err, ExecError::Bind(_)), "got {err:?}");
+
+    // And the unbound entry point on a parameterized query: the missing
+    // values surface as a `Bind` error, not a read through a null block.
+    let err = session.execute(&with_params).unwrap_err();
+    assert!(matches!(err, ExecError::Bind(_)), "got {err:?}");
+
+    // After all that, a correct binding still works.
+    let (rows, _) = session.execute_bound(&with_params, &[ParamValue::I64(2400)]).expect("bound");
+    assert_eq!(rows.row_count(), 1);
 }
 
 #[test]

@@ -30,25 +30,22 @@ pub struct DomTree {
 }
 
 impl DomTree {
+    /// Convenience entry: derives the predecessor lists itself. Callers
+    /// that already hold them (e.g. `Analyses::compute`) should use
+    /// [`compute_with`](DomTree::compute_with) so the CFG is walked once.
     pub fn compute(f: &Function, rpo: &Rpo) -> DomTree {
+        Self::compute_with(rpo, &rpo.pred_positions(&f.predecessors()))
+    }
+
+    /// Compute from shared RPO-position predecessor lists
+    /// (see [`Rpo::pred_positions`]).
+    pub fn compute_with(rpo: &Rpo, preds: &[Vec<u32>]) -> DomTree {
         let n = rpo.len();
         let mut idom = vec![UNDEF; n];
         if n == 0 {
             return DomTree { idom, pre: vec![], post: vec![], children: vec![] };
         }
         idom[0] = 0;
-
-        // Predecessors, translated into RPO positions; unreachable preds are
-        // dropped.
-        let preds_by_block = f.predecessors();
-        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for (p, &b) in rpo.order.iter().enumerate() {
-            for &pb in &preds_by_block[b.index()] {
-                if rpo.is_reachable(pb) {
-                    preds[p].push(rpo.position(pb));
-                }
-            }
-        }
 
         // Cooper–Harvey–Kennedy: iterate to fixpoint in RPO order.
         let mut changed = true;

@@ -81,7 +81,16 @@ impl UnionFind {
 }
 
 impl LoopForest {
+    /// Convenience entry: derives the predecessor lists itself. Callers
+    /// that already hold them (e.g. `Analyses::compute`) should use
+    /// [`compute_with`](LoopForest::compute_with) so the CFG is walked once.
     pub fn compute(f: &Function, rpo: &Rpo, dom: &DomTree) -> LoopForest {
+        Self::compute_with(f, rpo, dom, &rpo.pred_positions(&f.predecessors()))
+    }
+
+    /// Compute from shared RPO-position predecessor lists
+    /// (see [`Rpo::pred_positions`]).
+    pub fn compute_with(f: &Function, rpo: &Rpo, dom: &DomTree, preds: &[Vec<u32>]) -> LoopForest {
         let n = rpo.len();
         let mut loop_of = vec![ROOT_LOOP; n];
         let mut loops = vec![LoopInfo {
@@ -109,17 +118,6 @@ impl LoopForest {
                 if dom.dominates_pos(sp, p as u32) {
                     back_edges[sp as usize].push(p as u32);
                     is_head[sp as usize] = true;
-                }
-            }
-        }
-
-        // Predecessor positions for the backward traversal.
-        let preds_by_block = f.predecessors();
-        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for (p, &b) in rpo.order.iter().enumerate() {
-            for &pb in &preds_by_block[b.index()] {
-                if rpo.is_reachable(pb) {
-                    preds[p].push(rpo.position(pb));
                 }
             }
         }

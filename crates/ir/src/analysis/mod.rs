@@ -27,11 +27,14 @@ pub struct Analyses {
 }
 
 impl Analyses {
-    /// Run the full linear-time analysis pipeline of Fig. 11.
+    /// Run the full linear-time analysis pipeline of Fig. 11. The CFG's
+    /// predecessor lists are derived once here and shared by the dominator
+    /// and loop computations instead of each rebuilding them.
     pub fn compute(f: &Function) -> Analyses {
         let rpo = Rpo::compute(f);
-        let dom = DomTree::compute(f, &rpo);
-        let loops = LoopForest::compute(f, &rpo, &dom);
+        let preds = rpo.pred_positions(&f.predecessors());
+        let dom = DomTree::compute_with(&rpo, &preds);
+        let loops = LoopForest::compute_with(f, &rpo, &dom, &preds);
         let live = LiveRanges::compute(f, &rpo, &loops);
         Analyses { rpo, dom, loops, live }
     }

@@ -71,6 +71,22 @@ impl Rpo {
         debug_assert_ne!(p, UNREACHABLE, "{b} is unreachable");
         p
     }
+
+    /// Translate block-level predecessor lists (`Function::predecessors`)
+    /// into RPO positions, dropping unreachable predecessors. Computed once
+    /// per function and shared by every downstream analysis (dominators,
+    /// loops) instead of each re-deriving it from the CFG.
+    pub fn pred_positions(&self, preds: &[Vec<BlockId>]) -> Vec<Vec<u32>> {
+        let mut out: Vec<Vec<u32>> = vec![Vec::new(); self.len()];
+        for (p, &b) in self.order.iter().enumerate() {
+            for &pb in &preds[b.index()] {
+                if self.is_reachable(pb) {
+                    out[p].push(self.position(pb));
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -361,6 +361,12 @@ fn simplify_cfg(f: &mut Function, stats: &mut PassStats) {
             }
         })
         .collect();
+    // The predecessor sets change with every rewrite (e.g. both arms of a
+    // CondBr reaching the same destination), so they are computed once here
+    // and maintained incrementally: each applied threading moves exactly
+    // one edge, `bid → from` becomes `bid → to`. (Rebuilding them per
+    // candidate made this stage quadratic in block count.)
+    let mut preds = f.predecessors();
     for bi in 0..f.block_count() {
         let bid = BlockId(bi as u32);
         let candidates: Vec<(BlockId, BlockId)> = f
@@ -372,13 +378,8 @@ fn simplify_cfg(f: &mut Function, stats: &mut PassStats) {
         for (from, to) in candidates {
             // Threading replaces the incoming block of `to`'s φs from
             // `from` to `bid`; this is only unambiguous while `bid` is not
-            // already a predecessor of `to`. The predecessor set changes
-            // with every rewrite (e.g. both arms of a CondBr reaching the
-            // same destination), so re-validate before each application.
-            if to == bid
-                || trivial[to.index()].is_some()
-                || f.predecessors()[to.index()].contains(&bid)
-            {
+            // already a predecessor of `to`.
+            if to == bid || trivial[to.index()].is_some() || preds[to.index()].contains(&bid) {
                 continue;
             }
             f.block_mut(bid).term.map_successors(|s| {
@@ -386,6 +387,10 @@ fn simplify_cfg(f: &mut Function, stats: &mut PassStats) {
                     *s = to;
                 }
             });
+            if let Some(pos) = preds[from.index()].iter().position(|&p| p == bid) {
+                preds[from.index()].remove(pos);
+            }
+            preds[to.index()].push(bid);
             rename_phi_incoming(f, to, from, bid);
             stats.jumps_threaded += 1;
         }

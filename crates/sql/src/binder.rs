@@ -47,6 +47,11 @@ struct Binder<'a> {
     cat: &'a Catalog,
     tables: Vec<TableRef>,
     dicts: Vec<DictTable>,
+    /// SQL-level type of each bind parameter, indexed by slot. User-written
+    /// placeholders are `Other` (the caller binds representation values:
+    /// decimals as hundredths, dates as day numbers); generalized literals
+    /// keep the literal's type so fixed-point coercion applies identically.
+    param_tys: Vec<SqlTy>,
 }
 
 impl<'a> Binder<'a> {
@@ -231,6 +236,9 @@ fn ast_sql_ty(b: &Binder, ast: &Ast) -> SqlTy {
         }
         Ast::Int(_) => SqlTy::Int,
         Ast::Dec(_) => SqlTy::Dec,
+        Ast::Param(n) => {
+            n.and_then(|k| b.param_tys.get(k as usize - 1).copied()).unwrap_or(SqlTy::Other)
+        }
         Ast::Bin { op, a, b: bb } if matches!(op.as_str(), "+" | "-" | "*" | "/") => {
             let (ta, tb) = (ast_sql_ty(b, a), ast_sql_ty(b, bb));
             if ta == SqlTy::Dec || tb == SqlTy::Dec {
@@ -258,6 +266,11 @@ fn lower_expr(b: &mut Binder, env: &Env, ast: &Ast) -> Result<(PExpr, FieldTy), 
         Ast::Int(v) => (PExpr::ConstI(*v), FieldTy::I64),
         Ast::Dec(v) => (PExpr::ConstI(*v), FieldTy::I64),
         Ast::DateLit(s) => (PExpr::ConstI(parse_date(s) as i64), FieldTy::I64),
+        Ast::Param(n) => {
+            // Normalized upstream: every placeholder carries a 1-based slot.
+            let idx = n.ok_or_else(|| PlanError("unnumbered parameter".into()))? as usize - 1;
+            (PExpr::Param { idx, ty: FieldTy::I64 }, FieldTy::I64)
+        }
         Ast::Str(_) => return err("string literal outside comparison"),
         Ast::Like { v, pattern } => {
             let Ast::Col { table, name } = v.as_ref() else {
@@ -406,6 +419,7 @@ fn lower_expr(b: &mut Binder, env: &Env, ast: &Ast) -> Result<(PExpr, FieldTy), 
                     Ast::Int(v) => codes.push(*v),
                     Ast::Dec(v) => codes.push(*v),
                     Ast::DateLit(s) => codes.push(parse_date(s) as i64),
+                    Ast::Param(_) => return err("parameters are not supported in IN lists"),
                     _ => return err("unsupported IN list element"),
                 }
             }
@@ -425,13 +439,155 @@ fn lower_expr(b: &mut Binder, env: &Env, ast: &Ast) -> Result<(PExpr, FieldTy), 
     })
 }
 
-/// Plan a SQL string against a catalog.
-pub fn plan_sql(cat: &Catalog, sql: &str) -> Result<BoundQuery, PlanError> {
-    let stmt = parse(tokenize(sql).map_err(PlanError)?).map_err(PlanError)?;
-    plan_select(cat, &stmt)
+/// Assign dense slot indices to bind parameters: `?` placeholders number in
+/// appearance order, `$n` placeholders use their explicit 1-based number
+/// (mixing the two styles is rejected, as is a numbering gap). Returns the
+/// parameter count.
+fn normalize_params(stmt: &mut SelectStmt) -> Result<usize, PlanError> {
+    fn walk(
+        a: &mut Ast,
+        f: &mut impl FnMut(&mut Option<u32>) -> Result<(), PlanError>,
+    ) -> Result<(), PlanError> {
+        match a {
+            Ast::Param(n) => f(n),
+            Ast::Bin { a, b, .. } => {
+                walk(a, f)?;
+                walk(b, f)
+            }
+            Ast::Not(x) => walk(x, f),
+            Ast::Between { v, lo, hi } => {
+                walk(v, f)?;
+                walk(lo, f)?;
+                walk(hi, f)
+            }
+            Ast::InList { v, list } => {
+                walk(v, f)?;
+                list.iter_mut().try_for_each(|e| walk(e, f))
+            }
+            Ast::Like { v, .. } => walk(v, f),
+            Ast::Agg { arg, .. } => arg.as_deref_mut().map_or(Ok(()), |x| walk(x, f)),
+            Ast::Case { cond, t, f: fa } => {
+                walk(cond, f)?;
+                walk(t, f)?;
+                walk(fa, f)
+            }
+            _ => Ok(()),
+        }
+    }
+    let (mut next, mut max) = (0u32, 0u32);
+    let mut seen: Vec<u32> = Vec::new();
+    let mut positional: Option<bool> = None;
+    let mut visit = |n: &mut Option<u32>| -> Result<(), PlanError> {
+        let style = n.is_none();
+        if positional.replace(style).is_some_and(|prev| prev != style) {
+            return err("cannot mix ? and $n parameter styles");
+        }
+        match *n {
+            None => {
+                next += 1;
+                *n = Some(next);
+            }
+            Some(k) => {
+                max = max.max(k);
+                if !seen.contains(&k) {
+                    seen.push(k);
+                }
+            }
+        }
+        Ok(())
+    };
+    for (e, _) in stmt.select.iter_mut() {
+        walk(e, &mut visit)?;
+    }
+    if let Some(w) = stmt.where_.as_mut() {
+        walk(w, &mut visit)?;
+    }
+    for e in stmt.group_by.iter_mut() {
+        walk(e, &mut visit)?;
+    }
+    for (e, _) in stmt.order_by.iter_mut() {
+        walk(e, &mut visit)?;
+    }
+    if positional == Some(false) {
+        for k in 1..=max {
+            if !seen.contains(&k) {
+                return err(format!("parameter ${k} is never used"));
+            }
+        }
+        Ok(max as usize)
+    } else {
+        Ok(next as usize)
+    }
 }
 
-fn plan_select(cat: &Catalog, stmt: &SelectStmt) -> Result<BoundQuery, PlanError> {
+/// Rewrite `Int`/`Dec`/`DateLit` operands of comparisons and `BETWEEN`
+/// bounds into bind parameters, appending each literal's value (decimals as
+/// hundredths, dates as day numbers) and SQL type. String literals stay
+/// baked: they fold to catalog-dependent dictionary codes.
+fn generalize_literals(ast: &mut Ast, values: &mut Vec<i64>, tys: &mut Vec<SqlTy>) {
+    fn slot(a: &mut Ast, values: &mut Vec<i64>, tys: &mut Vec<SqlTy>) {
+        let (v, t) = match &*a {
+            Ast::Int(v) => (*v, SqlTy::Int),
+            Ast::Dec(v) => (*v, SqlTy::Dec),
+            Ast::DateLit(s) => (parse_date(s) as i64, SqlTy::Other),
+            _ => return,
+        };
+        values.push(v);
+        tys.push(t);
+        *a = Ast::Param(Some(values.len() as u32));
+    }
+    match ast {
+        Ast::Bin { op, a, b } if matches!(op.as_str(), "=" | "<>" | "<" | "<=" | ">" | ">=") => {
+            if matches!(a.as_ref(), Ast::Str(_)) || matches!(b.as_ref(), Ast::Str(_)) {
+                return;
+            }
+            slot(a, values, tys);
+            slot(b, values, tys);
+        }
+        Ast::Bin { op, a, b } if matches!(op.as_str(), "and" | "or") => {
+            generalize_literals(a, values, tys);
+            generalize_literals(b, values, tys);
+        }
+        Ast::Not(a) => generalize_literals(a, values, tys),
+        Ast::Between { lo, hi, .. } => {
+            slot(lo, values, tys);
+            slot(hi, values, tys);
+        }
+        _ => {}
+    }
+}
+
+/// Plan a SQL string against a catalog.
+pub fn plan_sql(cat: &Catalog, sql: &str) -> Result<BoundQuery, PlanError> {
+    let mut stmt = parse(tokenize(sql).map_err(PlanError)?).map_err(PlanError)?;
+    let n = normalize_params(&mut stmt)?;
+    plan_select(cat, &stmt, vec![SqlTy::Other; n])
+}
+
+/// Plan a SQL string after generalizing its comparison literals into bind
+/// parameters, so textually different statements that differ only in those
+/// literals share one plan fingerprint (and therefore one retained compiled
+/// state). Returns the parameterized query plus the literal values extracted
+/// from this statement, in slot order, ready to bind.
+pub fn plan_sql_generalized(cat: &Catalog, sql: &str) -> Result<(BoundQuery, Vec<i64>), PlanError> {
+    let mut stmt = parse(tokenize(sql).map_err(PlanError)?).map_err(PlanError)?;
+    if normalize_params(&mut stmt)? != 0 {
+        return err("cannot generalize a statement that already contains parameters");
+    }
+    let mut values = Vec::new();
+    let mut tys = Vec::new();
+    if let Some(w) = stmt.where_.as_mut() {
+        generalize_literals(w, &mut values, &mut tys);
+    }
+    let bq = plan_select(cat, &stmt, tys)?;
+    Ok((bq, values))
+}
+
+fn plan_select(
+    cat: &Catalog,
+    stmt: &SelectStmt,
+    param_tys: Vec<SqlTy>,
+) -> Result<BoundQuery, PlanError> {
     let mut tables = vec![TableRef { name: stmt.from.clone(), used_cols: vec![] }];
     for j in &stmt.joins {
         tables.push(TableRef { name: j.table.clone(), used_cols: vec![] });
@@ -441,7 +597,7 @@ fn plan_select(cat: &Catalog, stmt: &SelectStmt) -> Result<BoundQuery, PlanError
             return err(format!("unknown table {}", t.name));
         }
     }
-    let mut b = Binder { cat, tables, dicts: vec![] };
+    let mut b = Binder { cat, tables, dicts: vec![], param_tys };
 
     // 1. Collect every referenced column (projection pruning), including
     //    join keys.
@@ -707,7 +863,7 @@ fn e_name(e: &Ast) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aqe_engine::exec::{ExecMode, ExecOptions};
+    use aqe_engine::exec::{ExecMode, ExecOptions, ParamValue};
     use aqe_engine::session::Engine;
     use aqe_storage::tpch;
 
@@ -794,6 +950,72 @@ mod tests {
         let q = li.column_by_name("l_quantity").unwrap();
         let sum: i64 = (0..li.row_count()).map(|r| q.get_u64(r) as i64).sum();
         assert_eq!(rows[0] as i64, sum / li.row_count() as i64);
+    }
+
+    #[test]
+    fn sql_bound_params_match_literal_plan() {
+        let cat = tpch::generate(0.005);
+        let expect = run_sql(
+            &cat,
+            "SELECT sum(l_extendedprice * l_discount) FROM lineitem \
+             WHERE l_shipdate >= date '1994-01-01' AND l_shipdate <= date '1994-12-31' \
+             AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24",
+            ExecMode::Bytecode,
+        );
+        let engine = Engine::new(cat.clone());
+        let session = engine.session();
+        let bound = plan_sql(
+            &cat,
+            "SELECT sum(l_extendedprice * l_discount) FROM lineitem \
+             WHERE l_shipdate >= ? AND l_shipdate <= ? \
+             AND l_discount BETWEEN ? AND ? AND l_quantity < ?",
+        )
+        .unwrap();
+        let prepared = session.prepare(&bound.root, bound.dicts);
+        assert_eq!(prepared.param_types().len(), 5);
+        // User-written placeholders bind representation values: day numbers
+        // for dates, hundredths for decimals.
+        let ps: Vec<ParamValue> =
+            [parse_date("1994-01-01") as i64, parse_date("1994-12-31") as i64, 5, 7, 2400]
+                .iter()
+                .map(|&v| ParamValue::I64(v))
+                .collect();
+        let rows = session.execute_bound(&prepared, &ps).unwrap().0.rows;
+        assert_eq!(rows, expect);
+    }
+
+    #[test]
+    fn sql_generalization_shares_one_fingerprint() {
+        let cat = tpch::generate(0.002);
+        let sql_a = "SELECT count(*) FROM lineitem \
+                     WHERE l_quantity < 24 AND l_discount BETWEEN 0.05 AND 0.07";
+        let sql_b = "SELECT count(*) FROM lineitem \
+                     WHERE l_quantity < 30 AND l_discount BETWEEN 0.02 AND 0.09";
+        let (qa, va) = plan_sql_generalized(&cat, sql_a).unwrap();
+        let (qb, vb) = plan_sql_generalized(&cat, sql_b).unwrap();
+        assert_eq!(va, vec![24, 5, 7], "raw int, then cents");
+        assert_eq!(vb, vec![30, 2, 9]);
+        let engine = Engine::new(cat.clone());
+        let session = engine.session();
+        let pa = session.prepare(&qa.root, qa.dicts);
+        let pb = session.prepare(&qb.root, qb.dicts);
+        assert_eq!(pa.fingerprint(), pb.fingerprint(), "literals generalized away");
+        for (p, v, sql) in [(&pa, &va, sql_a), (&pb, &vb, sql_b)] {
+            let ps: Vec<ParamValue> = v.iter().map(|&x| ParamValue::I64(x)).collect();
+            let rows = session.execute_bound(p, &ps).unwrap().0.rows;
+            assert_eq!(rows, run_sql(&cat, sql, ExecMode::Bytecode), "{sql}");
+        }
+    }
+
+    #[test]
+    fn sql_param_misuse_is_rejected() {
+        let cat = tpch::generate(0.001);
+        let mixed = "SELECT count(*) FROM lineitem WHERE l_quantity < ? AND l_discount > $2";
+        assert!(plan_sql(&cat, mixed).is_err(), "mixed styles");
+        let gap = "SELECT count(*) FROM lineitem WHERE l_quantity < $2";
+        assert!(plan_sql(&cat, gap).is_err(), "$1 never used");
+        let inlist = "SELECT count(*) FROM lineitem WHERE l_linenumber IN (1, ?)";
+        assert!(plan_sql(&cat, inlist).is_err(), "param in IN list");
     }
 
     #[test]

@@ -14,6 +14,9 @@ pub enum Token {
     Le,
     Ge,
     Ne,
+    /// Bind-variable placeholder: `?` (positional, `None`) or `$n`
+    /// (1-based explicit slot, `Some(n)`).
+    Param(Option<u32>),
     Eof,
 }
 
@@ -28,6 +31,8 @@ impl fmt::Display for Token {
             Token::Le => write!(f, "<="),
             Token::Ge => write!(f, ">="),
             Token::Ne => write!(f, "<>"),
+            Token::Param(None) => write!(f, "?"),
+            Token::Param(Some(n)) => write!(f, "${n}"),
             Token::Eof => write!(f, "<eof>"),
         }
     }
@@ -101,6 +106,26 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, String> {
                 out.push(Token::Ne);
                 i += 2;
             }
+            '?' => {
+                out.push(Token::Param(None));
+                i += 1;
+            }
+            '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == start {
+                    return Err("expected digits after '$'".into());
+                }
+                let n: u32 = sql[start..j].parse().map_err(|_| "bad parameter number")?;
+                if n == 0 {
+                    return Err("parameter numbers are 1-based".into());
+                }
+                out.push(Token::Param(Some(n)));
+                i = j;
+            }
             '=' | '<' | '>' | '(' | ')' | ',' | '*' | '+' | '-' | '/' | '.' => {
                 out.push(Token::Sym(c));
                 i += 1;
@@ -131,6 +156,15 @@ mod tests {
         assert!(tokenize("0.05").unwrap().contains(&Token::Dec(5)));
         assert!(tokenize("24.9").unwrap().contains(&Token::Dec(2490)));
         assert!(tokenize("3").unwrap().contains(&Token::Int(3)));
+    }
+
+    #[test]
+    fn placeholders() {
+        let t = tokenize("where a < ? and b = $2").unwrap();
+        assert!(t.contains(&Token::Param(None)));
+        assert!(t.contains(&Token::Param(Some(2))));
+        assert!(tokenize("$").is_err(), "bare dollar needs digits");
+        assert!(tokenize("$0").is_err(), "parameter numbers are 1-based");
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod lexer;
 pub mod parser;
 pub mod prepare;
 
-pub use binder::{plan_sql, PlanError};
+pub use binder::{plan_sql, plan_sql_generalized, PlanError};
 pub use lexer::{tokenize, Token};
 pub use parser::{parse, SelectStmt};
-pub use prepare::{prepare, PreparedStatement};
+pub use prepare::{prepare, prepare_generalized, PreparedStatement};

@@ -4,18 +4,44 @@ use crate::lexer::Token;
 
 #[derive(Clone, Debug, PartialEq)]
 pub enum Ast {
-    Col { table: Option<String>, name: String },
+    Col {
+        table: Option<String>,
+        name: String,
+    },
     Int(i64),
     Dec(i64),
     Str(String),
     DateLit(String),
-    Bin { op: String, a: Box<Ast>, b: Box<Ast> },
+    /// Bind-variable placeholder: `?` (positional) or `$n` (explicit 1-based).
+    Param(Option<u32>),
+    Bin {
+        op: String,
+        a: Box<Ast>,
+        b: Box<Ast>,
+    },
     Not(Box<Ast>),
-    Between { v: Box<Ast>, lo: Box<Ast>, hi: Box<Ast> },
-    InList { v: Box<Ast>, list: Vec<Ast> },
-    Like { v: Box<Ast>, pattern: String },
-    Agg { func: String, arg: Option<Box<Ast>> },
-    Case { cond: Box<Ast>, t: Box<Ast>, f: Box<Ast> },
+    Between {
+        v: Box<Ast>,
+        lo: Box<Ast>,
+        hi: Box<Ast>,
+    },
+    InList {
+        v: Box<Ast>,
+        list: Vec<Ast>,
+    },
+    Like {
+        v: Box<Ast>,
+        pattern: String,
+    },
+    Agg {
+        func: String,
+        arg: Option<Box<Ast>>,
+    },
+    Case {
+        cond: Box<Ast>,
+        t: Box<Ast>,
+        f: Box<Ast>,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -193,6 +219,7 @@ impl Parser {
             Token::Int(v) => Ok(Ast::Int(v)),
             Token::Dec(v) => Ok(Ast::Dec(v)),
             Token::Str(s) => Ok(Ast::Str(s)),
+            Token::Param(n) => Ok(Ast::Param(n)),
             Token::Sym('(') => {
                 let e = self.expr()?;
                 self.expect_sym(')')?;
@@ -352,6 +379,30 @@ mod tests {
         let s = p("SELECT case when a = 1 then 2 else 3 end FROM t \
                    WHERE b LIKE '%x%' AND c IN (1, 2, 3)");
         assert!(matches!(s.select[0].0, Ast::Case { .. }));
+    }
+
+    #[test]
+    fn parses_placeholders() {
+        let s = p("SELECT sum(a) FROM t WHERE b < ? AND c BETWEEN $1 AND $2");
+        let w = s.where_.unwrap();
+        fn count_params(a: &Ast, n: &mut usize) {
+            match a {
+                Ast::Param(_) => *n += 1,
+                Ast::Bin { a, b, .. } => {
+                    count_params(a, n);
+                    count_params(b, n);
+                }
+                Ast::Between { v, lo, hi } => {
+                    count_params(v, n);
+                    count_params(lo, n);
+                    count_params(hi, n);
+                }
+                _ => {}
+            }
+        }
+        let mut n = 0;
+        count_params(&w, &mut n);
+        assert_eq!(n, 3);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! backends, and cost-model calibration amortized across executions by
 //! the session layer.
 
-use crate::binder::{plan_sql, PlanError};
+use crate::binder::{plan_sql, plan_sql_generalized, PlanError};
+use aqe_engine::exec::ParamValue;
 use aqe_engine::session::{PreparedQuery, Session};
 
 /// A prepared SQL statement: the engine-side prepared query plus the
@@ -25,6 +26,23 @@ pub fn prepare(session: &Session, sql: &str) -> Result<PreparedStatement, PlanEr
     let bound = session.with_catalog(|cat| plan_sql(cat, sql))?;
     let query = session.prepare(&bound.root, bound.dicts);
     Ok(PreparedStatement { query, output_names: bound.output_names })
+}
+
+/// Plan an ad-hoc SQL statement with its comparison literals generalized
+/// into bind parameters. Returns the parameterized statement plus the
+/// values extracted from this text, ready for
+/// [`Session::execute_bound`]: textually different statements that differ
+/// only in those literals produce the same fingerprint, so a re-submission
+/// with fresh constants reuses the retained compiled state instead of
+/// planning, generating, and compiling from scratch.
+pub fn prepare_generalized(
+    session: &Session,
+    sql: &str,
+) -> Result<(PreparedStatement, Vec<ParamValue>), PlanError> {
+    let (bound, values) = session.with_catalog(|cat| plan_sql_generalized(cat, sql))?;
+    let query = session.prepare(&bound.root, bound.dicts);
+    let params = values.into_iter().map(ParamValue::I64).collect();
+    Ok((PreparedStatement { query, output_names: bound.output_names }, params))
 }
 
 #[cfg(test)]
@@ -48,6 +66,30 @@ mod tests {
         assert_eq!(a.rows, b.rows);
         assert!(!first.result_cache_hit);
         assert!(second.result_cache_hit, "identical re-submission must hit the result cache");
+    }
+
+    #[test]
+    fn generalized_statements_share_compiled_state() {
+        let engine = Engine::new(tpch::generate(0.002));
+        let session = engine.session();
+        let (a, pa) =
+            prepare_generalized(&session, "SELECT count(*) FROM lineitem WHERE l_quantity < 30")
+                .unwrap();
+        let (b, pb) =
+            prepare_generalized(&session, "SELECT count(*) FROM lineitem WHERE l_quantity < 45")
+                .unwrap();
+        // Equal fingerprints tell the caller the second statement can run
+        // through the first's retained compiled state with its own values.
+        assert_eq!(a.query.fingerprint(), b.query.fingerprint());
+        let (ra, first) = session.execute_bound(&a.query, &pa).unwrap();
+        let (rb, second) = session.execute_bound(&a.query, &pb).unwrap();
+        assert!(!first.result_cache_hit);
+        assert!(!second.result_cache_hit, "different binding must not alias the result cache");
+        assert!(second.codegen.is_zero(), "warm binding reuses the retained module");
+        assert!(rb.rows[0] >= ra.rows[0], "wider predicate keeps at least as many rows");
+        // Same statement, same binding: now the result cache hits.
+        let (_, third) = session.execute_bound(&a.query, &pa).unwrap();
+        assert!(third.result_cache_hit);
     }
 
     #[test]

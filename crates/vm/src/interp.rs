@@ -46,6 +46,9 @@ pub enum ExecError {
     /// Query/session setup failed (missing runtime helper, unknown table,
     /// prepared statement used with the wrong engine).
     Setup(String),
+    /// Bind-variable mismatch: wrong parameter arity, a value of the
+    /// wrong type, or values supplied for a non-parameterized query.
+    Bind(String),
 }
 
 impl fmt::Display for ExecError {
@@ -57,6 +60,7 @@ impl fmt::Display for ExecError {
             ExecError::Translate(m) => write!(f, "bytecode translation failed: {m}"),
             ExecError::Compile(m) => write!(f, "compilation failed: {m}"),
             ExecError::Setup(m) => write!(f, "query setup failed: {m}"),
+            ExecError::Bind(m) => write!(f, "parameter binding failed: {m}"),
         }
     }
 }
