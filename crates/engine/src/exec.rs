@@ -13,6 +13,7 @@
 //! calibrated — lives in [`crate::sched`]; this module owns the per-query
 //! state, the handle indirection, and the pipeline-end sinks.
 
+use crate::cancel::CancelToken;
 use crate::plan::{FieldTy, PhysicalPlan, Sink, Source};
 use crate::runtime::{merge_agg_tables, sort_rows, JoinHt, WorkerRt};
 use crate::sched::{
@@ -246,6 +247,33 @@ pub struct Report {
     /// execution started — the contention observability counter for the
     /// concurrency benchmark.
     pub concurrent_executions: usize,
+    /// How this execution fared in the front-door server's admission
+    /// controller (`None` for direct library calls): queue wait, the
+    /// priority it was admitted at, and the server's cumulative shed
+    /// count at dispatch time. Copied verbatim from
+    /// [`ExecOptions::admission`].
+    pub admission: Option<AdmissionReport>,
+    /// `Some(reason)` when this execution's [`CancelToken`] was poisoned.
+    /// An execution that observed the poison returns
+    /// `ExecError::Cancelled` instead of a report; this field covers the
+    /// complementary race — the cancel landed after the last claim, so
+    /// the run completed anyway.
+    pub cancelled: Option<String>,
+}
+
+/// What the server's admission controller did to an execution before the
+/// engine saw it ([`Report::admission`]). Produced by `crates/server` at
+/// dispatch time and threaded through [`ExecOptions::admission`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AdmissionReport {
+    /// Time between submission and dispatch onto an engine executor.
+    pub queue_wait: Duration,
+    /// Priority tier the request was admitted at (0 = lowest).
+    pub priority: u8,
+    /// The server's cumulative shed count when this request dispatched —
+    /// a load signal: a fast-rising value means the request ran under
+    /// active shedding.
+    pub shed_at_dispatch: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -279,8 +307,9 @@ impl ResultRows {
     }
 }
 
-/// A bind-variable value supplied to [`Session::execute_bound`]
-/// (`crate::session::Session::execute_bound`). Decimal parameters are
+/// A bind-variable value supplied to
+/// [`Session::execute_bound`](crate::session::Session::execute_bound).
+/// Decimal parameters are
 /// bound in their scaled integer representation (cents), date parameters
 /// as day numbers — the same representation the plan's literals use.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -342,6 +371,17 @@ pub struct ExecOptions {
     /// (`session::Engine`). Disable for benchmarks that must observe a
     /// real execution on every run.
     pub cache_results: bool,
+    /// This execution's cooperative cancellation token: poisoning it (or
+    /// its armed deadline expiring) stops the morsel loop within one
+    /// range claim and surfaces as `ExecError::Cancelled`. The default is
+    /// a fresh, never-poisoned token. Note that cloning an `ExecOptions`
+    /// *shares* the token — callers that cancel should install a fresh
+    /// token per execution, as the server does.
+    pub cancel: CancelToken,
+    /// Admission-controller provenance to surface in
+    /// [`Report::admission`]. Set by the server at dispatch; `None` for
+    /// direct library calls.
+    pub admission: Option<AdmissionReport>,
 }
 
 impl Default for ExecOptions {
@@ -356,6 +396,8 @@ impl Default for ExecOptions {
             first_eval: Duration::from_millis(1),
             steal: true,
             cache_results: true,
+            cancel: CancelToken::new(),
+            admission: None,
         }
     }
 }
@@ -460,6 +502,9 @@ pub(crate) fn run_pipelines(
 
     // ---- run pipelines in order -------------------------------------------
     for p in &plan.pipelines {
+        // Cancellation checkpoint between pipelines: a query poisoned
+        // while pipeline k was finalizing never starts pipeline k+1.
+        opts.cancel.check()?;
         // Resolve the source: base pointers + total work.
         let total_rows = match &p.source {
             Source::Table { table, cols, slot_base, .. } => {
@@ -564,6 +609,7 @@ impl PipelineRun<'_> {
         );
         let progress = Arc::new(PipelineProgress::new(threads));
         let controller = AdaptiveController::new(ControllerCtx {
+            cancel: opts.cancel.clone(),
             pid: self.pid,
             function: self.function.clone(),
             externs: self.externs.clone(),
@@ -619,6 +665,7 @@ impl PipelineRun<'_> {
                 let registry = self.registry;
                 let exec_start = self.exec_start;
                 let pid = self.pid;
+                let cancel = &opts.cancel;
                 scope.spawn(move || {
                     let wctx = wrt.wctx_ptr();
                     // The Fig. 5 indirection, loaded once and then refreshed
@@ -633,6 +680,21 @@ impl PipelineRun<'_> {
                         if failed.load(Ordering::Relaxed) {
                             return;
                         }
+                        // The cooperative cancellation checkpoint: one
+                        // atomic load per claim on the live path. A
+                        // poisoned token (client cancel, expired
+                        // deadline, dropped connection) stops this
+                        // worker before it claims another range — never
+                        // mid-morsel, so sinks only ever see whole
+                        // morsels.
+                        if let Err(e) = cancel.check() {
+                            let mut slot = error.lock();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            failed.store(true, Ordering::Relaxed);
+                            return;
+                        }
                         // Front of our own partition, or stolen loot once
                         // it runs dry; `None` means the pipeline is done.
                         let Some(m) = dispenser.claim(tid) else { return };
@@ -644,7 +706,10 @@ impl PipelineRun<'_> {
                             backend_rank = rank;
                         }
                         if let Err(e) = backend.call(&args, registry, frame) {
-                            *error.lock() = Some(e);
+                            let mut slot = error.lock();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
                             failed.store(true, Ordering::Relaxed);
                             return;
                         }

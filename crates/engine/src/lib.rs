@@ -24,7 +24,13 @@
 //! [`aqe_vm::backend`]), and the adaptive controller switches backends by
 //! atomically publishing a better one into the pipeline's
 //! [`exec::FunctionHandle`].
+//!
+//! Executions are cooperatively cancellable: [`cancel::CancelToken`] is a
+//! shared poison flag (plus optional deadline) the morsel loop checks on
+//! every range claim and the controller checks at poll cadence, surfacing
+//! as `ExecError::Cancelled` without disturbing prepared state.
 
+pub mod cancel;
 pub mod codegen;
 pub mod exec;
 pub mod plan;
@@ -33,12 +39,14 @@ pub mod sched;
 pub mod session;
 pub mod simd;
 
+pub use cancel::{CancelKind, CancelToken};
 pub use exec::{
-    CostModel, ExecMode, ExecOptions, FunctionHandle, ParamValue, PipelineBackend, Report,
-    ResultRows, RetainedSlot, TraceEvent,
+    AdmissionReport, CostModel, ExecMode, ExecOptions, FunctionHandle, ParamValue, PipelineBackend,
+    Report, ResultRows, RetainedSlot, TraceEvent,
 };
 pub use plan::{PhysicalPlan, PlanNode};
 pub use sched::{CalibrationReport, ExecLevel, PipelineSchedReport};
 pub use session::{
-    CacheStats, CalibrationStore, ConcurrencyStats, Engine, PreparedQuery, Session, WorkloadShape,
+    CacheStats, CalibrationStore, ConcurrencyStats, Engine, PreparedQuery, ServerCounters,
+    ServerStats, Session, WorkloadShape,
 };

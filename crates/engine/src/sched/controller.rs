@@ -17,6 +17,7 @@
 //! [`maybe_decide`]: AdaptiveController::maybe_decide
 //! [`finalize`]: AdaptiveController::finalize
 
+use crate::cancel::CancelToken;
 use crate::exec::{FunctionHandle, RetainedSlot, TraceEvent};
 use crate::sched::calibrate::{CostCalibrator, CostModel};
 use crate::sched::morsel::MorselDispenser;
@@ -166,6 +167,14 @@ pub struct PipelineSchedReport {
 /// Everything a pipeline's controller needs that outlives the worker loop
 /// (shared query-level channels plus this pipeline's identity).
 pub struct ControllerCtx {
+    /// The execution's cooperative cancellation token. The controller
+    /// checks it at poll cadence — a poisoned query stops *claiming*
+    /// compilations — and every tracked background `CompileJob`
+    /// re-checks it before compiling, so a cancelled query also stops
+    /// paying for compiles that have not started yet. (A compile that
+    /// already ran to completion is still published into the retained
+    /// slot: it is paid for, valid, and keeps the next execution warm.)
+    pub cancel: CancelToken,
     pub pid: usize,
     pub function: Arc<Function>,
     pub externs: Arc<Vec<ExternDecl>>,
@@ -289,6 +298,13 @@ impl AdaptiveController {
     }
 
     fn decide(&self) {
+        // The controller-cadence cancellation check: a poisoned query
+        // must not claim the compile slot or burn a background thread —
+        // the workers are about to observe the poison on their next
+        // claim anyway.
+        if self.ctx.cancel.is_cancelled() {
+            return;
+        }
         self.decisions.fetch_add(1, Ordering::Relaxed);
         let progress = &self.ctx.progress;
         let (win_tuples, win_secs) = progress.window();
@@ -364,6 +380,7 @@ impl AdaptiveController {
             self.record_switch_observation(&p, r0);
         }
         let job = CompileJob {
+            cancel: self.ctx.cancel.clone(),
             function: self.ctx.function.clone(),
             externs: self.ctx.externs.clone(),
             handle: self.ctx.handle.clone(),
@@ -433,6 +450,11 @@ impl AdaptiveController {
 
 /// The body of one tracked background-compile thread.
 struct CompileJob {
+    /// The owning execution's cancel token (see [`ControllerCtx::cancel`]):
+    /// checked once more on the compile thread before any work happens,
+    /// closing the race where the query is cancelled between the
+    /// controller's claim and the thread actually starting.
+    cancel: CancelToken,
     function: Arc<Function>,
     externs: Arc<Vec<ExternDecl>>,
     handle: Arc<FunctionHandle>,
@@ -501,6 +523,15 @@ impl CompileJob {
     }
 
     fn run(self) {
+        // The unified cancel path for compilation: a query cancelled
+        // while this thread was being spawned abandons the compile the
+        // same way a failed compile does — `cancel_compile` re-opens the
+        // handle's claim slot, nothing is published, and the query stops
+        // paying for work it will never use.
+        if self.cancel.is_cancelled() {
+            self.handle.cancel_compile();
+            return;
+        }
         let t_c0 = self.exec_start.elapsed().as_micros() as u64;
         match self.compile_to_level() {
             Ok((backend, compile_time)) => {
@@ -542,6 +573,48 @@ impl CompileJob {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cancel::CancelKind;
+
+    #[test]
+    fn cancelled_compile_job_publishes_nothing_and_reopens_the_slot() {
+        use aqe_ir::{FunctionBuilder, Type};
+        use aqe_vm::translate::{translate, TranslateOptions};
+
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Some(Type::I64));
+        let p = b.param(0);
+        b.ret(Some(p.into()));
+        let f = b.finish().unwrap();
+        let bc = translate(&f, &[], TranslateOptions::default()).unwrap();
+        let handle = Arc::new(FunctionHandle::new(Arc::new(bc)));
+        let retained = Arc::new(RetainedSlot::new());
+        assert!(handle.try_begin_compile());
+
+        let cancel = CancelToken::new();
+        cancel.cancel(CancelKind::Client);
+        let job = CompileJob {
+            cancel,
+            function: Arc::new(f),
+            externs: Arc::new(Vec::new()),
+            handle: handle.clone(),
+            retained: Some(retained.clone()),
+            kernel: None,
+            progress: Arc::new(PipelineProgress::new(1)),
+            calibrator: Arc::new(CostCalibrator::new(CostModel::default())),
+            events: Arc::new(Mutex::new(Vec::new())),
+            counter: Arc::new(AtomicUsize::new(0)),
+            exec_start: Instant::now(),
+            pid: 0,
+            instrs: 2,
+            level: ExecLevel::Optimized,
+            installed: Arc::new(AtomicBool::new(false)),
+        };
+        job.run();
+        // Nothing published anywhere — the query stopped paying — and the
+        // compile claim is re-opened (same discipline as a failed compile).
+        assert_eq!(handle.kind(), ExecMode::Bytecode);
+        assert_eq!(retained.rank(), 0, "a cancelled compile must not warm the retained slot");
+        assert!(handle.try_begin_compile(), "cancelled job must re-open the compile slot");
+    }
 
     #[test]
     fn exec_level_classifies_ranks() {

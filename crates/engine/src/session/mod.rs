@@ -36,6 +36,7 @@ mod epoch;
 pub use cache::CacheStats;
 pub use calibration::{CalibrationStore, WorkloadShape};
 
+use crate::cancel::CancelKind;
 use crate::codegen;
 use crate::exec::{
     run_pipelines, ExecMode, ExecOptions, FunctionHandle, ParamValue, PipelineBackend, QueryRun,
@@ -73,6 +74,11 @@ struct EngineShared {
     results: ResultCache,
     defaults: ExecOptions,
     stats: EngineStats,
+    /// Serving-path counters ([`Engine::server_stats`]): the engine
+    /// increments the cancellation outcomes itself; the front-door
+    /// server increments the admission-side counters through
+    /// [`Engine::server_counters`].
+    server: Arc<ServerCounters>,
 }
 
 /// Engine-lifetime concurrency counters (all atomics; written on the
@@ -112,6 +118,88 @@ impl Drop for InFlight<'_> {
         self.0.in_flight.fetch_sub(1, Ordering::Relaxed);
         self.0.executions_completed.fetch_add(1, Ordering::Relaxed);
     }
+}
+
+/// Serving-path counters shared between the engine and the front-door
+/// server (`crates/server`). The engine owns them so any embedder can
+/// observe the serving surface through [`Engine::server_stats`] — the
+/// same discipline as [`Engine::cache_stats`] — while the server crate
+/// increments the admission-side half through
+/// [`Engine::server_counters`]. All writes are relaxed atomics:
+/// observability, not synchronization.
+#[derive(Default)]
+pub struct ServerCounters {
+    accepted: AtomicU64,
+    active: AtomicU64,
+    queued: AtomicU64,
+    shed: AtomicU64,
+    cancelled: AtomicU64,
+    deadline_expired: AtomicU64,
+}
+
+impl ServerCounters {
+    /// An execute request passed admission (it will run, now or queued).
+    pub fn note_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request entered the admission wait queue.
+    pub fn note_enqueued(&self) {
+        self.queued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request left the wait queue (dispatched or shed as a victim).
+    pub fn note_dequeued(&self) {
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A request began executing on an engine worker.
+    pub fn note_active(&self) {
+        self.active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request finished executing (any outcome).
+    pub fn note_done(&self) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Admission shed a request (the incoming one, or a queued victim
+    /// displaced by higher-priority work).
+    pub fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cumulative shed count (the load signal dispatched executions
+    /// carry in `Report::admission::shed_at_dispatch`).
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// An execution ended (or was refused at its first checkpoint)
+    /// because its token was poisoned. Called by the engine itself.
+    pub(crate) fn note_cancelled(&self, kind: CancelKind) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+        if kind == CancelKind::Deadline {
+            self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time view of [`ServerCounters`] ([`Engine::server_stats`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Execute requests that passed admission.
+    pub accepted: u64,
+    /// Requests currently executing on engine workers.
+    pub active: u64,
+    /// Requests currently waiting in the admission queue.
+    pub queued: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Executions that ended cancelled (any [`CancelKind`]).
+    pub cancelled: u64,
+    /// The subset of `cancelled` whose cause was an expired deadline.
+    pub deadline_expired: u64,
 }
 
 /// A point-in-time view of the engine's concurrency counters
@@ -174,6 +262,7 @@ impl Engine {
                 results: ResultCache::new(cache_budget_bytes),
                 defaults,
                 stats: EngineStats::default(),
+                server: Arc::new(ServerCounters::default()),
             }),
         }
     }
@@ -262,6 +351,27 @@ impl Engine {
     /// evicts by size-weighted LRU immediately).
     pub fn set_result_cache_budget(&self, budget_bytes: usize) {
         self.shared.results.set_budget(budget_bytes);
+    }
+
+    /// The serving-path counters, for the front-door server to increment
+    /// its admission-side half (accepted / queued / shed / active). The
+    /// cancellation outcomes are counted by the engine itself.
+    pub fn server_counters(&self) -> Arc<ServerCounters> {
+        self.shared.server.clone()
+    }
+
+    /// A point-in-time view of the serving-path counters: accepted,
+    /// active, queued, shed, cancelled, deadline-expired.
+    pub fn server_stats(&self) -> ServerStats {
+        let s = &self.shared.server;
+        ServerStats {
+            accepted: s.accepted.load(Ordering::Relaxed),
+            active: s.active.load(Ordering::Relaxed),
+            queued: s.queued.load(Ordering::Relaxed),
+            shed: s.shed.load(Ordering::Relaxed),
+            cancelled: s.cancelled.load(Ordering::Relaxed),
+            deadline_expired: s.deadline_expired.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -436,8 +546,20 @@ impl Session {
             pipeline_labels: plan.pipelines.iter().map(|p| p.label.clone()).collect(),
             snapshot_version: version,
             concurrent_executions: stats.enter(),
+            admission: opts.admission,
             ..Default::default()
         };
+
+        // Refuse-before-work: a request whose token was poisoned while it
+        // waited in an admission queue (or whose deadline expired there)
+        // ends here — before touching prepared state, the compile latch,
+        // or the result cache.
+        if let Err(e) = opts.cancel.check() {
+            if let Some(kind) = opts.cancel.kind() {
+                self.shared.server.note_cancelled(kind);
+            }
+            return Err(e);
+        }
 
         // ---- result cache -------------------------------------------------
         // Module-override prepares are excluded in both directions: their
@@ -489,7 +611,7 @@ impl Session {
         });
 
         // ---- the morsel loops ---------------------------------------------
-        let rows = run_pipelines(
+        let run = run_pipelines(
             QueryRun {
                 plan,
                 cat: &snap,
@@ -504,7 +626,24 @@ impl Session {
                 params,
             },
             &mut report,
-        )?;
+        );
+        let rows = match run {
+            Ok(rows) => rows,
+            Err(e) => {
+                // A cancelled execution is still a *clean* one: count it,
+                // but leave the prepared state, retained backends, and
+                // result cache exactly as the run left them — the next
+                // execution of this statement runs warm.
+                if matches!(e, ExecError::Cancelled { .. }) {
+                    if let Some(kind) = opts.cancel.kind() {
+                        self.shared.server.note_cancelled(kind);
+                    }
+                    state.harvest(&handles);
+                }
+                return Err(e);
+            }
+        };
+        report.cancelled = opts.cancel.kind().map(|k| k.reason().to_string());
 
         // ---- persistence: code, calibration, results ----------------------
         // Retain the backends this run published into the slots of *this*

@@ -1,0 +1,272 @@
+//! A small blocking client for the framed protocol.
+//!
+//! Synchronous helpers ([`prepare`](Client::prepare),
+//! [`execute`](Client::execute)) cover the common request/response
+//! round trip; the split [`submit`](Client::submit) /
+//! [`recv`](Client::recv) pair supports pipelined and open-loop use —
+//! many executions in flight on one connection, answers correlated by
+//! request id — which is exactly what `bench_server` and the
+//! cancellation tests need ([`cancel`](Client::cancel) races a running
+//! query by design).
+
+use crate::protocol::{DecodeError, ErrorCode, FrameBuf, Request, Response};
+use aqe_engine::plan::FieldTy;
+use aqe_engine::ParamValue;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A client-side failure: transport, codec, or a server error frame.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(io::Error),
+    Decode(DecodeError),
+    /// The server answered with an error frame.
+    Server {
+        code: ErrorCode,
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Decode(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<DecodeError> for ClientError {
+    fn from(e: DecodeError) -> ClientError {
+        ClientError::Decode(e)
+    }
+}
+
+/// A prepared statement as the server described it.
+#[derive(Clone, Debug)]
+pub struct PreparedHandle {
+    pub stmt_id: u64,
+    pub param_count: u16,
+    pub columns: Vec<String>,
+}
+
+/// One execution's result set.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    pub tys: Vec<FieldTy>,
+    /// Dense row-major 64-bit values (`tys.len()` per row).
+    pub rows: Vec<u64>,
+    /// Admission queue wait the request experienced server-side.
+    pub queue_wait_us: u64,
+}
+
+impl QueryResult {
+    pub fn row_count(&self) -> usize {
+        if self.tys.is_empty() {
+            0
+        } else {
+            self.rows.len() / self.tys.len()
+        }
+    }
+
+    /// Value at (`row`, `col`) as its 64-bit pattern.
+    pub fn bits(&self, row: usize, col: usize) -> u64 {
+        self.rows[row * self.tys.len() + col]
+    }
+
+    /// Value at (`row`, `col`) as an `i64` (the caller asserts the type).
+    pub fn i64(&self, row: usize, col: usize) -> i64 {
+        self.bits(row, col) as i64
+    }
+
+    /// Value at (`row`, `col`) as an `f64` (the caller asserts the type).
+    pub fn f64(&self, row: usize, col: usize) -> f64 {
+        f64::from_bits(self.bits(row, col))
+    }
+}
+
+/// A blocking connection to an `aqe-server`.
+pub struct Client {
+    stream: TcpStream,
+    inbuf: FrameBuf,
+    /// Responses read while looking for a specific correlation id.
+    parked: VecDeque<Response>,
+    next_stmt: u64,
+    next_req: u64,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            inbuf: FrameBuf::new(),
+            parked: VecDeque::new(),
+            next_stmt: 1,
+            next_req: 1,
+        })
+    }
+
+    /// Bound the wait of any single `recv` (None blocks forever).
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(t)
+    }
+
+    /// Prepare `sql` under a fresh statement id.
+    pub fn prepare(&mut self, sql: &str) -> Result<PreparedHandle, ClientError> {
+        let stmt_id = self.next_stmt;
+        self.next_stmt += 1;
+        self.send(&Request::Prepare { stmt_id, sql: sql.to_string() })?;
+        match self.recv()? {
+            Response::Prepared { stmt_id, param_count, columns } => {
+                Ok(PreparedHandle { stmt_id, param_count, columns })
+            }
+            Response::Error { code, message, .. } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Decode(DecodeError::Malformed(match other {
+                Response::Rows { .. } => "rows frame while awaiting prepare",
+                _ => "unexpected frame while awaiting prepare",
+            }))),
+        }
+    }
+
+    /// Execute synchronously at normal priority with no deadline.
+    pub fn execute(
+        &mut self,
+        stmt: &PreparedHandle,
+        params: &[ParamValue],
+    ) -> Result<QueryResult, ClientError> {
+        self.execute_with(stmt, params, 1, 0)
+    }
+
+    /// Execute synchronously with an explicit priority tier and deadline
+    /// (`deadline_ms == 0` leaves the server default in charge).
+    pub fn execute_with(
+        &mut self,
+        stmt: &PreparedHandle,
+        params: &[ParamValue],
+        priority: u8,
+        deadline_ms: u32,
+    ) -> Result<QueryResult, ClientError> {
+        let request_id = self.submit(stmt, params, priority, deadline_ms)?;
+        self.wait(request_id)
+    }
+
+    /// Send an execute without waiting; returns the correlation id.
+    pub fn submit(
+        &mut self,
+        stmt: &PreparedHandle,
+        params: &[ParamValue],
+        priority: u8,
+        deadline_ms: u32,
+    ) -> Result<u64, ClientError> {
+        let request_id = self.next_req;
+        self.next_req += 1;
+        self.send(&Request::Execute {
+            stmt_id: stmt.stmt_id,
+            request_id,
+            priority,
+            deadline_ms,
+            params: params.to_vec(),
+        })?;
+        Ok(request_id)
+    }
+
+    /// Ask the server to cancel an in-flight execution (idempotent).
+    pub fn cancel(&mut self, request_id: u64) -> Result<(), ClientError> {
+        self.send(&Request::Cancel { request_id })
+    }
+
+    /// Drop a prepared statement server-side.
+    pub fn close_stmt(&mut self, stmt: &PreparedHandle) -> Result<(), ClientError> {
+        self.send(&Request::CloseStmt { stmt_id: stmt.stmt_id })
+    }
+
+    /// Round-trip a ping (also flushes any parked pong).
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Ping)?;
+        loop {
+            match self.recv()? {
+                Response::Pong => return Ok(()),
+                other => self.parked.push_back(other),
+            }
+        }
+    }
+
+    /// Block until the reply for `request_id` arrives; replies for other
+    /// requests read along the way are parked, not lost.
+    pub fn wait(&mut self, request_id: u64) -> Result<QueryResult, ClientError> {
+        // A parked reply may already hold it.
+        if let Some(pos) = self.parked.iter().position(|r| response_req_id(r) == Some(request_id)) {
+            let resp = self.parked.remove(pos).unwrap();
+            return result_of(resp);
+        }
+        loop {
+            let resp = self.recv()?;
+            if response_req_id(&resp) == Some(request_id) {
+                return result_of(resp);
+            }
+            self.parked.push_back(resp);
+        }
+    }
+
+    /// The next response frame: parked ones first, then the wire.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        if let Some(r) = self.parked.pop_front() {
+            return Ok(r);
+        }
+        loop {
+            if let Some(body) = self.inbuf.next_body()? {
+                return Ok(Response::decode(body)?);
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )))
+                }
+                Ok(n) => self.inbuf.extend(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        self.stream.write_all(&req.encode())?;
+        Ok(())
+    }
+}
+
+fn response_req_id(r: &Response) -> Option<u64> {
+    match r {
+        Response::Rows { request_id, .. } => Some(*request_id),
+        Response::Error { request_id, .. } => Some(*request_id),
+        _ => None,
+    }
+}
+
+fn result_of(resp: Response) -> Result<QueryResult, ClientError> {
+    match resp {
+        Response::Rows { queue_wait_us, tys, rows, .. } => {
+            Ok(QueryResult { tys, rows, queue_wait_us })
+        }
+        Response::Error { code, message, .. } => Err(ClientError::Server { code, message }),
+        _ => Err(ClientError::Decode(DecodeError::Malformed("non-result frame for request id"))),
+    }
+}

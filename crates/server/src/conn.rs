@@ -1,0 +1,130 @@
+//! Per-connection state: nonblocking read/write state machines.
+//!
+//! A connection owns its socket, an inbound [`FrameBuf`] reassembling
+//! the byte stream into frames, an outbound byte queue with a flush
+//! cursor, and the connection-scoped prepared-statement table. The event
+//! loop drives it: `EPOLLIN` → [`read_ready`](Conn::read_ready) →
+//! [`next_request`](Conn::next_request) until drained; responses are
+//! appended with [`queue_response`](Conn::queue_response) and flushed by
+//! [`flush`](Conn::flush), with `EPOLLOUT` interest armed only while
+//! bytes remain (level-triggered epoll would otherwise spin).
+//!
+//! A protocol violation flips the connection into *draining*: the error
+//! frame is queued, reads stop, and the socket closes once the outbound
+//! queue flushes — the peer always learns *why* it was cut off.
+
+use crate::protocol::{DecodeError, FrameBuf, Request, Response};
+use aqe_sql::PreparedStatement;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// What a read-readiness pass observed.
+#[derive(PartialEq, Eq, Debug)]
+pub enum ReadOutcome {
+    /// Stream still open; any buffered frames are ready to parse.
+    Open,
+    /// Orderly EOF or hard error: the peer is gone.
+    Disconnected,
+}
+
+/// What a flush pass left behind.
+#[derive(PartialEq, Eq, Debug)]
+pub enum FlushOutcome {
+    /// Outbound queue fully written.
+    Drained,
+    /// The socket backpressured; bytes remain (keep `EPOLLOUT` armed).
+    Pending,
+    /// Write error: the peer is gone.
+    Disconnected,
+}
+
+/// One client connection multiplexed by the event loop.
+pub struct Conn {
+    pub stream: TcpStream,
+    /// The event-loop cookie (epoll `data`), also the id completions
+    /// route back by.
+    pub id: u64,
+    inbuf: FrameBuf,
+    outbuf: Vec<u8>,
+    /// Flush cursor into `outbuf` (compacted when fully drained).
+    out_pos: usize,
+    /// Set after a protocol violation: stop reading, flush, then close.
+    pub draining: bool,
+    /// Executions dispatched by this connection and not yet answered —
+    /// the event loop cancels them all on disconnect.
+    pub in_flight: u32,
+    /// Connection-scoped prepared statements, by client-chosen id.
+    /// `Arc` because executor workers hold the statement across the
+    /// morsel loop while the client may concurrently close it.
+    pub stmts: HashMap<u64, Arc<PreparedStatement>>,
+}
+
+impl Conn {
+    pub fn new(stream: TcpStream, id: u64) -> Conn {
+        Conn {
+            stream,
+            id,
+            inbuf: FrameBuf::new(),
+            outbuf: Vec::new(),
+            out_pos: 0,
+            draining: false,
+            in_flight: 0,
+            stmts: HashMap::new(),
+        }
+    }
+
+    /// Pull everything the socket has (until `WouldBlock`) into the
+    /// frame buffer.
+    pub fn read_ready(&mut self) -> ReadOutcome {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return ReadOutcome::Disconnected,
+                Ok(n) => self.inbuf.extend(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return ReadOutcome::Open,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return ReadOutcome::Disconnected,
+            }
+        }
+    }
+
+    /// The next buffered request, if any. A draining connection parses
+    /// nothing — its remaining input is garbage by definition.
+    pub fn next_request(&mut self) -> Result<Option<Request>, DecodeError> {
+        if self.draining {
+            return Ok(None);
+        }
+        match self.inbuf.next_body()? {
+            None => Ok(None),
+            Some(body) => Request::decode(body).map(Some),
+        }
+    }
+
+    /// Queue an encoded response for flushing.
+    pub fn queue_response(&mut self, resp: &Response) {
+        self.outbuf.extend_from_slice(&resp.encode());
+    }
+
+    /// Write as much of the outbound queue as the socket accepts.
+    pub fn flush(&mut self) -> FlushOutcome {
+        while self.out_pos < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.out_pos..]) {
+                Ok(0) => return FlushOutcome::Disconnected,
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return FlushOutcome::Pending,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return FlushOutcome::Disconnected,
+            }
+        }
+        self.outbuf.clear();
+        self.out_pos = 0;
+        FlushOutcome::Drained
+    }
+
+    /// Whether unflushed response bytes remain.
+    pub fn has_pending_output(&self) -> bool {
+        self.out_pos < self.outbuf.len()
+    }
+}

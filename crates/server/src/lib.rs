@@ -1,0 +1,38 @@
+//! # aqe-server — the engine's front door
+//!
+//! A dependency-free TCP server multiplexing client connections onto the
+//! adaptive query engine: one epoll event loop (raw syscalls, no `libc`
+//! crate — [`sys`]), a small length-prefixed binary protocol
+//! ([`protocol`]), per-connection read/write state machines ([`conn`]),
+//! bounded priority-tiered admission control with load shedding
+//! ([`admission`]), per-query deadlines, and cooperative cancellation
+//! wired through the engine's `CancelToken` ([`server`]). A blocking
+//! [`client`] speaks the same protocol for tests, benchmarks, and
+//! examples.
+//!
+//! ```no_run
+//! use aqe_server::{Client, Server, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let engine = Arc::new(aqe_engine::Engine::new(aqe_storage::Catalog::new()));
+//! let (handle, join) = Server::spawn(engine, ServerConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let stmt = client.prepare("select count(*) as n from t").unwrap();
+//! let result = client.execute(&stmt, &[]).unwrap();
+//! println!("{} row(s)", result.row_count());
+//!
+//! handle.shutdown();
+//! join.join().unwrap().unwrap();
+//! ```
+
+pub mod admission;
+pub mod client;
+pub mod conn;
+pub mod protocol;
+pub mod server;
+pub mod sys;
+
+pub use client::{Client, ClientError, PreparedHandle, QueryResult};
+pub use protocol::{DecodeError, ErrorCode, Request, Response, MAX_FRAME};
+pub use server::{Server, ServerConfig, ServerHandle};

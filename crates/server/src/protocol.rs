@@ -1,0 +1,532 @@
+//! The wire protocol: small, length-prefixed, binary frames.
+//!
+//! Every frame is a 4-byte little-endian body length followed by the
+//! body; the body's first byte is the tag, the rest is the tag-specific
+//! payload. Body length is capped at [`MAX_FRAME`] — a peer announcing
+//! more is a protocol error, not an allocation. Decoding is a strict
+//! bounds-checked cursor walk: truncated payloads, unknown tags,
+//! non-UTF-8 strings, out-of-range counts, and trailing bytes are all
+//! [`DecodeError`]s, never panics and never over-reads — the codec is
+//! the fuzz surface the property tests in `tests/protocol.rs` hammer.
+//!
+//! Client → server: [`Request`]. Server → client: [`Response`]. A
+//! `Response::Error` carries an [`ErrorCode`] so clients can tell a shed
+//! (back off and retry) from a deadline (the query was too slow) from a
+//! genuine execution error.
+
+use aqe_engine::plan::FieldTy;
+use aqe_engine::ParamValue;
+
+/// Hard cap on a frame's body length (tag + payload), in bytes.
+///
+/// Large enough for any result set the evaluation workloads produce,
+/// small enough that a hostile length prefix cannot balloon memory.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Bytes of frame header (the length prefix).
+pub const HEADER: usize = 4;
+
+// Request tags.
+const TAG_PREPARE: u8 = 1;
+const TAG_EXECUTE: u8 = 2;
+const TAG_CANCEL: u8 = 3;
+const TAG_CLOSE_STMT: u8 = 4;
+const TAG_PING: u8 = 5;
+
+// Response tags (high bit set, so a direction mix-up fails loudly).
+const TAG_PREPARED: u8 = 129;
+const TAG_ROWS: u8 = 130;
+const TAG_ERROR: u8 = 131;
+const TAG_PONG: u8 = 132;
+
+/// Why a request failed, carried by [`Response::Error`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorCode {
+    /// Admission control refused the request under load. Not a
+    /// connection error: the stream stays usable, back off and retry.
+    Shed = 1,
+    /// The request's deadline expired (queued or mid-execution).
+    DeadlineExceeded = 2,
+    /// The execution was cancelled (client cancel frame or disconnect).
+    Cancelled = 3,
+    /// The engine failed the execution (bind error, trap, ...).
+    Exec = 4,
+    /// The peer sent a malformed frame; the connection closes after
+    /// this frame flushes.
+    Protocol = 5,
+    /// `execute` named a statement id this connection never prepared
+    /// (or already closed).
+    UnknownStatement = 6,
+    /// SQL planning failed in `prepare`.
+    Plan = 7,
+    /// The result set does not fit one frame ([`MAX_FRAME`]).
+    ResultTooLarge = 8,
+    /// The server is shutting down; queued work is refused.
+    ShuttingDown = 9,
+}
+
+impl ErrorCode {
+    pub fn from_u8(v: u8) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::Shed,
+            2 => ErrorCode::DeadlineExceeded,
+            3 => ErrorCode::Cancelled,
+            4 => ErrorCode::Exec,
+            5 => ErrorCode::Protocol,
+            6 => ErrorCode::UnknownStatement,
+            7 => ErrorCode::Plan,
+            8 => ErrorCode::ResultTooLarge,
+            9 => ErrorCode::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+/// A client → server frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Plan `sql` and bind it to client-chosen `stmt_id` on this
+    /// connection (re-preparing an id replaces it).
+    Prepare { stmt_id: u64, sql: String },
+    /// Execute a prepared statement with bound parameter values.
+    /// `request_id` is the client-chosen correlation id echoed by the
+    /// `Rows`/`Error` reply; `deadline_ms == 0` means no deadline;
+    /// `priority` is an admission tier (0 = low, 1 = normal, 2 = high).
+    Execute {
+        stmt_id: u64,
+        request_id: u64,
+        priority: u8,
+        deadline_ms: u32,
+        params: Vec<ParamValue>,
+    },
+    /// Cancel the in-flight execution with this `request_id` (idempotent;
+    /// unknown ids — e.g. already-completed requests — are ignored).
+    Cancel { request_id: u64 },
+    /// Drop a prepared statement binding.
+    CloseStmt { stmt_id: u64 },
+    /// Liveness / pipeline-flush probe; the server replies `Pong`.
+    Ping,
+}
+
+/// A server → client frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// `Prepare` succeeded: the statement's bind-parameter count and
+    /// output column names.
+    Prepared { stmt_id: u64, param_count: u16, columns: Vec<String> },
+    /// `Execute` succeeded: the full result set, dense row-major 64-bit
+    /// values typed by `tys`, plus the admission queue wait the request
+    /// experienced.
+    Rows { request_id: u64, queue_wait_us: u64, tys: Vec<FieldTy>, rows: Vec<u64> },
+    /// A request failed. `request_id == 0` marks connection-level errors
+    /// (e.g. protocol violations) not tied to one request.
+    Error { request_id: u64, code: ErrorCode, message: String },
+    /// Reply to `Ping`.
+    Pong,
+}
+
+/// A malformed or hostile frame. Every variant is a protocol violation;
+/// the server answers with one `ErrorCode::Protocol` frame and closes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Announced body length exceeds [`MAX_FRAME`].
+    Oversized(usize),
+    /// Zero-length body (no tag byte).
+    Empty,
+    /// Unknown frame tag.
+    BadTag(u8),
+    /// The payload ended before the field being read.
+    Truncated,
+    /// A count or id field is out of its documented range.
+    Malformed(&'static str),
+    /// A string field is not UTF-8.
+    BadUtf8,
+    /// Bytes left over after the payload parsed completely.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Oversized(n) => {
+                write!(f, "frame body of {n} bytes exceeds the {MAX_FRAME}-byte cap")
+            }
+            DecodeError::Empty => write!(f, "empty frame body"),
+            DecodeError::BadTag(t) => write!(f, "unknown frame tag {t}"),
+            DecodeError::Truncated => write!(f, "frame body truncated"),
+            DecodeError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            DecodeError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after frame payload"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+struct FrameWriter {
+    buf: Vec<u8>,
+}
+
+impl FrameWriter {
+    /// Start a frame: reserve the length prefix, write the tag.
+    fn new(tag: u8) -> FrameWriter {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&[0u8; HEADER]);
+        buf.push(tag);
+        FrameWriter { buf }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Backpatch the length prefix and return the complete frame.
+    fn finish(mut self) -> Vec<u8> {
+        let body = self.buf.len() - HEADER;
+        debug_assert!(body <= MAX_FRAME, "encoder produced an oversized frame");
+        self.buf[..HEADER].copy_from_slice(&(body as u32).to_le_bytes());
+        self.buf
+    }
+}
+
+impl Request {
+    /// Encode as a complete frame (header included).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Prepare { stmt_id, sql } => {
+                let mut w = FrameWriter::new(TAG_PREPARE);
+                w.u64(*stmt_id);
+                w.str(sql);
+                w.finish()
+            }
+            Request::Execute { stmt_id, request_id, priority, deadline_ms, params } => {
+                let mut w = FrameWriter::new(TAG_EXECUTE);
+                w.u64(*stmt_id);
+                w.u64(*request_id);
+                w.u8(*priority);
+                w.u32(*deadline_ms);
+                w.u16(params.len() as u16);
+                for p in params {
+                    match p {
+                        ParamValue::I64(_) => w.u8(0),
+                        ParamValue::F64(_) => w.u8(1),
+                    }
+                    w.u64(p.bits());
+                }
+                w.finish()
+            }
+            Request::Cancel { request_id } => {
+                let mut w = FrameWriter::new(TAG_CANCEL);
+                w.u64(*request_id);
+                w.finish()
+            }
+            Request::CloseStmt { stmt_id } => {
+                let mut w = FrameWriter::new(TAG_CLOSE_STMT);
+                w.u64(*stmt_id);
+                w.finish()
+            }
+            Request::Ping => FrameWriter::new(TAG_PING).finish(),
+        }
+    }
+}
+
+impl Response {
+    /// Encode as a complete frame (header included).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Prepared { stmt_id, param_count, columns } => {
+                let mut w = FrameWriter::new(TAG_PREPARED);
+                w.u64(*stmt_id);
+                w.u16(*param_count);
+                w.u16(columns.len() as u16);
+                for c in columns {
+                    w.str(c);
+                }
+                w.finish()
+            }
+            Response::Rows { request_id, queue_wait_us, tys, rows } => {
+                let mut w = FrameWriter::new(TAG_ROWS);
+                w.u64(*request_id);
+                w.u64(*queue_wait_us);
+                w.u16(tys.len() as u16);
+                for ty in tys {
+                    w.u8(match ty {
+                        FieldTy::I64 => 0,
+                        FieldTy::F64 => 1,
+                    });
+                }
+                w.u32((rows.len() / tys.len().max(1)) as u32);
+                for v in rows {
+                    w.u64(*v);
+                }
+                w.finish()
+            }
+            Response::Error { request_id, code, message } => {
+                let mut w = FrameWriter::new(TAG_ERROR);
+                w.u64(*request_id);
+                w.u8(*code as u8);
+                w.str(message);
+                w.finish()
+            }
+            Response::Pong => FrameWriter::new(TAG_PONG).finish(),
+        }
+    }
+
+    /// Whether an encoded `Rows` response for `n_vals` 64-bit values
+    /// would fit [`MAX_FRAME`]. Checked *before* encoding so an
+    /// over-large result becomes `ErrorCode::ResultTooLarge`, not an
+    /// oversized frame the client would reject.
+    pub fn rows_fit(n_cols: usize, n_vals: usize) -> bool {
+        // tag + request_id + queue_wait + count fields + tys + values.
+        1 + 8 + 8 + 2 + n_cols + 4 + n_vals * 8 <= MAX_FRAME
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked little-endian cursor over one frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes)
+        }
+    }
+}
+
+impl Request {
+    /// Decode one frame body (tag + payload, header already stripped).
+    pub fn decode(body: &[u8]) -> Result<Request, DecodeError> {
+        if body.len() > MAX_FRAME {
+            return Err(DecodeError::Oversized(body.len()));
+        }
+        let mut c = Cursor::new(body);
+        let tag = c.u8().map_err(|_| DecodeError::Empty)?;
+        let req = match tag {
+            TAG_PREPARE => Request::Prepare { stmt_id: c.u64()?, sql: c.str()? },
+            TAG_EXECUTE => {
+                let stmt_id = c.u64()?;
+                let request_id = c.u64()?;
+                let priority = c.u8()?;
+                if priority > 2 {
+                    return Err(DecodeError::Malformed("priority above tier 2"));
+                }
+                let deadline_ms = c.u32()?;
+                let n = c.u16()? as usize;
+                // 9 bytes per parameter: reject counts the remaining
+                // payload cannot possibly hold before allocating.
+                if n * 9 > body.len() {
+                    return Err(DecodeError::Malformed("parameter count exceeds payload"));
+                }
+                let mut params = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let ty = c.u8()?;
+                    let bits = c.u64()?;
+                    params.push(match ty {
+                        0 => ParamValue::I64(bits as i64),
+                        1 => ParamValue::F64(f64::from_bits(bits)),
+                        _ => return Err(DecodeError::Malformed("unknown parameter type")),
+                    });
+                }
+                Request::Execute { stmt_id, request_id, priority, deadline_ms, params }
+            }
+            TAG_CANCEL => Request::Cancel { request_id: c.u64()? },
+            TAG_CLOSE_STMT => Request::CloseStmt { stmt_id: c.u64()? },
+            TAG_PING => Request::Ping,
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Decode one frame body (tag + payload, header already stripped).
+    pub fn decode(body: &[u8]) -> Result<Response, DecodeError> {
+        if body.len() > MAX_FRAME {
+            return Err(DecodeError::Oversized(body.len()));
+        }
+        let mut c = Cursor::new(body);
+        let tag = c.u8().map_err(|_| DecodeError::Empty)?;
+        let resp = match tag {
+            TAG_PREPARED => {
+                let stmt_id = c.u64()?;
+                let param_count = c.u16()?;
+                let n = c.u16()? as usize;
+                if n * 4 > body.len() {
+                    return Err(DecodeError::Malformed("column count exceeds payload"));
+                }
+                let mut columns = Vec::with_capacity(n);
+                for _ in 0..n {
+                    columns.push(c.str()?);
+                }
+                Response::Prepared { stmt_id, param_count, columns }
+            }
+            TAG_ROWS => {
+                let request_id = c.u64()?;
+                let queue_wait_us = c.u64()?;
+                let n_cols = c.u16()? as usize;
+                if n_cols > body.len() {
+                    return Err(DecodeError::Malformed("column count exceeds payload"));
+                }
+                let mut tys = Vec::with_capacity(n_cols);
+                for _ in 0..n_cols {
+                    tys.push(match c.u8()? {
+                        0 => FieldTy::I64,
+                        1 => FieldTy::F64,
+                        _ => return Err(DecodeError::Malformed("unknown field type")),
+                    });
+                }
+                let n_rows = c.u32()? as usize;
+                let n_vals = n_rows
+                    .checked_mul(n_cols)
+                    .ok_or(DecodeError::Malformed("row count overflow"))?;
+                if n_vals * 8 > body.len() {
+                    return Err(DecodeError::Malformed("row count exceeds payload"));
+                }
+                let mut rows = Vec::with_capacity(n_vals);
+                for _ in 0..n_vals {
+                    rows.push(c.u64()?);
+                }
+                Response::Rows { request_id, queue_wait_us, tys, rows }
+            }
+            TAG_ERROR => {
+                let request_id = c.u64()?;
+                let code = ErrorCode::from_u8(c.u8()?)
+                    .ok_or(DecodeError::Malformed("unknown error code"))?;
+                let message = c.str()?;
+                Response::Error { request_id, code, message }
+            }
+            TAG_PONG => Response::Pong,
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming reassembly
+// ---------------------------------------------------------------------------
+
+/// Reassembles a byte stream into frame bodies: feed reads in with
+/// [`extend`](FrameBuf::extend), pull complete bodies out with
+/// [`next_body`](FrameBuf::next_body). Partial frames wait for more
+/// bytes; a hostile length prefix fails fast without buffering.
+#[derive(Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameBuf {
+    pub fn new() -> FrameBuf {
+        FrameBuf::default()
+    }
+
+    /// Append freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: the common case is a fully drained
+        // buffer, where this is a cheap truncate-to-empty.
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// The next complete frame body, if one is buffered.
+    ///
+    /// `Ok(None)` means "need more bytes". `Err` means the stream is
+    /// unrecoverable (oversized announcement) — the connection should
+    /// send `ErrorCode::Protocol` and close.
+    pub fn next_body(&mut self) -> Result<Option<&[u8]>, DecodeError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < HEADER {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..HEADER].try_into().unwrap()) as usize;
+        if len > MAX_FRAME {
+            return Err(DecodeError::Oversized(len));
+        }
+        if len == 0 {
+            return Err(DecodeError::Empty);
+        }
+        if avail.len() < HEADER + len {
+            return Ok(None);
+        }
+        let body_start = self.start + HEADER;
+        self.start = body_start + len;
+        Ok(Some(&self.buf[body_start..body_start + len]))
+    }
+
+    /// Bytes buffered but not yet consumed (diagnostics).
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+}

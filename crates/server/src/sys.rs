@@ -1,0 +1,253 @@
+//! Raw `epoll`/`eventfd` bindings via direct `syscall` instructions.
+//!
+//! The container images this repository targets have no `libc` crate, so
+//! the event loop talks to the kernel the same way the native JIT's
+//! executable-memory arena does (`aqe_jit::native::execmem`): a six-slot
+//! inline-asm `syscall` wrapper and hand-written constants. Everything is
+//! `cfg`-gated to x86-64 Linux; on other targets the module exposes the
+//! same signatures but every call returns `ErrorKind::Unsupported`, and
+//! [`supported()`] reports `false` so the server can refuse to bind with
+//! a clean error instead of a link failure.
+
+/// One readiness record, matching the kernel's `struct epoll_event`.
+///
+/// On x86-64 the kernel declares the struct `__attribute__((packed))` —
+/// `data` sits at offset 4, not 8 — so the Rust mirror must be packed
+/// too or every second event would be garbage.
+#[repr(C, packed)]
+#[derive(Clone, Copy, Default)]
+pub struct EpollEvent {
+    pub events: u32,
+    /// Caller-chosen cookie (this crate stores connection ids).
+    pub data: u64,
+}
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+pub const EPOLL_CTL_ADD: i32 = 1;
+pub const EPOLL_CTL_DEL: i32 = 2;
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod imp {
+    use super::EpollEvent;
+    use std::arch::asm;
+    use std::io;
+
+    const SYS_READ: i64 = 0;
+    const SYS_WRITE: i64 = 1;
+    const SYS_CLOSE: i64 = 3;
+    const SYS_EPOLL_WAIT: i64 = 232;
+    const SYS_EPOLL_CTL: i64 = 233;
+    const SYS_EVENTFD2: i64 = 290;
+    const SYS_EPOLL_CREATE1: i64 = 291;
+
+    const EPOLL_CLOEXEC: i64 = 0x80000;
+    const EFD_CLOEXEC: i64 = 0x80000;
+    const EFD_NONBLOCK: i64 = 0x800;
+
+    const EINTR: i64 = -4;
+
+    /// `syscall` with up to six arguments, returning the raw kernel
+    /// result (negative errno on failure).
+    ///
+    /// # Safety
+    /// The caller is responsible for passing arguments that are valid
+    /// for the requested syscall number.
+    unsafe fn syscall6(nr: i64, a0: i64, a1: i64, a2: i64, a3: i64, a4: i64, a5: i64) -> i64 {
+        let ret: i64;
+        unsafe {
+            asm!(
+                "syscall",
+                inlateout("rax") nr => ret,
+                in("rdi") a0,
+                in("rsi") a1,
+                in("rdx") a2,
+                in("r10") a3,
+                in("r8") a4,
+                in("r9") a5,
+                // The syscall instruction clobbers rcx (return RIP) and
+                // r11 (saved RFLAGS).
+                out("rcx") _,
+                out("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    fn check(ret: i64) -> io::Result<i64> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret)
+        }
+    }
+
+    pub fn supported() -> bool {
+        true
+    }
+
+    /// A fresh epoll instance (close-on-exec).
+    pub fn epoll_create() -> io::Result<i32> {
+        check(unsafe { syscall6(SYS_EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) })
+            .map(|v| v as i32)
+    }
+
+    /// Add/modify/remove interest in `fd` on `epfd`.
+    pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, events: u32, data: u64) -> io::Result<()> {
+        let ev = EpollEvent { events, data };
+        check(unsafe {
+            syscall6(
+                SYS_EPOLL_CTL,
+                epfd as i64,
+                op as i64,
+                fd as i64,
+                &ev as *const EpollEvent as i64,
+                0,
+                0,
+            )
+        })
+        .map(|_| ())
+    }
+
+    /// Wait for readiness; fills `events` and returns the ready count.
+    /// `timeout_ms < 0` blocks indefinitely. `EINTR` retries internally.
+    pub fn epoll_wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            let ret = unsafe {
+                syscall6(
+                    SYS_EPOLL_WAIT,
+                    epfd as i64,
+                    events.as_mut_ptr() as i64,
+                    events.len() as i64,
+                    timeout_ms as i64,
+                    0,
+                    0,
+                )
+            };
+            if ret == EINTR {
+                continue;
+            }
+            return check(ret).map(|v| v as usize);
+        }
+    }
+
+    /// A nonblocking eventfd: the cross-thread wakeup doorbell.
+    pub fn eventfd() -> io::Result<i32> {
+        check(unsafe { syscall6(SYS_EVENTFD2, 0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0, 0, 0) })
+            .map(|v| v as i32)
+    }
+
+    /// Ring the doorbell (add 1 to the eventfd counter). Saturation
+    /// (`EAGAIN` at `u64::MAX - 1`) still leaves the fd readable, so a
+    /// lost increment cannot lose a wakeup — ignore it.
+    pub fn eventfd_signal(fd: i32) -> io::Result<()> {
+        let one: u64 = 1;
+        let ret = unsafe { syscall6(SYS_WRITE, fd as i64, &one as *const u64 as i64, 8, 0, 0, 0) };
+        if ret == 8 || ret == -11 {
+            // -EAGAIN: counter saturated; the pending readability is the
+            // wakeup, which is all we wanted.
+            return Ok(());
+        }
+        check(ret).map(|_| ())
+    }
+
+    /// Drain the doorbell so level-triggered epoll stops reporting it.
+    pub fn eventfd_drain(fd: i32) {
+        let mut buf: u64 = 0;
+        unsafe {
+            syscall6(SYS_READ, fd as i64, &mut buf as *mut u64 as i64, 8, 0, 0, 0);
+        }
+    }
+
+    pub fn close(fd: i32) {
+        unsafe {
+            syscall6(SYS_CLOSE, fd as i64, 0, 0, 0, 0, 0);
+        }
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod imp {
+    use super::EpollEvent;
+    use std::io;
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "aqe-server's event loop requires x86-64 Linux (raw epoll syscalls)",
+        ))
+    }
+
+    pub fn supported() -> bool {
+        false
+    }
+
+    pub fn epoll_create() -> io::Result<i32> {
+        unsupported()
+    }
+
+    pub fn epoll_ctl(_epfd: i32, _op: i32, _fd: i32, _events: u32, _data: u64) -> io::Result<()> {
+        unsupported()
+    }
+
+    pub fn epoll_wait(
+        _epfd: i32,
+        _events: &mut [EpollEvent],
+        _timeout_ms: i32,
+    ) -> io::Result<usize> {
+        unsupported()
+    }
+
+    pub fn eventfd() -> io::Result<i32> {
+        unsupported()
+    }
+
+    pub fn eventfd_signal(_fd: i32) -> io::Result<()> {
+        unsupported()
+    }
+
+    pub fn eventfd_drain(_fd: i32) {}
+
+    pub fn close(_fd: i32) {}
+}
+
+pub use imp::{
+    close, epoll_create, epoll_ctl, epoll_wait, eventfd, eventfd_drain, eventfd_signal, supported,
+};
+
+#[cfg(all(test, target_os = "linux", target_arch = "x86_64"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eventfd_round_trip_through_epoll() {
+        let ep = epoll_create().unwrap();
+        let ev = eventfd().unwrap();
+        epoll_ctl(ep, EPOLL_CTL_ADD, ev, EPOLLIN, 42).unwrap();
+
+        // Nothing pending: a zero-timeout wait reports no events.
+        let mut buf = [EpollEvent::default(); 8];
+        assert_eq!(epoll_wait(ep, &mut buf, 0).unwrap(), 0);
+
+        // Ring the doorbell: the fd turns readable with our cookie.
+        eventfd_signal(ev).unwrap();
+        let n = epoll_wait(ep, &mut buf, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!({ buf[0].data }, 42);
+        assert_ne!({ buf[0].events } & EPOLLIN, 0);
+
+        // Drained: level-triggered epoll goes quiet again.
+        eventfd_drain(ev);
+        assert_eq!(epoll_wait(ep, &mut buf, 0).unwrap(), 0);
+
+        epoll_ctl(ep, EPOLL_CTL_DEL, ev, 0, 0).unwrap();
+        close(ev);
+        close(ep);
+    }
+}

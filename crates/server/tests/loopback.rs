@@ -1,0 +1,322 @@
+//! End-to-end integration over real loopback sockets: a spawned server,
+//! blocking clients, and the full protocol round trip — prepare →
+//! execute-bound → rows — plus the load-path behaviors that only show up
+//! with real connections: mid-query cancel, deadline expiry, admission
+//! shedding with priority displacement, disconnect poisoning, and
+//! protocol-violation teardown.
+
+use aqe_engine::exec::{ExecMode, ExecOptions};
+use aqe_engine::session::Engine;
+use aqe_engine::ParamValue;
+use aqe_server::{Client, ClientError, ErrorCode, Server, ServerConfig};
+use aqe_storage::{tpch, Catalog, Column, DataType, Table};
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Debug interpretation is an order of magnitude slower; keep tier-1
+/// (`cargo test -q`) quick while release still gets seconds of
+/// cancellable work.
+#[cfg(debug_assertions)]
+const ROWS: i64 = 400_000;
+#[cfg(not(debug_assertions))]
+const ROWS: i64 = 4_000_000;
+
+fn big_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add(Table::new(
+        "big",
+        vec![
+            ("x", DataType::Int64, Column::I64((0..ROWS).map(|v| v % 1000).collect())),
+            ("y", DataType::Int64, Column::I64((0..ROWS).map(|v| (v * 7) % 997).collect())),
+        ],
+    ));
+    cat
+}
+
+/// A single-row aggregation heavy enough (24 checked expressions per
+/// tuple) that a bytecode-pinned server runs it for whole seconds.
+fn heavy_sql() -> String {
+    let aggs: Vec<String> = (0..24).map(|k| format!("sum(x * {} + y) as s{k}", k + 1)).collect();
+    format!("select {} from big", aggs.join(", "))
+}
+
+/// A server pinned to the interpreter with one worker: queries are slow
+/// and strictly serialized, which is exactly what cancellation and
+/// admission tests need to be deterministic.
+fn slow_server(
+    queue_capacity: usize,
+) -> (Arc<Engine>, aqe_server::ServerHandle, std::thread::JoinHandle<std::io::Result<()>>) {
+    let engine = Arc::new(Engine::new(big_catalog()));
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity,
+        exec: ExecOptions {
+            mode: ExecMode::Bytecode,
+            threads: 1,
+            cache_results: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let (handle, join) = Server::spawn(engine.clone(), config).expect("spawn server");
+    (engine, handle, join)
+}
+
+fn shutdown(handle: aqe_server::ServerHandle, join: std::thread::JoinHandle<std::io::Result<()>>) {
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn prepare_execute_rows_round_trip() {
+    let engine = Arc::new(Engine::new(tpch::generate(0.002)));
+    let (handle, join) = Server::spawn(engine.clone(), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let stmt = client
+        .prepare("SELECT count(*) AS n, sum(l_quantity) AS q FROM lineitem WHERE l_quantity < 30")
+        .unwrap();
+    assert_eq!(stmt.columns, vec!["n", "q"]);
+    assert_eq!(stmt.param_count, 0);
+
+    let result = client.execute(&stmt, &[]).unwrap();
+    assert_eq!(result.row_count(), 1);
+
+    // The wire result matches a direct in-process execution.
+    let session = engine.session();
+    let direct = aqe_sql::prepare(
+        &session,
+        "SELECT count(*) AS n, sum(l_quantity) AS q FROM lineitem WHERE l_quantity < 30",
+    )
+    .unwrap();
+    let (reference, _) = session.execute(&direct.query).unwrap();
+    assert_eq!(result.rows, reference.rows);
+    assert_eq!(result.tys, reference.tys);
+
+    // Repeat executions stay correct (and now run warm server-side).
+    let again = client.execute(&stmt, &[]).unwrap();
+    assert_eq!(again.rows, reference.rows);
+
+    // Closing the statement makes further executes UnknownStatement —
+    // an error frame, not a dropped connection.
+    client.close_stmt(&stmt).unwrap();
+    client.ping().unwrap();
+    match client.execute(&stmt, &[]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::UnknownStatement),
+        other => panic!("expected UnknownStatement, got {other:?}"),
+    }
+    shutdown(handle, join);
+}
+
+#[test]
+fn bound_parameters_travel_the_wire() {
+    let engine = Arc::new(Engine::new(tpch::generate(0.002)));
+    let (handle, join) = Server::spawn(engine.clone(), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let stmt = client.prepare("SELECT count(*) AS n FROM lineitem WHERE l_quantity < ?").unwrap();
+    assert_eq!(stmt.param_count, 1);
+
+    // Decimal parameters bind in their scaled representation (cents).
+    let narrow = client.execute(&stmt, &[ParamValue::I64(500)]).unwrap();
+    let wide = client.execute(&stmt, &[ParamValue::I64(4500)]).unwrap();
+    assert!(
+        narrow.i64(0, 0) < wide.i64(0, 0),
+        "narrower predicate must count fewer rows ({} vs {})",
+        narrow.i64(0, 0),
+        wide.i64(0, 0)
+    );
+
+    // Wrong arity is an execution error frame, not a hangup.
+    match client.execute(&stmt, &[]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Exec),
+        other => panic!("expected a bind error, got {other:?}"),
+    }
+    client.ping().unwrap();
+    shutdown(handle, join);
+}
+
+#[test]
+fn cancel_frame_stops_a_running_query() {
+    let (_engine, handle, join) = slow_server(16);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let stmt = client.prepare(&heavy_sql()).unwrap();
+
+    // Calibrate: one uncancelled execution end to end.
+    let full_start = Instant::now();
+    let reference = client.execute(&stmt, &[]).unwrap();
+    let full = full_start.elapsed();
+
+    // Submit again, let it get well into the scan, then cancel.
+    let req = client.submit(&stmt, &[], 1, 0).unwrap();
+    std::thread::sleep(full / 4);
+    let cancelled_at = Instant::now();
+    client.cancel(req).unwrap();
+    let outcome = client.wait(req);
+    let stop_latency = cancelled_at.elapsed();
+
+    match outcome {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::Cancelled);
+            assert_eq!(message, "client cancel");
+        }
+        other => panic!("expected a Cancelled error frame, got {other:?}"),
+    }
+    assert!(stop_latency < full / 2, "cancel took {stop_latency:?}, full run takes {full:?}");
+
+    // The statement stays warm and reusable on the same connection.
+    let again = client.execute(&stmt, &[]).unwrap();
+    assert_eq!(again.rows, reference.rows, "post-cancel execution matches the reference");
+    shutdown(handle, join);
+}
+
+#[test]
+fn deadlines_expire_queries_server_side() {
+    let (_engine, handle, join) = slow_server(16);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let stmt = client.prepare(&heavy_sql()).unwrap();
+
+    let t0 = Instant::now();
+    match client.execute_with(&stmt, &[], 1, 50) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::DeadlineExceeded);
+            assert_eq!(message, "deadline exceeded");
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert!(t0.elapsed() < Duration::from_secs(30), "deadline fired long before completion");
+
+    // The connection survives; a cheap query still works.
+    let cheap = client.prepare("select count(*) as n from big").unwrap();
+    assert_eq!(client.execute(&cheap, &[]).unwrap().i64(0, 0), ROWS);
+    shutdown(handle, join);
+}
+
+#[test]
+fn overload_sheds_lowest_priority_without_dropping_connections() {
+    // One worker, a one-slot queue: the third concurrent request must be
+    // refused, and a high-priority arrival displaces a queued waiter.
+    let (engine, handle, join) = slow_server(1);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let stmt = client.prepare(&heavy_sql()).unwrap();
+
+    let occupant = client.submit(&stmt, &[], 1, 0).unwrap(); // runs on the worker
+                                                             // Give the worker a moment to dequeue the occupant so the queue is
+                                                             // genuinely empty before the waiters arrive.
+    std::thread::sleep(Duration::from_millis(150));
+    let waiter = client.submit(&stmt, &[], 1, 0).unwrap(); // sits in the queue
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Same priority, full queue: the incoming request itself is shed.
+    let refused = client.submit(&stmt, &[], 1, 0).unwrap();
+    match client.wait(refused) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Shed),
+        other => panic!("expected the third request to shed, got {other:?}"),
+    }
+
+    // Higher priority: admitted by displacing the queued normal-priority
+    // waiter, which gets its own shed frame.
+    let vip = client.submit(&stmt, &[], 2, 0).unwrap();
+    match client.wait(waiter) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Shed),
+        other => panic!("expected the waiter to be displaced, got {other:?}"),
+    }
+
+    // Shed is an answer, not a hangup: the connection still serves.
+    client.ping().unwrap();
+    assert_eq!(engine.server_stats().shed, 2);
+
+    // Drain: stop the occupant and the vip instead of waiting seconds.
+    client.cancel(occupant).unwrap();
+    client.cancel(vip).unwrap();
+    for req in [occupant, vip] {
+        match client.wait(req) {
+            Ok(_) => {} // may have finished before the cancel landed
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Cancelled),
+            Err(other) => panic!("unexpected failure draining: {other:?}"),
+        }
+    }
+    let stats = engine.server_stats();
+    assert_eq!(stats.accepted, 3, "occupant, waiter, vip all passed admission");
+    assert_eq!(stats.queued, 0);
+    assert_eq!(stats.active, 0);
+    shutdown(handle, join);
+}
+
+#[test]
+fn disconnect_poisons_in_flight_work() {
+    let (engine, handle, join) = slow_server(16);
+    {
+        let mut doomed = Client::connect(handle.addr()).unwrap();
+        let stmt = doomed.prepare(&heavy_sql()).unwrap();
+        let _req = doomed.submit(&stmt, &[], 1, 0).unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        // Client drops here: the connection closes with a query running.
+    }
+    // The server notices the hangup and poisons the orphaned execution.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while engine.server_stats().cancelled == 0 {
+        assert!(Instant::now() < deadline, "orphaned query was never cancelled");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // The server itself is unharmed and serves new connections.
+    let mut fresh = Client::connect(handle.addr()).unwrap();
+    let cheap = fresh.prepare("select count(*) as n from big").unwrap();
+    assert_eq!(fresh.execute(&cheap, &[]).unwrap().i64(0, 0), ROWS);
+    shutdown(handle, join);
+}
+
+#[test]
+fn malformed_frames_get_a_protocol_error_then_the_boot() {
+    let (_engine, handle, join) = slow_server(4);
+    let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // A length prefix far past the frame cap.
+    raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    raw.write_all(&[0u8; 16]).unwrap();
+
+    // The server answers with exactly one protocol-error frame...
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match raw.read(&mut chunk) {
+            Ok(0) => break, // ...then closes.
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!("read failed: {e}"),
+        }
+    }
+    let mut fb = aqe_server::protocol::FrameBuf::new();
+    fb.extend(&buf);
+    let body = fb.next_body().unwrap().expect("one complete error frame");
+    match aqe_server::Response::decode(body).unwrap() {
+        aqe_server::Response::Error { request_id, code, .. } => {
+            assert_eq!(request_id, 0, "connection-level error");
+            assert_eq!(code, ErrorCode::Protocol);
+        }
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+    shutdown(handle, join);
+}
+
+#[test]
+fn shutdown_refuses_queued_work_and_joins_cleanly() {
+    let (engine, handle, join) = slow_server(8);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let stmt = client.prepare(&heavy_sql()).unwrap();
+    let running = client.submit(&stmt, &[], 1, 0).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    let queued = client.submit(&stmt, &[], 1, 0).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+
+    // Whatever frames made it out before the close are well-formed; the
+    // running query was poisoned with the shutdown kind.
+    let stats = engine.server_stats();
+    assert!(stats.cancelled >= 1, "the running query was cancelled at shutdown");
+    assert_eq!(stats.queued, 0, "no waiter left behind");
+    let _ = (running, queued);
+}

@@ -1,0 +1,266 @@
+//! Frame codec properties: every encode survives a round trip through
+//! arbitrary stream chunking, and no byte sequence — truncated,
+//! corrupted, oversized, or pure garbage — makes the decoder panic,
+//! over-read, or over-allocate. The decoder is the server's fuzz
+//! surface; these tests are its contract.
+
+use aqe_engine::plan::FieldTy;
+use aqe_engine::ParamValue;
+use aqe_server::protocol::{
+    DecodeError, ErrorCode, FrameBuf, Request, Response, HEADER, MAX_FRAME,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Deterministic round trips
+// ---------------------------------------------------------------------------
+
+fn roundtrip_request(req: &Request) {
+    let frame = req.encode();
+    let mut fb = FrameBuf::new();
+    fb.extend(&frame);
+    let body = fb.next_body().unwrap().expect("complete frame");
+    assert_eq!(&Request::decode(body).unwrap(), req);
+}
+
+fn roundtrip_response(resp: &Response) {
+    let frame = resp.encode();
+    let mut fb = FrameBuf::new();
+    fb.extend(&frame);
+    let body = fb.next_body().unwrap().expect("complete frame");
+    assert_eq!(&Response::decode(body).unwrap(), resp);
+}
+
+#[test]
+fn every_request_variant_round_trips() {
+    roundtrip_request(&Request::Prepare { stmt_id: 7, sql: "select 1 as x from t".into() });
+    roundtrip_request(&Request::Execute {
+        stmt_id: 7,
+        request_id: 99,
+        priority: 2,
+        deadline_ms: 1500,
+        params: vec![ParamValue::I64(-5), ParamValue::F64(2.5), ParamValue::I64(i64::MAX)],
+    });
+    roundtrip_request(&Request::Execute {
+        stmt_id: 0,
+        request_id: 0,
+        priority: 0,
+        deadline_ms: 0,
+        params: vec![],
+    });
+    roundtrip_request(&Request::Cancel { request_id: u64::MAX });
+    roundtrip_request(&Request::CloseStmt { stmt_id: 3 });
+    roundtrip_request(&Request::Ping);
+}
+
+#[test]
+fn every_response_variant_round_trips() {
+    roundtrip_response(&Response::Prepared {
+        stmt_id: 7,
+        param_count: 2,
+        columns: vec!["n".into(), "ütf8 ok".into(), String::new()],
+    });
+    roundtrip_response(&Response::Rows {
+        request_id: 4,
+        queue_wait_us: 12345,
+        tys: vec![FieldTy::I64, FieldTy::F64],
+        rows: vec![1, 2, 3, 4, 5, 6],
+    });
+    roundtrip_response(&Response::Rows {
+        request_id: 4,
+        queue_wait_us: 0,
+        tys: vec![],
+        rows: vec![],
+    });
+    roundtrip_response(&Response::Error {
+        request_id: 9,
+        code: ErrorCode::DeadlineExceeded,
+        message: "deadline exceeded".into(),
+    });
+    roundtrip_response(&Response::Pong);
+}
+
+#[test]
+fn nan_parameter_bits_survive_the_trip() {
+    let req = Request::Execute {
+        stmt_id: 1,
+        request_id: 1,
+        priority: 1,
+        deadline_ms: 0,
+        params: vec![ParamValue::F64(f64::NAN)],
+    };
+    let frame = req.encode();
+    match Request::decode(&frame[HEADER..]).unwrap() {
+        Request::Execute { params, .. } => match params[0] {
+            ParamValue::F64(v) => assert!(v.is_nan()),
+            ref p => panic!("wrong param {p:?}"),
+        },
+        other => panic!("wrong variant {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hostile inputs, deterministic
+// ---------------------------------------------------------------------------
+
+#[test]
+fn oversized_length_prefix_is_rejected_without_buffering() {
+    let mut fb = FrameBuf::new();
+    let mut frame = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+    frame.push(1);
+    fb.extend(&frame);
+    assert_eq!(fb.next_body(), Err(DecodeError::Oversized(MAX_FRAME + 1)));
+}
+
+#[test]
+fn zero_length_frame_is_rejected() {
+    let mut fb = FrameBuf::new();
+    fb.extend(&0u32.to_le_bytes());
+    assert_eq!(fb.next_body(), Err(DecodeError::Empty));
+}
+
+#[test]
+fn truncated_bodies_report_truncation_not_panic() {
+    let frame = Request::Execute {
+        stmt_id: 1,
+        request_id: 2,
+        priority: 1,
+        deadline_ms: 100,
+        params: vec![ParamValue::I64(42); 4],
+    }
+    .encode();
+    let body = &frame[HEADER..];
+    // Every strict prefix of the body must fail cleanly.
+    for cut in 1..body.len() {
+        assert!(Request::decode(&body[..cut]).is_err(), "prefix of {cut} bytes decoded");
+    }
+    // The full body still decodes — the loop above proves errors come
+    // from truncation, not a broken encoder.
+    assert!(Request::decode(body).is_ok());
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let frame = Request::Ping.encode();
+    let mut body = frame[HEADER..].to_vec();
+    body.push(0xAB);
+    assert_eq!(Request::decode(&body), Err(DecodeError::TrailingBytes));
+}
+
+#[test]
+fn hostile_parameter_count_does_not_allocate() {
+    // Execute frame claiming u16::MAX parameters with an empty payload:
+    // the decoder must refuse from the *count*, before any allocation.
+    let mut body = vec![2u8]; // TAG_EXECUTE
+    body.extend_from_slice(&1u64.to_le_bytes()); // stmt_id
+    body.extend_from_slice(&1u64.to_le_bytes()); // request_id
+    body.push(1); // priority
+    body.extend_from_slice(&0u32.to_le_bytes()); // deadline
+    body.extend_from_slice(&u16::MAX.to_le_bytes()); // param count
+    assert!(matches!(Request::decode(&body), Err(DecodeError::Malformed(_))));
+}
+
+#[test]
+fn unknown_tags_are_bad_tags() {
+    assert_eq!(Request::decode(&[42]), Err(DecodeError::BadTag(42)));
+    assert_eq!(Response::decode(&[42]), Err(DecodeError::BadTag(42)));
+    assert_eq!(Request::decode(&[]), Err(DecodeError::Empty));
+}
+
+#[test]
+fn non_utf8_sql_is_rejected() {
+    let mut body = vec![1u8]; // TAG_PREPARE
+    body.extend_from_slice(&1u64.to_le_bytes());
+    body.extend_from_slice(&2u32.to_le_bytes());
+    body.extend_from_slice(&[0xFF, 0xFE]);
+    assert_eq!(Request::decode(&body), Err(DecodeError::BadUtf8));
+}
+
+// ---------------------------------------------------------------------------
+// Property tests
+// ---------------------------------------------------------------------------
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (any::<u64>(), vec(0u8..128, 0..200)).prop_map(|(stmt_id, bytes)| Request::Prepare {
+            stmt_id,
+            sql: bytes.into_iter().map(|b| b as char).collect(),
+        }),
+        (any::<u64>(), any::<u64>(), 0u8..3, any::<u32>(), vec(any::<u64>(), 0..16)).prop_map(
+            |(stmt_id, request_id, priority, deadline_ms, raw)| Request::Execute {
+                stmt_id,
+                request_id,
+                priority,
+                deadline_ms,
+                params: raw
+                    .into_iter()
+                    .map(|bits| if bits & 1 == 0 {
+                        ParamValue::I64(bits as i64)
+                    } else {
+                        ParamValue::F64(f64::from_bits(bits & !0x7FF0_0000_0000_0000))
+                    })
+                    .collect(),
+            }
+        ),
+        any::<u64>().prop_map(|request_id| Request::Cancel { request_id }),
+        any::<u64>().prop_map(|stmt_id| Request::CloseStmt { stmt_id }),
+        Just(Request::Ping),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A pipelined burst of requests split at arbitrary chunk boundaries
+    /// reassembles to exactly the sent sequence.
+    #[test]
+    fn chunked_streams_reassemble(reqs in vec(request_strategy(), 1..6), chunk in 1usize..64) {
+        let mut stream = Vec::new();
+        for r in &reqs {
+            stream.extend_from_slice(&r.encode());
+        }
+        let mut fb = FrameBuf::new();
+        let mut decoded = Vec::new();
+        for piece in stream.chunks(chunk) {
+            fb.extend(piece);
+            while let Some(body) = fb.next_body().unwrap() {
+                let req = Request::decode(body).unwrap();
+                decoded.push(req);
+            }
+        }
+        prop_assert_eq!(decoded, reqs);
+        prop_assert_eq!(fb.pending(), 0);
+    }
+
+    /// Corrupting any single byte of a valid frame body never panics the
+    /// decoder — it decodes to something or errors cleanly.
+    #[test]
+    fn single_byte_corruption_never_panics(req in request_strategy(), pos in any::<u64>(), val in any::<u8>()) {
+        let frame = req.encode();
+        let mut body = frame[HEADER..].to_vec();
+        let idx = (pos as usize) % body.len();
+        body[idx] = val;
+        let _ = Request::decode(&body);
+        let _ = Response::decode(&body);
+    }
+
+    /// Pure garbage — random bytes fed as a frame body — never panics.
+    #[test]
+    fn garbage_bodies_never_panic(bytes in vec(any::<u8>(), 0..300)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    /// Random bytes fed as a *stream* never panic the reassembler, and
+    /// every body it does yield is within bounds.
+    #[test]
+    fn garbage_streams_never_panic(bytes in vec(any::<u8>(), 0..600)) {
+        let mut fb = FrameBuf::new();
+        fb.extend(&bytes);
+        while let Ok(Some(body)) = fb.next_body() {
+            assert!(body.len() <= MAX_FRAME);
+            let _ = Request::decode(body);
+        }
+    }
+}

@@ -49,6 +49,13 @@ pub enum ExecError {
     /// Bind-variable mismatch: wrong parameter arity, a value of the
     /// wrong type, or values supplied for a non-parameterized query.
     Bind(String),
+    /// The execution was cooperatively cancelled: a client cancel
+    /// request, an expired deadline, or a dropped connection poisoned
+    /// the query's cancel token and the morsel loop observed it on a
+    /// range claim. The query's prepared state stays warm-reusable.
+    Cancelled {
+        reason: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -61,6 +68,7 @@ impl fmt::Display for ExecError {
             ExecError::Compile(m) => write!(f, "compilation failed: {m}"),
             ExecError::Setup(m) => write!(f, "query setup failed: {m}"),
             ExecError::Bind(m) => write!(f, "parameter binding failed: {m}"),
+            ExecError::Cancelled { reason } => write!(f, "query cancelled: {reason}"),
         }
     }
 }

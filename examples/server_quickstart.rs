@@ -1,0 +1,98 @@
+//! The front-door server, end to end (DESIGN.md §13): spawn a server on
+//! a loopback socket, talk the framed protocol through the bundled
+//! client — prepare / bound execute / a deadline that expires / a cancel
+//! that stops a running query — then read the admission ledger and shut
+//! down cleanly.
+//!
+//! ```text
+//! cargo run --release --example server_quickstart
+//! ```
+
+use aqe::engine::ParamValue;
+use aqe::server::{Client, ClientError, ErrorCode, Server, ServerConfig};
+use aqe::{Engine, ExecMode, ExecOptions};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let engine = Arc::new(Engine::new(aqe::storage::tpch::generate(0.05)));
+    // Pin the executor to the interpreter tier with the result cache off
+    // so the heavy query below genuinely re-executes and runs long
+    // enough for deadlines and cancels to land mid-scan; a production
+    // server would keep the adaptive, cached defaults.
+    let config = ServerConfig {
+        exec: ExecOptions { mode: ExecMode::Bytecode, cache_results: false, ..Default::default() },
+        ..Default::default()
+    };
+    let (handle, join) = Server::spawn(engine.clone(), config)?;
+    println!("serving on {}", handle.addr());
+
+    let mut client = Client::connect(handle.addr())?;
+
+    // Prepare once; execute with different bind values. The second
+    // binding reuses every compiled artifact of the first (§10).
+    let stmt = client.prepare(
+        "SELECT count(*) AS n, sum(l_extendedprice) AS v \
+         FROM lineitem WHERE l_quantity < ?",
+    )?;
+    // Decimal parameters bind in their scaled representation (cents).
+    let narrow = client.execute(&stmt, &[ParamValue::I64(500)])?;
+    let wide = client.execute(&stmt, &[ParamValue::I64(4500)])?;
+    println!(
+        "l_quantity < 5:  {} matching rows  (queue wait {} µs)",
+        narrow.i64(0, 0),
+        narrow.queue_wait_us
+    );
+    println!(
+        "l_quantity < 45: {} matching rows  (queue wait {} µs)",
+        wide.i64(0, 0),
+        wide.queue_wait_us
+    );
+
+    // A heavy statement for the cancellation demos.
+    let aggs: Vec<String> =
+        (0..24).map(|k| format!("sum(l_quantity * {} + l_extendedprice) as s{k}", k + 1)).collect();
+    let heavy = client.prepare(&format!("select {} from lineitem", aggs.join(", ")))?;
+    let t0 = Instant::now();
+    client.execute(&heavy, &[])?;
+    let full = t0.elapsed();
+    println!("heavy query runs in {full:?} unopposed");
+
+    // Deadline: the server poisons the token mid-scan and answers with
+    // a typed error frame — the connection stays usable.
+    let deadline_ms = (full.as_millis() as u32 / 4).max(1);
+    match client.execute_with(&heavy, &[], 1, deadline_ms) {
+        Err(ClientError::Server { code: ErrorCode::DeadlineExceeded, message }) => {
+            println!("deadline of {deadline_ms} ms expired: {message}")
+        }
+        other => panic!("expected a deadline error, got {other:?}"),
+    }
+
+    // Client-driven cancel: submit, let the morsel loop get going, then
+    // race it with a cancel frame.
+    let req = client.submit(&heavy, &[], 1, 0)?;
+    std::thread::sleep(full / 4);
+    let t0 = Instant::now();
+    client.cancel(req)?;
+    match client.wait(req) {
+        Err(ClientError::Server { code: ErrorCode::Cancelled, .. }) => {
+            println!("cancel frame stopped the query in {:?}", t0.elapsed())
+        }
+        other => panic!("expected a cancelled error, got {other:?}"),
+    }
+
+    // The cancel poisoned nothing durable: the same statement answers.
+    let again = client.execute(&heavy, &[])?;
+    println!("re-execution after cancel: {} columns, prepared state intact", again.tys.len());
+
+    let stats = engine.server_stats();
+    println!(
+        "ledger: accepted {} · shed {} · cancelled {} · deadline-expired {}",
+        stats.accepted, stats.shed, stats.cancelled, stats.deadline_expired
+    );
+
+    handle.shutdown();
+    join.join().unwrap()?;
+    println!("server drained and joined cleanly");
+    Ok(())
+}

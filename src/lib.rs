@@ -13,6 +13,9 @@
 //! * [`sql`] — SQL frontend (parser, binder, optimizer)
 //! * [`baselines`] — Volcano-style and vectorized comparison engines
 //! * [`queries`] — the evaluation query corpus
+//! * [`server`] — the network front door: epoll connection multiplexing,
+//!   admission control, deadlines, cooperative cancellation (§13 in
+//!   DESIGN.md)
 //!
 //! All execution backends plug into one seam: the object-safe
 //! [`vm::backend::PipelineBackend`] trait (re-exported here as
@@ -42,6 +45,7 @@ pub use aqe_engine as engine;
 pub use aqe_ir as ir;
 pub use aqe_jit as jit;
 pub use aqe_queries as queries;
+pub use aqe_server as server;
 pub use aqe_sql as sql;
 pub use aqe_storage as storage;
 pub use aqe_vm as vm;
