@@ -18,6 +18,7 @@ use crate::plan::{FieldTy, PhysicalPlan, Sink, Source};
 use crate::runtime::{merge_agg_tables, sort_rows, JoinHt, WorkerRt};
 use crate::sched::{
     AdaptiveController, ControllerCtx, CostCalibrator, MorselDispenser, PipelineProgress,
+    PipelineQuarantine,
 };
 use crate::simd::ScanKernel;
 use aqe_ir::{ExternDecl, Function};
@@ -259,6 +260,15 @@ pub struct Report {
     /// complementary race — the cancel landed after the last claim, so
     /// the run completed anyway.
     pub cancelled: Option<String>,
+    /// Compilations (up-front or background) that failed or panicked and
+    /// were contained by ladder degradation: the execution continued one
+    /// rung down instead of surfacing `ExecError::Compile`. The broken
+    /// tier is quarantined (see [`crate::sched::QuarantineStore`]).
+    pub degraded: u64,
+    /// Tiers this execution skipped because an earlier execution
+    /// quarantined them (no compile was attempted; the ladder topped out
+    /// one rung lower).
+    pub quarantine_skips: u64,
 }
 
 /// What the server's admission controller did to an execution before the
@@ -437,6 +447,10 @@ pub(crate) struct QueryRun<'a> {
     /// param state slot, so every tier — interpreted, threaded, native,
     /// SIMD — reads the same block.
     pub params: &'a [u64],
+    /// Per-pipeline quarantine views (one per pipeline, same indexing as
+    /// `handles`): the controller skips tiers an earlier execution
+    /// quarantined and records this run's compile outcomes.
+    pub quarantine: &'a [PipelineQuarantine],
 }
 
 /// Run every pipeline of the plan in order through the hot-swap handles:
@@ -460,6 +474,7 @@ pub(crate) fn run_pipelines(
         calibrator,
         opts,
         params,
+        quarantine,
     } = run;
 
     // ---- state assembly ---------------------------------------------------
@@ -539,6 +554,7 @@ pub(crate) fn run_pipelines(
             compile_events: &compile_events,
             background_compiles: &background_compiles,
             calibrator,
+            quarantine: &quarantine[p.id],
         };
         pipeline.run(report, &mut state, &mut frames)?;
     }
@@ -587,6 +603,7 @@ struct PipelineRun<'a> {
     compile_events: &'a Arc<Mutex<Vec<TraceEvent>>>,
     background_compiles: &'a Arc<AtomicUsize>,
     calibrator: &'a Arc<CostCalibrator>,
+    quarantine: &'a PipelineQuarantine,
 }
 
 impl PipelineRun<'_> {
@@ -623,6 +640,7 @@ impl PipelineRun<'_> {
             exec_start: self.exec_start,
             total_rows: self.total_rows as u64,
             threads,
+            quarantine: Some(self.quarantine.clone()),
             adaptive: opts.mode == ExecMode::Adaptive,
             first_eval: opts.first_eval,
         });
@@ -667,65 +685,95 @@ impl PipelineRun<'_> {
                 let pid = self.pid;
                 let cancel = &opts.cancel;
                 scope.spawn(move || {
-                    let wctx = wrt.wctx_ptr();
-                    // The Fig. 5 indirection, loaded once and then refreshed
-                    // only when the handle's (atomic) rank says a better
-                    // backend was published: the `Arc` clone + lock of a
-                    // full `load()` happens once per *switch*, not once per
-                    // morsel — the controller can't swap more often than
-                    // the rank changes, so nothing newer can be missed.
-                    let mut backend = handle.load();
-                    let mut backend_rank = backend.kind().rank();
-                    loop {
-                        if failed.load(Ordering::Relaxed) {
-                            return;
-                        }
-                        // The cooperative cancellation checkpoint: one
-                        // atomic load per claim on the live path. A
-                        // poisoned token (client cancel, expired
-                        // deadline, dropped connection) stops this
-                        // worker before it claims another range — never
-                        // mid-morsel, so sinks only ever see whole
-                        // morsels.
-                        if let Err(e) = cancel.check() {
-                            let mut slot = error.lock();
-                            if slot.is_none() {
-                                *slot = Some(e);
+                    // Panic isolation at the thread boundary: a worker
+                    // that panics (a backend bug, an injected
+                    // `worker=panic` fault) must fail the *query* with a
+                    // typed error, not unwind through the scope join and
+                    // abort the caller. The shared locks are
+                    // non-poisoning (vendored parking_lot), so the other
+                    // workers drain cleanly via the `failed` flag.
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let wctx = wrt.wctx_ptr();
+                        // The Fig. 5 indirection, loaded once and then refreshed
+                        // only when the handle's (atomic) rank says a better
+                        // backend was published: the `Arc` clone + lock of a
+                        // full `load()` happens once per *switch*, not once per
+                        // morsel — the controller can't swap more often than
+                        // the rank changes, so nothing newer can be missed.
+                        let mut backend = handle.load();
+                        let mut backend_rank = backend.kind().rank();
+                        loop {
+                            if failed.load(Ordering::Relaxed) {
+                                return;
                             }
-                            failed.store(true, Ordering::Relaxed);
-                            return;
-                        }
-                        // Front of our own partition, or stolen loot once
-                        // it runs dry; `None` means the pipeline is done.
-                        let Some(m) = dispenser.claim(tid) else { return };
-                        let t_m0 = exec_start.elapsed().as_micros() as u64;
-                        let args = [wctx, state_ptr, m.begin, m.end];
-                        let rank = handle.rank();
-                        if rank != backend_rank {
-                            backend = handle.load();
-                            backend_rank = rank;
-                        }
-                        if let Err(e) = backend.call(&args, registry, frame) {
-                            let mut slot = error.lock();
-                            if slot.is_none() {
-                                *slot = Some(e);
+                            // The cooperative cancellation checkpoint: one
+                            // atomic load per claim on the live path. A
+                            // poisoned token (client cancel, expired
+                            // deadline, dropped connection) stops this
+                            // worker before it claims another range — never
+                            // mid-morsel, so sinks only ever see whole
+                            // morsels.
+                            if let Err(e) = cancel.check() {
+                                let mut slot = error.lock();
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
+                                failed.store(true, Ordering::Relaxed);
+                                return;
                             }
-                            failed.store(true, Ordering::Relaxed);
-                            return;
+                            // Injectable fault site, once per claim round
+                            // (`AQE_FAULT="worker=..."`). An `err` action
+                            // surfaces as a typed internal error; a `panic`
+                            // action exercises the catch_unwind boundary.
+                            if let Err(m) = aqe_fault::failpoint("worker") {
+                                let mut slot = error.lock();
+                                if slot.is_none() {
+                                    *slot = Some(ExecError::Internal { site: m });
+                                }
+                                failed.store(true, Ordering::Relaxed);
+                                return;
+                            }
+                            // Front of our own partition, or stolen loot once
+                            // it runs dry; `None` means the pipeline is done.
+                            let Some(m) = dispenser.claim(tid) else { return };
+                            let t_m0 = exec_start.elapsed().as_micros() as u64;
+                            let args = [wctx, state_ptr, m.begin, m.end];
+                            let rank = handle.rank();
+                            if rank != backend_rank {
+                                backend = handle.load();
+                                backend_rank = rank;
+                            }
+                            if let Err(e) = backend.call(&args, registry, frame) {
+                                let mut slot = error.lock();
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
+                                failed.store(true, Ordering::Relaxed);
+                                return;
+                            }
+                            progress.record(tid, m.tuples());
+                            if opts.trace {
+                                ttrace.push(TraceEvent {
+                                    thread: tid as u16,
+                                    pipeline: pid as u16,
+                                    kind: backend.kind().trace_kind(),
+                                    start_us: t_m0,
+                                    end_us: exec_start.elapsed().as_micros() as u64,
+                                    tuples: m.tuples(),
+                                });
+                            }
+                            // ---- adaptive decision (Fig. 7) -------------------
+                            controller.maybe_decide();
                         }
-                        progress.record(tid, m.tuples());
-                        if opts.trace {
-                            ttrace.push(TraceEvent {
-                                thread: tid as u16,
-                                pipeline: pid as u16,
-                                kind: backend.kind().trace_kind(),
-                                start_us: t_m0,
-                                end_us: exec_start.elapsed().as_micros() as u64,
-                                tuples: m.tuples(),
+                    }));
+                    if caught.is_err() {
+                        let mut slot = error.lock();
+                        if slot.is_none() {
+                            *slot = Some(ExecError::Internal {
+                                site: format!("morsel worker {tid} (pipeline {pid})"),
                             });
                         }
-                        // ---- adaptive decision (Fig. 7) -------------------
-                        controller.maybe_decide();
+                        failed.store(true, Ordering::Relaxed);
                     }
                 });
             }
@@ -733,7 +781,10 @@ impl PipelineRun<'_> {
 
         // Joins in-flight compiles (no detached-thread leak: their trace
         // events and calibration feedback land before the report is read).
-        report.sched.push(controller.finalize(&dispenser));
+        let sched = controller.finalize(&dispenser);
+        report.degraded += sched.degraded;
+        report.quarantine_skips += self.quarantine.skips();
+        report.sched.push(sched);
 
         if let Some(e) = error.into_inner() {
             return Err(e);

@@ -22,6 +22,7 @@ use crate::exec::{FunctionHandle, RetainedSlot, TraceEvent};
 use crate::sched::calibrate::{CostCalibrator, CostModel};
 use crate::sched::morsel::MorselDispenser;
 use crate::sched::progress::PipelineProgress;
+use crate::sched::quarantine::PipelineQuarantine;
 use crate::simd::{self, ScanKernel, SimdScanBackend};
 use aqe_ir::{ExternDecl, Function};
 use aqe_jit::compile::{compile, OptLevel};
@@ -36,7 +37,7 @@ use std::time::{Duration, Instant};
 /// the hot-swap handle's rank. This is the *typed* form of what PR 1
 /// passed to the extrapolation as a misleading `unopt_available: bool`
 /// (which actually meant "already at unoptimized rank or above").
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum ExecLevel {
     /// Bytecode or naive-IR interpretation (speedup factor 1).
     Interpreted,
@@ -160,6 +161,10 @@ pub struct PipelineSchedReport {
     /// Whether this pipeline's controller decided with a model that had
     /// already received feedback from earlier pipelines of the query.
     pub calibrated: bool,
+    /// Background compiles that failed (or panicked) and were contained:
+    /// the pipeline kept running at its current level and the broken
+    /// tier was quarantined.
+    pub degraded: u64,
     /// The model the controller decided with.
     pub model: CostModel,
 }
@@ -198,6 +203,11 @@ pub struct ControllerCtx {
     pub exec_start: Instant,
     pub total_rows: u64,
     pub threads: usize,
+    /// This execution's quarantine view of the pipeline: tiers whose
+    /// compiles failed recently are skipped by `decide` (the ladder
+    /// degrades one rung instead), and compile outcomes are recorded
+    /// back into the engine-shared store.
+    pub quarantine: Option<PipelineQuarantine>,
     /// `false` pins the initial backend (static modes): `maybe_decide`
     /// becomes a no-op and only the sched report is produced.
     pub adaptive: bool,
@@ -239,6 +249,9 @@ pub struct AdaptiveController {
     compiles_started: AtomicU64,
     pending: Mutex<Option<PendingSwitch>>,
     compile_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Failed/panicked background compiles, contained (see
+    /// [`PipelineSchedReport::degraded`]). Shared with the compile jobs.
+    degraded: Arc<AtomicU64>,
 }
 
 impl AdaptiveController {
@@ -269,6 +282,7 @@ impl AdaptiveController {
             compiles_started: AtomicU64::new(0),
             pending: Mutex::new(None),
             compile_threads: Mutex::new(Vec::new()),
+            degraded: Arc::new(AtomicU64::new(0)),
             ctx,
         }
     }
@@ -333,7 +347,24 @@ impl AdaptiveController {
             ModeChoice::Simd if current < ExecLevel::Simd => Some(ExecLevel::Simd),
             _ => None,
         };
-        let Some(level) = target else { return };
+        let Some(mut level) = target else { return };
+        // Ladder degradation: a tier whose compile failed recently is
+        // quarantined — fall to the next-lower rung that is still an
+        // upgrade, or do nothing this round (the next execution after
+        // the skip budget is spent probes the tier again).
+        if let Some(q) = &self.ctx.quarantine {
+            while q.blocked(level) {
+                level = match level {
+                    ExecLevel::Simd => ExecLevel::Native,
+                    ExecLevel::Native => ExecLevel::Optimized,
+                    ExecLevel::Optimized => ExecLevel::Unoptimized,
+                    _ => return,
+                };
+                if level <= current {
+                    return;
+                }
+            }
+        }
         // A concurrent execution of the same prepared query may already
         // have compiled this pipeline at (or above) the target level and
         // published it into the shared retained slot — install that for
@@ -395,13 +426,23 @@ impl AdaptiveController {
             instrs: self.instrs,
             level,
             installed,
+            quarantine: self.ctx.quarantine.clone(),
+            degraded: self.degraded.clone(),
         };
-        let handle = std::thread::Builder::new()
+        match std::thread::Builder::new()
             .name(format!("aqe-compile-p{}", self.ctx.pid))
             .spawn(move || job.run())
-            .expect("spawn background compile thread");
-        self.compile_threads.lock().push(handle);
-        progress.reset_window();
+        {
+            Ok(handle) => {
+                self.compile_threads.lock().push(handle);
+                progress.reset_window();
+            }
+            Err(_) => {
+                // Thread exhaustion is a fault like any other: re-open
+                // the claim slot and keep running at the current level.
+                self.ctx.handle.cancel_compile();
+            }
+        }
     }
 
     /// Feed one observed post-switch rate into the calibrator. The window
@@ -443,6 +484,7 @@ impl AdaptiveController {
                 .map(|i| self.ctx.progress.worker(i).tuples())
                 .collect(),
             calibrated: self.calibrated,
+            degraded: self.degraded.load(Ordering::Relaxed),
             model: self.model,
         }
     }
@@ -469,6 +511,11 @@ struct CompileJob {
     instrs: usize,
     level: ExecLevel,
     installed: Arc<AtomicBool>,
+    /// Records compile success/failure into the per-fingerprint
+    /// quarantine so later executions skip a broken tier.
+    quarantine: Option<PipelineQuarantine>,
+    /// Controller-shared count of contained compile failures.
+    degraded: Arc<AtomicU64>,
 }
 
 impl CompileJob {
@@ -498,6 +545,7 @@ impl CompileJob {
                 Ok((Arc::new(nf), t))
             }
             ExecLevel::Simd => {
+                aqe_fault::failpoint("simd_compile")?;
                 let kernel =
                     self.kernel.clone().ok_or("simd claimed without a scan kernel".to_string())?;
                 // The scalar code under the kernel: native where the
@@ -533,7 +581,17 @@ impl CompileJob {
             return;
         }
         let t_c0 = self.exec_start.elapsed().as_micros() as u64;
-        match self.compile_to_level() {
+        // The compile runs under `catch_unwind`: a panicking emitter (or
+        // an injected `compile_job=panic` fault) is contained on this
+        // thread and handled exactly like a failed compile — the claim
+        // slot re-opens, the tier is quarantined, the query keeps
+        // running at its current level.
+        let compiled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            aqe_fault::failpoint("compile_job")?;
+            self.compile_to_level()
+        }))
+        .unwrap_or_else(|_| Err("background compile thread panicked".to_string()));
+        match compiled {
             Ok((backend, compile_time)) => {
                 let t_c1 = self.exec_start.elapsed().as_micros() as u64;
                 self.events.lock().push(TraceEvent {
@@ -560,11 +618,22 @@ impl CompileJob {
                     self.installed.store(true, Ordering::Release);
                     self.progress.reset_window();
                 }
+                // A successful compile clears any quarantine on the tier
+                // (this is how a probe recovers it).
+                if let Some(q) = &self.quarantine {
+                    q.record_success(self.level);
+                }
             }
             Err(_) => {
                 // Re-open the compile slot: leaving `compiling` set would
-                // permanently disable upgrades for this pipeline.
+                // permanently disable upgrades for this pipeline. The
+                // failure degrades, never surfaces: quarantine the tier
+                // and count it.
                 self.handle.cancel_compile();
+                self.degraded.fetch_add(1, Ordering::Relaxed);
+                if let Some(q) = &self.quarantine {
+                    q.record_failure(self.level);
+                }
             }
         }
     }
@@ -607,6 +676,8 @@ mod tests {
             instrs: 2,
             level: ExecLevel::Optimized,
             installed: Arc::new(AtomicBool::new(false)),
+            quarantine: None,
+            degraded: Arc::new(AtomicU64::new(0)),
         };
         job.run();
         // Nothing published anywhere — the query stopped paying — and the

@@ -33,6 +33,7 @@ pub mod calibrate;
 pub mod controller;
 pub mod morsel;
 pub mod progress;
+pub mod quarantine;
 
 pub use calibrate::{CalibrationReport, CostCalibrator, CostModel};
 pub use controller::{
@@ -41,3 +42,4 @@ pub use controller::{
 };
 pub use morsel::{Morsel, MorselDispenser};
 pub use progress::{PipelineProgress, WorkerProgress};
+pub use quarantine::{PipelineQuarantine, QuarantineStore, QUARANTINE_SKIPS};

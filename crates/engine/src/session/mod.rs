@@ -43,7 +43,7 @@ use crate::exec::{
     Report, ResultRows, RetainedSlot,
 };
 use crate::plan::{decompose, DictTable, FieldTy, PhysicalPlan, PlanNode, Source};
-use crate::sched::{CostCalibrator, CostModel, ExecLevel};
+use crate::sched::{CostCalibrator, CostModel, ExecLevel, PipelineQuarantine, QuarantineStore};
 use crate::simd::{self, ScanKernel, SimdScanBackend};
 use aqe_ir::{ExternDecl, Function, Module};
 use aqe_jit::compile::{compile, OptLevel};
@@ -57,7 +57,7 @@ use epoch::EpochCell;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Everything sessions share. `Arc`-held by every [`Session`] and
 /// [`PreparedQuery`], so prepared statements stay valid for as long as
@@ -79,6 +79,10 @@ struct EngineShared {
     /// server increments the admission-side counters through
     /// [`Engine::server_counters`].
     server: Arc<ServerCounters>,
+    /// Per-fingerprint tier quarantine: compile tiers that failed
+    /// recently are skipped for a while, then probed again (ladder
+    /// degradation, DESIGN.md §14).
+    quarantine: Arc<QuarantineStore>,
 }
 
 /// Engine-lifetime concurrency counters (all atomics; written on the
@@ -135,6 +139,11 @@ pub struct ServerCounters {
     shed: AtomicU64,
     cancelled: AtomicU64,
     deadline_expired: AtomicU64,
+    degraded: AtomicU64,
+    quarantined: AtomicU64,
+    overflowed: AtomicU64,
+    conn_poisoned: AtomicU64,
+    idle_reaped: AtomicU64,
 }
 
 impl ServerCounters {
@@ -183,6 +192,36 @@ impl ServerCounters {
             self.deadline_expired.fetch_add(1, Ordering::Relaxed);
         }
     }
+
+    /// An execution's fault-containment outcome: `degraded` compiles
+    /// failed and were absorbed by ladder degradation; `quarantined`
+    /// tiers were skipped because of earlier failures. Called by the
+    /// engine after every execution.
+    pub(crate) fn note_containment(&self, degraded: u64, quarantined: u64) {
+        if degraded > 0 {
+            self.degraded.fetch_add(degraded, Ordering::Relaxed);
+        }
+        if quarantined > 0 {
+            self.quarantined.fetch_add(quarantined, Ordering::Relaxed);
+        }
+    }
+
+    /// A finished result overflowed its connection's outbound byte
+    /// budget and was shed with a backpressure notice.
+    pub fn note_overflow(&self) {
+        self.overflowed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection stopped draining even the shed notices and was
+    /// poisoned (the event loop closes it).
+    pub fn note_conn_poisoned(&self) {
+        self.conn_poisoned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A quiescent connection sat past the idle window and was reaped.
+    pub fn note_idle_reaped(&self) {
+        self.idle_reaped.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// A point-in-time view of [`ServerCounters`] ([`Engine::server_stats`]).
@@ -200,6 +239,19 @@ pub struct ServerStats {
     pub cancelled: u64,
     /// The subset of `cancelled` whose cause was an expired deadline.
     pub deadline_expired: u64,
+    /// Compilations that failed (or panicked) and were contained by
+    /// ladder degradation: the execution continued one rung down.
+    pub degraded: u64,
+    /// Tier skips served from the per-fingerprint quarantine (no compile
+    /// attempted because an earlier execution's failure was still fresh).
+    pub quarantined: u64,
+    /// Results shed because they overflowed a connection's outbound
+    /// byte budget (answered with a backpressure error frame).
+    pub overflowed: u64,
+    /// Connections poisoned for not draining past the outbound budget.
+    pub conn_poisoned: u64,
+    /// Connections closed by the idle reaper.
+    pub idle_reaped: u64,
 }
 
 /// A point-in-time view of the engine's concurrency counters
@@ -263,6 +315,7 @@ impl Engine {
                 defaults,
                 stats: EngineStats::default(),
                 server: Arc::new(ServerCounters::default()),
+                quarantine: Arc::new(QuarantineStore::new()),
             }),
         }
     }
@@ -371,7 +424,18 @@ impl Engine {
             shed: s.shed.load(Ordering::Relaxed),
             cancelled: s.cancelled.load(Ordering::Relaxed),
             deadline_expired: s.deadline_expired.load(Ordering::Relaxed),
+            degraded: s.degraded.load(Ordering::Relaxed),
+            quarantined: s.quarantined.load(Ordering::Relaxed),
+            overflowed: s.overflowed.load(Ordering::Relaxed),
+            conn_poisoned: s.conn_poisoned.load(Ordering::Relaxed),
+            idle_reaped: s.idle_reaped.load(Ordering::Relaxed),
         }
+    }
+
+    /// Quarantine entries currently holding a live skip budget (broken
+    /// tiers being avoided right now).
+    pub fn quarantine_active(&self) -> usize {
+        self.shared.quarantine.active()
     }
 }
 
@@ -589,7 +653,14 @@ impl Session {
         // adaptive run starts from the best backend any prior (or
         // concurrent!) run published; the static modes pin their exact
         // level, compiling it under the per-slot latch only if no run did.
-        let handles = state.handles_for(opts.mode, &mut report)?;
+        // Per-pipeline quarantine views for this execution: tiers whose
+        // compiles failed recently are skipped (static modes degrade in
+        // `handles_for`; adaptive mode in the controller), and this
+        // run's compile outcomes are recorded back into the store.
+        let quarantine: Vec<PipelineQuarantine> = (0..plan.pipelines.len())
+            .map(|pid| self.shared.quarantine.pipeline(query.fingerprint, pid))
+            .collect();
+        let handles = state.handles_for(opts.mode, &quarantine, &mut report)?;
         let retained: Vec<Arc<RetainedSlot>> = state.slots.iter().map(|s| s.best.clone()).collect();
 
         // ---- calibration seed --------------------------------------------
@@ -624,9 +695,13 @@ impl Session {
                 calibrator: &calibrator,
                 opts,
                 params,
+                quarantine: &quarantine,
             },
             &mut report,
         );
+        // Containment accounting happens on every exit path: a query
+        // that later failed (or was cancelled) still degraded/skipped.
+        self.shared.server.note_containment(report.degraded, report.quarantine_skips);
         let rows = match run {
             Ok(rows) => rows,
             Err(e) => {
@@ -884,36 +959,54 @@ impl PreparedState {
         })
     }
 
-    /// Translate every pipeline that does not have bytecode yet, each
-    /// under its own compile-once latch (timed in `Report::bc_translate`;
-    /// a no-op — and a zero report — when a prior execution already paid
-    /// for it). Concurrent cold executions dedup per pipeline: the second
-    /// waits on the slot's latch and finds it filled.
-    fn ensure_bytecode(&self, report: &mut Report) -> Result<(), ExecError> {
-        let mut spent = Duration::ZERO;
-        for (f, slots) in self.functions.iter().zip(&self.slots) {
-            let mut slot = slots.bytecode.lock();
-            if slot.is_none() {
-                let t0 = Instant::now();
-                let bc = translate(f, &self.externs, TranslateOptions::default())
-                    .map_err(|e| ExecError::Translate(e.to_string()))?;
-                *slot = Some(Arc::new(bc));
-                spent += t0.elapsed();
+    /// Pipeline `i`'s bytecode backend, translating under the slot's
+    /// compile-once latch if no prior execution paid for it (timed in
+    /// `Report::bc_translate`). Concurrent cold executions dedup: the
+    /// second waits on the latch and finds the slot filled.
+    fn bytecode_backend(
+        &self,
+        i: usize,
+        report: &mut Report,
+    ) -> Result<Arc<dyn PipelineBackend>, ExecError> {
+        let mut slot = self.slots[i].bytecode.lock();
+        if let Some(b) = &*slot {
+            return Ok(b.clone());
+        }
+        let t0 = Instant::now();
+        aqe_fault::failpoint("bc_translate").map_err(ExecError::Translate)?;
+        let bc = translate(&self.functions[i], &self.externs, TranslateOptions::default())
+            .map_err(|e| ExecError::Translate(e.to_string()))?;
+        let b: Arc<dyn PipelineBackend> = Arc::new(bc);
+        *slot = Some(b.clone());
+        report.bc_translate += t0.elapsed();
+        Ok(b)
+    }
+
+    /// The ladder's floor for pipeline `i`: bytecode, degrading to the
+    /// naive IR walker if translation itself fails (the walker interprets
+    /// the module directly and cannot fail to build) — the bottom rung is
+    /// unconditional, so no execution ever dies on a broken translator.
+    fn base_backend(&self, i: usize, report: &mut Report) -> Arc<dyn PipelineBackend> {
+        match self.bytecode_backend(i, report) {
+            Ok(b) => b,
+            Err(_) => {
+                report.degraded += 1;
+                Arc::new(NaiveBackend::new(self.functions[i].clone()))
             }
         }
-        if spent > Duration::ZERO {
-            report.bc_translate += spent;
-        }
-        Ok(())
     }
 
     /// Fresh per-run hot-swap handles holding each pipeline's initial
     /// backend for `mode`. Static compiled modes reuse a prior run's
     /// backend at their exact level or compile it now (timed in
-    /// `Report::upfront_compile`).
+    /// `Report::upfront_compile`). A compile failure never surfaces: the
+    /// pipeline degrades to the next-lower rung, the broken tier is
+    /// quarantined via this execution's `quarantine` views, and
+    /// `Report::degraded` counts it.
     fn handles_for(
         &self,
         mode: ExecMode,
+        quarantine: &[PipelineQuarantine],
         report: &mut Report,
     ) -> Result<Vec<Arc<FunctionHandle>>, ExecError> {
         let n = self.functions.len();
@@ -926,16 +1019,9 @@ impl PreparedState {
                     Arc::new(FunctionHandle::new(b))
                 })
                 .collect(),
-            ExecMode::Bytecode => {
-                self.ensure_bytecode(report)?;
-                self.slots
-                    .iter()
-                    .map(|s| {
-                        let bc = s.bytecode.lock().clone().expect("bytecode just ensured");
-                        Arc::new(FunctionHandle::new(bc))
-                    })
-                    .collect()
-            }
+            ExecMode::Bytecode => (0..n)
+                .map(|i| Arc::new(FunctionHandle::new(self.base_backend(i, report))))
+                .collect(),
             ExecMode::Unoptimized | ExecMode::Optimized => {
                 let level = match mode {
                     ExecMode::Unoptimized => OptLevel::Unoptimized,
@@ -943,8 +1029,8 @@ impl PreparedState {
                 };
                 let t0 = Instant::now();
                 let mut hs = Vec::with_capacity(n);
-                for i in 0..n {
-                    let backend = self.threaded_backend(i, level)?;
+                for (i, q) in quarantine.iter().enumerate() {
+                    let backend = self.threaded_backend(i, level, q, report);
                     hs.push(Arc::new(FunctionHandle::new(backend)));
                 }
                 report.upfront_compile = t0.elapsed();
@@ -953,8 +1039,8 @@ impl PreparedState {
             ExecMode::Native => {
                 let t0 = Instant::now();
                 let mut hs = Vec::with_capacity(n);
-                for i in 0..n {
-                    let backend = self.native_backend(i)?;
+                for (i, q) in quarantine.iter().enumerate() {
+                    let backend = self.native_backend(i, q, report);
                     hs.push(Arc::new(FunctionHandle::new(backend)));
                 }
                 report.upfront_compile = t0.elapsed();
@@ -963,29 +1049,28 @@ impl PreparedState {
             ExecMode::Simd => {
                 let t0 = Instant::now();
                 let mut hs = Vec::with_capacity(n);
-                for i in 0..n {
-                    let backend = self.simd_backend(i)?;
+                for (i, q) in quarantine.iter().enumerate() {
+                    let backend = self.simd_backend(i, q, report);
                     hs.push(Arc::new(FunctionHandle::new(backend)));
                 }
                 report.upfront_compile = t0.elapsed();
                 hs
             }
             ExecMode::Adaptive => {
-                // The ladder's base rank: even a warm run needs bytecode
-                // as the fallback for pipelines nothing has upgraded yet.
-                self.ensure_bytecode(report)?;
-                self.slots
-                    .iter()
-                    .map(|s| {
-                        // Best backend any prior — or concurrently running
-                        // — execution published; rank-monotonic, so this
-                        // can only ever improve on bytecode.
-                        let best = s.best.load().unwrap_or_else(|| {
-                            s.bytecode.lock().clone().expect("bytecode just ensured")
-                        });
-                        Arc::new(FunctionHandle::new(best))
-                    })
-                    .collect()
+                // The ladder's base rank: even a warm run needs an
+                // interpreted fallback for pipelines nothing upgraded yet.
+                let mut hs = Vec::with_capacity(n);
+                for i in 0..n {
+                    // Best backend any prior — or concurrently running
+                    // — execution published; rank-monotonic, so this
+                    // can only ever improve on the interpreted floor.
+                    let best = match self.slots[i].best.load() {
+                        Some(b) => b,
+                        None => self.base_backend(i, report),
+                    };
+                    hs.push(Arc::new(FunctionHandle::new(best)));
+                }
+                hs
             }
         };
         Ok(handles)
@@ -993,50 +1078,89 @@ impl PreparedState {
 
     /// Pipeline `i`'s threaded-code backend at `level`, compiling and
     /// retaining it if no prior run already did (the slot latch is held
-    /// across the compile, so racing executions compile once).
+    /// across the compile, so racing executions compile once). A compile
+    /// failure — or a live quarantine on the tier — degrades to the next
+    /// rung down (`Optimized` → `Unoptimized` → bytecode/naive).
     fn threaded_backend(
         &self,
         i: usize,
         level: OptLevel,
-    ) -> Result<Arc<dyn PipelineBackend>, ExecError> {
-        let slot = match level {
-            OptLevel::Unoptimized => &self.slots[i].unopt,
-            OptLevel::Optimized => &self.slots[i].opt,
+        q: &PipelineQuarantine,
+        report: &mut Report,
+    ) -> Arc<dyn PipelineBackend> {
+        let (slot, elevel) = match level {
+            OptLevel::Unoptimized => (&self.slots[i].unopt, ExecLevel::Unoptimized),
+            OptLevel::Optimized => (&self.slots[i].opt, ExecLevel::Optimized),
         };
-        let mut guard = slot.lock();
-        if let Some(b) = &*guard {
-            return Ok(b.clone());
+        {
+            let mut guard = slot.lock();
+            // A backend a prior run already paid for is always safe to
+            // reuse — the quarantine only gates fresh compile attempts.
+            if let Some(b) = &*guard {
+                return b.clone();
+            }
+            if !q.blocked(elevel) {
+                match compile(&self.functions[i], &self.externs, level) {
+                    Ok(cf) => {
+                        let b: Arc<dyn PipelineBackend> = Arc::new(cf);
+                        *guard = Some(b.clone());
+                        self.slots[i].best.install(b.clone());
+                        q.record_success(elevel);
+                        return b;
+                    }
+                    Err(_) => {
+                        q.record_failure(elevel);
+                        report.degraded += 1;
+                    }
+                }
+            }
+            // Degrade below, with the latch released so the fallback
+            // compile cannot nest slot locks.
         }
-        let cf = compile(&self.functions[i], &self.externs, level)
-            .map_err(|e| ExecError::Compile(e.to_string()))?;
-        let b: Arc<dyn PipelineBackend> = Arc::new(cf);
-        *guard = Some(b.clone());
-        self.slots[i].best.install(b.clone());
-        Ok(b)
+        match level {
+            OptLevel::Optimized => self.threaded_backend(i, OptLevel::Unoptimized, q, report),
+            OptLevel::Unoptimized => self.base_backend(i, report),
+        }
     }
 
     /// Pipeline `i`'s native machine-code backend — or, where the emitter
     /// is unavailable (non-x86-64 targets, `AQE_NATIVE=0`), the clean
     /// fallback alias: the optimized threaded backend. A genuine compile
-    /// *failure* (as opposed to unavailability) also falls back rather
-    /// than failing the query, since `Optimized` is semantically
-    /// equivalent.
-    fn native_backend(&self, i: usize) -> Result<Arc<dyn PipelineBackend>, ExecError> {
+    /// *failure* (as opposed to unavailability) degrades the same way but
+    /// is counted and quarantines the tier — `Optimized` is semantically
+    /// equivalent, so the query still answers correctly.
+    fn native_backend(
+        &self,
+        i: usize,
+        q: &PipelineQuarantine,
+        report: &mut Report,
+    ) -> Arc<dyn PipelineBackend> {
         {
             let mut guard = self.slots[i].native.lock();
             if let Some(b) = &*guard {
-                return Ok(b.clone());
+                return b.clone();
             }
-            if let Ok(nf) = aqe_jit::native::compile_native(&self.functions[i], &self.externs) {
-                let b: Arc<dyn PipelineBackend> = Arc::new(nf);
-                *guard = Some(b.clone());
-                self.slots[i].best.install(b.clone());
-                return Ok(b);
+            if aqe_jit::native::enabled() && !q.blocked(ExecLevel::Native) {
+                match aqe_jit::native::compile_native(&self.functions[i], &self.externs) {
+                    Ok(nf) => {
+                        let b: Arc<dyn PipelineBackend> = Arc::new(nf);
+                        *guard = Some(b.clone());
+                        self.slots[i].best.install(b.clone());
+                        q.record_success(ExecLevel::Native);
+                        return b;
+                    }
+                    // Unavailability is an alias by design, not a fault.
+                    Err(aqe_jit::native::NativeError::Unavailable(_)) => {}
+                    Err(_) => {
+                        q.record_failure(ExecLevel::Native);
+                        report.degraded += 1;
+                    }
+                }
             }
             // Fall back below — with the native latch released, so the
             // fallback compile cannot nest slot locks.
         }
-        self.threaded_backend(i, OptLevel::Optimized)
+        self.threaded_backend(i, OptLevel::Optimized, q, report)
     }
 
     /// Pipeline `i`'s vectorized scan-kernel backend — the native (or its
@@ -1044,22 +1168,41 @@ impl PreparedState {
     /// where no kernel was extracted or `AQE_SIMD=0`, the clean alias:
     /// the native backend itself. Lock order is simd → native (the inner
     /// compile takes the native latch); nothing takes them reversed.
-    fn simd_backend(&self, i: usize) -> Result<Arc<dyn PipelineBackend>, ExecError> {
+    fn simd_backend(
+        &self,
+        i: usize,
+        q: &PipelineQuarantine,
+        report: &mut Report,
+    ) -> Arc<dyn PipelineBackend> {
         let Some(kernel) = self.kernels.get(i).and_then(|k| k.clone()) else {
-            return self.native_backend(i);
+            return self.native_backend(i, q, report);
         };
         if !simd::enabled() {
-            return self.native_backend(i);
+            return self.native_backend(i, q, report);
         }
-        let mut guard = self.slots[i].simd.lock();
-        if let Some(b) = &*guard {
-            return Ok(b.clone());
+        {
+            let mut guard = self.slots[i].simd.lock();
+            if let Some(b) = &*guard {
+                return b.clone();
+            }
+            if !q.blocked(ExecLevel::Simd) {
+                // The assembly itself is a wrap and cannot fail, so the
+                // injectable fault site is the only failure source here;
+                // the inner backend is built by the (already contained)
+                // native path.
+                if aqe_fault::failpoint("simd_compile").is_ok() {
+                    let inner = self.native_backend(i, q, report);
+                    let b: Arc<dyn PipelineBackend> = Arc::new(SimdScanBackend::new(inner, kernel));
+                    *guard = Some(b.clone());
+                    self.slots[i].best.install(b.clone());
+                    q.record_success(ExecLevel::Simd);
+                    return b;
+                }
+                q.record_failure(ExecLevel::Simd);
+                report.degraded += 1;
+            }
         }
-        let inner = self.native_backend(i)?;
-        let b: Arc<dyn PipelineBackend> = Arc::new(SimdScanBackend::new(inner, kernel));
-        *guard = Some(b.clone());
-        self.slots[i].best.install(b.clone());
-        Ok(b)
+        self.native_backend(i, q, report)
     }
 
     /// After a run: retain whatever backends the controller published, so

@@ -69,6 +69,7 @@ unsafe impl Sync for ExecMem {}
 impl ExecMem {
     /// Map `code` into fresh executable pages.
     pub fn map(code: &[u8]) -> Result<ExecMem, String> {
+        aqe_fault::failpoint("wx_map")?;
         if code.is_empty() {
             return Err("empty code buffer".to_string());
         }

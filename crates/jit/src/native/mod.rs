@@ -178,6 +178,7 @@ pub fn compile_native(f: &Function, externs: &[ExternDecl]) -> Result<NativeFunc
             "no x86-64 Linux emitter on this target"
         }));
     }
+    aqe_fault::failpoint("native_compile").map_err(NativeError::Compile)?;
     compile_native_impl(f, externs)
 }
 

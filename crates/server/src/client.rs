@@ -14,8 +14,8 @@ use aqe_engine::plan::FieldTy;
 use aqe_engine::ParamValue;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// A client-side failure: transport, codec, or a server error frame.
 #[derive(Debug)]
@@ -61,6 +61,10 @@ pub struct PreparedHandle {
     pub stmt_id: u64,
     pub param_count: u16,
     pub columns: Vec<String>,
+    /// The statement text, kept so the handle can be re-prepared on a
+    /// fresh connection after a transport failure
+    /// ([`Client::execute_retry`]).
+    pub sql: String,
 }
 
 /// One execution's result set.
@@ -106,19 +110,56 @@ pub struct Client {
     parked: VecDeque<Response>,
     next_stmt: u64,
     next_req: u64,
+    /// The peer address, kept for [`reconnect`](Client::reconnect).
+    addr: Option<SocketAddr>,
+    /// PRNG state for backoff jitter (splitmix64).
+    backoff_rng: u64,
 }
 
 impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        let peer = stream.peer_addr().ok();
+        let seed = 0x9E3779B97F4A7C15 ^ stream.local_addr().map_or(0, |a| u64::from(a.port()));
         Ok(Client {
             stream,
             inbuf: FrameBuf::new(),
             parked: VecDeque::new(),
             next_stmt: 1,
             next_req: 1,
+            addr: peer,
+            backoff_rng: seed,
         })
+    }
+
+    /// Drop the broken transport and dial the same server again. All
+    /// connection-scoped state is gone on the far side, so parked
+    /// responses and the inbound buffer are discarded with it; prepared
+    /// handles must be re-prepared
+    /// ([`re_prepare`](Client::re_prepare)).
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        let addr = self.addr.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                "peer address unknown; cannot reconnect",
+            ))
+        })?;
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        self.stream = stream;
+        self.inbuf = FrameBuf::new();
+        self.parked.clear();
+        Ok(())
+    }
+
+    /// Re-prepare a handle on the current connection (after
+    /// [`reconnect`](Client::reconnect)), reusing its statement text.
+    /// The handle is updated in place with the fresh server-side id.
+    pub fn re_prepare(&mut self, stmt: &mut PreparedHandle) -> Result<(), ClientError> {
+        let sql = stmt.sql.clone();
+        *stmt = self.prepare(&sql)?;
+        Ok(())
     }
 
     /// Bound the wait of any single `recv` (None blocks forever).
@@ -133,7 +174,7 @@ impl Client {
         self.send(&Request::Prepare { stmt_id, sql: sql.to_string() })?;
         match self.recv()? {
             Response::Prepared { stmt_id, param_count, columns } => {
-                Ok(PreparedHandle { stmt_id, param_count, columns })
+                Ok(PreparedHandle { stmt_id, param_count, columns, sql: sql.to_string() })
             }
             Response::Error { code, message, .. } => Err(ClientError::Server { code, message }),
             other => Err(ClientError::Decode(DecodeError::Malformed(match other {
@@ -163,6 +204,89 @@ impl Client {
     ) -> Result<QueryResult, ClientError> {
         let request_id = self.submit(stmt, params, priority, deadline_ms)?;
         self.wait(request_id)
+    }
+
+    /// Execute with automatic retry on load shed and transient transport
+    /// failures, under an optional total time `budget`.
+    ///
+    /// Retryable outcomes are `ErrorCode::Shed` / `Backpressure` error
+    /// frames (the server refused or dropped the work but the protocol
+    /// is intact) and transient I/O errors (connection reset, broken
+    /// pipe, timeouts — the transport died; [`reconnect`] and
+    /// [`re_prepare`] rebuild it, which is why the handle is `&mut`).
+    /// Everything else — plan errors, cancellations, protocol
+    /// violations — returns immediately.
+    ///
+    /// Attempts are spaced by jittered exponential backoff (10 ms base,
+    /// doubling to a 500 ms cap, ±50% jitter) and each carries the
+    /// *remaining* budget as its server-side deadline, so a retried
+    /// query can never outlive the caller's patience. With no budget the
+    /// retry count is capped instead.
+    ///
+    /// [`reconnect`]: Client::reconnect
+    /// [`re_prepare`]: Client::re_prepare
+    pub fn execute_retry(
+        &mut self,
+        stmt: &mut PreparedHandle,
+        params: &[ParamValue],
+        priority: u8,
+        budget: Option<Duration>,
+    ) -> Result<QueryResult, ClientError> {
+        const MAX_UNBUDGETED_RETRIES: u32 = 8;
+        const BACKOFF_BASE: Duration = Duration::from_millis(10);
+        const BACKOFF_CAP: Duration = Duration::from_millis(500);
+        let start = Instant::now();
+        let mut backoff = BACKOFF_BASE;
+        let mut attempt: u32 = 0;
+        loop {
+            let remaining = match budget {
+                Some(b) => match b.checked_sub(start.elapsed()) {
+                    Some(r) if !r.is_zero() => Some(r),
+                    _ => {
+                        return Err(ClientError::Server {
+                            code: ErrorCode::DeadlineExceeded,
+                            message: format!("retry budget of {budget:?} exhausted client-side"),
+                        })
+                    }
+                },
+                None => None,
+            };
+            let deadline_ms =
+                remaining.map_or(0, |r| r.as_millis().min(u128::from(u32::MAX)) as u32);
+            let err = match self.execute_with(stmt, params, priority, deadline_ms) {
+                Ok(result) => return Ok(result),
+                Err(e) => e,
+            };
+            let transport_died = match &err {
+                ClientError::Server { code: ErrorCode::Shed | ErrorCode::Backpressure, .. } => {
+                    false
+                }
+                ClientError::Io(e) if io_transient(e.kind()) => true,
+                _ => return Err(err),
+            };
+            attempt += 1;
+            if budget.is_none() && attempt > MAX_UNBUDGETED_RETRIES {
+                return Err(err);
+            }
+            let mut sleep = jitter(&mut self.backoff_rng, backoff);
+            if let Some(r) = remaining {
+                sleep = sleep.min(r);
+            }
+            std::thread::sleep(sleep);
+            backoff = (backoff * 2).min(BACKOFF_CAP);
+            if transport_died {
+                if let Err(e) = self.reconnect().and_then(|()| self.re_prepare(stmt)) {
+                    match &e {
+                        // Server still coming back up — keep dialing
+                        // under the same backoff schedule.
+                        ClientError::Io(_) => continue,
+                        // The statement no longer plans, the protocol
+                        // broke: no retry fixes these.
+                        _ => return Err(e),
+                    }
+                }
+            }
+        }
     }
 
     /// Send an execute without waiting; returns the correlation id.
@@ -251,6 +375,34 @@ impl Client {
         self.stream.write_all(&req.encode())?;
         Ok(())
     }
+}
+
+/// Transport failures worth a reconnect-and-retry: the connection died
+/// or timed out in a way a fresh dial can fix.
+fn io_transient(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::Interrupted
+    )
+}
+
+/// 50%–150% of `base`, stepping a splitmix64 stream — desynchronizes
+/// retry herds without a clock or an RNG dependency.
+fn jitter(state: &mut u64, base: Duration) -> Duration {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    let pct = 50 + (z % 101); // 50..=150
+    base * (pct as u32) / 100
 }
 
 fn response_req_id(r: &Response) -> Option<u64> {

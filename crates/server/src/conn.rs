@@ -12,13 +12,21 @@
 //! A protocol violation flips the connection into *draining*: the error
 //! frame is queued, reads stop, and the socket closes once the outbound
 //! queue flushes — the peer always learns *why* it was cut off.
+//!
+//! The outbound queue is *bounded*: each connection carries a byte
+//! budget, and a response that would overflow it is replaced by a small
+//! [`ErrorCode::Backpressure`] frame (the query's work is shed, the
+//! stream stays usable). A peer that won't drain even those notices is
+//! *poisoned* — the event loop closes it — so one slow reader can never
+//! grow server memory without bound.
 
-use crate::protocol::{DecodeError, FrameBuf, Request, Response};
+use crate::protocol::{DecodeError, ErrorCode, FrameBuf, Request, Response};
 use aqe_sql::PreparedStatement;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// What a read-readiness pass observed.
 #[derive(PartialEq, Eq, Debug)]
@@ -40,6 +48,23 @@ pub enum FlushOutcome {
     Disconnected,
 }
 
+/// What [`Conn::queue_response`] did with a response.
+#[derive(PartialEq, Eq, Debug)]
+pub enum QueueOutcome {
+    /// Queued in full.
+    Queued,
+    /// The response would overflow the outbound budget: it was replaced
+    /// by a small [`ErrorCode::Backpressure`] error frame. The caller
+    /// should count the shed; the stream stays usable.
+    Shed,
+    /// The peer has not drained even the pending (already shed-limited)
+    /// bytes: the connection flipped to poisoned on this call. The
+    /// caller should count it and close the connection.
+    Poisoned,
+    /// Dropped: the connection was already poisoned by an earlier call.
+    Dropped,
+}
+
 /// One client connection multiplexed by the event loop.
 pub struct Conn {
     pub stream: TcpStream,
@@ -50,11 +75,19 @@ pub struct Conn {
     outbuf: Vec<u8>,
     /// Flush cursor into `outbuf` (compacted when fully drained).
     out_pos: usize,
+    /// Byte budget for unflushed output (see module docs).
+    outbuf_budget: usize,
     /// Set after a protocol violation: stop reading, flush, then close.
     pub draining: bool,
+    /// Set when the peer stopped draining past the budget: the event
+    /// loop closes the connection at its next touch.
+    pub poisoned: bool,
     /// Executions dispatched by this connection and not yet answered —
     /// the event loop cancels them all on disconnect.
     pub in_flight: u32,
+    /// When the last *complete* request frame was parsed (connections
+    /// idle past the server's reap window are closed).
+    pub last_frame: Instant,
     /// Connection-scoped prepared statements, by client-chosen id.
     /// `Arc` because executor workers hold the statement across the
     /// morsel loop while the client may concurrently close it.
@@ -62,15 +95,18 @@ pub struct Conn {
 }
 
 impl Conn {
-    pub fn new(stream: TcpStream, id: u64) -> Conn {
+    pub fn new(stream: TcpStream, id: u64, outbuf_budget: usize) -> Conn {
         Conn {
             stream,
             id,
             inbuf: FrameBuf::new(),
             outbuf: Vec::new(),
             out_pos: 0,
+            outbuf_budget,
             draining: false,
+            poisoned: false,
             in_flight: 0,
+            last_frame: Instant::now(),
             stmts: HashMap::new(),
         }
     }
@@ -78,6 +114,11 @@ impl Conn {
     /// Pull everything the socket has (until `WouldBlock`) into the
     /// frame buffer.
     pub fn read_ready(&mut self) -> ReadOutcome {
+        // Injectable syscall fault (`AQE_FAULT="server_read=..."`):
+        // surfaces as a peer disconnect, the path every read error takes.
+        if aqe_fault::failpoint("server_read").is_err() {
+            return ReadOutcome::Disconnected;
+        }
         let mut chunk = [0u8; 16 * 1024];
         loop {
             match self.stream.read(&mut chunk) {
@@ -98,17 +139,61 @@ impl Conn {
         }
         match self.inbuf.next_body()? {
             None => Ok(None),
-            Some(body) => Request::decode(body).map(Some),
+            Some(body) => {
+                self.last_frame = Instant::now();
+                Request::decode(body).map(Some)
+            }
         }
     }
 
-    /// Queue an encoded response for flushing.
-    pub fn queue_response(&mut self, resp: &Response) {
-        self.outbuf.extend_from_slice(&resp.encode());
+    /// Queue an encoded response for flushing, within the outbound byte
+    /// budget (see module docs for the shed/poison ladder).
+    pub fn queue_response(&mut self, resp: &Response) -> QueueOutcome {
+        if self.poisoned {
+            return QueueOutcome::Dropped;
+        }
+        let pending = self.outbuf.len() - self.out_pos;
+        if pending > self.outbuf_budget {
+            // Even the shed notices are not being drained: the peer is
+            // not reading. Poison; the event loop closes us.
+            self.poisoned = true;
+            self.draining = true;
+            return QueueOutcome::Poisoned;
+        }
+        let bytes = resp.encode();
+        if pending + bytes.len() <= self.outbuf_budget || !matches!(resp, Response::Rows { .. }) {
+            // Within budget — or a small control/error frame, which may
+            // overrun slightly (bounded: the poison check above caps
+            // pending at budget + one frame).
+            self.outbuf.extend_from_slice(&bytes);
+            return QueueOutcome::Queued;
+        }
+        // A result that does not fit the remaining budget: shed it with
+        // a typed notice the client can act on (drain, then retry).
+        let request_id = match resp {
+            Response::Rows { request_id, .. } => *request_id,
+            _ => 0,
+        };
+        let err = Response::Error {
+            request_id,
+            code: ErrorCode::Backpressure,
+            message: format!(
+                "response of {} bytes shed: {} of {} outbound budget bytes still undrained",
+                bytes.len(),
+                pending,
+                self.outbuf_budget
+            ),
+        };
+        self.outbuf.extend_from_slice(&err.encode());
+        QueueOutcome::Shed
     }
 
     /// Write as much of the outbound queue as the socket accepts.
     pub fn flush(&mut self) -> FlushOutcome {
+        // Injectable syscall fault (`AQE_FAULT="server_write=..."`).
+        if aqe_fault::failpoint("server_write").is_err() {
+            return FlushOutcome::Disconnected;
+        }
         while self.out_pos < self.outbuf.len() {
             match self.stream.write(&self.outbuf[self.out_pos..]) {
                 Ok(0) => return FlushOutcome::Disconnected,
@@ -126,5 +211,10 @@ impl Conn {
     /// Whether unflushed response bytes remain.
     pub fn has_pending_output(&self) -> bool {
         self.out_pos < self.outbuf.len()
+    }
+
+    /// How long since the last complete request frame.
+    pub fn idle_for(&self) -> std::time::Duration {
+        self.last_frame.elapsed()
     }
 }

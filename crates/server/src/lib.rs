@@ -34,5 +34,6 @@ pub mod server;
 pub mod sys;
 
 pub use client::{Client, ClientError, PreparedHandle, QueryResult};
+pub use conn::QueueOutcome;
 pub use protocol::{DecodeError, ErrorCode, Request, Response, MAX_FRAME};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -63,6 +63,15 @@ pub enum ErrorCode {
     ResultTooLarge = 8,
     /// The server is shutting down; queued work is refused.
     ShuttingDown = 9,
+    /// The execution failed inside the engine in a way that was
+    /// contained at a thread boundary (a worker or executor panic,
+    /// isolated by `catch_unwind`). The server process — and this
+    /// connection — stay up; the request simply failed.
+    Internal = 10,
+    /// The response was shed because the connection's outbound buffer
+    /// budget is full (the client is not draining its socket). The
+    /// stream stays usable: drain and retry.
+    Backpressure = 11,
 }
 
 impl ErrorCode {
@@ -77,6 +86,8 @@ impl ErrorCode {
             7 => ErrorCode::Plan,
             8 => ErrorCode::ResultTooLarge,
             9 => ErrorCode::ShuttingDown,
+            10 => ErrorCode::Internal,
+            11 => ErrorCode::Backpressure,
             _ => return None,
         })
     }

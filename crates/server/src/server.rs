@@ -30,7 +30,7 @@
 //! the matching error frame.
 
 use crate::admission::{Admission, Submitted};
-use crate::conn::{Conn, FlushOutcome, ReadOutcome};
+use crate::conn::{Conn, FlushOutcome, QueueOutcome, ReadOutcome};
 use crate::protocol::{DecodeError, ErrorCode, Request, Response};
 use crate::sys::{self, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use aqe_engine::cancel::{CancelKind, CancelToken};
@@ -66,6 +66,16 @@ pub struct ServerConfig {
     /// sizing). The per-request cancel token and admission report are
     /// installed over this template at dispatch.
     pub exec: ExecOptions,
+    /// Per-connection outbound byte budget. A finished result that would
+    /// overflow it is shed with an `ErrorCode::Backpressure` frame; a
+    /// peer that won't drain even those is poisoned and closed. The
+    /// default (two max-size frames) never sheds a response a reading
+    /// client would have received.
+    pub outbuf_budget: usize,
+    /// Close connections with no in-flight work and no pending output
+    /// that have not sent a complete frame for this long. `None` (the
+    /// default) never reaps.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +86,8 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             default_deadline: None,
             exec: ExecOptions::default(),
+            outbuf_budget: 2 * crate::protocol::MAX_FRAME,
+            idle_timeout: None,
         }
     }
 }
@@ -286,6 +298,10 @@ impl Server {
             // triggered it — a doorbell ring coalesced into an earlier
             // wait can never strand a result.
             self.deliver_completions();
+            // The 500 ms tick doubles as the idle-reaper cadence.
+            if let Some(window) = self.config.idle_timeout {
+                self.reap_idle(window);
+            }
         }
         self.shutdown_sequence();
         Ok(())
@@ -294,6 +310,13 @@ impl Server {
     // -- accept path ------------------------------------------------------
 
     fn accept_ready(&mut self) {
+        // Injectable accept fault (`AQE_FAULT="server_accept=..."`):
+        // skip this readiness pass. Level-triggered epoll re-reports the
+        // listener while peers are pending, so nobody is lost — only
+        // delayed, exactly like a transient EMFILE/ENFILE.
+        if aqe_fault::failpoint("server_accept").is_err() {
+            return;
+        }
         loop {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
@@ -307,7 +330,7 @@ impl Server {
                     if sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_ADD, fd, in_mask(), id).is_err() {
                         continue;
                     }
-                    self.conns.insert(id, Conn::new(stream, id));
+                    self.conns.insert(id, Conn::new(stream, id, self.config.outbuf_budget));
                     self.out_armed.insert(id, false);
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
@@ -364,19 +387,25 @@ impl Server {
     /// A malformed frame: answer with one protocol-error frame, then
     /// drain and close. The peer learns why; the stream is done.
     fn protocol_error(&mut self, id: u64, e: DecodeError) {
+        self.respond(
+            id,
+            Response::Error { request_id: 0, code: ErrorCode::Protocol, message: e.to_string() },
+        );
         if let Some(conn) = self.conns.get_mut(&id) {
-            conn.queue_response(&Response::Error {
-                request_id: 0,
-                code: ErrorCode::Protocol,
-                message: e.to_string(),
-            });
             conn.draining = true;
         }
     }
 
+    /// Queue a response within the connection's outbound budget and
+    /// account for what the bounded queue did with it.
     fn respond(&mut self, id: u64, resp: Response) {
-        if let Some(conn) = self.conns.get_mut(&id) {
-            conn.queue_response(&resp);
+        let Some(conn) = self.conns.get_mut(&id) else { return };
+        match conn.queue_response(&resp) {
+            QueueOutcome::Queued | QueueOutcome::Dropped => {}
+            QueueOutcome::Shed => self.counters.note_overflow(),
+            // The close happens at the next flush touch, which every
+            // queue site performs.
+            QueueOutcome::Poisoned => self.counters.note_conn_poisoned(),
         }
     }
 
@@ -522,11 +551,14 @@ impl Server {
         for c in done {
             self.active.remove(&(c.conn, c.request_id));
             let resp = completion_response(&c);
-            if let Some(conn) = self.conns.get_mut(&c.conn) {
+            let conn_id = c.conn;
+            if let Some(conn) = self.conns.get_mut(&conn_id) {
                 conn.in_flight = conn.in_flight.saturating_sub(1);
-                conn.queue_response(&resp);
+            } else {
+                continue;
             }
-            self.flush_conn(c.conn);
+            self.respond(conn_id, resp);
+            self.flush_conn(conn_id);
         }
     }
 
@@ -536,6 +568,12 @@ impl Server {
     /// interest in sync with whether bytes remain.
     fn flush_conn(&mut self, id: u64) {
         let Some(conn) = self.conns.get_mut(&id) else { return };
+        if conn.poisoned {
+            // The peer stopped draining past the outbound budget; there
+            // is nothing useful left to say to it.
+            self.close_conn(id);
+            return;
+        }
         match conn.flush() {
             FlushOutcome::Disconnected => self.close_conn(id),
             FlushOutcome::Pending => self.arm_out(id, true),
@@ -561,6 +599,24 @@ impl Server {
             {
                 *armed = want;
             }
+        }
+    }
+
+    /// Close every connection that is fully quiescent — no execution in
+    /// flight, nothing left to flush, not mid-drain — and has not sent a
+    /// complete frame within the idle window.
+    fn reap_idle(&mut self, window: Duration) {
+        let victims: Vec<u64> = self
+            .conns
+            .values()
+            .filter(|c| {
+                c.in_flight == 0 && !c.has_pending_output() && !c.draining && c.idle_for() > window
+            })
+            .map(|c| c.id)
+            .collect();
+        for id in victims {
+            self.counters.note_idle_reaped();
+            self.close_conn(id);
         }
     }
 
@@ -648,6 +704,11 @@ fn completion_response(c: &Completion) -> Response {
             },
             message: reason.clone(),
         },
+        Err(e @ ExecError::Internal { .. }) => Response::Error {
+            request_id: c.request_id,
+            code: ErrorCode::Internal,
+            message: e.to_string(),
+        },
         Err(e) => Response::Error {
             request_id: c.request_id,
             code: ErrorCode::Exec,
@@ -677,7 +738,16 @@ fn worker_loop(
             priority: job.priority,
             shed_at_dispatch: counters.shed_total(),
         });
-        let result = session.execute_bound_with(&job.stmt.query, &job.params, &opts);
+        // The executor thread is a shared resource serving every future
+        // request: a panicking query must not take it down. The engine
+        // contains worker-thread panics itself; this boundary catches
+        // anything that escapes (planner edge cases, result assembly)
+        // and turns it into a typed error on this one request.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            aqe_fault::failpoint("server_worker").map_err(|site| ExecError::Internal { site })?;
+            session.execute_bound_with(&job.stmt.query, &job.params, &opts)
+        }))
+        .unwrap_or_else(|_| Err(ExecError::Internal { site: "server executor".to_string() }));
         counters.note_done();
         completions.lock().unwrap().push(Completion {
             conn: job.conn,

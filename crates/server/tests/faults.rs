@@ -1,0 +1,316 @@
+//! Server-side fault containment over real loopback sockets: panicking
+//! executor threads answer with typed `Internal` frames and keep
+//! serving; a slow reader is shed with `Backpressure` frames and — if it
+//! will not drain even those — poisoned and closed under a bounded
+//! memory ceiling; idle connections are reaped; injected accept / read /
+//! write syscall faults degrade individual connections, never the
+//! server; and the client's `execute_retry` rides out shed and
+//! transport loss with reconnect + backoff.
+
+use aqe_engine::exec::{ExecMode, ExecOptions};
+use aqe_engine::session::Engine;
+use aqe_server::{Client, ClientError, ErrorCode, Server, ServerConfig};
+use aqe_storage::{Catalog, Column, DataType, Table};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Fault schedules are process-global, and these tests hammer loopback;
+/// serialize them all.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Keep injected panics out of the test log (a real panic still prints).
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.starts_with("injected panic"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// `groups` distinct keys: `select k, count(*) as c from g group by k`
+/// returns `groups` rows (16 bytes each on the wire).
+fn grouped_catalog(groups: i64) -> Catalog {
+    let rows = groups * 4;
+    let mut cat = Catalog::new();
+    cat.add(Table::new(
+        "g",
+        vec![("k", DataType::Int64, Column::I64((0..rows).map(|v| v % groups).collect()))],
+    ));
+    cat
+}
+
+const GROUPED_SQL: &str = "select k, count(*) as c from g group by k";
+
+fn spawn_server(
+    cat: Catalog,
+    config: ServerConfig,
+) -> (Arc<Engine>, aqe_server::ServerHandle, std::thread::JoinHandle<std::io::Result<()>>) {
+    let engine = Arc::new(Engine::new(cat));
+    let (handle, join) = Server::spawn(engine.clone(), config).expect("spawn server");
+    (engine, handle, join)
+}
+
+fn shutdown(handle: aqe_server::ServerHandle, join: std::thread::JoinHandle<std::io::Result<()>>) {
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+fn bytecode_config() -> ServerConfig {
+    ServerConfig {
+        exec: ExecOptions { mode: ExecMode::Bytecode, cache_results: false, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// A panicking executor thread must answer with a typed `Internal`
+/// frame, survive, and serve the very next request on the same
+/// connection with the same prepared statement.
+#[test]
+fn worker_panic_answers_internal_and_keeps_serving() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    quiet_injected_panics();
+    let (_engine, handle, join) = spawn_server(grouped_catalog(100), bytecode_config());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let stmt = client.prepare(GROUPED_SQL).unwrap();
+
+    let armed = aqe_fault::arm("server_worker=panic:1", 1).unwrap();
+    match client.execute(&stmt, &[]) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::Internal);
+            assert!(message.contains("internal execution error"), "got: {message}");
+        }
+        other => panic!("expected an Internal error frame, got {other:?}"),
+    }
+    // First-N spent: the pool thread survived the panic and the
+    // connection (and its statement) are intact.
+    let result = client.execute(&stmt, &[]).unwrap();
+    assert_eq!(result.row_count(), 100);
+    drop(armed);
+    shutdown(handle, join);
+}
+
+/// A reading client whose result exceeds the connection's outbound
+/// budget gets a `Backpressure` error frame — shed is an answer, the
+/// stream stays usable — and the ledger counts the overflow.
+#[test]
+fn oversized_result_sheds_with_backpressure_frame() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // 4000 groups → a ~64 KiB rows frame against a 16 KiB budget.
+    let config = ServerConfig { outbuf_budget: 16 * 1024, ..bytecode_config() };
+    let (engine, handle, join) = spawn_server(grouped_catalog(4000), config);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let stmt = client.prepare(GROUPED_SQL).unwrap();
+
+    match client.execute(&stmt, &[]) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::Backpressure);
+            assert!(message.contains("shed"), "got: {message}");
+        }
+        other => panic!("expected Backpressure, got {other:?}"),
+    }
+    // The connection still serves: a result that fits goes through.
+    let small = client.prepare("select count(*) as n from g").unwrap();
+    assert_eq!(client.execute(&small, &[]).unwrap().i64(0, 0), 16000);
+    assert_eq!(engine.server_stats().overflowed, 1);
+    assert_eq!(engine.server_stats().conn_poisoned, 0);
+    shutdown(handle, join);
+}
+
+/// A peer that pipelines executions but never reads: results shed as
+/// backpressure notices; once even the notices pile past the budget the
+/// connection is poisoned and closed. Server memory for that peer is
+/// bounded by budget + one frame, and the ledger accounts every outcome.
+#[test]
+fn slow_reader_is_shed_then_poisoned_under_bounded_memory() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Responses (~24 KiB) fit the 32 KiB budget one at a time, so the
+    // first ones queue for real and fill the kernel's socket buffers;
+    // once flushes stall, later results shed, and the accumulating shed
+    // notices eventually trip the poison threshold.
+    let config = ServerConfig {
+        outbuf_budget: 32 * 1024,
+        workers: 2,
+        // Enough accepted work that the finished results (~24 MiB)
+        // overwhelm whatever the kernel's socket buffers absorb.
+        queue_capacity: 1024,
+        ..bytecode_config()
+    };
+    let (engine, handle, join) = spawn_server(grouped_catalog(1500), config);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let stmt = client.prepare(GROUPED_SQL).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    'submit: for _ in 0..4000 {
+        if client.submit(&stmt, &[], 1, 0).is_err() {
+            break; // the poisoned connection died under our writes
+        }
+        let stats = engine.server_stats();
+        if stats.conn_poisoned >= 1 {
+            break 'submit;
+        }
+        assert!(Instant::now() < deadline, "poison never tripped: {stats:?}");
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while engine.server_stats().conn_poisoned == 0 {
+        assert!(Instant::now() < deadline, "poison never tripped after submits");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let stats = engine.server_stats();
+    assert!(stats.overflowed > 0, "results must have been shed before poisoning: {stats:?}");
+    assert_eq!(stats.conn_poisoned, 1);
+
+    // The server is healthy: a fresh, well-behaved client works.
+    let mut fresh = Client::connect(handle.addr()).unwrap();
+    let small = fresh.prepare("select count(*) as n from g").unwrap();
+    assert_eq!(fresh.execute(&small, &[]).unwrap().i64(0, 0), 6000);
+    shutdown(handle, join);
+}
+
+/// Connections that sit idle past the configured window — no in-flight
+/// work, nothing left to flush — are reaped on the event loop's tick.
+#[test]
+fn idle_connections_are_reaped() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let config =
+        ServerConfig { idle_timeout: Some(Duration::from_millis(200)), ..bytecode_config() };
+    let (engine, handle, join) = spawn_server(grouped_catalog(10), config);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.ping().unwrap();
+
+    // Go quiet; the 500 ms epoll tick sweeps us within a tick or two.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while engine.server_stats().idle_reaped == 0 {
+        assert!(Instant::now() < deadline, "idle connection was never reaped");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(engine.server_stats().idle_reaped, 1);
+    // The reaped socket is dead from the client's side.
+    client.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    assert!(client.ping().is_err(), "the reaped connection must not answer");
+    // An active client opened now is not reaped while it keeps talking.
+    let mut busy = Client::connect(handle.addr()).unwrap();
+    for _ in 0..4 {
+        busy.ping().unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    shutdown(handle, join);
+}
+
+/// Injected accept/read/write syscall faults: individual connections
+/// die exactly as they would on real `ECONNRESET`s, but the event loop
+/// and pool survive, and a clean client works once the schedule clears.
+#[test]
+fn syscall_faults_degrade_connections_not_the_server() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    quiet_injected_panics();
+    let (_engine, handle, join) = spawn_server(grouped_catalog(50), bytecode_config());
+
+    let armed =
+        aqe_fault::arm("server_accept=err:2,server_read=err:0.3,server_write=err:0.3", 9).unwrap();
+    let mut served = 0usize;
+    for _ in 0..12 {
+        // Each attempt may die at accept, read, or write — that is the
+        // point. What must not happen is the server dying with it.
+        let Ok(mut c) = Client::connect(handle.addr()) else { continue };
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let Ok(stmt) = c.prepare(GROUPED_SQL) else { continue };
+        if let Ok(result) = c.execute(&stmt, &[]) {
+            assert_eq!(result.row_count(), 50);
+            served += 1;
+        }
+    }
+    drop(armed);
+    // Disarmed, the server serves a fresh client flawlessly.
+    let mut clean = Client::connect(handle.addr()).unwrap();
+    let stmt = clean.prepare(GROUPED_SQL).unwrap();
+    assert_eq!(clean.execute(&stmt, &[]).unwrap().row_count(), 50);
+    let _ = served; // under heavy schedules zero successes is legal
+    shutdown(handle, join);
+}
+
+/// `execute_retry` rides out admission shedding: a saturated one-worker
+/// server refuses the request with `Shed` frames until capacity frees,
+/// and the retry loop lands the query within its budget.
+#[test]
+fn execute_retry_rides_out_admission_shed() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // One worker, one queue slot, slow interpreted queries.
+    let mut cat = grouped_catalog(200);
+    #[cfg(debug_assertions)]
+    let heavy_rows: i64 = 300_000;
+    #[cfg(not(debug_assertions))]
+    let heavy_rows: i64 = 3_000_000;
+    cat.add(Table::new(
+        "big",
+        vec![("x", DataType::Int64, Column::I64((0..heavy_rows).map(|v| v % 1000).collect()))],
+    ));
+    let config = ServerConfig { workers: 1, queue_capacity: 1, ..bytecode_config() };
+    let (engine, handle, join) = spawn_server(cat, config);
+
+    let heavy_sql = {
+        let aggs: Vec<String> =
+            (0..24).map(|k| format!("sum(x * {} + x) as s{k}", k + 1)).collect();
+        format!("select {} from big", aggs.join(", "))
+    };
+    // Saturate: one running, one queued, both self-expiring on a
+    // deadline so the worker frees while the retrier is mid-backoff.
+    let mut blocker = Client::connect(handle.addr()).unwrap();
+    let heavy = blocker.prepare(&heavy_sql).unwrap();
+    let occupant = blocker.submit(&heavy, &[], 1, 700).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    let waiter = blocker.submit(&heavy, &[], 1, 700).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut retrier = Client::connect(handle.addr()).unwrap();
+    let mut cheap = retrier.prepare("select count(*) as n from g").unwrap();
+    let result = retrier
+        .execute_retry(&mut cheap, &[], 1, Some(Duration::from_secs(30)))
+        .expect("retry must land once the worker frees");
+    assert_eq!(result.row_count(), 1);
+    assert!(engine.server_stats().shed >= 1, "the retrier must have been shed at least once");
+
+    for req in [occupant, waiter] {
+        match blocker.wait(req) {
+            Ok(_) | Err(ClientError::Server { .. }) => {}
+            Err(other) => panic!("unexpected drain failure: {other:?}"),
+        }
+    }
+    shutdown(handle, join);
+}
+
+/// `execute_retry` survives the server restarting underneath it: the
+/// dead transport is redialed with backoff and the statement is
+/// re-prepared on the new connection.
+#[test]
+fn execute_retry_reconnects_across_server_restart() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (_engine, handle, join) = spawn_server(grouped_catalog(50), bytecode_config());
+    let addr = handle.addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    let mut stmt = client.prepare(GROUPED_SQL).unwrap();
+    assert_eq!(client.execute(&stmt, &[]).unwrap().row_count(), 50);
+
+    // Take the server down; the client's transport is now dead.
+    shutdown(handle, join);
+
+    // Bring a new server up on the same address (new engine, empty
+    // statement tables — exactly what re_prepare exists for).
+    let config = ServerConfig { addr: addr.to_string(), ..bytecode_config() };
+    let (_engine2, handle2, join2) = spawn_server(grouped_catalog(50), config);
+
+    let result = client
+        .execute_retry(&mut stmt, &[], 1, Some(Duration::from_secs(30)))
+        .expect("retry must reconnect and re-prepare");
+    assert_eq!(result.row_count(), 50);
+    shutdown(handle2, join2);
+}

@@ -56,6 +56,14 @@ pub enum ExecError {
     Cancelled {
         reason: String,
     },
+    /// A worker or executor thread panicked mid-query and the panic was
+    /// contained at the thread boundary (`catch_unwind`): the query
+    /// fails with this typed error instead of aborting the process.
+    /// `site` names the boundary that caught it. Prepared state and
+    /// caches are left exactly as a clean run would leave them.
+    Internal {
+        site: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -69,6 +77,7 @@ impl fmt::Display for ExecError {
             ExecError::Setup(m) => write!(f, "query setup failed: {m}"),
             ExecError::Bind(m) => write!(f, "parameter binding failed: {m}"),
             ExecError::Cancelled { reason } => write!(f, "query cancelled: {reason}"),
+            ExecError::Internal { site } => write!(f, "internal execution error at {site}"),
         }
     }
 }

@@ -42,6 +42,7 @@ pub use aqe_vm::backend::PipelineBackend;
 
 pub use aqe_baselines as baselines;
 pub use aqe_engine as engine;
+pub use aqe_fault as fault;
 pub use aqe_ir as ir;
 pub use aqe_jit as jit;
 pub use aqe_queries as queries;
