@@ -29,6 +29,66 @@ use aqe_storage::date::parse_date;
 use aqe_storage::Catalog;
 use std::time::{Duration, Instant};
 
+/// Allocation metering for harness binaries (`--features alloc-count`).
+///
+/// A binary installs the shim with
+/// `#[global_allocator] static A: CountingAlloc = CountingAlloc;` (itself
+/// behind the feature gate) and brackets a measured region with
+/// [`alloc_snapshot`]. Counters are process-wide relaxed atomics: exact for
+/// single-threaded measurement loops, still monotonic under threads.
+#[cfg(feature = "alloc-count")]
+pub mod allocmeter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// System allocator wrapper that counts allocation events and bytes.
+    pub struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Relaxed);
+            System.alloc(layout)
+        }
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Relaxed);
+            System.alloc_zeroed(layout)
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            // A grow is a fresh allocation event for the grown portion;
+            // shrinks move no memory worth counting.
+            ALLOCS.fetch_add(1, Relaxed);
+            BYTES.fetch_add(new_size.saturating_sub(layout.size()) as u64, Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    pub fn snapshot() -> (u64, u64) {
+        (ALLOCS.load(Relaxed), BYTES.load(Relaxed))
+    }
+}
+
+/// Cumulative (allocation count, bytes allocated) since process start, or
+/// `None` when the binary was built without `alloc-count`. Callers subtract
+/// two snapshots around a measured region.
+pub fn alloc_snapshot() -> Option<(u64, u64)> {
+    #[cfg(feature = "alloc-count")]
+    {
+        Some(allocmeter::snapshot())
+    }
+    #[cfg(not(feature = "alloc-count"))]
+    {
+        None
+    }
+}
+
 /// Scale factor from the environment (default given by the harness).
 pub fn env_sf(default: f64) -> f64 {
     std::env::var("AQE_SF").ok().and_then(|s| s.parse().ok()).unwrap_or(default)

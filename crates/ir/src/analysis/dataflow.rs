@@ -10,28 +10,17 @@
 use super::rpo::Rpo;
 use crate::function::{Function, ValueId};
 use crate::instr::Instr;
+use crate::key::BitSet;
 
 /// Per-block live-in/live-out bitsets over values, plus per-value exact
 /// first/last live RPO positions.
 pub struct ExactLiveness {
     words: usize,
-    pub live_in: Vec<Vec<u64>>,
-    pub live_out: Vec<Vec<u64>>,
+    pub live_in: Vec<BitSet>,
+    pub live_out: Vec<BitSet>,
     /// Exact min/max RPO position where the value is referenced or live;
     /// `None` for never-live values.
     pub span: Vec<Option<(u32, u32)>>,
-}
-
-fn set(bits: &mut [u64], v: ValueId) -> bool {
-    let w = v.index() / 64;
-    let m = 1u64 << (v.index() % 64);
-    let was = bits[w] & m != 0;
-    bits[w] |= m;
-    !was
-}
-
-fn get(bits: &[u64], v: ValueId) -> bool {
-    bits[v.index() / 64] & (1u64 << (v.index() % 64)) != 0
 }
 
 impl ExactLiveness {
@@ -40,34 +29,34 @@ impl ExactLiveness {
         let nb = rpo.len();
         let words = nv.div_ceil(64);
         // upward-exposed uses and defs per block (by RPO position).
-        let mut uses = vec![vec![0u64; words]; nb];
-        let mut defs = vec![vec![0u64; words]; nb];
+        let mut uses = vec![BitSet::with_capacity(nv); nb];
+        let mut defs = vec![BitSet::with_capacity(nv); nb];
         // φ uses on the edge pred→succ, attached to the pred.
-        let mut phi_uses = vec![vec![0u64; words]; nb];
+        let mut phi_uses = vec![BitSet::with_capacity(nv); nb];
 
         // Parameters count as defined at the top of the entry.
         for i in 0..f.param_count() {
-            set(&mut defs[0], ValueId(i as u32));
+            defs[0].insert(i);
         }
 
         for (pos, &bid) in rpo.order.iter().enumerate() {
             let block = f.block(bid);
             for &vid in &block.instrs {
-                let instr = f.instr(vid).unwrap();
+                let instr = f.instr(vid).expect("block lists only instructions");
                 if !instr.is_phi() {
-                    instr.for_each_value_use(|u| {
-                        if !get(&defs[pos], u) {
-                            set(&mut uses[pos], u);
+                    instr.for_each_value_use(f, |u| {
+                        if !defs[pos].contains(u.index()) {
+                            uses[pos].insert(u.index());
                         }
                     });
                 }
                 if f.value_type(vid).has_slot() {
-                    set(&mut defs[pos], vid);
+                    defs[pos].insert(vid.index());
                 }
             }
             block.term.for_each_value_use(|u| {
-                if !get(&defs[pos], u) {
-                    set(&mut uses[pos], u);
+                if !defs[pos].contains(u.index()) {
+                    uses[pos].insert(u.index());
                 }
             });
             for succ in block.term.successors() {
@@ -75,10 +64,10 @@ impl ExactLiveness {
                     let Some(Instr::Phi { incomings, .. }) = f.instr(pvid) else {
                         break;
                     };
-                    for (pred, op) in incomings {
+                    for (pred, op) in f.phi_incomings(*incomings) {
                         if *pred == bid {
                             if let Some(u) = op.as_value() {
-                                set(&mut phi_uses[pos], u);
+                                phi_uses[pos].insert(u.index());
                             }
                         }
                     }
@@ -86,8 +75,8 @@ impl ExactLiveness {
             }
         }
 
-        let mut live_in = vec![vec![0u64; words]; nb];
-        let mut live_out = vec![vec![0u64; words]; nb];
+        let mut live_in = vec![BitSet::with_capacity(nv); nb];
+        let mut live_out = vec![BitSet::with_capacity(nv); nb];
         let succs: Vec<Vec<u32>> = rpo
             .order
             .iter()
@@ -100,30 +89,37 @@ impl ExactLiveness {
                     .collect()
             })
             .collect();
+        // Scratch sets reused across all blocks and fixpoint rounds: the
+        // loop body is now allocation-free.
+        let mut out = BitSet::with_capacity(nv);
+        let mut input = BitSet::with_capacity(nv);
         let mut changed = true;
         while changed {
             changed = false;
             for pos in (0..nb).rev() {
-                let mut out = vec![0u64; words];
+                out.clear_all();
                 for &sp in &succs[pos] {
-                    for w in 0..words {
-                        // φ results of the successor are written on the edge,
-                        // so they are *not* propagated upward: live-in of the
-                        // successor already excludes them (killed by defs).
-                        out[w] |= live_in[sp as usize][w];
-                    }
+                    // φ results of the successor are written on the edge,
+                    // so they are *not* propagated upward: live-in of the
+                    // successor already excludes them (killed by defs).
+                    out.union_with(&live_in[sp as usize]);
                 }
-                for w in 0..words {
-                    out[w] |= phi_uses[pos][w];
-                }
-                let mut input = vec![0u64; words];
-                for w in 0..words {
-                    input[w] = (out[w] & !defs[pos][w]) | uses[pos][w];
+                out.union_with(&phi_uses[pos]);
+                input.clear_all();
+                for (w, i) in out
+                    .as_words()
+                    .iter()
+                    .zip(defs[pos].as_words())
+                    .zip(uses[pos].as_words())
+                    .map(|((&o, &d), &u)| (o & !d) | u)
+                    .zip(input.as_words_mut())
+                {
+                    *i = w;
                 }
                 if out != live_out[pos] || input != live_in[pos] {
                     changed = true;
-                    live_out[pos] = out;
-                    live_in[pos] = input;
+                    live_out[pos].as_words_mut().copy_from_slice(out.as_words());
+                    live_in[pos].as_words_mut().copy_from_slice(input.as_words());
                 }
             }
         }
@@ -143,12 +139,11 @@ impl ExactLiveness {
         };
         for pos in 0..nb {
             for v in 0..nv {
-                let vid = ValueId(v as u32);
-                if get(&live_in[pos], vid)
-                    || get(&live_out[pos], vid)
-                    || get(&defs[pos], vid)
-                    || get(&uses[pos], vid)
-                    || get(&phi_uses[pos], vid)
+                if live_in[pos].contains(v)
+                    || live_out[pos].contains(v)
+                    || defs[pos].contains(v)
+                    || uses[pos].contains(v)
+                    || phi_uses[pos].contains(v)
                 {
                     touch(v, pos as u32, &mut span);
                 }
@@ -159,11 +154,11 @@ impl ExactLiveness {
     }
 
     pub fn is_live_in(&self, pos: u32, v: ValueId) -> bool {
-        get(&self.live_in[pos as usize], v)
+        self.live_in[pos as usize].contains(v.index())
     }
 
     pub fn is_live_out(&self, pos: u32, v: ValueId) -> bool {
-        get(&self.live_out[pos as usize], v)
+        self.live_out[pos as usize].contains(v.index())
     }
 
     pub fn word_count(&self) -> usize {

@@ -113,7 +113,7 @@ impl LiveRanges {
                     // block is visited).
                     fold(&mut state, vid, pos, true);
                 } else {
-                    instr.for_each_value_use(|u| {
+                    instr.for_each_value_use(f, |u| {
                         use_counts[u.index()] += 1;
                         fold(&mut state, u, pos, false);
                     });
@@ -134,7 +134,7 @@ impl LiveRanges {
                     let Some(Instr::Phi { incomings, .. }) = f.instr(pvid) else {
                         break; // φs are a prefix of the block
                     };
-                    for (pred, op) in incomings {
+                    for (pred, op) in f.phi_incomings(*incomings) {
                         if *pred != bid {
                             continue;
                         }

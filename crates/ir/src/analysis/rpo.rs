@@ -30,9 +30,7 @@ impl Rpo {
         let mut stack: Vec<(BlockId, usize)> = vec![(Function::ENTRY, 0)];
         state[Function::ENTRY.index()] = 1;
         while let Some(&mut (b, ref mut next)) = stack.last_mut() {
-            let succs: Vec<BlockId> = f.block(b).term.successors().collect();
-            if *next < succs.len() {
-                let s = succs[*next];
+            if let Some(s) = f.block(b).term.successor(*next) {
                 *next += 1;
                 if state[s.index()] == 0 {
                     state[s.index()] = 1;

@@ -32,6 +32,8 @@ impl FunctionBuilder {
                 ret,
                 values,
                 blocks: vec![Block::default()],
+                operand_pool: Vec::new(),
+                phi_pool: Vec::new(),
             },
             current: Function::ENTRY,
             trap_overflow: None,
@@ -134,19 +136,18 @@ impl FunctionBuilder {
     }
 
     pub fn call(&mut self, func: ExternId, args: Vec<Operand>, ret: Option<Type>) -> ValueId {
+        let args = self.f.alloc_operands(args);
         self.push(Instr::Call { func, args }, ret.unwrap_or(Type::Void))
     }
 
     pub fn phi(&mut self, ty: Type, incomings: Vec<(BlockId, Operand)>) -> ValueId {
+        let incomings = self.f.alloc_phi_incomings(incomings);
         self.push(Instr::Phi { ty, incomings }, ty)
     }
 
     /// Complete a loop φ once the back-edge value exists.
     pub fn phi_add_incoming(&mut self, phi: ValueId, block: BlockId, value: Operand) {
-        match self.f.instr_mut(phi) {
-            Some(Instr::Phi { incomings, .. }) => incomings.push((block, value)),
-            _ => panic!("{phi} is not a phi"),
-        }
+        self.f.phi_add_incoming(phi, block, value);
     }
 
     // ---- terminators ---------------------------------------------------

@@ -1,54 +1,27 @@
 //! Functions, basic blocks, modules.
 
-use crate::instr::{Instr, Terminator};
+use crate::define_key;
+use crate::instr::{Instr, Operand, OperandList, PhiList, Terminator};
 use crate::types::Type;
-use std::fmt;
 
-/// Identifies an SSA value (function parameter or instruction result) within
-/// a [`Function`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
-pub struct ValueId(pub u32);
-
-impl ValueId {
-    pub fn index(self) -> usize {
-        self.0 as usize
-    }
+define_key! {
+    /// Identifies an SSA value (function parameter or instruction result)
+    /// within a [`Function`].
+    pub struct ValueId = "%";
 }
 
-impl fmt::Display for ValueId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "%{}", self.0)
-    }
+define_key! {
+    /// Identifies a basic block within a [`Function`].
+    pub struct BlockId = "b";
 }
 
-/// Identifies a basic block within a [`Function`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
-pub struct BlockId(pub u32);
-
-impl BlockId {
-    pub fn index(self) -> usize {
-        self.0 as usize
-    }
-}
-
-impl fmt::Display for BlockId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "b{}", self.0)
-    }
-}
-
-/// Identifies a runtime (extern) function declared on a [`Module`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct ExternId(pub u32);
-
-impl ExternId {
-    pub fn index(self) -> usize {
-        self.0 as usize
-    }
+define_key! {
+    /// Identifies a runtime (extern) function declared on a [`Module`].
+    pub struct ExternId = "ext";
 }
 
 /// How an SSA value is defined.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub enum ValueDef {
     /// The `idx`-th function parameter.
     Param(u32),
@@ -57,7 +30,7 @@ pub enum ValueDef {
 }
 
 /// An SSA value: its definition and type.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct ValueData {
     pub def: ValueDef,
     pub ty: Type,
@@ -75,6 +48,12 @@ pub struct Block {
 /// Values are stored in one arena; `ValueId`s `0..param_count` are the
 /// parameters, the rest are instruction results in creation order. Block 0 is
 /// the entry block.
+///
+/// Variable-length operand lists (call arguments, φ incomings) live in two
+/// function-owned arena pools, referenced from instructions by `(start,
+/// len)` range handles ([`OperandList`], [`PhiList`]). The pools are
+/// append-only arenas: shrinking or relocating a list leaves its old slots
+/// behind as garbage, which is freed wholesale when the function is dropped.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Function {
     pub name: String,
@@ -82,6 +61,8 @@ pub struct Function {
     pub ret: Option<Type>,
     pub(crate) values: Vec<ValueData>,
     pub(crate) blocks: Vec<Block>,
+    pub(crate) operand_pool: Vec<Operand>,
+    pub(crate) phi_pool: Vec<(BlockId, Operand)>,
 }
 
 impl Function {
@@ -141,6 +122,110 @@ impl Function {
     /// very well with its compilation time").
     pub fn instruction_count(&self) -> usize {
         self.blocks.iter().map(|b| b.instrs.len() + 1).sum()
+    }
+
+    /// Resolve a call's argument-list handle against the operand pool.
+    pub fn operands(&self, l: OperandList) -> &[Operand] {
+        &self.operand_pool[l.start as usize..][..l.len as usize]
+    }
+
+    /// Mutable access to a pooled argument list.
+    pub fn operands_mut(&mut self, l: OperandList) -> &mut [Operand] {
+        &mut self.operand_pool[l.start as usize..][..l.len as usize]
+    }
+
+    /// Resolve a φ's incoming-list handle against the φ pool.
+    pub fn phi_incomings(&self, l: PhiList) -> &[(BlockId, Operand)] {
+        &self.phi_pool[l.start as usize..][..l.len as usize]
+    }
+
+    /// Mutable access to a pooled φ incoming list.
+    pub fn phi_incomings_mut(&mut self, l: PhiList) -> &mut [(BlockId, Operand)] {
+        &mut self.phi_pool[l.start as usize..][..l.len as usize]
+    }
+
+    /// Append an argument list to the operand pool, returning its handle.
+    pub fn alloc_operands(&mut self, ops: impl IntoIterator<Item = Operand>) -> OperandList {
+        let start = self.operand_pool.len() as u32;
+        self.operand_pool.extend(ops);
+        OperandList { start, len: self.operand_pool.len() as u32 - start }
+    }
+
+    /// Append a φ incoming list to the φ pool, returning its handle.
+    pub fn alloc_phi_incomings(
+        &mut self,
+        incomings: impl IntoIterator<Item = (BlockId, Operand)>,
+    ) -> PhiList {
+        let start = self.phi_pool.len() as u32;
+        self.phi_pool.extend(incomings);
+        PhiList { start, len: self.phi_pool.len() as u32 - start }
+    }
+
+    /// The incoming-list handle of φ `v`. Panics if `v` is not a φ.
+    pub fn phi_list(&self, v: ValueId) -> PhiList {
+        match self.values[v.index()].def {
+            ValueDef::Instr(Instr::Phi { incomings, .. }) => incomings,
+            _ => panic!("{v} is not a φ"),
+        }
+    }
+
+    /// Append one incoming edge to φ `v`. If the φ's list is not at the end
+    /// of the pool it is relocated there first (the old slots become arena
+    /// garbage), so repeated completion of loop φs stays amortized O(1).
+    pub fn phi_add_incoming(&mut self, v: ValueId, block: BlockId, value: Operand) {
+        let list = self.phi_list(v);
+        let end = (list.start + list.len) as usize;
+        let mut start = list.start;
+        if end != self.phi_pool.len() {
+            start = self.phi_pool.len() as u32;
+            self.phi_pool.extend_from_within(list.start as usize..end);
+        }
+        self.phi_pool.push((block, value));
+        if let ValueDef::Instr(Instr::Phi { incomings, .. }) = &mut self.values[v.index()].def {
+            *incomings = PhiList { start, len: list.len + 1 };
+        }
+    }
+
+    /// Filter φ `v`'s incoming edges: `keep` sees `(position, edge)` and the
+    /// survivors are compacted in place within the list's pool range.
+    pub fn phi_retain_incomings(
+        &mut self,
+        v: ValueId,
+        mut keep: impl FnMut(usize, (BlockId, Operand)) -> bool,
+    ) {
+        let list = self.phi_list(v);
+        let base = list.start as usize;
+        let mut kept = 0usize;
+        for k in 0..list.len() {
+            let e = self.phi_pool[base + k];
+            if keep(k, e) {
+                self.phi_pool[base + kept] = e;
+                kept += 1;
+            }
+        }
+        if let ValueDef::Instr(Instr::Phi { incomings, .. }) = &mut self.values[v.index()].def {
+            incomings.len = kept as u32;
+        }
+    }
+
+    /// Rewrite every operand of the instruction defining `v` in place —
+    /// inline operands directly, pooled ones (call arguments, φ incomings)
+    /// through the arenas. No-op for parameters.
+    pub fn map_instr_operands(&mut self, v: ValueId, mut cb: impl FnMut(&mut Operand)) {
+        let Function { values, operand_pool, phi_pool, .. } = self;
+        if let ValueDef::Instr(i) = &mut values[v.index()].def {
+            match i {
+                Instr::Call { args, .. } => {
+                    let r = args.start as usize..(args.start + args.len) as usize;
+                    operand_pool[r].iter_mut().for_each(cb);
+                }
+                Instr::Phi { incomings, .. } => {
+                    let r = incomings.start as usize..(incomings.start + incomings.len) as usize;
+                    phi_pool[r].iter_mut().for_each(|(_, o)| cb(o));
+                }
+                _ => i.map_inline_operands(cb),
+            }
+        }
     }
 
     /// CFG predecessors, computed fresh (callers cache as needed).

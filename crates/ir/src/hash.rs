@@ -1,0 +1,88 @@
+//! Pinned FNV-1a (64-bit) hashing.
+//!
+//! `DefaultHasher`'s algorithm is explicitly unspecified across Rust
+//! releases (and SipHash is randomly keyed per process), but several
+//! consumers need a hash that is *pinned*: plan fingerprints are cache
+//! identities a caller may persist, corpus oracles compare digests across
+//! processes, and the compile pipeline's internal tables want a cheap,
+//! deterministic hasher for short keys instead of paying SipHash setup per
+//! lookup. This module is the single shared definition — `aqe-engine`'s
+//! plan fingerprints and `aqe-jit`'s CSE table both build on it.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+
+/// Fixed-constant FNV-1a (64-bit): offset `0xcbf29ce484222325`,
+/// prime `0x100000001b3`.
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    pub fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Fnv1a {
+        Fnv1a::new()
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// `BuildHasher` handing out [`Fnv1a`] — plugs into `HashMap`/`HashSet`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FnvBuild;
+
+impl BuildHasher for FnvBuild {
+    type Hasher = Fnv1a;
+    fn build_hasher(&self) -> Fnv1a {
+        Fnv1a::new()
+    }
+}
+
+/// A `HashMap` keyed by the pinned FNV-1a hasher.
+pub type FnvHashMap<K, V> = HashMap<K, V, FnvBuild>;
+/// A `HashSet` keyed by the pinned FNV-1a hasher.
+pub type FnvHashSet<T> = HashSet<T, FnvBuild>;
+
+/// One-shot digest of a byte string (the corpus-oracle fingerprint form).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_pinned() {
+        // Reference vectors for the 64-bit FNV-1a parameters; these must
+        // never change (persisted fingerprints depend on them).
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FnvHashMap<u64, u64> = FnvHashMap::default();
+        for i in 0..100 {
+            m.insert(i, i * 3);
+        }
+        assert_eq!(m.get(&42), Some(&126));
+        assert_eq!(m.len(), 100);
+    }
+}

@@ -224,9 +224,60 @@ pub enum TrapKind {
     User(u32),
 }
 
+/// A range of operands in a function's operand pool — the arena-allocated
+/// representation of a call's argument list. Resolve with
+/// [`Function::operands`](crate::function::Function::operands); `len`/
+/// `is_empty` need no pool access.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct OperandList {
+    pub(crate) start: u32,
+    pub(crate) len: u32,
+}
+
+impl OperandList {
+    pub const EMPTY: OperandList = OperandList { start: 0, len: 0 };
+
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A range of `(predecessor, operand)` pairs in a function's φ pool — the
+/// arena-allocated representation of a φ's incoming list. Resolve with
+/// [`Function::phi_incomings`](crate::function::Function::phi_incomings).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PhiList {
+    pub(crate) start: u32,
+    pub(crate) len: u32,
+}
+
+impl PhiList {
+    pub const EMPTY: PhiList = PhiList { start: 0, len: 0 };
+
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+}
+
 /// A non-terminator instruction. The instruction's result type is stored
 /// alongside it in the function's value table.
-#[derive(Clone, PartialEq, Debug)]
+///
+/// `Instr` is `Copy`: variable-length operand lists (call arguments, φ
+/// incomings) live in per-function arena pools and are referenced here by
+/// `(start, len)` range handles, so cloning a function for an optimized
+/// recompile is a handful of flat `memcpy`s instead of a per-instruction
+/// heap traversal.
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub enum Instr {
     /// `dst = op ty a, b`
     Bin { op: BinOp, ty: Type, a: Operand, b: Operand },
@@ -250,14 +301,15 @@ pub enum Instr {
     Gep { base: Operand, offset: i64, index: Option<(Operand, i64)> },
     /// `dst = call @extern(args…)` — call into the C++/Rust runtime. All
     /// callable signatures are known at engine build time (§IV-E).
-    Call { func: ExternId, args: Vec<Operand> },
+    Call { func: ExternId, args: OperandList },
     /// `dst = phi ty [(pred, v)…]`
-    Phi { ty: Type, incomings: Vec<(BlockId, Operand)> },
+    Phi { ty: Type, incomings: PhiList },
 }
 
 impl Instr {
-    /// Visit all value operands (not constants).
-    pub fn for_each_value_use(&self, mut f: impl FnMut(ValueId)) {
+    /// Visit all value operands (not constants). Pooled operand lists (call
+    /// arguments, φ incomings) are resolved through `func`'s arenas.
+    pub fn for_each_value_use(&self, func: &crate::function::Function, mut f: impl FnMut(ValueId)) {
         let mut op = |o: &Operand| {
             if let Operand::Value(v) = o {
                 f(*v);
@@ -286,8 +338,10 @@ impl Instr {
                     op(i);
                 }
             }
-            Instr::Call { args, .. } => args.iter().for_each(op),
-            Instr::Phi { incomings, .. } => incomings.iter().for_each(|(_, o)| op(o)),
+            Instr::Call { args, .. } => func.operands(*args).iter().for_each(op),
+            Instr::Phi { incomings, .. } => {
+                func.phi_incomings(*incomings).iter().for_each(|(_, o)| op(o))
+            }
         }
     }
 
@@ -308,8 +362,11 @@ impl Instr {
         matches!(self, Instr::Phi { .. })
     }
 
-    /// Rewrite every operand in place (used by optimization passes).
-    pub fn map_operands(&mut self, mut f: impl FnMut(&mut Operand)) {
+    /// Rewrite every *inline* operand in place. Pooled operands (call
+    /// arguments, φ incomings) live in the function's arenas — use
+    /// [`Function::map_instr_operands`](crate::function::Function::map_instr_operands)
+    /// to rewrite those too; it delegates here for the inline variants.
+    pub fn map_inline_operands(&mut self, mut f: impl FnMut(&mut Operand)) {
         match self {
             Instr::Bin { a, b, .. } | Instr::BinOvf { a, b, .. } | Instr::Cmp { a, b, .. } => {
                 f(a);
@@ -333,8 +390,7 @@ impl Instr {
                     f(i);
                 }
             }
-            Instr::Call { args, .. } => args.iter_mut().for_each(f),
-            Instr::Phi { incomings, .. } => incomings.iter_mut().for_each(|(_, o)| f(o)),
+            Instr::Call { .. } | Instr::Phi { .. } => {}
         }
     }
 }
@@ -372,6 +428,17 @@ impl Terminator {
             _ => (None, None),
         };
         a.into_iter().chain(b)
+    }
+
+    /// The `n`-th successor, without materializing the list — lets DFS
+    /// walkers index successors directly instead of collecting per visit.
+    pub fn successor(&self, n: usize) -> Option<BlockId> {
+        match (self, n) {
+            (Terminator::Br { target }, 0) => Some(*target),
+            (Terminator::CondBr { then_bb, .. }, 0) => Some(*then_bb),
+            (Terminator::CondBr { else_bb, .. }, 1) => Some(*else_bb),
+            _ => None,
+        }
     }
 
     pub fn for_each_value_use(&self, mut f: impl FnMut(ValueId)) {
@@ -468,6 +535,9 @@ mod tests {
 
     #[test]
     fn instr_use_visiting() {
+        let mut b = crate::builder::FunctionBuilder::new("t", &[], None);
+        b.ret(None);
+        let host = b.finish().unwrap();
         let i = Instr::Bin {
             op: BinOp::Add,
             ty: Type::I64,
@@ -475,7 +545,7 @@ mod tests {
             b: Constant::i64(2).into(),
         };
         let mut uses = vec![];
-        i.for_each_value_use(|v| uses.push(v));
+        i.for_each_value_use(&host, |v| uses.push(v));
         assert_eq!(uses, vec![ValueId(1)]);
         assert!(!i.has_side_effects());
         let s = Instr::Store { ty: Type::I64, ptr: ValueId(0).into(), val: ValueId(1).into() };

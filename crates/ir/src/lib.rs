@@ -27,13 +27,19 @@
 pub mod analysis;
 pub mod builder;
 pub mod function;
+pub mod hash;
 pub mod instr;
+pub mod key;
 pub mod print;
+pub mod testgen;
 pub mod types;
 pub mod verify;
 
 pub use builder::FunctionBuilder;
 pub use function::{Block, BlockId, ExternDecl, ExternId, Function, Module, ValueId};
-pub use instr::{BinOp, CastKind, CmpPred, Instr, Operand, OvfOp, Terminator, TrapKind};
+pub use instr::{
+    BinOp, CastKind, CmpPred, Instr, Operand, OperandList, OvfOp, PhiList, Terminator, TrapKind,
+};
+pub use key::{BitSet, KVec, Key};
 pub use types::{Constant, Type};
 pub use verify::{verify_function, VerifyError};

@@ -59,7 +59,7 @@ pub fn print_function(f: &Function) -> String {
                     None => format!("{vid} = gep {} + {offset}", op_str(base)),
                 },
                 Instr::Call { func, args } => {
-                    let args: Vec<String> = args.iter().map(op_str).collect();
+                    let args: Vec<String> = f.operands(*args).iter().map(op_str).collect();
                     if ty == crate::types::Type::Void {
                         format!("call @ext{}({})", func.0, args.join(", "))
                     } else {
@@ -67,8 +67,11 @@ pub fn print_function(f: &Function) -> String {
                     }
                 }
                 Instr::Phi { ty, incomings } => {
-                    let inc: Vec<String> =
-                        incomings.iter().map(|(b, o)| format!("[{}, {b}]", op_str(o))).collect();
+                    let inc: Vec<String> = f
+                        .phi_incomings(*incomings)
+                        .iter()
+                        .map(|(b, o)| format!("[{}, {b}]", op_str(o)))
+                        .collect();
                     format!("{vid} = phi {ty} {}", inc.join(", "))
                 }
             };

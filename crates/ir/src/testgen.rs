@@ -1,0 +1,444 @@
+//! Deterministic random-IR generation for differential testing.
+//!
+//! The pass pipeline, the bytecode translator, and the native lowerer all
+//! promise *behavioral identity* across representation changes. This module
+//! is the shared corpus both `aqe-ir` and `aqe-jit` test suites draw from:
+//! given a seed, [`gen_module`] produces the exact same SSA function, byte
+//! for byte, on every platform and in every process — so a fingerprint of
+//! the printed IR (or of the machine code compiled from it) taken before a
+//! refactor can be committed and asserted against after it.
+//!
+//! Generation is *structured*: control flow is built from nested
+//! if/else diamonds, counted loops, and checked-arithmetic trap patterns,
+//! so every generated function passes the SSA/dominance verifier by
+//! construction. Seeds alternate between **pure** functions (arithmetic,
+//! comparisons, selects, φs — safe to execute with
+//! `aqe_vm::naive::interpret_pure`) and **full** functions that add calls,
+//! geps, loads, and stores (compile-only: used to exercise the translator
+//! and lowerer, never executed by tests).
+
+use crate::builder::FunctionBuilder;
+use crate::function::{ExternId, Module, ValueId};
+use crate::instr::{BinOp, CastKind, CmpPred, Operand, OvfOp};
+use crate::types::{Constant, Type};
+
+/// xorshift64* — tiny, seed-stable, platform-independent.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        // Avoid the all-zero fixpoint and decorrelate small seeds.
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+    /// Uniform-ish integer in `0..n` (n > 0).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// Whether the seed generates a pure (executable) function or a full one.
+pub fn is_pure_seed(seed: u64) -> bool {
+    !seed.is_multiple_of(3)
+}
+
+struct Gen {
+    rng: Rng,
+    /// Remaining instruction budget.
+    budget: u32,
+    pure: bool,
+    /// Extern ids with their signatures (full mode only).
+    externs: Vec<(ExternId, Vec<Type>, Option<Type>)>,
+    ptr_param: Option<ValueId>,
+}
+
+/// Values visible at the current insertion point, grouped by type.
+#[derive(Clone, Default)]
+struct Scope {
+    i64s: Vec<ValueId>,
+    i32s: Vec<ValueId>,
+    i1s: Vec<ValueId>,
+    f64s: Vec<ValueId>,
+}
+
+impl Scope {
+    fn add(&mut self, v: ValueId, ty: Type) {
+        match ty {
+            Type::I64 => self.i64s.push(v),
+            Type::I32 => self.i32s.push(v),
+            Type::I1 => self.i1s.push(v),
+            Type::F64 => self.f64s.push(v),
+            _ => {}
+        }
+    }
+}
+
+impl Gen {
+    /// Pick an i64 operand: mostly values, sometimes constants.
+    fn i64_op(&mut self, s: &Scope) -> Operand {
+        if !s.i64s.is_empty() && self.rng.chance(75) {
+            s.i64s[self.rng.below(s.i64s.len() as u64) as usize].into()
+        } else {
+            Constant::i64((self.rng.below(401) as i64) - 200).into()
+        }
+    }
+
+    fn i32_op(&mut self, s: &Scope) -> Operand {
+        if !s.i32s.is_empty() && self.rng.chance(70) {
+            s.i32s[self.rng.below(s.i32s.len() as u64) as usize].into()
+        } else {
+            Constant { ty: Type::I32, bits: ((self.rng.below(201) as i64) - 100) as u64 }.into()
+        }
+    }
+
+    fn f64_op(&mut self, s: &Scope) -> Operand {
+        if !s.f64s.is_empty() && self.rng.chance(70) {
+            s.f64s[self.rng.below(s.f64s.len() as u64) as usize].into()
+        } else {
+            let v = (self.rng.below(1001) as f64 - 500.0) / 4.0;
+            Constant { ty: Type::F64, bits: v.to_bits() }.into()
+        }
+    }
+
+    fn i1_op(&mut self, b: &mut FunctionBuilder, s: &mut Scope) -> Operand {
+        if !s.i1s.is_empty() && self.rng.chance(60) {
+            return s.i1s[self.rng.below(s.i1s.len() as u64) as usize].into();
+        }
+        // Materialize a fresh comparison so conditions stay interesting.
+        let preds =
+            [CmpPred::Eq, CmpPred::Ne, CmpPred::SLt, CmpPred::SLe, CmpPred::SGt, CmpPred::UGe];
+        let p = preds[self.rng.below(preds.len() as u64) as usize];
+        let (a, bb) = (self.i64_op(s), self.i64_op(s));
+        let c = b.cmp(p, Type::I64, a, bb);
+        s.add(c, Type::I1);
+        c.into()
+    }
+
+    /// One straight-line instruction into the current block.
+    fn gen_simple(&mut self, b: &mut FunctionBuilder, s: &mut Scope) {
+        match self.rng.below(100) {
+            // Integer binary arithmetic / bit ops (i64).
+            0..=39 => {
+                let ops = [
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::And,
+                    BinOp::Or,
+                    BinOp::Xor,
+                    BinOp::Shl,
+                    BinOp::AShr,
+                    BinOp::LShr,
+                ];
+                let op = ops[self.rng.below(ops.len() as u64) as usize];
+                let a = self.i64_op(s);
+                let mut c = self.i64_op(s);
+                if matches!(op, BinOp::Shl | BinOp::AShr | BinOp::LShr) {
+                    // Bounded shift amounts keep the fold semantics exact.
+                    c = Constant::i64(self.rng.below(64) as i64).into();
+                }
+                let v = b.bin(op, Type::I64, a, c);
+                s.add(v, Type::I64);
+            }
+            // i32 arithmetic (exercises narrow-width normalization).
+            40..=49 => {
+                let ops = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Xor];
+                let op = ops[self.rng.below(ops.len() as u64) as usize];
+                let (a, c) = (self.i32_op(s), self.i32_op(s));
+                let v = b.bin(op, Type::I32, a, c);
+                s.add(v, Type::I32);
+            }
+            // Division / remainder (trap-preserving paths).
+            50..=55 => {
+                let op = if self.rng.chance(50) { BinOp::SDiv } else { BinOp::SRem };
+                let a = self.i64_op(s);
+                // Bias the divisor away from zero but keep some trap sites.
+                let c: Operand = if self.rng.chance(80) {
+                    Constant::i64((self.rng.below(50) as i64) + 1).into()
+                } else {
+                    self.i64_op(s)
+                };
+                let v = b.bin(op, Type::I64, a, c);
+                s.add(v, Type::I64);
+            }
+            // Comparison.
+            56..=64 => {
+                let _ = self.i1_op(b, s);
+            }
+            // Select.
+            65..=72 => {
+                let c = self.i1_op(b, s);
+                let (t, e) = (self.i64_op(s), self.i64_op(s));
+                let v = b.select(Type::I64, c, t, e);
+                s.add(v, Type::I64);
+            }
+            // Casts between the scalar types.
+            73..=82 => match self.rng.below(5) {
+                0 => {
+                    let v = self.i64_op(s);
+                    let r = b.cast(CastKind::Trunc, Type::I64, Type::I32, v);
+                    s.add(r, Type::I32);
+                }
+                1 => {
+                    let v = self.i32_op(s);
+                    let r = b.cast(CastKind::SExt, Type::I32, Type::I64, v);
+                    s.add(r, Type::I64);
+                }
+                2 => {
+                    let v = self.i32_op(s);
+                    let r = b.cast(CastKind::ZExt, Type::I32, Type::I64, v);
+                    s.add(r, Type::I64);
+                }
+                3 => {
+                    let v = self.i64_op(s);
+                    let r = b.cast(CastKind::SiToFp, Type::I64, Type::F64, v);
+                    s.add(r, Type::F64);
+                }
+                _ => {
+                    let v = self.f64_op(s);
+                    let r = b.cast(CastKind::FpToSi, Type::F64, Type::I64, v);
+                    s.add(r, Type::I64);
+                }
+            },
+            // f64 arithmetic.
+            83..=89 => {
+                let ops = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::FDiv];
+                let op = ops[self.rng.below(ops.len() as u64) as usize];
+                let (a, c) = (self.f64_op(s), self.f64_op(s));
+                let v = b.bin(op, Type::F64, a, c);
+                s.add(v, Type::F64);
+            }
+            // Checked arithmetic (the §IV-F trap pattern; splits the block).
+            90..=93 => {
+                let ops = [OvfOp::Add, OvfOp::Sub, OvfOp::Mul];
+                let op = ops[self.rng.below(ops.len() as u64) as usize];
+                let (a, c) = (self.i64_op(s), self.i64_op(s));
+                let v = b.checked_arith(op, Type::I64, a, c);
+                s.add(v, Type::I64);
+            }
+            // Memory and calls (full mode only; re-roll as i64 arith in pure
+            // mode so pure/full budgets stay comparable).
+            _ => {
+                if self.pure {
+                    let (a, c) = (self.i64_op(s), self.i64_op(s));
+                    let v = b.bin(BinOp::Add, Type::I64, a, c);
+                    s.add(v, Type::I64);
+                    return;
+                }
+                let ptr = self.ptr_param.expect("full mode has a pointer param");
+                match self.rng.below(4) {
+                    0 => {
+                        let off = (self.rng.below(32) * 8) as i64;
+                        let g = b.gep(ptr.into(), off);
+                        let v = b.load(Type::I64, g.into());
+                        s.add(v, Type::I64);
+                    }
+                    1 => {
+                        let idx = self.i64_op(s);
+                        let masked = b.bin(BinOp::And, Type::I64, idx, Constant::i64(31).into());
+                        let g = b.gep_indexed(ptr.into(), 0, masked.into(), 8);
+                        let v = b.load(Type::I64, g.into());
+                        s.add(v, Type::I64);
+                    }
+                    2 => {
+                        let off = (self.rng.below(32) * 8) as i64;
+                        let g = b.gep(ptr.into(), off);
+                        let v = self.i64_op(s);
+                        let _ = b.store(Type::I64, v, g.into());
+                    }
+                    _ => {
+                        let k = self.rng.below(self.externs.len() as u64) as usize;
+                        let (id, params, ret) = self.externs[k].clone();
+                        let args: Vec<Operand> = params
+                            .iter()
+                            .map(|t| match t {
+                                Type::I64 => self.i64_op(s),
+                                Type::Ptr => ptr.into(),
+                                other => unreachable!("extern param type {other}"),
+                            })
+                            .collect();
+                        let v = b.call(id, args, ret);
+                        if let Some(t) = ret {
+                            s.add(v, t);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A sequence of instructions and nested regions at the current point.
+    fn gen_seq(&mut self, b: &mut FunctionBuilder, s: &mut Scope, depth: u32) {
+        let steps = 2 + self.rng.below(6) as u32;
+        for _ in 0..steps {
+            if self.budget == 0 {
+                return;
+            }
+            self.budget -= 1;
+            let roll = self.rng.below(100);
+            if depth > 0 && roll < 14 {
+                self.gen_if(b, s, depth);
+            } else if depth > 0 && roll < 24 {
+                self.gen_loop(b, s, depth);
+            } else {
+                self.gen_simple(b, s);
+            }
+        }
+    }
+
+    /// if/else diamond merging one i64 per arm through a φ.
+    fn gen_if(&mut self, b: &mut FunctionBuilder, s: &mut Scope, depth: u32) {
+        let cond = self.i1_op(b, s);
+        let then_bb = b.add_block();
+        let else_bb = b.add_block();
+        let join = b.add_block();
+        b.cond_br(cond, then_bb, else_bb);
+
+        b.switch_to(then_bb);
+        let mut ts = s.clone();
+        self.gen_seq(b, &mut ts, depth - 1);
+        let tv = self.i64_op(&ts);
+        let t_end = b.current_block();
+        b.br(join);
+
+        b.switch_to(else_bb);
+        let mut es = s.clone();
+        self.gen_seq(b, &mut es, depth - 1);
+        let ev = self.i64_op(&es);
+        let e_end = b.current_block();
+        b.br(join);
+
+        b.switch_to(join);
+        let phi = b.phi(Type::I64, vec![(t_end, tv), (e_end, ev)]);
+        s.add(phi, Type::I64);
+    }
+
+    /// Counted loop with a masked (small) trip count and an accumulator φ.
+    fn gen_loop(&mut self, b: &mut FunctionBuilder, s: &mut Scope, depth: u32) {
+        let raw = self.i64_op(s);
+        let end = b.bin(BinOp::And, Type::I64, raw, Constant::i64(7).into());
+        s.add(end, Type::I64);
+        let init = self.i64_op(s);
+
+        let head = b.add_block();
+        let body = b.add_block();
+        let exit = b.add_block();
+        let pre = b.current_block();
+        b.br(head);
+        b.switch_to(head);
+        let i = b.phi(Type::I64, vec![(pre, Constant::i64(0).into())]);
+        let acc = b.phi(Type::I64, vec![(pre, init)]);
+        let done = b.cmp(CmpPred::SGe, Type::I64, i.into(), end.into());
+        b.cond_br(done.into(), exit, body);
+
+        b.switch_to(body);
+        let mut bs = s.clone();
+        bs.add(i, Type::I64);
+        bs.add(acc, Type::I64);
+        self.gen_seq(b, &mut bs, depth - 1);
+        let step = self.i64_op(&bs);
+        let acc_next = b.bin(BinOp::Add, Type::I64, acc.into(), step);
+        let i_next = b.bin(BinOp::Add, Type::I64, i.into(), Constant::i64(1).into());
+        let latch = b.current_block();
+        b.br(head);
+        b.phi_add_incoming(i, latch, i_next.into());
+        b.phi_add_incoming(acc, latch, acc_next.into());
+
+        b.switch_to(exit);
+        s.add(acc, Type::I64);
+    }
+}
+
+/// Generate the module for `seed`: one function named `gen<seed>`, plus the
+/// extern declarations it may call. Identical output for identical seeds,
+/// on every platform, forever — committed corpus fingerprints depend on it.
+pub fn gen_module(seed: u64) -> Module {
+    let pure = is_pure_seed(seed);
+    let mut m = Module::new();
+    let mut g = Gen {
+        rng: Rng::new(seed),
+        budget: 12 + (seed % 5) as u32 * 14,
+        pure,
+        externs: Vec::new(),
+        ptr_param: None,
+    };
+    let params: &[Type] =
+        if pure { &[Type::I64, Type::I64] } else { &[Type::I64, Type::I64, Type::Ptr] };
+    if !pure {
+        let e0 = m.declare_extern("rt_probe", vec![Type::Ptr, Type::I64], Some(Type::I64));
+        let e1 = m.declare_extern("rt_sink", vec![Type::I64, Type::I64, Type::I64], None);
+        g.externs = vec![
+            (e0, vec![Type::Ptr, Type::I64], Some(Type::I64)),
+            (e1, vec![Type::I64, Type::I64, Type::I64], None),
+        ];
+    }
+    let mut b = FunctionBuilder::new(format!("gen{seed}"), params, Some(Type::I64));
+    let mut scope = Scope::default();
+    scope.add(b.param(0), Type::I64);
+    scope.add(b.param(1), Type::I64);
+    if !pure {
+        g.ptr_param = Some(b.param(2));
+    }
+    let depth = 1 + (seed % 3) as u32;
+    g.gen_seq(&mut b, &mut scope, depth);
+    let ret = g.i64_op(&scope);
+    b.ret(Some(ret));
+    let f = b.finish().expect("generated IR must verify");
+    m.add_function(f);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_module;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..20 {
+            let a = crate::print::print_module(&gen_module(seed));
+            let b = crate::print::print_module(&gen_module(seed));
+            assert_eq!(a, b, "seed {seed} not reproducible");
+        }
+    }
+
+    #[test]
+    fn generated_modules_verify() {
+        for seed in 0..40 {
+            let m = gen_module(seed);
+            verify_module(&m).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn corpus_is_structurally_diverse() {
+        let mut saw_loop = false;
+        let mut saw_call = false;
+        let mut saw_multi_block = false;
+        for seed in 0..40 {
+            let m = gen_module(seed);
+            let f = &m.functions[0];
+            if f.block_count() > 1 {
+                saw_multi_block = true;
+            }
+            let p = crate::print::print_module(&m);
+            if p.contains("phi") {
+                saw_loop = true;
+            }
+            if p.contains("call") {
+                saw_call = true;
+            }
+        }
+        assert!(saw_loop && saw_call && saw_multi_block);
+    }
+}

@@ -227,7 +227,7 @@ impl<'a> Verifier<'a> {
                             decl.params.len()
                         ))));
                     }
-                    for (a, want) in args.iter().zip(&decl.params) {
+                    for (a, want) in self.f.operands(*args).iter().zip(&decl.params) {
                         if self.operand_type(*a) != *want {
                             return Err(self.err(ctx(&format!(
                                 "call to @{}: argument type mismatch",
@@ -241,7 +241,7 @@ impl<'a> Verifier<'a> {
                 }
             }
             Instr::Phi { ty, incomings } => {
-                for (_, op) in incomings {
+                for (_, op) in self.f.phi_incomings(*incomings) {
                     if self.operand_type(*op) != *ty {
                         return Err(self.err(ctx("φ incoming type mismatch")));
                     }
@@ -301,7 +301,8 @@ impl<'a> Verifier<'a> {
                 let mut expect: Vec<BlockId> = preds[bid.index()].clone();
                 expect.sort_unstable();
                 expect.dedup();
-                let mut got: Vec<BlockId> = incomings.iter().map(|(b, _)| *b).collect();
+                let mut got: Vec<BlockId> =
+                    self.f.phi_incomings(*incomings).iter().map(|(b, _)| *b).collect();
                 got.sort_unstable();
                 if got != expect {
                     return Err(self.err(format!(
@@ -337,14 +338,14 @@ impl<'a> Verifier<'a> {
             for (idx, &vid) in block.instrs.iter().enumerate() {
                 let instr = self.f.instr(vid).unwrap();
                 if let Instr::Phi { incomings, .. } = instr {
-                    for (pred, op) in incomings {
+                    for (pred, op) in self.f.phi_incomings(*incomings) {
                         if let Some(u) = op.as_value() {
                             self.check_use(u, *pred, TERM_INDEX)?;
                         }
                     }
                 } else {
                     let mut result = Ok(());
-                    instr.for_each_value_use(|u| {
+                    instr.for_each_value_use(self.f, |u| {
                         if result.is_ok() {
                             result = self.check_use(u, bid, idx as u32);
                         }

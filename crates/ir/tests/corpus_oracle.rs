@@ -1,0 +1,75 @@
+//! Pinned-corpus oracle for the IR representation.
+//!
+//! `tests/data/corpus_ir.txt` holds, per generator seed, FNV-1a digests of
+//! the printed module and the verifier verdict, captured from the
+//! pre-arena representation. The arena/id-keyed representation must
+//! reproduce them exactly: same value numbering, same block structure, same
+//! print output. Regenerate (only when *intentionally* changing generator
+//! or printer behavior) with:
+//!
+//! ```text
+//! AQE_REGEN_ORACLE=1 cargo test -p aqe-ir --test corpus_oracle
+//! ```
+
+use aqe_ir::hash::fnv1a;
+use aqe_ir::print::print_module;
+use aqe_ir::testgen::gen_module;
+use aqe_ir::verify::verify_module;
+
+const SEEDS: u64 = 48;
+
+fn corpus_lines() -> String {
+    let mut out = String::new();
+    for seed in 0..SEEDS {
+        let m = gen_module(seed);
+        let printed = print_module(&m);
+        let verify = match verify_module(&m) {
+            Ok(()) => "ok".to_string(),
+            Err(e) => format!("err:{:016x}", fnv1a(e.message.as_bytes())),
+        };
+        let f = &m.functions[0];
+        out.push_str(&format!(
+            "seed={seed} blocks={} values={} print={:016x} verify={verify}\n",
+            f.block_count(),
+            f.value_count(),
+            fnv1a(printed.as_bytes()),
+        ));
+    }
+    out
+}
+
+fn data_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/corpus_ir.txt")
+}
+
+#[test]
+fn printed_ir_matches_pre_refactor_oracle() {
+    let got = corpus_lines();
+    let path = data_path();
+    if std::env::var("AQE_REGEN_ORACLE").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing oracle {} ({e}); see module docs", path.display()));
+    for (ln, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+        assert_eq!(g, w, "corpus line {ln} diverged from the pre-refactor oracle");
+    }
+    assert_eq!(got.lines().count(), want.lines().count(), "corpus size changed");
+}
+
+// The proptest layer: arbitrary seeds (beyond the pinned corpus) must
+// always generate verifier-clean, deterministically printable IR.
+proptest::proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(64))]
+    #[test]
+    fn random_seeds_generate_valid_ir(seed in 0u64..1_000_000) {
+        let m = gen_module(seed);
+        proptest::prop_assert!(verify_module(&m).is_ok());
+        let a = print_module(&m);
+        let b = print_module(&gen_module(seed));
+        proptest::prop_assert_eq!(a, b);
+    }
+}

@@ -202,39 +202,52 @@ pub fn coalesce(bc: &mut BcFunction) -> CoalesceStats {
         }
         m
     };
-    let succs: Vec<Vec<u32>> = (0..nb)
+    // Successor lists are at most 2 entries — inline arrays, no per-block
+    // allocation.
+    let succs: Vec<([u32; 2], u8)> = (0..nb)
         .map(|b| {
             let last = &bc.code[starts[b + 1] - 1];
             match last.op {
-                Op::Br => vec![block_of[last.lit as usize]],
-                Op::CondBr => vec![
-                    block_of[BcInstr::branch_then(last.lit)],
-                    block_of[BcInstr::branch_else(last.lit)],
-                ],
-                Op::Ret | Op::RetVal | Op::TrapOp => vec![],
+                Op::Br => ([block_of[last.lit as usize], 0], 1),
+                Op::CondBr => (
+                    [
+                        block_of[BcInstr::branch_then(last.lit)],
+                        block_of[BcInstr::branch_else(last.lit)],
+                    ],
+                    2,
+                ),
+                Op::Ret | Op::RetVal | Op::TrapOp => ([0, 0], 0),
                 _ => {
                     if starts[b + 1] < n {
-                        vec![block_of[starts[b + 1]]]
+                        ([block_of[starts[b + 1]], 0], 1)
                     } else {
-                        vec![]
+                        ([0, 0], 0)
                     }
                 }
             }
         })
         .collect();
+    let succs_of = |b: usize| -> &[u32] {
+        let (ref arr, cnt) = succs[b];
+        &arr[..cnt as usize]
+    };
 
     // ---- slot liveness (backward dataflow) ------------------------------
     let words = nslots.div_ceil(64);
     let slot_of = |off: u16| (off / 8) as usize;
-    let mut live_in = vec![vec![0u64; words]; nb];
+    // Flat `nb × words` matrix plus one reused scratch row: the fixpoint
+    // loop allocates nothing per round.
+    let mut live_in = vec![0u64; nb * words];
+    let mut live = vec![0u64; words];
     let mut changed = true;
     while changed {
         changed = false;
         for b in (0..nb).rev() {
-            let mut live = vec![0u64; words];
-            for &s in &succs[b] {
-                for w in 0..words {
-                    live[w] |= live_in[s as usize][w];
+            live.fill(0);
+            for &s in succs_of(b) {
+                let row = &live_in[s as usize * words..][..words];
+                for (l, &r) in live.iter_mut().zip(row) {
+                    *l |= r;
                 }
             }
             for pc in (starts[b]..starts[b + 1]).rev() {
@@ -252,8 +265,9 @@ pub fn coalesce(bc: &mut BcFunction) -> CoalesceStats {
                     }
                 }
             }
-            if live != live_in[b] {
-                live_in[b] = live;
+            let row = &mut live_in[b * words..][..words];
+            if live != row {
+                row.copy_from_slice(&live);
                 changed = true;
             }
         }
@@ -277,12 +291,12 @@ pub fn coalesce(bc: &mut BcFunction) -> CoalesceStats {
         }
     }
 
-    let mut live = vec![0u64; words];
     for b in 0..nb {
-        live.copy_from_slice(&vec![0u64; words]);
-        for &s in &succs[b] {
-            for w in 0..words {
-                live[w] |= live_in[s as usize][w];
+        live.fill(0);
+        for &s in succs_of(b) {
+            let row = &live_in[s as usize * words..][..words];
+            for (l, &r) in live.iter_mut().zip(row) {
+                *l |= r;
             }
         }
         for pc in (starts[b]..starts[b + 1]).rev() {
@@ -350,13 +364,14 @@ pub fn coalesce(bc: &mut BcFunction) -> CoalesceStats {
         }
     }
     let first_free = (FIRST_FREE_SLOT / 8) as usize;
+    let mut taken = vec![false; nslots];
     for s in 0..nslots {
         if fixed[s] || uf.find(s as u32) as usize != s {
             continue;
         }
         // Try offsets from low to high, skipping colors of interfering reps
         // and all fixed offsets.
-        let mut taken = vec![false; nslots];
+        taken.fill(false);
         for (t, tc) in color.iter().enumerate() {
             if t != s {
                 let conflict = inter.get(s, t)

@@ -174,8 +174,14 @@ pub struct Asm {
 }
 
 impl Asm {
-    pub fn new() -> Asm {
-        Asm::default()
+    /// A buffer pre-sized for the expected code and label count, so steady
+    /// emission never reallocates.
+    pub fn with_capacity(code_bytes: usize, labels: usize) -> Asm {
+        Asm {
+            code: Vec::with_capacity(code_bytes),
+            labels: Vec::with_capacity(labels),
+            fixups: Vec::new(),
+        }
     }
 
     #[cfg(test)]
@@ -598,13 +604,13 @@ mod tests {
 
     #[test]
     fn mov_ri_picks_short_encodings() {
-        let mut a = Asm::new();
+        let mut a = Asm::default();
         a.mov_ri(Reg::Rax, 1); // 5-byte mov eax, imm32
         assert_eq!(a.len(), 5);
-        let mut b = Asm::new();
+        let mut b = Asm::default();
         b.mov_ri(Reg::Rax, u64::MAX); // 7-byte mov rax, imm32 sign-extended
         assert_eq!(b.len(), 7);
-        let mut c = Asm::new();
+        let mut c = Asm::default();
         c.mov_ri(Reg::Rax, 0x1234_5678_9abc_def0); // 10-byte movabs
         assert_eq!(c.len(), 10);
     }
@@ -612,23 +618,23 @@ mod tests {
     #[test]
     fn known_encodings() {
         // Cross-checked against an external assembler.
-        let mut a = Asm::new();
+        let mut a = Asm::default();
         a.load64(Reg::Rax, Reg::R12, 8); // mov rax, [r12+8]
         assert_eq!(a.finish().unwrap(), vec![0x49, 0x8B, 0x44, 0x24, 0x08]);
 
-        let mut a = Asm::new();
+        let mut a = Asm::default();
         a.store64(Reg::R13, 0, Reg::Rcx); // mov [r13+0], rcx
         assert_eq!(a.finish().unwrap(), vec![0x49, 0x89, 0x4D, 0x00]);
 
-        let mut a = Asm::new();
+        let mut a = Asm::default();
         a.alu_rr(Alu::Add, Reg::Rax, Reg::Rcx); // add rax, rcx
         assert_eq!(a.finish().unwrap(), vec![0x48, 0x03, 0xC1]);
 
-        let mut a = Asm::new();
+        let mut a = Asm::default();
         a.setcc(Cc::L, Reg::Rdx); // setl dl
         assert_eq!(a.finish().unwrap(), vec![0x0F, 0x9C, 0xC2]);
 
-        let mut a = Asm::new();
+        let mut a = Asm::default();
         a.movsd_load(Xmm::Xmm0, Reg::Rax, 16); // movsd xmm0, [rax+16]
         assert_eq!(a.finish().unwrap(), vec![0xF2, 0x0F, 0x10, 0x40, 0x10]);
     }
@@ -636,55 +642,55 @@ mod tests {
     #[test]
     fn byte_ops_encode_every_register_class() {
         // Low legacy registers stay REX-free.
-        let mut a = Asm::new();
+        let mut a = Asm::default();
         a.setcc(Cc::E, Reg::Rdx); // sete dl
         assert_eq!(a.finish().unwrap(), vec![0x0F, 0x94, 0xC2]);
 
         // Encodings 4–7 force an empty REX to reach sil/dil (not dh/bh).
-        let mut a = Asm::new();
+        let mut a = Asm::default();
         a.setcc(Cc::E, Reg::Rsi); // sete sil
         assert_eq!(a.finish().unwrap(), vec![0x40, 0x0F, 0x94, 0xC6]);
 
-        let mut a = Asm::new();
+        let mut a = Asm::default();
         a.store8(Reg::Rax, 0, Reg::Rsi); // mov [rax+0], sil
         assert_eq!(a.finish().unwrap(), vec![0x40, 0x88, 0x70, 0x00]);
 
         // r8–r15 byte halves via REX.B / REX.R.
-        let mut a = Asm::new();
+        let mut a = Asm::default();
         a.setcc(Cc::E, Reg::R9); // sete r9b
         assert_eq!(a.finish().unwrap(), vec![0x41, 0x0F, 0x94, 0xC1]);
 
-        let mut a = Asm::new();
+        let mut a = Asm::default();
         a.test8_rr(Reg::R14, Reg::R14); // test r14b, r14b
         assert_eq!(a.finish().unwrap(), vec![0x45, 0x84, 0xF6]);
 
-        let mut a = Asm::new();
+        let mut a = Asm::default();
         a.alu8_rr(Alu::And, Reg::Rbx, Reg::Rbp); // and bl, bpl
         assert_eq!(a.finish().unwrap(), vec![0x40, 0x22, 0xDD]);
     }
 
     #[test]
     fn movq_roundtrip_and_ucomisd_rr_encodings() {
-        let mut a = Asm::new();
+        let mut a = Asm::default();
         a.movq_xr(Xmm::Xmm1, Reg::Rax); // movq xmm1, rax
         assert_eq!(a.finish().unwrap(), vec![0x66, 0x48, 0x0F, 0x6E, 0xC8]);
 
-        let mut a = Asm::new();
+        let mut a = Asm::default();
         a.movq_rx(Reg::Rax, Xmm::Xmm1); // movq rax, xmm1
         assert_eq!(a.finish().unwrap(), vec![0x66, 0x48, 0x0F, 0x7E, 0xC8]);
 
-        let mut a = Asm::new();
+        let mut a = Asm::default();
         a.movq_rx(Reg::R14, Xmm::Xmm0); // movq r14, xmm0
         assert_eq!(a.finish().unwrap(), vec![0x66, 0x49, 0x0F, 0x7E, 0xC6]);
 
-        let mut a = Asm::new();
+        let mut a = Asm::default();
         a.ucomisd_rr(Xmm::Xmm0, Xmm::Xmm1); // ucomisd xmm0, xmm1
         assert_eq!(a.finish().unwrap(), vec![0x66, 0x0F, 0x2E, 0xC1]);
     }
 
     #[test]
     fn labels_fix_up_forward_and_backward() {
-        let mut a = Asm::new();
+        let mut a = Asm::default();
         let top = a.label();
         let out = a.label();
         a.bind(top);
@@ -699,7 +705,7 @@ mod tests {
 
     #[test]
     fn unbound_label_is_an_error() {
-        let mut a = Asm::new();
+        let mut a = Asm::default();
         let l = a.label();
         a.jmp(l);
         assert!(a.finish().is_err());

@@ -125,7 +125,9 @@ pub(super) fn lower(
         Assignment::none()
     };
 
-    let mut a = Asm::new();
+    // ~24 bytes per step is above the observed mean; sized so emission
+    // never grows the buffer.
+    let mut a = Asm::with_capacity(cf.steps.len() * 24 + 64, cf.steps.len() + 8);
     let step_labels: Vec<Label> = (0..cf.steps.len()).map(|_| a.label()).collect();
     let l_epilogue = a.label();
     let l_overflow = a.label();

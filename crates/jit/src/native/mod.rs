@@ -216,6 +216,32 @@ fn compile_native_impl(
     Err(NativeError::Unavailable("no x86-64 Linux emitter on this target"))
 }
 
+/// Lower `f` to its raw machine-code byte stream with *pinned* helper
+/// addresses, without mapping or executing anything. Helper call targets are
+/// normally absolute process addresses, which would make the bytes differ
+/// between runs; pinning them makes the stream a stable function of the
+/// input alone — the form the corpus oracle fingerprints ("bit-identical
+/// codegen" is asserted against digests of exactly these bytes).
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+pub fn lower_to_bytes_pinned(f: &Function, externs: &[ExternDecl]) -> Result<Vec<u8>, NativeError> {
+    let cf = compile(f, externs, OptLevel::Optimized)
+        .map_err(|e| NativeError::Compile(e.to_string()))?;
+    let helpers = lower::Helpers {
+        rt_tramp: 0x7f00_0000_0000_1000,
+        f2i32: 0x7f00_0000_0000_2000,
+        f2i64: 0x7f00_0000_0000_3000,
+    };
+    lower::lower(&cf, externs, helpers).map_err(NativeError::Lower)
+}
+
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+pub fn lower_to_bytes_pinned(
+    _f: &Function,
+    _externs: &[ExternDecl],
+) -> Result<Vec<u8>, NativeError> {
+    Err(NativeError::Unavailable("no x86-64 Linux emitter on this target"))
+}
+
 /// Execute a native function (same calling convention as
 /// [`aqe_vm::interp::execute`]).
 #[cfg(all(target_arch = "x86_64", target_os = "linux"))]

@@ -37,7 +37,6 @@ use super::asm::Reg;
 use crate::emit::{SOp, Step};
 use aqe_ir::ExternDecl;
 use aqe_vm::bytecode::BcInstr;
-use std::collections::HashMap;
 
 /// Registers handed to the allocator, split by save class. The scratch
 /// trio `rax`/`rcx`/`rdx`, the pinned `r12`/`r13`, `rsp`, and the
@@ -59,8 +58,8 @@ type Access = (u16, u8, Kind);
 /// The allocation result the lowering consults.
 #[derive(Default)]
 pub(super) struct Assignment {
-    /// Slot byte offset → promoted register.
-    reg_of: HashMap<u16, Reg>,
+    /// Slot byte offset / 8 → promoted register (dense; `None` = frame).
+    reg_of: Vec<Option<Reg>>,
     /// Slots live-in at entry, loaded from the frame in the prologue.
     entry_loads: Vec<(u16, Reg)>,
     /// Caller-saved intervals: `(slot, reg, hull start, hull end)` —
@@ -79,7 +78,7 @@ impl Assignment {
 
     /// The register holding `slot`, if promoted.
     pub fn reg(&self, slot: u16) -> Option<Reg> {
-        self.reg_of.get(&slot).copied()
+        self.reg_of.get((slot / 8) as usize).copied().flatten()
     }
 
     /// Prologue loads (slots whose value exists in the frame at entry).
@@ -360,25 +359,43 @@ pub(super) fn allocate(
     }
 
     // ---- pass 1: eligibility + per-step use/def sets -------------------
-    let mut eligible: HashMap<u16, bool> = HashMap::new();
+    // Accesses land in one flat CSR buffer (offsets per step) instead of a
+    // Vec per step; slot tables are dense over `slot / 8`.
     let mut acc = Vec::new();
-    let mut step_acc: Vec<Vec<Access>> = Vec::with_capacity(steps.len());
+    let mut acc_flat: Vec<Access> = Vec::new();
+    let mut acc_off: Vec<u32> = Vec::with_capacity(steps.len() + 1);
+    let mut max_slot = 0usize;
     for st in steps {
+        acc_off.push(acc_flat.len() as u32);
         accesses(st, externs, &mut acc);
-        for &(slot, w, _) in &acc {
-            let e = eligible.entry(slot).or_insert(true);
-            if w != 8 {
-                *e = false;
-            }
+        for &(slot, _, _) in &acc {
+            max_slot = max_slot.max((slot / 8) as usize);
         }
-        step_acc.push(acc.clone());
+        acc_flat.extend_from_slice(&acc);
     }
-    let mut slots: Vec<u16> = eligible.iter().filter(|&(_, &e)| e).map(|(&s, _)| s).collect();
-    slots.sort_unstable();
+    acc_off.push(acc_flat.len() as u32);
+    let step_accs = |pc: usize| &acc_flat[acc_off[pc] as usize..acc_off[pc + 1] as usize];
+
+    // 0 = unseen, 1 = eligible so far, 2 = disqualified (sub-width access).
+    let mut elig = vec![0u8; max_slot + 1];
+    for &(slot, w, _) in &acc_flat {
+        let e = &mut elig[(slot / 8) as usize];
+        if w != 8 {
+            *e = 2;
+        } else if *e == 0 {
+            *e = 1;
+        }
+    }
+    let slots: Vec<u16> =
+        (0..=max_slot).filter(|&k| elig[k] == 1).map(|k| (k * 8) as u16).collect();
     if slots.is_empty() {
         return Assignment::none();
     }
-    let index: HashMap<u16, usize> = slots.iter().enumerate().map(|(k, &s)| (s, k)).collect();
+    // slot / 8 → candidate index (u32::MAX = not promotable).
+    let mut index = vec![u32::MAX; max_slot + 1];
+    for (k, &s) in slots.iter().enumerate() {
+        index[(s / 8) as usize] = k as u32;
+    }
     let words = slots.len().div_ceil(64);
 
     // ---- pass 2: loop weights ------------------------------------------
@@ -403,42 +420,50 @@ pub(super) fn allocate(
     }
 
     // ---- pass 3: backward liveness over the step CFG -------------------
-    let mut uses = vec![vec![0u64; words]; steps.len()];
-    let mut defs = vec![vec![0u64; words]; steps.len()];
-    for (pc, accs) in step_acc.iter().enumerate() {
-        for &(slot, _, kind) in accs {
-            if let Some(&k) = index.get(&slot) {
+    // Flat `steps × words` matrices and one reused scratch row — the
+    // fixpoint loop performs no allocation.
+    let n = steps.len();
+    let mut uses = vec![0u64; n * words];
+    let mut defs = vec![0u64; n * words];
+    for pc in 0..n {
+        for &(slot, _, kind) in step_accs(pc) {
+            let ki = index[(slot / 8) as usize];
+            if ki != u32::MAX {
+                let k = ki as usize;
                 let (w, b) = (k / 64, 1u64 << (k % 64));
                 match kind {
                     // A read in the same step happens before the write
                     // (operands load first), so reads always count as
                     // upward-exposed uses.
-                    Kind::Read => uses[pc][w] |= b,
-                    Kind::Write => defs[pc][w] |= b,
+                    Kind::Read => uses[pc * words + w] |= b,
+                    Kind::Write => defs[pc * words + w] |= b,
                 }
             }
         }
     }
-    let mut live_in = vec![vec![0u64; words]; steps.len()];
+    let mut live_in = vec![0u64; n * words];
+    let mut out = vec![0u64; words];
     let mut changed = true;
     while changed {
         changed = false;
-        for pc in (0..steps.len()).rev() {
+        for pc in (0..n).rev() {
             successors(pc, &steps[pc], &mut succ);
-            let mut out = vec![0u64; words];
+            out.fill(0);
             for &t in &succ {
-                if t < steps.len() {
-                    for w in 0..words {
-                        out[w] |= live_in[t][w];
+                if t < n {
+                    let row = &live_in[t * words..][..words];
+                    for (o, &r) in out.iter_mut().zip(row) {
+                        *o |= r;
                     }
                 }
             }
-            let mut new_in = vec![0u64; words];
+            // new_in = uses | (out & !defs), built in place in `out`.
             for w in 0..words {
-                new_in[w] = uses[pc][w] | (out[w] & !defs[pc][w]);
+                out[w] = uses[pc * words + w] | (out[w] & !defs[pc * words + w]);
             }
-            if new_in != live_in[pc] {
-                live_in[pc] = new_in;
+            let row = &mut live_in[pc * words..][..words];
+            if out[..] != row[..] {
+                row.copy_from_slice(&out);
                 changed = true;
             }
         }
@@ -450,17 +475,18 @@ pub(super) fn allocate(
     let mut start = vec![u32::MAX; slots.len()];
     let mut end = vec![0u32; slots.len()];
     let mut score = vec![0u64; slots.len()];
-    for pc in 0..steps.len() {
+    for pc in 0..n {
         for k in 0..slots.len() {
             let (w, b) = (k / 64, 1u64 << (k % 64));
-            if live_in[pc][w] & b != 0 || defs[pc][w] & b != 0 || uses[pc][w] & b != 0 {
+            if (live_in[pc * words + w] | defs[pc * words + w] | uses[pc * words + w]) & b != 0 {
                 start[k] = start[k].min(pc as u32);
                 end[k] = end[k].max(pc as u32);
             }
         }
-        for &(slot, _, _) in &step_acc[pc] {
-            if let Some(&k) = index.get(&slot) {
-                score[k] = score[k].saturating_add(weight[pc]);
+        for &(slot, _, _) in step_accs(pc) {
+            let ki = index[(slot / 8) as usize];
+            if ki != u32::MAX {
+                score[ki as usize] = score[ki as usize].saturating_add(weight[pc]);
             }
         }
     }
@@ -473,7 +499,7 @@ pub(super) fn allocate(
             start: start[k],
             end: end[k],
             score: score[k],
-            live_in_entry: live_in[0][k / 64] & (1u64 << (k % 64)) != 0,
+            live_in_entry: live_in[k / 64] & (1u64 << (k % 64)) != 0,
             crosses_call: call_pcs.iter().any(|&c| start[k] <= c && c <= end[k]),
         })
         .collect();
@@ -532,8 +558,9 @@ pub(super) fn allocate(
         assigned.push((iv.slot, reg, iv.start, iv.end, iv.live_in_entry));
     }
 
+    asg.reg_of = vec![None; max_slot + 1];
     for &(slot, reg, start, end, live_in_entry) in &assigned {
-        asg.reg_of.insert(slot, reg);
+        asg.reg_of[(slot / 8) as usize] = Some(reg);
         if live_in_entry {
             asg.entry_loads.push((slot, reg));
         }

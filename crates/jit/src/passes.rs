@@ -17,12 +17,12 @@
 //! lives in [`crate::coalesce`].
 
 use aqe_ir::analysis::{DomTree, Rpo};
+use aqe_ir::hash::FnvHashMap;
 use aqe_ir::{
     BinOp, BlockId, CmpPred, Constant, Function, Instr, Operand, Terminator, TrapKind, Type,
     ValueId,
 };
 use aqe_vm::naive as naive_semantics;
-use std::collections::HashMap;
 
 /// What the pass pipeline did (for tests, logging, and EXPERIMENTS.md).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -87,8 +87,11 @@ fn fold_and_cse(f: &mut Function, stats: &mut PassStats) {
     let dom = DomTree::compute(f, &rpo);
     // value -> replacement operand
     let mut repl: Vec<Option<Operand>> = vec![None; f.value_count()];
-    // pure-computation table: key -> (defining value, RPO position)
-    let mut table: HashMap<CseKey, (ValueId, u32)> = HashMap::new();
+    // Pure-computation table: key -> (defining value, RPO position). Only
+    // ever probed and inserted — iteration order is unobservable — so the
+    // pinned FNV-1a hasher is safe here and skips SipHash's per-lookup
+    // keyed setup on these short fixed-size keys.
+    let mut table: FnvHashMap<CseKey, (ValueId, u32)> = FnvHashMap::default();
 
     // Transitive resolution: replacement targets may themselves have been
     // replaced later (e.g. a φ folded to a value that then folded further).
@@ -107,21 +110,22 @@ fn fold_and_cse(f: &mut Function, stats: &mut PassStats) {
         o
     }
 
-    let order = rpo.order.clone();
-    for (pos, &bid) in order.iter().enumerate() {
+    for pos in 0..rpo.order.len() {
+        let bid = rpo.order[pos];
         let pos = pos as u32;
-        let instr_ids = f.block(bid).instrs.clone();
-        let mut kept: Vec<ValueId> = Vec::with_capacity(instr_ids.len());
-        for vid in instr_ids {
+        // Take the block's id list, compact the survivors in place, and put
+        // it back: the whole pass allocates nothing per block.
+        let mut instr_ids = std::mem::take(&mut f.block_mut(bid).instrs);
+        let mut kept = 0usize;
+        for i in 0..instr_ids.len() {
+            let vid = instr_ids[i];
             // Rewrite operands through the replacement map first.
-            if let Some(instr) = f.instr_mut(vid) {
-                instr.map_operands(|o| {
-                    *o = resolve(&repl, *o);
-                });
-            }
-            let instr = f.instr(vid).unwrap().clone();
+            f.map_instr_operands(vid, |o| {
+                *o = resolve(&repl, *o);
+            });
+            let instr = *f.instr(vid).unwrap();
             // 1. Try folding to a constant / existing operand.
-            if let Some(r) = try_fold(&instr) {
+            if let Some(r) = try_fold(f, &instr) {
                 repl[vid.index()] = Some(r);
                 stats.folded += 1;
                 continue; // instruction dropped
@@ -139,9 +143,11 @@ fn fold_and_cse(f: &mut Function, stats: &mut PassStats) {
                     }
                 }
             }
-            kept.push(vid);
+            instr_ids[kept] = vid;
+            kept += 1;
         }
-        f.block_mut(bid).instrs = kept;
+        instr_ids.truncate(kept);
+        f.block_mut(bid).instrs = instr_ids;
         // Rewrite the terminator too.
         let term = &mut f.block_mut(bid).term;
         term.map_operands(|o| {
@@ -153,13 +159,11 @@ fn fold_and_cse(f: &mut Function, stats: &mut PassStats) {
     // blocks may still reference replaced values; fix them all.
     for bi in 0..f.block_count() {
         let bid = BlockId(bi as u32);
-        let instr_ids = f.block(bid).instrs.clone();
-        for vid in instr_ids {
-            if let Some(instr) = f.instr_mut(vid) {
-                instr.map_operands(|o| {
-                    *o = resolve(&repl, *o);
-                });
-            }
+        for i in 0..f.block(bid).instrs.len() {
+            let vid = f.block(bid).instrs[i];
+            f.map_instr_operands(vid, |o| {
+                *o = resolve(&repl, *o);
+            });
         }
         f.block_mut(bid).term.map_operands(|o| {
             *o = resolve(&repl, *o);
@@ -170,7 +174,7 @@ fn fold_and_cse(f: &mut Function, stats: &mut PassStats) {
 /// Attempt to reduce an instruction to an operand (constant or existing
 /// value). Trap-preserving: division folding is only performed when the
 /// divisor is a non-zero constant and the result is representable.
-fn try_fold(instr: &Instr) -> Option<Operand> {
+fn try_fold(f: &Function, instr: &Instr) -> Option<Operand> {
     match instr {
         Instr::Bin { op, ty, a, b } => {
             if let (Some(ca), Some(cb)) = (a.as_const(), b.as_const()) {
@@ -246,7 +250,7 @@ fn try_fold(instr: &Instr) -> Option<Operand> {
             // A φ whose incomings all agree (ignoring self-references) is
             // that value.
             let mut unique: Option<Operand> = None;
-            for (_, o) in incomings {
+            for (_, o) in f.phi_incomings(*incomings) {
                 match unique {
                     None => unique = Some(*o),
                     Some(u) if u == *o => {}
@@ -299,7 +303,7 @@ fn dce(f: &mut Function, stats: &mut PassStats) {
     let mut uses = vec![0u32; f.value_count()];
     for (_, block) in f.blocks() {
         for &vid in &block.instrs {
-            f.instr(vid).unwrap().for_each_value_use(|u| uses[u.index()] += 1);
+            f.instr(vid).unwrap().for_each_value_use(f, |u| uses[u.index()] += 1);
         }
         block.term.for_each_value_use(|u| uses[u.index()] += 1);
     }
@@ -309,21 +313,24 @@ fn dce(f: &mut Function, stats: &mut PassStats) {
         changed = false;
         for bi in 0..f.block_count() {
             let bid = BlockId(bi as u32);
-            let ids = f.block(bid).instrs.clone();
-            let mut kept = Vec::with_capacity(ids.len());
-            for vid in ids {
-                let instr = f.instr(vid).unwrap();
+            let mut ids = std::mem::take(&mut f.block_mut(bid).instrs);
+            let mut kept = 0usize;
+            for i in 0..ids.len() {
+                let vid = ids[i];
+                let instr = *f.instr(vid).unwrap();
                 let removable =
                     uses[vid.index()] == 0 && !instr.has_side_effects() && !instr.can_trap();
                 if removable {
-                    instr.for_each_value_use(|u| uses[u.index()] -= 1);
+                    instr.for_each_value_use(f, |u| uses[u.index()] -= 1);
                     stats.dce_removed += 1;
                     changed = true;
                 } else {
-                    kept.push(vid);
+                    ids[kept] = vid;
+                    kept += 1;
                 }
             }
-            f.block_mut(bid).instrs = kept;
+            ids.truncate(kept);
+            f.block_mut(bid).instrs = ids;
         }
     }
 }
@@ -421,7 +428,8 @@ fn simplify_cfg(f: &mut Function, stats: &mut PassStats) {
             for vid in tgt_instrs {
                 match f.instr(vid).unwrap() {
                     Instr::Phi { incomings, .. } => {
-                        let (_, op) = incomings
+                        let (_, op) = f
+                            .phi_incomings(*incomings)
                             .iter()
                             .find(|(p, _)| *p == bid)
                             .copied()
@@ -432,7 +440,10 @@ fn simplify_cfg(f: &mut Function, stats: &mut PassStats) {
                 }
             }
             if !phi_repl.is_empty() {
-                let map: HashMap<ValueId, Operand> = phi_repl.iter().copied().collect();
+                let mut map: Vec<Option<Operand>> = vec![None; f.value_count()];
+                for &(v, o) in &phi_repl {
+                    map[v.index()] = Some(o);
+                }
                 rewrite_all_uses(f, &map);
             }
             let tgt_term = f.block(target).term.clone();
@@ -468,69 +479,58 @@ fn simplify_cfg(f: &mut Function, stats: &mut PassStats) {
             continue;
         }
         // Drop φ incomings from now-unreachable predecessors.
-        let ids = f.block(bid).instrs.clone();
-        for vid in ids {
-            let reachable: Vec<bool> = {
-                match f.instr(vid) {
-                    Some(Instr::Phi { incomings, .. }) => {
-                        incomings.iter().map(|(p, _)| rpo.is_reachable(*p)).collect()
-                    }
-                    _ => break,
-                }
-            };
-            if let Some(Instr::Phi { incomings, .. }) = f.instr_mut(vid) {
-                let mut keep = reachable.iter();
-                incomings.retain(|_| *keep.next().unwrap());
+        for i in 0..f.block(bid).instrs.len() {
+            let vid = f.block(bid).instrs[i];
+            if !matches!(f.instr(vid), Some(Instr::Phi { .. })) {
+                break; // φs are a block prefix
             }
+            f.phi_retain_incomings(vid, |_, (p, _)| rpo.is_reachable(p));
         }
     }
 }
 
 fn remove_phi_incoming(f: &mut Function, block: BlockId, pred: BlockId) {
-    let ids = f.block(block).instrs.clone();
-    for vid in ids {
-        match f.instr_mut(vid) {
-            Some(Instr::Phi { incomings, .. }) => incomings.retain(|(p, _)| *p != pred),
-            _ => break,
+    for i in 0..f.block(block).instrs.len() {
+        let vid = f.block(block).instrs[i];
+        if !matches!(f.instr(vid), Some(Instr::Phi { .. })) {
+            break;
         }
+        f.phi_retain_incomings(vid, |_, (p, _)| p != pred);
     }
 }
 
 fn rename_phi_incoming(f: &mut Function, block: BlockId, from: BlockId, to: BlockId) {
-    let ids = f.block(block).instrs.clone();
-    for vid in ids {
-        match f.instr_mut(vid) {
-            Some(Instr::Phi { incomings, .. }) => {
-                for (p, _) in incomings.iter_mut() {
-                    if *p == from {
-                        *p = to;
-                    }
-                }
+    for i in 0..f.block(block).instrs.len() {
+        let vid = f.block(block).instrs[i];
+        let Some(&Instr::Phi { incomings, .. }) = f.instr(vid) else {
+            break;
+        };
+        for (p, _) in f.phi_incomings_mut(incomings) {
+            if *p == from {
+                *p = to;
             }
-            _ => break,
         }
     }
 }
 
-fn rewrite_all_uses(f: &mut Function, map: &HashMap<ValueId, Operand>) {
+/// Rewrite every use of a replaced value, `map` keyed by value index.
+fn rewrite_all_uses(f: &mut Function, map: &[Option<Operand>]) {
     for bi in 0..f.block_count() {
         let bid = BlockId(bi as u32);
-        let ids = f.block(bid).instrs.clone();
-        for vid in ids {
-            if let Some(instr) = f.instr_mut(vid) {
-                instr.map_operands(|o| {
-                    if let Operand::Value(v) = *o {
-                        if let Some(r) = map.get(&v) {
-                            *o = *r;
-                        }
+        for i in 0..f.block(bid).instrs.len() {
+            let vid = f.block(bid).instrs[i];
+            f.map_instr_operands(vid, |o| {
+                if let Operand::Value(v) = *o {
+                    if let Some(r) = map[v.index()] {
+                        *o = r;
                     }
-                });
-            }
+                }
+            });
         }
         f.block_mut(bid).term.map_operands(|o| {
             if let Operand::Value(v) = *o {
-                if let Some(r) = map.get(&v) {
-                    *o = *r;
+                if let Some(r) = map[v.index()] {
+                    *o = r;
                 }
             }
         });

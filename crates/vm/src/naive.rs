@@ -53,7 +53,8 @@ pub fn interpret(f: &Function, args: &[u64], rt: &Registry) -> Result<Option<u64
             let Some(Instr::Phi { incomings, .. }) = f.instr(vid) else {
                 break;
             };
-            let (_, op) = incomings
+            let (_, op) = f
+                .phi_incomings(*incomings)
                 .iter()
                 .find(|(b, _)| *b == prev)
                 .expect("verified φ covers all predecessors");
@@ -126,7 +127,7 @@ pub fn interpret(f: &Function, args: &[u64], rt: &Registry) -> Result<Option<u64
                 }
                 Instr::Call { func, args: call_args } => {
                     arg_buf.clear();
-                    for a in call_args {
+                    for a in f.operands(*call_args) {
                         arg_buf.push(operand(&env, *a));
                     }
                     let mut ret = 0u64;

@@ -30,7 +30,6 @@ use aqe_ir::{
     BinOp, CastKind, CmpPred, Constant, ExternDecl, Function, Instr, Operand, OvfOp, Terminator,
     TrapKind, Type, ValueId,
 };
-use std::collections::HashMap;
 use std::fmt;
 
 /// Translation options.
@@ -106,8 +105,9 @@ struct Tx<'a> {
     code: Vec<BcInstr>,
     alloc: SlotAllocator,
     slot: Vec<u16>,
-    /// Unfused overflow pairs occupy two slots (value, flag).
-    pair_slot: HashMap<ValueId, (u16, u16)>,
+    /// Unfused overflow pairs occupy two slots (value, flag); dense per
+    /// value id, `(NO_SLOT, NO_SLOT)` = unassigned.
+    pair_slot: Vec<(u16, u16)>,
     uses_left: Vec<u32>,
     eff_end: Vec<u32>,
     /// Whether the live interval is confined to a single block. Only such
@@ -119,8 +119,12 @@ struct Tx<'a> {
     point_range: Vec<bool>,
     freed: Vec<bool>,
     subsumed: Vec<bool>,
-    starts_at: Vec<Vec<ValueId>>,
-    ends_at: Vec<Vec<ValueId>>,
+    /// Values whose interval starts/ends at each RPO position, CSR-packed
+    /// (`*_off[pos]..*_off[pos+1]` indexes the flat list).
+    starts: Vec<ValueId>,
+    starts_off: Vec<u32>,
+    ends: Vec<ValueId>,
+    ends_off: Vec<u32>,
     block_pc: Vec<u32>,
     fixups: Vec<Fixup>,
     trampolines: Vec<Trampoline>,
@@ -141,23 +145,50 @@ pub fn translate(
     let mut uses_left = vec![0u32; nv];
     let mut eff_end = vec![u32::MAX; nv];
     let mut point_range = vec![false; nv];
-    let mut starts_at: Vec<Vec<ValueId>> = vec![Vec::new(); npos];
-    let mut ends_at: Vec<Vec<ValueId>> = vec![Vec::new(); npos];
+    // Start/end lists per RPO position, packed CSR-style: count, prefix-sum,
+    // fill — three flat allocations instead of `2 × npos` growing vectors.
+    let mut range_start = vec![u32::MAX; nv];
+    let mut starts_off = vec![0u32; npos + 2];
+    let mut ends_off = vec![0u32; npos + 2];
     for i in 0..nv {
         let v = ValueId(i as u32);
         uses_left[i] = an.live.use_count(v);
         if let Some(r) = an.live.range(v) {
             if f.value_type(v).has_slot() {
-                starts_at[r.start as usize].push(v);
+                range_start[i] = r.start;
+                starts_off[r.start as usize + 2] += 1;
                 point_range[i] = r.start == r.end;
                 let e = effective_end(opts.strategy, r);
                 eff_end[i] = e;
                 if e != u32::MAX {
-                    ends_at[e as usize].push(v);
+                    ends_off[e as usize + 2] += 1;
                 }
             }
         }
     }
+    for p in 2..npos + 2 {
+        starts_off[p] += starts_off[p - 1];
+        ends_off[p] += ends_off[p - 1];
+    }
+    // The shifted-by-one prefix sums leave `*_off[pos + 1]` as the running
+    // cursor for bucket `pos` during the fill; afterwards `*_off[pos]` /
+    // `*_off[pos + 1]` bound bucket `pos`, values in ascending id order.
+    let mut starts = vec![ValueId(0); starts_off[npos + 1] as usize];
+    let mut ends = vec![ValueId(0); ends_off[npos + 1] as usize];
+    for i in 0..nv {
+        if range_start[i] != u32::MAX {
+            let cur = &mut starts_off[range_start[i] as usize + 1];
+            starts[*cur as usize] = ValueId(i as u32);
+            *cur += 1;
+            if eff_end[i] != u32::MAX {
+                let cur = &mut ends_off[eff_end[i] as usize + 1];
+                ends[*cur as usize] = ValueId(i as u32);
+                *cur += 1;
+            }
+        }
+    }
+    starts_off.truncate(npos + 1);
+    ends_off.truncate(npos + 1);
 
     // Pre-scan for the largest call arity so the gather area can be placed
     // contiguously at the bottom of the frame.
@@ -183,14 +214,16 @@ pub fn translate(
         code: Vec::with_capacity(f.instruction_count() * 2),
         alloc,
         slot: vec![NO_SLOT; nv],
-        pair_slot: HashMap::new(),
+        pair_slot: vec![(NO_SLOT, NO_SLOT); nv],
         uses_left,
         eff_end,
         point_range,
         freed: vec![false; nv],
         subsumed: vec![false; nv],
-        starts_at,
-        ends_at,
+        starts,
+        starts_off,
+        ends,
+        ends_off,
         block_pc: vec![0; npos],
         fixups: Vec::new(),
         trampolines: Vec::new(),
@@ -237,7 +270,8 @@ impl<'a> Tx<'a> {
     /// this block's `CondBr` into a bare trap block. Gep pattern: a `gep`
     /// immediately followed by its only consumer (`load` or `store`).
     fn mark_fusions(&mut self) {
-        for &bid in &self.an.rpo.order.clone() {
+        for p in 0..self.an.rpo.order.len() {
+            let bid = self.an.rpo.order[p];
             let block = self.f.block(bid);
             for (i, &vid) in block.instrs.iter().enumerate() {
                 match self.f.instr(vid).unwrap() {
@@ -334,14 +368,15 @@ impl<'a> Tx<'a> {
     }
 
     fn ensure_pair_slots(&mut self, v: ValueId) -> Result<(u16, u16), TranslateError> {
-        if let Some(&p) = self.pair_slot.get(&v) {
+        let p = self.pair_slot[v.index()];
+        if p.0 != NO_SLOT {
             return Ok(p);
         }
         let a =
             self.alloc.alloc().map_err(|_| TranslateError::OutOfRegisters(format!("pair {v}")))?;
         let b =
             self.alloc.alloc().map_err(|_| TranslateError::OutOfRegisters(format!("pair {v}")))?;
-        self.pair_slot.insert(v, (a, b));
+        self.pair_slot[v.index()] = (a, b);
         Ok((a, b))
     }
 
@@ -371,9 +406,10 @@ impl<'a> Tx<'a> {
             return;
         }
         self.freed[i] = true;
-        if let Some((a, b)) = self.pair_slot.get(&v).copied() {
-            self.alloc.free(a);
-            self.alloc.free(b);
+        let (pa, pb) = self.pair_slot[i];
+        if pa != NO_SLOT {
+            self.alloc.free(pa);
+            self.alloc.free(pb);
         } else if self.slot[i] != NO_SLOT {
             self.alloc.free(self.slot[i]);
         }
@@ -418,8 +454,10 @@ impl<'a> Tx<'a> {
         // "allocate registers for values that become live in b" — values
         // whose interval starts here but whose definition lies elsewhere
         // (loop-extended lifetimes, forward-pred φ results).
-        for idx in 0..self.starts_at[pos as usize].len() {
-            let v = self.starts_at[pos as usize][idx];
+        for idx in
+            self.starts_off[pos as usize] as usize..self.starts_off[pos as usize + 1] as usize
+        {
+            let v = self.starts[idx];
             let r = self.an.live.range(v).unwrap();
             if r.def_pos != pos && !self.subsumed[v.index()] {
                 if self.f.value_type(v).ovf_value_type().is_some() {
@@ -430,18 +468,20 @@ impl<'a> Tx<'a> {
             }
         }
 
-        let instrs = self.f.block(bid).instrs.clone();
+        let n_instrs = self.f.block(bid).instrs.len();
         let mut fused_ovf_condbr = false;
         let mut i = 0usize;
-        while i < instrs.len() {
-            let vid = instrs[i];
-            let instr = self.f.instr(vid).unwrap().clone();
+        while i < n_instrs {
+            // Per-iteration re-borrow (instrs stay unmodified; only slot
+            // state mutates) — no block clone.
+            let vid = self.f.block(bid).instrs[i];
+            let instr = *self.f.instr(vid).unwrap();
             if self.subsumed[vid.index()] {
                 if let Instr::BinOvf { op, ty, a, b } = instr {
                     // Fused overflow check: the next two instructions are
                     // the extracts; emit one trapping opcode writing the
                     // value extract's slot (§IV-F).
-                    let (val, flag) = self.fused_extracts(&instrs, i);
+                    let (val, flag) = self.fused_extracts(bid, i);
                     let mut temps = Vec::new();
                     let sa = self.operand_slot(a, &mut temps)?;
                     let sb = self.operand_slot(b, &mut temps)?;
@@ -483,8 +523,8 @@ impl<'a> Tx<'a> {
         self.translate_terminator(bid, pos, fused_ovf_condbr)?;
 
         // "release register for values that ended in b".
-        for idx in 0..self.ends_at[pos as usize].len() {
-            let v = self.ends_at[pos as usize][idx];
+        for idx in self.ends_off[pos as usize] as usize..self.ends_off[pos as usize + 1] as usize {
+            let v = self.ends[idx];
             if !self.freed[v.index()] && !self.subsumed[v.index()] {
                 debug_assert_eq!(
                     self.uses_left[v.index()],
@@ -497,7 +537,8 @@ impl<'a> Tx<'a> {
         Ok(())
     }
 
-    fn fused_extracts(&self, instrs: &[ValueId], i: usize) -> (ValueId, ValueId) {
+    fn fused_extracts(&self, bid: aqe_ir::BlockId, i: usize) -> (ValueId, ValueId) {
+        let instrs = &self.f.block(bid).instrs;
         let (e1, e2) = (instrs[i + 1], instrs[i + 2]);
         match self.f.instr(e1) {
             Some(Instr::Extract { field: 0, .. }) => (e1, e2),
@@ -553,8 +594,8 @@ impl<'a> Tx<'a> {
                 self.maybe_free_dead(vid, pos);
             }
             Instr::Extract { pair, field } => {
-                let (vslot, fslot) =
-                    *self.pair_slot.get(pair).expect("extract from pair without slots");
+                let (vslot, fslot) = self.pair_slot[pair.index()];
+                debug_assert_ne!(vslot, NO_SLOT, "extract from pair without slots");
                 let src = if *field == 0 { vslot } else { fslot };
                 let dst = self.ensure_slot(vid)?;
                 self.emit(Op::Mov64, dst, src, 0, 0);
@@ -626,20 +667,24 @@ impl<'a> Tx<'a> {
                     )));
                 }
                 let has_ret = decl.ret.is_some();
-                // Gather arguments into the contiguous call area.
-                for (k, a) in args.iter().enumerate() {
+                // Gather arguments into the contiguous call area. Indexed
+                // pool reads: each access re-borrows `self.f` briefly so the
+                // `self.emit` calls in between stay legal.
+                for k in 0..args.len() {
+                    let a = self.f.operands(*args)[k];
                     let dst = self.arg_base + (k as u16) * 8;
                     match a {
                         Operand::Const(c) => self.emit(Op::Const64, dst, 0, 0, c.bits),
                         Operand::Value(v) => {
-                            let s = self.use_slot(*v);
+                            let s = self.use_slot(v);
                             self.emit(Op::Mov64, dst, s, 0, 0);
                         }
                     }
                 }
                 let dst = if has_ret { self.ensure_slot(vid)? } else { SLOT_SCRATCH };
                 self.emit(Op::CallRt, dst, self.arg_base, args.len() as u16, func.0 as u64);
-                for &a in args.iter() {
+                for k in 0..args.len() {
+                    let a = self.f.operands(*args)[k];
                     self.dec_operand(a, pos);
                 }
                 if has_ret {
@@ -890,11 +935,13 @@ impl<'a> Tx<'a> {
         pos: u32,
     ) -> Vec<(u16, CopySrc)> {
         let mut copies = Vec::new();
-        for &pvid in &self.f.block(succ).instrs.clone() {
-            let Some(Instr::Phi { incomings, .. }) = self.f.instr(pvid) else {
+        for j in 0..self.f.block(succ).instrs.len() {
+            let pvid = self.f.block(succ).instrs[j];
+            let Some(&Instr::Phi { incomings, .. }) = self.f.instr(pvid) else {
                 break;
             };
-            for (pb, op) in incomings.clone() {
+            for k in 0..incomings.len() {
+                let (pb, op) = self.f.phi_incomings(incomings)[k];
                 if pb != pred {
                     continue;
                 }
